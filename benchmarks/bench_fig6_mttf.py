@@ -1,0 +1,106 @@
+"""Figure 6: 1 GB memory MTTF vs memristor SER, baseline vs proposed.
+
+Closed-form reproduction of the sensitivity analysis plus a Monte-Carlo
+cross-validation of its binomial core (DESIGN.md experiment E7). Checked
+headline claims:
+
+* improvement factor > 3e8 at Flash-like SER (1e-3 FIT/bit);
+* more than eight orders of magnitude separation in the small-SER band;
+* slope -2 (proposed) vs slope -1 (baseline) on the log-log plot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import fig6_series, render_loglog
+from repro.core.blocks import BlockGrid
+from repro.devices.models import FLASH_LIKE_SER
+from repro.reliability.model import MemoryOrganization, ReliabilityModel
+from repro.reliability.montecarlo import validate_against_model
+
+
+def test_fig6_curves(benchmark, save_artifact):
+    """Regenerate both curves and the headline comparison point."""
+    result = benchmark.pedantic(fig6_series, rounds=3, iterations=1)
+    art = render_loglog(result["points"])
+    lines = [art, "",
+             f"baseline MTTF @ {FLASH_LIKE_SER} FIT/bit: "
+             f"{result['baseline_at_flash']:.4g} h",
+             f"proposed MTTF @ {FLASH_LIKE_SER} FIT/bit: "
+             f"{result['proposed_at_flash']:.4g} h",
+             f"improvement factor: {result['flash_like_improvement']:.4g} "
+             f"(paper: > 3e8)"]
+    save_artifact("fig6_mttf.txt", "\n".join(lines))
+
+    assert result["flash_like_improvement"] > 3e8
+    points = result["points"]
+    assert all(p.proposed_mttf_hours >= p.baseline_mttf_hours * 0.999
+               for p in points)
+
+
+def test_fig6_eight_orders_of_magnitude(benchmark):
+    """Abstract claim: > 8 orders of magnitude MTTF improvement."""
+    model = ReliabilityModel()
+
+    def improvements():
+        return [model.improvement_factor(s)
+                for s in np.logspace(-5, -3, 9)]
+
+    factors = benchmark.pedantic(improvements, rounds=3, iterations=1)
+    assert all(f > 1e8 for f in factors)
+
+
+def test_fig6_slopes(benchmark):
+    """Proposed curve: slope -2; baseline: slope -1 (linear regime)."""
+    model = ReliabilityModel()
+
+    def slopes():
+        s1, s2 = 1e-5, 1e-4
+        prop = np.log10(model.proposed_mttf_hours(s1)
+                        / model.proposed_mttf_hours(s2))
+        base = np.log10(model.baseline_mttf_hours(s1)
+                        / model.baseline_mttf_hours(s2))
+        return prop, base
+
+    prop, base = benchmark.pedantic(slopes, rounds=3, iterations=1)
+    assert prop == pytest.approx(2.0, abs=0.01)
+    assert base == pytest.approx(1.0, abs=0.01)
+
+
+def test_montecarlo_validates_block_model(benchmark):
+    """E7: the binomial block-failure core must match fault-injected
+    simulation through the real checker/decoder."""
+    grid = BlockGrid(15, 5)
+
+    def run():
+        return validate_against_model(grid, p=0.02, trials=120, seed=42)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["consistent"], report
+    assert report["miscorrections"] == 0
+
+
+def test_montecarlo_paper_block_size(benchmark):
+    """Same validation at the paper's m=15 block geometry."""
+    grid = BlockGrid(45, 15)
+
+    def run():
+        return validate_against_model(grid, p=0.008, trials=50, seed=7)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["consistent"], report
+
+
+def test_conservative_variant_same_order(benchmark):
+    """Including check-bit vulnerability keeps the improvement in the
+    same order of magnitude (paper counts data cells only)."""
+    conservative = ReliabilityModel(
+        MemoryOrganization(include_check_bits=True))
+
+    def factor():
+        return conservative.improvement_factor(FLASH_LIKE_SER)
+
+    f = benchmark.pedantic(factor, rounds=3, iterations=1)
+    assert 1e8 < f < 3.4e8

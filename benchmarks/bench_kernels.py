@@ -1,0 +1,105 @@
+"""Micro-benchmarks of the core simulation kernels.
+
+These track the wall-clock performance of the library's hot paths (full
+encode, continuous update, block check, SIMD MAGIC issue, XOR3 hardware
+microprogram, SIMPLER synthesis) so regressions in the simulator itself
+are visible — they correspond to no paper artifact but keep the tool
+usable at the paper's n=1020 scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.processing import ProcessingCrossbar
+from repro.core.blocks import BlockGrid
+from repro.core.checker import BlockChecker
+from repro.core.code import DiagonalParityCode
+from repro.core.updater import ContinuousUpdater
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+from repro.xbar.ops import Axis
+
+
+@pytest.fixture(scope="module")
+def paper_scale():
+    grid = BlockGrid(1020, 15)
+    code = DiagonalParityCode(grid)
+    rng = np.random.default_rng(0)
+    mem = CrossbarArray(1020, 1020)
+    mem.write_region(0, 0, rng.integers(0, 2, (1020, 1020), dtype=np.uint8))
+    store = code.encode(mem.snapshot())
+    return grid, code, mem, store
+
+
+def test_kernel_full_encode(benchmark, paper_scale):
+    """From-scratch encode of a full 1020x1020 crossbar."""
+    grid, code, mem, _ = paper_scale
+    snapshot = mem.snapshot()
+    store = benchmark(code.encode, snapshot)
+    assert store.total_bits == 2 * 15 * 68 * 68
+
+
+def test_kernel_continuous_row_update(benchmark, paper_scale):
+    """Parity maintenance for one full-row write."""
+    grid, code, mem, store = paper_scale
+    updater = ContinuousUpdater(grid, store.copy())
+    rows = np.full(1020, 7)
+    cols = np.arange(1020)
+    old = mem.read_row(7).astype(bool)
+    new = ~old
+
+    benchmark(updater.on_write, rows, cols, old, new)
+
+
+def test_kernel_block_check(benchmark, paper_scale):
+    """Single 15x15 block check (syndrome + decode), clean block."""
+    grid, code, mem, store = paper_scale
+    checker = BlockChecker(grid, code, store.copy())
+    report = benchmark(checker.check_block, mem, 10, 10)
+    assert report.status.value == "no_error"
+
+
+def test_kernel_full_sweep(benchmark, paper_scale):
+    """Full-memory periodic check: 68x68 = 4624 blocks."""
+    grid, code, mem, store = paper_scale
+    checker = BlockChecker(grid, code, store.copy())
+    sweep = benchmark.pedantic(checker.check_all, args=(mem,),
+                               rounds=1, iterations=1)
+    assert sweep.blocks_checked == 4624
+
+
+def test_kernel_simd_magic_nor(benchmark, paper_scale):
+    """One MAGIC NOR across all 1020 rows (Fig. 1(a) SIMD issue)."""
+    _, _, mem, _ = paper_scale
+    engine = MagicEngine(mem, strict=False)
+    lanes = tuple(range(1020))
+
+    def issue():
+        engine.init(Axis.ROW, (1019,), lanes)
+        engine.nor(Axis.ROW, (0, 1), 1019, lanes)
+
+    benchmark(issue)
+
+
+def test_kernel_pc_xor3(benchmark):
+    """XOR3 microprogram across 1020 lanes in a processing crossbar."""
+    pc = ProcessingCrossbar(1020)
+    rng = np.random.default_rng(1)
+    a, b, c = (rng.integers(0, 2, 1020).astype(bool) for _ in range(3))
+    result = benchmark(pc.xor3, a, b, c)
+    assert (result.astype(bool) == (a ^ b ^ c)).all()
+
+
+def test_kernel_simpler_synthesis(benchmark):
+    """SIMPLER mapping of the adder benchmark (2.3k gates)."""
+    from repro.circuits.registry import BENCHMARKS
+    from repro.logic.nor_mapping import map_to_nor
+    from repro.synth.simpler import SimplerConfig, synthesize
+
+    nor = map_to_nor(BENCHMARKS["adder"].build())
+    prog = benchmark.pedantic(synthesize, args=(nor,),
+                              kwargs={"config": SimplerConfig()},
+                              rounds=2, iterations=1)
+    assert prog.gate_ops == nor.num_gates

@@ -1,0 +1,97 @@
+"""Scaling study: how ECC overhead amortizes with circuit size.
+
+Not a paper artifact, but the question a system designer asks next: as
+functions grow, does the ECC tax shrink? The answer depends on circuit
+*shape*:
+
+* **adder-class** (inputs, outputs AND gates all linear in width):
+  overhead tends to a constant — input checks and output updates grow
+  exactly as fast as the work does;
+* **sin-class** (multiplier-dominated: gates quadratic in width, I/O
+  linear): overhead vanishes as the circuit grows — wide arithmetic
+  amortizes ECC almost completely.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import format_table
+from repro.circuits.adder import build_adder
+from repro.circuits.sin import build_sin
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.ecc_scheduler import EccTimingModel, schedule_with_ecc
+from repro.synth.simpler import SimplerConfig, synthesize
+
+
+def _overhead(net, pc_count=8):
+    nor = map_to_nor(net)
+    program = synthesize(nor, SimplerConfig(row_size=2048))
+    result = schedule_with_ecc(program,
+                               EccTimingModel(pc_count=pc_count))
+    return result.baseline_cycles, result.overhead_pct
+
+
+def test_adder_overhead_scaling(benchmark, save_artifact):
+    """Linear-shape circuits: overhead converges to a plateau."""
+
+    def sweep():
+        return [(w, *_overhead(build_adder(width=w)))
+                for w in (16, 32, 64, 128, 256)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact("scaling_adder.txt", format_table(
+        ["width", "baseline cycles", "overhead %"],
+        [[w, b, round(o, 2)] for w, b, o in rows]))
+
+    overheads = [o for _, _, o in rows]
+    # Plateau: the largest two widths are within a few points.
+    assert abs(overheads[-1] - overheads[-2]) < 6
+    # And bounded well below the tiny-width extreme.
+    assert overheads[-1] < overheads[0]
+
+
+def test_sin_overhead_scaling(benchmark, save_artifact):
+    """Quadratic-shape circuits: overhead decays toward zero."""
+
+    def sweep():
+        return [(w, *_overhead(build_sin(width=w)))
+                for w in (14, 16, 20, 24)]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact("scaling_sin.txt", format_table(
+        ["width", "baseline cycles", "overhead %"],
+        [[w, b, round(o, 2)] for w, b, o in rows]))
+
+    overheads = [o for _, _, o in rows]
+    assert overheads == sorted(overheads, reverse=True)
+    assert overheads[-1] < 2.0
+
+
+def test_block_size_vs_latency_interaction(benchmark, save_artifact):
+    """Smaller ECC blocks help reliability but hurt latency: the input
+    check costs ceil(PI/m)*m cycles, minimized when m divides the input
+    count tightly; tiny m adds per-block sweep overheads elsewhere.
+    Latency overhead across m for a fixed circuit (adder)."""
+
+    def sweep():
+        nor = map_to_nor(build_adder(width=64))
+        program = synthesize(nor, SimplerConfig(row_size=2048))
+        out = []
+        for m in (5, 9, 15, 45):
+            result = schedule_with_ecc(
+                program, EccTimingModel(block_size=m, pc_count=8))
+            out.append((m, result.check_mem_cycles,
+                        round(result.overhead_pct, 2)))
+        return out
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save_artifact("scaling_block_size_latency.txt", format_table(
+        ["m", "check MEM cycles", "overhead %"],
+        [list(r) for r in rows]))
+
+    by_m = {m: check for m, check, _ in rows}
+    # 128 inputs: ceil(128/m)*m copy cycles.
+    assert by_m[5] == 130
+    assert by_m[45] == 135
+    assert by_m[15] == 135

@@ -1,0 +1,62 @@
+"""Table II: memristor/transistor counts for n=1020, m=15, k=3.
+
+The area model is closed-form, so this artifact reproduces the paper's
+numbers *exactly* (1.25e6 memristors / 7.55e4 transistors after
+3-significant-digit rounding). The bench also sweeps the expressions over
+configurations as a scaling sanity check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.area_report import run_table2
+from repro.arch.config import ArchConfig
+
+
+def test_table2_exact_reproduction(benchmark, save_artifact):
+    """Device counts must match the paper to the digit."""
+    result = benchmark.pedantic(run_table2, rounds=3, iterations=1)
+    save_artifact("table2_area.txt", result["rendering"])
+
+    assert result["total_memristors"] == 1_248_480
+    assert result["total_transistors"] == 75_480
+    assert f"{result['total_memristors']:.3g}" == "1.25e+06"
+    assert f"{result['total_transistors']:.3g}" == "7.55e+04"
+
+    by_unit = {r.unit: r for r in result["rows"]}
+    assert by_unit["Data (MEM)"].memristors == 1_040_400
+    assert by_unit["Check-Bits"].memristors == 138_720
+    assert by_unit["Processing XBs"].memristors == 67_320
+    assert by_unit["Checking XB"].memristors == 2_040
+    assert by_unit["Shifters"].transistors == 61_200
+    assert by_unit["Connection Unit"].transistors == 14_280
+
+
+def test_area_scaling_in_k(benchmark):
+    """Only the PC and connection-unit rows depend on k."""
+
+    def sweep():
+        return {k: run_table2(ArchConfig(pc_count=k)) for k in (1, 3, 8)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = results[1]["total_memristors"]
+    assert results[3]["total_memristors"] - base == 2 * 11 * 2 * 1020
+    assert results[8]["total_memristors"] - base == 2 * 11 * 7 * 1020
+
+
+def test_check_bit_overhead_fraction(benchmark):
+    """Check-bit storage overhead is 2/m ~ 13.3% of data bits; total
+    memristor overhead ~20% (paper Table II ratio)."""
+
+    def ratios():
+        result = run_table2()
+        by_unit = {r.unit: r for r in result["rows"]}
+        data = by_unit["Data (MEM)"].memristors
+        return (by_unit["Check-Bits"].memristors / data,
+                result["storage_overhead_pct"])
+
+    check_ratio, total_pct = benchmark.pedantic(ratios, rounds=3,
+                                                iterations=1)
+    assert check_ratio == pytest.approx(2 / 15, rel=1e-9)
+    assert total_pct == pytest.approx(20.0, abs=0.5)

@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every file here regenerates one paper artifact (Table I, Table II,
+Figure 6) or an ablation, printing the regenerated table/figure and
+asserting the qualitative invariants recorded in EXPERIMENTS.md. Run:
+
+    pytest benchmarks/ --benchmark-only
+
+Rendered artifacts are also written to ``benchmarks/results/`` so they
+can be inspected without rerunning.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    """Directory collecting rendered tables/figures."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    """Callable fixture persisting a rendered artifact + echoing it."""
+
+    def _save(name: str, content: str) -> None:
+        path = os.path.join(results_dir, name)
+        with open(path, "w") as handle:
+            handle.write(content + "\n")
+        print(f"\n=== {name} ===\n{content}\n")
+
+    return _save

@@ -1,0 +1,64 @@
+"""Refresh vs ECC vs both: quantifying the paper's Sec. II-B remark.
+
+Prior work proposed periodic refresh to combat accumulating oxygen-
+vacancy drift; the paper notes refresh cannot address abrupt upsets or
+errors between refreshes, and that it "can still be used in conjunction
+with the mechanism proposed in this paper". This example evaluates the
+four protection configurations on the 1 GB memory model using a
+Weibull-drift + Poisson-abrupt error model, and validates the drift
+closed form against a per-cell Monte-Carlo simulation.
+
+Run:  python examples/refresh_vs_ecc.py
+"""
+
+from repro.analysis.report import format_table
+from repro.faults.drift import DriftModel, DriftSimulator
+from repro.reliability.drift_analysis import (
+    compare_protections,
+    refresh_period_sweep,
+)
+
+
+def main() -> None:
+    model = DriftModel(tau_hours=5e6, beta=2.0, abrupt_fit_per_bit=1e-4)
+    print("error model: Weibull drift (tau=5e6 h, beta=2) + abrupt "
+          "upsets at 1e-4 FIT/bit\n")
+
+    rows = compare_protections(model, refresh_period_hours=1.0)
+    print("protection configurations (1 GB, ECC window 24 h, "
+          "refresh every 1 h):\n")
+    print(format_table(
+        ["configuration", "bit flip prob / window", "MTTF (h)"],
+        [[r.config.name, f"{r.bit_flip_probability:.3e}",
+          f"{r.mttf_hours:.4g}"] for r in rows]))
+
+    by_name = {r.config.name: r.mttf_hours for r in rows}
+    print(f"\nECC alone beats refresh alone by "
+          f"{by_name['ECC only'] / by_name['refresh only']:.3g}x;")
+    print(f"adding refresh on top of ECC buys another "
+          f"{by_name['refresh + ECC'] / by_name['ECC only']:.3g}x "
+          "(drift suppressed below the abrupt floor).")
+
+    print("\nrefresh-period sweep (with ECC):\n")
+    sweep = refresh_period_sweep(model)
+    print(format_table(
+        ["refresh period (h)", "bit flip prob", "MTTF (h)",
+         "drift share of errors"],
+        [[r["refresh_period_hours"], f"{r['bit_flip_probability']:.3e}",
+          f"{r['mttf_hours']:.4g}", f"{r['drift_share']:.2%}"]
+         for r in sweep]))
+
+    # Validate the closed form against per-cell simulation.
+    sim = DriftSimulator(model, cells=200_000, seed=11)
+    scaled = DriftModel(tau_hours=200, beta=2.0, abrupt_fit_per_bit=0.0)
+    sim = DriftSimulator(scaled, cells=200_000, seed=11)
+    for refresh in (None, 10.0):
+        emp = sim.empirical_flip_probability(100.0, refresh)
+        ana = scaled.flip_probability(100.0, refresh)
+        label = "no refresh" if refresh is None else f"refresh {refresh} h"
+        print(f"\nMonte-Carlo check ({label}, scaled-down tau): "
+              f"empirical {emp:.4f} vs analytic {ana:.4f}")
+
+
+if __name__ == "__main__":
+    main()

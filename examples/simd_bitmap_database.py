@@ -1,0 +1,90 @@
+"""Domain scenario: ECC-protected bulk bitmap-index intersection.
+
+The throughput case the paper targets: the same logic function executed
+in *every row at once* (Fig. 1(a)). Here a bitmap-index database stores
+one record per crossbar row; each row holds two 32-bit tag bitmaps, and
+a query intersects them (AND) and tests a predicate — computed entirely
+in-memory with MAGIC NORs, under ECC protection, while soft errors rain
+on the array.
+
+Run:  python examples/simd_bitmap_database.py
+"""
+
+import numpy as np
+
+from repro.arch import ArchConfig, ProtectedPIM
+from repro.logic.library import and_bus, or_bus
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth import SimplerConfig, synthesize
+
+RECORDS = 1020
+TAG_BITS = 32
+
+
+def build_query_circuit() -> LogicNetwork:
+    """match = any bit of (tags_a AND tags_b); also expose the AND."""
+    net = LogicNetwork(name="bitmap-intersect")
+    a = net.input_bus("a", TAG_BITS)
+    b = net.input_bus("b", TAG_BITS)
+    both = and_bus(net, a, b)
+    net.output_bus("hit", both)
+    net.output("match", net.or_(*both))
+    return net
+
+
+def main() -> None:
+    rng = np.random.default_rng(99)
+    net = build_query_circuit()
+    nor = map_to_nor(net)
+    program = synthesize(nor, SimplerConfig(row_size=1020))
+    print(f"query circuit: {nor.num_gates} NOR/NOT gates -> "
+          f"{program.cycles} cycles for ALL {RECORDS} records at once")
+
+    pim = ProtectedPIM(ArchConfig.paper_case_study())
+
+    # Populate the database: sparse random tag bitmaps per record.
+    tags_a = (rng.random((RECORDS, TAG_BITS)) < 0.15).astype(np.uint8)
+    tags_b = (rng.random((RECORDS, TAG_BITS)) < 0.15).astype(np.uint8)
+
+    # Store both bitmap columsets side by side: a in columns 0..31,
+    # b in columns 32..63 — exactly where the query program's input
+    # cells live.
+    pim.write_data(0, 0, tags_a)
+    pim.write_data(0, TAG_BITS, tags_b)
+
+    # Soft errors strike the stored operands before the query runs...
+    victims = [(5, 3), (400, 40), (1019, 20)]
+    for r, c in victims:
+        pim.mem.flip(r, c)
+    print(f"injected {len(victims)} soft errors into stored bitmaps")
+
+    # ...but the pre-execution input check scrubs them.
+    rows = list(range(RECORDS))
+    inputs = {}
+    for i in range(TAG_BITS):
+        inputs[f"a[{i}]"] = tags_a[:, i].astype(bool)
+        inputs[f"b[{i}]"] = tags_b[:, i].astype(bool)
+    outs, sched = pim.execute(program, rows, inputs)
+    print(f"input check corrected {pim.stats.data_corrections} error(s) "
+          "before the query consumed them")
+
+    # Verify every record against numpy.
+    expected_hits = tags_a & tags_b
+    expected_match = expected_hits.any(axis=1)
+    got_match = outs["match"].astype(bool)
+    got_hits = np.stack([outs[f"hit[{i}]"] for i in range(TAG_BITS)],
+                        axis=1).astype(bool)
+    assert (got_match == expected_match).all()
+    assert (got_hits == expected_hits).all()
+    print(f"query results exact for all {RECORDS} records "
+          f"({int(expected_match.sum())} matches)")
+    print(f"latency: {sched.baseline_cycles} cycles unprotected -> "
+          f"{sched.proposed_cycles} with ECC "
+          f"({sched.overhead_pct:.1f}% overhead) — amortized over "
+          f"{RECORDS} records: "
+          f"{sched.proposed_cycles / RECORDS:.2f} cycles/record")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+legacy ``pip install -e .`` / ``python setup.py develop`` flows on offline
+machines whose setuptools cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

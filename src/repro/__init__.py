@@ -1,0 +1,42 @@
+"""repro — diagonal-parity ECC for memristive processing-in-memory.
+
+Reproduction of Leitersdorf et al., "Efficient Error-Correcting-Code
+Mechanism for High-Throughput Memristive Processing-in-Memory" (DAC 2021).
+
+Public API highlights
+---------------------
+- :class:`repro.xbar.CrossbarArray`, :class:`repro.xbar.MagicEngine` —
+  the MAGIC crossbar substrate (Fig. 1).
+- :class:`repro.core.DiagonalParityCode`, :class:`repro.core.CheckStore`,
+  :class:`repro.core.ContinuousUpdater`, :class:`repro.core.BlockChecker`
+  — the diagonal ECC mechanism (Figs. 2-4).
+- :class:`repro.arch.ProtectedPIM` — the full protected-crossbar system
+  with cycle/resource accounting (Sec. IV).
+- :mod:`repro.synth` — SIMPLER synthesis + the ECC-extended scheduler
+  (Table I), over :mod:`repro.circuits` benchmark generators.
+- :mod:`repro.reliability` — the MTTF sensitivity model (Fig. 6).
+- :mod:`repro.arch.area` — device-count model (Table II).
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (
+    BlockChecker,
+    CheckStore,
+    ContinuousUpdater,
+    DiagonalParityCode,
+)
+from repro.core.blocks import BlockGrid
+from repro.xbar import Axis, CrossbarArray, MagicEngine
+
+__all__ = [
+    "__version__",
+    "Axis",
+    "BlockChecker",
+    "BlockGrid",
+    "CheckStore",
+    "ContinuousUpdater",
+    "CrossbarArray",
+    "DiagonalParityCode",
+    "MagicEngine",
+]

@@ -1,0 +1,33 @@
+"""Result-regeneration harnesses: one per paper table/figure + ablations.
+
+* :mod:`repro.analysis.latency` — Table I (per-benchmark latency,
+  overhead %, minimum PC count, geometric means).
+* :mod:`repro.analysis.area_report` — Table II (device counts).
+* :mod:`repro.analysis.figures` — Figure 6 (MTTF sweep + ASCII plot).
+* :mod:`repro.analysis.ablations` — design-choice sweeps from DESIGN.md
+  experiment E8 (block size, PC count, check granularity, check period,
+  horizontal-parity strawman).
+* :mod:`repro.analysis.report` — small table/number formatting helpers.
+"""
+
+from repro.analysis.latency import LatencyRow, run_table1
+from repro.analysis.area_report import run_table2
+from repro.analysis.figures import fig6_series, render_loglog
+from repro.analysis.report import format_table, geomean
+from repro.analysis.scrub import minimum_negligible_period, scrub_bandwidth
+from repro.analysis.endurance import endurance_report
+from repro.analysis.switching import switching_report
+
+__all__ = [
+    "run_table1",
+    "LatencyRow",
+    "run_table2",
+    "fig6_series",
+    "render_loglog",
+    "format_table",
+    "geomean",
+    "scrub_bandwidth",
+    "minimum_negligible_period",
+    "endurance_report",
+    "switching_report",
+]

@@ -1,0 +1,178 @@
+"""Ablation studies of the design choices DESIGN.md calls out (E8).
+
+Each function isolates one knob of the proposed architecture:
+
+* :func:`block_size_tradeoff` — the paper's central trade-off bullet
+  (Sec. III): smaller ``m`` means more reliability and more check-bit
+  overhead, and also changes the input-check cost of Table I.
+* :func:`pc_count_tradeoff` — latency vs number of processing crossbars.
+* :func:`check_granularity` — per-block input checks (as modelled from
+  Table I) vs hypothetical full-width batched checks.
+* :func:`check_period_tradeoff` — reliability vs full-check period ``T``.
+* :func:`horizontal_parity_strawman` — the Fig. 2(a) scheme the paper
+  rejects: Theta(1) updates for row-parallel ops but Theta(n) for
+  column-parallel ops, versus Theta(1)/Theta(1) for diagonals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.report import format_table
+from repro.reliability.model import MemoryOrganization, ReliabilityModel
+from repro.synth.ecc_scheduler import EccTimingModel, schedule_with_ecc
+from repro.synth.program import MagicProgram
+
+
+def block_size_tradeoff(ser: float = 1e-3,
+                        block_sizes: Sequence[int] = (3, 5, 9, 15, 17, 51),
+                        n: int = 1020) -> List[dict]:
+    """Reliability and storage overhead across block sizes ``m``."""
+    rows = []
+    for m in block_sizes:
+        if n % m != 0 or m % 2 == 0:
+            continue
+        org = MemoryOrganization(n=n, m=m)
+        model = ReliabilityModel(org)
+        rows.append({
+            "m": m,
+            "check_overhead_pct": 100.0 * 2 / m,
+            "mttf_hours": model.proposed_mttf_hours(ser),
+            "improvement": model.improvement_factor(ser),
+            "input_check_cycles_per_block": m,
+        })
+    return rows
+
+
+def pc_count_tradeoff(program: MagicProgram,
+                      timing: Optional[EccTimingModel] = None,
+                      max_pc: int = 8) -> List[dict]:
+    """Proposed latency of one program for k = 1..max_pc."""
+    timing = timing or EccTimingModel()
+    rows = []
+    for k in range(1, max_pc + 1):
+        res = schedule_with_ecc(program, replace(timing, pc_count=k))
+        rows.append({"pc_count": k,
+                     "proposed_cycles": res.proposed_cycles,
+                     "overhead_pct": round(res.overhead_pct, 2),
+                     "stall_cycles": res.pc_stall_cycles})
+    return rows
+
+
+def check_granularity(program: MagicProgram,
+                      timing: Optional[EccTimingModel] = None) -> Dict[str, dict]:
+    """Per-block vs batched input checking.
+
+    The architecture serializes input-block checks on the MEM port
+    (``ceil(PI/m) * m`` copy cycles). A CMEM with full-row-width ports
+    could copy a whole row of blocks per cycle batch (``m`` cycles
+    total, regardless of input count) at the cost of ``n/m`` times wider
+    check-bit crossbar ports. This ablation quantifies the latency gap.
+    """
+    timing = timing or EccTimingModel()
+    per_block = schedule_with_ecc(program, timing)
+    import math
+    blocks = per_block.check_blocks
+    batched_cycles = per_block.proposed_cycles \
+        - per_block.check_mem_cycles + timing.copy_cycles()
+    return {
+        "per_block": {"proposed_cycles": per_block.proposed_cycles,
+                      "check_mem_cycles": per_block.check_mem_cycles,
+                      "blocks": blocks},
+        "batched": {"proposed_cycles": batched_cycles,
+                    "check_mem_cycles": timing.copy_cycles(),
+                    "port_width_factor": blocks},
+    }
+
+
+def check_period_tradeoff(ser: float = 1e-3,
+                          periods_hours: Sequence[float] = (1, 6, 24, 168,
+                                                            720),
+                          ) -> List[dict]:
+    """MTTF and check-bandwidth cost across full-check periods ``T``."""
+    rows = []
+    for t in periods_hours:
+        org = MemoryOrganization(check_period_hours=float(t))
+        model = ReliabilityModel(org)
+        # Bandwidth: one full sweep copies every block once per period.
+        sweeps_per_day = 24.0 / t
+        rows.append({
+            "period_hours": t,
+            "mttf_hours": model.proposed_mttf_hours(ser),
+            "improvement": model.improvement_factor(ser),
+            "full_sweeps_per_day": sweeps_per_day,
+        })
+    return rows
+
+
+def code_update_cost_comparison(n: int = 1020, m: int = 15) -> List[dict]:
+    """XOR3-issue cost per parallel MAGIC op for three block codes.
+
+    The gradient the paper's design space implies: horizontal word
+    parity (Fig. 2(a)) is Theta(n) in one orientation, the natural
+    row+column product code is Theta(m) in both, and only the diagonal
+    placement is Theta(1) in both — with identical single-error
+    correction in all three (see :mod:`repro.core.altcodes`).
+    """
+    from repro.core.altcodes import update_cost
+    rows = []
+    for scheme in ("horizontal", "rowcol", "diagonal"):
+        cost = update_cost(scheme, n, m)
+        rows.append({
+            "scheme": scheme,
+            "row_parallel_xor_ops": cost.row_parallel_xor_ops,
+            "col_parallel_xor_ops": cost.col_parallel_xor_ops,
+            "worst_case": cost.worst_case,
+        })
+    return rows
+
+
+def ordering_strategy_comparison(names: Sequence[str] = ("adder", "bar"),
+                                 pc_count: int = 2) -> List[dict]:
+    """SIMPLER emission order vs PC contention (ECC-aware scheduling).
+
+    The ``list`` order spaces critical (output) gates apart so scarce
+    processing crossbars can drain between them — a win for circuits
+    whose outputs spread across the cone (adder's per-bit sums), a loss
+    when every output hangs off the same final layer (bar's last mux
+    stage starves the padding supply).
+    """
+    from repro.circuits.registry import BENCHMARKS
+    from repro.logic.nor_mapping import map_to_nor
+    from repro.synth.simpler import SimplerConfig, synthesize
+
+    rows = []
+    for name in names:
+        nor = map_to_nor(BENCHMARKS[name].build())
+        entry = {"benchmark": name, "pc_count": pc_count}
+        for order in ("cu-dfs", "list"):
+            program = synthesize(nor, SimplerConfig(order=order))
+            res = schedule_with_ecc(
+                program, EccTimingModel(pc_count=pc_count))
+            entry[order] = {"proposed": res.proposed_cycles,
+                            "stalls": res.pc_stall_cycles,
+                            "peak_live": program.peak_live_cells}
+        rows.append(entry)
+    return rows
+
+
+def horizontal_parity_strawman(n: int = 1020, m: int = 15) -> Dict[str, dict]:
+    """Check-bit update cost: horizontal (Fig. 2a) vs diagonal parity.
+
+    A single column-parallel MAGIC operation changes one bit in each of
+    the ``n`` rows. With horizontal per-``m``-bit parity, the one check
+    bit covering each changed data bit must be recomputed, but all ``n``
+    changed bits fall into ``n`` *different* words whose check-bits live
+    in the same column region — they can only be updated ``Theta(n)``
+    sequentially through the single functional unit. With diagonal
+    parity, each block sees at most one change per diagonal, so one XOR3
+    batch (``Theta(1)`` issue) covers everything.
+    """
+    return {
+        "row_parallel_op": {"horizontal_update_ops": 1,
+                            "diagonal_update_ops": 1},
+        "column_parallel_op": {"horizontal_update_ops": n,
+                               "diagonal_update_ops": 1},
+        "n": {"value": n},
+    }

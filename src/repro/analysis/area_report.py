@@ -1,0 +1,48 @@
+"""Table II harness: device counts for the paper's case study."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.analysis.report import format_table
+from repro.arch.area import AreaModel
+from repro.arch.config import ArchConfig
+
+#: Paper Table II reference values (n=1020, m=15, k=3).
+PAPER_TABLE2 = {
+    "Data (MEM)": (1.04e6, 0),
+    "Check-Bits": (1.39e5, 0),
+    "Processing XBs": (6.73e4, 0),
+    "Checking XB": (2.04e3, 0),
+    "Shifters": (0, 6.12e4),
+    "Connection Unit": (0, 1.43e4),
+    "Total": (1.25e6, 7.55e4),
+}
+
+
+def run_table2(config: Optional[ArchConfig] = None) -> Dict[str, object]:
+    """Regenerate Table II; returns rows, totals, paper refs, rendering."""
+    model = AreaModel(config or ArchConfig.paper_case_study())
+    rows = model.rows()
+    table_rows = []
+    for r in rows:
+        paper_m, paper_t = PAPER_TABLE2.get(r.unit, (None, None))
+        table_rows.append([r.unit, r.memristors, r.transistors,
+                           r.expression,
+                           f"{paper_m:.3g}" if paper_m is not None else "-",
+                           f"{paper_t:.3g}" if paper_t is not None else "-"])
+    total_m = model.total_memristors()
+    total_t = model.total_transistors()
+    table_rows.append(["Total", total_m, total_t, "",
+                       f"{PAPER_TABLE2['Total'][0]:.3g}",
+                       f"{PAPER_TABLE2['Total'][1]:.3g}"])
+    rendering = format_table(
+        ["Unit", "Memristors", "Transistors", "Expression",
+         "P.Memristors", "P.Transistors"], table_rows)
+    return {
+        "rows": rows,
+        "total_memristors": total_m,
+        "total_transistors": total_t,
+        "storage_overhead_pct": model.storage_overhead_pct(),
+        "rendering": rendering,
+    }

@@ -1,0 +1,54 @@
+"""Small formatting helpers shared by the analysis harnesses."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence
+
+
+def geomean(values: Iterable[float], floor: float = 1e-9) -> float:
+    """Geometric mean with a floor to tolerate zero entries.
+
+    Table I's "Geo. Mean" row is a geometric mean over overhead
+    percentages; a benchmark with ~0 overhead would zero the product, so
+    values are floored the way the paper implicitly does (its smallest
+    entry is 0.96%).
+    """
+    vals = [max(float(v), floor) for v in values]
+    if not vals:
+        raise ValueError("geomean of empty sequence")
+    return math.exp(sum(map(math.log, vals)) / len(vals))
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 aligns: str = "") -> str:
+    """Monospace table renderer (no external dependencies).
+
+    ``aligns`` is an optional string of 'l'/'r' per column (default: left
+    for the first column, right for the rest).
+    """
+    if not aligns:
+        aligns = "l" + "r" * (len(headers) - 1)
+    cells = [[str(h) for h in headers]] + \
+        [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines: List[str] = []
+    for r, row in enumerate(cells):
+        parts = []
+        for i, cell in enumerate(row):
+            parts.append(cell.ljust(widths[i]) if aligns[i] == "l"
+                         else cell.rjust(widths[i]))
+        lines.append("  ".join(parts))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-2:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

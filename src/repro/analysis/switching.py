@@ -1,0 +1,126 @@
+"""Switching-activity analysis: a first-order energy proxy (extension).
+
+The paper defers energy ("full layout and circuit design are left for
+future work"); what the functional simulator *can* measure honestly is
+**device switching events** — LRS<->HRS transitions, the dominant energy
+cost of resistive memories. This module counts them:
+
+* **MEM switching** of the function itself, by executing the program on
+  a simulated crossbar and reading the engine's switch counter;
+* **ECC switching**, as the XOR3 work the CMEM performs: per critical
+  operation, two planes run the 8-NOR microprogram in a processing
+  crossbar (plus its scratch init); per input-block check, the XOR3
+  reduction tree. Measured by running the *actual* PC microprogram over
+  the operand distribution rather than assuming a constant.
+
+The result is a switching-overhead ratio analogous to Table I's latency
+overhead — typically larger, because XOR3's scratch-cell resets dominate
+(documented honestly; this is an extension, not a paper artifact).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.arch.processing import ProcessingCrossbar
+from repro.synth.ecc_scheduler import EccTimingModel
+from repro.synth.executor import execute_program
+from repro.synth.program import MagicProgram
+from repro.utils.rng import SeedLike, make_rng
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+
+
+@dataclass(frozen=True)
+class SwitchingReport:
+    """Per-function-execution switching decomposition (one row/lane)."""
+
+    mem_switches: int
+    ecc_update_switches: float
+    ecc_check_switches: float
+    critical_ops: int
+    check_blocks: int
+
+    @property
+    def ecc_total(self) -> float:
+        return self.ecc_update_switches + self.ecc_check_switches
+
+    @property
+    def overhead_pct(self) -> float:
+        """Extra switching for ECC relative to the bare function."""
+        if self.mem_switches == 0:
+            return 0.0
+        return 100.0 * self.ecc_total / self.mem_switches
+
+
+def measure_pc_xor3_switching(width: int, trials: int = 16,
+                              seed: SeedLike = 0) -> float:
+    """Mean switching of one XOR3 microprogram batch over ``width`` lanes.
+
+    Runs the real processing-crossbar hardware on uniform random
+    operands; includes the batched scratch-row initialization.
+    """
+    rng = make_rng(seed)
+    pc = ProcessingCrossbar(width)
+    total = 0
+    for _ in range(trials):
+        a, b, c = (rng.integers(0, 2, width).astype(bool) for _ in range(3))
+        before = pc.engine.switch_events
+        pc.xor3(a, b, c)
+        total += pc.engine.switch_events - before
+    return total / trials
+
+
+def switching_report(program: MagicProgram,
+                     timing: Optional[EccTimingModel] = None,
+                     seed: SeedLike = 0,
+                     trials: int = 8) -> SwitchingReport:
+    """Switching decomposition of one program execution.
+
+    MEM switching is measured exactly (program executed with random
+    inputs, averaged over ``trials``); ECC switching uses the measured
+    per-XOR3 cost times the number of XOR3 batches the architecture
+    performs (2 per critical op for the two diagonal planes, plus the
+    check trees on the input blocks).
+    """
+    timing = timing or EccTimingModel()
+    rng = make_rng(seed)
+    netlist = program.netlist
+
+    mem_total = 0
+    for t in range(trials):
+        xbar = CrossbarArray(1, program.row_size)
+        engine = MagicEngine(xbar)
+        vectors = {name: bool(rng.integers(0, 2))
+                   for name in netlist.input_names}
+        execute_program(program, xbar, rows=[0], inputs=vectors,
+                        engine=engine)
+        mem_total += engine.switch_events
+    mem_switches = mem_total // trials
+
+    m = timing.block_size
+    criticals = program.critical_ops
+    check_blocks = math.ceil(len(program.input_cells) / m) \
+        if program.input_cells else 0
+
+    # One diagonal plane's XOR3 handles m lanes per affected block-row;
+    # measure per-lane switching on an m-lane batch.
+    per_xor3_lane = measure_pc_xor3_switching(m, seed=seed) / m
+    # Update: 2 planes x n/... the program touches one row, so each
+    # critical op updates m diagonals per plane in its block-row; the
+    # per-op XOR3 batch spans m lanes per plane.
+    update_switches = criticals * 2 * per_xor3_lane * m
+    check_switches = check_blocks * 2 * timing.check_tree_ops() \
+        * per_xor3_lane * m
+
+    return SwitchingReport(
+        mem_switches=mem_switches,
+        ecc_update_switches=update_switches,
+        ecc_check_switches=check_switches,
+        critical_ops=criticals,
+        check_blocks=check_blocks,
+    )

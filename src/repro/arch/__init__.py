@@ -1,0 +1,41 @@
+"""Architecture model of the proposed ECC extension (paper Sec. IV).
+
+The proposed design (paper Fig. 3) extends each MEM crossbar with:
+
+* barrel **shifters** emulating diagonal wiring (Fig. 5),
+* the **CMEM**: ``m`` check-bit crossbars, ``k`` processing crossbars
+  running the XOR3 microprogram, a checking crossbar evaluating
+  syndromes, and a connection unit (Fig. 4),
+* **controllers** coordinating MEM and CMEM.
+
+:class:`repro.arch.pim.ProtectedPIM` assembles all of it into the
+user-facing protected crossbar; :mod:`repro.arch.area` provides the
+Table II device-count model.
+"""
+
+from repro.arch.config import ArchConfig
+from repro.arch.shifters import BarrelShifter, ShiftedRow
+from repro.arch.processing import ProcessingCrossbar
+from repro.arch.checking import CheckingCrossbar
+from repro.arch.cmem import CheckMemory
+from repro.arch.controller import CmemController, MemController
+from repro.arch.pim import EccStats, ProtectedPIM
+from repro.arch.memory import BankAddress, MemoryBank
+from repro.arch.area import AreaModel, AreaRow
+
+__all__ = [
+    "ArchConfig",
+    "BarrelShifter",
+    "ShiftedRow",
+    "ProcessingCrossbar",
+    "CheckingCrossbar",
+    "CheckMemory",
+    "MemController",
+    "CmemController",
+    "ProtectedPIM",
+    "EccStats",
+    "MemoryBank",
+    "BankAddress",
+    "AreaModel",
+    "AreaRow",
+]

@@ -1,0 +1,85 @@
+"""Area model: memristor/transistor counts (paper Table II).
+
+The paper's preliminary area analysis counts devices for the case study
+``n = 1020, m = 15, k = 3``:
+
+=================  ============  ============  =====================
+Unit               # Memristor   # Transistor  Expression
+=================  ============  ============  =====================
+Data (MEM)         1.04e6        0             ``n^2``
+Check-bits         1.39e5        0             ``2 m (n/m)^2``
+Processing XBs     6.73e4        0             ``2 * 11 * k * n``
+Checking XB        2.04e3        0             ``2 n``
+Shifters           0             6.12e4        ``4 n m``
+Connection unit    0             1.43e4        ``2 n (k + 4)``
+=================  ============  ============  =====================
+
+Totals: 1.25e6 memristors, 7.55e4 transistors. This module evaluates the
+same expressions for any configuration and renders the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.arch.config import ArchConfig
+
+#: Cells per processing-crossbar bit-slice (3 operands + 8 XOR3 scratch).
+PC_CELLS_PER_SLICE = 11
+
+
+@dataclass(frozen=True)
+class AreaRow:
+    """One row of the area table."""
+
+    unit: str
+    memristors: int
+    transistors: int
+    expression: str
+
+
+class AreaModel:
+    """Evaluates the Table II device-count expressions."""
+
+    def __init__(self, config: Optional[ArchConfig] = None):
+        self.config = config or ArchConfig.paper_case_study()
+
+    def rows(self) -> List[AreaRow]:
+        """All table rows, in the paper's order."""
+        n, m, k = self.config.n, self.config.m, self.config.pc_count
+        return [
+            AreaRow("Data (MEM)", n * n, 0, "n x n"),
+            AreaRow("Check-Bits", 2 * m * (n // m) ** 2, 0,
+                    "2 x m x (n/m)^2"),
+            AreaRow("Processing XBs", 2 * PC_CELLS_PER_SLICE * k * n, 0,
+                    "2 x 11 x k x n"),
+            AreaRow("Checking XB", 2 * n, 0, "2 x n"),
+            AreaRow("Shifters", 0, 4 * n * m, "4 x n x m"),
+            AreaRow("Connection Unit", 0, 2 * n * (k + 4),
+                    "2 x n x (k + 4)"),
+        ]
+
+    def total_memristors(self) -> int:
+        """Total memristor count (paper: 1.25e6 for the case study)."""
+        return sum(r.memristors for r in self.rows())
+
+    def total_transistors(self) -> int:
+        """Total transistor count (paper: 7.55e4 for the case study)."""
+        return sum(r.transistors for r in self.rows())
+
+    def storage_overhead_pct(self) -> float:
+        """Extra memristors relative to the raw data array, in percent."""
+        n = self.config.n
+        return 100.0 * (self.total_memristors() - n * n) / (n * n)
+
+    def render(self) -> str:
+        """Monospace rendering of the table (the bench prints this)."""
+        lines = [f"{'Unit':18s} {'# Memristor':>12s} {'# Transistor':>13s}  "
+                 f"{'Expression':20s}"]
+        for r in self.rows():
+            lines.append(f"{r.unit:18s} {r.memristors:12.3g} "
+                         f"{r.transistors:13.3g}  {r.expression:20s}")
+        lines.append(f"{'Total':18s} {self.total_memristors():12.3g} "
+                     f"{self.total_transistors():13.3g}")
+        return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Check Memory (CMEM): check-bit crossbars + connection unit (Fig. 4).
+
+The check-bits are held in ``m`` crossbar arrays of ``(n/m) x (n/m)``
+cells per plane: crossbar ``i`` stores the check-bit of the ``i``-th
+diagonal of every block, addressed as cell ``(a, b)`` where the block is
+``a`` blocks from the left and ``b`` from the top (paper Sec. IV-A.1).
+The division into ``m`` crossbars is forced by MAGIC's in-row *and*
+in-column parallelism in the MEM: a single check-bit crossbar could not
+accept all the per-diagonal updates of one parallel MEM operation at
+once.
+
+The behavioral source of truth is the shared :class:`repro.core
+.CheckStore`; this class adds the physical organization (per-diagonal
+crossbar views backed by real :class:`CrossbarArray` instances), the
+connection-unit cost model, and read/write port-accounting used by the
+timing model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+from repro.errors import ConfigurationError
+from repro.xbar.crossbar import CrossbarArray
+
+
+class ConnectionUnit:
+    """Switch fabric routing shifter outputs to CMEM structures.
+
+    Purely combinational; modelled by its Table II transistor count
+    ``2 n (k + 4)`` — each of the ``2m`` diagonal line groups fans out to
+    the ``k`` processing crossbars, the check-bit crossbars, and the
+    checking crossbar.
+    """
+
+    def __init__(self, n: int, pc_count: int):
+        self.n = n
+        self.pc_count = pc_count
+
+    @property
+    def transistor_count(self) -> int:
+        """Table II connection-unit row: ``2 n (k + 4)``."""
+        return 2 * self.n * (self.pc_count + 4)
+
+
+class CheckMemory:
+    """Physical model of the check-bit storage."""
+
+    def __init__(self, grid: BlockGrid, store: CheckStore = None):
+        self.grid = grid
+        self.store = store if store is not None else CheckStore(grid)
+        if self.store.grid != grid:
+            raise ConfigurationError("CheckStore grid mismatch")
+        b = grid.blocks_per_side
+        # One physical crossbar per diagonal index; each holds both the
+        # leading plane (left half) and counter plane (right half).
+        self.crossbars: List[CrossbarArray] = [
+            CrossbarArray(b, 2 * b, name=f"cmem-xbar-{d}")
+            for d in range(grid.m)
+        ]
+        self.port_reads = 0
+        self.port_writes = 0
+
+    # ------------------------------------------------------------------ #
+    # Physical <-> behavioral synchronization
+    # ------------------------------------------------------------------ #
+
+    def sync_to_crossbars(self) -> None:
+        """Mirror the behavioral store into the physical crossbars.
+
+        Crossbar ``d`` cell ``(a, b)``: column-major block addressing per
+        the paper — ``a`` = block column, ``b`` = block row.
+        """
+        for d, xbar in enumerate(self.crossbars):
+            lead_view = self.store.crossbar_view("leading", d)   # [a, b]
+            ctr_view = self.store.crossbar_view("counter", d)
+            b = self.grid.blocks_per_side
+            xbar.write_region(0, 0, lead_view.astype(bool))
+            xbar.write_region(0, b, ctr_view.astype(bool))
+
+    def verify_mirrors(self) -> bool:
+        """True when the physical crossbars agree with the store."""
+        b = self.grid.blocks_per_side
+        for d, xbar in enumerate(self.crossbars):
+            snap = xbar.snapshot()
+            if not (snap[:, :b] == self.store.crossbar_view("leading", d)).all():
+                return False
+            if not (snap[:, b:] == self.store.crossbar_view("counter", d)).all():
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Port operations (the timing model charges these)
+    # ------------------------------------------------------------------ #
+
+    def read_diagonal(self, plane: str, d: int) -> np.ndarray:
+        """Read a whole diagonal's check-bits (one port read)."""
+        self.port_reads += 1
+        if plane == "leading":
+            return self.store.lead[d].copy()
+        return self.store.ctr[d].copy()
+
+    def write_block_bits(self, block_row: int, block_col: int,
+                         lead: np.ndarray, ctr: np.ndarray) -> None:
+        """Write back one block's updated check-bits (one port write)."""
+        self.port_writes += 1
+        self.store.set_block_bits(block_row, block_col, lead, ctr)
+
+    # ------------------------------------------------------------------ #
+    # Cost model
+    # ------------------------------------------------------------------ #
+
+    @property
+    def memristor_count(self) -> int:
+        """Table II check-bit row: ``2 m (n/m)^2``."""
+        return 2 * self.grid.m * self.grid.blocks_per_side ** 2

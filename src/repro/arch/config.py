@@ -1,0 +1,73 @@
+"""Architecture configuration (the paper's case-study parameters).
+
+The paper evaluates ``n = 1020``, ``m = 15``, ``k = 3`` processing
+crossbars (Sec. V-C); ``n`` must be a multiple of ``m`` and ``m`` odd so
+wrap-around diagonals uniquely index block cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blocks import BlockGrid
+from repro.synth.ecc_scheduler import EccTimingModel
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ArchConfig:
+    """Static parameters of one protected crossbar.
+
+    Attributes
+    ----------
+    n:
+        MEM crossbar dimension (paper: 1020).
+    m:
+        ECC block dimension, odd, divides ``n`` (paper: 15).
+    pc_count:
+        Number of processing crossbars ``k`` (paper case study: 3; up to
+        8 removes all stalls for any function).
+    check_period_hours:
+        Period of full-memory ECC sweeps, ``T`` (paper: 24 h).
+    """
+
+    n: int = 1020
+    m: int = 15
+    pc_count: int = 3
+    check_period_hours: float = 24.0
+
+    def __post_init__(self):
+        # BlockGrid's constructor enforces the n/m divisibility and odd-m
+        # constraints; building one validates this config.
+        BlockGrid(self.n, self.m)
+        check_positive("pc_count", self.pc_count)
+        check_positive("check_period_hours", self.check_period_hours)
+
+    @property
+    def grid(self) -> BlockGrid:
+        """Block geometry implied by (n, m)."""
+        return BlockGrid(self.n, self.m)
+
+    @property
+    def blocks_per_side(self) -> int:
+        """n / m."""
+        return self.n // self.m
+
+    @property
+    def data_bits(self) -> int:
+        """Data memristors in the MEM (n^2) — Table II row 1."""
+        return self.n * self.n
+
+    @property
+    def check_bits(self) -> int:
+        """Check-bit memristors: 2 m (n/m)^2 — Table II row 2."""
+        return 2 * self.m * self.blocks_per_side ** 2
+
+    def timing_model(self) -> EccTimingModel:
+        """The scheduler timing model matching this configuration."""
+        return EccTimingModel(block_size=self.m, pc_count=self.pc_count)
+
+    @classmethod
+    def paper_case_study(cls) -> "ArchConfig":
+        """The exact configuration of the paper's Sec. V results."""
+        return cls(n=1020, m=15, pc_count=3, check_period_hours=24.0)

@@ -1,0 +1,318 @@
+"""MEM and CMEM controllers (paper Sec. IV-C).
+
+The MEM controller is a standard MAGIC controller (applies gate voltages
+on wordlines/bitlines) extended with coordination signals to the CMEM
+controller; the CMEM controller drives the check-bit crossbars through
+the connection unit and embeds one small FSM per processing crossbar
+(the "PC controllers") stepping the fixed XOR3 microprogram.
+
+These classes model the *control flow*: which structure is told to do
+what, in which order, for the two ECC procedures (continuous update on a
+critical operation; block checking). Timing lives in the scheduler; data
+transformation lives in the core/arch structures these controllers call.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.arch.cmem import CheckMemory
+from repro.arch.processing import ProcessingCrossbar
+from repro.arch.shifters import BarrelShifter
+from repro.core.blocks import BlockGrid
+from repro.core.checker import BlockChecker, CheckReport
+from repro.core.code import DiagonalParityCode
+from repro.errors import SchedulingError
+from repro.xbar.crossbar import CrossbarArray
+
+
+class PcState(enum.Enum):
+    """FSM states of a processing-crossbar controller."""
+
+    IDLE = "idle"
+    LOADING = "loading"
+    COMPUTING = "computing"
+    WRITEBACK = "writeback"
+
+
+@dataclass
+class PcController:
+    """Finite-state machine sequencing one PC's XOR3 task."""
+
+    pc: ProcessingCrossbar
+    state: PcState = PcState.IDLE
+    task_tag: Optional[str] = None
+
+    def start(self, tag: str) -> None:
+        if self.state is not PcState.IDLE:
+            raise SchedulingError(
+                f"PC {self.pc.xbar.name} claimed while {self.state.value}")
+        self.state = PcState.LOADING
+        self.task_tag = tag
+
+    def compute(self) -> None:
+        self.state = PcState.COMPUTING
+
+    def finish(self) -> None:
+        self.state = PcState.IDLE
+        self.task_tag = None
+
+
+class MemController:
+    """MAGIC controller for the MEM with CMEM coordination hooks."""
+
+    def __init__(self, mem: CrossbarArray, shifter: BarrelShifter):
+        self.mem = mem
+        self.shifter = shifter
+        self.rows_copied = 0
+        self.criticals_signalled = 0
+
+    def read_row_for_cmem(self, row: int) -> np.ndarray:
+        """Transfer one row toward the CMEM (MAGIC NOT through shifters).
+
+        The inversion introduced by the NOT copy is compensated in the
+        CMEM (an even number of inversions along the XOR3 path); this
+        functional model hands over the true values.
+        """
+        self.rows_copied += 1
+        return self.mem.read_row(row)
+
+    def signal_critical(self) -> None:
+        """Notify the CMEM controller that a critical op is executing."""
+        self.criticals_signalled += 1
+
+
+class CmemController:
+    """Drives check-bit updates and block checks through the CMEM."""
+
+    def __init__(self, grid: BlockGrid, cmem: CheckMemory,
+                 shifter: BarrelShifter, pcs: List[ProcessingCrossbar]):
+        self.grid = grid
+        self.cmem = cmem
+        self.shifter = shifter
+        self.pc_controllers = [PcController(pc) for pc in pcs]
+        self.code = DiagonalParityCode(grid)
+        self.updates_processed = 0
+
+    # ------------------------------------------------------------------ #
+    # Continuous update (critical operation path)
+    # ------------------------------------------------------------------ #
+
+    def free_pc(self) -> PcController:
+        """First idle PC controller; raises if all are busy.
+
+        The cycle-level scheduler prevents this in normal operation; the
+        exception flags a control bug rather than a performance stall.
+        """
+        for ctrl in self.pc_controllers:
+            if ctrl.state is PcState.IDLE:
+                return ctrl
+        raise SchedulingError("all processing crossbars are busy")
+
+    def update_for_row_write(self, row: int, old_bits: np.ndarray,
+                             new_bits: np.ndarray) -> None:
+        """Hardware-path continuous update for one written MEM row.
+
+        Steps (paper Sec. IV): shift old/new data to diagonal alignment,
+        pull the old check-bits of the affected diagonals, run XOR3 in a
+        processing crossbar per plane, write results back to the check-bit
+        crossbars. The arrays span the full row; unwritten cells must
+        carry equal old/new values (XOR3 then leaves their parity alone).
+        """
+        ctrl = self.free_pc()
+        ctrl.start(f"update-row-{row}")
+        old_aligned = self.shifter.align_row(old_bits, row)
+        new_aligned = self.shifter.align_row(new_bits, row)
+        block_row = row // self.grid.m
+
+        for plane, old_a, new_a in (("leading", old_aligned.lead,
+                                     new_aligned.lead),
+                                    ("counter", old_aligned.ctr,
+                                     new_aligned.ctr)):
+            source = self.cmem.store.lead if plane == "leading" \
+                else self.cmem.store.ctr
+            # Operand layout per diagonal d and block-column b.
+            checks = source[:, block_row, :]          # (m, n/m)
+            width = checks.size
+            pc = ctrl.pc
+            if width > pc.width:
+                raise SchedulingError(
+                    f"PC width {pc.width} cannot hold {width} lanes")
+            a = np.zeros(pc.width, dtype=bool)
+            b = np.zeros(pc.width, dtype=bool)
+            c = np.zeros(pc.width, dtype=bool)
+            a[:width] = checks.reshape(-1).astype(bool)
+            b[:width] = old_a.reshape(-1).astype(bool)
+            c[:width] = new_a.reshape(-1).astype(bool)
+            ctrl.compute()
+            result = pc.xor3(a, b, c)[:width].reshape(checks.shape)
+            ctrl.state = PcState.WRITEBACK
+            self.cmem.port_writes += 1
+            source[:, block_row, :] = result.astype(np.uint8)
+        ctrl.finish()
+        self.updates_processed += 1
+
+    def update_for_col_write(self, col: int, old_bits: np.ndarray,
+                             new_bits: np.ndarray) -> None:
+        """Hardware-path continuous update for one written MEM column.
+
+        The Fig. 1(b) orientation: a column-parallel MAGIC operation
+        writes one cell per row. The same shifter bank aligns the column
+        to diagonal indices (with the rotation mirrored — see
+        :meth:`repro.arch.shifters.BarrelShifter.align_col`) and the
+        XOR3 pipeline is identical; only the affected block coordinate
+        is now the block *column*.
+        """
+        ctrl = self.free_pc()
+        ctrl.start(f"update-col-{col}")
+        old_aligned = self.shifter.align_col(old_bits, col)
+        new_aligned = self.shifter.align_col(new_bits, col)
+        block_col = col // self.grid.m
+
+        for plane, old_a, new_a in (("leading", old_aligned.lead,
+                                     new_aligned.lead),
+                                    ("counter", old_aligned.ctr,
+                                     new_aligned.ctr)):
+            source = self.cmem.store.lead if plane == "leading" \
+                else self.cmem.store.ctr
+            checks = source[:, :, block_col]          # (m, n/m)
+            width = checks.size
+            pc = ctrl.pc
+            if width > pc.width:
+                raise SchedulingError(
+                    f"PC width {pc.width} cannot hold {width} lanes")
+            a = np.zeros(pc.width, dtype=bool)
+            b = np.zeros(pc.width, dtype=bool)
+            c = np.zeros(pc.width, dtype=bool)
+            a[:width] = checks.reshape(-1).astype(bool)
+            b[:width] = old_a.reshape(-1).astype(bool)
+            c[:width] = new_a.reshape(-1).astype(bool)
+            ctrl.compute()
+            result = pc.xor3(a, b, c)[:width].reshape(checks.shape)
+            ctrl.state = PcState.WRITEBACK
+            self.cmem.port_writes += 1
+            source[:, :, block_col] = result.astype(np.uint8)
+        ctrl.finish()
+        self.updates_processed += 1
+
+    # ------------------------------------------------------------------ #
+    # Block reset fast path (paper footnote 3)
+    # ------------------------------------------------------------------ #
+
+    def reset_block(self, mem: CrossbarArray, block_row: int,
+                    block_col: int, value: int = 0) -> None:
+        """Reset a whole block and its ECC *directly* (footnote 3).
+
+        "When resetting an entire block then the block's ECC can also be
+        reset directly rather than being calculated through XOR" — a
+        uniform block has parity ``m mod 2 = value`` on every diagonal
+        (each wrap-around diagonal holds exactly m cells, and m is odd,
+        so all-ones parity is 1).
+        """
+        rs, cs = self.grid.block_slice(block_row, block_col)
+        with mem.observers_suspended():
+            mem.write_region(rs.start, cs.start,
+                             np.full((self.grid.m, self.grid.m),
+                                     bool(value)))
+        parity = np.full(self.grid.m, value & 1, dtype=np.uint8)
+        self.cmem.store.set_block_bits(block_row, block_col, parity, parity)
+
+    # ------------------------------------------------------------------ #
+    # Checking path
+    # ------------------------------------------------------------------ #
+
+    def make_checker(self, raise_on_uncorrectable: bool = False) -> BlockChecker:
+        """Behavioral checker bound to this CMEM's store."""
+        return BlockChecker(self.grid, self.code, self.cmem.store,
+                            raise_on_uncorrectable)
+
+    def hardware_check_block(self, mem: CrossbarArray, block_row: int,
+                             block_col: int, checking_xbar=None,
+                             correct: bool = True) -> CheckReport:
+        """Full hardware-path block check (paper Sec. IV flow).
+
+        1. The block's ``m`` rows are copied through the shifters,
+           arriving diagonal-aligned (``m`` MAGIC NOT cycles of MEM
+           time, charged by the scheduler).
+        2. A processing crossbar reduces the ``m`` aligned rows plus the
+           stored check-bits to the syndrome with a ternary XOR3 tree —
+           each level the real 8-NOR microprogram on simulated hardware.
+        3. The checking crossbar flags a non-zero syndrome.
+        4. The controller's sensing circuitry reads the ``2m``-bit
+           signature, decodes it, and writes the correction.
+
+        Functionally equivalent to the behavioral
+        :meth:`BlockChecker.check_block` — asserted by the tests — but
+        exercised through the hardware models end to end.
+        """
+        import numpy as np
+
+        from repro.arch.checking import CheckingCrossbar
+
+        m = self.grid.m
+        ctrl = self.free_pc()
+        ctrl.start(f"check-{block_row}-{block_col}")
+        pc = ctrl.pc
+
+        # Step 1: diagonal-aligned copies of the block's rows.
+        base_row = block_row * m
+        lead_vecs = []
+        ctr_vecs = []
+        for r in range(base_row, base_row + m):
+            aligned = self.shifter.align_row(mem.read_row(r), r)
+            lead_vecs.append(aligned.lead[:, block_col].astype(bool))
+            ctr_vecs.append(aligned.ctr[:, block_col].astype(bool))
+        stored_lead, stored_ctr = self.cmem.store.block_bits(block_row,
+                                                             block_col)
+        lead_vecs.append(stored_lead.astype(bool))
+        ctr_vecs.append(stored_ctr.astype(bool))
+
+        # Step 2: ternary XOR3 reduction in the PC (both planes share
+        # the crossbar lanes: leading in [0, m), counter in [m, 2m)).
+        def reduce_tree(vectors):
+            ctrl.compute()
+            work = [np.asarray(v, dtype=bool) for v in vectors]
+            while len(work) > 1:
+                batch = work[:3]
+                work = work[3:]
+                while len(batch) < 3:
+                    batch.append(np.zeros(m, dtype=bool))
+                a = np.zeros(pc.width, dtype=bool)
+                b = np.zeros(pc.width, dtype=bool)
+                c = np.zeros(pc.width, dtype=bool)
+                a[:m], b[:m], c[:m] = batch
+                work.append(pc.xor3(a, b, c)[:m].astype(bool))
+            return work[0]
+
+        lead_syndrome = reduce_tree(lead_vecs).astype(np.uint8)
+        ctr_syndrome = reduce_tree(ctr_vecs).astype(np.uint8)
+        ctrl.state = PcState.WRITEBACK
+
+        # Step 3: syndrome-vs-zero in the checking crossbar.
+        if checking_xbar is None:
+            checking_xbar = CheckingCrossbar(self.grid.n, m)
+        syndrome_bits = np.concatenate([lead_syndrome,
+                                        ctr_syndrome]).astype(bool)
+        flags, _cycles = checking_xbar.evaluate(syndrome_bits[None, :])
+
+        # Step 4: controller decode + correction. The checking-crossbar
+        # flag and the decoded outcome must agree — a mismatch would be
+        # a hardware-model bug, not a data error.
+        from repro.core.code import NoError
+        from repro.errors import EccError
+
+        outcome = self.code.decode(lead_syndrome, ctr_syndrome)
+        if bool(flags[0]) == isinstance(outcome, NoError):
+            raise EccError(
+                "checking-crossbar flag disagrees with syndrome decode")
+        report = CheckReport(block_row, block_col, outcome)
+        if correct:
+            checker = self.make_checker()
+            report.corrected = checker._apply_correction(
+                mem, block_row, block_col, outcome)
+        ctrl.finish()
+        return report

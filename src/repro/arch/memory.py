@@ -1,0 +1,149 @@
+"""Multi-crossbar memory bank (mMPU-style organization).
+
+The paper's reliability analysis composes "multiple n x n crossbars
+connected to form a 1 GB memory" (Sec. V-A), following the memristive
+Memory Processing Unit organization (Talati et al.): the memory divides
+into banks of crossbars, each crossbar independently protected by its
+own CMEM ("the proposed extensions are applied to every crossbar array
+in the memory", Sec. II-A).
+
+:class:`MemoryBank` models that system level: a row-major array of
+:class:`repro.arch.pim.ProtectedPIM` crossbars with a flat bit-address
+space, bank-wide periodic sweeps, program broadcast (the same function
+executed in every crossbar — the full-throughput mMPU mode), and
+aggregated ECC statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.arch.config import ArchConfig
+from repro.arch.pim import ProtectedPIM
+from repro.core.checker import SweepReport
+from repro.errors import ConfigurationError
+from repro.synth.program import MagicProgram
+from repro.utils.validation import check_index, check_positive
+
+
+@dataclass(frozen=True)
+class BankAddress:
+    """Decomposed flat address: which crossbar, which cell."""
+
+    crossbar: int
+    row: int
+    col: int
+
+
+class MemoryBank:
+    """A bank of independently-protected MAGIC crossbars."""
+
+    def __init__(self, crossbars: int, config: Optional[ArchConfig] = None,
+                 name: str = "bank0"):
+        check_positive("crossbars", crossbars)
+        self.config = config or ArchConfig()
+        self.name = name
+        self.crossbars: List[ProtectedPIM] = [
+            ProtectedPIM(self.config) for _ in range(crossbars)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Address space
+    # ------------------------------------------------------------------ #
+
+    @property
+    def bits_per_crossbar(self) -> int:
+        """Data bits held by one crossbar (n^2)."""
+        return self.config.n * self.config.n
+
+    @property
+    def total_bits(self) -> int:
+        """Flat address-space size of the bank."""
+        return self.bits_per_crossbar * len(self.crossbars)
+
+    def decode_address(self, bit_address: int) -> BankAddress:
+        """Flat bit address -> (crossbar, row, col), row-major."""
+        check_index("bit_address", bit_address, self.total_bits)
+        xbar, offset = divmod(bit_address, self.bits_per_crossbar)
+        row, col = divmod(offset, self.config.n)
+        return BankAddress(xbar, row, col)
+
+    def encode_address(self, address: BankAddress) -> int:
+        """Inverse of :meth:`decode_address`."""
+        check_index("crossbar", address.crossbar, len(self.crossbars))
+        check_index("row", address.row, self.config.n)
+        check_index("col", address.col, self.config.n)
+        return (address.crossbar * self.bits_per_crossbar
+                + address.row * self.config.n + address.col)
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+
+    def write_bit(self, bit_address: int, value: int) -> None:
+        """Write one bit through the flat address space (ECC maintained)."""
+        a = self.decode_address(bit_address)
+        self.crossbars[a.crossbar].mem.write_bit(a.row, a.col, value)
+
+    def read_bit(self, bit_address: int) -> int:
+        """Read one bit through the flat address space."""
+        a = self.decode_address(bit_address)
+        return self.crossbars[a.crossbar].mem.read_bit(a.row, a.col)
+
+    def write_block(self, bit_address: int, bits: Sequence[int]) -> None:
+        """Write a contiguous run of bits (may span crossbars)."""
+        for i, bit in enumerate(bits):
+            self.write_bit(bit_address + i, int(bit))
+
+    def read_block(self, bit_address: int, count: int) -> np.ndarray:
+        """Read a contiguous run of bits."""
+        return np.array([self.read_bit(bit_address + i)
+                         for i in range(count)], dtype=np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # System-level ECC operations
+    # ------------------------------------------------------------------ #
+
+    def periodic_check_all(self, correct: bool = True) -> Dict[int, SweepReport]:
+        """The bank-wide T-periodic sweep: every crossbar, every block."""
+        return {i: pim.periodic_check(correct)
+                for i, pim in enumerate(self.crossbars)}
+
+    def broadcast_execute(self, program: MagicProgram,
+                          rows: Sequence[int],
+                          inputs_per_crossbar: Sequence[Mapping[str, object]],
+                          ) -> List[Tuple[Dict, object]]:
+        """Run the same program in every crossbar (full mMPU throughput).
+
+        ``inputs_per_crossbar[i]`` supplies crossbar ``i``'s operands;
+        returns each crossbar's (outputs, schedule) pair. The schedule is
+        identical across crossbars — they run in lock-step — so total
+        bank latency equals a single crossbar's.
+        """
+        if len(inputs_per_crossbar) != len(self.crossbars):
+            raise ConfigurationError(
+                f"need inputs for {len(self.crossbars)} crossbars, got "
+                f"{len(inputs_per_crossbar)}")
+        return [pim.execute(program, rows, inputs)
+                for pim, inputs in zip(self.crossbars, inputs_per_crossbar)]
+
+    def aggregate_stats(self) -> dict:
+        """Bank-wide ECC activity counters."""
+        out = {
+            "crossbars": len(self.crossbars),
+            "blocks_checked": 0,
+            "data_corrections": 0,
+            "check_bit_corrections": 0,
+            "uncorrectable_blocks": 0,
+            "programs_executed": 0,
+        }
+        for pim in self.crossbars:
+            out["blocks_checked"] += pim.stats.blocks_checked
+            out["data_corrections"] += pim.stats.data_corrections
+            out["check_bit_corrections"] += pim.stats.check_bit_corrections
+            out["uncorrectable_blocks"] += pim.stats.uncorrectable_blocks
+            out["programs_executed"] += pim.stats.programs_executed
+        return out

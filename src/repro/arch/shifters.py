@@ -1,0 +1,124 @@
+"""Barrel-shifter model (paper Sec. IV-B, Fig. 5).
+
+Physical diagonal wiring is infeasible in a crossbar (memristors have two
+terminals), so the design routes MEM wordlines/bitlines to the CMEM
+through per-block barrel shifters that *emulate* the diagonal pattern of
+Fig. 2(c): within a block, the cell in row ``r`` and column ``c`` belongs
+to leading diagonal ``(r + c) mod m``, so presenting a whole row to the
+per-diagonal check-bit crossbars is a rotation by ``r mod m`` applied
+independently to each ``m``-wide group of lines.
+
+The shifter is combinational (transistor mux network, as in NNPIM /
+APIM): this model is functional and exposes the transistor count used by
+Table II (``4 n m``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_index, check_power_compatible
+
+
+@dataclass(frozen=True)
+class ShiftedRow:
+    """Diagonal-aligned view of one MEM row (or column).
+
+    ``lead[d, b]`` is the data bit of block-column ``b`` lying on leading
+    diagonal ``d``; ``ctr[d, b]`` likewise for counter diagonals. Shapes
+    are ``(m, n/m)`` — exactly the ``2m`` vectors of length ``n/m`` the
+    paper's shifters output.
+    """
+
+    lead: np.ndarray
+    ctr: np.ndarray
+    lane_index: int
+
+
+class BarrelShifter:
+    """Functional model of the MEM->CMEM diagonal-alignment shifters."""
+
+    def __init__(self, n: int, m: int):
+        check_power_compatible(n, m)
+        self.n = n
+        self.m = m
+        self.blocks = n // m
+
+    # ------------------------------------------------------------------ #
+    # Forward (MEM -> CMEM)
+    # ------------------------------------------------------------------ #
+
+    def align_row(self, row_bits: np.ndarray, row_index: int) -> ShiftedRow:
+        """Align a full row's bits to diagonal indices.
+
+        A cell in global row ``r`` and global column ``c`` lies (block-
+        locally) on leading diagonal ``(r + c) mod m`` and counter
+        diagonal ``(r - c) mod m``; the output gathers each block-column
+        segment accordingly.
+        """
+        bits = self._check_vector(row_bits)
+        check_index("row_index", row_index, self.n)
+        r = row_index % self.m
+        segments = bits.reshape(self.blocks, self.m)  # [block, local col]
+        d = np.arange(self.m)
+        lead_cols = (d - r) % self.m   # column on leading diagonal d
+        ctr_cols = (r - d) % self.m    # column on counter diagonal d
+        return ShiftedRow(lead=segments[:, lead_cols].T.copy(),
+                          ctr=segments[:, ctr_cols].T.copy(),
+                          lane_index=row_index)
+
+    def align_col(self, col_bits: np.ndarray, col_index: int) -> ShiftedRow:
+        """Align a full column's bits to diagonal indices (Fig. 1(b) ops).
+
+        For a fixed column ``c``, local row ``r`` lies on leading diagonal
+        ``(r + c) mod m`` — the same rotation structure with the roles of
+        ``r`` and ``c`` exchanged (and the counter rotation mirrored).
+        """
+        bits = self._check_vector(col_bits)
+        check_index("col_index", col_index, self.n)
+        c = col_index % self.m
+        segments = bits.reshape(self.blocks, self.m)  # [block, local row]
+        d = np.arange(self.m)
+        lead_rows = (d - c) % self.m
+        ctr_rows = (d + c) % self.m
+        return ShiftedRow(lead=segments[:, lead_rows].T.copy(),
+                          ctr=segments[:, ctr_rows].T.copy(),
+                          lane_index=col_index)
+
+    # ------------------------------------------------------------------ #
+    # Inverse (CMEM -> MEM), used on correction write-back
+    # ------------------------------------------------------------------ #
+
+    def restore_row(self, shifted: ShiftedRow) -> np.ndarray:
+        """Invert :meth:`align_row`, reconstructing the raw row bits."""
+        r = shifted.lane_index % self.m
+        d = np.arange(self.m)
+        lead_cols = (d - r) % self.m
+        segments = np.empty((self.blocks, self.m), dtype=np.uint8)
+        segments[:, lead_cols] = shifted.lead.T
+        return segments.reshape(self.n).copy()
+
+    # ------------------------------------------------------------------ #
+    # Hardware cost
+    # ------------------------------------------------------------------ #
+
+    @property
+    def transistor_count(self) -> int:
+        """Table II shifter row: ``4 n m`` transistors.
+
+        Two shifter banks (wordline-side and bitline-side), each an
+        ``m``-position transistor mux per line: ``2 * (n * m) * 2`` with
+        the complementary pass gates.
+        """
+        return 4 * self.n * self.m
+
+    def _check_vector(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.asarray(bits, dtype=np.uint8)
+        if arr.shape != (self.n,):
+            raise ConfigurationError(
+                f"shifter expects a vector of {self.n} bits, got {arr.shape}")
+        return arr

@@ -1,0 +1,21 @@
+"""EPFL-equivalent benchmark circuit generators (paper Table I workloads).
+
+The paper evaluates latency on the EPFL combinational benchmark suite
+(Amaru et al., IWLS 2015) synthesized through ABC + SIMPLER. The suite's
+netlist files are not redistributable here, so each benchmark is rebuilt
+*from scratch* as a parameterized generator with a matching Python golden
+model (see DESIGN.md, substitution #1). The circuits preserve the
+structural features that drive Table I — the ratio of primary inputs and
+outputs to total gates, and where output writes cluster in the schedule —
+even though absolute gate counts differ from the ABC-optimized originals.
+"""
+
+from repro.circuits.registry import (
+    BENCHMARKS,
+    BenchmarkSpec,
+    build,
+    build_all,
+    get_spec,
+)
+
+__all__ = ["BENCHMARKS", "BenchmarkSpec", "build", "build_all", "get_spec"]

@@ -1,0 +1,28 @@
+"""``adder``: ripple-carry adder (EPFL: 256 PI / 129 PO).
+
+Two 128-bit unsigned operands, one 129-bit sum — the same interface as the
+EPFL ``adder`` benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import ripple_adder
+from repro.logic.netlist import LogicNetwork
+
+
+def build_adder(width: int = 128) -> LogicNetwork:
+    """Build a ``width``-bit ripple-carry adder network."""
+    net = LogicNetwork(name=f"adder{width}")
+    a = net.input_bus("a", width)
+    b = net.input_bus("b", width)
+    sums, carry = ripple_adder(net, a, b)
+    net.output_bus("s", sums + [carry])
+    return net
+
+
+def golden_adder(assignment: dict, width: int = 128) -> dict:
+    """Golden model: integer addition, bit-compared against the netlist."""
+    a = sum(assignment[f"a[{i}]"] << i for i in range(width))
+    b = sum(assignment[f"b[{i}]"] << i for i in range(width))
+    s = a + b
+    return {f"s[{i}]": (s >> i) & 1 for i in range(width + 1)}

@@ -1,0 +1,58 @@
+"""``arbiter``: round-robin arbiter (EPFL: 256 PI / 129 PO class).
+
+256 request lines plus an 8-bit rotating-priority pointer produce 256
+one-hot grant lines plus an any-grant flag. The classic combinational
+round-robin structure: rotate the requests so the pointer position lands
+at index 0, resolve with a fixed priority chain, rotate the grant back.
+The two 8-stage barrel rotators dominate the gate count, giving this
+benchmark its large-circuit / proportionally-few-outputs profile
+(lowest-tier ECC overhead in Table I).
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import (
+    priority_chain,
+    rotate_left_stage,
+    rotate_right_stage,
+)
+from repro.logic.netlist import LogicNetwork
+
+
+def build_arbiter(width: int = 256) -> LogicNetwork:
+    """Build a ``width``-client round-robin arbiter."""
+    ptr_bits = (width - 1).bit_length()
+    if (1 << ptr_bits) != width:
+        raise ValueError(f"width {width} must be a power of two")
+    net = LogicNetwork(name=f"arbiter{width}")
+    req = net.input_bus("r", width)
+    ptr = net.input_bus("p", ptr_bits)
+
+    # Align: rotate right by ptr so that request[ptr] gets top priority.
+    bus = req
+    for stage in range(ptr_bits):
+        bus = rotate_right_stage(net, bus, 1 << stage, ptr[stage])
+    grants_local = priority_chain(net, bus)
+    # Restore original positions: rotate left by ptr.
+    bus = grants_local
+    for stage in range(ptr_bits):
+        bus = rotate_left_stage(net, bus, 1 << stage, ptr[stage])
+    net.output_bus("g", bus)
+    net.output("any", net.or_(*req))
+    return net
+
+
+def golden_arbiter(assignment: dict, width: int = 256) -> dict:
+    """Golden model: first active request at-or-after the pointer wins."""
+    ptr_bits = (width - 1).bit_length()
+    req = [assignment[f"r[{i}]"] for i in range(width)]
+    ptr = sum(assignment[f"p[{i}]"] << i for i in range(ptr_bits))
+    grant = [0] * width
+    for offset in range(width):
+        i = (ptr + offset) % width
+        if req[i]:
+            grant[i] = 1
+            break
+    out = {f"g[{i}]": grant[i] for i in range(width)}
+    out["any"] = int(any(req))
+    return out

@@ -1,0 +1,33 @@
+"""``bar``: barrel shifter (EPFL: 135 PI / 128 PO).
+
+128-bit data rotated left by a 7-bit amount through seven
+mux stages — the log-stage structure of the EPFL ``bar`` benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import rotate_left_stage
+from repro.logic.netlist import LogicNetwork
+
+
+def build_bar(width: int = 128, shift_bits: int = 7) -> LogicNetwork:
+    """Build a ``width``-bit left-rotate barrel shifter."""
+    if (1 << shift_bits) != width:
+        raise ValueError(f"width {width} must equal 2**shift_bits ({shift_bits})")
+    net = LogicNetwork(name=f"bar{width}")
+    data = net.input_bus("x", width)
+    shift = net.input_bus("sh", shift_bits)
+    bus = data
+    for stage in range(shift_bits):
+        bus = rotate_left_stage(net, bus, 1 << stage, shift[stage])
+    net.output_bus("y", bus)
+    return net
+
+
+def golden_bar(assignment: dict, width: int = 128, shift_bits: int = 7) -> dict:
+    """Golden model: integer rotate-left."""
+    x = sum(assignment[f"x[{i}]"] << i for i in range(width))
+    sh = sum(assignment[f"sh[{i}]"] << i for i in range(shift_bits))
+    mask = (1 << width) - 1
+    y = ((x << sh) | (x >> (width - sh))) & mask if sh else x
+    return {f"y[{i}]": (y >> i) & 1 for i in range(width)}

@@ -1,0 +1,81 @@
+"""``cavlc``: variable-length-coding lookup (EPFL: 10 PI / 11 PO).
+
+The EPFL ``cavlc`` benchmark is the H.264 CAVLC coefficient-token encoder
+— functionally, a dense two-level lookup from a 10-bit context/symbol pair
+to an 11-bit (length, codeword) pair. The exact H.264 table is immaterial
+to the latency study, so this generator builds a *deterministic* PLA with
+the same shape: a fixed pseudo-random product-term table (seeded, stable
+across runs) with shared AND-plane terms feeding 11 OR-plane outputs.
+The golden model evaluates the same term table directly. (DESIGN.md,
+substitution #1.)
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.logic.netlist import LogicNetwork
+
+_INPUTS = 10
+_OUTPUTS = 11
+_TERMS = 64
+_SEED = 0x0CA71C  # fixed: the table is part of the circuit's identity
+
+
+@lru_cache(maxsize=None)
+def _term_table() -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+    """Product terms: each is a tuple of (input_index, polarity) literals."""
+    rng = np.random.default_rng(_SEED)
+    terms: List[Tuple[Tuple[int, int], ...]] = []
+    seen = set()
+    while len(terms) < _TERMS:
+        width = int(rng.integers(3, 7))  # 3-6 literals per product term
+        idx = tuple(sorted(rng.choice(_INPUTS, size=width, replace=False).tolist()))
+        pol = tuple(int(p) for p in rng.integers(0, 2, size=width))
+        key = (idx, pol)
+        if key in seen:
+            continue
+        seen.add(key)
+        terms.append(tuple(zip(idx, pol)))
+    return tuple(terms)
+
+
+@lru_cache(maxsize=None)
+def _or_plane() -> Tuple[Tuple[int, ...], ...]:
+    """For each output, the indices of the product terms it ORs."""
+    rng = np.random.default_rng(_SEED + 1)
+    plane: List[Tuple[int, ...]] = []
+    for _ in range(_OUTPUTS):
+        count = int(rng.integers(6, 14))
+        plane.append(tuple(sorted(
+            rng.choice(_TERMS, size=count, replace=False).tolist())))
+    return tuple(plane)
+
+
+def build_cavlc() -> LogicNetwork:
+    """Build the PLA-style VLC lookup network."""
+    net = LogicNetwork(name="cavlc")
+    x = net.input_bus("x", _INPUTS)
+    term_nodes = []
+    for literals in _term_table():
+        lits = [x[i] if pol else net.not_(x[i]) for i, pol in literals]
+        term_nodes.append(net.and_(*lits))
+    for j, term_idx in enumerate(_or_plane()):
+        net.output(f"y[{j}]", net.or_(*[term_nodes[t] for t in term_idx]))
+    return net
+
+
+def golden_cavlc(assignment: dict) -> dict:
+    """Golden model: evaluate the shared term table in plain Python."""
+    bits = [assignment[f"x[{i}]"] for i in range(_INPUTS)]
+    term_vals = []
+    for literals in _term_table():
+        term_vals.append(int(all(
+            bits[i] == pol for i, pol in literals)))
+    out = {}
+    for j, term_idx in enumerate(_or_plane()):
+        out[f"y[{j}]"] = int(any(term_vals[t] for t in term_idx))
+    return out

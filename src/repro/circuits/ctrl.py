@@ -1,0 +1,116 @@
+"""``ctrl``: instruction-decode control unit (EPFL: 7 PI / 26 PO).
+
+A RISC-style single-cycle control decoder: a 7-bit opcode field (4-bit
+major class + 3-bit function modifier) produces 26 control lines. The
+instruction-set table below is the specification; the golden model
+evaluates the same table, the circuit implements it with a shared one-hot
+class decode — the natural structure of small control units like the EPFL
+``ctrl`` benchmark.
+
+Major classes (``op[6:3]``):
+
+====  ========  =====================================
+code  class     semantics driving the control lines
+====  ========  =====================================
+0     NOP       nothing asserted
+1     ALU_REG   reg-reg ALU; funct selects alu_op
+2     ALU_IMM   reg-imm ALU; funct selects alu_op
+3     LOAD      memory read into register
+4     STORE     memory write
+5     BRANCH    conditional branch; funct = condition
+6     JUMP      unconditional jump
+7     CALL      jump and link
+8     RET       return
+9     SYS       system call / trap
+10-15 ILLEGAL   trap, illegal-instruction flag
+====  ========  =====================================
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import onehot_encode
+from repro.logic.netlist import LogicNetwork
+
+#: Output line names, fixed order (26 lines).
+CTRL_OUTPUTS = (
+    "reg_write", "mem_read", "mem_write", "mem_to_reg", "alu_src_imm",
+    "branch", "jump", "link", "ret", "trap", "illegal",
+    "alu_op[0]", "alu_op[1]", "alu_op[2]",
+    "cond[0]", "cond[1]", "cond[2]",
+    "imm_sign_extend", "pc_to_reg", "flush_pipeline", "halt",
+    "rs1_read", "rs2_read", "use_funct", "wb_enable", "exception_enter",
+)
+
+
+def _decode_table(op_class: int, funct: int) -> dict:
+    """Reference decode: class + funct -> asserted control lines."""
+    out = {name: 0 for name in CTRL_OUTPUTS}
+    alu = 0
+    cond = 0
+    if op_class == 1:  # ALU_REG
+        out.update(reg_write=1, rs1_read=1, rs2_read=1, use_funct=1,
+                   wb_enable=1)
+        alu = funct
+    elif op_class == 2:  # ALU_IMM
+        out.update(reg_write=1, rs1_read=1, alu_src_imm=1, use_funct=1,
+                   wb_enable=1, imm_sign_extend=1)
+        alu = funct
+    elif op_class == 3:  # LOAD
+        out.update(reg_write=1, mem_read=1, mem_to_reg=1, rs1_read=1,
+                   alu_src_imm=1, wb_enable=1, imm_sign_extend=1)
+    elif op_class == 4:  # STORE
+        out.update(mem_write=1, rs1_read=1, rs2_read=1, alu_src_imm=1,
+                   imm_sign_extend=1)
+    elif op_class == 5:  # BRANCH
+        out.update(branch=1, rs1_read=1, rs2_read=1, imm_sign_extend=1)
+        cond = funct
+    elif op_class == 6:  # JUMP
+        out.update(jump=1, flush_pipeline=1)
+    elif op_class == 7:  # CALL
+        out.update(jump=1, link=1, reg_write=1, pc_to_reg=1, wb_enable=1,
+                   flush_pipeline=1)
+    elif op_class == 8:  # RET
+        out.update(ret=1, jump=1, rs1_read=1, flush_pipeline=1)
+    elif op_class == 9:  # SYS
+        out.update(trap=1, exception_enter=1, flush_pipeline=1,
+                   halt=int(funct == 7))
+    elif op_class >= 10:  # ILLEGAL
+        out.update(illegal=1, trap=1, exception_enter=1, flush_pipeline=1)
+    out["alu_op[0]"], out["alu_op[1]"], out["alu_op[2]"] = (
+        alu & 1, (alu >> 1) & 1, (alu >> 2) & 1)
+    out["cond[0]"], out["cond[1]"], out["cond[2]"] = (
+        cond & 1, (cond >> 1) & 1, (cond >> 2) & 1)
+    return out
+
+
+def build_ctrl() -> LogicNetwork:
+    """Build the control decoder from the reference table."""
+    net = LogicNetwork(name="ctrl")
+    op = net.input_bus("op", 7)
+    funct = op[:3]
+    major = op[3:]
+    classes = onehot_encode(net, major)  # 16 one-hot class lines
+
+    # funct-dependent lines get their natural two-level structure; the
+    # funct-independent ones OR together the class lines asserting them.
+    is_alu = net.or_(classes[1], classes[2])
+    dependent = {}
+    for j in range(3):
+        dependent[f"alu_op[{j}]"] = net.and_(is_alu, funct[j])
+        dependent[f"cond[{j}]"] = net.and_(classes[5], funct[j])
+    dependent["halt"] = net.and_(classes[9], funct[0], funct[1], funct[2])
+
+    for name in CTRL_OUTPUTS:
+        if name in dependent:
+            net.output(name, dependent[name])
+            continue
+        terms = [classes[op_class] for op_class in range(16)
+                 if _decode_table(op_class, 0)[name]]
+        net.output(name, net.or_(*terms) if terms else net.const0())
+    return net
+
+
+def golden_ctrl(assignment: dict) -> dict:
+    """Golden model: the reference decode table."""
+    op = sum(assignment[f"op[{i}]"] << i for i in range(7))
+    return _decode_table(op >> 3, op & 7)

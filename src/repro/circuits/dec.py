@@ -1,0 +1,26 @@
+"""``dec``: one-hot decoder (EPFL: 8 PI / 256 PO).
+
+An 8-bit input fully decoded to 256 one-hot lines through shared
+half-decoders — small logic, output-dense, which is exactly why the paper
+reports its largest ECC overhead (205.8%) on this benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import onehot_encode
+from repro.logic.netlist import LogicNetwork
+
+
+def build_dec(bits: int = 8) -> LogicNetwork:
+    """Build a ``bits`` -> ``2**bits`` one-hot decoder."""
+    net = LogicNetwork(name=f"dec{bits}")
+    x = net.input_bus("x", bits)
+    lines = onehot_encode(net, x)
+    net.output_bus("d", lines)
+    return net
+
+
+def golden_dec(assignment: dict, bits: int = 8) -> dict:
+    """Golden model: d[k] == 1 iff x == k."""
+    x = sum(assignment[f"x[{i}]"] << i for i in range(bits))
+    return {f"d[{k}]": int(k == x) for k in range(1 << bits)}

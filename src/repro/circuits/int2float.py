@@ -1,0 +1,81 @@
+"""``int2float``: integer to mini-float converter (EPFL: 11 PI / 7 PO).
+
+An 11-bit two's-complement integer is converted to a 7-bit floating-point
+value: 1 sign bit, 3 exponent bits, 3 mantissa bits. The exact fixed spec
+(mirrored by the golden model):
+
+* ``mag`` = absolute value of the input (11 bits; note ``-1024`` has
+  magnitude ``1024`` which sets bit 10);
+* ``p`` = position of the leading one of ``mag``;
+* ``mag == 0``   -> exponent 0, mantissa 0;
+* ``p <= 2``     -> exponent 0, mantissa ``mag`` (denormal);
+* ``3 <= p <= 9``-> exponent ``p - 2``, mantissa ``(mag >> (p - 2)) & 7``;
+* ``p == 10``    -> saturate: exponent 7, mantissa 7.
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import increment, not_bus, priority_chain
+from repro.logic.netlist import LogicNetwork
+
+_WIDTH = 11
+_EXP_BITS = 3
+_MAN_BITS = 3
+
+
+def _spec(value_bits: list[int]) -> tuple[int, int, int]:
+    """Reference semantics shared by golden model and docstring."""
+    raw = sum(b << i for i, b in enumerate(value_bits))
+    sign = (raw >> (_WIDTH - 1)) & 1
+    mag = ((~raw + 1) & ((1 << _WIDTH) - 1)) if sign else raw
+    if mag == 0:
+        return sign, 0, 0
+    p = mag.bit_length() - 1
+    if p <= 2:
+        return sign, 0, mag & 7
+    if p == _WIDTH - 1:
+        return sign, 7, 7
+    return sign, p - 2, (mag >> (p - 2)) & 7
+
+
+def build_int2float() -> LogicNetwork:
+    """Build the 11-bit int -> 7-bit mini-float converter."""
+    net = LogicNetwork(name="int2float")
+    x = net.input_bus("x", _WIDTH)
+    sign = x[_WIDTH - 1]
+
+    neg, _carry = increment(net, not_bus(net, x))
+    mag = [net.mux(sign, n, p) for n, p in zip(neg, x)]
+
+    # One-hot leading-one position: priority chain over MSB-first bits.
+    hot_desc = priority_chain(net, list(reversed(mag)))
+    hot = list(reversed(hot_desc))  # hot[p] == 1 iff leading one at p
+
+    # Exponent: constant per position (0 for p<=2, p-2 for 3..9, 7 for 10).
+    exp_of_p = [0, 0, 0] + [min(p - 2, 7) for p in range(3, _WIDTH - 1)] + [7]
+    for j in range(_EXP_BITS):
+        terms = [hot[p] for p in range(_WIDTH) if (exp_of_p[p] >> j) & 1]
+        net.output(f"e[{j}]", net.or_(*terms))
+
+    # Mantissa: select (mag >> max(0, p-2)) & 7 per position; saturated 7
+    # for p == 10 is simply hot[10] on every mantissa bit.
+    for j in range(_MAN_BITS):
+        terms = []
+        for p in range(_WIDTH - 1):
+            shift = max(0, p - 2)
+            if shift + j < _WIDTH and shift + j <= p:
+                terms.append(net.and_(hot[p], mag[shift + j]))
+        terms.append(hot[_WIDTH - 1])
+        net.output(f"f[{j}]", net.or_(*terms))
+    net.output("sgn", sign)
+    return net
+
+
+def golden_int2float(assignment: dict) -> dict:
+    """Golden model implementing the documented spec."""
+    bits = [assignment[f"x[{i}]"] for i in range(_WIDTH)]
+    sign, e, f = _spec(bits)
+    out = {f"e[{j}]": (e >> j) & 1 for j in range(_EXP_BITS)}
+    out.update({f"f[{j}]": (f >> j) & 1 for j in range(_MAN_BITS)})
+    out["sgn"] = sign
+    return out

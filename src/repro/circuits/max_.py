@@ -1,0 +1,53 @@
+"""``max``: maximum of four 128-bit words (EPFL: 512 PI / 130 PO).
+
+A two-level comparator/mux tree returning the maximum value and the 2-bit
+index of the winning operand (value 128 bits + index 2 bits = 130 PO,
+matching the EPFL interface).
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import greater_equal, mux_bus
+from repro.logic.netlist import LogicNetwork
+
+
+def build_max(width: int = 128, operands: int = 4) -> LogicNetwork:
+    """Build max-of-``operands`` with ``width``-bit unsigned words."""
+    if operands != 4:
+        raise ValueError("the EPFL-equivalent max is defined for 4 operands")
+    net = LogicNetwork(name=f"max{operands}x{width}")
+    buses = [net.input_bus(name, width) for name in ("a", "b", "c", "d")]
+
+    ge_ab = greater_equal(net, buses[0], buses[1])   # a >= b
+    m01 = mux_bus(net, ge_ab, buses[0], buses[1])
+    ge_cd = greater_equal(net, buses[2], buses[3])   # c >= d
+    m23 = mux_bus(net, ge_cd, buses[2], buses[3])
+    ge_final = greater_equal(net, m01, m23)          # max(a,b) >= max(c,d)
+    winner = mux_bus(net, ge_final, m01, m23)
+
+    # Index of the winner: bit1 = came from the (c, d) pair; bit0 = the
+    # loser of the winning pair's comparison.
+    idx1 = net.not_(ge_final)
+    idx0 = net.mux(ge_final, net.not_(ge_ab), net.not_(ge_cd))
+    net.output_bus("m", winner)
+    net.output("idx[0]", idx0)
+    net.output("idx[1]", idx1)
+    return net
+
+
+def golden_max(assignment: dict, width: int = 128) -> dict:
+    """Golden model mirroring the tree's >= tie-breaking.
+
+    Ties resolve toward the earlier operand at each tree level, matching
+    the ``>=`` comparators in :func:`build_max`.
+    """
+    vals = []
+    for name in ("a", "b", "c", "d"):
+        vals.append(sum(assignment[f"{name}[{i}]"] << i for i in range(width)))
+    w01, i01 = (vals[0], 0) if vals[0] >= vals[1] else (vals[1], 1)
+    w23, i23 = (vals[2], 2) if vals[2] >= vals[3] else (vals[3], 3)
+    winner, idx = (w01, i01) if w01 >= w23 else (w23, i23)
+    out = {f"m[{i}]": (winner >> i) & 1 for i in range(width)}
+    out["idx[0]"] = idx & 1
+    out["idx[1]"] = (idx >> 1) & 1
+    return out

@@ -1,0 +1,40 @@
+"""``priority``: priority encoder (EPFL: 128 PI / 8 PO).
+
+128 request lines encoded to the 7-bit index of the highest-priority
+active line plus a valid flag. Index 0 is the highest priority.
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import priority_chain
+from repro.logic.netlist import LogicNetwork
+
+
+def build_priority(width: int = 128) -> LogicNetwork:
+    """Build a ``width``-line priority encoder."""
+    index_bits = (width - 1).bit_length()
+    net = LogicNetwork(name=f"priority{width}")
+    req = net.input_bus("r", width)
+    grants = priority_chain(net, req)
+    # Encode the one-hot grant vector: bit j of the index ORs together all
+    # grant lines whose position has bit j set.
+    for j in range(index_bits):
+        terms = [grants[i] for i in range(width) if (i >> j) & 1]
+        net.output(f"idx[{j}]", net.or_(*terms))
+    net.output("valid", net.or_(*req))
+    return net
+
+
+def golden_priority(assignment: dict, width: int = 128) -> dict:
+    """Golden model: index of the lowest-numbered set request line."""
+    index_bits = (width - 1).bit_length()
+    idx = 0
+    valid = 0
+    for i in range(width):
+        if assignment[f"r[{i}]"]:
+            idx = i
+            valid = 1
+            break
+    out = {f"idx[{j}]": (idx >> j) & 1 for j in range(index_bits)}
+    out["valid"] = valid
+    return out

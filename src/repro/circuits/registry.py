@@ -1,0 +1,109 @@
+"""Benchmark registry: builders, golden models, and paper reference data.
+
+``BENCHMARKS`` maps each Table I benchmark name to a
+:class:`BenchmarkSpec` bundling the circuit generator, its golden model,
+and the paper's published numbers (baseline cycles, proposed cycles,
+overhead %, minimum processing-crossbar count) so the latency harness can
+print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.circuits.adder import build_adder, golden_adder
+from repro.circuits.arbiter import build_arbiter, golden_arbiter
+from repro.circuits.bar import build_bar, golden_bar
+from repro.circuits.cavlc import build_cavlc, golden_cavlc
+from repro.circuits.ctrl import build_ctrl, golden_ctrl
+from repro.circuits.dec import build_dec, golden_dec
+from repro.circuits.int2float import build_int2float, golden_int2float
+from repro.circuits.max_ import build_max, golden_max
+from repro.circuits.priority import build_priority, golden_priority
+from repro.circuits.sin import build_sin, golden_sin
+from repro.circuits.voter import build_voter, golden_voter
+from repro.logic.netlist import LogicNetwork
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One Table I benchmark: generator + golden + paper reference row."""
+
+    name: str
+    builder: Callable[[], LogicNetwork]
+    golden: Callable[[dict], dict]
+    description: str
+    paper_baseline: int
+    paper_proposed: int
+    paper_overhead_pct: float
+    paper_pc_count: int
+
+    def build(self) -> LogicNetwork:
+        """Instantiate the circuit."""
+        return self.builder()
+
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec for spec in (
+        BenchmarkSpec(
+            "adder", build_adder, golden_adder,
+            "128-bit ripple-carry adder", 1531, 2050, 34.0, 3),
+        BenchmarkSpec(
+            "arbiter", build_arbiter, golden_arbiter,
+            "256-client round-robin arbiter (rotate/priority/rotate)",
+            12798, 13316, 4.05, 2),
+        BenchmarkSpec(
+            "bar", build_bar, golden_bar,
+            "128-bit barrel rotator, 7 stages", 4051, 4510, 11.3, 4),
+        BenchmarkSpec(
+            "cavlc", build_cavlc, golden_cavlc,
+            "VLC coefficient-token lookup PLA (10 -> 11)", 841, 879, 4.5, 3),
+        BenchmarkSpec(
+            "ctrl", build_ctrl, golden_ctrl,
+            "RISC-style control decoder (7 -> 26)", 134, 201, 50.0, 5),
+        BenchmarkSpec(
+            "dec", build_dec, golden_dec,
+            "8 -> 256 one-hot decoder", 360, 1101, 205.8, 8),
+        BenchmarkSpec(
+            "int2float", build_int2float, golden_int2float,
+            "11-bit int to 7-bit mini-float", 295, 324, 9.83, 3),
+        BenchmarkSpec(
+            "max", build_max, golden_max,
+            "max of four 128-bit words + index", 4200, 5101, 21.5, 4),
+        BenchmarkSpec(
+            "priority", build_priority, golden_priority,
+            "128-line priority encoder", 730, 876, 20.0, 3),
+        BenchmarkSpec(
+            "sin", build_sin, golden_sin,
+            "fixed-point sine (array multiplier core)", 7919, 7995, 0.96, 3),
+        BenchmarkSpec(
+            "voter", build_voter, golden_voter,
+            "1001-input majority voter (popcount tree)", 12738, 13733,
+            7.81, 2),
+    )
+}
+
+#: Paper Table I geometric means over all 11 benchmarks.
+PAPER_GEOMEAN_OVERHEAD_PCT = 26.23
+PAPER_GEOMEAN_PC_COUNT = 3.36
+
+
+def get_spec(name: str) -> BenchmarkSpec:
+    """Look up a benchmark by name; raises KeyError with suggestions."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def build(name: str) -> LogicNetwork:
+    """Build one benchmark circuit by name."""
+    return get_spec(name).build()
+
+
+def build_all(names: Optional[List[str]] = None) -> Dict[str, LogicNetwork]:
+    """Build all (or the named subset of) benchmark circuits."""
+    selected = sorted(BENCHMARKS) if names is None else names
+    return {name: build(name) for name in selected}

@@ -1,0 +1,53 @@
+"""``sin``: fixed-point sine approximation (EPFL: 24 PI / 25 PO).
+
+The EPFL ``sin`` benchmark computes a 24-bit fixed-point sine; its defining
+structural property for Table I is *multiplier-dominated arithmetic with
+very few outputs relative to its size* (lowest overhead, 0.96%). This
+generator reproduces that profile with the classic parabola approximation
+over a half period::
+
+    z in [0, 1) as Q0.24      (input x = z * 2^24, 24 bits)
+    sin(pi * z) ~= 4 z (1 - z)
+    y = (x * (2^24 - x)) >> 22,  25 output bits
+
+computed by gate-level two's-complement subtraction and a full 24x25
+array multiplier. The interface (24 inputs, 25 outputs) matches the EPFL
+benchmark exactly; the golden model mirrors the integer arithmetic
+bit-for-bit. (DESIGN.md, substitution #1: a polynomial kernel instead of
+the EPFL netlist's table-driven core.)
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import array_multiplier, increment, not_bus
+from repro.logic.netlist import LogicNetwork
+
+_WIDTH = 24
+_SHIFT = 22
+_OUT_BITS = 25
+
+
+def build_sin(width: int = _WIDTH) -> LogicNetwork:
+    """Build the fixed-point sine network."""
+    net = LogicNetwork(name=f"sin{width}")
+    x = net.input_bus("x", width)
+
+    # t = 2^width - x as a (width+1)-bit value: the two's complement of x
+    # zero-extended by one bit; the increment's carry-out is 1 exactly
+    # when x == 0, supplying the top bit (t == 2^width).
+    inv = not_bus(net, x)
+    neg, carry = increment(net, inv)     # neg = (~x + 1) mod 2^width
+    t = neg + [carry]
+
+    product = array_multiplier(net, x, t)  # 2*width + 1 bits
+    shift = 2 * width - 26                 # generalizes y >> 22 at width 24
+    y = product[shift:shift + _OUT_BITS]
+    net.output_bus("y", y)
+    return net
+
+
+def golden_sin(assignment: dict, width: int = _WIDTH) -> dict:
+    """Golden model: y = (x * (2^width - x)) >> (2*width - 26), 25 bits."""
+    x = sum(assignment[f"x[{i}]"] << i for i in range(width))
+    y = (x * ((1 << width) - x)) >> (2 * width - 26)
+    return {f"y[{i}]": (y >> i) & 1 for i in range(_OUT_BITS)}

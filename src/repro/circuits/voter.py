@@ -1,0 +1,30 @@
+"""``voter``: majority-of-1001 (EPFL: 1001 PI / 1 PO).
+
+The single output is 1 iff at least 501 of the 1001 input bits are 1,
+computed by a full-adder population-count tree followed by a
+constant-threshold comparator — the textbook majority structure. It is
+the largest benchmark with a single output, so nearly all of its ECC cost
+comes from input checking, mirroring the paper's profile for ``voter``.
+"""
+
+from __future__ import annotations
+
+from repro.logic.library import greater_equal_const, popcount
+from repro.logic.netlist import LogicNetwork
+
+
+def build_voter(width: int = 1001) -> LogicNetwork:
+    """Build a ``width``-input majority voter (width must be odd)."""
+    if width % 2 == 0:
+        raise ValueError(f"majority needs an odd input count, got {width}")
+    net = LogicNetwork(name=f"voter{width}")
+    votes = net.input_bus("v", width)
+    count = popcount(net, votes)
+    net.output("maj", greater_equal_const(net, count, width // 2 + 1))
+    return net
+
+
+def golden_voter(assignment: dict, width: int = 1001) -> dict:
+    """Golden model: plain popcount majority."""
+    total = sum(assignment[f"v[{i}]"] for i in range(width))
+    return {"maj": int(total >= width // 2 + 1)}

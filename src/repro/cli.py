@@ -1,0 +1,135 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+::
+
+    python -m repro table1 [--benchmarks dec ctrl ...]
+    python -m repro table2 [--n 1020 --m 15 --k 3]
+    python -m repro fig6   [--ser 1e-3]
+    python -m repro ablations
+    python -m repro info
+
+Everything prints to stdout; exit code 0 on success.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_table1(args) -> int:
+    from repro.analysis.latency import run_table1
+    names = args.benchmarks or None
+    result = run_table1(names=names, verify=args.verify)
+    print(result["rendering"])
+    print(f"\nmeasured geomean overhead: "
+          f"{result['geomean_overhead_pct']:.2f}% "
+          f"(paper: {result['paper_geomean_overhead_pct']}%)")
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.analysis.area_report import run_table2
+    from repro.arch.config import ArchConfig
+    config = ArchConfig(n=args.n, m=args.m, pc_count=args.k)
+    result = run_table2(config)
+    print(result["rendering"])
+    print(f"\nstorage overhead: {result['storage_overhead_pct']:.1f}% "
+          "over the raw data array")
+    return 0
+
+
+def _cmd_fig6(args) -> int:
+    from repro.analysis.figures import fig6_series, render_loglog
+    result = fig6_series()
+    print(render_loglog(result["points"]))
+    print(f"\nimprovement at SER={args.ser} FIT/bit: ", end="")
+    from repro.reliability.model import ReliabilityModel
+    print(f"{ReliabilityModel().improvement_factor(args.ser):.4g}")
+    return 0
+
+
+def _cmd_ablations(args) -> int:
+    from repro.analysis.ablations import (
+        block_size_tradeoff,
+        check_period_tradeoff,
+        horizontal_parity_strawman,
+    )
+    from repro.analysis.report import format_table
+    print("block-size trade-off (SER 1e-3 FIT/bit):")
+    rows = block_size_tradeoff()
+    print(format_table(
+        ["m", "storage ovh %", "MTTF (h)"],
+        [[r["m"], round(r["check_overhead_pct"], 2),
+          f"{r['mttf_hours']:.3g}"] for r in rows]))
+    print("\ncheck-period trade-off:")
+    rows = check_period_tradeoff()
+    print(format_table(
+        ["T (h)", "MTTF (h)"],
+        [[r["period_hours"], f"{r['mttf_hours']:.3g}"] for r in rows]))
+    print("\nhorizontal-parity strawman (Fig. 2a):")
+    result = horizontal_parity_strawman()
+    print(format_table(
+        ["operation", "horizontal ops", "diagonal ops"],
+        [["row-parallel", result["row_parallel_op"]["horizontal_update_ops"],
+          result["row_parallel_op"]["diagonal_update_ops"]],
+         ["column-parallel",
+          result["column_parallel_op"]["horizontal_update_ops"],
+          result["column_parallel_op"]["diagonal_update_ops"]]]))
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import repro
+    from repro.circuits.registry import BENCHMARKS
+    print(f"repro {repro.__version__} — diagonal-parity ECC for "
+          "memristive PIM (DAC 2021 reproduction)")
+    print(f"benchmarks: {', '.join(sorted(BENCHMARKS))}")
+    print("artifacts: table1 (latency), table2 (area), fig6 (MTTF), "
+          "ablations")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p1 = sub.add_parser("table1", help="regenerate Table I (latency)")
+    p1.add_argument("--benchmarks", nargs="*", default=None,
+                    help="subset of benchmark names (default: all 11)")
+    p1.add_argument("--verify", action="store_true",
+                    help="re-verify each circuit against its golden model")
+    p1.set_defaults(func=_cmd_table1)
+
+    p2 = sub.add_parser("table2", help="regenerate Table II (area)")
+    p2.add_argument("--n", type=int, default=1020)
+    p2.add_argument("--m", type=int, default=15)
+    p2.add_argument("--k", type=int, default=3)
+    p2.set_defaults(func=_cmd_table2)
+
+    p3 = sub.add_parser("fig6", help="regenerate Figure 6 (MTTF)")
+    p3.add_argument("--ser", type=float, default=1e-3,
+                    help="SER [FIT/bit] for the headline comparison")
+    p3.set_defaults(func=_cmd_fig6)
+
+    p4 = sub.add_parser("ablations", help="run the ablation sweeps")
+    p4.set_defaults(func=_cmd_ablations)
+
+    p5 = sub.add_parser("info", help="library and benchmark info")
+    p5.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,133 @@
+"""Alternative per-block codes, for comparison with the diagonal scheme.
+
+The paper cites multidimensional codes (Shea & Wong) as the framework:
+any two independent "dimensions" of parity give single-error correction
+per block. The *natural* 2D instance is the row+column product code
+(:class:`RowColParityCode`): m row parities + m column parities, error
+at ``(r, c)`` signed by row ``r`` and column ``c``. It corrects exactly
+the same single errors as the diagonal code — so why diagonals?
+
+**Update cost under MAGIC parallelism.** A row-parallel MAGIC operation
+writes one cell in every row — i.e. a *column* of the array. Per block:
+
+* diagonal code: the m written cells lie on m *distinct* leading and m
+  distinct counter diagonals — every affected check-bit sees exactly one
+  changed data bit: one XOR3 each, Theta(1) issue.
+* row+column code: the m written cells hit m distinct *row* parities
+  (fine) but all belong to the *same column parity*, which must absorb
+  the XOR of all m deltas — a Theta(m) reduction (ceil(m/2) XOR3-tree
+  levels) per block per operation. Column-parallel operations mirror the
+  problem onto row parities.
+* horizontal word parity (paper Fig. 2(a)): Theta(n) for one of the two
+  orientations.
+
+So the gradient is Theta(n) -> Theta(m) -> Theta(1), and only the
+diagonal placement achieves constant-time updates for *both* MAGIC
+orientations. :func:`update_cost` quantifies this for the ablation
+bench. A further difference: the product code needs no odd-m constraint
+(row/column indices are directly the coordinates), which this module's
+tests document.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.core.code import (
+    CheckBitError,
+    DataError,
+    DecodeOutcome,
+    NoError,
+    Uncorrectable,
+)
+
+
+class RowColParityCode:
+    """Per-block row+column product parity (the natural 2D code)."""
+
+    def __init__(self, grid: BlockGrid):
+        self.grid = grid
+
+    # ------------------------------------------------------------------ #
+    # Encoding / decoding
+    # ------------------------------------------------------------------ #
+
+    def encode_block(self, block: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(row_parities[m], col_parities[m])`` of an m x m block."""
+        m = self.grid.m
+        block = np.asarray(block, dtype=np.uint8)
+        if block.shape != (m, m):
+            raise ValueError(f"expected {m}x{m} block, got {block.shape}")
+        return (np.bitwise_xor.reduce(block, axis=1),
+                np.bitwise_xor.reduce(block, axis=0))
+
+    def syndrome_block(self, block: np.ndarray, row_bits: np.ndarray,
+                       col_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Stored check-bits XOR freshly computed parity."""
+        rows, cols = self.encode_block(block)
+        return (rows ^ np.asarray(row_bits, dtype=np.uint8),
+                cols ^ np.asarray(col_bits, dtype=np.uint8))
+
+    def decode(self, row_syndrome: np.ndarray,
+               col_syndrome: np.ndarray) -> DecodeOutcome:
+        """Classify a syndrome pair; same outcome taxonomy as the
+        diagonal code (the planes are rows/columns instead)."""
+        row_ones = np.flatnonzero(np.asarray(row_syndrome, dtype=np.uint8))
+        col_ones = np.flatnonzero(np.asarray(col_syndrome, dtype=np.uint8))
+        if row_ones.size == 0 and col_ones.size == 0:
+            return NoError()
+        if row_ones.size == 1 and col_ones.size == 1:
+            return DataError(int(row_ones[0]), int(col_ones[0]))
+        if row_ones.size == 1 and col_ones.size == 0:
+            return CheckBitError("row", int(row_ones[0]))
+        if col_ones.size == 1 and row_ones.size == 0:
+            return CheckBitError("col", int(col_ones[0]))
+        return Uncorrectable(tuple(int(x) for x in row_syndrome),
+                             tuple(int(x) for x in col_syndrome))
+
+    def decode_block(self, block: np.ndarray, row_bits: np.ndarray,
+                     col_bits: np.ndarray) -> DecodeOutcome:
+        """Syndrome + decode in one call."""
+        return self.decode(*self.syndrome_block(block, row_bits, col_bits))
+
+
+@dataclass(frozen=True)
+class UpdateCost:
+    """Per-block check-bit maintenance cost of one parallel MAGIC op."""
+
+    scheme: str
+    row_parallel_xor_ops: int   # op writes a column of the array
+    col_parallel_xor_ops: int   # op writes a row of the array
+
+    @property
+    def worst_case(self) -> int:
+        return max(self.row_parallel_xor_ops, self.col_parallel_xor_ops)
+
+
+def update_cost(scheme: str, n: int, m: int) -> UpdateCost:
+    """XOR3-issue count per block to absorb one parallel MAGIC op.
+
+    ``scheme`` is ``"diagonal"``, ``"rowcol"``, or ``"horizontal"``.
+    Counts are *sequential XOR3 issues* needed per affected block (the
+    reduction depth drives CMEM busy time): one issue covers all
+    check-bits that each see a single delta; a parity absorbing ``k``
+    deltas needs a ``ceil(k/2)``-gate XOR3 reduction.
+    """
+    if scheme == "diagonal":
+        # Every check-bit of both planes sees at most one delta.
+        return UpdateCost("diagonal", 1, 1)
+    if scheme == "rowcol":
+        # One plane is fine; the other absorbs m deltas into one parity.
+        reduction = math.ceil(m / 2)
+        return UpdateCost("rowcol", reduction, reduction)
+    if scheme == "horizontal":
+        # Word parity: row-parallel ops touch one word-bit per word
+        # (Theta(1)), column-parallel ops change one bit in each of the
+        # n rows' words, each needing its own update (paper Fig. 2(a)).
+        return UpdateCost("horizontal", 1, n)
+    raise ValueError(f"unknown scheme {scheme!r}")

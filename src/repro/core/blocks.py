@@ -1,0 +1,132 @@
+"""Block-grid geometry for the diagonal ECC.
+
+The ``n x n`` MEM is divided into an imaginary grid of ``(n/m) x (n/m)``
+blocks of ``m x m`` cells each. This module is pure geometry: translating
+between global crossbar coordinates, block coordinates, and block-local
+coordinates, plus enumeration helpers used by the checker and the
+architecture model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.validation import (
+    check_index,
+    check_odd,
+    check_power_compatible,
+)
+
+
+@dataclass(frozen=True)
+class BlockGrid:
+    """Geometry of the ``m x m`` block partition of an ``n x n`` crossbar.
+
+    Parameters
+    ----------
+    n:
+        Crossbar dimension (paper: 1020).
+    m:
+        Block dimension; must be odd and divide ``n`` (paper: 15).
+    """
+
+    n: int
+    m: int
+
+    def __post_init__(self):
+        check_power_compatible(self.n, self.m)
+        check_odd("m", self.m)
+
+    @property
+    def blocks_per_side(self) -> int:
+        """Number of blocks along one side of the crossbar (n/m)."""
+        return self.n // self.m
+
+    @property
+    def block_count(self) -> int:
+        """Total number of blocks in the grid."""
+        return self.blocks_per_side ** 2
+
+    @property
+    def cells_per_block(self) -> int:
+        """Data cells in one block (m^2)."""
+        return self.m * self.m
+
+    @property
+    def check_bits_per_block(self) -> int:
+        """Check-bits per block: one per leading + counter diagonal (2m)."""
+        return 2 * self.m
+
+    # ------------------------------------------------------------------ #
+    # Coordinate translation
+    # ------------------------------------------------------------------ #
+
+    def block_of(self, row: int, col: int) -> Tuple[int, int]:
+        """Block coordinates ``(block_row, block_col)`` containing a cell."""
+        check_index("row", row, self.n)
+        check_index("col", col, self.n)
+        return row // self.m, col // self.m
+
+    def local_of(self, row: int, col: int) -> Tuple[int, int]:
+        """Block-local coordinates of a global cell."""
+        check_index("row", row, self.n)
+        check_index("col", col, self.n)
+        return row % self.m, col % self.m
+
+    def global_of(self, block_row: int, block_col: int,
+                  local_row: int, local_col: int) -> Tuple[int, int]:
+        """Global coordinates from block + block-local coordinates."""
+        check_index("block_row", block_row, self.blocks_per_side)
+        check_index("block_col", block_col, self.blocks_per_side)
+        check_index("local_row", local_row, self.m)
+        check_index("local_col", local_col, self.m)
+        return (block_row * self.m + local_row,
+                block_col * self.m + local_col)
+
+    def block_bounds(self, block_row: int, block_col: int) -> Tuple[int, int, int, int]:
+        """``(row0, col0, row1, col1)`` half-open bounds of a block."""
+        check_index("block_row", block_row, self.blocks_per_side)
+        check_index("block_col", block_col, self.blocks_per_side)
+        r0 = block_row * self.m
+        c0 = block_col * self.m
+        return r0, c0, r0 + self.m, c0 + self.m
+
+    def block_slice(self, block_row: int, block_col: int) -> Tuple[slice, slice]:
+        """Numpy slices selecting a block from an ``n x n`` array."""
+        r0, c0, r1, c1 = self.block_bounds(block_row, block_col)
+        return slice(r0, r1), slice(c0, c1)
+
+    # ------------------------------------------------------------------ #
+    # Enumeration
+    # ------------------------------------------------------------------ #
+
+    def iter_blocks(self) -> Iterator[Tuple[int, int]]:
+        """All block coordinates in row-major order."""
+        for br in range(self.blocks_per_side):
+            for bc in range(self.blocks_per_side):
+                yield br, bc
+
+    def blocks_covering_cols(self, cols: range | list[int]) -> list[int]:
+        """Sorted block-column indices covering the given global columns.
+
+        Used by the input-checking model: SIMPLER places function inputs in
+        consecutive columns of a single row, and the ECC check must verify
+        every block(-column) containing at least one input bit.
+        """
+        return sorted({c // self.m for c in cols})
+
+    def blocks_covering_rows(self, rows: range | list[int]) -> list[int]:
+        """Sorted block-row indices covering the given global rows."""
+        return sorted({r // self.m for r in rows})
+
+    def block_row_of(self, row: int) -> int:
+        """Block-row index containing a global row."""
+        check_index("row", row, self.n)
+        return row // self.m
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"BlockGrid(n={self.n}, m={self.m}, "
+                f"{self.blocks_per_side}x{self.blocks_per_side} blocks)")

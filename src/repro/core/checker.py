@@ -1,0 +1,161 @@
+"""ECC checking and correction flows (paper Sec. III / IV).
+
+Two check triggers exist in the proposed design:
+
+* **specific checks** on the blocks holding a function's inputs, performed
+  before the function executes;
+* **periodic full-memory checks** (every ``T = 24 h`` in the paper's
+  analysis) to cover rarely-accessed data.
+
+The checker operates on the behavioral state (crossbar contents + check
+store); :mod:`repro.arch` charges the corresponding cycles. Corrections are
+written back with observers suspended — the check-bits of a block with a
+single *data* error are already the parity of the corrected content, and a
+faulty *check-bit* is simply rewritten in the store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+from repro.core.code import (
+    CheckBitError,
+    DataError,
+    DecodeOutcome,
+    DecodeStatus,
+    DiagonalParityCode,
+    NoError,
+    Uncorrectable,
+)
+from repro.errors import UncorrectableError
+from repro.xbar.crossbar import CrossbarArray
+
+
+@dataclass
+class CheckReport:
+    """Outcome of checking one block."""
+
+    block_row: int
+    block_col: int
+    outcome: DecodeOutcome
+    corrected: bool = False
+
+    @property
+    def status(self) -> DecodeStatus:
+        """Decode status of this block's syndrome."""
+        return self.outcome.status
+
+
+@dataclass
+class SweepReport:
+    """Aggregate of a multi-block check sweep."""
+
+    reports: List[CheckReport] = field(default_factory=list)
+
+    @property
+    def blocks_checked(self) -> int:
+        return len(self.reports)
+
+    @property
+    def data_corrections(self) -> int:
+        return sum(1 for r in self.reports
+                   if r.status is DecodeStatus.DATA_ERROR and r.corrected)
+
+    @property
+    def check_bit_corrections(self) -> int:
+        return sum(1 for r in self.reports
+                   if r.status is DecodeStatus.CHECK_BIT_ERROR and r.corrected)
+
+    @property
+    def uncorrectable(self) -> List[CheckReport]:
+        return [r for r in self.reports
+                if r.status is DecodeStatus.UNCORRECTABLE]
+
+    @property
+    def clean(self) -> bool:
+        """True when every checked block decoded to NO_ERROR."""
+        return all(r.status is DecodeStatus.NO_ERROR for r in self.reports)
+
+
+class BlockChecker:
+    """Verifies and corrects blocks of a protected crossbar."""
+
+    def __init__(self, grid: BlockGrid, code: DiagonalParityCode,
+                 store: CheckStore, raise_on_uncorrectable: bool = False):
+        self.grid = grid
+        self.code = code
+        self.store = store
+        self.raise_on_uncorrectable = raise_on_uncorrectable
+
+    # ------------------------------------------------------------------ #
+    # Single block
+    # ------------------------------------------------------------------ #
+
+    def check_block(self, mem: CrossbarArray, block_row: int, block_col: int,
+                    correct: bool = True) -> CheckReport:
+        """Check (and by default correct) a single block."""
+        rs, cs = self.grid.block_slice(block_row, block_col)
+        block = mem.snapshot()[rs, cs]
+        lead_bits, ctr_bits = self.store.block_bits(block_row, block_col)
+        outcome = self.code.decode_block(block, lead_bits, ctr_bits)
+        report = CheckReport(block_row, block_col, outcome)
+        if isinstance(outcome, Uncorrectable) and self.raise_on_uncorrectable:
+            raise UncorrectableError(
+                f"block ({block_row},{block_col}) has an uncorrectable "
+                f"multi-bit error", syndrome=outcome)
+        if correct:
+            report.corrected = self._apply_correction(mem, block_row,
+                                                      block_col, outcome)
+        return report
+
+    def _apply_correction(self, mem: CrossbarArray, block_row: int,
+                          block_col: int, outcome: DecodeOutcome) -> bool:
+        if isinstance(outcome, DataError):
+            row, col = self.grid.global_of(block_row, block_col,
+                                           outcome.row, outcome.col)
+            current = mem.read_bit(row, col)
+            # The check-bits already encode the corrected value; suspend
+            # observers so the continuous updater does not double-count.
+            with mem.observers_suspended():
+                mem.write_bit(row, col, 1 - current)
+            return True
+        if isinstance(outcome, CheckBitError):
+            self.store.toggle(outcome.plane, outcome.index,
+                              block_row, block_col)
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Sweeps
+    # ------------------------------------------------------------------ #
+
+    def check_blocks(self, mem: CrossbarArray,
+                     blocks: Sequence[tuple[int, int]],
+                     correct: bool = True) -> SweepReport:
+        """Check an explicit list of ``(block_row, block_col)`` pairs."""
+        sweep = SweepReport()
+        for br, bc in blocks:
+            sweep.reports.append(self.check_block(mem, br, bc, correct))
+        return sweep
+
+    def check_block_row(self, mem: CrossbarArray, block_row: int,
+                        block_cols: Optional[Sequence[int]] = None,
+                        correct: bool = True) -> SweepReport:
+        """Check a row of blocks (the function-input check of Sec. IV).
+
+        ``block_cols`` restricts the sweep to the block-columns actually
+        containing inputs; ``None`` checks the entire row of blocks.
+        """
+        if block_cols is None:
+            block_cols = range(self.grid.blocks_per_side)
+        return self.check_blocks(mem, [(block_row, bc) for bc in block_cols],
+                                 correct)
+
+    def check_all(self, mem: CrossbarArray, correct: bool = True) -> SweepReport:
+        """Full-memory periodic check (paper: every ``T = 24`` hours)."""
+        return self.check_blocks(mem, list(self.grid.iter_blocks()), correct)

@@ -1,0 +1,138 @@
+"""Storage model for diagonal check-bits.
+
+Logically the store is two parity planes, each indexed
+``[diagonal_index, block_row, block_col]``:
+
+* ``lead[d, br, bc]`` — parity of leading diagonal ``d`` of block (br, bc);
+* ``ctr[d, br, bc]``  — parity of counter diagonal ``d`` of block (br, bc).
+
+Physically (paper Sec. IV-A.1) the check-bits live in ``m`` check-bit
+crossbars of ``(n/m) x (n/m)`` cells each, where crossbar ``i`` holds the
+check-bits of the ``i``-th diagonal of every block, addressed as cell
+``(a, b)`` = the block ``a`` blocks from the left and ``b`` from the top.
+:meth:`crossbar_view` exposes that layout so the architecture model can
+place the planes into real simulated crossbars; both views share storage.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.utils.validation import check_index
+
+
+class CheckStore:
+    """In-memory model of all check-bits of one protected crossbar."""
+
+    def __init__(self, grid: BlockGrid):
+        self.grid = grid
+        b = grid.blocks_per_side
+        self._lead = np.zeros((grid.m, b, b), dtype=np.uint8)
+        self._ctr = np.zeros((grid.m, b, b), dtype=np.uint8)
+        self._lead_writes = np.zeros((grid.m, b, b), dtype=np.int64)
+        self._ctr_writes = np.zeros((grid.m, b, b), dtype=np.int64)
+        self.total_flips = 0
+
+    # ------------------------------------------------------------------ #
+    # Plane access (logical layout)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def lead(self) -> np.ndarray:
+        """Leading-diagonal parity plane ``[d, block_row, block_col]``."""
+        return self._lead
+
+    @property
+    def ctr(self) -> np.ndarray:
+        """Counter-diagonal parity plane ``[d, block_row, block_col]``."""
+        return self._ctr
+
+    def block_bits(self, block_row: int, block_col: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(leading[m], counter[m])`` check-bit vectors of one block."""
+        self._check_block(block_row, block_col)
+        return (self._lead[:, block_row, block_col].copy(),
+                self._ctr[:, block_row, block_col].copy())
+
+    def set_block_bits(self, block_row: int, block_col: int,
+                       lead: np.ndarray, ctr: np.ndarray) -> None:
+        """Overwrite one block's check-bit vectors (e.g. on block reset)."""
+        self._check_block(block_row, block_col)
+        self._lead[:, block_row, block_col] = np.asarray(lead, dtype=np.uint8)
+        self._ctr[:, block_row, block_col] = np.asarray(ctr, dtype=np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def toggle(self, plane: str, d: int, block_row: int, block_col: int) -> None:
+        """XOR ``1`` into a single check-bit (continuous-update primitive)."""
+        self._check_block(block_row, block_col)
+        check_index("d", d, self.grid.m)
+        if plane == "leading":
+            self._lead[d, block_row, block_col] ^= 1
+            self._lead_writes[d, block_row, block_col] += 1
+        else:
+            self._ctr[d, block_row, block_col] ^= 1
+            self._ctr_writes[d, block_row, block_col] += 1
+
+    def toggle_many(self, lead_d: np.ndarray, ctr_d: np.ndarray,
+                    block_rows: np.ndarray, block_cols: np.ndarray) -> None:
+        """Vectorized toggle of (leading, counter) pairs for changed bits.
+
+        All four index arrays must be equal length; entry ``i`` toggles
+        ``lead[lead_d[i], block_rows[i], block_cols[i]]`` and the matching
+        counter bit. ``bitwise_xor.at`` handles repeated indices correctly
+        (an even number of toggles of the same check-bit cancels out).
+        """
+        np.bitwise_xor.at(self._lead, (lead_d, block_rows, block_cols),
+                          np.uint8(1))
+        np.bitwise_xor.at(self._ctr, (ctr_d, block_rows, block_cols),
+                          np.uint8(1))
+        np.add.at(self._lead_writes, (lead_d, block_rows, block_cols), 1)
+        np.add.at(self._ctr_writes, (ctr_d, block_rows, block_cols), 1)
+
+    def write_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-check-bit update counts (endurance telemetry): the
+        ``(leading, counter)`` count planes."""
+        return self._lead_writes.copy(), self._ctr_writes.copy()
+
+    def flip(self, plane: str, d: int, block_row: int, block_col: int) -> None:
+        """Soft error injected *into a check-bit* (check memory is also
+        made of memristors and is equally vulnerable)."""
+        self.toggle(plane, d, block_row, block_col)
+        self.total_flips += 1
+
+    # ------------------------------------------------------------------ #
+    # Physical layout view
+    # ------------------------------------------------------------------ #
+
+    def crossbar_view(self, plane: str, d: int) -> np.ndarray:
+        """Check-bit crossbar ``d`` in the paper's (a, b) layout.
+
+        ``view[a, b]`` is the check-bit for diagonal ``d`` of the block
+        ``a`` blocks from the left (block_col = a) and ``b`` blocks from
+        the top (block_row = b). Returns a transposed *view* (shared
+        memory) of the logical plane.
+        """
+        check_index("d", d, self.grid.m)
+        source = self._lead if plane == "leading" else self._ctr
+        return source[d].T
+
+    @property
+    def total_bits(self) -> int:
+        """Total number of check-bits: ``2 * m * (n/m)^2`` (Table II)."""
+        return int(self._lead.size + self._ctr.size)
+
+    def copy(self) -> "CheckStore":
+        """Deep copy (used by campaigns to snapshot golden state)."""
+        clone = CheckStore(self.grid)
+        clone._lead[:] = self._lead
+        clone._ctr[:] = self._ctr
+        return clone
+
+    def _check_block(self, block_row: int, block_col: int) -> None:
+        check_index("block_row", block_row, self.grid.blocks_per_side)
+        check_index("block_col", block_col, self.grid.blocks_per_side)

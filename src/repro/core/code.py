@@ -1,0 +1,183 @@
+"""The diagonal parity code: encode, syndrome, decode.
+
+Per block, the code stores ``2m`` parity bits (one per leading and counter
+wrap-around diagonal). A single bit error anywhere in the *codeword*
+(``m^2`` data cells + ``2m`` check cells) is correctable:
+
+* a data error at block-local ``(r, c)`` flips exactly one leading
+  syndrome bit (``(r+c) mod m``) and one counter syndrome bit
+  (``(r-c) mod m``) — the pair inverts uniquely because ``m`` is odd;
+* a check-bit error flips exactly one syndrome bit in one plane and none
+  in the other, identifying the faulty check-bit itself.
+
+Any other non-zero signature indicates at least two errors and is reported
+as :class:`Uncorrectable` (detected-uncorrectable). Like every
+single-error-correcting code, three-or-more errors can alias to a
+correctable signature; the reliability model (Sec. V-A) accounts for this
+by counting any block with two or more errors as failed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+from repro.core.diagonals import solve_position
+from repro.core.parity import parity_along_counter, parity_along_leading
+
+
+class DecodeStatus(enum.Enum):
+    """Classification of a block syndrome."""
+
+    NO_ERROR = "no_error"
+    DATA_ERROR = "data_error"
+    CHECK_BIT_ERROR = "check_bit_error"
+    UNCORRECTABLE = "uncorrectable"
+
+
+@dataclass(frozen=True)
+class NoError:
+    """Zero syndrome: the block is consistent."""
+
+    status: DecodeStatus = DecodeStatus.NO_ERROR
+
+
+@dataclass(frozen=True)
+class DataError:
+    """Single data-cell error at block-local ``(row, col)``."""
+
+    row: int
+    col: int
+    status: DecodeStatus = DecodeStatus.DATA_ERROR
+
+
+@dataclass(frozen=True)
+class CheckBitError:
+    """Single check-bit error: ``plane`` is 'leading' or 'counter'."""
+
+    plane: str
+    index: int
+    status: DecodeStatus = DecodeStatus.CHECK_BIT_ERROR
+
+
+@dataclass(frozen=True)
+class Uncorrectable:
+    """Two or more errors detected; the syndrome pair is attached."""
+
+    lead_syndrome: Tuple[int, ...]
+    ctr_syndrome: Tuple[int, ...]
+    status: DecodeStatus = DecodeStatus.UNCORRECTABLE
+
+
+DecodeOutcome = Union[NoError, DataError, CheckBitError, Uncorrectable]
+
+
+class DiagonalParityCode:
+    """Encoder/decoder for the per-block diagonal parity code."""
+
+    def __init__(self, grid: BlockGrid):
+        self.grid = grid
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+
+    def encode_block(self, block: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(leading[m], counter[m])`` parity vectors of an ``m x m`` block."""
+        m = self.grid.m
+        block = np.asarray(block, dtype=np.uint8)
+        if block.shape != (m, m):
+            raise ValueError(f"expected {m}x{m} block, got {block.shape}")
+        return parity_along_leading(block), parity_along_counter(block)
+
+    def encode(self, data: np.ndarray) -> CheckStore:
+        """Compute a full :class:`CheckStore` for ``n x n`` data.
+
+        This is the from-scratch encoding used on bulk writes; steady-state
+        operation maintains the store incrementally via
+        :class:`repro.core.updater.ContinuousUpdater`.
+        """
+        n, m = self.grid.n, self.grid.m
+        data = np.asarray(data, dtype=np.uint8)
+        if data.shape != (n, n):
+            raise ValueError(f"expected {n}x{n} data, got {data.shape}")
+        store = CheckStore(self.grid)
+        b = self.grid.blocks_per_side
+        # Vectorized over all blocks: reshape to (b, m, b, m) and reduce
+        # each diagonal with an index-add per block.
+        tiles = data.reshape(b, m, b, m)
+        r = np.arange(m)[:, None]
+        c = np.arange(m)[None, :]
+        lead_idx = (r + c) % m
+        ctr_idx = (r - c) % m
+        for d in range(m):
+            # Gather the m cells of diagonal d from every block at once:
+            # tiles[:, rs, :, cs] has shape (m, b, b) — one gathered cell
+            # per (local position, block_row, block_col) — then XOR-reduce
+            # over the gathered axis.
+            rs, cs = np.nonzero(lead_idx == d)
+            store.lead[d] = np.bitwise_xor.reduce(tiles[:, rs, :, cs], axis=0)
+            rs, cs = np.nonzero(ctr_idx == d)
+            store.ctr[d] = np.bitwise_xor.reduce(tiles[:, rs, :, cs], axis=0)
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Syndromes and decoding
+    # ------------------------------------------------------------------ #
+
+    def syndrome_block(self, block: np.ndarray, lead_bits: np.ndarray,
+                       ctr_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Syndrome = stored check-bits XOR freshly computed parity."""
+        lead, ctr = self.encode_block(block)
+        return (lead ^ np.asarray(lead_bits, dtype=np.uint8),
+                ctr ^ np.asarray(ctr_bits, dtype=np.uint8))
+
+    def decode(self, lead_syndrome: np.ndarray,
+               ctr_syndrome: np.ndarray) -> DecodeOutcome:
+        """Classify a syndrome pair (see module docstring)."""
+        lead_syndrome = np.asarray(lead_syndrome, dtype=np.uint8)
+        ctr_syndrome = np.asarray(ctr_syndrome, dtype=np.uint8)
+        lead_ones = np.flatnonzero(lead_syndrome)
+        ctr_ones = np.flatnonzero(ctr_syndrome)
+        if lead_ones.size == 0 and ctr_ones.size == 0:
+            return NoError()
+        if lead_ones.size == 1 and ctr_ones.size == 1:
+            r, c = solve_position(int(lead_ones[0]), int(ctr_ones[0]),
+                                  self.grid.m)
+            return DataError(r, c)
+        if lead_ones.size == 1 and ctr_ones.size == 0:
+            return CheckBitError("leading", int(lead_ones[0]))
+        if ctr_ones.size == 1 and lead_ones.size == 0:
+            return CheckBitError("counter", int(ctr_ones[0]))
+        return Uncorrectable(tuple(int(x) for x in lead_syndrome),
+                             tuple(int(x) for x in ctr_syndrome))
+
+    def decode_block(self, block: np.ndarray, lead_bits: np.ndarray,
+                     ctr_bits: np.ndarray) -> DecodeOutcome:
+        """Syndrome + decode in one call."""
+        lead_s, ctr_s = self.syndrome_block(block, lead_bits, ctr_bits)
+        return self.decode(lead_s, ctr_s)
+
+    # ------------------------------------------------------------------ #
+    # Code parameters
+    # ------------------------------------------------------------------ #
+
+    @property
+    def data_bits_per_block(self) -> int:
+        """m^2 protected data bits per block."""
+        return self.grid.cells_per_block
+
+    @property
+    def check_bits_per_block(self) -> int:
+        """2m check-bits per block."""
+        return self.grid.check_bits_per_block
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Storage overhead 2m / m^2 = 2/m (paper Sec. III trade-off)."""
+        return self.check_bits_per_block / self.data_bits_per_block

@@ -1,0 +1,103 @@
+"""Wrap-around diagonal index arithmetic (paper Fig. 2(b)/(c)).
+
+Block-local coordinates ``(r, c)`` with ``0 <= r, c < m``:
+
+* the **leading** diagonal (bottom-left to top-right) containing the cell
+  has index ``(r + c) mod m``;
+* the **counter** diagonal (bottom-right to top-left) has index
+  ``(r - c) mod m``.
+
+Because consecutive cells of a row lie on consecutive leading diagonals,
+aligning a row with the per-diagonal check-bits is a *barrel shift by the
+column index modulo m* — the pattern of paper Fig. 2(c) that the shifter
+hardware of Sec. IV-B exploits.
+
+``m`` must be odd: the map ``(r, c) -> (r+c mod m, r-c mod m)`` is a
+bijection iff 2 is invertible modulo ``m`` (paper footnote 1). With
+``inv2 = (m + 1) / 2`` the inverse map is::
+
+    r = (lead + ctr) * inv2 mod m
+    c = (lead - ctr) * inv2 mod m
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_index, check_odd, check_positive
+
+
+def leading_index(r: int, c: int, m: int) -> int:
+    """Leading-diagonal index of block-local cell ``(r, c)``."""
+    return (r + c) % m
+
+
+def counter_index(r: int, c: int, m: int) -> int:
+    """Counter-diagonal index of block-local cell ``(r, c)``."""
+    return (r - c) % m
+
+
+def solve_position(lead: int, ctr: int, m: int) -> Tuple[int, int]:
+    """Invert the diagonal map: the unique cell on both diagonals.
+
+    Raises if ``m`` is even (the map is then not a bijection and two
+    diagonals can intersect twice — paper footnote 1).
+    """
+    check_odd("m", m)
+    check_index("lead", lead, m)
+    check_index("ctr", ctr, m)
+    inv2 = (m + 1) // 2  # inverse of 2 modulo odd m
+    r = ((lead + ctr) * inv2) % m
+    c = ((lead - ctr) * inv2) % m
+    return r, c
+
+
+def diagonal_cells(index: int, m: int, kind: str = "leading") -> list[Tuple[int, int]]:
+    """All block-local cells on the given wrap-around diagonal.
+
+    ``kind`` is ``"leading"`` or ``"counter"``. The list has exactly ``m``
+    cells, one per row, which is why a row-parallel operation can touch at
+    most one cell of any diagonal.
+    """
+    check_positive("m", m)
+    check_index("index", index, m)
+    if kind == "leading":
+        return [(r, (index - r) % m) for r in range(m)]
+    if kind == "counter":
+        return [(r, (r - index) % m) for r in range(m)]
+    raise ValueError(f"kind must be 'leading' or 'counter', got {kind!r}")
+
+
+def leading_index_matrix(m: int) -> np.ndarray:
+    """``m x m`` matrix of leading-diagonal indices (vectorized form)."""
+    r = np.arange(m)[:, None]
+    c = np.arange(m)[None, :]
+    return (r + c) % m
+
+
+def counter_index_matrix(m: int) -> np.ndarray:
+    """``m x m`` matrix of counter-diagonal indices (vectorized form)."""
+    r = np.arange(m)[:, None]
+    c = np.arange(m)[None, :]
+    return (r - c) % m
+
+
+def row_shift_pattern(row: int, m: int) -> int:
+    """Barrel-shift amount that maps columns of ``row`` to leading indices.
+
+    For a cell in block-local row ``r`` and column ``c``, the leading index
+    is ``(r + c) mod m``; reading an entire row therefore needs a rotation
+    by ``r`` to land each bit at its diagonal slot (paper Fig. 2(c)).
+    """
+    check_positive("m", m)
+    return row % m
+
+
+def iter_diagonals(m: int) -> Iterator[Tuple[str, int]]:
+    """Iterate all ``2m`` diagonals of a block as ``(kind, index)`` pairs."""
+    for d in range(m):
+        yield ("leading", d)
+    for d in range(m):
+        yield ("counter", d)

@@ -1,0 +1,105 @@
+"""Parity primitives and the 8-NOR XOR3 microprogram.
+
+The CMEM's only arithmetic is XOR3 (paper Sec. IV: "XOR3 is performed with
+8 MAGIC NOR operations"). Building XOR from NOR the standard way::
+
+    XOR2(a, b):  t1 = NOR(a, b); t2 = NOR(a, t1); t3 = NOR(b, t1)
+                 x  = NOR(t2, t3)                       # 4 NOR ops
+
+    XOR3(a, b, c) = XOR2(XOR2(a, b), c)                 # 8 NOR ops
+
+uses 8 gates and 8 intermediate/output cells on top of the 3 input cells —
+11 cells per bit-slice, which is exactly the ``11`` in Table II's
+processing-crossbar expression ``2 x 11 x k x n``.
+
+This module provides both the direct boolean/vectorized XOR3 (used by the
+behavioral ECC model) and the symbolic microprogram (executed on real
+simulated crossbars by the processing-crossbar model and verified
+exhaustively in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+#: Cell layout of the XOR3 bit-slice: indices into an 11-cell column.
+XOR3_INPUT_CELLS = (0, 1, 2)
+#: (output_cell, (input_cells...)) steps; each step is one MAGIC NOR.
+XOR3_MICROPROGRAM: Tuple[Tuple[int, Tuple[int, ...]], ...] = (
+    (3, (0, 1)),   # t1 = NOR(a, b)
+    (4, (0, 3)),   # t2 = NOR(a, t1)
+    (5, (1, 3)),   # t3 = NOR(b, t1)
+    (6, (4, 5)),   # x  = a XOR b
+    (7, (6, 2)),   # u1 = NOR(x, c)
+    (8, (6, 7)),   # u2 = NOR(x, u1)
+    (9, (2, 7)),   # u3 = NOR(c, u1)
+    (10, (8, 9)),  # y  = x XOR c = a XOR b XOR c
+)
+XOR3_CELL_COUNT = 11
+XOR3_RESULT_CELL = 10
+XOR3_NOR_OPS = len(XOR3_MICROPROGRAM)
+
+
+def xor3(a, b, c):
+    """Vectorized XOR of three bit arrays (or scalars)."""
+    return np.bitwise_xor(np.bitwise_xor(np.asarray(a, dtype=np.uint8),
+                                         np.asarray(b, dtype=np.uint8)),
+                          np.asarray(c, dtype=np.uint8))
+
+
+def xor3_by_nor(a: int, b: int, c: int) -> int:
+    """Evaluate XOR3 by literally running the NOR microprogram.
+
+    This is the reference implementation the processing-crossbar hardware
+    model is tested against; it exists to prove the microprogram computes
+    what the behavioral model assumes.
+    """
+    cells = [0] * XOR3_CELL_COUNT
+    cells[0], cells[1], cells[2] = int(a), int(b), int(c)
+    for out, ins in XOR3_MICROPROGRAM:
+        cells[out] = 0 if any(cells[i] for i in ins) else 1
+    return cells[XOR3_RESULT_CELL]
+
+
+def parity_along_leading(block: np.ndarray) -> np.ndarray:
+    """Per-leading-diagonal parity vector of an ``m x m`` block.
+
+    ``result[d] = XOR of block[r, c] for all (r + c) mod m == d``.
+    """
+    m = block.shape[0]
+    if block.shape != (m, m):
+        raise ValueError(f"block must be square, got {block.shape}")
+    r = np.arange(m)[:, None]
+    c = np.arange(m)[None, :]
+    idx = (r + c) % m
+    out = np.zeros(m, dtype=np.uint8)
+    np.bitwise_xor.at(out, idx.ravel(), np.asarray(block, dtype=np.uint8).ravel())
+    return out
+
+
+def parity_along_counter(block: np.ndarray) -> np.ndarray:
+    """Per-counter-diagonal parity vector of an ``m x m`` block.
+
+    ``result[d] = XOR of block[r, c] for all (r - c) mod m == d``.
+    """
+    m = block.shape[0]
+    if block.shape != (m, m):
+        raise ValueError(f"block must be square, got {block.shape}")
+    r = np.arange(m)[:, None]
+    c = np.arange(m)[None, :]
+    idx = (r - c) % m
+    out = np.zeros(m, dtype=np.uint8)
+    np.bitwise_xor.at(out, idx.ravel(), np.asarray(block, dtype=np.uint8).ravel())
+    return out
+
+
+def parity_along_horizontal(block: np.ndarray) -> np.ndarray:
+    """Per-row parity of a block: the strawman scheme of paper Fig. 2(a).
+
+    Kept for the ablation study — Theta(1) to maintain under row-parallel
+    operations but Theta(n) under column-parallel ones, which is exactly
+    why the paper rejects it.
+    """
+    return np.bitwise_xor.reduce(np.asarray(block, dtype=np.uint8), axis=1)

@@ -1,0 +1,70 @@
+"""Continuous check-bit maintenance (paper Sec. III / IV).
+
+The defining property of the diagonal placement: a row-parallel (or
+column-parallel) MAGIC operation writes at most one cell per diagonal per
+block, so every affected check-bit can be updated with one XOR3::
+
+    check <- check XOR old_data XOR new_data
+
+The :class:`ContinuousUpdater` is the behavioral model of that mechanism.
+It attaches to a :class:`repro.xbar.CrossbarArray` as a write observer and
+incrementally maintains a :class:`repro.core.CheckStore`; the
+cycle/resource cost of doing this in hardware is modelled separately by
+:mod:`repro.arch`.
+
+Note the paper's "rare false positive" caveat (end of Sec. III): because
+the update uses the *stored* old value, overwriting a cell that suffered an
+undetected soft error bakes the error into the parity. The updater
+reproduces that behaviour faithfully — see
+``tests/core/test_updater.py::test_false_positive_corner_case``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+
+
+class ContinuousUpdater:
+    """Maintains check-bits incrementally as data cells are written."""
+
+    def __init__(self, grid: BlockGrid, store: CheckStore):
+        if store.grid != grid:
+            raise ValueError("CheckStore was built for a different grid")
+        self.grid = grid
+        self.store = store
+        self.updates_applied = 0
+        self.bits_changed = 0
+
+    def on_write(self, rows: np.ndarray, cols: np.ndarray,
+                 old: np.ndarray, new: np.ndarray) -> None:
+        """Write-observer entry point (see ``CrossbarArray.add_write_observer``).
+
+        Only cells whose value actually changed toggle parity — XOR of an
+        unchanged bit is a no-op, mirroring how the hardware XOR3 of
+        ``old == new`` leaves the check-bit untouched.
+        """
+        rows = np.asarray(rows)
+        cols = np.asarray(cols)
+        changed = np.asarray(old, dtype=bool) ^ np.asarray(new, dtype=bool)
+        if not changed.any():
+            self.updates_applied += 1
+            return
+        r = rows[changed]
+        c = cols[changed]
+        m = self.grid.m
+        lead_d = (r + c) % m
+        ctr_d = (r - c) % m
+        self.store.toggle_many(lead_d, ctr_d, r // m, c // m)
+        self.updates_applied += 1
+        self.bits_changed += int(r.size)
+
+    def attach(self, crossbar) -> None:
+        """Register this updater as a write observer of ``crossbar``."""
+        crossbar.add_write_observer(self.on_write)
+
+    def detach(self, crossbar) -> None:
+        """Unregister from ``crossbar``."""
+        crossbar.remove_write_observer(self.on_write)

@@ -1,0 +1,27 @@
+"""Memristor device models.
+
+The library operates functionally (bits are bits), but the device layer
+records the physical interpretation used by the paper: logical ``1`` is the
+Low Resistive State (LRS) and logical ``0`` the High Resistive State (HRS),
+and soft errors are unintentional LRS<->HRS transitions caused by oxygen
+vacancy drift, ion strikes, or environmental variation.
+"""
+
+from repro.devices.memristor import HRS, LRS, Memristor, MemristorState
+from repro.devices.models import (
+    DEFAULT_DEVICE,
+    FLASH_LIKE_SER,
+    DeviceParameters,
+    KNOWN_DEVICES,
+)
+
+__all__ = [
+    "HRS",
+    "LRS",
+    "Memristor",
+    "MemristorState",
+    "DeviceParameters",
+    "DEFAULT_DEVICE",
+    "FLASH_LIKE_SER",
+    "KNOWN_DEVICES",
+]

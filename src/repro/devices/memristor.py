@@ -1,0 +1,91 @@
+"""Single-memristor state model.
+
+MAGIC (Kvatinsky et al., TCAS-II 2014) represents logic values with
+resistance: Low Resistive State (LRS) encodes logical ``1`` and High
+Resistive State (HRS) encodes logical ``0``. A NOR gate is performed by
+initializing the output device to LRS and applying ``V0`` to the inputs
+while grounding the output; if any input is in LRS, the voltage divider
+drives the output device above its switching threshold and it flips to HRS.
+
+The bulk simulator (:mod:`repro.xbar`) stores whole crossbars as numpy bool
+arrays for speed; this module provides the per-device object used in
+fine-grained tests and the state-encoding constants that give those arrays
+their physical meaning.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class MemristorState(enum.IntEnum):
+    """Resistive state of a memristor; integer value is the logical bit."""
+
+    HRS = 0  # High Resistive State -> logical 0
+    LRS = 1  # Low Resistive State  -> logical 1
+
+
+HRS = MemristorState.HRS
+LRS = MemristorState.LRS
+
+
+@dataclass
+class Memristor:
+    """A single memristive device with resistance-coded state.
+
+    Parameters
+    ----------
+    state:
+        Initial :class:`MemristorState` (default HRS / logical 0).
+    r_on, r_off:
+        Device resistances (ohms) in LRS and HRS. Used by the analog
+        divider check in :meth:`magic_nor_would_switch`.
+    """
+
+    state: MemristorState = MemristorState.HRS
+    r_on: float = 1e3
+    r_off: float = 1e6
+    write_count: int = field(default=0, repr=False)
+
+    @property
+    def bit(self) -> int:
+        """Logical value currently stored (LRS -> 1, HRS -> 0)."""
+        return int(self.state)
+
+    @property
+    def resistance(self) -> float:
+        """Present resistance of the device in ohms."""
+        return self.r_on if self.state is MemristorState.LRS else self.r_off
+
+    def write(self, bit: int) -> None:
+        """SET (bit=1 -> LRS) or RESET (bit=0 -> HRS) the device."""
+        self.state = MemristorState.LRS if bit else MemristorState.HRS
+        self.write_count += 1
+
+    def init_lrs(self) -> None:
+        """Initialize to LRS, as required before acting as a MAGIC output."""
+        self.write(1)
+
+    def flip(self) -> None:
+        """Soft error: invert the stored state without a controlled write."""
+        self.state = MemristorState(1 - int(self.state))
+
+    def magic_nor_would_switch(self, inputs: list["Memristor"], v0: float = 1.0,
+                               v_threshold_fraction: float = 0.5) -> bool:
+        """Analog sanity model of a MAGIC NOR output transition.
+
+        Computes the voltage across this (output) device from the resistive
+        divider formed with the parallel combination of the input devices
+        under applied voltage ``v0``, and reports whether it exceeds the
+        switching threshold (expressed as a fraction of ``v0``). Functional
+        simulation does not call this; it exists so tests can confirm the
+        bool-array semantics agree with the divider picture for sane device
+        parameters (``r_off >> r_on``).
+        """
+        if not inputs:
+            raise ValueError("MAGIC NOR requires at least one input device")
+        conductance = sum(1.0 / d.resistance for d in inputs)
+        r_inputs = 1.0 / conductance
+        v_out = v0 * self.resistance / (self.resistance + r_inputs)
+        return v_out > v_threshold_fraction * v0

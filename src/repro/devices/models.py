@@ -1,0 +1,83 @@
+"""Device-parameter presets.
+
+The paper's reliability analysis (Sec. V-A) is parameterized by a single
+figure of merit: the memristor Soft Error Rate (SER) in FIT/bit, where one
+FIT is one failure per 10^9 device-hours. The reference point used in
+Figure 6 is an SER of ``1e-3`` FIT/bit, "similar to Flash memory"
+(Slayman, RAMS 2011). The presets below bundle that with nominal RRAM
+resistance/timing values from the MAGIC literature so examples can speak in
+physical units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Flash-like soft error rate used as Figure 6's reference point [FIT/bit].
+FLASH_LIKE_SER = 1e-3
+
+
+@dataclass(frozen=True)
+class DeviceParameters:
+    """Physical parameters of a memristive device technology.
+
+    Attributes
+    ----------
+    name:
+        Human-readable technology label.
+    r_on, r_off:
+        LRS / HRS resistance in ohms.
+    switching_time_ns:
+        Nominal SET/RESET switching time; one MAGIC cycle is bounded below
+        by this figure.
+    ser_fit_per_bit:
+        Soft error rate in FIT/bit used by the reliability model.
+    """
+
+    name: str
+    r_on: float
+    r_off: float
+    switching_time_ns: float
+    ser_fit_per_bit: float
+
+    @property
+    def resistance_ratio(self) -> float:
+        """HRS/LRS ratio; MAGIC needs this to be large (>= ~10^2)."""
+        return self.r_off / self.r_on
+
+    def cycle_time_s(self) -> float:
+        """Duration of one MAGIC clock cycle in seconds."""
+        return self.switching_time_ns * 1e-9
+
+
+#: Nominal HfO2-style RRAM device, the technology family the paper cites
+#: for its soft-error mechanisms (Tosson et al., Chang et al.).
+DEFAULT_DEVICE = DeviceParameters(
+    name="hfo2-rram-nominal",
+    r_on=1e3,
+    r_off=1e6,
+    switching_time_ns=1.3,
+    ser_fit_per_bit=FLASH_LIKE_SER,
+)
+
+#: A pessimistic device with heavier drift, for sensitivity studies.
+HIGH_DRIFT_DEVICE = DeviceParameters(
+    name="hfo2-rram-high-drift",
+    r_on=5e3,
+    r_off=5e5,
+    switching_time_ns=2.0,
+    ser_fit_per_bit=1.0,
+)
+
+#: An optimistic device corresponding to the left edge of Figure 6's sweep.
+LOW_SER_DEVICE = DeviceParameters(
+    name="hfo2-rram-low-ser",
+    r_on=1e3,
+    r_off=1e6,
+    switching_time_ns=1.1,
+    ser_fit_per_bit=1e-5,
+)
+
+KNOWN_DEVICES = {
+    d.name: d for d in (DEFAULT_DEVICE, HIGH_DRIFT_DEVICE, LOW_SER_DEVICE)
+}

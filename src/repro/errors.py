@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration problems from runtime
+simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid parameter or inconsistent configuration was supplied."""
+
+
+class GeometryError(ConfigurationError):
+    """Crossbar/block geometry constraint violated (e.g. ``n % m != 0``)."""
+
+
+class CrossbarError(ReproError):
+    """Illegal access or operation on a crossbar array."""
+
+
+class MagicOperationError(CrossbarError):
+    """A MAGIC gate was issued with invalid operands (overlap, bad axis...)."""
+
+
+class UninitializedOutputError(MagicOperationError):
+    """A MAGIC gate targeted output cells that were not initialized to LRS."""
+
+
+class EccError(ReproError):
+    """Base class for ECC-related failures."""
+
+
+class UncorrectableError(EccError):
+    """A syndrome was detected that cannot be attributed to a single error."""
+
+    def __init__(self, message: str, syndrome=None):
+        super().__init__(message)
+        self.syndrome = syndrome
+
+
+class MiscorrectionError(EccError):
+    """Used by verification harnesses when ECC silently corrupted data."""
+
+
+class SynthesisError(ReproError):
+    """Logic synthesis / technology mapping failed."""
+
+
+class MappingError(SynthesisError):
+    """SIMPLER row mapping failed (e.g. the row is too small)."""
+
+
+class SchedulingError(ReproError):
+    """The ECC-extended scheduler hit an impossible resource constraint."""
+
+
+class NetlistError(ReproError):
+    """Malformed logic network (cycles, undriven nodes, bad references)."""

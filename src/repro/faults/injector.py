@@ -1,0 +1,177 @@
+"""Fault injectors: turn error models into bit flips on simulated arrays.
+
+All injectors implement :meth:`FaultInjector.inject`, which flips cells of
+a :class:`repro.xbar.CrossbarArray` (and optionally check-bits in a
+:class:`repro.core.CheckStore`) and returns an :class:`InjectionResult`
+describing exactly what was flipped — campaigns need the ground truth to
+classify ECC behaviour as corrected / detected / miscorrected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.checkstore import CheckStore
+from repro.faults.ser import probability_from_fit
+from repro.utils.rng import SeedLike, make_rng
+from repro.xbar.crossbar import CrossbarArray
+
+
+@dataclass
+class InjectionResult:
+    """Ground truth of one injection round."""
+
+    data_flips: List[Tuple[int, int]] = field(default_factory=list)
+    check_flips: List[Tuple[str, int, int, int]] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """Total number of injected upsets (data + check bits)."""
+        return len(self.data_flips) + len(self.check_flips)
+
+    def merge(self, other: "InjectionResult") -> "InjectionResult":
+        """Union of two injection rounds."""
+        return InjectionResult(self.data_flips + other.data_flips,
+                               self.check_flips + other.check_flips)
+
+
+class FaultInjector:
+    """Base class; concrete injectors override :meth:`inject`."""
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None) -> InjectionResult:
+        """Apply one round of upsets; return the ground truth."""
+        raise NotImplementedError
+
+
+class UniformInjector(FaultInjector):
+    """Paper's model: i.i.d. upsets with per-bit probability ``p``.
+
+    ``p`` is usually derived from an SER and an exposure window via
+    :func:`repro.faults.ser.probability_from_fit`; the convenience
+    constructor :meth:`from_ser` does exactly that. When a ``store`` is
+    provided, check-bits are exposed at the same per-bit probability —
+    check memory is built from the same memristors as data memory.
+    """
+
+    def __init__(self, probability: float, seed: SeedLike = None,
+                 include_check_bits: bool = True):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0,1], got {probability}")
+        self.probability = probability
+        self.include_check_bits = include_check_bits
+        self.rng = make_rng(seed)
+
+    @classmethod
+    def from_ser(cls, ser_fit_per_bit: float, hours: float,
+                 seed: SeedLike = None,
+                 include_check_bits: bool = True) -> "UniformInjector":
+        """Injector with ``p = 1 - exp(-lambda T / 1e9)``."""
+        return cls(probability_from_fit(ser_fit_per_bit, hours), seed,
+                   include_check_bits)
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None) -> InjectionResult:
+        result = InjectionResult()
+        mask = self.rng.random((mem.rows, mem.cols)) < self.probability
+        rows, cols = np.nonzero(mask)
+        if rows.size:
+            mem.flip_many(rows, cols)
+            result.data_flips = list(zip(rows.tolist(), cols.tolist()))
+        if store is not None and self.include_check_bits:
+            for plane, arr in (("leading", store.lead), ("counter", store.ctr)):
+                cmask = self.rng.random(arr.shape) < self.probability
+                ds, brs, bcs = np.nonzero(cmask)
+                for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
+                    store.flip(plane, d, br, bc)
+                    result.check_flips.append((plane, d, br, bc))
+        return result
+
+
+class DeterministicInjector(FaultInjector):
+    """Flips an explicit list of cells; for reproducible unit tests."""
+
+    def __init__(self, data_flips: Sequence[Tuple[int, int]] = (),
+                 check_flips: Sequence[Tuple[str, int, int, int]] = ()):
+        self.data_flips = list(data_flips)
+        self.check_flips = list(check_flips)
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None) -> InjectionResult:
+        result = InjectionResult()
+        for r, c in self.data_flips:
+            mem.flip(r, c)
+            result.data_flips.append((r, c))
+        if store is not None:
+            for plane, d, br, bc in self.check_flips:
+                store.flip(plane, d, br, bc)
+                result.check_flips.append((plane, d, br, bc))
+        return result
+
+
+class BurstInjector(FaultInjector):
+    """Abrupt multi-bit upset: a cluster of flips around a strike point.
+
+    Models the multiple-bit upsets reported for crossbar RRAM under ion
+    strikes (Liu et al., TNS 2015): a strike at a random cell flips that
+    cell plus each neighbour within ``radius`` (Chebyshev) with
+    ``neighbor_probability``.
+    """
+
+    def __init__(self, strikes: int = 1, radius: int = 1,
+                 neighbor_probability: float = 0.5, seed: SeedLike = None):
+        if strikes < 0:
+            raise ValueError(f"strikes must be non-negative, got {strikes}")
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius}")
+        self.strikes = strikes
+        self.radius = radius
+        self.neighbor_probability = neighbor_probability
+        self.rng = make_rng(seed)
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None) -> InjectionResult:
+        result = InjectionResult()
+        hit = set()
+        for _ in range(self.strikes):
+            r0 = int(self.rng.integers(0, mem.rows))
+            c0 = int(self.rng.integers(0, mem.cols))
+            hit.add((r0, c0))
+            for dr in range(-self.radius, self.radius + 1):
+                for dc in range(-self.radius, self.radius + 1):
+                    if dr == 0 and dc == 0:
+                        continue
+                    r, c = r0 + dr, c0 + dc
+                    if 0 <= r < mem.rows and 0 <= c < mem.cols and \
+                            self.rng.random() < self.neighbor_probability:
+                        hit.add((r, c))
+        for r, c in sorted(hit):
+            mem.flip(r, c)
+            result.data_flips.append((r, c))
+        return result
+
+
+class CheckBitInjector(FaultInjector):
+    """Uniform upsets restricted to the check memory (CMEM-only faults)."""
+
+    def __init__(self, probability: float, seed: SeedLike = None):
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be in [0,1], got {probability}")
+        self.probability = probability
+        self.rng = make_rng(seed)
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None) -> InjectionResult:
+        result = InjectionResult()
+        if store is None:
+            return result
+        for plane, arr in (("leading", store.lead), ("counter", store.ctr)):
+            cmask = self.rng.random(arr.shape) < self.probability
+            ds, brs, bcs = np.nonzero(cmask)
+            for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
+                store.flip(plane, d, br, bc)
+                result.check_flips.append((plane, d, br, bc))
+        return result

@@ -1,0 +1,63 @@
+"""Soft-error-rate arithmetic (FIT/bit <-> probabilities <-> MTTF).
+
+Conventions (paper Sec. V-A and Shooman, *Reliability of Computer Systems
+and Networks*):
+
+* ``lambda`` [FIT/bit]: one FIT is one failure per ``10^9`` hours, so a
+  device with SER ``lambda`` upsets as a Poisson process with rate
+  ``lambda / 10^9`` per hour.
+* Probability that a specific memristor suffers at least one soft error
+  within a window of ``T`` hours: ``p = 1 - exp(-lambda * T / 10^9)``.
+* A memory with failure rate ``R`` [FIT] has ``MTTF = 10^9 / R`` hours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Hours corresponding to the FIT normalization constant (10^9).
+HOURS_PER_FIT_UNIT = 1e9
+
+
+def probability_from_fit(ser_fit_per_bit: float, hours: float) -> float:
+    """P(at least one upset of one bit within ``hours``).
+
+    ``1 - exp(-lambda T / 1e9)`` — the exact exponential-window form the
+    paper uses, not the small-lambda linearization.
+    """
+    if ser_fit_per_bit < 0:
+        raise ValueError(f"SER must be non-negative, got {ser_fit_per_bit}")
+    if hours < 0:
+        raise ValueError(f"hours must be non-negative, got {hours}")
+    return float(-np.expm1(-ser_fit_per_bit * hours / HOURS_PER_FIT_UNIT))
+
+
+def fit_from_probability(probability: float, hours: float) -> float:
+    """Failure rate [FIT] of a unit that fails with ``probability`` per
+    window of ``hours``: ``p * 1e9 / T`` (paper Sec. V-A)."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError(f"probability must be in [0,1], got {probability}")
+    if hours <= 0:
+        raise ValueError(f"hours must be positive, got {hours}")
+    return probability * HOURS_PER_FIT_UNIT / hours
+
+
+def mttf_hours_from_fit(fit: float) -> float:
+    """Mean time to failure in hours for a failure rate in FIT."""
+    if fit < 0:
+        raise ValueError(f"FIT must be non-negative, got {fit}")
+    if fit == 0:
+        return float("inf")
+    return HOURS_PER_FIT_UNIT / fit
+
+
+def error_probability(ser_fit_per_bit: float, hours: float) -> float:
+    """Alias of :func:`probability_from_fit` (readability in call sites)."""
+    return probability_from_fit(ser_fit_per_bit, hours)
+
+
+def expected_errors(ser_fit_per_bit: float, hours: float, bits: int) -> float:
+    """Expected number of upsets across ``bits`` cells in ``hours``."""
+    if bits < 0:
+        raise ValueError(f"bits must be non-negative, got {bits}")
+    return ser_fit_per_bit * hours / HOURS_PER_FIT_UNIT * bits

@@ -1,0 +1,45 @@
+"""Gate-level logic substrate.
+
+The paper's latency evaluation (Table I) synthesizes logic functions into
+MAGIC NOR sequences with the SIMPLER tool. That flow needs: a generic
+combinational netlist IR (:mod:`repro.logic.netlist`), fast functional
+evaluation (:mod:`repro.logic.eval`), a library of arithmetic building
+blocks (:mod:`repro.logic.library`), technology mapping to 2-input
+NOR / 1-input NOT (:mod:`repro.logic.nor_mapping` producing a
+:class:`repro.logic.norlist.NorNetlist`), and randomized equivalence
+checking (:mod:`repro.logic.verify`). All of it is implemented here from
+scratch — no ABC, no external benchmark files.
+"""
+
+from repro.logic.netlist import LogicNetwork, Node, OPS
+from repro.logic.eval import evaluate, evaluate_ints
+from repro.logic.norlist import NorNetlist
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.serialize import (
+    load_norlist,
+    load_program,
+    save_norlist,
+    save_program,
+)
+from repro.logic.verify import (
+    equivalence_check,
+    exhaustive_check,
+    random_check,
+)
+
+__all__ = [
+    "LogicNetwork",
+    "Node",
+    "OPS",
+    "evaluate",
+    "evaluate_ints",
+    "NorNetlist",
+    "map_to_nor",
+    "equivalence_check",
+    "exhaustive_check",
+    "random_check",
+    "save_norlist",
+    "load_norlist",
+    "save_program",
+    "load_program",
+]

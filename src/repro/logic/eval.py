@@ -1,0 +1,100 @@
+"""Vectorized functional evaluation of logic networks.
+
+Evaluation is batched: every input is bound to a numpy boolean array of
+shape ``(batch,)`` and all gates evaluate the whole batch at once. This is
+what makes randomized equivalence checking of the multi-thousand-gate
+benchmark circuits fast enough to run inside unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Union
+
+import numpy as np
+
+from repro.errors import NetlistError
+from repro.logic.netlist import LogicNetwork
+from repro.utils.bitops import bits_to_int, int_to_bits
+
+InputValue = Union[bool, int, np.ndarray]
+
+
+def evaluate(net: LogicNetwork,
+             assignments: Mapping[str, InputValue]) -> Dict[str, np.ndarray]:
+    """Evaluate ``net`` under the given input assignment.
+
+    ``assignments`` maps input names to scalars (0/1) or boolean arrays of
+    one common batch shape; returns output name -> boolean array of that
+    shape (scalars are broadcast).
+    """
+    missing = [name for name in net.input_names if name not in assignments]
+    if missing:
+        raise NetlistError(f"missing assignments for inputs: {missing[:5]}"
+                           + ("..." if len(missing) > 5 else ""))
+    # Determine batch shape from the first array value.
+    batch_shape: tuple = ()
+    for v in assignments.values():
+        if isinstance(v, np.ndarray):
+            batch_shape = v.shape
+            break
+
+    values: list = [None] * len(net.nodes)
+    for name in net.input_names:
+        v = assignments[name]
+        arr = np.asarray(v, dtype=bool)
+        if arr.shape == () and batch_shape:
+            arr = np.broadcast_to(arr, batch_shape)
+        values[net.input_id(name)] = arr
+
+    for nid, node in enumerate(net.nodes):
+        if values[nid] is not None:
+            continue
+        op = node.op
+        if op == "const0":
+            values[nid] = np.broadcast_to(np.asarray(False), batch_shape)
+        elif op == "const1":
+            values[nid] = np.broadcast_to(np.asarray(True), batch_shape)
+        elif op == "not":
+            values[nid] = ~values[node.fanins[0]]
+        elif op in ("and", "nand"):
+            acc = values[node.fanins[0]]
+            for f in node.fanins[1:]:
+                acc = acc & values[f]
+            values[nid] = ~acc if op == "nand" else acc
+        elif op in ("or", "nor"):
+            acc = values[node.fanins[0]]
+            for f in node.fanins[1:]:
+                acc = acc | values[f]
+            values[nid] = ~acc if op == "nor" else acc
+        elif op == "xor":
+            values[nid] = values[node.fanins[0]] ^ values[node.fanins[1]]
+        elif op == "xnor":
+            values[nid] = ~(values[node.fanins[0]] ^ values[node.fanins[1]])
+        elif op == "mux":
+            s, a, b = (values[f] for f in node.fanins)
+            values[nid] = np.where(s, a, b)
+        else:  # pragma: no cover - op set is closed
+            raise NetlistError(f"unknown op {op!r}")
+
+    return {name: np.asarray(values[nid], dtype=bool)
+            for name, nid in net.outputs}
+
+
+def evaluate_ints(net: LogicNetwork, buses: Mapping[str, tuple[int, int]],
+                  out_buses: Mapping[str, int]) -> Dict[str, int]:
+    """Evaluate with integer bus values (convenience for golden tests).
+
+    ``buses`` maps bus name -> ``(value, width)``; inputs must be named
+    ``bus[i]``. ``out_buses`` maps output bus name -> width; outputs named
+    ``bus[i]`` are reassembled little-endian into integers.
+    """
+    assignments: Dict[str, InputValue] = {}
+    for bus, (value, width) in buses.items():
+        for i, bit in enumerate(int_to_bits(value, width)):
+            assignments[f"{bus}[{i}]"] = bool(bit)
+    result = evaluate(net, assignments)
+    out: Dict[str, int] = {}
+    for bus, width in out_buses.items():
+        bits = [int(result[f"{bus}[{i}]"]) for i in range(width)]
+        out[bus] = bits_to_int(bits)
+    return out

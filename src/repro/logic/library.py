@@ -1,0 +1,297 @@
+"""Reusable gate-level building blocks for the benchmark generators.
+
+Everything operates on *buses*: little-endian lists of node ids inside one
+:class:`repro.logic.netlist.LogicNetwork`. These mirror the RTL idioms the
+EPFL benchmarks were synthesized from — ripple adders, comparators,
+multiplexers, barrel-shift stages, priority chains, population counts —
+so the generated circuits have realistic structure for SIMPLER to map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import SynthesisError
+from repro.logic.netlist import LogicNetwork
+
+
+def not_bus(net: LogicNetwork, bus: Sequence[int]) -> List[int]:
+    """Bitwise NOT of a bus."""
+    return [net.not_(b) for b in bus]
+
+
+def and_bus(net: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Bitwise AND of two equal-width buses."""
+    _check_widths(a, b)
+    return [net.and_(x, y) for x, y in zip(a, b)]
+
+
+def or_bus(net: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Bitwise OR of two equal-width buses."""
+    _check_widths(a, b)
+    return [net.or_(x, y) for x, y in zip(a, b)]
+
+
+def xor_bus(net: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> List[int]:
+    """Bitwise XOR of two equal-width buses."""
+    _check_widths(a, b)
+    return [net.xor(x, y) for x, y in zip(a, b)]
+
+
+def mux_bus(net: LogicNetwork, sel: int, a: Sequence[int],
+            b: Sequence[int]) -> List[int]:
+    """Per-bit 2:1 mux: ``sel ? a : b``."""
+    _check_widths(a, b)
+    return [net.mux(sel, x, y) for x, y in zip(a, b)]
+
+
+def full_adder(net: LogicNetwork, a: int, b: int, cin: int) -> Tuple[int, int]:
+    """One full adder; returns ``(sum, carry_out)``.
+
+    Built as the canonical 9-gate NOR full adder used throughout the
+    MAGIC literature, with the carry sharing the XOR ladder's
+    intermediates::
+
+        t1 = NOR(a, b)            u1 = NOR(x', cin)
+        t2 = NOR(a, t1)           u2 = NOR(x', u1)
+        t3 = NOR(b, t1)           u3 = NOR(cin, u1)
+        x' = NOR(t2, t3)  # XNOR  sum   = NOR(u2, u3)
+                                  carry = NOR(t1, u1)
+
+    Besides matching MAGIC gate counts, the sharing means a mapped
+    full adder consumes its operand cells entirely on the sum path,
+    which keeps SIMPLER's live set small in adder-tree circuits.
+    """
+    t1 = net.nor(a, b)
+    t2 = net.nor(a, t1)
+    t3 = net.nor(b, t1)
+    xn = net.nor(t2, t3)          # XNOR(a, b)
+    u1 = net.nor(xn, cin)
+    u2 = net.nor(xn, u1)
+    u3 = net.nor(cin, u1)
+    s = net.nor(u2, u3)           # a ^ b ^ cin
+    cout = net.nor(t1, u1)        # majority(a, b, cin)
+    return s, cout
+
+
+def half_adder(net: LogicNetwork, a: int, b: int) -> Tuple[int, int]:
+    """One half adder; returns ``(sum, carry_out)``.
+
+    Six NOR gates: the 4-gate XNOR ladder, the inverting 5th gate for the
+    sum, and ``carry = NOR(t1, sum_xor)`` sharing the ladder.
+    """
+    t1 = net.nor(a, b)
+    t2 = net.nor(a, t1)
+    t3 = net.nor(b, t1)
+    xn = net.nor(t2, t3)          # XNOR(a, b)
+    s = net.not_(xn)              # a ^ b
+    c = net.nor(t1, s)            # a & b
+    return s, c
+
+
+def ripple_adder(net: LogicNetwork, a: Sequence[int], b: Sequence[int],
+                 cin: int | None = None) -> Tuple[List[int], int]:
+    """Ripple-carry adder; returns ``(sum_bus, carry_out)``."""
+    _check_widths(a, b)
+    sums: List[int] = []
+    if cin is None:
+        s, carry = half_adder(net, a[0], b[0])
+        sums.append(s)
+        rest = zip(a[1:], b[1:])
+    else:
+        carry = cin
+        rest = zip(a, b)
+    for x, y in rest:
+        s, carry = full_adder(net, x, y, carry)
+        sums.append(s)
+    return sums, carry
+
+
+def increment(net: LogicNetwork, a: Sequence[int]) -> Tuple[List[int], int]:
+    """``a + 1``; returns ``(sum_bus, carry_out)``."""
+    sums: List[int] = []
+    carry = None
+    for i, bit in enumerate(a):
+        if i == 0:
+            sums.append(net.not_(bit))
+            carry = bit
+        else:
+            sums.append(net.xor(bit, carry))
+            carry = net.and_(bit, carry)
+    return sums, carry
+
+
+def equals_const(net: LogicNetwork, bus: Sequence[int], value: int) -> int:
+    """1 iff the bus equals the constant ``value``."""
+    literals = []
+    for i, bit in enumerate(bus):
+        literals.append(bit if (value >> i) & 1 else net.not_(bit))
+    return net.and_(*literals) if len(literals) > 1 else literals[0]
+
+
+def greater_equal(net: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> int:
+    """1 iff unsigned ``a >= b`` (ripple comparator from the LSB up)."""
+    _check_widths(a, b)
+    ge = net.const1()
+    for x, y in zip(a, b):  # LSB to MSB; MSB decision dominates
+        eq = net.xnor(x, y)
+        gt = net.and_(x, net.not_(y))
+        ge = net.or_(gt, net.and_(eq, ge))
+    return ge
+
+
+def greater_than(net: LogicNetwork, a: Sequence[int], b: Sequence[int]) -> int:
+    """1 iff unsigned ``a > b``."""
+    _check_widths(a, b)
+    gt_acc = net.const0()
+    for x, y in zip(a, b):
+        eq = net.xnor(x, y)
+        gt = net.and_(x, net.not_(y))
+        gt_acc = net.or_(gt, net.and_(eq, gt_acc))
+    return gt_acc
+
+
+def greater_equal_const(net: LogicNetwork, a: Sequence[int], value: int) -> int:
+    """1 iff unsigned ``a >= value`` (constant-folded comparator chain).
+
+    Processes from the LSB up: with constant bit ``k_i``, the running
+    greater-or-equal becomes ``a_i OR ge`` when ``k_i == 0`` and
+    ``a_i AND ge`` when ``k_i == 1``.
+    """
+    if value < 0 or value >= (1 << len(a)):
+        raise SynthesisError(f"constant {value} does not fit in {len(a)} bits")
+    ge = net.const1()
+    for i, bit in enumerate(a):
+        if (value >> i) & 1:
+            ge = net.and_(bit, ge)
+        else:
+            ge = net.or_(bit, ge)
+    return ge
+
+
+def array_multiplier(net: LogicNetwork, a: Sequence[int],
+                     b: Sequence[int]) -> List[int]:
+    """Unsigned array multiplier: returns ``len(a) + len(b)`` product bits.
+
+    Row-by-row accumulation of partial products with ripple adders — the
+    standard array structure, deliberately not Wallace-optimized so the
+    gate count resembles technology-mapped RTL.
+    """
+    wa, wb = len(a), len(b)
+    if wa == 0 or wb == 0:
+        raise SynthesisError("multiplier operands must be non-empty")
+    # Partial product row j: (a AND b[j]) << j, accumulated into a running
+    # sum that grows one bit per row.
+    acc: List[int] = [net.and_(bit, b[0]) for bit in a]
+    result: List[int] = [acc[0]]
+    acc = acc[1:]
+    carry: Optional[int] = None
+    for j in range(1, wb):
+        row = [net.and_(bit, b[j]) for bit in a]
+        # acc currently holds sum bits of weight j .. j+wa-2 (wa-1 bits),
+        # plus carry of weight j+wa-1 from the previous row (None for j=1).
+        high = carry if carry is not None else net.const0()
+        addend = acc + [high]
+        sums, carry = ripple_adder(net, row, addend)
+        result.append(sums[0])
+        acc = sums[1:]
+    result.extend(acc)
+    result.append(carry if carry is not None else net.const0())
+    return result
+
+
+def rotate_left_stage(net: LogicNetwork, bus: Sequence[int], amount: int,
+                      enable: int) -> List[int]:
+    """One barrel-rotator stage: rotate left by ``amount`` when ``enable``."""
+    width = len(bus)
+    rotated = [bus[(i - amount) % width] for i in range(width)]
+    return mux_bus(net, enable, rotated, list(bus))
+
+
+def rotate_right_stage(net: LogicNetwork, bus: Sequence[int], amount: int,
+                       enable: int) -> List[int]:
+    """One barrel-rotator stage: rotate right by ``amount`` when ``enable``."""
+    width = len(bus)
+    rotated = [bus[(i + amount) % width] for i in range(width)]
+    return mux_bus(net, enable, rotated, list(bus))
+
+
+def shift_right_stage(net: LogicNetwork, bus: Sequence[int], amount: int,
+                      enable: int, fill: int) -> List[int]:
+    """One logical-right-shift stage with explicit fill bit."""
+    width = len(bus)
+    shifted = [bus[i + amount] if i + amount < width else fill
+               for i in range(width)]
+    return mux_bus(net, enable, shifted, list(bus))
+
+
+def priority_chain(net: LogicNetwork, requests: Sequence[int]) -> List[int]:
+    """Fixed-priority grant: ``grant[i] = req[i] AND none of req[0..i-1]``.
+
+    Index 0 has the highest priority. Uses a linear none-so-far chain, the
+    canonical structure of priority encoders and arbiters.
+    """
+    grants: List[int] = []
+    none_before = None
+    for i, req in enumerate(requests):
+        if i == 0:
+            grants.append(req)
+            none_before = net.not_(req)
+        else:
+            grants.append(net.and_(req, none_before))
+            none_before = net.and_(none_before, net.not_(req))
+    return grants
+
+
+def popcount(net: LogicNetwork, bits: Sequence[int]) -> List[int]:
+    """Population count via a full-adder (3:2 compressor) tree.
+
+    Returns a little-endian bus wide enough for ``len(bits)``.
+    """
+    if not bits:
+        raise SynthesisError("popcount of empty bit list")
+    # Columns of equal weight; repeatedly compress 3 bits -> (sum, carry).
+    columns: List[List[int]] = [list(bits)]
+    result: List[int] = []
+    weight = 0
+    while columns:
+        col = columns[0]
+        while len(col) >= 3:
+            a, b, c = col.pop(), col.pop(), col.pop()
+            s, cy = full_adder(net, a, b, c)
+            col.append(s)
+            _push(columns, 1, cy)
+        if len(col) == 2:
+            a, b = col.pop(), col.pop()
+            s, cy = half_adder(net, a, b)
+            col.append(s)
+            _push(columns, 1, cy)
+        result.append(col[0])
+        columns.pop(0)
+        weight += 1
+    return result
+
+
+def onehot_encode(net: LogicNetwork, bus: Sequence[int]) -> List[int]:
+    """Full decoder: ``2^len(bus)`` one-hot lines via shared half-decoders.
+
+    Splits the input in two halves, decodes each recursively, then ANDs
+    pairs — the logarithmic-sharing structure of real decoder netlists.
+    """
+    if len(bus) == 1:
+        return [net.not_(bus[0]), bus[0]]
+    half = len(bus) // 2
+    lo = onehot_encode(net, bus[:half])
+    hi = onehot_encode(net, bus[half:])
+    return [net.and_(h, l) for h in hi for l in lo]
+
+
+def _push(columns: List[List[int]], index: int, bit: int) -> None:
+    while len(columns) <= index:
+        columns.append([])
+    columns[index].append(bit)
+
+
+def _check_widths(a: Sequence[int], b: Sequence[int]) -> None:
+    if len(a) != len(b):
+        raise SynthesisError(f"bus width mismatch: {len(a)} vs {len(b)}")

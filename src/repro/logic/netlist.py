@@ -1,0 +1,218 @@
+"""Combinational logic network IR.
+
+A :class:`LogicNetwork` is a DAG of typed nodes referenced by integer ids.
+Supported operations (``OPS``):
+
+``input``            primary input (no fanins)
+``const0``/``const1`` constants
+``not``              1 fanin
+``and``/``or``       n-ary (>= 1 fanin)
+``nand``/``nor``     n-ary (>= 1 fanin)
+``xor``/``xnor``     exactly 2 fanins
+``mux``              3 fanins ``(sel, a, b)`` meaning ``sel ? a : b``
+
+The builder methods perform light structural hashing (constant folding is
+deliberately *not* done — benchmark circuits should keep their natural
+structure so gate counts are honest). Buses are plain Python lists of node
+ids, little-endian (index 0 = LSB), created with :meth:`input_bus` /
+:meth:`output_bus`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+
+OPS = ("input", "const0", "const1", "not", "and", "or", "nand", "nor",
+       "xor", "xnor", "mux")
+
+_ARITY = {
+    "input": (0, 0),
+    "const0": (0, 0),
+    "const1": (0, 0),
+    "not": (1, 1),
+    "and": (1, None),
+    "or": (1, None),
+    "nand": (1, None),
+    "nor": (1, None),
+    "xor": (2, 2),
+    "xnor": (2, 2),
+    "mux": (3, 3),
+}
+
+
+@dataclass(frozen=True)
+class Node:
+    """One gate: operation plus fanin node ids."""
+
+    op: str
+    fanins: Tuple[int, ...]
+
+
+class LogicNetwork:
+    """Mutable builder + container for a combinational DAG."""
+
+    def __init__(self, name: str = "network"):
+        self.name = name
+        self.nodes: List[Node] = []
+        self.input_names: List[str] = []
+        self._input_ids: Dict[str, int] = {}
+        self.outputs: List[Tuple[str, int]] = []
+        self._hash_cache: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+
+    # ------------------------------------------------------------------ #
+    # Node creation
+    # ------------------------------------------------------------------ #
+
+    def _add(self, op: str, fanins: Tuple[int, ...]) -> int:
+        lo, hi = _ARITY[op]
+        if len(fanins) < lo or (hi is not None and len(fanins) > hi):
+            raise NetlistError(f"{op} gate with {len(fanins)} fanins")
+        for f in fanins:
+            if not 0 <= f < len(self.nodes):
+                raise NetlistError(f"fanin {f} of new {op} gate does not exist")
+        # Structural hashing for commutative ops keeps generated circuits
+        # from duplicating shared literals (NOT gates especially).
+        key: Optional[Tuple[str, Tuple[int, ...]]] = None
+        if op in ("not", "and", "or", "nand", "nor", "xor", "xnor"):
+            canon = tuple(sorted(fanins)) if op != "not" else fanins
+            key = (op, canon)
+            cached = self._hash_cache.get(key)
+            if cached is not None:
+                return cached
+        self.nodes.append(Node(op, fanins))
+        node_id = len(self.nodes) - 1
+        if key is not None:
+            self._hash_cache[key] = node_id
+        return node_id
+
+    def input(self, name: str) -> int:
+        """Declare a named primary input; returns its node id."""
+        if name in self._input_ids:
+            raise NetlistError(f"duplicate input name {name!r}")
+        node_id = self._add("input", ())
+        self.input_names.append(name)
+        self._input_ids[name] = node_id
+        return node_id
+
+    def input_bus(self, name: str, width: int) -> List[int]:
+        """Declare ``width`` inputs named ``name[i]``, little-endian."""
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def const0(self) -> int:
+        """Constant logical 0."""
+        return self._add("const0", ())
+
+    def const1(self) -> int:
+        """Constant logical 1."""
+        return self._add("const1", ())
+
+    def not_(self, a: int) -> int:
+        """Logical NOT."""
+        return self._add("not", (a,))
+
+    def and_(self, *fanins: int) -> int:
+        """n-ary AND (associativity handled downstream)."""
+        if len(fanins) == 1:
+            return fanins[0]
+        return self._add("and", tuple(fanins))
+
+    def or_(self, *fanins: int) -> int:
+        """n-ary OR."""
+        if len(fanins) == 1:
+            return fanins[0]
+        return self._add("or", tuple(fanins))
+
+    def nand(self, *fanins: int) -> int:
+        """n-ary NAND."""
+        return self._add("nand", tuple(fanins))
+
+    def nor(self, *fanins: int) -> int:
+        """n-ary NOR."""
+        return self._add("nor", tuple(fanins))
+
+    def xor(self, a: int, b: int) -> int:
+        """2-input XOR."""
+        return self._add("xor", (a, b))
+
+    def xnor(self, a: int, b: int) -> int:
+        """2-input XNOR."""
+        return self._add("xnor", (a, b))
+
+    def mux(self, sel: int, a: int, b: int) -> int:
+        """2:1 multiplexer: ``sel ? a : b``."""
+        return self._add("mux", (sel, a, b))
+
+    # ------------------------------------------------------------------ #
+    # Outputs
+    # ------------------------------------------------------------------ #
+
+    def output(self, name: str, node_id: int) -> None:
+        """Mark ``node_id`` as the primary output ``name``."""
+        if not 0 <= node_id < len(self.nodes):
+            raise NetlistError(f"output {name!r} references missing node {node_id}")
+        if any(n == name for n, _ in self.outputs):
+            raise NetlistError(f"duplicate output name {name!r}")
+        self.outputs.append((name, node_id))
+
+    def output_bus(self, name: str, node_ids: Sequence[int]) -> None:
+        """Mark a little-endian bus of outputs named ``name[i]``."""
+        for i, nid in enumerate(node_ids):
+            self.output(f"{name}[{i}]", nid)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self.input_names)
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self.outputs)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of non-input, non-const nodes."""
+        return sum(1 for n in self.nodes
+                   if n.op not in ("input", "const0", "const1"))
+
+    def input_id(self, name: str) -> int:
+        """Node id of a named input."""
+        try:
+            return self._input_ids[name]
+        except KeyError:
+            raise NetlistError(f"no input named {name!r}") from None
+
+    def stats(self) -> dict:
+        """Gate-count statistics keyed by operation."""
+        counts: Dict[str, int] = {}
+        for n in self.nodes:
+            counts[n.op] = counts.get(n.op, 0) + 1
+        counts["total_nodes"] = len(self.nodes)
+        counts["inputs"] = self.num_inputs
+        counts["outputs"] = self.num_outputs
+        counts["gates"] = self.num_gates
+        return counts
+
+    def validate(self) -> None:
+        """Check DAG invariants; raises :class:`NetlistError` on violation.
+
+        Nodes are created append-only with existing fanins, so the graph is
+        acyclic by construction; this verifies output references and that
+        every output is driven.
+        """
+        for name, nid in self.outputs:
+            if not 0 <= nid < len(self.nodes):
+                raise NetlistError(f"output {name!r} dangling (node {nid})")
+        if not self.outputs:
+            raise NetlistError(f"network {self.name!r} has no outputs")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"LogicNetwork(name={self.name!r}, inputs={self.num_inputs}, "
+                f"outputs={self.num_outputs}, gates={self.num_gates})")

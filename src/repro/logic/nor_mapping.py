@@ -1,0 +1,171 @@
+"""Technology mapping: arbitrary logic network -> 2-input NOR / NOT.
+
+Mapping rules (NOT gates are cached so complements are shared):
+
+=========  =============================================  =========
+op          construction                                   NOR gates
+=========  =============================================  =========
+not         NOR(a)                                         1
+or2         NOT(NOR(a, b))                                 2
+nor2        NOR(a, b)                                      1
+and2        NOR(NOT a, NOT b)                              1 (+NOTs)
+nand2       NOT(AND)                                       2 (+NOTs)
+xor2        t1=NOR(a,b); t2=NOR(a,t1); t3=NOR(b,t1);
+            xn=NOR(t2,t3); x=NOT(xn)                       5
+xnor2       same minus final NOT                           4
+mux(s,a,b)  NOR(NOR(a, NOT s), NOR(b, s))                  3 (+NOT s)
+=========  =============================================  =========
+
+n-ary AND/OR/NAND/NOR are decomposed into balanced binary trees first.
+The resulting gate counts are what SIMPLER sees, so they directly shape
+the baseline cycle counts of Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.errors import SynthesisError
+from repro.logic.netlist import LogicNetwork
+from repro.logic.norlist import NorNetlist
+
+
+class _Mapper:
+    """Stateful single-pass mapper with NOT-sharing."""
+
+    def __init__(self, net: LogicNetwork):
+        self.net = net
+        self.out = NorNetlist(list(net.input_names), name=f"{net.name}-nor")
+        self.mapped: Dict[int, int] = {}
+        self.not_cache: Dict[int, int] = {}
+        self._input_pos = {net.input_id(nm): i
+                           for i, nm in enumerate(net.input_names)}
+
+    # -- primitive emitters ------------------------------------------- #
+
+    def emit_nor(self, a: int, b: int) -> int:
+        return self.out.add_gate((a, b))
+
+    def emit_not(self, a: int) -> int:
+        cached = self.not_cache.get(a)
+        if cached is None:
+            cached = self.out.add_gate((a,))
+            self.not_cache[a] = cached
+        return cached
+
+    def emit_or(self, a: int, b: int) -> int:
+        return self.emit_not(self.emit_nor(a, b))
+
+    def emit_and(self, a: int, b: int) -> int:
+        return self.emit_nor(self.emit_not(a), self.emit_not(b))
+
+    def emit_xnor(self, a: int, b: int) -> int:
+        t1 = self.emit_nor(a, b)
+        t2 = self.emit_nor(a, t1)
+        t3 = self.emit_nor(b, t1)
+        return self.emit_nor(t2, t3)
+
+    def emit_xor(self, a: int, b: int) -> int:
+        return self.emit_not(self.emit_xnor(a, b))
+
+    def emit_mux(self, s: int, a: int, b: int) -> int:
+        # NOR(NOR(a, NOT s), NOR(b, s)) == s ? a : b
+        ns = self.emit_not(s)
+        return self.emit_nor(self.emit_nor(a, ns), self.emit_nor(b, s))
+
+    # -- tree reduction for n-ary gates -------------------------------- #
+
+    def reduce_tree(self, operands: Sequence[int], op: str) -> int:
+        ops = list(operands)
+        if not ops:
+            raise SynthesisError(f"empty operand list for {op}")
+        emit = self.emit_and if op == "and" else self.emit_or
+        while len(ops) > 1:
+            nxt: List[int] = []
+            for i in range(0, len(ops) - 1, 2):
+                nxt.append(emit(ops[i], ops[i + 1]))
+            if len(ops) % 2:
+                nxt.append(ops[-1])
+            ops = nxt
+        return ops[0]
+
+    # -- main walk ------------------------------------------------------ #
+
+    def map_node(self, nid: int) -> int:
+        done = self.mapped.get(nid)
+        if done is not None:
+            return done
+        node = self.net.nodes[nid]
+        op = node.op
+        if op == "input":
+            # Input ids coincide between IRs only if inputs were declared
+            # first; map by declaration position instead.
+            result = self._input_pos[nid]
+        elif op in ("const0", "const1"):
+            result = self.out.add_const(1 if op == "const1" else 0)
+        elif op == "not":
+            result = self.emit_not(self.map_node(node.fanins[0]))
+        elif op == "nor":
+            kids = [self.map_node(f) for f in node.fanins]
+            if len(kids) == 1:
+                result = self.emit_not(kids[0])
+            elif len(kids) == 2:
+                result = self.emit_nor(kids[0], kids[1])
+            else:
+                # NOR(x1..xk) = NOR(OR(first half), OR(second half)).
+                half = len(kids) // 2
+                left = self.reduce_tree(kids[:half], "or")
+                right = self.reduce_tree(kids[half:], "or")
+                result = self.emit_nor(left, right)
+        elif op in ("and", "or", "nand"):
+            kids = [self.map_node(f) for f in node.fanins]
+            if len(kids) == 1:
+                inner = kids[0]
+            else:
+                base = "and" if op in ("and", "nand") else "or"
+                inner = self.reduce_tree(kids, base)
+            result = self.emit_not(inner) if op == "nand" else inner
+        elif op == "xor":
+            result = self.emit_xor(self.map_node(node.fanins[0]),
+                                   self.map_node(node.fanins[1]))
+        elif op == "xnor":
+            result = self.emit_xnor(self.map_node(node.fanins[0]),
+                                    self.map_node(node.fanins[1]))
+        elif op == "mux":
+            result = self.emit_mux(*(self.map_node(f) for f in node.fanins))
+        else:  # pragma: no cover - op set is closed
+            raise SynthesisError(f"cannot map op {op!r}")
+        self.mapped[nid] = result
+        return result
+
+
+def map_to_nor(net: LogicNetwork) -> NorNetlist:
+    """Map a :class:`LogicNetwork` to a :class:`NorNetlist`.
+
+    The walk is iterative (explicit stack) because benchmark circuits such
+    as the 1001-input voter produce recursion depths beyond CPython's
+    default limit.
+    """
+    net.validate()
+    mapper = _Mapper(net)
+    # Iterative post-order over all output cones.
+    for _, root in net.outputs:
+        stack = [(root, False)]
+        while stack:
+            nid, expanded = stack.pop()
+            if nid in mapper.mapped:
+                continue
+            node = net.nodes[nid]
+            if node.op == "input":
+                mapper.map_node(nid)
+                continue
+            if expanded or not node.fanins:
+                mapper.map_node(nid)
+            else:
+                stack.append((nid, True))
+                for f in node.fanins:
+                    if f not in mapper.mapped:
+                        stack.append((f, False))
+    for name, nid in net.outputs:
+        mapper.out.add_output(name, mapper.mapped[nid])
+    return mapper.out

@@ -1,0 +1,163 @@
+"""NOR/NOT-only netlist — the output of technology mapping.
+
+MAGIC natively provides k-input NOR (of which 1-input NOR is NOT); the
+paper and SIMPLER restrict to 2-input NOR + NOT, which is what this IR
+holds. Node ids: ``0 .. num_inputs-1`` are primary inputs (in declaration
+order); higher ids are gates, each a :class:`NorGate` with one or two
+fanins, or a constant cell (``const0`` / ``const1``) written directly by
+the executor.
+
+The structure is append-only and topologically ordered by construction,
+which the SIMPLER mapper relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class NorGate:
+    """A gate in the NOR netlist.
+
+    ``kind`` is ``"nor"`` (1 or 2 fanins — 1 fanin means MAGIC NOT),
+    ``"const0"`` or ``"const1"`` (no fanins).
+    """
+
+    kind: str
+    fanins: Tuple[int, ...]
+
+
+class NorNetlist:
+    """2-input NOR / NOT netlist with named primary inputs and outputs."""
+
+    def __init__(self, input_names: Sequence[str], name: str = "nor-netlist"):
+        self.name = name
+        self.input_names = list(input_names)
+        self.gates: List[NorGate] = []  # gate i has node id num_inputs + i
+        self.outputs: List[Tuple[str, int]] = []
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_inputs(self) -> int:
+        """Number of primary inputs."""
+        return len(self.input_names)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of gates (NOR + NOT + consts)."""
+        return len(self.gates)
+
+    @property
+    def num_nodes(self) -> int:
+        """Inputs + gates."""
+        return self.num_inputs + self.num_gates
+
+    @property
+    def num_outputs(self) -> int:
+        """Number of primary outputs."""
+        return len(self.outputs)
+
+    def add_gate(self, fanins: Sequence[int]) -> int:
+        """Append a NOR gate (1-2 fanins); returns its node id."""
+        fin = tuple(fanins)
+        if len(fin) not in (1, 2):
+            raise NetlistError(f"NOR gate needs 1 or 2 fanins, got {len(fin)}")
+        for f in fin:
+            if not 0 <= f < self.num_nodes:
+                raise NetlistError(f"NOR fanin {f} does not exist yet")
+        self.gates.append(NorGate("nor", fin))
+        return self.num_nodes - 1
+
+    def add_const(self, value: int) -> int:
+        """Append a constant cell; returns its node id."""
+        self.gates.append(NorGate("const1" if value else "const0", ()))
+        return self.num_nodes - 1
+
+    def add_output(self, name: str, node_id: int) -> None:
+        """Mark a node as primary output ``name``."""
+        if not 0 <= node_id < self.num_nodes:
+            raise NetlistError(f"output {name!r} references missing node {node_id}")
+        self.outputs.append((name, node_id))
+
+    def gate(self, node_id: int) -> NorGate:
+        """Gate object for a gate node id."""
+        if node_id < self.num_inputs:
+            raise NetlistError(f"node {node_id} is a primary input, not a gate")
+        return self.gates[node_id - self.num_inputs]
+
+    def is_input(self, node_id: int) -> bool:
+        """True for primary-input node ids."""
+        return node_id < self.num_inputs
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+
+    def fanout_counts(self) -> np.ndarray:
+        """Number of gate references to each node (outputs not counted)."""
+        counts = np.zeros(self.num_nodes, dtype=np.int64)
+        for g in self.gates:
+            for f in g.fanins:
+                counts[f] += 1
+        return counts
+
+    def output_ids(self) -> List[int]:
+        """Node ids of all primary outputs (duplicates preserved)."""
+        return [nid for _, nid in self.outputs]
+
+    def stats(self) -> dict:
+        """Counts of NOT / NOR2 / const gates."""
+        not_gates = sum(1 for g in self.gates
+                        if g.kind == "nor" and len(g.fanins) == 1)
+        nor2 = sum(1 for g in self.gates
+                   if g.kind == "nor" and len(g.fanins) == 2)
+        consts = sum(1 for g in self.gates if g.kind.startswith("const"))
+        return {
+            "inputs": self.num_inputs,
+            "outputs": self.num_outputs,
+            "not": not_gates,
+            "nor2": nor2,
+            "const": consts,
+            "gates": self.num_gates,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, assignments: Dict[str, object]) -> Dict[str, np.ndarray]:
+        """Batched functional evaluation (same conventions as logic.eval)."""
+        batch_shape: tuple = ()
+        for v in assignments.values():
+            if isinstance(v, np.ndarray):
+                batch_shape = v.shape
+                break
+        values: list = [None] * self.num_nodes
+        for i, name in enumerate(self.input_names):
+            if name not in assignments:
+                raise NetlistError(f"missing assignment for input {name!r}")
+            arr = np.asarray(assignments[name], dtype=bool)
+            if arr.shape == () and batch_shape:
+                arr = np.broadcast_to(arr, batch_shape)
+            values[i] = arr
+        for gi, g in enumerate(self.gates):
+            nid = self.num_inputs + gi
+            if g.kind == "const0":
+                values[nid] = np.broadcast_to(np.asarray(False), batch_shape)
+            elif g.kind == "const1":
+                values[nid] = np.broadcast_to(np.asarray(True), batch_shape)
+            elif len(g.fanins) == 1:
+                values[nid] = ~values[g.fanins[0]]
+            else:
+                values[nid] = ~(values[g.fanins[0]] | values[g.fanins[1]])
+        return {name: np.asarray(values[nid], dtype=bool)
+                for name, nid in self.outputs}

@@ -1,0 +1,146 @@
+"""JSON serialization of netlists and synthesized programs.
+
+Lets users cache expensive artifacts (the voter NOR netlist, a SIMPLER
+mapping) and exchange circuits without re-running generators. Formats
+are versioned, plain-JSON, and round-trip exactly; loaders validate
+structure and raise :class:`repro.errors.NetlistError` on malformed
+input rather than producing corrupt objects.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.errors import NetlistError
+from repro.logic.norlist import NorNetlist
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.synth.program import MagicProgram
+
+_NORLIST_FORMAT = "repro-norlist-v1"
+_PROGRAM_FORMAT = "repro-magicprogram-v1"
+
+
+# ---------------------------------------------------------------------- #
+# NOR netlists
+# ---------------------------------------------------------------------- #
+
+def norlist_to_dict(netlist: NorNetlist) -> Dict[str, Any]:
+    """Serializable dict form of a NOR netlist."""
+    return {
+        "format": _NORLIST_FORMAT,
+        "name": netlist.name,
+        "inputs": list(netlist.input_names),
+        "gates": [{"kind": g.kind, "fanins": list(g.fanins)}
+                  for g in netlist.gates],
+        "outputs": [{"name": name, "node": nid}
+                    for name, nid in netlist.outputs],
+    }
+
+
+def norlist_from_dict(data: Dict[str, Any]) -> NorNetlist:
+    """Rebuild a NOR netlist; validates structure on the way in."""
+    if data.get("format") != _NORLIST_FORMAT:
+        raise NetlistError(
+            f"not a {_NORLIST_FORMAT} document: {data.get('format')!r}")
+    netlist = NorNetlist(data["inputs"], name=data.get("name", "loaded"))
+    for gate in data["gates"]:
+        kind = gate["kind"]
+        if kind == "nor":
+            netlist.add_gate(tuple(gate["fanins"]))
+        elif kind in ("const0", "const1"):
+            netlist.add_const(1 if kind == "const1" else 0)
+        else:
+            raise NetlistError(f"unknown gate kind {kind!r}")
+    for out in data["outputs"]:
+        netlist.add_output(out["name"], out["node"])
+    return netlist
+
+
+def save_norlist(netlist: NorNetlist, path: str) -> None:
+    """Write a NOR netlist to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(norlist_to_dict(netlist), handle)
+
+
+def load_norlist(path: str) -> NorNetlist:
+    """Read a NOR netlist from a JSON file."""
+    with open(path) as handle:
+        return norlist_from_dict(json.load(handle))
+
+
+# ---------------------------------------------------------------------- #
+# MAGIC programs
+# ---------------------------------------------------------------------- #
+
+def program_to_dict(program: "MagicProgram") -> Dict[str, Any]:
+    """Serializable dict form of a synthesized row program."""
+    # Imported here (not module level): repro.synth.program itself
+    # depends on repro.logic, and this module is re-exported from
+    # repro.logic's package init — a module-level import would cycle.
+    from repro.synth.program import RowConst, RowInit, RowNor
+
+    ops = []
+    for op in program.ops:
+        if isinstance(op, RowNor):
+            ops.append({"op": "nor", "out": op.out_cell,
+                        "in": list(op.in_cells), "node": op.node_id,
+                        "output": op.is_output})
+        elif isinstance(op, RowInit):
+            ops.append({"op": "init", "cells": list(op.cells)})
+        elif isinstance(op, RowConst):
+            ops.append({"op": "const", "cell": op.cell, "value": op.value,
+                        "node": op.node_id, "output": op.is_output})
+        else:  # pragma: no cover - op set is closed
+            raise NetlistError(f"unknown op {type(op).__name__}")
+    return {
+        "format": _PROGRAM_FORMAT,
+        "row_size": program.row_size,
+        "netlist": norlist_to_dict(program.netlist),
+        "input_cells": {str(k): v for k, v in program.input_cells.items()},
+        "output_cells": dict(program.output_cells),
+        "peak_live_cells": program.peak_live_cells,
+        "ops": ops,
+    }
+
+
+def program_from_dict(data: Dict[str, Any]) -> "MagicProgram":
+    """Rebuild a program (including its embedded netlist)."""
+    from repro.synth.program import MagicProgram, RowConst, RowInit, RowNor
+
+    if data.get("format") != _PROGRAM_FORMAT:
+        raise NetlistError(
+            f"not a {_PROGRAM_FORMAT} document: {data.get('format')!r}")
+    program = MagicProgram(
+        netlist=norlist_from_dict(data["netlist"]),
+        row_size=data["row_size"],
+        input_cells={int(k): v for k, v in data["input_cells"].items()},
+        output_cells=dict(data["output_cells"]),
+        peak_live_cells=data.get("peak_live_cells", 0),
+    )
+    for op in data["ops"]:
+        kind = op["op"]
+        if kind == "nor":
+            program.ops.append(RowNor(op["out"], tuple(op["in"]),
+                                      op["node"], op["output"]))
+        elif kind == "init":
+            program.ops.append(RowInit(tuple(op["cells"])))
+        elif kind == "const":
+            program.ops.append(RowConst(op["cell"], op["value"],
+                                        op["node"], op["output"]))
+        else:
+            raise NetlistError(f"unknown program op {kind!r}")
+    return program
+
+
+def save_program(program: "MagicProgram", path: str) -> None:
+    """Write a program to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(program_to_dict(program), handle)
+
+
+def load_program(path: str) -> "MagicProgram":
+    """Read a program from a JSON file."""
+    with open(path) as handle:
+        return program_from_dict(json.load(handle))

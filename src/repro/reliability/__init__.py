@@ -1,0 +1,48 @@
+"""Reliability analysis (paper Sec. V-A, Figure 6).
+
+The analytic model: memristor soft errors are uniform and independent at
+rate ``lambda`` FIT/bit; full-memory ECC checks run every ``T`` hours; a
+block survives a check window iff it accumulated at most one error
+(single-error correction); blocks, crossbars, and the 1 GB memory compose
+independently; the memory failure rate in FIT is the window failure
+probability scaled by ``1e9 / T``, and MTTF is its reciprocal scaled by
+``1e9``. :mod:`repro.reliability.montecarlo` validates the binomial core
+of this model against actual fault injection + decode on the simulated
+machinery (experiment E7 in DESIGN.md).
+"""
+
+from repro.reliability.model import (
+    MemoryOrganization,
+    ReliabilityModel,
+    SweepPoint,
+)
+from repro.reliability.montecarlo import (
+    BlockTrialResult,
+    estimate_block_failure_rate,
+    validate_against_model,
+)
+from repro.reliability.burst import (
+    BurstSurvivalResult,
+    interleaving_distance,
+    linear_burst_survival,
+    simulate_burst_survival,
+)
+from repro.reliability.drift_analysis import (
+    compare_protections,
+    refresh_period_sweep,
+)
+
+__all__ = [
+    "ReliabilityModel",
+    "MemoryOrganization",
+    "SweepPoint",
+    "estimate_block_failure_rate",
+    "validate_against_model",
+    "BlockTrialResult",
+    "linear_burst_survival",
+    "simulate_burst_survival",
+    "interleaving_distance",
+    "BurstSurvivalResult",
+    "compare_protections",
+    "refresh_period_sweep",
+]

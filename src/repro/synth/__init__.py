@@ -1,0 +1,50 @@
+"""Synthesis and scheduling: SIMPLER MAGIC + the paper's ECC extension.
+
+:mod:`repro.synth.simpler` reimplements the SIMPLER algorithm (Ben-Hur et
+al., TCAD 2020, ref. [13] of the paper): mapping a NOR/NOT netlist onto a
+*single crossbar row*, reusing cells whose fanouts are exhausted and
+batching re-initialization cycles. Its output, a
+:class:`repro.synth.program.MagicProgram`, is both executable on the
+simulated crossbar (:mod:`repro.synth.executor`) and schedulable by the
+paper's ECC-extended greedy scheduler
+(:mod:`repro.synth.ecc_scheduler`), which adds input-block checking and
+per-critical-operation check-bit updates under MEM/CMEM/PC resource
+contention — the machinery behind Table I.
+"""
+
+from repro.synth.program import MagicProgram, RowConst, RowInit, RowNor
+from repro.synth.simpler import SimplerConfig, synthesize
+from repro.synth.executor import execute_program
+from repro.synth.ecc_scheduler import (
+    EccScheduleResult,
+    EccTimingModel,
+    find_min_pc_count,
+    pc_sweep,
+    schedule_with_ecc,
+)
+from repro.synth.timeline import ScheduleTimeline, build_timeline
+from repro.synth.verify import (
+    assert_program_valid,
+    lint_program,
+    verify_program,
+)
+
+__all__ = [
+    "MagicProgram",
+    "RowNor",
+    "RowInit",
+    "RowConst",
+    "SimplerConfig",
+    "synthesize",
+    "execute_program",
+    "EccTimingModel",
+    "EccScheduleResult",
+    "schedule_with_ecc",
+    "find_min_pc_count",
+    "pc_sweep",
+    "build_timeline",
+    "ScheduleTimeline",
+    "lint_program",
+    "verify_program",
+    "assert_program_valid",
+]

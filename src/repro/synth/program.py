@@ -1,0 +1,110 @@
+"""MAGIC row-program IR: the output of SIMPLER synthesis.
+
+A :class:`MagicProgram` is an ordered list of single-cycle operations
+executing one logic function inside one crossbar row:
+
+* :class:`RowNor` — a MAGIC NOR/NOT gate between cells of the row;
+* :class:`RowInit` — batched initialization of freed cells to LRS;
+* :class:`RowConst` — a controller write of a constant into a cell.
+
+Cycle accounting: ``cycles == len(ops)``, matching SIMPLER's model where
+every gate execution and every batched initialization costs one cycle.
+The program records where inputs were placed and where each primary
+output resides at the end, so it can be executed (including SIMD across
+many rows, Fig. 1) and so the ECC scheduler knows which operations write
+ECC-covered output data ("critical operations", paper Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+from repro.logic.norlist import NorNetlist
+
+
+@dataclass(frozen=True)
+class RowNor:
+    """One MAGIC NOR (or NOT, when one input) inside the row."""
+
+    out_cell: int
+    in_cells: Tuple[int, ...]
+    node_id: int
+    is_output: bool = False
+
+
+@dataclass(frozen=True)
+class RowInit:
+    """Batched LRS initialization of freed cells (one cycle for the set)."""
+
+    cells: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RowConst:
+    """Controller write of a constant bit into one cell."""
+
+    cell: int
+    value: int
+    node_id: int
+    is_output: bool = False
+
+
+RowOp = Union[RowNor, RowInit, RowConst]
+
+
+@dataclass
+class MagicProgram:
+    """A synthesized single-row MAGIC program."""
+
+    netlist: NorNetlist
+    row_size: int
+    input_cells: Dict[int, int]          # input node id -> cell index
+    output_cells: Dict[str, int]         # output name -> cell index
+    ops: List[RowOp] = field(default_factory=list)
+    peak_live_cells: int = 0
+
+    @property
+    def cycles(self) -> int:
+        """Total latency in clock cycles (one per op) — SIMPLER's metric."""
+        return len(self.ops)
+
+    @property
+    def gate_ops(self) -> int:
+        """Number of NOR/NOT executions."""
+        return sum(1 for op in self.ops if isinstance(op, RowNor))
+
+    @property
+    def init_ops(self) -> int:
+        """Number of batched initialization cycles."""
+        return sum(1 for op in self.ops if isinstance(op, RowInit))
+
+    @property
+    def const_ops(self) -> int:
+        """Number of controller constant writes."""
+        return sum(1 for op in self.ops if isinstance(op, RowConst))
+
+    @property
+    def critical_ops(self) -> int:
+        """Operations writing ECC-covered (primary output) data."""
+        return sum(1 for op in self.ops
+                   if isinstance(op, (RowNor, RowConst)) and op.is_output)
+
+    def input_cell_span(self) -> Tuple[int, int]:
+        """(min, max) cell index holding primary inputs."""
+        cells = list(self.input_cells.values())
+        return (min(cells), max(cells)) if cells else (0, 0)
+
+    def summary(self) -> dict:
+        """Aggregate statistics for reports and tests."""
+        return {
+            "cycles": self.cycles,
+            "gates": self.gate_ops,
+            "inits": self.init_ops,
+            "consts": self.const_ops,
+            "critical": self.critical_ops,
+            "peak_live_cells": self.peak_live_cells,
+            "row_size": self.row_size,
+            "inputs": len(self.input_cells),
+            "outputs": len(self.output_cells),
+        }

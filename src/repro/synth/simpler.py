@@ -1,0 +1,310 @@
+"""SIMPLER MAGIC synthesis (reimplementation of Ben-Hur et al., TCAD'20).
+
+SIMPLER maps a NOR/NOT netlist into a *single crossbar row* so the same
+function can execute in every row simultaneously (the throughput mode the
+DAC'21 ECC paper builds on). The algorithm, as reimplemented here:
+
+1. **Cell-usage (CU) labels.** ``CU(leaf) = 1``;
+   ``CU(v) = max_i (CU(c_i) + i)`` with fanins sorted by descending CU —
+   an estimate of how many cells evaluating ``v``'s cone needs when the
+   highest-CU fanin is evaluated first.
+2. **Ordering.** Output cones are processed in descending-CU order; within
+   a cone, an iterative DFS visits fanins in descending-CU order and emits
+   each gate post-order. This is the depth-first schedule that keeps the
+   transient live set small.
+3. **Allocation with reuse.** Every node's remaining-use count is tracked
+   (gate fanouts; primary outputs are sticky and never freed). When a
+   node's count reaches zero its cell is *freed* (dirty). New gates take
+   clean cells; when none remain, one batched :class:`RowInit` cycle
+   re-initializes all dirty cells at once (a parallel SET on the freed
+   bitlines of the row) and they become clean.
+
+Primary inputs occupy the first cells of the row. By default input cells
+are reusable after their last read (``allow_input_reuse=True``) — the row
+is a workspace and the authoritative input data lives elsewhere in the
+memory; set it to ``False`` to model in-place, non-destructive execution.
+
+The total cycle count — gates plus batched inits plus constant writes —
+is the paper's *Baseline* column in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import MappingError
+from repro.logic.norlist import NorNetlist
+from repro.synth.program import MagicProgram, RowConst, RowInit, RowNor
+
+
+@dataclass(frozen=True)
+class SimplerConfig:
+    """Tunables of the SIMPLER mapper.
+
+    ``row_size`` defaults to the paper's crossbar width ``n = 1020``.
+
+    ``order`` selects the gate emission order:
+
+    * ``"cu-dfs"`` — SIMPLER's cell-usage-guided depth-first order
+      (default);
+    * ``"topological"`` — netlist construction order, which follows the
+      generator's natural wavefront (e.g. column-by-column in a popcount
+      tree) and can beat CU-DFS on extremely input-heavy circuits;
+    * ``"auto"`` — try CU-DFS, fall back to topological if the row
+      overflows (what the ``voter`` benchmark needs at ``n = 1020``,
+      where 1001 inputs leave only 19 workspace cells).
+    """
+
+    row_size: int = 1020
+    allow_input_reuse: bool = True
+    order: str = "auto"
+    #: For ``order="list"``: minimum emission distance kept between two
+    #: output-writing (critical) gates when other ready gates exist.
+    #: ``ceil(pc_occupancy / k)`` spaces criticals so each finds a free
+    #: processing crossbar (see repro.synth.ecc_scheduler).
+    critical_spacing: int = 8
+
+
+def compute_cell_usage(netlist: NorNetlist) -> List[int]:
+    """CU labels for every node (see module docstring)."""
+    cu = [1] * netlist.num_nodes
+    for gi, gate in enumerate(netlist.gates):
+        nid = netlist.num_inputs + gi
+        if not gate.fanins:
+            cu[nid] = 1
+            continue
+        kids = sorted((cu[f] for f in gate.fanins), reverse=True)
+        cu[nid] = max(c + i for i, c in enumerate(kids))
+    return cu
+
+
+def _execution_order(netlist: NorNetlist, cu: List[int]) -> List[int]:
+    """Gate emission order: post-order DFS, high-CU fanins first."""
+    emitted = [False] * netlist.num_nodes
+    for i in range(netlist.num_inputs):
+        emitted[i] = True
+    order: List[int] = []
+    roots = sorted({nid for _, nid in netlist.outputs},
+                   key=lambda nid: cu[nid], reverse=True)
+    for root in roots:
+        if emitted[root]:
+            continue
+        stack: List[tuple[int, bool]] = [(root, False)]
+        while stack:
+            nid, expanded = stack.pop()
+            if emitted[nid]:
+                continue
+            if expanded:
+                emitted[nid] = True
+                order.append(nid)
+                continue
+            stack.append((nid, True))
+            gate = netlist.gate(nid)
+            # Push lowest-CU fanin first so the highest-CU one is
+            # evaluated first (LIFO stack).
+            for f in sorted(gate.fanins, key=lambda x: cu[x]):
+                if not emitted[f]:
+                    stack.append((f, False))
+    return order
+
+
+class _RowAllocator:
+    """Clean/dirty cell pools with batched re-initialization."""
+
+    def __init__(self, row_size: int, reserved: int, program: MagicProgram):
+        self.program = program
+        self.clean: List[int] = list(range(row_size - 1, reserved - 1, -1))
+        self.dirty: List[int] = []
+        self.live_count = reserved
+        self.peak_live = reserved
+
+    def allocate(self) -> int:
+        """Take a clean cell, batching an init cycle if required."""
+        if not self.clean:
+            if not self.dirty:
+                raise MappingError(
+                    "row exhausted: live cell set exceeds the row size "
+                    f"({self.program.row_size}); increase row_size or "
+                    "reduce the circuit")
+            self.program.ops.append(RowInit(tuple(sorted(self.dirty))))
+            self.clean = sorted(self.dirty, reverse=True)
+            self.dirty = []
+        cell = self.clean.pop()
+        self.live_count += 1
+        self.peak_live = max(self.peak_live, self.live_count)
+        return cell
+
+    def free(self, cell: int) -> None:
+        """Return a cell to the dirty pool (needs init before reuse)."""
+        self.dirty.append(cell)
+        self.live_count -= 1
+
+
+def _list_order(netlist: NorNetlist, cu: List[int],
+                spacing: int) -> List[int]:
+    """Ready-list scheduling that spaces out critical (output) gates.
+
+    Kahn-style: a gate becomes *ready* once all fanins are emitted.
+    Among ready gates the scheduler prefers non-output gates while the
+    critical cooldown is active (fewer than ``spacing`` emissions since
+    the last output gate), falling back to output gates when nothing
+    else is ready. Ties break toward higher CU (the SIMPLER heuristic,
+    keeping the live set compact). This is the ECC-aware emission order:
+    the dense critical bursts of circuits like ``dec`` get interleaved
+    with interior gates so fewer processing crossbars sustain the same
+    latency.
+    """
+    import heapq
+
+    is_output = [False] * netlist.num_nodes
+    for _, nid in netlist.outputs:
+        is_output[nid] = True
+
+    needed = [False] * netlist.num_nodes
+    stack = [nid for _, nid in netlist.outputs]
+    while stack:
+        nid = stack.pop()
+        if needed[nid] or netlist.is_input(nid):
+            continue
+        needed[nid] = True
+        stack.extend(netlist.gate(nid).fanins)
+
+    pending = {}
+    consumers: List[List[int]] = [[] for _ in range(netlist.num_nodes)]
+    for nid in range(netlist.num_inputs, netlist.num_nodes):
+        if not needed[nid]:
+            continue
+        gate_fanins = [f for f in netlist.gate(nid).fanins
+                       if not netlist.is_input(f)]
+        pending[nid] = len(set(gate_fanins))
+        for f in set(gate_fanins):
+            consumers[f].append(nid)
+
+    ready_plain: list = []   # (-cu, nid) min-heap -> highest CU first
+    ready_output: list = []
+    for nid, count in pending.items():
+        if count == 0:
+            heapq.heappush(ready_output if is_output[nid] else ready_plain,
+                           (-cu[nid], nid))
+
+    order: List[int] = []
+    since_critical = spacing  # no cooldown at the start
+    while ready_plain or ready_output:
+        take_output = False
+        if not ready_plain:
+            take_output = True
+        elif ready_output and since_critical >= spacing:
+            take_output = True
+        source = ready_output if take_output else ready_plain
+        _, nid = heapq.heappop(source)
+        order.append(nid)
+        since_critical = 0 if is_output[nid] else since_critical + 1
+        for consumer in consumers[nid]:
+            pending[consumer] -= 1
+            if pending[consumer] == 0:
+                heapq.heappush(
+                    ready_output if is_output[consumer] else ready_plain,
+                    (-cu[consumer], consumer))
+    return order
+
+
+def _topological_order(netlist: NorNetlist) -> List[int]:
+    """Construction order restricted to nodes reachable from outputs."""
+    needed = [False] * netlist.num_nodes
+    stack = [nid for _, nid in netlist.outputs]
+    while stack:
+        nid = stack.pop()
+        if needed[nid] or netlist.is_input(nid):
+            continue
+        needed[nid] = True
+        stack.extend(netlist.gate(nid).fanins)
+    return [nid for nid in range(netlist.num_inputs, netlist.num_nodes)
+            if needed[nid]]
+
+
+def synthesize(netlist: NorNetlist,
+               config: Optional[SimplerConfig] = None) -> MagicProgram:
+    """Map ``netlist`` to a single-row :class:`MagicProgram`.
+
+    Raises :class:`repro.errors.MappingError` when the live set cannot fit
+    in the configured row (after exhausting the configured order
+    strategies — see :class:`SimplerConfig`).
+    """
+    config = config or SimplerConfig()
+    if netlist.num_inputs >= config.row_size:
+        raise MappingError(
+            f"{netlist.num_inputs} inputs do not fit in a row of "
+            f"{config.row_size} cells")
+    if config.order == "auto":
+        from dataclasses import replace
+        try:
+            return synthesize(netlist, replace(config, order="cu-dfs"))
+        except MappingError:
+            return synthesize(netlist, replace(config, order="topological"))
+    if config.order not in ("cu-dfs", "topological", "list"):
+        raise MappingError(f"unknown order strategy {config.order!r}")
+
+    program = MagicProgram(
+        netlist=netlist,
+        row_size=config.row_size,
+        input_cells={i: i for i in range(netlist.num_inputs)},
+        output_cells={},
+    )
+    # One opening cycle SET-initializes the whole workspace (every
+    # non-input cell of the row) so that first-use cells are valid MAGIC
+    # outputs; subsequent RowInit ops re-initialize only freed cells.
+    program.ops.append(
+        RowInit(tuple(range(netlist.num_inputs, config.row_size))))
+
+    if config.order == "cu-dfs":
+        cu = compute_cell_usage(netlist)
+        order = _execution_order(netlist, cu)
+    elif config.order == "list":
+        cu = compute_cell_usage(netlist)
+        order = _list_order(netlist, cu, config.critical_spacing)
+    else:
+        order = _topological_order(netlist)
+
+    # Remaining-use counts: one per gate reference; outputs are sticky.
+    refcount = [0] * netlist.num_nodes
+    for gate in netlist.gates:
+        for f in gate.fanins:
+            refcount[f] += 1
+    sticky = [False] * netlist.num_nodes
+    for _, nid in netlist.outputs:
+        sticky[nid] = True
+    if not config.allow_input_reuse:
+        for i in range(netlist.num_inputs):
+            sticky[i] = True
+
+    allocator = _RowAllocator(config.row_size, netlist.num_inputs, program)
+    cell_of: Dict[int, int] = dict(program.input_cells)
+
+    def consume(node: int) -> None:
+        refcount[node] -= 1
+        if refcount[node] == 0 and not sticky[node]:
+            cell = cell_of.pop(node)
+            allocator.free(cell)
+
+    for nid in order:
+        gate = netlist.gate(nid)
+        out_cell = allocator.allocate()
+        if gate.kind == "nor":
+            in_cells = tuple(cell_of[f] for f in gate.fanins)
+            program.ops.append(RowNor(out_cell, in_cells, nid, sticky[nid]))
+            cell_of[nid] = out_cell
+            for f in gate.fanins:
+                consume(f)
+        else:  # const0 / const1
+            value = 1 if gate.kind == "const1" else 0
+            program.ops.append(RowConst(out_cell, value, nid, sticky[nid]))
+            cell_of[nid] = out_cell
+        # Dead gate (no fanout, not an output): free immediately.
+        if refcount[nid] == 0 and not sticky[nid]:
+            allocator.free(cell_of.pop(nid))
+
+    for name, nid in netlist.outputs:
+        program.output_cells[name] = cell_of[nid]
+    program.peak_live_cells = allocator.peak_live
+    return program

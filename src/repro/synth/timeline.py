@@ -1,0 +1,136 @@
+"""Schedule timelines: cycle-level visibility into the ECC schedule.
+
+The aggregate numbers of :class:`EccScheduleResult` answer "how many
+cycles"; this module answers "where did they go": a per-resource event
+timeline (MEM, each processing crossbar, the CMEM port) for a scheduled
+program, plus an ASCII Gantt rendering for small programs — the
+debugging/teaching view of the Table I machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.synth.ecc_scheduler import EccTimingModel
+from repro.synth.program import MagicProgram, RowConst, RowInit, RowNor
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One resource occupation interval."""
+
+    resource: str        # "mem", "pc0".., "cmem-port", "checking"
+    start: int
+    end: int             # half-open
+    kind: str            # "copy", "gate", "transfer", "xor3", ...
+    note: str = ""
+
+
+@dataclass
+class ScheduleTimeline:
+    """All events of one scheduled program."""
+
+    events: List[TimelineEvent] = field(default_factory=list)
+    total_cycles: int = 0
+
+    def for_resource(self, resource: str) -> List[TimelineEvent]:
+        """Events of one resource, in time order."""
+        return sorted((e for e in self.events if e.resource == resource),
+                      key=lambda e: e.start)
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of a resource over the schedule length."""
+        busy = sum(e.end - e.start for e in self.for_resource(resource))
+        return busy / self.total_cycles if self.total_cycles else 0.0
+
+    def render(self, width: int = 72, resources: Optional[List[str]] = None
+               ) -> str:
+        """ASCII Gantt chart (one row per resource, time left to right)."""
+        if resources is None:
+            resources = sorted({e.resource for e in self.events})
+        scale = self.total_cycles / width if self.total_cycles else 1
+        lines = [f"0{' ' * (width - len(str(self.total_cycles)) - 1)}"
+                 f"{self.total_cycles}"]
+        for resource in resources:
+            row = [" "] * width
+            for event in self.for_resource(resource):
+                a = min(int(event.start / scale), width - 1)
+                b = max(a + 1, min(math.ceil(event.end / scale), width))
+                mark = event.kind[0].upper()
+                for i in range(a, b):
+                    row[i] = mark if row[i] == " " else "#"
+            lines.append(f"{resource:10s}|{''.join(row)}|")
+        return "\n".join(lines)
+
+
+def build_timeline(program: MagicProgram,
+                   timing: Optional[EccTimingModel] = None
+                   ) -> ScheduleTimeline:
+    """Re-run the greedy schedule, recording every resource interval.
+
+    Mirrors :func:`repro.synth.ecc_scheduler.schedule_with_ecc` exactly
+    (same greedy decisions, no forwarding) — asserted against it in the
+    tests — while materializing the event list.
+    """
+    timing = timing or EccTimingModel()
+    m = timing.block_size
+    timeline = ScheduleTimeline()
+    pc_free = [0] * timing.pc_count
+    cmem_port_free = 0
+    checking_free = 0
+
+    def claim_pc(ready: int, occupancy: int, kind: str, note: str) -> int:
+        idx = min(range(len(pc_free)), key=lambda i: pc_free[i])
+        start = max(ready, pc_free[idx])
+        pc_free[idx] = start + occupancy
+        timeline.events.append(TimelineEvent(f"pc{idx}", start,
+                                             start + occupancy, kind, note))
+        return start
+
+    num_inputs = len(program.input_cells)
+    check_blocks = math.ceil(num_inputs / m) if num_inputs else 0
+    mem_t = 0
+    for blk in range(check_blocks):
+        timeline.events.append(TimelineEvent(
+            "mem", mem_t, mem_t + timing.copy_cycles(), "copy",
+            f"input block {blk}"))
+        mem_t += timing.copy_cycles()
+        start = claim_pc(mem_t, timing.check_pc_occupancy(), "xor3",
+                         f"check tree blk {blk}")
+        done = start + timing.check_pc_occupancy()
+        checking_start = max(checking_free, done)
+        checking_free = checking_start + timing.syndrome_compare_cycles
+        timeline.events.append(TimelineEvent(
+            "checking", checking_start, checking_free, "syndrome",
+            f"blk {blk}"))
+
+    for op in program.ops:
+        is_critical = isinstance(op, (RowNor, RowConst)) and op.is_output
+        if not is_critical:
+            timeline.events.append(TimelineEvent("mem", mem_t, mem_t + 1,
+                                                 _op_kind(op)))
+            mem_t += 1
+            continue
+        start = claim_pc(mem_t, timing.pc_occupancy, "update",
+                         f"critical node {getattr(op, 'node_id', '?')}")
+        timeline.events.append(TimelineEvent(
+            "mem", start, start + 1 + timing.critical_extra_mem_cycles,
+            "transfer", "old/gate/new"))
+        port_ready = max(cmem_port_free, start + 1)
+        cmem_port_free = port_ready + timing.cmem_port_cycles_per_update
+        timeline.events.append(TimelineEvent(
+            "cmem-port", port_ready, cmem_port_free, "port"))
+        mem_t = start + 1 + timing.critical_extra_mem_cycles
+
+    timeline.total_cycles = max([mem_t, checking_free] + pc_free)
+    return timeline
+
+
+def _op_kind(op) -> str:
+    if isinstance(op, RowInit):
+        return "init"
+    if isinstance(op, RowConst):
+        return "write"
+    return "gate"

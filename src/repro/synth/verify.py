@@ -1,0 +1,157 @@
+"""Program verification: linting and functional checking of row programs.
+
+SIMPLER's output must satisfy MAGIC's physical contract — every NOR
+output freshly initialized, every operand live — and compute the same
+function as the netlist it came from. :func:`lint_program` checks the
+contract structurally (no simulation needed); :func:`verify_program`
+checks functional equivalence by executing on a simulated crossbar,
+exhaustively for small input counts.
+
+These are library features (not just test helpers) so users synthesizing
+their own netlists can validate custom flows, e.g. after hand-editing a
+serialized program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import MappingError
+from repro.logic.verify import random_vectors
+from repro.synth.executor import execute_program
+from repro.synth.program import MagicProgram, RowConst, RowInit, RowNor
+from repro.xbar.crossbar import CrossbarArray
+
+
+@dataclass
+class LintReport:
+    """Structural findings of :func:`lint_program`."""
+
+    violations: List[str] = field(default_factory=list)
+    gate_ops: int = 0
+    init_ops: int = 0
+    cells_used: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def lint_program(program: MagicProgram) -> LintReport:
+    """Check the MAGIC physical contract over a row program.
+
+    Violations reported:
+
+    * a NOR writing a cell that is not initialized (LRS) at that point;
+    * a NOR reading a cell that holds no defined value;
+    * an op referencing cells outside the row;
+    * an output cell that is re-initialized after its final write.
+    """
+    report = LintReport()
+    initialized: set = set()
+    defined = set(program.input_cells.values())
+    output_cells = set(program.output_cells.values())
+    final_output_written: set = set()
+    used: set = set(defined)
+
+    for index, op in enumerate(program.ops):
+        if isinstance(op, RowInit):
+            report.init_ops += 1
+            for cell in op.cells:
+                if not 0 <= cell < program.row_size:
+                    report.violations.append(
+                        f"op {index}: init of out-of-row cell {cell}")
+                if cell in final_output_written:
+                    report.violations.append(
+                        f"op {index}: re-initialization of output cell "
+                        f"{cell} after its final write")
+                initialized.add(cell)
+                defined.discard(cell)
+                used.add(cell)
+        elif isinstance(op, RowNor):
+            report.gate_ops += 1
+            if op.out_cell not in initialized:
+                report.violations.append(
+                    f"op {index}: NOR writes uninitialized cell "
+                    f"{op.out_cell}")
+            for cell in op.in_cells:
+                if cell not in defined:
+                    report.violations.append(
+                        f"op {index}: NOR reads undefined cell {cell}")
+            initialized.discard(op.out_cell)
+            defined.add(op.out_cell)
+            used.add(op.out_cell)
+            if op.is_output and op.out_cell in output_cells:
+                final_output_written.add(op.out_cell)
+        elif isinstance(op, RowConst):
+            report.gate_ops += 1
+            if not 0 <= op.cell < program.row_size:
+                report.violations.append(
+                    f"op {index}: const write outside row ({op.cell})")
+            initialized.discard(op.cell)
+            defined.add(op.cell)
+            used.add(op.cell)
+            if op.is_output and op.cell in output_cells:
+                final_output_written.add(op.cell)
+
+    for name, cell in program.output_cells.items():
+        if cell not in defined:
+            report.violations.append(
+                f"output {name!r} cell {cell} holds no defined value "
+                "at program end")
+    report.cells_used = len(used)
+    return report
+
+
+def verify_program(program: MagicProgram,
+                   trials: int = 32, seed: int = 0,
+                   exhaustive_threshold: int = 10) -> Optional[str]:
+    """Functional equivalence: program execution vs netlist evaluation.
+
+    Exhaustive when the netlist has at most ``exhaustive_threshold``
+    inputs, randomized otherwise. Returns ``None`` on success or a
+    mismatch description.
+    """
+    netlist = program.netlist
+    names = netlist.input_names
+    k = len(names)
+    if k <= exhaustive_threshold:
+        total = 1 << k
+        vectors = {name: np.zeros(total, dtype=bool) for name in names}
+        for v in range(total):
+            for i, name in enumerate(names):
+                vectors[name][v] = bool((v >> i) & 1)
+        lanes = total
+    else:
+        vectors = random_vectors(names, trials, seed)
+        lanes = trials
+
+    xbar = CrossbarArray(max(lanes, 1), program.row_size)
+    outs = execute_program(program, xbar, rows=list(range(lanes)),
+                           inputs=vectors)
+    expected = netlist.evaluate(vectors)
+    for name in expected:
+        got = outs[name].astype(bool)
+        exp = np.asarray(expected[name], dtype=bool)
+        if not (got == exp).all():
+            lane = int(np.nonzero(got != exp)[0][0])
+            assignment = {nm: int(vectors[nm][lane]) for nm in names}
+            return (f"output {name!r} mismatch at lane {lane}: got "
+                    f"{int(got[lane])}, expected {int(exp[lane])} "
+                    f"(inputs {assignment})")
+    return None
+
+
+def assert_program_valid(program: MagicProgram, trials: int = 32,
+                         seed: int = 0) -> None:
+    """Lint + verify, raising :class:`MappingError` on any failure."""
+    lint = lint_program(program)
+    if not lint.clean:
+        raise MappingError("program lint failed: "
+                           + "; ".join(lint.violations[:5]))
+    message = verify_program(program, trials, seed)
+    if message is not None:
+        raise MappingError(f"program verification failed: {message}")

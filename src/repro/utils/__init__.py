@@ -1,0 +1,34 @@
+"""Shared helpers: bit manipulation, validation, deterministic RNG."""
+
+from repro.utils.bitops import (
+    bits_to_int,
+    bools_to_bits,
+    int_to_bits,
+    pack_bits,
+    parity,
+    popcount,
+    unpack_bits,
+)
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.validation import (
+    check_index,
+    check_odd,
+    check_positive,
+    check_power_compatible,
+)
+
+__all__ = [
+    "bits_to_int",
+    "bools_to_bits",
+    "int_to_bits",
+    "pack_bits",
+    "parity",
+    "popcount",
+    "unpack_bits",
+    "make_rng",
+    "spawn_rngs",
+    "check_index",
+    "check_odd",
+    "check_positive",
+    "check_power_compatible",
+]

@@ -1,0 +1,69 @@
+"""Bit-vector helpers used throughout the crossbar and logic simulators.
+
+Data inside the simulated crossbars is held as numpy boolean arrays; the
+logic layer frequently needs to convert between Python integers and
+little-endian bit vectors (bit 0 = least significant). These helpers keep
+those conversions in one place and make the endianness convention explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def int_to_bits(value: int, width: int) -> list[int]:
+    """Return ``value`` as a little-endian list of ``width`` bits.
+
+    >>> int_to_bits(6, 4)
+    [0, 1, 1, 0]
+    """
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    if value < 0:
+        raise ValueError(f"value must be non-negative, got {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def bits_to_int(bits: Sequence[int] | np.ndarray) -> int:
+    """Inverse of :func:`int_to_bits` (little-endian).
+
+    >>> bits_to_int([0, 1, 1, 0])
+    6
+    """
+    result = 0
+    for i, bit in enumerate(bits):
+        if bit:
+            result |= 1 << i
+    return result
+
+
+def bools_to_bits(values: Iterable[bool]) -> list[int]:
+    """Convert an iterable of booleans to a list of 0/1 integers."""
+    return [1 if v else 0 for v in values]
+
+
+def parity(bits: Sequence[int] | np.ndarray) -> int:
+    """Even parity (XOR-reduction) of a bit sequence."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    return int(arr.sum() & 1)
+
+
+def popcount(bits: Sequence[int] | np.ndarray) -> int:
+    """Number of set bits in a bit sequence."""
+    arr = np.asarray(bits, dtype=np.uint8)
+    return int(arr.sum())
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a boolean/0-1 array into bytes (numpy bit order)."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8)).tobytes()
+
+
+def unpack_bits(data: bytes, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`; returns a uint8 0/1 array of ``count``."""
+    arr = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=count)
+    return arr.astype(np.uint8)

@@ -1,0 +1,36 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library (fault injectors, Monte-Carlo
+campaigns, randomized tests) takes either a seed or a ``numpy.random
+.Generator``. Centralizing the coercion here guarantees reproducible runs:
+the same seed always produces the same fault pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged, so components can
+    share one stream when that is desired.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``seed``.
+
+    Used by parallel Monte-Carlo campaigns so each trial gets its own
+    stream while remaining reproducible from the single campaign seed.
+    """
+    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    return [np.random.default_rng(s) for s in root.spawn(count)]

@@ -1,0 +1,41 @@
+"""Small argument-validation helpers raising library exceptions.
+
+These keep the public constructors short while producing error messages that
+name the offending parameter, which matters for a library meant to be driven
+from user scripts and notebooks.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, GeometryError
+
+
+def check_positive(name: str, value) -> None:
+    """Raise :class:`ConfigurationError` unless ``value > 0``."""
+    if value is None or value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value!r}")
+
+
+def check_odd(name: str, value: int) -> None:
+    """Raise :class:`ConfigurationError` unless ``value`` is odd.
+
+    The diagonal code requires odd block sizes so the (leading, counter)
+    diagonal pair uniquely identifies a cell (paper Sec. III, footnote 1).
+    """
+    if value % 2 != 1:
+        raise ConfigurationError(f"{name} must be odd, got {value}")
+
+
+def check_power_compatible(n: int, m: int) -> None:
+    """Raise :class:`GeometryError` unless the ``n x n`` crossbar divides
+    evenly into ``m x m`` blocks."""
+    check_positive("n", n)
+    check_positive("m", m)
+    if n % m != 0:
+        raise GeometryError(f"crossbar size n={n} is not a multiple of block size m={m}")
+
+
+def check_index(name: str, value: int, limit: int) -> None:
+    """Raise :class:`ConfigurationError` unless ``0 <= value < limit``."""
+    if not 0 <= value < limit:
+        raise ConfigurationError(f"{name} must be in [0, {limit}), got {value}")

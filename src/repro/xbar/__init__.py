@@ -1,0 +1,37 @@
+"""Memristive crossbar array and MAGIC stateful-logic engine.
+
+This subpackage is the substrate everything else runs on: an ``n x n``
+crossbar of memristors storing bits as resistance states, plus an engine
+executing MAGIC NOR/NOT gates either *in-row* (gate operands share a row,
+replicated in parallel across many rows — paper Fig. 1(a)) or *in-column*
+(paper Fig. 1(b)). Each parallel gate issue costs one clock cycle, as does
+each batched output-initialization, matching the cycle accounting used by
+SIMPLER and by the paper's Table I.
+"""
+
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+from repro.xbar.ops import (
+    Axis,
+    CopyOp,
+    InitOp,
+    MagicNorOp,
+    OpKind,
+    ReadOp,
+    WriteOp,
+)
+from repro.xbar.trace import ExecutionTrace, TraceRecord
+
+__all__ = [
+    "CrossbarArray",
+    "MagicEngine",
+    "Axis",
+    "OpKind",
+    "MagicNorOp",
+    "InitOp",
+    "CopyOp",
+    "ReadOp",
+    "WriteOp",
+    "ExecutionTrace",
+    "TraceRecord",
+]

@@ -1,0 +1,221 @@
+"""Dense bit-level crossbar array model.
+
+The array stores one bit per memristor as a numpy boolean matrix (LRS ->
+``True``/1, HRS -> ``False``/0, see :mod:`repro.devices`). All accesses go
+through methods rather than raw array indexing so that:
+
+* writes are counted (endurance/telemetry),
+* fault injection has a single choke point (:meth:`flip`),
+* observers (e.g. the ECC architecture model) can veto or mirror updates.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import CrossbarError
+from repro.utils.validation import check_index, check_positive
+
+#: Signature of a write observer: (rows, cols, old_values, new_values).
+WriteObserver = Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]
+
+
+class CrossbarArray:
+    """A ``rows x cols`` crossbar of single-bit memristors.
+
+    Parameters
+    ----------
+    rows, cols:
+        Array dimensions. A square ``n x n`` array is typical (the paper
+        uses ``n = 1020``), but the CMEM components are rectangular.
+    name:
+        Label used in traces and error messages.
+    """
+
+    def __init__(self, rows: int, cols: int, name: str = "xbar"):
+        check_positive("rows", rows)
+        check_positive("cols", cols)
+        self.rows = rows
+        self.cols = cols
+        self.name = name
+        self._cells = np.zeros((rows, cols), dtype=bool)
+        self._write_counts = np.zeros((rows, cols), dtype=np.int64)
+        self._observers: list[WriteObserver] = []
+        self.total_writes = 0
+        self.total_flips = 0
+
+    # ------------------------------------------------------------------ #
+    # Shape and representation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """(rows, cols) of the array."""
+        return (self.rows, self.cols)
+
+    @property
+    def size(self) -> int:
+        """Total number of memristors in the array."""
+        return self.rows * self.cols
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CrossbarArray(name={self.name!r}, rows={self.rows}, cols={self.cols})"
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def read_bit(self, row: int, col: int) -> int:
+        """Read the bit stored at ``(row, col)``."""
+        check_index("row", row, self.rows)
+        check_index("col", col, self.cols)
+        return int(self._cells[row, col])
+
+    def read_row(self, row: int, cols: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Read a full row (or the listed columns of it) as a uint8 vector."""
+        check_index("row", row, self.rows)
+        if cols is None:
+            return self._cells[row, :].astype(np.uint8)
+        return self._cells[row, list(cols)].astype(np.uint8)
+
+    def read_col(self, col: int, rows: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Read a full column (or the listed rows of it) as a uint8 vector."""
+        check_index("col", col, self.cols)
+        if rows is None:
+            return self._cells[:, col].astype(np.uint8)
+        return self._cells[list(rows), col].astype(np.uint8)
+
+    def read_region(self, row0: int, col0: int, height: int, width: int) -> np.ndarray:
+        """Read a rectangular region as a uint8 matrix."""
+        self._check_region(row0, col0, height, width)
+        return self._cells[row0:row0 + height, col0:col0 + width].astype(np.uint8)
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full array contents as a uint8 matrix."""
+        return self._cells.astype(np.uint8)
+
+    # ------------------------------------------------------------------ #
+    # Writes
+    # ------------------------------------------------------------------ #
+
+    def write_bit(self, row: int, col: int, value: int) -> None:
+        """Write one bit (a controller-mediated SET/RESET)."""
+        check_index("row", row, self.rows)
+        check_index("col", col, self.cols)
+        self._apply_write(np.array([row]), np.array([col]),
+                          np.array([bool(value)]))
+
+    def write_row(self, row: int, values: Sequence[int] | np.ndarray,
+                  cols: Optional[Sequence[int]] = None) -> None:
+        """Write a vector of bits into a row (optionally only some columns)."""
+        check_index("row", row, self.rows)
+        col_idx = np.arange(self.cols) if cols is None else np.asarray(list(cols))
+        vals = np.asarray(values, dtype=bool)
+        if vals.shape != col_idx.shape:
+            raise CrossbarError(
+                f"write_row to {self.name}: {vals.size} values for {col_idx.size} columns")
+        self._apply_write(np.full(col_idx.shape, row), col_idx, vals)
+
+    def write_col(self, col: int, values: Sequence[int] | np.ndarray,
+                  rows: Optional[Sequence[int]] = None) -> None:
+        """Write a vector of bits into a column (optionally only some rows)."""
+        check_index("col", col, self.cols)
+        row_idx = np.arange(self.rows) if rows is None else np.asarray(list(rows))
+        vals = np.asarray(values, dtype=bool)
+        if vals.shape != row_idx.shape:
+            raise CrossbarError(
+                f"write_col to {self.name}: {vals.size} values for {row_idx.size} rows")
+        self._apply_write(row_idx, np.full(row_idx.shape, col), vals)
+
+    def write_region(self, row0: int, col0: int, values: np.ndarray) -> None:
+        """Write a rectangular block of bits with top-left at (row0, col0)."""
+        vals = np.asarray(values, dtype=bool)
+        height, width = vals.shape
+        self._check_region(row0, col0, height, width)
+        rr, cc = np.meshgrid(np.arange(row0, row0 + height),
+                             np.arange(col0, col0 + width), indexing="ij")
+        self._apply_write(rr.ravel(), cc.ravel(), vals.ravel())
+
+    def fill(self, value: int) -> None:
+        """Set every cell to ``value`` (bulk RESET/SET)."""
+        rr, cc = np.meshgrid(np.arange(self.rows), np.arange(self.cols),
+                             indexing="ij")
+        self._apply_write(rr.ravel(), cc.ravel(),
+                          np.full(self.size, bool(value)))
+
+    # ------------------------------------------------------------------ #
+    # Fault injection
+    # ------------------------------------------------------------------ #
+
+    def flip(self, row: int, col: int) -> None:
+        """Invert a cell *without* a controlled write: a soft error.
+
+        Bypasses write observers deliberately — the physical upset is
+        invisible to the controller, which is exactly the failure mode the
+        paper's ECC exists to catch.
+        """
+        check_index("row", row, self.rows)
+        check_index("col", col, self.cols)
+        self._cells[row, col] = ~self._cells[row, col]
+        self.total_flips += 1
+
+    def flip_many(self, rows: Sequence[int], cols: Sequence[int]) -> None:
+        """Vectorized :meth:`flip` for fault campaigns."""
+        r = np.asarray(list(rows))
+        c = np.asarray(list(cols))
+        if r.shape != c.shape:
+            raise CrossbarError("flip_many requires equal-length row/col lists")
+        self._cells[r, c] = ~self._cells[r, c]
+        self.total_flips += int(r.size)
+
+    # ------------------------------------------------------------------ #
+    # Observers and internals
+    # ------------------------------------------------------------------ #
+
+    @contextmanager
+    def observers_suspended(self):
+        """Temporarily disable write observers.
+
+        Used by the ECC correction path: when the CMEM controller rewrites
+        a corrected bit, the check-bits already reflect the corrected value,
+        so the continuous-update observer must *not* fire (it would XOR the
+        erroneous/corrected difference into parity and corrupt it).
+        """
+        saved = self._observers
+        self._observers = []
+        try:
+            yield self
+        finally:
+            self._observers = saved
+
+    def add_write_observer(self, observer: WriteObserver) -> None:
+        """Register a callback invoked on every controlled write."""
+        self._observers.append(observer)
+
+    def remove_write_observer(self, observer: WriteObserver) -> None:
+        """Unregister a previously-added write observer."""
+        self._observers.remove(observer)
+
+    def write_count(self, row: int, col: int) -> int:
+        """Number of controlled writes the cell has received (endurance)."""
+        return int(self._write_counts[row, col])
+
+    def _apply_write(self, rows: np.ndarray, cols: np.ndarray,
+                     values: np.ndarray) -> None:
+        old = self._cells[rows, cols].copy()
+        self._cells[rows, cols] = values
+        self._write_counts[rows, cols] += 1
+        self.total_writes += int(rows.size)
+        for observer in self._observers:
+            observer(rows, cols, old, values)
+
+    def _check_region(self, row0: int, col0: int, height: int, width: int) -> None:
+        check_index("row0", row0, self.rows)
+        check_index("col0", col0, self.cols)
+        if row0 + height > self.rows or col0 + width > self.cols:
+            raise CrossbarError(
+                f"region ({row0},{col0})+({height}x{width}) exceeds "
+                f"{self.name} bounds {self.rows}x{self.cols}")

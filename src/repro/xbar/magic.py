@@ -1,0 +1,159 @@
+"""MAGIC stateful-logic execution engine.
+
+Faithful functional semantics of a MAGIC NOR (Kvatinsky et al., 2014):
+
+* the output memristor must be initialized to LRS (logical 1) beforehand;
+* during the gate, the output can only switch LRS -> HRS (it switches when
+  any input is in LRS), never HRS -> LRS.
+
+Therefore the device-accurate update is ``out <- out AND NOR(inputs)``.
+When the output was properly initialized this reduces to
+``out <- NOR(inputs)``. The engine supports two modes:
+
+* ``strict=True`` (default): raise :class:`UninitializedOutputError` if any
+  targeted output cell is not in LRS — this catches synthesis/allocation
+  bugs where a cell is reused without re-initialization;
+* ``strict=False``: silently apply the device-accurate AND semantics,
+  which is what physical hardware would do.
+
+Each issued operation costs one clock cycle regardless of how many lanes it
+spans; this is the SIMD property the whole paper builds on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import MagicOperationError, UninitializedOutputError
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.ops import Axis, InitOp, MagicNorOp, OpKind
+from repro.xbar.trace import ExecutionTrace
+
+
+class MagicEngine:
+    """Executes MAGIC operations on a :class:`CrossbarArray`.
+
+    Parameters
+    ----------
+    crossbar:
+        The array the engine drives.
+    strict:
+        Whether to require LRS-initialized outputs (see module docstring).
+    trace:
+        Optional shared :class:`ExecutionTrace`; one is created if absent.
+    """
+
+    def __init__(self, crossbar: CrossbarArray, strict: bool = True,
+                 trace: Optional[ExecutionTrace] = None):
+        self.crossbar = crossbar
+        self.strict = strict
+        self.trace = trace if trace is not None else ExecutionTrace()
+        self.cycle = 0
+        #: Device switching events (LRS<->HRS transitions) caused by
+        #: gates and initializations — the first-order energy driver in
+        #: resistive memories. NOR gates switch LRS->HRS on outputs
+        #: whose result is 0; inits switch HRS->LRS on cells that were 0.
+        self.switch_events = 0
+
+    # ------------------------------------------------------------------ #
+    # Public operations
+    # ------------------------------------------------------------------ #
+
+    def execute(self, op) -> None:
+        """Execute a :class:`MagicNorOp` or :class:`InitOp` (one cycle)."""
+        if isinstance(op, MagicNorOp):
+            self._execute_nor(op)
+        elif isinstance(op, InitOp):
+            self._execute_init(op)
+        else:
+            raise MagicOperationError(f"MagicEngine cannot execute {type(op).__name__}")
+
+    def nor(self, axis: Axis, inputs: Sequence[int], output: int,
+            lanes: Sequence[int]) -> None:
+        """Convenience wrapper building and executing a :class:`MagicNorOp`."""
+        self.execute(MagicNorOp(axis, tuple(inputs), output, tuple(lanes)))
+
+    def not_(self, axis: Axis, input_: int, output: int,
+             lanes: Sequence[int]) -> None:
+        """MAGIC NOT = one-input NOR."""
+        self.nor(axis, (input_,), output, lanes)
+
+    def init(self, axis: Axis, targets: Sequence[int],
+             lanes: Sequence[int]) -> None:
+        """Initialize output cells to LRS in a single cycle."""
+        self.execute(InitOp(axis, tuple(targets), tuple(lanes)))
+
+    def tick(self, count: int = 1, note: str = "") -> None:
+        """Advance the clock without issuing an operation (stall cycles)."""
+        if count < 0:
+            raise MagicOperationError(f"cannot tick by {count}")
+        self.cycle += count
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+
+    def _execute_nor(self, op: MagicNorOp) -> None:
+        lanes = np.asarray(op.lanes)
+        in_idx = np.asarray(op.inputs)
+        cells = self.crossbar._cells  # engine is a friend of the array
+        if op.axis is Axis.ROW:
+            self._check_bounds(lanes, self.crossbar.rows, "lane/row")
+            self._check_bounds(in_idx, self.crossbar.cols, "input/col")
+            self._check_bounds(np.array([op.output]), self.crossbar.cols,
+                               "output/col")
+            out_cells = cells[np.ix_(lanes, [op.output])][:, 0]
+            in_cells = cells[np.ix_(lanes, in_idx)]
+            result = ~in_cells.any(axis=1)
+            self._require_initialized(out_cells, op)
+            self.switch_events += int((out_cells & ~result).sum())
+            cells[lanes, op.output] = out_cells & result
+        else:
+            self._check_bounds(lanes, self.crossbar.cols, "lane/col")
+            self._check_bounds(in_idx, self.crossbar.rows, "input/row")
+            self._check_bounds(np.array([op.output]), self.crossbar.rows,
+                               "output/row")
+            out_cells = cells[np.ix_([op.output], lanes)][0, :]
+            in_cells = cells[np.ix_(in_idx, lanes)]
+            result = ~in_cells.any(axis=0)
+            self._require_initialized(out_cells, op)
+            self.switch_events += int((out_cells & ~result).sum())
+            cells[op.output, lanes] = out_cells & result
+        self.trace.append(self.cycle, OpKind.NOR, op)
+        self.cycle += 1
+
+    def _execute_init(self, op: InitOp) -> None:
+        lanes = np.asarray(op.lanes)
+        targets = np.asarray(op.targets)
+        cells = self.crossbar._cells
+        if op.axis is Axis.ROW:
+            self._check_bounds(lanes, self.crossbar.rows, "lane/row")
+            self._check_bounds(targets, self.crossbar.cols, "target/col")
+            region = cells[np.ix_(lanes, targets)]
+            self.switch_events += int((~region).sum())
+            cells[np.ix_(lanes, targets)] = True
+        else:
+            self._check_bounds(lanes, self.crossbar.cols, "lane/col")
+            self._check_bounds(targets, self.crossbar.rows, "target/row")
+            region = cells[np.ix_(targets, lanes)]
+            self.switch_events += int((~region).sum())
+            cells[np.ix_(targets, lanes)] = True
+        self.trace.append(self.cycle, OpKind.INIT, op)
+        self.cycle += 1
+
+    def _require_initialized(self, out_cells: np.ndarray, op: MagicNorOp) -> None:
+        if self.strict and not out_cells.all():
+            bad = int((~out_cells).sum())
+            raise UninitializedOutputError(
+                f"MAGIC NOR on {self.crossbar.name}: {bad} of "
+                f"{out_cells.size} output cells (index {op.output}, axis "
+                f"{op.axis.value}) were not initialized to LRS")
+
+    @staticmethod
+    def _check_bounds(indices: np.ndarray, limit: int, what: str) -> None:
+        if indices.size and (indices.min() < 0 or indices.max() >= limit):
+            raise MagicOperationError(
+                f"{what} index out of range [0, {limit}): "
+                f"{indices.min()}..{indices.max()}")

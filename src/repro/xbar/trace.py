@@ -1,0 +1,69 @@
+"""Cycle-accurate execution traces.
+
+Every operation issued to a :class:`repro.xbar.magic.MagicEngine` is
+appended to an :class:`ExecutionTrace` with the cycle at which it ran.
+Latency results (paper Table I) are read off these traces, and tests use
+them to assert cycle-accounting invariants (e.g. one cycle per parallel
+gate regardless of lane count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.xbar.ops import OpKind
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One executed operation: which cycle, what kind, and the op object."""
+
+    cycle: int
+    kind: OpKind
+    op: object
+    note: str = ""
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered log of executed operations with per-kind counters."""
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def append(self, cycle: int, kind: OpKind, op: object, note: str = "") -> None:
+        """Record an operation executed at ``cycle``."""
+        self.records.append(TraceRecord(cycle, kind, op, note))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    @property
+    def cycles(self) -> int:
+        """Total cycles elapsed (cycle indices are 0-based)."""
+        if not self.records:
+            return 0
+        return self.records[-1].cycle + 1
+
+    def count(self, kind: OpKind) -> int:
+        """Number of recorded operations of the given kind."""
+        return sum(1 for r in self.records if r.kind is kind)
+
+    @property
+    def gate_ops(self) -> int:
+        """Number of NOR/NOT gate issues."""
+        return self.count(OpKind.NOR)
+
+    @property
+    def init_ops(self) -> int:
+        """Number of initialization issues."""
+        return self.count(OpKind.INIT)
+
+    def summary(self) -> dict:
+        """Aggregate counters keyed by op kind plus total cycles."""
+        out = {kind.value: self.count(kind) for kind in OpKind}
+        out["cycles"] = self.cycles
+        return out

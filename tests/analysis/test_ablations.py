@@ -1,0 +1,85 @@
+"""Unit tests for the ablation harnesses (DESIGN.md E8)."""
+
+import pytest
+
+from repro.analysis.ablations import (
+    block_size_tradeoff,
+    check_granularity,
+    check_period_tradeoff,
+    horizontal_parity_strawman,
+    pc_count_tradeoff,
+)
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.simpler import SimplerConfig, synthesize
+
+
+@pytest.fixture(scope="module")
+def dec_program():
+    from repro.circuits import BENCHMARKS
+    return synthesize(map_to_nor(BENCHMARKS["dec"].build()),
+                      SimplerConfig(row_size=1020))
+
+
+class TestBlockSizeTradeoff:
+    def test_skips_incompatible_sizes(self):
+        rows = block_size_tradeoff(block_sizes=(4, 7, 15))
+        assert [r["m"] for r in rows] == [15]  # 4 even, 7 doesn't divide
+
+    def test_reliability_decreases_with_m(self):
+        rows = block_size_tradeoff(block_sizes=(3, 5, 15))
+        mttfs = [r["mttf_hours"] for r in rows]
+        assert mttfs == sorted(mttfs, reverse=True)
+
+    def test_overhead_decreases_with_m(self):
+        rows = block_size_tradeoff(block_sizes=(3, 5, 15))
+        overheads = [r["check_overhead_pct"] for r in rows]
+        assert overheads == sorted(overheads, reverse=True)
+        assert overheads[-1] == pytest.approx(100 * 2 / 15)
+
+
+class TestPcCountTradeoff:
+    def test_monotone_latency(self, dec_program):
+        rows = pc_count_tradeoff(dec_program)
+        lat = [r["proposed_cycles"] for r in rows]
+        assert lat == sorted(lat, reverse=True)
+
+    def test_dec_saturates_at_eight(self, dec_program):
+        rows = pc_count_tradeoff(dec_program, max_pc=8)
+        assert rows[-1]["stall_cycles"] < rows[0]["stall_cycles"]
+
+
+class TestCheckGranularity:
+    def test_batched_never_slower(self, dec_program):
+        result = check_granularity(dec_program)
+        assert result["batched"]["proposed_cycles"] <= \
+            result["per_block"]["proposed_cycles"]
+
+    def test_gap_equals_saved_copies(self, dec_program):
+        result = check_granularity(dec_program)
+        saved = result["per_block"]["check_mem_cycles"] - \
+            result["batched"]["check_mem_cycles"]
+        gap = result["per_block"]["proposed_cycles"] - \
+            result["batched"]["proposed_cycles"]
+        assert gap == saved
+
+
+class TestCheckPeriod:
+    def test_shorter_period_higher_mttf(self):
+        rows = check_period_tradeoff(periods_hours=(1, 24, 720))
+        mttfs = [r["mttf_hours"] for r in rows]
+        assert mttfs == sorted(mttfs, reverse=True)
+
+    def test_sweep_bandwidth(self):
+        rows = check_period_tradeoff(periods_hours=(6,))
+        assert rows[0]["full_sweeps_per_day"] == 4.0
+
+
+class TestHorizontalStrawman:
+    def test_diagonal_constant_both_axes(self):
+        result = horizontal_parity_strawman()
+        assert result["row_parallel_op"]["diagonal_update_ops"] == 1
+        assert result["column_parallel_op"]["diagonal_update_ops"] == 1
+
+    def test_horizontal_linear_in_n(self):
+        result = horizontal_parity_strawman(n=512)
+        assert result["column_parallel_op"]["horizontal_update_ops"] == 512

@@ -1,0 +1,61 @@
+"""Unit tests for the endurance (write-wear) analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.endurance import (
+    EnduranceReport,
+    endurance_report,
+    expected_update_funnel,
+)
+from repro.arch.config import ArchConfig
+from repro.arch.pim import ProtectedPIM
+
+
+@pytest.fixture
+def pim(rng):
+    p = ProtectedPIM(ArchConfig(n=15, m=5, pc_count=2))
+    p.write_data(0, 0, rng.integers(0, 2, (15, 15), dtype=np.uint8))
+    return p
+
+
+class TestEnduranceReport:
+    def test_counts_populated_after_writes(self, pim):
+        report = endurance_report(pim)
+        assert report.mem_total_writes == 225
+        assert report.cmem_total_updates > 0
+
+    def test_repeated_cell_writes_funnel_into_check_bits(self, pim):
+        """Hammering one data cell updates its two check cells equally
+        often: the CMEM hotspot tracks the hottest data cell."""
+        for i in range(50):
+            pim.mem.write_bit(3, 4, i % 2)
+        report = endurance_report(pim)
+        # Cell value alternates: ~49 parity toggles per plane.
+        assert report.cmem_max_cell_updates >= 45
+
+    def test_diagonal_funnel_effect(self, pim, rng):
+        """Writing all m cells of one diagonal funnels every update into
+        a single check cell — m data writes, ~m updates on one bit."""
+        lead_before, _ = pim.store.write_counts()
+        m = 5
+        # Cells of leading diagonal 2 of block (0, 0).
+        for r in range(m):
+            c = (2 - r) % m
+            pim.mem.write_bit(r, c, 1 - pim.mem.read_bit(r, c))
+        lead_after, _ = pim.store.write_counts()
+        assert (lead_after - lead_before)[2, 0, 0] == m
+
+    def test_hotspot_ratio_definition(self):
+        report = EnduranceReport(100, 10, 1.0, 300, 30, 3.0)
+        assert report.hotspot_ratio == 3.0
+
+    def test_hotspot_ratio_zero_mem(self):
+        assert EnduranceReport(0, 0, 0, 10, 5, 1).hotspot_ratio == \
+            float("inf")
+        assert EnduranceReport(0, 0, 0, 0, 0, 0).hotspot_ratio == 0.0
+
+    def test_expected_funnel(self):
+        assert expected_update_funnel(15) == 15
+        with pytest.raises(ValueError):
+            expected_update_funnel(4)

@@ -1,0 +1,62 @@
+"""Edge-case tests for figure rendering and latency harness options."""
+
+import pytest
+
+from repro.analysis.figures import fig6_series, render_loglog
+from repro.analysis.latency import measure_benchmark
+from repro.circuits.registry import BENCHMARKS
+from repro.reliability.model import MemoryOrganization, SweepPoint
+from repro.synth.ecc_scheduler import EccTimingModel
+
+
+class TestRenderLogLog:
+    def test_two_point_minimum(self):
+        points = [SweepPoint(1e-3, 100.0, 1e10),
+                  SweepPoint(1e-2, 10.0, 1e8)]
+        art = render_loglog(points)
+        assert "B" in art and "P" in art
+
+    def test_coincident_curves_star(self):
+        points = [SweepPoint(1e-3, 24.0, 24.0),
+                  SweepPoint(1e-2, 24.0, 24.0),
+                  SweepPoint(1e-1, 24.0, 24.0)]
+        art = render_loglog(points)
+        assert "*" in art
+
+    def test_width_respected(self):
+        result = fig6_series(sers=[1e-4, 1e-3, 1e-2])
+        art = render_loglog(result["points"], width=30, height=8)
+        for line in art.splitlines()[:-2]:
+            assert len(line) <= 30 + 10
+
+    def test_custom_organization(self):
+        result = fig6_series(MemoryOrganization(n=105, m=5),
+                             sers=[1e-3])
+        assert result["organization"].m == 5
+        assert result["flash_like_improvement"] > 1.0
+
+
+class TestMeasureBenchmarkOptions:
+    def test_custom_timing_model(self):
+        row = measure_benchmark(BENCHMARKS["int2float"],
+                                EccTimingModel(block_size=5))
+        # 11 inputs at m=5: ceil(11/5)*5 = 15 check cycles.
+        assert row.check_mem_cycles == 15
+
+    def test_larger_row_size(self):
+        row = measure_benchmark(BENCHMARKS["ctrl"], row_size=2048)
+        assert row.baseline > 0
+
+    def test_max_pc_restriction(self):
+        row = measure_benchmark(BENCHMARKS["dec"], max_pc=4)
+        assert row.pc_count <= 4
+
+
+class TestEccStatsEdge:
+    def test_overhead_zero_without_programs(self):
+        from repro.arch.pim import EccStats
+        assert EccStats().overhead_pct == 0.0
+
+    def test_campaign_zero_division_guards(self):
+        from repro.reliability.burst import BurstSurvivalResult
+        assert BurstSurvivalResult(0, 0, 0).survival_rate == 0.0

@@ -1,0 +1,93 @@
+"""Unit tests for the table/figure regeneration harnesses."""
+
+import math
+
+import pytest
+
+from repro.analysis.area_report import PAPER_TABLE2, run_table2
+from repro.analysis.figures import fig6_series, render_loglog
+from repro.analysis.latency import measure_benchmark, run_table1
+from repro.analysis.report import format_table, geomean
+from repro.circuits.registry import BENCHMARKS
+
+
+class TestReportHelpers:
+    def test_geomean_basic(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_geomean_floors_zero(self):
+        assert geomean([0.0, 1.0]) > 0
+
+    def test_geomean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+
+class TestTable1Harness:
+    def test_single_benchmark_row(self):
+        row = measure_benchmark(BENCHMARKS["ctrl"], verify=True)
+        assert row.baseline > 0
+        assert row.proposed > row.baseline
+        assert 1 <= row.pc_count <= 8
+        assert row.paper_baseline == 134
+
+    def test_overhead_consistent(self):
+        row = measure_benchmark(BENCHMARKS["int2float"])
+        derived = 100.0 * (row.proposed - row.baseline) / row.baseline
+        assert row.overhead_pct == pytest.approx(derived)
+
+    def test_run_subset(self):
+        result = run_table1(names=["ctrl", "dec", "int2float"])
+        assert len(result["rows"]) == 3
+        assert "Geo. Mean" in result["rendering"]
+
+    def test_qualitative_invariants_small_subset(self):
+        """dec (output-dense) must dominate int2float and cavlc."""
+        result = run_table1(names=["cavlc", "dec", "int2float"])
+        by_name = {r.name: r for r in result["rows"]}
+        assert by_name["dec"].overhead_pct > \
+            3 * by_name["int2float"].overhead_pct
+        assert by_name["dec"].pc_count == 8
+
+
+class TestTable2Harness:
+    def test_exact_totals(self):
+        result = run_table2()
+        assert result["total_memristors"] == 1_248_480
+        assert result["total_transistors"] == 75_480
+
+    def test_rows_match_paper_significands(self):
+        result = run_table2()
+        for row in result["rows"]:
+            paper_m, paper_t = PAPER_TABLE2[row.unit]
+            if paper_m:
+                assert row.memristors == pytest.approx(paper_m, rel=0.005)
+            if paper_t:
+                assert row.transistors == pytest.approx(paper_t, rel=0.005)
+
+    def test_rendering_contains_expressions(self):
+        assert "2 x 11 x k x n" in run_table2()["rendering"]
+
+
+class TestFigure6Harness:
+    def test_series_structure(self):
+        result = fig6_series()
+        assert len(result["points"]) > 10
+        assert result["flash_like_improvement"] > 3e8
+
+    def test_render_contains_both_curves(self):
+        result = fig6_series()
+        art = render_loglog(result["points"])
+        assert "B" in art and "P" in art
+        assert "FIT/bit" in art
+
+    def test_custom_ser_range(self):
+        result = fig6_series(sers=[1e-3, 1e-2])
+        assert len(result["points"]) == 2

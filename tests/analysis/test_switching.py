@@ -1,0 +1,96 @@
+"""Unit tests for switching-activity telemetry and the energy proxy."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.switching import (
+    measure_pc_xor3_switching,
+    switching_report,
+)
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.simpler import SimplerConfig, synthesize
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+from repro.xbar.ops import Axis
+
+
+class TestEngineSwitchCounter:
+    def test_init_counts_hrs_to_lrs(self):
+        xb = CrossbarArray(4, 4)
+        engine = MagicEngine(xb)
+        engine.init(Axis.ROW, [0, 1], [0, 1])  # 4 cells, all HRS
+        assert engine.switch_events == 4
+        engine.init(Axis.ROW, [0, 1], [0, 1])  # already LRS: no switch
+        assert engine.switch_events == 4
+
+    def test_nor_counts_lrs_to_hrs(self):
+        xb = CrossbarArray(2, 4)
+        engine = MagicEngine(xb)
+        xb.write_bit(0, 0, 1)   # input 1 -> NOR output 0 -> switch
+        xb.write_bit(1, 0, 0)   # input 0 -> NOR output 1 -> no switch
+        engine.init(Axis.ROW, [2], [0, 1])      # 2 switches
+        base = engine.switch_events
+        engine.nor(Axis.ROW, [0], 2, [0, 1])
+        assert engine.switch_events - base == 1  # only lane 0 switched
+
+    def test_switching_bounded_by_lanes(self, rng):
+        xb = CrossbarArray(8, 8)
+        engine = MagicEngine(xb, strict=False)
+        xb.write_region(0, 0, rng.integers(0, 2, (8, 8)))
+        before = engine.switch_events
+        engine.init(Axis.ROW, [7], range(8))
+        engine.nor(Axis.ROW, [0, 1], 7, range(8))
+        assert 0 <= engine.switch_events - before <= 16
+
+
+class TestXor3Switching:
+    def test_positive_and_bounded(self):
+        mean = measure_pc_xor3_switching(16, trials=8, seed=1)
+        # 11 cells per lane: scratch init (8) + at most 8 gate switches.
+        assert 0 < mean <= 16 * 16
+
+    def test_deterministic_for_seed(self):
+        a = measure_pc_xor3_switching(8, trials=4, seed=2)
+        b = measure_pc_xor3_switching(8, trials=4, seed=2)
+        assert a == b
+
+
+class TestSwitchingReport:
+    @pytest.fixture(scope="class")
+    def program(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        x = net.xor(a, b)
+        for _ in range(20):
+            x = net.not_(net.not_(x))
+        net.output("y", net.not_(x))
+        return synthesize(map_to_nor(net), SimplerConfig(row_size=128))
+
+    def test_report_structure(self, program):
+        report = switching_report(program, seed=3)
+        assert report.mem_switches > 0
+        assert report.ecc_update_switches > 0
+        assert report.ecc_check_switches > 0
+        assert report.critical_ops == 1
+        assert report.check_blocks == 1
+
+    def test_overhead_positive(self, program):
+        report = switching_report(program, seed=3)
+        assert report.overhead_pct > 0
+
+    def test_output_dense_programs_cost_more(self):
+        """dec-shaped functions pay more ECC switching per MEM switch
+        than arithmetic-shaped ones — mirroring the latency story."""
+        from repro.circuits.registry import BENCHMARKS
+        dec = synthesize(map_to_nor(BENCHMARKS["dec"].build()),
+                         SimplerConfig(row_size=1020))
+        cavlc = synthesize(map_to_nor(BENCHMARKS["cavlc"].build()),
+                           SimplerConfig(row_size=1020))
+        dec_report = switching_report(dec, seed=4, trials=2)
+        cavlc_report = switching_report(cavlc, seed=4, trials=2)
+        assert dec_report.overhead_pct > cavlc_report.overhead_pct
+
+    def test_zero_mem_guard(self):
+        from repro.analysis.switching import SwitchingReport
+        assert SwitchingReport(0, 10.0, 5.0, 1, 1).overhead_pct == 0.0

@@ -1,0 +1,42 @@
+"""Unit tests for the checking crossbar (syndrome evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.checking import CheckingCrossbar
+from repro.errors import ConfigurationError
+
+
+class TestEvaluate:
+    def test_zero_syndromes_no_flags(self):
+        cx = CheckingCrossbar(15, 5)
+        flags, cycles = cx.evaluate(np.zeros((3, 10), dtype=bool))
+        assert not flags.any()
+        assert cycles > 0
+
+    def test_flags_nonzero_blocks(self):
+        cx = CheckingCrossbar(15, 5)
+        syn = np.zeros((3, 10), dtype=bool)
+        syn[1, 3] = True
+        flags, _ = cx.evaluate(syn)
+        assert flags.tolist() == [False, True, False]
+
+    def test_many_blocks_multi_pass(self):
+        cx = CheckingCrossbar(30, 5)
+        syn = np.zeros((12, 10), dtype=bool)
+        syn[11, 0] = True
+        syn[0, 9] = True
+        flags, _ = cx.evaluate(syn)
+        assert flags[0] and flags[11] and flags[1:11].sum() == 0
+
+    def test_rejects_wrong_width(self):
+        cx = CheckingCrossbar(15, 5)
+        with pytest.raises(ConfigurationError):
+            cx.evaluate(np.zeros((3, 8), dtype=bool))
+
+    def test_geometry_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckingCrossbar(16, 5)
+
+    def test_memristor_count_table2(self):
+        assert CheckingCrossbar(1020, 15).memristor_count == 2040

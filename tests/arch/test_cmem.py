@@ -1,0 +1,78 @@
+"""Unit tests for the Check Memory physical model."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cmem import CheckMemory, ConnectionUnit
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def cmem(small_grid):
+    return CheckMemory(small_grid)
+
+
+class TestStructure:
+    def test_one_crossbar_per_diagonal(self, cmem, small_grid):
+        assert len(cmem.crossbars) == small_grid.m
+
+    def test_crossbar_shape_holds_both_planes(self, cmem, small_grid):
+        b = small_grid.blocks_per_side
+        for xbar in cmem.crossbars:
+            assert xbar.shape == (b, 2 * b)
+
+    def test_memristor_count_table2_expression(self, small_grid):
+        cmem = CheckMemory(small_grid)
+        n, m = small_grid.n, small_grid.m
+        assert cmem.memristor_count == 2 * m * (n // m) ** 2
+
+    def test_grid_mismatch_rejected(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            CheckMemory(small_grid, CheckStore(BlockGrid(9, 3)))
+
+
+class TestMirroring:
+    def test_sync_and_verify(self, cmem, rng):
+        cmem.store.lead[:] = rng.integers(0, 2, cmem.store.lead.shape)
+        cmem.store.ctr[:] = rng.integers(0, 2, cmem.store.ctr.shape)
+        cmem.sync_to_crossbars()
+        assert cmem.verify_mirrors()
+
+    def test_verify_detects_divergence(self, cmem):
+        cmem.sync_to_crossbars()
+        cmem.store.toggle("leading", 0, 0, 0)
+        assert not cmem.verify_mirrors()
+
+    def test_paper_addressing(self, cmem, small_grid):
+        """Crossbar d cell (a, b): a = blocks from the left, b = from the
+        top (Sec. IV-A.1)."""
+        cmem.store.toggle("leading", 2, 1, 2)  # block_row=1, block_col=2
+        cmem.sync_to_crossbars()
+        snap = cmem.crossbars[2].snapshot()
+        assert snap[2, 1] == 1  # (a=2, b=1)
+
+
+class TestPorts:
+    def test_read_counts(self, cmem):
+        cmem.read_diagonal("leading", 0)
+        cmem.read_diagonal("counter", 1)
+        assert cmem.port_reads == 2
+
+    def test_write_block_bits(self, cmem, rng):
+        lead = rng.integers(0, 2, 5).astype(np.uint8)
+        ctr = rng.integers(0, 2, 5).astype(np.uint8)
+        cmem.write_block_bits(0, 1, lead, ctr)
+        got_lead, got_ctr = cmem.store.block_bits(0, 1)
+        assert (got_lead == lead).all() and (got_ctr == ctr).all()
+        assert cmem.port_writes == 1
+
+
+class TestConnectionUnit:
+    def test_transistor_count_table2(self):
+        assert ConnectionUnit(1020, 3).transistor_count == 14280
+
+    def test_scales_with_pc_count(self):
+        assert ConnectionUnit(1020, 8).transistor_count == \
+            2 * 1020 * 12

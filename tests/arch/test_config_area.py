@@ -1,0 +1,78 @@
+"""Unit tests for ArchConfig and the Table II area model."""
+
+import pytest
+
+from repro.arch.area import AreaModel
+from repro.arch.config import ArchConfig
+from repro.errors import ConfigurationError, GeometryError
+
+
+class TestArchConfig:
+    def test_paper_case_study(self):
+        cfg = ArchConfig.paper_case_study()
+        assert (cfg.n, cfg.m, cfg.pc_count) == (1020, 15, 3)
+        assert cfg.check_period_hours == 24.0
+
+    def test_derived_geometry(self):
+        cfg = ArchConfig()
+        assert cfg.blocks_per_side == 68
+        assert cfg.data_bits == 1020 ** 2
+        assert cfg.check_bits == 2 * 15 * 68 ** 2
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(GeometryError):
+            ArchConfig(n=1000, m=15)
+        with pytest.raises(ConfigurationError):
+            ArchConfig(n=1024, m=16)
+
+    def test_rejects_bad_pc_count(self):
+        with pytest.raises(ConfigurationError):
+            ArchConfig(pc_count=0)
+
+    def test_timing_model_inherits_m_and_k(self):
+        cfg = ArchConfig(n=105, m=5, pc_count=7)
+        t = cfg.timing_model()
+        assert t.block_size == 5 and t.pc_count == 7
+
+
+class TestAreaModelPaperValues:
+    """Table II must reproduce exactly."""
+
+    def test_row_values(self):
+        rows = {r.unit: r for r in AreaModel().rows()}
+        assert rows["Data (MEM)"].memristors == 1_040_400
+        assert rows["Check-Bits"].memristors == 138_720
+        assert rows["Processing XBs"].memristors == 67_320
+        assert rows["Checking XB"].memristors == 2_040
+        assert rows["Shifters"].transistors == 61_200
+        assert rows["Connection Unit"].transistors == 14_280
+
+    def test_totals(self):
+        model = AreaModel()
+        assert model.total_memristors() == 1_248_480      # paper: 1.25e6
+        assert model.total_transistors() == 75_480        # paper: 7.55e4
+
+    def test_rounded_match_paper_significands(self):
+        model = AreaModel()
+        assert f"{model.total_memristors():.3g}" == "1.25e+06"
+        assert f"{model.total_transistors():.3g}" == "7.55e+04"
+
+    def test_memristor_rows_have_no_transistors(self):
+        for r in AreaModel().rows():
+            assert r.memristors == 0 or r.transistors == 0
+
+    def test_storage_overhead_fraction(self):
+        """Extra memristors over the raw array: ~20% for the case study."""
+        assert AreaModel().storage_overhead_pct() == pytest.approx(20.0,
+                                                                   abs=0.5)
+
+    def test_scaling_with_k(self):
+        small = AreaModel(ArchConfig(pc_count=1))
+        big = AreaModel(ArchConfig(pc_count=8))
+        delta = big.total_memristors() - small.total_memristors()
+        assert delta == 2 * 11 * 7 * 1020
+
+    def test_render_contains_all_units(self):
+        text = AreaModel().render()
+        for unit in ("Data (MEM)", "Check-Bits", "Shifters", "Total"):
+            assert unit in text

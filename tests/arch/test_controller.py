@@ -1,0 +1,112 @@
+"""Unit tests for the MEM/CMEM controllers and the hardware update path."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cmem import CheckMemory
+from repro.arch.controller import CmemController, MemController, PcState
+from repro.arch.processing import ProcessingCrossbar
+from repro.arch.shifters import BarrelShifter
+from repro.core.code import DiagonalParityCode
+from repro.errors import SchedulingError
+from repro.xbar.crossbar import CrossbarArray
+
+
+@pytest.fixture
+def system(small_grid, rng):
+    n = small_grid.n
+    mem = CrossbarArray(n, n, "mem")
+    data = rng.integers(0, 2, (n, n), dtype=np.uint8)
+    mem.write_region(0, 0, data)
+    code = DiagonalParityCode(small_grid)
+    cmem = CheckMemory(small_grid, code.encode(mem.snapshot()))
+    shifter = BarrelShifter(n, small_grid.m)
+    pcs = [ProcessingCrossbar(n, name=f"pc{i}") for i in range(2)]
+    mem_ctrl = MemController(mem, shifter)
+    cmem_ctrl = CmemController(small_grid, cmem, shifter, pcs)
+    return mem, code, cmem, cmem_ctrl, mem_ctrl
+
+
+class TestHardwareUpdatePath:
+    def test_row_write_update_keeps_parity_exact(self, system, rng):
+        """The full hardware path — shifters, PC XOR3 microprogram,
+        write-back — must agree with re-encoding from scratch."""
+        mem, code, cmem, cmem_ctrl, _ = system
+        row = 7
+        old = mem.read_row(row)
+        new = rng.integers(0, 2, mem.cols).astype(np.uint8)
+        mem.write_row(row, new)  # no observers attached: parity is stale
+        cmem_ctrl.update_for_row_write(row, old, new)
+        fresh = code.encode(mem.snapshot())
+        assert (fresh.lead == cmem.store.lead).all()
+        assert (fresh.ctr == cmem.store.ctr).all()
+
+    def test_unchanged_row_is_parity_noop(self, system):
+        mem, code, cmem, cmem_ctrl, _ = system
+        row = 3
+        bits = mem.read_row(row)
+        before_lead = cmem.store.lead.copy()
+        cmem_ctrl.update_for_row_write(row, bits, bits)
+        assert (cmem.store.lead == before_lead).all()
+
+    def test_sequence_of_updates(self, system, rng):
+        mem, code, cmem, cmem_ctrl, _ = system
+        for row in (0, 4, 9, 14):
+            old = mem.read_row(row)
+            new = rng.integers(0, 2, mem.cols).astype(np.uint8)
+            mem.write_row(row, new)
+            cmem_ctrl.update_for_row_write(row, old, new)
+        fresh = code.encode(mem.snapshot())
+        assert (fresh.lead == cmem.store.lead).all()
+        assert (fresh.ctr == cmem.store.ctr).all()
+
+    def test_updates_processed_counter(self, system):
+        mem, _, _, cmem_ctrl, _ = system
+        bits = mem.read_row(0)
+        cmem_ctrl.update_for_row_write(0, bits, bits)
+        assert cmem_ctrl.updates_processed == 1
+
+
+class TestPcFsm:
+    def test_claim_and_release(self, system):
+        _, _, _, cmem_ctrl, _ = system
+        ctrl = cmem_ctrl.free_pc()
+        ctrl.start("task")
+        assert ctrl.state is PcState.LOADING
+        ctrl.compute()
+        assert ctrl.state is PcState.COMPUTING
+        ctrl.finish()
+        assert ctrl.state is PcState.IDLE
+
+    def test_double_claim_rejected(self, system):
+        _, _, _, cmem_ctrl, _ = system
+        ctrl = cmem_ctrl.free_pc()
+        ctrl.start("a")
+        with pytest.raises(SchedulingError):
+            ctrl.start("b")
+
+    def test_all_busy_raises(self, system):
+        _, _, _, cmem_ctrl, _ = system
+        for ctrl in cmem_ctrl.pc_controllers:
+            ctrl.start("x")
+        with pytest.raises(SchedulingError):
+            cmem_ctrl.free_pc()
+
+
+class TestMemController:
+    def test_row_copy_counter(self, system):
+        mem, _, _, _, mem_ctrl = system
+        bits = mem_ctrl.read_row_for_cmem(5)
+        assert (bits == mem.read_row(5)).all()
+        assert mem_ctrl.rows_copied == 1
+
+    def test_critical_signal_counter(self, system):
+        _, _, _, _, mem_ctrl = system
+        mem_ctrl.signal_critical()
+        mem_ctrl.signal_critical()
+        assert mem_ctrl.criticals_signalled == 2
+
+    def test_checker_factory(self, system):
+        _, _, _, cmem_ctrl, _ = system
+        checker = cmem_ctrl.make_checker()
+        assert checker.store is cmem_ctrl.cmem.store

@@ -1,0 +1,171 @@
+"""Unit tests for controller extensions: column updates, block reset."""
+
+import numpy as np
+import pytest
+
+from repro.arch.cmem import CheckMemory
+from repro.arch.controller import CmemController, MemController
+from repro.arch.processing import ProcessingCrossbar
+from repro.arch.shifters import BarrelShifter
+from repro.core.code import DiagonalParityCode
+from repro.xbar.crossbar import CrossbarArray
+
+
+@pytest.fixture
+def system(small_grid, rng):
+    n = small_grid.n
+    mem = CrossbarArray(n, n, "mem")
+    mem.write_region(0, 0, rng.integers(0, 2, (n, n), dtype=np.uint8))
+    code = DiagonalParityCode(small_grid)
+    cmem = CheckMemory(small_grid, code.encode(mem.snapshot()))
+    shifter = BarrelShifter(n, small_grid.m)
+    pcs = [ProcessingCrossbar(n)]
+    return mem, code, cmem, CmemController(small_grid, cmem, shifter, pcs)
+
+
+def _consistent(code, mem, store):
+    fresh = code.encode(mem.snapshot())
+    return (fresh.lead == store.lead).all() and \
+        (fresh.ctr == store.ctr).all()
+
+
+class TestColumnUpdatePath:
+    def test_col_write_update_keeps_parity_exact(self, system, rng):
+        """Fig. 1(b) orientation through the full hardware path."""
+        mem, code, cmem, ctrl = system
+        col = 8
+        old = mem.read_col(col)
+        new = rng.integers(0, 2, mem.rows).astype(np.uint8)
+        mem.write_col(col, new)
+        ctrl.update_for_col_write(col, old, new)
+        assert _consistent(code, mem, cmem.store)
+
+    def test_mixed_row_and_col_updates(self, system, rng):
+        mem, code, cmem, ctrl = system
+        for i, axis in enumerate(["row", "col", "row", "col"]):
+            idx = 3 * i + 1
+            if axis == "row":
+                old = mem.read_row(idx)
+                new = rng.integers(0, 2, mem.cols).astype(np.uint8)
+                mem.write_row(idx, new)
+                ctrl.update_for_row_write(idx, old, new)
+            else:
+                old = mem.read_col(idx)
+                new = rng.integers(0, 2, mem.rows).astype(np.uint8)
+                mem.write_col(idx, new)
+                ctrl.update_for_col_write(idx, old, new)
+        assert _consistent(code, mem, cmem.store)
+
+    def test_unchanged_col_is_noop(self, system):
+        mem, code, cmem, ctrl = system
+        bits = mem.read_col(2)
+        before = cmem.store.ctr.copy()
+        ctrl.update_for_col_write(2, bits, bits)
+        assert (cmem.store.ctr == before).all()
+
+
+class TestBlockResetFastPath:
+    """Paper footnote 3: direct ECC reset on block reset."""
+
+    @pytest.mark.parametrize("value", [0, 1])
+    def test_reset_block_consistent(self, system, value):
+        mem, code, cmem, ctrl = system
+        ctrl.reset_block(mem, 1, 2, value)
+        rs, cs = ctrl.grid.block_slice(1, 2)
+        assert (mem.snapshot()[rs, cs] == value).all()
+        assert _consistent(code, mem, cmem.store)
+
+    def test_reset_parity_value_uses_odd_m(self, system):
+        """All-ones block: every wrap-around diagonal holds m (odd)
+        ones, so parity is 1 on every diagonal."""
+        mem, code, cmem, ctrl = system
+        ctrl.reset_block(mem, 0, 0, value=1)
+        lead, ctr = cmem.store.block_bits(0, 0)
+        assert (lead == 1).all() and (ctr == 1).all()
+
+    def test_reset_then_check_clean(self, system):
+        mem, code, cmem, ctrl = system
+        ctrl.reset_block(mem, 2, 2, 0)
+        checker = ctrl.make_checker()
+        report = checker.check_block(mem, 2, 2)
+        assert report.status.value == "no_error"
+
+    def test_other_blocks_untouched(self, system):
+        mem, code, cmem, ctrl = system
+        before = mem.snapshot()
+        ctrl.reset_block(mem, 1, 1, 0)
+        after = mem.snapshot()
+        rs, cs = ctrl.grid.block_slice(1, 1)
+        mask = np.ones_like(before, dtype=bool)
+        mask[rs, cs] = False
+        assert (before[mask] == after[mask]).all()
+
+
+class TestForwardingScheduler:
+    """Paper footnote 3: PC forwarding for back-to-back updates."""
+
+    def _dense_program(self, outputs=64):
+        from repro.logic.netlist import LogicNetwork
+        from repro.logic.nor_mapping import map_to_nor
+        from repro.synth.simpler import SimplerConfig, synthesize
+
+        net = LogicNetwork()
+        x = net.input("a")
+        for j in range(outputs):
+            x = net.not_(x)
+            net.output(f"o{j}", x)
+        return synthesize(map_to_nor(net), SimplerConfig(row_size=128))
+
+    def test_forwarding_reduces_stalls_with_scarce_pcs(self):
+        from dataclasses import replace
+
+        from repro.synth.ecc_scheduler import (
+            EccTimingModel,
+            schedule_with_ecc,
+        )
+        prog = self._dense_program()
+        base = EccTimingModel(pc_count=2)
+        plain = schedule_with_ecc(prog, base)
+        forwarded = schedule_with_ecc(
+            prog, replace(base, enable_forwarding=True))
+        assert forwarded.forwarded_ops > 0
+        assert forwarded.proposed_cycles < plain.proposed_cycles
+        assert plain.forwarded_ops == 0
+
+    def test_forwarding_noop_for_sparse_outputs(self):
+        from dataclasses import replace
+
+        from repro.logic.netlist import LogicNetwork
+        from repro.logic.nor_mapping import map_to_nor
+        from repro.synth.ecc_scheduler import (
+            EccTimingModel,
+            schedule_with_ecc,
+        )
+        from repro.synth.simpler import SimplerConfig, synthesize
+
+        net = LogicNetwork()
+        x = net.input("a")
+        for _ in range(100):
+            x = net.not_(x)
+        net.output("y", x)
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=64))
+        t = EccTimingModel(pc_count=2, enable_forwarding=True)
+        res = schedule_with_ecc(prog, t)
+        assert res.forwarded_ops == 0
+        assert res.proposed_cycles == schedule_with_ecc(
+            prog, replace(t, enable_forwarding=False)).proposed_cycles
+
+    def test_forwarding_never_slower(self):
+        from dataclasses import replace
+
+        from repro.synth.ecc_scheduler import (
+            EccTimingModel,
+            schedule_with_ecc,
+        )
+        prog = self._dense_program(outputs=32)
+        for k in (1, 2, 4, 8):
+            base = EccTimingModel(pc_count=k)
+            plain = schedule_with_ecc(prog, base)
+            fwd = schedule_with_ecc(prog,
+                                    replace(base, enable_forwarding=True))
+            assert fwd.proposed_cycles <= plain.proposed_cycles

@@ -1,0 +1,87 @@
+"""Tests for the full hardware-path block check (Sec. IV flow)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.checking import CheckingCrossbar
+from repro.arch.cmem import CheckMemory
+from repro.arch.controller import CmemController
+from repro.arch.processing import ProcessingCrossbar
+from repro.arch.shifters import BarrelShifter
+from repro.core.code import DecodeStatus, DiagonalParityCode
+from repro.xbar.crossbar import CrossbarArray
+
+
+@pytest.fixture
+def system(small_grid, rng):
+    n = small_grid.n
+    mem = CrossbarArray(n, n, "mem")
+    mem.write_region(0, 0, rng.integers(0, 2, (n, n), dtype=np.uint8))
+    code = DiagonalParityCode(small_grid)
+    cmem = CheckMemory(small_grid, code.encode(mem.snapshot()))
+    shifter = BarrelShifter(n, small_grid.m)
+    pcs = [ProcessingCrossbar(n)]
+    ctrl = CmemController(small_grid, cmem, shifter, pcs)
+    checking = CheckingCrossbar(n, small_grid.m)
+    return mem, ctrl, checking
+
+
+class TestHardwareCheck:
+    def test_clean_block(self, system):
+        mem, ctrl, checking = system
+        report = ctrl.hardware_check_block(mem, 1, 1, checking)
+        assert report.status is DecodeStatus.NO_ERROR
+
+    def test_locates_and_corrects_data_error(self, system):
+        mem, ctrl, checking = system
+        golden = mem.snapshot()
+        mem.flip(7, 8)  # block (1, 1), local (2, 3)
+        report = ctrl.hardware_check_block(mem, 1, 1, checking)
+        assert report.status is DecodeStatus.DATA_ERROR
+        assert report.corrected
+        assert (mem.snapshot() == golden).all()
+
+    def test_check_bit_error_path(self, system):
+        mem, ctrl, checking = system
+        ctrl.cmem.store.flip("counter", 3, 2, 0)
+        report = ctrl.hardware_check_block(mem, 2, 0, checking)
+        assert report.status is DecodeStatus.CHECK_BIT_ERROR
+        assert report.corrected
+        follow = ctrl.hardware_check_block(mem, 2, 0, checking)
+        assert follow.status is DecodeStatus.NO_ERROR
+
+    def test_double_error_detected(self, system):
+        mem, ctrl, checking = system
+        mem.flip(0, 0)
+        mem.flip(2, 3)
+        report = ctrl.hardware_check_block(mem, 0, 0, checking)
+        assert report.status is DecodeStatus.UNCORRECTABLE
+
+    def test_agrees_with_behavioral_checker_everywhere(self, system):
+        """Hardware path and behavioral checker must classify every
+        single-error position identically (without correcting)."""
+        mem, ctrl, checking = system
+        behavioral = ctrl.make_checker()
+        for (r, c) in [(0, 0), (4, 4), (7, 11), (14, 0), (10, 14)]:
+            mem.flip(r, c)
+            br, bc = ctrl.grid.block_of(r, c)
+            hw = ctrl.hardware_check_block(mem, br, bc, checking,
+                                           correct=False)
+            sw = behavioral.check_block(mem, br, bc, correct=False)
+            assert hw.status == sw.status
+            assert hw.outcome == sw.outcome
+            mem.flip(r, c)  # restore
+
+    def test_uses_real_pc_cycles(self, system):
+        mem, ctrl, checking = system
+        pc = ctrl.pc_controllers[0].pc
+        before = pc.cycles
+        ctrl.hardware_check_block(mem, 0, 0, checking)
+        # Two planes, each a multi-level XOR3 tree: at least 4 XOR3
+        # batches of 9 cycles each.
+        assert pc.cycles - before >= 4 * 9
+
+    def test_default_checking_crossbar(self, system):
+        mem, ctrl, _ = system
+        report = ctrl.hardware_check_block(mem, 0, 0)
+        assert report.status is DecodeStatus.NO_ERROR

@@ -1,0 +1,112 @@
+"""Unit tests for the multi-crossbar memory bank."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.memory import BankAddress, MemoryBank
+from repro.errors import ConfigurationError
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.simpler import SimplerConfig, synthesize
+
+
+@pytest.fixture
+def bank():
+    return MemoryBank(crossbars=3, config=ArchConfig(n=15, m=5, pc_count=2))
+
+
+class TestAddressing:
+    def test_total_bits(self, bank):
+        assert bank.total_bits == 3 * 225
+
+    def test_decode_first_and_last(self, bank):
+        assert bank.decode_address(0) == BankAddress(0, 0, 0)
+        assert bank.decode_address(bank.total_bits - 1) == \
+            BankAddress(2, 14, 14)
+
+    def test_roundtrip(self, bank):
+        for addr in (0, 1, 224, 225, 400, 674):
+            decoded = bank.decode_address(addr)
+            assert bank.encode_address(decoded) == addr
+
+    def test_out_of_range(self, bank):
+        with pytest.raises(ConfigurationError):
+            bank.decode_address(bank.total_bits)
+
+
+class TestDataPlane:
+    def test_bit_roundtrip_across_crossbars(self, bank):
+        for addr in (3, 225 + 7, 2 * 225 + 100):
+            bank.write_bit(addr, 1)
+            assert bank.read_bit(addr) == 1
+
+    def test_block_spanning_crossbars(self, bank, rng):
+        bits = rng.integers(0, 2, 30)
+        start = 225 - 15  # straddles crossbars 0 and 1
+        bank.write_block(start, bits)
+        assert (bank.read_block(start, 30) == bits).all()
+
+    def test_writes_maintain_per_crossbar_parity(self, bank, rng):
+        for addr in rng.integers(0, bank.total_bits, 50):
+            bank.write_bit(int(addr), int(rng.integers(0, 2)))
+        for pim in bank.crossbars:
+            fresh = pim.code.encode(pim.mem.snapshot())
+            assert (fresh.lead == pim.store.lead).all()
+            assert (fresh.ctr == pim.store.ctr).all()
+
+
+class TestSystemEcc:
+    def test_periodic_check_all_corrects_everywhere(self, bank, rng):
+        goldens = []
+        for pim in bank.crossbars:
+            data = rng.integers(0, 2, (15, 15), dtype=np.uint8)
+            pim.write_data(0, 0, data)
+            goldens.append(pim.mem.snapshot())
+        bank.crossbars[0].mem.flip(1, 1)
+        bank.crossbars[2].mem.flip(10, 3)
+        reports = bank.periodic_check_all()
+        assert reports[0].data_corrections == 1
+        assert reports[2].data_corrections == 1
+        for pim, golden in zip(bank.crossbars, goldens):
+            assert (pim.mem.snapshot() == golden).all()
+
+    def test_aggregate_stats(self, bank):
+        bank.crossbars[1].mem.flip(0, 0)
+        bank.periodic_check_all()
+        stats = bank.aggregate_stats()
+        assert stats["crossbars"] == 3
+        assert stats["data_corrections"] == 1
+        assert stats["blocks_checked"] == 3 * 9
+
+
+class TestBroadcast:
+    def test_broadcast_execute_lock_step(self, rng):
+        from repro.circuits import BENCHMARKS
+        bank = MemoryBank(crossbars=2,
+                          config=ArchConfig(n=105, m=5, pc_count=3))
+        spec = BENCHMARKS["ctrl"]
+        nor = map_to_nor(spec.build())
+        prog = synthesize(nor, SimplerConfig(row_size=105))
+        inputs = [{nm: rng.integers(0, 2, 2).astype(bool)
+                   for nm in nor.input_names} for _ in range(2)]
+        results = bank.broadcast_execute(prog, [0, 1], inputs)
+        assert len(results) == 2
+        # Lock-step: identical schedules.
+        assert results[0][1].proposed_cycles == \
+            results[1][1].proposed_cycles
+        # Per-crossbar outputs match per-crossbar goldens.
+        for xbar_idx, (outs, _) in enumerate(results):
+            for lane in range(2):
+                assignment = {nm: int(inputs[xbar_idx][nm][lane])
+                              for nm in nor.input_names}
+                for name, val in spec.golden(assignment).items():
+                    assert int(outs[name][lane]) == int(val)
+
+    def test_broadcast_input_count_mismatch(self, bank):
+        from repro.logic.netlist import LogicNetwork
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output("y", net.nor(a, b))
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=15))
+        with pytest.raises(ConfigurationError):
+            bank.broadcast_execute(prog, [0], [{}])  # 1 input set, 3 xbars

@@ -1,0 +1,108 @@
+"""Unit tests for the top-level ProtectedPIM."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import ArchConfig
+from repro.arch.pim import ProtectedPIM
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.simpler import SimplerConfig, synthesize
+
+
+@pytest.fixture
+def pim(rng):
+    p = ProtectedPIM(ArchConfig(n=15, m=5, pc_count=3))
+    data = rng.integers(0, 2, (15, 15), dtype=np.uint8)
+    p.write_data(0, 0, data)
+    return p
+
+
+def _parity_consistent(pim):
+    fresh = pim.code.encode(pim.mem.snapshot())
+    return (fresh.lead == pim.store.lead).all() and \
+        (fresh.ctr == pim.store.ctr).all()
+
+
+def _ctrl_program(row_size=105):
+    from repro.circuits import BENCHMARKS
+    spec = BENCHMARKS["ctrl"]
+    nor = map_to_nor(spec.build())
+    return spec, nor, synthesize(nor, SimplerConfig(row_size=row_size))
+
+
+class TestDataPlane:
+    def test_write_maintains_parity(self, pim, rng):
+        pim.write_data(3, 4, rng.integers(0, 2, (5, 6)))
+        assert _parity_consistent(pim)
+
+    def test_read_region(self, pim):
+        region = pim.read_data(0, 0, 5, 5)
+        assert region.shape == (5, 5)
+
+
+class TestCheckingFlows:
+    def test_periodic_check_clean(self, pim):
+        sweep = pim.periodic_check()
+        assert sweep.clean
+        assert pim.stats.blocks_checked == 9
+
+    def test_periodic_check_corrects_injected_error(self, pim):
+        golden = pim.mem.snapshot()
+        pim.mem.flip(7, 7)
+        sweep = pim.periodic_check()
+        assert sweep.data_corrections == 1
+        assert (pim.mem.snapshot() == golden).all()
+        assert pim.stats.data_corrections == 1
+
+    def test_check_blocks_subset(self, pim):
+        sweep = pim.check_blocks([(0, 0), (2, 2)])
+        assert sweep.blocks_checked == 2
+
+    def test_uncorrectable_counted(self, pim):
+        pim.mem.flip(0, 0)
+        pim.mem.flip(1, 1)
+        pim.periodic_check()
+        assert pim.stats.uncorrectable_blocks == 1
+
+
+class TestExecutionWithEcc:
+    def test_execute_produces_golden_outputs(self, rng):
+        pim = ProtectedPIM(ArchConfig(n=105, m=5, pc_count=3))
+        spec, nor, prog = _ctrl_program()
+        rows = [0, 51, 104]
+        vectors = {nm: rng.integers(0, 2, 3).astype(bool)
+                   for nm in nor.input_names}
+        outs, sched = pim.execute(prog, rows, vectors)
+        for lane in range(3):
+            assignment = {nm: int(vectors[nm][lane])
+                          for nm in nor.input_names}
+            for name, val in spec.golden(assignment).items():
+                assert int(outs[name][lane]) == int(val)
+        assert sched.proposed_cycles > sched.baseline_cycles
+        assert _parity_consistent(pim)
+
+    def test_execute_corrects_pre_existing_error(self, rng):
+        pim = ProtectedPIM(ArchConfig(n=105, m=5, pc_count=3))
+        spec, nor, prog = _ctrl_program()
+        pim.mem.flip(0, 3)  # inside the input block-row for row 0
+        outs, _ = pim.execute(prog, [0], {nm: 0 for nm in nor.input_names})
+        assert pim.stats.data_corrections == 1
+
+    def test_stats_accumulate(self, rng):
+        pim = ProtectedPIM(ArchConfig(n=105, m=5, pc_count=3))
+        spec, nor, prog = _ctrl_program()
+        for _ in range(3):
+            pim.execute(prog, [0], {nm: 0 for nm in nor.input_names})
+        assert pim.stats.programs_executed == 3
+        assert pim.stats.overhead_pct > 0
+
+    def test_components_sized_from_config(self):
+        pim = ProtectedPIM(ArchConfig(n=105, m=5, pc_count=4))
+        assert len(pim.pcs) == 4
+        assert len(pim.cmem.crossbars) == 5
+        assert pim.shifter.n == 105
+
+    def test_area_model_accessor(self):
+        pim = ProtectedPIM(ArchConfig(n=105, m=5, pc_count=3))
+        model = pim.area_model()
+        assert model.total_memristors() > 105 * 105

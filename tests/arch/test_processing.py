@@ -1,0 +1,52 @@
+"""Unit tests for the processing crossbar (XOR3 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.processing import ProcessingCrossbar
+from repro.errors import ConfigurationError
+
+
+class TestXor3Hardware:
+    def test_exhaustive_single_lane(self):
+        for v in range(8):
+            a, b, c = v & 1, (v >> 1) & 1, (v >> 2) & 1
+            pc = ProcessingCrossbar(1)
+            result = pc.xor3(np.array([a], bool), np.array([b], bool),
+                             np.array([c], bool))
+            assert int(result[0]) == a ^ b ^ c
+
+    def test_wide_lanes(self, rng):
+        pc = ProcessingCrossbar(1020)
+        a, b, c = (rng.integers(0, 2, 1020).astype(bool) for _ in range(3))
+        assert (pc.xor3(a, b, c).astype(bool) == (a ^ b ^ c)).all()
+
+    def test_cycle_cost_is_nine(self, rng):
+        """1 batched init + 8 NOR steps, independent of width."""
+        pc = ProcessingCrossbar(64)
+        a, b, c = (rng.integers(0, 2, 64).astype(bool) for _ in range(3))
+        pc.xor3(a, b, c)
+        assert pc.cycles == 9
+
+    def test_repeated_use_reinitializes(self, rng):
+        pc = ProcessingCrossbar(16)
+        for seed in range(4):
+            r = np.random.default_rng(seed)
+            a, b, c = (r.integers(0, 2, 16).astype(bool) for _ in range(3))
+            assert (pc.xor3(a, b, c).astype(bool) == (a ^ b ^ c)).all()
+
+    def test_memristor_count(self):
+        """11 cells per lane (Table II's per-plane PC sizing)."""
+        assert ProcessingCrossbar(1020).memristor_count == 11 * 1020
+
+
+class TestValidation:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            ProcessingCrossbar(0)
+
+    def test_rejects_wrong_operand_shape(self):
+        pc = ProcessingCrossbar(8)
+        with pytest.raises(ConfigurationError):
+            pc.load_operands(np.zeros(7, bool), np.zeros(8, bool),
+                             np.zeros(8, bool))

@@ -1,0 +1,105 @@
+"""Unit tests for the barrel shifters (diagonal emulation, Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.shifters import BarrelShifter
+from repro.errors import ConfigurationError, GeometryError
+
+
+@pytest.fixture
+def shifter():
+    return BarrelShifter(15, 5)
+
+
+class TestRowAlignment:
+    def test_shapes(self, shifter, rng):
+        shifted = shifter.align_row(rng.integers(0, 2, 15), 7)
+        assert shifted.lead.shape == (5, 3)
+        assert shifted.ctr.shape == (5, 3)
+
+    def test_alignment_matches_diagonal_definition(self, shifter, rng):
+        """lead[d, b] must be the bit of block b whose cell lies on
+        leading diagonal d in the row's block-local position."""
+        bits = rng.integers(0, 2, 15)
+        for row in (0, 4, 7, 14):
+            shifted = shifter.align_row(bits, row)
+            r = row % 5
+            for b in range(3):
+                for c in range(5):
+                    lead_d = (r + c) % 5
+                    ctr_d = (r - c) % 5
+                    assert shifted.lead[lead_d, b] == bits[b * 5 + c]
+                    assert shifted.ctr[ctr_d, b] == bits[b * 5 + c]
+
+    def test_row_zero_identity_for_leading(self, shifter, rng):
+        """Row 0: leading diagonal index equals the column index — the
+        shift amount is zero (Fig. 2(c) base case)."""
+        bits = rng.integers(0, 2, 15)
+        shifted = shifter.align_row(bits, 0)
+        assert (shifted.lead.T.reshape(-1) == bits).all()
+
+    def test_shift_pattern_is_rotation(self, shifter, rng):
+        """Successive rows rotate the alignment by exactly one position —
+        the paper's 'letters shift by index' pattern."""
+        bits = rng.integers(0, 2, 15)
+        prev = shifter.align_row(bits, 0).lead
+        for row in range(1, 5):
+            cur = shifter.align_row(bits, row).lead
+            assert (cur == np.roll(prev, 1, axis=0)).all()
+            prev = cur
+
+    def test_restore_inverts(self, shifter, rng):
+        bits = rng.integers(0, 2, 15)
+        for row in (0, 3, 11):
+            assert (shifter.restore_row(shifter.align_row(bits, row))
+                    == bits).all()
+
+
+class TestColAlignment:
+    def test_alignment_matches_diagonal_definition(self, shifter, rng):
+        bits = rng.integers(0, 2, 15)
+        for col in (0, 2, 9, 14):
+            shifted = shifter.align_col(bits, col)
+            c = col % 5
+            for b in range(3):
+                for r in range(5):
+                    lead_d = (r + c) % 5
+                    ctr_d = (r - c) % 5
+                    assert shifted.lead[lead_d, b] == bits[b * 5 + r]
+                    assert shifted.ctr[ctr_d, b] == bits[b * 5 + r]
+
+
+class TestRowColConsistency:
+    def test_row_and_col_agree_on_cell_diagonals(self, rng):
+        """A cell reached via its row or via its column must land on the
+        same (diagonal, block) slot — the property that lets one CMEM
+        serve both MAGIC orientations."""
+        shifter = BarrelShifter(15, 5)
+        data = rng.integers(0, 2, (15, 15))
+        r, c = 7, 11
+        by_row = shifter.align_row(data[r, :], r)
+        by_col = shifter.align_col(data[:, c], c)
+        lead_d = (r % 5 + c % 5) % 5
+        block_col = c // 5
+        block_row = r // 5
+        assert by_row.lead[lead_d, block_col] == data[r, c]
+        assert by_col.lead[lead_d, block_row] == data[r, c]
+
+
+class TestValidationAndCost:
+    def test_wrong_vector_length(self, shifter):
+        with pytest.raises(ConfigurationError):
+            shifter.align_row(np.zeros(14), 0)
+
+    def test_bad_lane_index(self, shifter):
+        with pytest.raises(ConfigurationError):
+            shifter.align_row(np.zeros(15), 15)
+
+    def test_geometry_validation(self):
+        with pytest.raises(GeometryError):
+            BarrelShifter(16, 5)
+
+    def test_transistor_count_table2(self):
+        """4 * n * m transistors (Table II: 6.12e4 for n=1020, m=15)."""
+        assert BarrelShifter(1020, 15).transistor_count == 61200

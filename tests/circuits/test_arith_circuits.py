@@ -1,0 +1,170 @@
+"""Functional tests for the arithmetic benchmark circuits.
+
+Wide-input circuits (adder, bar, max, sin) are verified with randomized
+vectors in the logic IR and after NOR mapping, plus targeted corner
+cases (all-zeros, all-ones, carries, wrap-arounds, ties).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits.adder import build_adder, golden_adder
+from repro.circuits.bar import build_bar, golden_bar
+from repro.circuits.max_ import build_max, golden_max
+from repro.circuits.sin import build_sin, golden_sin
+from repro.logic.eval import evaluate
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.verify import random_check
+
+
+class TestAdder:
+    def test_random_logic(self):
+        assert random_check(build_adder(), golden_adder, trials=24,
+                            seed=1) is None
+
+    def test_random_nor(self):
+        assert random_check(map_to_nor(build_adder()), golden_adder,
+                            trials=24, seed=2) is None
+
+    def test_full_carry_propagation(self):
+        """all-ones + 1: the carry ripples through all 128 positions."""
+        net = build_adder()
+        assigns = {f"a[{i}]": 1 for i in range(128)}
+        assigns.update({f"b[{i}]": 0 for i in range(128)})
+        assigns["b[0]"] = 1
+        out = evaluate(net, assigns)
+        assert int(out["s[128]"]) == 1
+        assert all(int(out[f"s[{i}]"]) == 0 for i in range(128))
+
+    def test_zero_plus_zero(self):
+        net = build_adder()
+        assigns = {f"{b}[{i}]": 0 for b in "ab" for i in range(128)}
+        out = evaluate(net, assigns)
+        assert all(int(v) == 0 for v in out.values())
+
+    def test_small_width_variant(self):
+        net = build_adder(width=8)
+        assert random_check(
+            net, lambda a: golden_adder(a, width=8), trials=50, seed=3) is None
+
+
+class TestBar:
+    def test_random_logic(self):
+        assert random_check(build_bar(), golden_bar, trials=24,
+                            seed=4) is None
+
+    def test_random_nor(self):
+        assert random_check(map_to_nor(build_bar()), golden_bar,
+                            trials=24, seed=5) is None
+
+    def test_zero_shift_identity(self, rng):
+        net = build_bar()
+        data = rng.integers(0, 2, 128)
+        assigns = {f"x[{i}]": int(data[i]) for i in range(128)}
+        assigns.update({f"sh[{i}]": 0 for i in range(7)})
+        out = evaluate(net, assigns)
+        assert all(int(out[f"y[{i}]"]) == data[i] for i in range(128))
+
+    def test_full_rotation_wraps(self, rng):
+        """Shift by 127 then by 1 more (via composition) returns data."""
+        net = build_bar()
+        data = rng.integers(0, 2, 128)
+        assigns = {f"x[{i}]": int(data[i]) for i in range(128)}
+        assigns.update({f"sh[{i}]": 1 for i in range(7)})  # shift 127
+        out = evaluate(net, assigns)
+        for i in range(128):
+            assert int(out[f"y[{(i + 127) % 128}]"]) == data[i]
+
+    def test_small_variant(self):
+        net = build_bar(width=16, shift_bits=4)
+        assert random_check(
+            net, lambda a: golden_bar(a, width=16, shift_bits=4),
+            trials=60, seed=6) is None
+
+    def test_width_must_match_shift_bits(self):
+        with pytest.raises(ValueError):
+            build_bar(width=100, shift_bits=7)
+
+
+class TestMax:
+    def test_random_logic(self):
+        assert random_check(build_max(), golden_max, trials=16,
+                            seed=7) is None
+
+    def test_random_nor(self):
+        assert random_check(map_to_nor(build_max()), golden_max,
+                            trials=16, seed=8) is None
+
+    def test_tie_prefers_earlier_operand(self):
+        """All four operands equal: index must be 0 (>= comparators)."""
+        net = build_max(width=8)
+        assigns = {}
+        for name in ("a", "b", "c", "d"):
+            for i in range(8):
+                assigns[f"{name}[{i}]"] = (42 >> i) & 1
+        out = evaluate(net, assigns)
+        assert int(out["idx[0]"]) == 0 and int(out["idx[1]"]) == 0
+        got = sum(int(out[f"m[{i}]"]) << i for i in range(8))
+        assert got == 42
+
+    @pytest.mark.parametrize("winner", [0, 1, 2, 3])
+    def test_each_operand_can_win(self, winner):
+        net = build_max(width=8)
+        vals = [10, 20, 30, 40]
+        vals[winner] = 200
+        assigns = {}
+        for oi, name in enumerate(("a", "b", "c", "d")):
+            for i in range(8):
+                assigns[f"{name}[{i}]"] = (vals[oi] >> i) & 1
+        out = evaluate(net, assigns)
+        got = sum(int(out[f"m[{i}]"]) << i for i in range(8))
+        idx = int(out["idx[0]"]) | (int(out["idx[1]"]) << 1)
+        assert got == 200 and idx == winner
+
+    def test_small_variant_matches_golden(self):
+        assert random_check(
+            build_max(width=6), lambda a: golden_max(a, width=6),
+            trials=80, seed=9) is None
+
+    def test_rejects_non_four_operands(self):
+        with pytest.raises(ValueError):
+            build_max(operands=3)
+
+
+class TestSin:
+    def test_random_logic(self):
+        assert random_check(build_sin(), golden_sin, trials=16,
+                            seed=10) is None
+
+    def test_random_nor(self):
+        assert random_check(map_to_nor(build_sin()), golden_sin,
+                            trials=12, seed=11) is None
+
+    def test_zero_input(self):
+        net = build_sin()
+        out = evaluate(net, {f"x[{i}]": 0 for i in range(24)})
+        assert all(int(v) == 0 for v in out.values())
+
+    def test_midpoint_peak(self):
+        """x = 2^23 (z = 1/2): 4z(1-z) = 1 -> y = 2^24 exactly."""
+        net = build_sin()
+        out = evaluate(net, {f"x[{i}]": int(i == 23) for i in range(24)})
+        y = sum(int(out[f"y[{i}]"]) << i for i in range(25))
+        assert y == 1 << 24
+
+    def test_symmetry(self):
+        """The parabola is symmetric: f(x) == f(2^24 - x)."""
+        for x in (1, 1000, 123456, 4_000_000):
+            ax = {f"x[{i}]": (x >> i) & 1 for i in range(24)}
+            mirrored = (1 << 24) - x
+            am = {f"x[{i}]": (mirrored >> i) & 1 for i in range(24)}
+            assert golden_sin(ax) == golden_sin(am)
+
+    def test_approximates_sine(self):
+        """The kernel must actually look like sin(pi z) on [0, 1]."""
+        import math
+        for z in (0.1, 0.25, 0.5, 0.75, 0.9):
+            x = int(z * (1 << 24))
+            out = golden_sin({f"x[{i}]": (x >> i) & 1 for i in range(24)})
+            y = sum(out[f"y[{i}]"] << i for i in range(25)) / (1 << 24)
+            assert abs(y - math.sin(math.pi * z)) < 0.06

@@ -1,0 +1,121 @@
+"""Functional tests for the control-flow benchmark circuits
+(arbiter, priority, voter)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits.arbiter import build_arbiter, golden_arbiter
+from repro.circuits.priority import build_priority, golden_priority
+from repro.circuits.voter import build_voter, golden_voter
+from repro.logic.eval import evaluate
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.verify import random_check
+
+
+class TestPriority:
+    def test_random_logic(self):
+        assert random_check(build_priority(), golden_priority, trials=24,
+                            seed=1) is None
+
+    def test_random_nor(self):
+        assert random_check(map_to_nor(build_priority()), golden_priority,
+                            trials=24, seed=2) is None
+
+    def test_no_request_invalid(self):
+        net = build_priority()
+        out = evaluate(net, {f"r[{i}]": 0 for i in range(128)})
+        assert int(out["valid"]) == 0
+        assert all(int(out[f"idx[{j}]"]) == 0 for j in range(7))
+
+    @pytest.mark.parametrize("line", [0, 1, 63, 127])
+    def test_single_request_encodes_index(self, line):
+        net = build_priority()
+        assigns = {f"r[{i}]": int(i == line) for i in range(128)}
+        out = evaluate(net, assigns)
+        idx = sum(int(out[f"idx[{j}]"]) << j for j in range(7))
+        assert idx == line and int(out["valid"]) == 1
+
+    def test_lowest_index_wins(self):
+        net = build_priority()
+        assigns = {f"r[{i}]": int(i in (5, 80, 127)) for i in range(128)}
+        out = evaluate(net, assigns)
+        idx = sum(int(out[f"idx[{j}]"]) << j for j in range(7))
+        assert idx == 5
+
+    def test_small_variant(self):
+        assert random_check(
+            build_priority(width=16),
+            lambda a: golden_priority(a, width=16), trials=60, seed=3) is None
+
+
+class TestArbiter:
+    def test_random_logic(self):
+        assert random_check(build_arbiter(), golden_arbiter, trials=12,
+                            seed=4) is None
+
+    def test_random_nor_small(self):
+        assert random_check(
+            map_to_nor(build_arbiter(width=16)),
+            lambda a: golden_arbiter(a, width=16), trials=40, seed=5) is None
+
+    def test_round_robin_rotation(self):
+        """With requests at 3 and 10: pointer 4 grants 10, pointer 11
+        wraps around and grants 3."""
+        net = build_arbiter(width=16)
+
+        def run(ptr):
+            assigns = {f"r[{i}]": int(i in (3, 10)) for i in range(16)}
+            assigns.update({f"p[{i}]": (ptr >> i) & 1 for i in range(4)})
+            out = evaluate(net, assigns)
+            return [i for i in range(16) if int(out[f"g[{i}]"])]
+
+        assert run(4) == [10]
+        assert run(11) == [3]
+        assert run(3) == [3]
+
+    def test_grant_is_one_hot(self, rng):
+        net = build_arbiter(width=16)
+        for _ in range(10):
+            req = rng.integers(0, 2, 16)
+            ptr = int(rng.integers(0, 16))
+            assigns = {f"r[{i}]": int(req[i]) for i in range(16)}
+            assigns.update({f"p[{i}]": (ptr >> i) & 1 for i in range(4)})
+            out = evaluate(net, assigns)
+            grants = sum(int(out[f"g[{i}]"]) for i in range(16))
+            assert grants == (1 if req.any() else 0)
+            assert int(out["any"]) == int(req.any())
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_arbiter(width=100)
+
+
+class TestVoter:
+    def test_random_small_logic(self):
+        assert random_check(
+            build_voter(width=31), lambda a: golden_voter(a, width=31),
+            trials=60, seed=6) is None
+
+    def test_random_small_nor(self):
+        assert random_check(
+            map_to_nor(build_voter(width=31)),
+            lambda a: golden_voter(a, width=31), trials=40, seed=7) is None
+
+    def test_full_width_majority_boundary(self):
+        """Exactly 501 votes -> 1; exactly 500 -> 0 (the knife edge)."""
+        net = build_voter()
+        for ones, expected in ((501, 1), (500, 0)):
+            assigns = {f"v[{i}]": int(i < ones) for i in range(1001)}
+            out = evaluate(net, assigns)
+            assert int(out["maj"]) == expected
+
+    def test_all_zero_and_all_one(self):
+        net = build_voter(width=31)
+        assert int(evaluate(net, {f"v[{i}]": 0
+                                  for i in range(31)})["maj"]) == 0
+        assert int(evaluate(net, {f"v[{i}]": 1
+                                  for i in range(31)})["maj"]) == 1
+
+    def test_rejects_even_width(self):
+        with pytest.raises(ValueError):
+            build_voter(width=1000)

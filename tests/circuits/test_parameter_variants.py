@@ -1,0 +1,96 @@
+"""Parameter-space tests: every generator must be correct at any size.
+
+The Table I defaults exercise one point per circuit; these tests sweep
+the generators' width parameters (including minimum sizes) and verify
+each variant against its golden model — the guarantee users need when
+instantiating custom-sized circuits through the public builders.
+"""
+
+import pytest
+
+from repro.circuits.adder import build_adder, golden_adder
+from repro.circuits.arbiter import build_arbiter, golden_arbiter
+from repro.circuits.bar import build_bar, golden_bar
+from repro.circuits.dec import build_dec, golden_dec
+from repro.circuits.max_ import build_max, golden_max
+from repro.circuits.priority import build_priority, golden_priority
+from repro.circuits.sin import build_sin, golden_sin
+from repro.circuits.voter import build_voter, golden_voter
+from repro.logic.verify import random_check
+
+
+class TestAdderVariants:
+    @pytest.mark.parametrize("width", [1, 2, 4, 32, 64])
+    def test_widths(self, width):
+        assert random_check(build_adder(width),
+                            lambda a: golden_adder(a, width),
+                            trials=40, seed=width) is None
+
+    def test_one_bit_adder_is_half_adder(self):
+        net = build_adder(width=1)
+        assert net.num_gates == 6  # the shared-ladder half adder
+
+
+class TestBarVariants:
+    @pytest.mark.parametrize("width,bits", [(2, 1), (4, 2), (32, 5),
+                                            (64, 6)])
+    def test_power_of_two_widths(self, width, bits):
+        assert random_check(build_bar(width, bits),
+                            lambda a: golden_bar(a, width, bits),
+                            trials=40, seed=width) is None
+
+
+class TestDecVariants:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 5, 6])
+    def test_bit_counts(self, bits):
+        from repro.logic.verify import exhaustive_check
+        assert exhaustive_check(build_dec(bits),
+                                lambda a: golden_dec(a, bits)) is None
+
+    def test_output_count_scales(self):
+        assert build_dec(6).num_outputs == 64
+
+
+class TestPriorityVariants:
+    @pytest.mark.parametrize("width", [2, 8, 32, 64])
+    def test_widths(self, width):
+        assert random_check(build_priority(width),
+                            lambda a: golden_priority(a, width),
+                            trials=40, seed=width) is None
+
+    def test_non_power_of_two_width(self):
+        assert random_check(build_priority(20),
+                            lambda a: golden_priority(a, 20),
+                            trials=60, seed=7) is None
+
+
+class TestVoterVariants:
+    @pytest.mark.parametrize("width", [1, 3, 9, 63, 127])
+    def test_odd_widths(self, width):
+        assert random_check(build_voter(width),
+                            lambda a: golden_voter(a, width),
+                            trials=30, seed=width) is None
+
+
+class TestArbiterVariants:
+    @pytest.mark.parametrize("width", [2, 8, 32])
+    def test_widths(self, width):
+        assert random_check(build_arbiter(width),
+                            lambda a: golden_arbiter(a, width),
+                            trials=30, seed=width) is None
+
+
+class TestMaxVariants:
+    @pytest.mark.parametrize("width", [1, 4, 16, 64])
+    def test_widths(self, width):
+        assert random_check(build_max(width),
+                            lambda a: golden_max(a, width),
+                            trials=30, seed=width) is None
+
+
+class TestSinVariants:
+    @pytest.mark.parametrize("width", [14, 18, 24])
+    def test_widths(self, width):
+        assert random_check(build_sin(width),
+                            lambda a: golden_sin(a, width),
+                            trials=10, seed=width) is None

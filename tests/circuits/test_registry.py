@@ -1,0 +1,81 @@
+"""Unit tests for the benchmark registry and cross-benchmark invariants."""
+
+import pytest
+
+from repro.circuits.registry import (
+    BENCHMARKS,
+    PAPER_GEOMEAN_OVERHEAD_PCT,
+    build,
+    build_all,
+    get_spec,
+)
+
+TABLE1_NAMES = {"adder", "arbiter", "bar", "cavlc", "ctrl", "dec",
+                "int2float", "max", "priority", "sin", "voter"}
+
+
+class TestRegistry:
+    def test_all_eleven_benchmarks_present(self):
+        assert set(BENCHMARKS) == TABLE1_NAMES
+
+    def test_paper_rows_complete(self):
+        for spec in BENCHMARKS.values():
+            assert spec.paper_baseline > 0
+            assert spec.paper_proposed > spec.paper_baseline
+            assert spec.paper_overhead_pct > 0
+            assert 1 <= spec.paper_pc_count <= 8
+
+    def test_paper_overhead_consistent_with_cycles(self):
+        """The paper's own overhead column must match its cycle columns."""
+        for spec in BENCHMARKS.values():
+            derived = 100.0 * (spec.paper_proposed - spec.paper_baseline) \
+                / spec.paper_baseline
+            assert derived == pytest.approx(spec.paper_overhead_pct,
+                                            abs=0.35), spec.name
+
+    def test_paper_geomean_matches_rows(self):
+        """The paper's 26.23% geo-mean is over latency *ratios*: the
+        geometric mean of (proposed/baseline) minus one reproduces it;
+        a naive geo-mean of the percentage column does not (13.3%)."""
+        import math
+        logs = [math.log(1 + s.paper_overhead_pct / 100)
+                for s in BENCHMARKS.values()]
+        ratio_geomean = math.exp(sum(logs) / len(logs))
+        assert 100 * (ratio_geomean - 1) == pytest.approx(
+            PAPER_GEOMEAN_OVERHEAD_PCT, abs=0.15)
+
+    def test_get_spec_error_lists_names(self):
+        with pytest.raises(KeyError, match="adder"):
+            get_spec("nonexistent")
+
+    def test_build_by_name(self):
+        net = build("ctrl")
+        assert net.num_inputs == 7
+        assert net.num_outputs == 26
+
+    def test_build_all_subset(self):
+        nets = build_all(["dec", "ctrl"])
+        assert set(nets) == {"dec", "ctrl"}
+
+
+class TestInterfaceShapes:
+    """PI/PO counts define the Table I overhead structure; pin them."""
+
+    EXPECTED = {
+        "adder": (256, 129),
+        "arbiter": (264, 257),
+        "bar": (135, 128),
+        "cavlc": (10, 11),
+        "ctrl": (7, 26),
+        "dec": (8, 256),
+        "int2float": (11, 7),
+        "max": (512, 130),
+        "priority": (128, 8),
+        "sin": (24, 25),
+        "voter": (1001, 1),
+    }
+
+    @pytest.mark.parametrize("name", sorted(TABLE1_NAMES))
+    def test_pi_po(self, name):
+        net = build(name)
+        assert (net.num_inputs, net.num_outputs) == self.EXPECTED[name]

@@ -1,0 +1,54 @@
+"""Shared fixtures: small geometries that exercise every code path fast.
+
+The paper's production geometry (n=1020, m=15) is exercised by the
+benchmarks; unit tests use scaled-down grids with identical invariants
+(n divisible by odd m) so the whole suite stays quick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+from repro.core.code import DiagonalParityCode
+from repro.core.updater import ContinuousUpdater
+from repro.xbar.crossbar import CrossbarArray
+
+
+@pytest.fixture
+def rng():
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid():
+    """15x15 crossbar with 5x5 blocks (3x3 block grid)."""
+    return BlockGrid(15, 5)
+
+
+@pytest.fixture
+def tiny_grid():
+    """9x9 crossbar with 3x3 blocks."""
+    return BlockGrid(9, 3)
+
+
+@pytest.fixture
+def small_code(small_grid):
+    """Parity code on the small grid."""
+    return DiagonalParityCode(small_grid)
+
+
+@pytest.fixture
+def protected_memory(small_grid, small_code, rng):
+    """(mem, store, updater) with random contents and consistent parity."""
+    n = small_grid.n
+    mem = CrossbarArray(n, n, "test-mem")
+    data = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+    mem.write_region(0, 0, data)
+    store = small_code.encode(mem.snapshot())
+    updater = ContinuousUpdater(small_grid, store)
+    updater.attach(mem)
+    return mem, store, updater

@@ -1,0 +1,80 @@
+"""Unit tests for block-grid geometry."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.errors import ConfigurationError, GeometryError
+
+
+class TestConstruction:
+    def test_paper_geometry(self):
+        grid = BlockGrid(1020, 15)
+        assert grid.blocks_per_side == 68
+        assert grid.block_count == 68 * 68
+        assert grid.cells_per_block == 225
+        assert grid.check_bits_per_block == 30
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(GeometryError):
+            BlockGrid(1000, 15)
+
+    def test_rejects_even_m(self):
+        with pytest.raises(ConfigurationError):
+            BlockGrid(1024, 16)
+
+    def test_frozen_and_hashable(self):
+        assert BlockGrid(15, 5) == BlockGrid(15, 5)
+        assert hash(BlockGrid(15, 5)) == hash(BlockGrid(15, 5))
+
+
+class TestCoordinates:
+    def test_block_of(self, small_grid):
+        assert small_grid.block_of(0, 0) == (0, 0)
+        assert small_grid.block_of(4, 4) == (0, 0)
+        assert small_grid.block_of(5, 4) == (1, 0)
+        assert small_grid.block_of(14, 14) == (2, 2)
+
+    def test_local_of(self, small_grid):
+        assert small_grid.local_of(7, 13) == (2, 3)
+
+    def test_global_roundtrip(self, small_grid):
+        for row in range(small_grid.n):
+            for col in range(0, small_grid.n, 4):
+                br, bc = small_grid.block_of(row, col)
+                lr, lc = small_grid.local_of(row, col)
+                assert small_grid.global_of(br, bc, lr, lc) == (row, col)
+
+    def test_bounds(self, small_grid):
+        assert small_grid.block_bounds(1, 2) == (5, 10, 10, 15)
+
+    def test_slice_selects_block(self, small_grid, rng):
+        import numpy as np
+        data = rng.integers(0, 2, (15, 15))
+        rs, cs = small_grid.block_slice(2, 0)
+        assert data[rs, cs].shape == (5, 5)
+        assert (data[rs, cs] == data[10:15, 0:5]).all()
+
+    def test_out_of_range(self, small_grid):
+        with pytest.raises(ConfigurationError):
+            small_grid.block_of(15, 0)
+        with pytest.raises(ConfigurationError):
+            small_grid.block_bounds(3, 0)
+
+
+class TestEnumeration:
+    def test_iter_blocks_row_major(self, tiny_grid):
+        blocks = list(tiny_grid.iter_blocks())
+        assert blocks[0] == (0, 0)
+        assert blocks[1] == (0, 1)
+        assert len(blocks) == 9
+
+    def test_blocks_covering_cols(self, small_grid):
+        assert small_grid.blocks_covering_cols(range(0, 7)) == [0, 1]
+        assert small_grid.blocks_covering_cols([14]) == [2]
+        assert small_grid.blocks_covering_cols(range(15)) == [0, 1, 2]
+
+    def test_blocks_covering_rows(self, small_grid):
+        assert small_grid.blocks_covering_rows([0, 1, 9]) == [0, 1]
+
+    def test_block_row_of(self, small_grid):
+        assert small_grid.block_row_of(12) == 2

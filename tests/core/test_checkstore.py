@@ -1,0 +1,93 @@
+"""Unit tests for check-bit storage."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.checkstore import CheckStore
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def store(small_grid):
+    return CheckStore(small_grid)
+
+
+class TestShape:
+    def test_plane_shapes(self, store, small_grid):
+        b = small_grid.blocks_per_side
+        assert store.lead.shape == (5, b, b)
+        assert store.ctr.shape == (5, b, b)
+
+    def test_total_bits_matches_table2_expression(self, small_grid):
+        store = CheckStore(small_grid)
+        n, m = small_grid.n, small_grid.m
+        assert store.total_bits == 2 * m * (n // m) ** 2
+
+
+class TestBlockBits:
+    def test_roundtrip(self, store, rng):
+        lead = rng.integers(0, 2, 5).astype(np.uint8)
+        ctr = rng.integers(0, 2, 5).astype(np.uint8)
+        store.set_block_bits(1, 2, lead, ctr)
+        got_lead, got_ctr = store.block_bits(1, 2)
+        assert (got_lead == lead).all() and (got_ctr == ctr).all()
+
+    def test_block_bits_returns_copy(self, store):
+        lead, _ = store.block_bits(0, 0)
+        lead[0] = 1
+        assert store.lead[0, 0, 0] == 0
+
+    def test_out_of_range(self, store):
+        with pytest.raises(ConfigurationError):
+            store.block_bits(3, 0)
+
+
+class TestToggle:
+    def test_toggle_is_xor(self, store):
+        store.toggle("leading", 2, 0, 1)
+        assert store.lead[2, 0, 1] == 1
+        store.toggle("leading", 2, 0, 1)
+        assert store.lead[2, 0, 1] == 0
+
+    def test_toggle_many_handles_repeats(self, store):
+        """An even number of toggles of the same check-bit must cancel —
+        np.bitwise_xor.at semantics, critical for vectorized updates."""
+        d = np.array([1, 1])
+        br = np.array([0, 0])
+        bc = np.array([0, 0])
+        store.toggle_many(d, d, br, bc)
+        assert store.lead.sum() == 0 and store.ctr.sum() == 0
+
+    def test_flip_counts(self, store):
+        store.flip("counter", 0, 0, 0)
+        assert store.total_flips == 1
+        assert store.ctr[0, 0, 0] == 1
+
+
+class TestCrossbarView:
+    def test_view_transposed_layout(self, store):
+        """Paper layout: crossbar i cell (a, b) = diagonal i of the block
+        a blocks from the left (col) and b from the top (row)."""
+        store.toggle("leading", 3, 1, 2)  # block_row=1, block_col=2
+        view = store.crossbar_view("leading", 3)
+        assert view[2, 1] == 1  # (a=col, b=row)
+
+    def test_view_shares_memory(self, store):
+        view = store.crossbar_view("counter", 0)
+        view[1, 1] = 1
+        assert store.ctr[0, 1, 1] == 1
+
+
+class TestCopy:
+    def test_deep_copy(self, store):
+        store.toggle("leading", 0, 0, 0)
+        clone = store.copy()
+        clone.toggle("leading", 0, 0, 0)
+        assert store.lead[0, 0, 0] == 1
+        assert clone.lead[0, 0, 0] == 0
+
+    def test_grid_mismatch_rejected(self):
+        from repro.core.updater import ContinuousUpdater
+        with pytest.raises(ValueError):
+            ContinuousUpdater(BlockGrid(9, 3), CheckStore(BlockGrid(15, 5)))

@@ -1,0 +1,130 @@
+"""Unit tests for wrap-around diagonal arithmetic (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagonals import (
+    counter_index,
+    counter_index_matrix,
+    diagonal_cells,
+    iter_diagonals,
+    leading_index,
+    leading_index_matrix,
+    row_shift_pattern,
+    solve_position,
+)
+from repro.errors import ConfigurationError
+
+
+class TestIndices:
+    def test_leading_examples(self):
+        # (r + c) mod m
+        assert leading_index(0, 0, 5) == 0
+        assert leading_index(2, 4, 5) == 1
+        assert leading_index(4, 4, 5) == 3
+
+    def test_counter_examples(self):
+        # (r - c) mod m
+        assert counter_index(0, 0, 5) == 0
+        assert counter_index(1, 3, 5) == 3
+        assert counter_index(0, 4, 5) == 1
+
+    def test_matrices_match_scalar(self):
+        m = 7
+        lead = leading_index_matrix(m)
+        ctr = counter_index_matrix(m)
+        for r in range(m):
+            for c in range(m):
+                assert lead[r, c] == leading_index(r, c, m)
+                assert ctr[r, c] == counter_index(r, c, m)
+
+
+class TestBijection:
+    @pytest.mark.parametrize("m", [3, 5, 7, 9, 15])
+    def test_diagonal_pair_unique_for_odd_m(self, m):
+        """Footnote 1: odd m makes (leading, counter) a bijection."""
+        seen = set()
+        for r in range(m):
+            for c in range(m):
+                pair = (leading_index(r, c, m), counter_index(r, c, m))
+                assert pair not in seen
+                seen.add(pair)
+        assert len(seen) == m * m
+
+    @pytest.mark.parametrize("m", [4, 6, 8])
+    def test_even_m_pairs_collide(self, m):
+        """Even m: two diagonals intersect twice — the failure the paper
+        warns about."""
+        seen = {}
+        collision = False
+        for r in range(m):
+            for c in range(m):
+                pair = (leading_index(r, c, m), counter_index(r, c, m))
+                if pair in seen:
+                    collision = True
+                seen[pair] = (r, c)
+        assert collision
+
+    @pytest.mark.parametrize("m", [3, 5, 15])
+    def test_solve_position_inverts(self, m):
+        for r in range(m):
+            for c in range(m):
+                lead = leading_index(r, c, m)
+                ctr = counter_index(r, c, m)
+                assert solve_position(lead, ctr, m) == (r, c)
+
+    def test_solve_rejects_even_m(self):
+        with pytest.raises(ConfigurationError):
+            solve_position(0, 0, 4)
+
+    def test_solve_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            solve_position(5, 0, 5)
+
+
+class TestDiagonalCells:
+    @pytest.mark.parametrize("kind", ["leading", "counter"])
+    def test_one_cell_per_row(self, kind):
+        """The property enabling Theta(1) updates: any row-parallel op
+        touches at most one cell of any diagonal."""
+        m = 5
+        for d in range(m):
+            cells = diagonal_cells(d, m, kind)
+            rows = [r for r, _ in cells]
+            assert sorted(rows) == list(range(m))
+
+    @pytest.mark.parametrize("kind", ["leading", "counter"])
+    def test_one_cell_per_column(self, kind):
+        m = 5
+        for d in range(m):
+            cells = diagonal_cells(d, m, kind)
+            cols = [c for _, c in cells]
+            assert sorted(cols) == list(range(m))
+
+    def test_cells_on_declared_diagonal(self):
+        m = 7
+        for d in range(m):
+            for r, c in diagonal_cells(d, m, "leading"):
+                assert leading_index(r, c, m) == d
+            for r, c in diagonal_cells(d, m, "counter"):
+                assert counter_index(r, c, m) == d
+
+    def test_diagonals_partition_block(self):
+        m = 5
+        all_cells = [cell for d in range(m)
+                     for cell in diagonal_cells(d, m, "leading")]
+        assert len(set(all_cells)) == m * m
+
+    def test_bad_kind(self):
+        with pytest.raises(ValueError):
+            diagonal_cells(0, 5, "vertical")
+
+
+class TestShiftPattern:
+    def test_shift_is_row_mod_m(self):
+        """Fig. 2(c): the letters shift by the (row) index."""
+        assert row_shift_pattern(0, 5) == 0
+        assert row_shift_pattern(7, 5) == 2
+
+    def test_iter_diagonals_count(self):
+        assert len(list(iter_diagonals(5))) == 10

@@ -1,0 +1,102 @@
+"""Unit tests for parity primitives and the XOR3 microprogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.parity import (
+    XOR3_CELL_COUNT,
+    XOR3_MICROPROGRAM,
+    XOR3_RESULT_CELL,
+    parity_along_counter,
+    parity_along_horizontal,
+    parity_along_leading,
+    xor3,
+    xor3_by_nor,
+)
+
+
+class TestXor3:
+    def test_exhaustive(self):
+        for v in range(8):
+            a, b, c = v & 1, (v >> 1) & 1, (v >> 2) & 1
+            assert int(xor3(a, b, c)) == a ^ b ^ c
+
+    def test_vectorized(self, rng):
+        a, b, c = (rng.integers(0, 2, 100) for _ in range(3))
+        assert (xor3(a, b, c) == (a ^ b ^ c)).all()
+
+
+class TestXor3Microprogram:
+    def test_exactly_eight_nors(self):
+        """Paper Sec. IV-A.2: 'XOR3 is performed with 8 MAGIC NOR
+        operations'."""
+        assert len(XOR3_MICROPROGRAM) == 8
+
+    def test_eleven_cells(self):
+        """3 inputs + 8 intermediates = 11 cells: Table II's PC slice."""
+        cells = {0, 1, 2}
+        cells.update(out for out, _ in XOR3_MICROPROGRAM)
+        assert len(cells) == XOR3_CELL_COUNT == 11
+
+    def test_single_assignment(self):
+        """Every intermediate cell is written exactly once (MAGIC outputs
+        must be initialized; no rewrites within the microprogram)."""
+        outs = [out for out, _ in XOR3_MICROPROGRAM]
+        assert len(outs) == len(set(outs))
+
+    def test_no_use_before_def(self):
+        defined = {0, 1, 2}
+        for out, ins in XOR3_MICROPROGRAM:
+            assert all(i in defined for i in ins)
+            defined.add(out)
+
+    def test_result_cell_is_last(self):
+        assert XOR3_MICROPROGRAM[-1][0] == XOR3_RESULT_CELL
+
+    def test_microprogram_computes_xor3(self):
+        for v in range(8):
+            a, b, c = v & 1, (v >> 1) & 1, (v >> 2) & 1
+            assert xor3_by_nor(a, b, c) == a ^ b ^ c
+
+
+class TestBlockParity:
+    def test_leading_parity_manual(self):
+        block = np.zeros((3, 3), dtype=np.uint8)
+        block[1, 0] = 1  # leading diagonal (1+0)%3 = 1
+        lead = parity_along_leading(block)
+        assert lead.tolist() == [0, 1, 0]
+
+    def test_counter_parity_manual(self):
+        block = np.zeros((3, 3), dtype=np.uint8)
+        block[0, 2] = 1  # counter diagonal (0-2)%3 = 1
+        ctr = parity_along_counter(block)
+        assert ctr.tolist() == [0, 1, 0]
+
+    def test_parity_linear_in_flips(self, rng):
+        """Flipping one cell toggles exactly one leading and one counter
+        parity bit — the single-error signature."""
+        m = 5
+        block = rng.integers(0, 2, (m, m)).astype(np.uint8)
+        lead0, ctr0 = parity_along_leading(block), parity_along_counter(block)
+        for r in range(m):
+            for c in range(m):
+                flipped = block.copy()
+                flipped[r, c] ^= 1
+                dl = parity_along_leading(flipped) ^ lead0
+                dc = parity_along_counter(flipped) ^ ctr0
+                assert dl.sum() == 1 and dl[(r + c) % m] == 1
+                assert dc.sum() == 1 and dc[(r - c) % m] == 1
+
+    def test_parity_of_zero_block(self):
+        assert parity_along_leading(np.zeros((5, 5))).sum() == 0
+        assert parity_along_counter(np.zeros((5, 5))).sum() == 0
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            parity_along_leading(np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            parity_along_counter(np.zeros((3, 4)))
+
+    def test_horizontal_strawman(self):
+        block = np.array([[1, 1, 0], [1, 0, 0], [1, 1, 1]], dtype=np.uint8)
+        assert parity_along_horizontal(block).tolist() == [0, 1, 1]

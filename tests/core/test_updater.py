@@ -1,0 +1,91 @@
+"""Unit tests for continuous parity maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.core.code import DiagonalParityCode
+from repro.core.updater import ContinuousUpdater
+
+
+def _consistent(code, mem, store):
+    fresh = code.encode(mem.snapshot())
+    return (fresh.lead == store.lead).all() and \
+        (fresh.ctr == store.ctr).all()
+
+
+class TestContinuousUpdate:
+    def test_single_write_keeps_consistency(self, protected_memory,
+                                            small_code):
+        mem, store, _ = protected_memory
+        mem.write_bit(3, 7, 1 - mem.read_bit(3, 7))
+        assert _consistent(small_code, mem, store)
+
+    def test_unchanged_write_is_noop(self, protected_memory, small_code):
+        mem, store, updater = protected_memory
+        before_lead = store.lead.copy()
+        mem.write_bit(3, 7, mem.read_bit(3, 7))  # same value
+        assert (store.lead == before_lead).all()
+        assert updater.bits_changed == 0
+
+    def test_row_write_updates_every_diagonal_once(self, protected_memory,
+                                                   small_code):
+        """A row-parallel write touches one cell per diagonal per block —
+        the paper's Theta(1) property; parity stays exact."""
+        mem, store, _ = protected_memory
+        mem.write_row(6, 1 - mem.read_row(6))  # flip the whole row
+        assert _consistent(small_code, mem, store)
+
+    def test_col_write_updates_every_diagonal_once(self, protected_memory,
+                                                   small_code):
+        mem, store, _ = protected_memory
+        mem.write_col(11, 1 - mem.read_col(11))
+        assert _consistent(small_code, mem, store)
+
+    def test_region_write(self, protected_memory, small_code, rng):
+        mem, store, _ = protected_memory
+        mem.write_region(2, 3, rng.integers(0, 2, (9, 8)))
+        assert _consistent(small_code, mem, store)
+
+    def test_random_write_storm(self, protected_memory, small_code, rng):
+        mem, store, _ = protected_memory
+        for _ in range(300):
+            r, c = rng.integers(0, 15, 2)
+            mem.write_bit(int(r), int(c), int(rng.integers(0, 2)))
+        assert _consistent(small_code, mem, store)
+
+    def test_update_counters(self, protected_memory):
+        mem, _, updater = protected_memory
+        mem.write_bit(0, 0, 1 - mem.read_bit(0, 0))
+        assert updater.updates_applied >= 1
+        assert updater.bits_changed >= 1
+
+    def test_detach_stops_updates(self, protected_memory, small_code):
+        mem, store, updater = protected_memory
+        updater.detach(mem)
+        mem.write_bit(0, 0, 1 - mem.read_bit(0, 0))
+        assert not _consistent(small_code, mem, store)
+
+
+class TestFalsePositiveCornerCase:
+    def test_overwriting_corrupted_bit_creates_false_positive(
+            self, protected_memory, small_code, small_grid):
+        """Paper Sec. III end: overwriting a bit that silently flipped
+        (before any check) poisons the parity — a later check flags a
+        perfectly correct bit (false positive). The paper defers the fix
+        (locally decodable codes); the simulator must faithfully exhibit
+        the corner."""
+        from repro.core.checker import BlockChecker
+        from repro.core.code import DataError
+
+        mem, store, _ = protected_memory
+        original = mem.read_bit(2, 2)
+        mem.flip(2, 2)                       # undetected soft error
+        # Overwrite with the original value: the data is now correct
+        # again, but the updater XORed (corrupted ^ original) == 1 into
+        # the parity, leaving a phantom signature.
+        mem.write_bit(2, 2, original)
+        assert mem.read_bit(2, 2) == original
+        checker = BlockChecker(small_grid, small_code, store)
+        report = checker.check_block(mem, 0, 0, correct=False)
+        assert isinstance(report.outcome, DataError)
+        assert (report.outcome.row, report.outcome.col) == (2, 2)

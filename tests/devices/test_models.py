@@ -1,0 +1,42 @@
+"""Unit tests for device-parameter presets."""
+
+from repro.devices.models import (
+    DEFAULT_DEVICE,
+    FLASH_LIKE_SER,
+    HIGH_DRIFT_DEVICE,
+    KNOWN_DEVICES,
+    DeviceParameters,
+)
+
+
+class TestPresets:
+    def test_flash_like_ser_value(self):
+        # The Figure 6 reference point (Slayman, RAMS 2011).
+        assert FLASH_LIKE_SER == 1e-3
+
+    def test_default_device_uses_flash_like_ser(self):
+        assert DEFAULT_DEVICE.ser_fit_per_bit == FLASH_LIKE_SER
+
+    def test_registry_contains_presets(self):
+        assert DEFAULT_DEVICE.name in KNOWN_DEVICES
+        assert HIGH_DRIFT_DEVICE.name in KNOWN_DEVICES
+
+    def test_registry_keys_match_names(self):
+        for name, dev in KNOWN_DEVICES.items():
+            assert dev.name == name
+
+
+class TestDerivedQuantities:
+    def test_resistance_ratio_large(self):
+        # MAGIC requires a large HRS/LRS ratio.
+        assert DEFAULT_DEVICE.resistance_ratio >= 100
+
+    def test_cycle_time_conversion(self):
+        dev = DeviceParameters("x", 1e3, 1e6, 2.0, 1e-3)
+        assert dev.cycle_time_s() == 2e-9
+
+    def test_frozen(self):
+        import dataclasses
+        import pytest
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            DEFAULT_DEVICE.r_on = 5

@@ -1,0 +1,72 @@
+"""Unit tests for Monte-Carlo fault campaigns."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.faults.campaign import FaultCampaign
+from repro.faults.injector import DeterministicInjector, UniformInjector
+
+
+class TestSingleTrials:
+    def test_no_faults_clean(self, small_grid):
+        campaign = FaultCampaign(small_grid, UniformInjector(0.0, seed=0),
+                                 seed=1)
+        kind, faults, multi = campaign.run_trial()
+        assert kind == "clean" and faults == 0 and multi == 0
+
+    def test_single_fault_corrected(self, small_grid):
+        campaign = FaultCampaign(small_grid,
+                                 DeterministicInjector([(7, 7)]), seed=1)
+        kind, faults, _ = campaign.run_trial()
+        assert kind == "corrected" and faults == 1
+
+    def test_one_fault_per_block_all_corrected(self, small_grid):
+        flips = [(br * 5 + 2, bc * 5 + 3) for br in range(3)
+                 for bc in range(3)]
+        campaign = FaultCampaign(small_grid, DeterministicInjector(flips),
+                                 seed=1)
+        kind, faults, multi = campaign.run_trial()
+        assert kind == "corrected" and faults == 9 and multi == 0
+
+    def test_double_fault_detected(self, small_grid):
+        campaign = FaultCampaign(
+            small_grid, DeterministicInjector([(0, 0), (2, 3)]), seed=1)
+        kind, _, multi = campaign.run_trial()
+        assert kind == "detected"
+        assert multi == 1
+
+    def test_check_bit_fault_corrected(self, small_grid):
+        campaign = FaultCampaign(
+            small_grid,
+            DeterministicInjector(check_flips=[("counter", 2, 1, 1)]),
+            seed=1)
+        kind, faults, _ = campaign.run_trial()
+        assert kind == "corrected" and faults == 1
+
+
+class TestAggregation:
+    def test_run_counts_sum(self, small_grid):
+        campaign = FaultCampaign(small_grid, UniformInjector(0.002, seed=5),
+                                 seed=5)
+        result = campaign.run(trials=20)
+        assert result.trials == 20
+        assert result.clean + result.corrected + result.detected + \
+            result.silent == 20
+
+    def test_failure_rate_definition(self, small_grid):
+        campaign = FaultCampaign(
+            small_grid, DeterministicInjector([(0, 0), (1, 1)]), seed=2)
+        result = campaign.run(trials=5)
+        assert result.failure_rate == 1.0
+        assert result.silent_rate == 0.0
+
+    def test_as_dict_keys(self, small_grid):
+        campaign = FaultCampaign(small_grid, UniformInjector(0.0), seed=0)
+        d = campaign.run(1).as_dict()
+        assert {"trials", "failure_rate", "silent_rate"} <= set(d)
+
+    def test_empty_result_rates(self, small_grid):
+        from repro.faults.campaign import CampaignResult
+        empty = CampaignResult()
+        assert empty.failure_rate == 0.0
+        assert empty.silent_rate == 0.0

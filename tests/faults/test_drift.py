@@ -1,0 +1,99 @@
+"""Unit tests for the drift + refresh error model."""
+
+import numpy as np
+import pytest
+
+from repro.faults.drift import DriftModel, DriftSimulator
+
+
+class TestDriftModel:
+    def test_exposure_without_refresh(self):
+        model = DriftModel(tau_hours=100, beta=2.0, abrupt_fit_per_bit=0)
+        assert model.drift_exposure(100, None) == pytest.approx(1.0)
+        assert model.drift_exposure(50, None) == pytest.approx(0.25)
+
+    def test_refresh_reduces_exposure_when_accumulating(self):
+        """beta > 1: k windows of R accumulate less hazard than one of
+        kR — the whole point of the refresh mechanism."""
+        model = DriftModel(tau_hours=100, beta=2.0, abrupt_fit_per_bit=0)
+        assert model.drift_exposure(24, 1.0) < model.drift_exposure(24, None)
+
+    def test_refresh_neutral_for_memoryless(self):
+        """beta == 1 (exponential): refresh changes nothing."""
+        model = DriftModel(tau_hours=100, beta=1.0, abrupt_fit_per_bit=0)
+        assert model.drift_exposure(24, 1.0) == \
+            pytest.approx(model.drift_exposure(24, None))
+
+    def test_exposure_piecewise_formula(self):
+        model = DriftModel(tau_hours=10, beta=2.0, abrupt_fit_per_bit=0)
+        # T=25, R=10: 2 full windows + 5 remainder.
+        expected = 2 * (10 / 10) ** 2 + (5 / 10) ** 2
+        assert model.drift_exposure(25, 10) == pytest.approx(expected)
+
+    def test_abrupt_unaffected_by_refresh(self):
+        model = DriftModel(tau_hours=1e12, beta=2.0, abrupt_fit_per_bit=1e3)
+        p_no = model.flip_probability(24, None)
+        p_ref = model.flip_probability(24, 0.5)
+        assert p_ref == pytest.approx(p_no, rel=1e-6)
+
+    def test_flip_probability_bounds(self):
+        model = DriftModel()
+        for t in (0, 1, 24, 1e6):
+            p = model.flip_probability(t)
+            assert 0.0 <= p <= 1.0
+
+    def test_flip_probability_monotone_in_window(self):
+        model = DriftModel()
+        probs = [model.flip_probability(t) for t in (1, 10, 100, 1000)]
+        assert probs == sorted(probs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftModel(tau_hours=0)
+        with pytest.raises(ValueError):
+            DriftModel(beta=0.5)
+        with pytest.raises(ValueError):
+            DriftModel(abrupt_fit_per_bit=-1)
+        with pytest.raises(ValueError):
+            DriftModel().drift_exposure(-1, None)
+        with pytest.raises(ValueError):
+            DriftModel().drift_exposure(10, 0)
+
+
+class TestDriftSimulator:
+    def test_simulator_matches_closed_form_no_refresh(self):
+        model = DriftModel(tau_hours=100, beta=2.0, abrupt_fit_per_bit=0)
+        sim = DriftSimulator(model, cells=40000, seed=1)
+        window = 50.0
+        empirical = sim.empirical_flip_probability(window, None)
+        analytic = model.flip_probability(window, None)
+        sigma = (analytic * (1 - analytic) / 40000) ** 0.5
+        assert abs(empirical - analytic) < 5 * sigma
+
+    def test_simulator_matches_closed_form_with_refresh(self):
+        model = DriftModel(tau_hours=100, beta=2.0, abrupt_fit_per_bit=0)
+        sim = DriftSimulator(model, cells=40000, seed=2)
+        empirical = sim.empirical_flip_probability(50.0, 10.0)
+        analytic = model.flip_probability(50.0, 10.0)
+        sigma = max((analytic * (1 - analytic) / 40000) ** 0.5, 1e-4)
+        assert abs(empirical - analytic) < 5 * sigma
+
+    def test_refresh_reduces_empirical_flips(self):
+        model = DriftModel(tau_hours=60, beta=3.0, abrupt_fit_per_bit=0)
+        sim = DriftSimulator(model, cells=20000, seed=3)
+        without = sim.empirical_flip_probability(48.0, None)
+        with_ref = sim.empirical_flip_probability(48.0, 4.0)
+        assert with_ref < without * 0.5
+
+    def test_abrupt_component_simulated(self):
+        model = DriftModel(tau_hours=1e15, beta=2.0,
+                           abrupt_fit_per_bit=1e7)
+        sim = DriftSimulator(model, cells=20000, seed=4)
+        empirical = sim.empirical_flip_probability(24.0, 1.0)
+        analytic = model.flip_probability(24.0, 1.0)
+        sigma = (analytic * (1 - analytic) / 20000) ** 0.5
+        assert abs(empirical - analytic) < 5 * sigma
+
+    def test_rejects_bad_cells(self):
+        with pytest.raises(ValueError):
+            DriftSimulator(DriftModel(), cells=0)

@@ -1,0 +1,88 @@
+"""Unit tests for FIT/probability/MTTF arithmetic."""
+
+import math
+
+import pytest
+
+from repro.faults.ser import (
+    error_probability,
+    expected_errors,
+    fit_from_probability,
+    mttf_hours_from_fit,
+    probability_from_fit,
+)
+
+
+class TestProbabilityFromFit:
+    def test_zero_rate(self):
+        assert probability_from_fit(0.0, 24) == 0.0
+
+    def test_zero_window(self):
+        assert probability_from_fit(1e-3, 0) == 0.0
+
+    def test_paper_reference_point(self):
+        """lambda = 1e-3 FIT/bit, T = 24 h -> p = 1 - exp(-2.4e-11)."""
+        p = probability_from_fit(1e-3, 24)
+        assert p == pytest.approx(2.4e-11, rel=1e-6)
+
+    def test_exact_exponential_form(self):
+        p = probability_from_fit(1e6, 2000)
+        assert p == pytest.approx(1 - math.exp(-1e6 * 2000 / 1e9))
+
+    def test_saturates_at_one(self):
+        assert probability_from_fit(1e12, 1e6) == pytest.approx(1.0)
+
+    def test_monotone_in_rate(self):
+        rates = [1e-5, 1e-3, 1e-1, 10.0]
+        probs = [probability_from_fit(r, 24) for r in rates]
+        assert probs == sorted(probs)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            probability_from_fit(-1, 24)
+        with pytest.raises(ValueError):
+            probability_from_fit(1, -24)
+
+
+class TestFitFromProbability:
+    def test_paper_formula(self):
+        """FIT = p * 1e9 / T (Sec. V-A)."""
+        assert fit_from_probability(0.5, 24) == pytest.approx(0.5 * 1e9 / 24)
+
+    def test_roundtrip_small_p(self):
+        fit = 1e-3
+        p = probability_from_fit(fit, 24)
+        assert fit_from_probability(p, 24) == pytest.approx(fit, rel=1e-6)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            fit_from_probability(1.5, 24)
+
+    def test_rejects_bad_hours(self):
+        with pytest.raises(ValueError):
+            fit_from_probability(0.5, 0)
+
+
+class TestMttf:
+    def test_reciprocal(self):
+        assert mttf_hours_from_fit(1e9) == 1.0
+
+    def test_zero_rate_infinite(self):
+        assert mttf_hours_from_fit(0) == float("inf")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            mttf_hours_from_fit(-1)
+
+
+class TestExpectedErrors:
+    def test_linear_in_bits(self):
+        one = expected_errors(1e-3, 24, 1)
+        assert expected_errors(1e-3, 24, 1000) == pytest.approx(1000 * one)
+
+    def test_alias(self):
+        assert error_probability(1e-3, 24) == probability_from_fit(1e-3, 24)
+
+    def test_rejects_negative_bits(self):
+        with pytest.raises(ValueError):
+            expected_errors(1e-3, 24, -1)

@@ -1,0 +1,91 @@
+"""Unit tests for vectorized logic evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.eval import evaluate, evaluate_ints
+from repro.logic.netlist import LogicNetwork
+
+
+def _simple_net():
+    net = LogicNetwork()
+    a, b = net.input("a"), net.input("b")
+    net.output("and", net.and_(a, b))
+    net.output("or", net.or_(a, b))
+    net.output("xor", net.xor(a, b))
+    net.output("xnor", net.xnor(a, b))
+    net.output("nand", net.nand(a, b))
+    net.output("nor", net.nor(a, b))
+    net.output("not", net.not_(a))
+    return net
+
+
+class TestScalarEvaluation:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_all_ops_truth_tables(self, a, b):
+        out = evaluate(_simple_net(), {"a": a, "b": b})
+        assert int(out["and"]) == (a & b)
+        assert int(out["or"]) == (a | b)
+        assert int(out["xor"]) == (a ^ b)
+        assert int(out["xnor"]) == 1 - (a ^ b)
+        assert int(out["nand"]) == 1 - (a & b)
+        assert int(out["nor"]) == 1 - (a | b)
+        assert int(out["not"]) == 1 - a
+
+    @pytest.mark.parametrize("s,a,b", [(0, 0, 1), (0, 1, 0),
+                                       (1, 0, 1), (1, 1, 0)])
+    def test_mux(self, s, a, b):
+        net = LogicNetwork()
+        si, ai, bi = net.input("s"), net.input("a"), net.input("b")
+        net.output("y", net.mux(si, ai, bi))
+        out = evaluate(net, {"s": s, "a": a, "b": b})
+        assert int(out["y"]) == (a if s else b)
+
+    def test_constants(self):
+        net = LogicNetwork()
+        net.input("a")
+        net.output("zero", net.const0())
+        net.output("one", net.const1())
+        out = evaluate(net, {"a": 0})
+        assert int(out["zero"]) == 0 and int(out["one"]) == 1
+
+    def test_nary_gates(self):
+        net = LogicNetwork()
+        ins = [net.input(f"i{k}") for k in range(4)]
+        net.output("and4", net.and_(*ins))
+        net.output("or4", net.or_(*ins))
+        out = evaluate(net, {"i0": 1, "i1": 1, "i2": 1, "i3": 0})
+        assert int(out["and4"]) == 0 and int(out["or4"]) == 1
+
+
+class TestBatchedEvaluation:
+    def test_batch_shapes(self, rng):
+        net = _simple_net()
+        a = rng.integers(0, 2, 50).astype(bool)
+        b = rng.integers(0, 2, 50).astype(bool)
+        out = evaluate(net, {"a": a, "b": b})
+        assert out["xor"].shape == (50,)
+        assert (out["xor"] == (a ^ b)).all()
+
+    def test_scalar_broadcast_with_batch(self, rng):
+        net = _simple_net()
+        a = rng.integers(0, 2, 10).astype(bool)
+        out = evaluate(net, {"a": a, "b": 1})
+        assert (out["or"] == np.ones(10, dtype=bool)).all()
+
+    def test_missing_input_reported(self):
+        with pytest.raises(NetlistError, match="missing"):
+            evaluate(_simple_net(), {"a": 1})
+
+
+class TestEvaluateInts:
+    def test_bus_roundtrip(self):
+        net = LogicNetwork()
+        a = net.input_bus("a", 4)
+        b = net.input_bus("b", 4)
+        from repro.logic.library import ripple_adder
+        s, cout = ripple_adder(net, a, b)
+        net.output_bus("s", s + [cout])
+        result = evaluate_ints(net, {"a": (9, 4), "b": (8, 4)}, {"s": 5})
+        assert result["s"] == 17

@@ -1,0 +1,239 @@
+"""Unit tests for the gate-level building-block library."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SynthesisError
+from repro.logic import evaluate
+from repro.logic.library import (
+    array_multiplier,
+    equals_const,
+    full_adder,
+    greater_equal,
+    greater_equal_const,
+    greater_than,
+    half_adder,
+    increment,
+    mux_bus,
+    onehot_encode,
+    popcount,
+    priority_chain,
+    ripple_adder,
+    rotate_left_stage,
+    rotate_right_stage,
+)
+from repro.logic.netlist import LogicNetwork
+
+
+def _bus_value(out, name, width):
+    return sum(int(out[f"{name}[{i}]"]) << i for i in range(width))
+
+
+class TestAdders:
+    @pytest.mark.parametrize("a,b,cin", [(0, 0, 0), (1, 1, 1), (1, 0, 1),
+                                         (0, 1, 0)])
+    def test_full_adder_truth_table(self, a, b, cin):
+        net = LogicNetwork()
+        ai, bi, ci = net.input("a"), net.input("b"), net.input("c")
+        s, cout = full_adder(net, ai, bi, ci)
+        net.output("s", s)
+        net.output("co", cout)
+        out = evaluate(net, {"a": a, "b": b, "c": cin})
+        total = a + b + cin
+        assert int(out["s"]) == total & 1
+        assert int(out["co"]) == total >> 1
+
+    def test_full_adder_gate_count(self):
+        """The canonical NOR full adder is exactly 9 gates."""
+        net = LogicNetwork()
+        ins = [net.input(x) for x in "abc"]
+        full_adder(net, *ins)
+        assert net.num_gates == 9
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_half_adder(self, a, b):
+        net = LogicNetwork()
+        ai, bi = net.input("a"), net.input("b")
+        s, c = half_adder(net, ai, bi)
+        net.output("s", s)
+        net.output("c", c)
+        out = evaluate(net, {"a": a, "b": b})
+        assert int(out["s"]) == (a + b) & 1
+        assert int(out["c"]) == (a + b) >> 1
+
+    def test_ripple_adder_random(self, rng):
+        net = LogicNetwork()
+        a = net.input_bus("a", 8)
+        b = net.input_bus("b", 8)
+        s, cout = ripple_adder(net, a, b)
+        net.output_bus("s", s + [cout])
+        for _ in range(20):
+            x, y = rng.integers(0, 256, 2)
+            assigns = {f"a[{i}]": (int(x) >> i) & 1 for i in range(8)}
+            assigns.update({f"b[{i}]": (int(y) >> i) & 1 for i in range(8)})
+            out = evaluate(net, assigns)
+            assert _bus_value(out, "s", 9) == int(x) + int(y)
+
+    def test_ripple_adder_with_carry_in(self):
+        net = LogicNetwork()
+        a = net.input_bus("a", 4)
+        b = net.input_bus("b", 4)
+        cin = net.input("cin")
+        s, cout = ripple_adder(net, a, b, cin)
+        net.output_bus("s", s + [cout])
+        out = evaluate(net, {**{f"a[{i}]": (15 >> i) & 1 for i in range(4)},
+                             **{f"b[{i}]": 0 for i in range(4)}, "cin": 1})
+        assert _bus_value(out, "s", 5) == 16
+
+    def test_width_mismatch(self):
+        net = LogicNetwork()
+        with pytest.raises(SynthesisError):
+            ripple_adder(net, net.input_bus("a", 3), net.input_bus("b", 4))
+
+    def test_increment(self, rng):
+        net = LogicNetwork()
+        a = net.input_bus("a", 6)
+        s, c = increment(net, a)
+        net.output_bus("s", s + [c])
+        for x in (0, 1, 31, 62, 63):
+            out = evaluate(net, {f"a[{i}]": (x >> i) & 1 for i in range(6)})
+            assert _bus_value(out, "s", 7) == x + 1
+
+
+class TestComparators:
+    def test_greater_equal_exhaustive_small(self):
+        net = LogicNetwork()
+        a = net.input_bus("a", 3)
+        b = net.input_bus("b", 3)
+        net.output("ge", greater_equal(net, a, b))
+        net.output("gt", greater_than(net, a, b))
+        for x in range(8):
+            for y in range(8):
+                assigns = {f"a[{i}]": (x >> i) & 1 for i in range(3)}
+                assigns.update({f"b[{i}]": (y >> i) & 1 for i in range(3)})
+                out = evaluate(net, assigns)
+                assert int(out["ge"]) == int(x >= y)
+                assert int(out["gt"]) == int(x > y)
+
+    def test_equals_const(self):
+        net = LogicNetwork()
+        a = net.input_bus("a", 4)
+        net.output("eq", equals_const(net, a, 11))
+        for x in range(16):
+            out = evaluate(net, {f"a[{i}]": (x >> i) & 1 for i in range(4)})
+            assert int(out["eq"]) == int(x == 11)
+
+    def test_greater_equal_const(self):
+        net = LogicNetwork()
+        a = net.input_bus("a", 5)
+        net.output("ge", greater_equal_const(net, a, 13))
+        for x in range(32):
+            out = evaluate(net, {f"a[{i}]": (x >> i) & 1 for i in range(5)})
+            assert int(out["ge"]) == int(x >= 13)
+
+    def test_greater_equal_const_range_check(self):
+        net = LogicNetwork()
+        with pytest.raises(SynthesisError):
+            greater_equal_const(net, net.input_bus("a", 3), 8)
+
+
+class TestRotatorsAndMux:
+    def test_mux_bus(self):
+        net = LogicNetwork()
+        s = net.input("s")
+        a = net.input_bus("a", 4)
+        b = net.input_bus("b", 4)
+        net.output_bus("y", mux_bus(net, s, a, b))
+        out = evaluate(net, {"s": 1,
+                             **{f"a[{i}]": (10 >> i) & 1 for i in range(4)},
+                             **{f"b[{i}]": (5 >> i) & 1 for i in range(4)}})
+        assert _bus_value(out, "y", 4) == 10
+
+    @pytest.mark.parametrize("amount", [1, 2, 4])
+    def test_rotate_left_stage(self, amount):
+        net = LogicNetwork()
+        x = net.input_bus("x", 8)
+        en = net.input("en")
+        net.output_bus("y", rotate_left_stage(net, x, amount, en))
+        value = 0b00010011
+        assigns = {f"x[{i}]": (value >> i) & 1 for i in range(8)}
+        rotated = ((value << amount) | (value >> (8 - amount))) & 0xFF
+        assert _bus_value(evaluate(net, {**assigns, "en": 1}), "y", 8) \
+            == rotated
+        assert _bus_value(evaluate(net, {**assigns, "en": 0}), "y", 8) \
+            == value
+
+    def test_rotate_right_inverts_rotate_left(self):
+        net = LogicNetwork()
+        x = net.input_bus("x", 8)
+        en = net.input("en")
+        mid = rotate_left_stage(net, x, 3, en)
+        net.output_bus("y", rotate_right_stage(net, mid, 3, en))
+        value = 0b10110001
+        assigns = {f"x[{i}]": (value >> i) & 1 for i in range(8)}
+        assert _bus_value(evaluate(net, {**assigns, "en": 1}), "y", 8) \
+            == value
+
+
+class TestPriorityAndDecode:
+    def test_priority_chain_one_hot(self, rng):
+        net = LogicNetwork()
+        req = net.input_bus("r", 8)
+        grants = priority_chain(net, req)
+        net.output_bus("g", grants)
+        for _ in range(20):
+            bits = rng.integers(0, 2, 8)
+            out = evaluate(net, {f"r[{i}]": int(bits[i]) for i in range(8)})
+            got = [int(out[f"g[{i}]"]) for i in range(8)]
+            expected = [0] * 8
+            for i in range(8):
+                if bits[i]:
+                    expected[i] = 1
+                    break
+            assert got == expected
+
+    def test_onehot_encode_exhaustive(self):
+        net = LogicNetwork()
+        x = net.input_bus("x", 4)
+        net.output_bus("d", onehot_encode(net, x))
+        for v in range(16):
+            out = evaluate(net, {f"x[{i}]": (v >> i) & 1 for i in range(4)})
+            got = [int(out[f"d[{k}]"]) for k in range(16)]
+            assert got == [int(k == v) for k in range(16)]
+
+
+class TestPopcountAndMultiplier:
+    @pytest.mark.parametrize("width", [1, 2, 3, 7, 10])
+    def test_popcount_random(self, width, rng):
+        net = LogicNetwork()
+        bits = net.input_bus("b", width)
+        count = popcount(net, bits)
+        net.output_bus("c", count)
+        for _ in range(10):
+            vals = rng.integers(0, 2, width)
+            out = evaluate(net, {f"b[{i}]": int(vals[i])
+                                 for i in range(width)})
+            assert _bus_value(out, "c", len(count)) == int(vals.sum())
+
+    def test_popcount_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            popcount(LogicNetwork(), [])
+
+    @pytest.mark.parametrize("wa,wb", [(3, 3), (4, 2), (5, 5)])
+    def test_array_multiplier(self, wa, wb, rng):
+        net = LogicNetwork()
+        a = net.input_bus("a", wa)
+        b = net.input_bus("b", wb)
+        net.output_bus("p", array_multiplier(net, a, b))
+        for _ in range(15):
+            x = int(rng.integers(0, 1 << wa))
+            y = int(rng.integers(0, 1 << wb))
+            assigns = {f"a[{i}]": (x >> i) & 1 for i in range(wa)}
+            assigns.update({f"b[{i}]": (y >> i) & 1 for i in range(wb)})
+            out = evaluate(net, assigns)
+            assert _bus_value(out, "p", wa + wb) == x * y
+
+    def test_multiplier_rejects_empty(self):
+        net = LogicNetwork()
+        with pytest.raises(SynthesisError):
+            array_multiplier(net, [], [])

@@ -1,0 +1,128 @@
+"""Unit tests for the logic network IR."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.netlist import LogicNetwork
+
+
+class TestBuilder:
+    def test_input_ids(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        b = net.input("b")
+        assert net.input_id("a") == a
+        assert net.input_id("b") == b
+        assert net.num_inputs == 2
+
+    def test_duplicate_input_rejected(self):
+        net = LogicNetwork()
+        net.input("a")
+        with pytest.raises(NetlistError):
+            net.input("a")
+
+    def test_unknown_input_lookup(self):
+        with pytest.raises(NetlistError):
+            LogicNetwork().input_id("zz")
+
+    def test_input_bus_naming(self):
+        net = LogicNetwork()
+        bus = net.input_bus("x", 3)
+        assert len(bus) == 3
+        assert net.input_names == ["x[0]", "x[1]", "x[2]"]
+
+    def test_gate_arity_enforced(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        with pytest.raises(NetlistError):
+            net._add("xor", (a,))
+        with pytest.raises(NetlistError):
+            net._add("mux", (a, a))
+
+    def test_dangling_fanin_rejected(self):
+        net = LogicNetwork()
+        with pytest.raises(NetlistError):
+            net.not_(5)
+
+    def test_single_operand_and_passthrough(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        assert net.and_(a) == a
+        assert net.or_(a) == a
+
+
+class TestStructuralHashing:
+    def test_commutative_sharing(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        g1 = net.and_(a, b)
+        g2 = net.and_(b, a)
+        assert g1 == g2
+
+    def test_not_sharing(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        assert net.not_(a) == net.not_(a)
+
+    def test_distinct_ops_not_shared(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        assert net.and_(a, b) != net.or_(a, b)
+
+    def test_mux_not_hashed(self):
+        # MUX is not commutative; builder must not canonicalize it.
+        net = LogicNetwork()
+        s, a, b = net.input("s"), net.input("a"), net.input("b")
+        m1 = net.mux(s, a, b)
+        m2 = net.mux(s, b, a)
+        assert m1 != m2
+
+
+class TestOutputs:
+    def test_output_registration(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("y", net.not_(a))
+        assert net.num_outputs == 1
+
+    def test_duplicate_output_rejected(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("y", a)
+        with pytest.raises(NetlistError):
+            net.output("y", a)
+
+    def test_output_bus(self):
+        net = LogicNetwork()
+        a = net.input_bus("a", 2)
+        net.output_bus("y", a)
+        assert [n for n, _ in net.outputs] == ["y[0]", "y[1]"]
+
+    def test_dangling_output_rejected(self):
+        net = LogicNetwork()
+        with pytest.raises(NetlistError):
+            net.output("y", 3)
+
+    def test_validate_requires_outputs(self):
+        net = LogicNetwork()
+        net.input("a")
+        with pytest.raises(NetlistError):
+            net.validate()
+
+
+class TestStats:
+    def test_gate_count_excludes_inputs_and_consts(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.const1()
+        net.and_(a, b)
+        assert net.num_gates == 1
+
+    def test_stats_keys(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("y", net.not_(a))
+        s = net.stats()
+        assert s["inputs"] == 1
+        assert s["outputs"] == 1
+        assert s["not"] == 1

@@ -1,0 +1,130 @@
+"""Unit tests for NOR/NOT technology mapping."""
+
+import numpy as np
+import pytest
+
+from repro.logic.eval import evaluate
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.verify import random_vectors
+
+
+def _agree(net, nor, trials=32, seed=0):
+    vectors = random_vectors(net.input_names, trials, seed)
+    a = evaluate(net, vectors)
+    b = nor.evaluate(vectors)
+    return all((a[name] == b[name]).all() for name in a)
+
+
+class TestMappingCorrectness:
+    def test_every_op_maps_correctly(self):
+        net = LogicNetwork()
+        a, b, s = net.input("a"), net.input("b"), net.input("s")
+        net.output("not", net.not_(a))
+        net.output("and", net.and_(a, b))
+        net.output("or", net.or_(a, b))
+        net.output("nand", net.nand(a, b))
+        net.output("nor", net.nor(a, b))
+        net.output("xor", net.xor(a, b))
+        net.output("xnor", net.xnor(a, b))
+        net.output("mux", net.mux(s, a, b))
+        nor = map_to_nor(net)
+        assert _agree(net, nor, trials=64)
+
+    def test_nary_gates(self):
+        net = LogicNetwork()
+        ins = [net.input(f"i{k}") for k in range(7)]
+        net.output("and7", net.and_(*ins))
+        net.output("or7", net.or_(*ins))
+        net.output("nand7", net.nand(*ins))
+        net.output("nor7", net.nor(*ins))
+        assert _agree(net, map_to_nor(net), trials=64)
+
+    def test_constants(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("k0", net.const0())
+        net.output("k1", net.const1())
+        net.output("mix", net.or_(a, net.const0()))
+        assert _agree(net, map_to_nor(net))
+
+    def test_output_can_be_input(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("pass", a)
+        nor = map_to_nor(net)
+        assert nor.outputs[0][1] == 0  # maps to the input node itself
+
+    def test_deep_network_no_recursion_error(self):
+        """The iterative walk must handle chains far beyond the default
+        recursion limit."""
+        net = LogicNetwork()
+        x = net.input("x")
+        for _ in range(5000):
+            x = net.not_(x)
+        net.output("y", x)
+        nor = map_to_nor(net)
+        out = nor.evaluate({"x": np.array([True])})
+        assert bool(out["y"][0]) is True  # even number of inversions
+
+
+class TestMappingEfficiency:
+    def test_two_input_nor_is_single_gate(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output("y", net.nor(a, b))
+        assert map_to_nor(net).num_gates == 1
+
+    def test_not_is_single_gate(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("y", net.not_(a))
+        assert map_to_nor(net).num_gates == 1
+
+    def test_xor_is_five_gates(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output("y", net.xor(a, b))
+        assert map_to_nor(net).num_gates == 5
+
+    def test_xnor_is_four_gates(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output("y", net.xnor(a, b))
+        assert map_to_nor(net).num_gates == 4
+
+    def test_not_gates_shared(self):
+        """Complements must be cached: two ANDs sharing operand 'a' use
+        one NOT(a), not two."""
+        net = LogicNetwork()
+        a, b, c = (net.input(x) for x in "abc")
+        net.output("y1", net.and_(a, b))
+        net.output("y2", net.and_(a, c))
+        nor = map_to_nor(net)
+        stats = nor.stats()
+        assert stats["not"] == 3  # NOT a, NOT b, NOT c — a's shared
+
+    def test_mux_cost(self):
+        net = LogicNetwork()
+        s, a, b = net.input("s"), net.input("a"), net.input("b")
+        net.output("y", net.mux(s, a, b))
+        # NOT s + 3 NOR.
+        assert map_to_nor(net).num_gates == 4
+
+
+class TestNorNetlistStructure:
+    def test_topological_order_by_construction(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output("y", net.xor(net.and_(a, b), b))
+        nor = map_to_nor(net)
+        for gi, gate in enumerate(nor.gates):
+            nid = nor.num_inputs + gi
+            assert all(f < nid for f in gate.fanins)
+
+    def test_stats_partition(self):
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        net.output("y", net.xor(a, b))
+        s = map_to_nor(net).stats()
+        assert s["not"] + s["nor2"] + s["const"] == s["gates"]

@@ -1,0 +1,100 @@
+"""Unit tests for the NOR netlist IR."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.norlist import NorNetlist
+
+
+class TestConstruction:
+    def test_input_node_ids(self):
+        nl = NorNetlist(["a", "b"])
+        assert nl.num_inputs == 2
+        assert nl.is_input(0) and nl.is_input(1)
+        assert not nl.is_input(2) if nl.num_nodes > 2 else True
+
+    def test_add_gate_ids_sequential(self):
+        nl = NorNetlist(["a"])
+        g1 = nl.add_gate((0,))
+        g2 = nl.add_gate((0, g1))
+        assert (g1, g2) == (1, 2)
+
+    def test_gate_arity(self):
+        nl = NorNetlist(["a", "b", "c"])
+        with pytest.raises(NetlistError):
+            nl.add_gate((0, 1, 2))
+        with pytest.raises(NetlistError):
+            nl.add_gate(())
+
+    def test_forward_reference_rejected(self):
+        nl = NorNetlist(["a"])
+        with pytest.raises(NetlistError):
+            nl.add_gate((5,))
+
+    def test_gate_accessor_rejects_inputs(self):
+        nl = NorNetlist(["a"])
+        with pytest.raises(NetlistError):
+            nl.gate(0)
+
+    def test_const_nodes(self):
+        nl = NorNetlist([])
+        one = nl.add_const(1)
+        zero = nl.add_const(0)
+        nl.add_output("one", one)
+        nl.add_output("zero", zero)
+        out = nl.evaluate({})
+        assert bool(out["one"]) and not bool(out["zero"])
+
+
+class TestEvaluation:
+    def test_nor_semantics(self):
+        nl = NorNetlist(["a", "b"])
+        g = nl.add_gate((0, 1))
+        nl.add_output("y", g)
+        for a in (0, 1):
+            for b in (0, 1):
+                out = nl.evaluate({"a": bool(a), "b": bool(b)})
+                assert int(out["y"]) == 1 - (a | b)
+
+    def test_not_semantics(self):
+        nl = NorNetlist(["a"])
+        nl.add_output("y", nl.add_gate((0,)))
+        assert int(nl.evaluate({"a": False})["y"]) == 1
+
+    def test_batched(self, rng):
+        nl = NorNetlist(["a", "b"])
+        nl.add_output("y", nl.add_gate((0, 1)))
+        a = rng.integers(0, 2, 40).astype(bool)
+        b = rng.integers(0, 2, 40).astype(bool)
+        out = nl.evaluate({"a": a, "b": b})
+        assert (out["y"] == ~(a | b)).all()
+
+    def test_missing_input(self):
+        nl = NorNetlist(["a"])
+        nl.add_output("y", nl.add_gate((0,)))
+        with pytest.raises(NetlistError):
+            nl.evaluate({})
+
+
+class TestAnalysis:
+    def test_fanout_counts(self):
+        nl = NorNetlist(["a", "b"])
+        g1 = nl.add_gate((0, 1))
+        nl.add_gate((g1,))
+        nl.add_gate((g1, 0))
+        counts = nl.fanout_counts()
+        assert counts[0] == 2    # a feeds g1 and g3
+        assert counts[g1] == 2
+
+    def test_output_ids(self):
+        nl = NorNetlist(["a"])
+        g = nl.add_gate((0,))
+        nl.add_output("y", g)
+        nl.add_output("z", g)
+        assert nl.output_ids() == [g, g]
+
+    def test_dangling_output_rejected(self):
+        nl = NorNetlist(["a"])
+        with pytest.raises(NetlistError):
+            nl.add_output("y", 10)

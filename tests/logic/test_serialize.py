@@ -1,0 +1,100 @@
+"""Unit tests for netlist/program JSON serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetlistError
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.serialize import (
+    load_norlist,
+    load_program,
+    norlist_from_dict,
+    norlist_to_dict,
+    program_from_dict,
+    program_to_dict,
+    save_norlist,
+    save_program,
+)
+from repro.logic.verify import random_vectors
+from repro.synth.simpler import SimplerConfig, synthesize
+
+
+@pytest.fixture
+def nor():
+    from repro.circuits import BENCHMARKS
+    return map_to_nor(BENCHMARKS["int2float"].build())
+
+
+class TestNorlistRoundtrip:
+    def test_dict_roundtrip_preserves_function(self, nor):
+        rebuilt = norlist_from_dict(norlist_to_dict(nor))
+        vectors = random_vectors(nor.input_names, 32, seed=1)
+        a = nor.evaluate(vectors)
+        b = rebuilt.evaluate(vectors)
+        for name in a:
+            assert (a[name] == b[name]).all()
+
+    def test_file_roundtrip(self, nor, tmp_path):
+        path = str(tmp_path / "netlist.json")
+        save_norlist(nor, path)
+        rebuilt = load_norlist(path)
+        assert rebuilt.num_gates == nor.num_gates
+        assert rebuilt.input_names == nor.input_names
+        assert rebuilt.outputs == nor.outputs
+
+    def test_const_gates_roundtrip(self):
+        from repro.logic.norlist import NorNetlist
+        nl = NorNetlist(["a"])
+        nl.add_output("k", nl.add_const(1))
+        nl.add_output("z", nl.add_const(0))
+        rebuilt = norlist_from_dict(norlist_to_dict(nl))
+        out = rebuilt.evaluate({"a": False})
+        assert bool(out["k"]) and not bool(out["z"])
+
+    def test_format_validation(self):
+        with pytest.raises(NetlistError, match="not a"):
+            norlist_from_dict({"format": "something-else"})
+
+    def test_unknown_gate_kind_rejected(self, nor):
+        data = norlist_to_dict(nor)
+        data["gates"][0] = {"kind": "xor", "fanins": [0, 1]}
+        with pytest.raises(NetlistError, match="unknown gate kind"):
+            norlist_from_dict(data)
+
+
+class TestProgramRoundtrip:
+    def test_dict_roundtrip_preserves_execution(self, nor):
+        from repro.synth.executor import execute_program
+        from repro.xbar.crossbar import CrossbarArray
+
+        prog = synthesize(nor, SimplerConfig(row_size=256))
+        rebuilt = program_from_dict(program_to_dict(prog))
+        assert rebuilt.cycles == prog.cycles
+        assert rebuilt.output_cells == prog.output_cells
+        assert rebuilt.critical_ops == prog.critical_ops
+
+        vectors = random_vectors(nor.input_names, 2, seed=2)
+        out_a = execute_program(prog, CrossbarArray(2, 256), [0, 1],
+                                vectors)
+        out_b = execute_program(rebuilt, CrossbarArray(2, 256), [0, 1],
+                                vectors)
+        for name in out_a:
+            assert (out_a[name] == out_b[name]).all()
+
+    def test_file_roundtrip(self, nor, tmp_path):
+        prog = synthesize(nor, SimplerConfig(row_size=256))
+        path = str(tmp_path / "program.json")
+        save_program(prog, path)
+        rebuilt = load_program(path)
+        assert rebuilt.summary() == prog.summary()
+
+    def test_format_validation(self):
+        with pytest.raises(NetlistError):
+            program_from_dict({"format": "nope"})
+
+    def test_unknown_op_rejected(self, nor):
+        prog = synthesize(nor, SimplerConfig(row_size=256))
+        data = program_to_dict(prog)
+        data["ops"][0] = {"op": "teleport"}
+        with pytest.raises(NetlistError, match="unknown program op"):
+            program_from_dict(data)

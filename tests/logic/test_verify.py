@@ -1,0 +1,72 @@
+"""Unit tests for equivalence-checking utilities."""
+
+import pytest
+
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.verify import (
+    equivalence_check,
+    exhaustive_check,
+    random_check,
+)
+
+
+def _and_net():
+    net = LogicNetwork()
+    a, b = net.input("a"), net.input("b")
+    net.output("y", net.and_(a, b))
+    return net
+
+
+def _and_golden(assignment):
+    return {"y": assignment["a"] & assignment["b"]}
+
+
+def _or_golden(assignment):
+    return {"y": assignment["a"] | assignment["b"]}
+
+
+class TestExhaustive:
+    def test_match_passes(self):
+        assert exhaustive_check(_and_net(), _and_golden) is None
+
+    def test_mismatch_reports_assignment(self):
+        message = exhaustive_check(_and_net(), _or_golden)
+        assert message is not None
+        assert "y" in message
+
+    def test_too_many_inputs_rejected(self):
+        net = LogicNetwork()
+        ins = [net.input(f"i{k}") for k in range(20)]
+        net.output("y", net.and_(*ins))
+        with pytest.raises(ValueError):
+            exhaustive_check(net, lambda a: {"y": 0})
+
+
+class TestRandom:
+    def test_match_passes(self):
+        assert random_check(_and_net(), _and_golden, trials=16) is None
+
+    def test_mismatch_detected(self):
+        assert random_check(_and_net(), _or_golden, trials=64) is not None
+
+    def test_works_on_nor_netlist(self):
+        nor = map_to_nor(_and_net())
+        assert random_check(nor, _and_golden, trials=16) is None
+
+
+class TestEquivalenceCheck:
+    def test_uses_exhaustive_for_small(self):
+        equivalence_check(_and_net(), _and_golden)
+
+    def test_raises_on_mismatch(self):
+        with pytest.raises(AssertionError):
+            equivalence_check(_and_net(), _or_golden)
+
+    def test_random_path_for_wide_inputs(self):
+        net = LogicNetwork()
+        ins = [net.input(f"i{k}") for k in range(16)]
+        net.output("y", net.or_(*ins))
+        equivalence_check(
+            net, lambda a: {"y": int(any(a[f"i{k}"] for k in range(16)))},
+            trials=32)

@@ -1,0 +1,88 @@
+"""Property-based tests for the architecture layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.processing import ProcessingCrossbar
+from repro.arch.shifters import BarrelShifter
+from repro.faults.ser import (
+    fit_from_probability,
+    mttf_hours_from_fit,
+    probability_from_fit,
+)
+
+geometries = st.sampled_from([(9, 3), (15, 5), (25, 5), (45, 15)])
+
+
+class TestShifterProperties:
+    @given(geometries, st.integers(0, 2 ** 31 - 1), st.data())
+    @settings(max_examples=40)
+    def test_align_restore_roundtrip(self, geom, seed, data):
+        n, m = geom
+        row = data.draw(st.integers(0, n - 1))
+        bits = np.random.default_rng(seed).integers(0, 2, n)
+        shifter = BarrelShifter(n, m)
+        assert (shifter.restore_row(shifter.align_row(bits, row))
+                == bits).all()
+
+    @given(geometries, st.integers(0, 2 ** 31 - 1), st.data())
+    @settings(max_examples=40)
+    def test_alignment_is_permutation(self, geom, seed, data):
+        """Shifters only reroute wires: the multiset of bits per block
+        is preserved in both planes."""
+        n, m = geom
+        row = data.draw(st.integers(0, n - 1))
+        bits = np.random.default_rng(seed).integers(0, 2, n)
+        shifted = BarrelShifter(n, m).align_row(bits, row)
+        segments = bits.reshape(n // m, m)
+        for b in range(n // m):
+            assert sorted(shifted.lead[:, b]) == sorted(segments[b])
+            assert sorted(shifted.ctr[:, b]) == sorted(segments[b])
+
+    @given(geometries, st.integers(0, 2 ** 31 - 1), st.data())
+    @settings(max_examples=40)
+    def test_row_lanes_differing_by_m_align_identically(self, geom, seed,
+                                                        data):
+        """The shift amount is the lane index mod m: lanes r and r+m use
+        the same rotation (Fig. 2(c) wraps)."""
+        n, m = geom
+        if n <= m:
+            return
+        row = data.draw(st.integers(0, n - m - 1))
+        bits = np.random.default_rng(seed).integers(0, 2, n)
+        shifter = BarrelShifter(n, m)
+        a = shifter.align_row(bits, row)
+        b = shifter.align_row(bits, row + m)
+        assert (a.lead == b.lead).all() and (a.ctr == b.ctr).all()
+
+
+class TestProcessingProperties:
+    @given(st.integers(1, 64), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30)
+    def test_hardware_xor3_matches_boolean(self, width, seed):
+        rng = np.random.default_rng(seed)
+        a, b, c = (rng.integers(0, 2, width).astype(bool) for _ in range(3))
+        pc = ProcessingCrossbar(width)
+        assert (pc.xor3(a, b, c).astype(bool) == (a ^ b ^ c)).all()
+
+
+class TestSerMathProperties:
+    @given(st.floats(1e-9, 1e3), st.floats(0.1, 1e5))
+    @settings(max_examples=50)
+    def test_probability_in_unit_interval(self, ser, hours):
+        p = probability_from_fit(ser, hours)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(1e-9, 1.0), st.floats(0.1, 1e4))
+    @settings(max_examples=50)
+    def test_fit_probability_roundtrip(self, ser, hours):
+        p = probability_from_fit(ser, hours)
+        if p < 1e-3:  # linear regime: conversion is invertible
+            assert fit_from_probability(p, hours) == \
+                __import__("pytest").approx(ser, rel=1e-3)
+
+    @given(st.floats(1e-6, 1e12))
+    @settings(max_examples=50)
+    def test_mttf_positive(self, fit):
+        assert mttf_hours_from_fit(fit) > 0

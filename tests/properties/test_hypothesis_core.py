@@ -1,0 +1,149 @@
+"""Property-based tests (hypothesis) for the ECC core invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import BlockGrid
+from repro.core.checker import BlockChecker
+from repro.core.code import (
+    CheckBitError,
+    DataError,
+    DiagonalParityCode,
+    NoError,
+    Uncorrectable,
+)
+from repro.core.checkstore import CheckStore
+from repro.core.diagonals import counter_index, leading_index, solve_position
+from repro.core.updater import ContinuousUpdater
+from repro.xbar.crossbar import CrossbarArray
+
+odd_m = st.sampled_from([3, 5, 7, 9, 11, 15])
+
+
+@st.composite
+def block_and_grid(draw):
+    m = draw(odd_m)
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    return m, rng.integers(0, 2, (m, m)).astype(np.uint8)
+
+
+class TestDiagonalProperties:
+    @given(odd_m, st.data())
+    def test_solve_position_is_inverse(self, m, data):
+        r = data.draw(st.integers(0, m - 1))
+        c = data.draw(st.integers(0, m - 1))
+        assert solve_position(leading_index(r, c, m),
+                              counter_index(r, c, m), m) == (r, c)
+
+    @given(odd_m)
+    def test_diagonal_map_is_bijection(self, m):
+        pairs = {(leading_index(r, c, m), counter_index(r, c, m))
+                 for r in range(m) for c in range(m)}
+        assert len(pairs) == m * m
+
+
+class TestCodeProperties:
+    @given(block_and_grid(), st.data())
+    @settings(max_examples=60)
+    def test_single_error_always_located(self, bg, data):
+        m, block = bg
+        code = DiagonalParityCode(BlockGrid(m, m))
+        lead, ctr = code.encode_block(block)
+        r = data.draw(st.integers(0, m - 1))
+        c = data.draw(st.integers(0, m - 1))
+        corrupted = block.copy()
+        corrupted[r, c] ^= 1
+        outcome = code.decode_block(corrupted, lead, ctr)
+        assert isinstance(outcome, DataError)
+        assert (outcome.row, outcome.col) == (r, c)
+
+    @given(block_and_grid())
+    @settings(max_examples=40)
+    def test_clean_block_decodes_clean(self, bg):
+        m, block = bg
+        code = DiagonalParityCode(BlockGrid(m, m))
+        lead, ctr = code.encode_block(block)
+        assert isinstance(code.decode_block(block, lead, ctr), NoError)
+
+    @given(block_and_grid(), st.data())
+    @settings(max_examples=60)
+    def test_two_errors_never_miscorrect_as_data(self, bg, data):
+        """Two data errors must never decode to a single (wrong) data
+        cell: the signature always has != 1 bits in some plane."""
+        m, block = bg
+        code = DiagonalParityCode(BlockGrid(m, m))
+        lead, ctr = code.encode_block(block)
+        cells = [(r, c) for r in range(m) for c in range(m)]
+        i = data.draw(st.integers(0, len(cells) - 1))
+        j = data.draw(st.integers(0, len(cells) - 2))
+        if j >= i:
+            j += 1
+        corrupted = block.copy()
+        corrupted[cells[i]] ^= 1
+        corrupted[cells[j]] ^= 1
+        outcome = code.decode_block(corrupted, lead, ctr)
+        assert isinstance(outcome, Uncorrectable)
+
+    @given(block_and_grid(), st.data())
+    @settings(max_examples=40)
+    def test_check_bit_error_identified(self, bg, data):
+        m, block = bg
+        code = DiagonalParityCode(BlockGrid(m, m))
+        lead, ctr = code.encode_block(block)
+        plane = data.draw(st.sampled_from(["leading", "counter"]))
+        d = data.draw(st.integers(0, m - 1))
+        if plane == "leading":
+            bad = lead.copy()
+            bad[d] ^= 1
+            outcome = code.decode_block(block, bad, ctr)
+        else:
+            bad = ctr.copy()
+            bad[d] ^= 1
+            outcome = code.decode_block(block, lead, bad)
+        assert isinstance(outcome, CheckBitError)
+        assert (outcome.plane, outcome.index) == (plane, d)
+
+
+class TestContinuousUpdateProperties:
+    @given(st.integers(0, 2 ** 31 - 1),
+           st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14),
+                              st.integers(0, 1)), min_size=1, max_size=60))
+    @settings(max_examples=40)
+    def test_incremental_equals_recompute(self, seed, writes):
+        """After ANY sequence of single-bit writes, incrementally
+        maintained check-bits equal a from-scratch encode — the core
+        soundness of continuous parity."""
+        grid = BlockGrid(15, 5)
+        code = DiagonalParityCode(grid)
+        rng = np.random.default_rng(seed)
+        mem = CrossbarArray(15, 15)
+        mem.write_region(0, 0, rng.integers(0, 2, (15, 15), dtype=np.uint8))
+        store = code.encode(mem.snapshot())
+        ContinuousUpdater(grid, store).attach(mem)
+        for r, c, v in writes:
+            mem.write_bit(r, c, v)
+        fresh = code.encode(mem.snapshot())
+        assert (fresh.lead == store.lead).all()
+        assert (fresh.ctr == store.ctr).all()
+
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(0, 14),
+           st.integers(0, 14))
+    @settings(max_examples=40)
+    def test_flip_then_check_restores_exactly(self, seed, r, c):
+        """Inject one soft error anywhere; the checker must restore the
+        exact golden state (data AND check-bits)."""
+        grid = BlockGrid(15, 5)
+        code = DiagonalParityCode(grid)
+        rng = np.random.default_rng(seed)
+        mem = CrossbarArray(15, 15)
+        mem.write_region(0, 0, rng.integers(0, 2, (15, 15), dtype=np.uint8))
+        store = code.encode(mem.snapshot())
+        golden = mem.snapshot()
+        golden_store = store.copy()
+        mem.flip(r, c)
+        BlockChecker(grid, code, store).check_all(mem)
+        assert (mem.snapshot() == golden).all()
+        assert (store.lead == golden_store.lead).all()
+        assert (store.ctr == golden_store.ctr).all()

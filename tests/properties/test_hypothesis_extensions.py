@@ -1,0 +1,149 @@
+"""Property-based tests for the extension modules (serialization,
+alternative codes, drift, scheduling options)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.altcodes import RowColParityCode
+from repro.core.blocks import BlockGrid
+from repro.core.code import DataError
+from repro.faults.drift import DriftModel
+from repro.logic.serialize import (
+    norlist_from_dict,
+    norlist_to_dict,
+    program_from_dict,
+    program_to_dict,
+)
+
+odd_m = st.sampled_from([3, 5, 7, 9, 15])
+
+
+@st.composite
+def random_norlist(draw):
+    """A random small NOR/NOT netlist."""
+    from repro.logic.norlist import NorNetlist
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    rng = np.random.default_rng(seed)
+    num_inputs = draw(st.integers(1, 5))
+    num_gates = draw(st.integers(1, 25))
+    nl = NorNetlist([f"i{k}" for k in range(num_inputs)])
+    for _ in range(num_gates):
+        arity = int(rng.integers(1, 3))
+        fanins = tuple(int(rng.integers(0, nl.num_nodes))
+                       for _ in range(arity))
+        nl.add_gate(fanins)
+    nl.add_output("y", nl.num_nodes - 1)
+    if nl.num_nodes >= 2:
+        nl.add_output("z", nl.num_nodes - 2)
+    return nl
+
+
+class TestSerializationProperties:
+    @given(random_norlist(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_norlist_roundtrip_functional(self, nl, seed):
+        rebuilt = norlist_from_dict(norlist_to_dict(nl))
+        rng = np.random.default_rng(seed)
+        vectors = {name: rng.integers(0, 2, 8).astype(bool)
+                   for name in nl.input_names}
+        a = nl.evaluate(vectors)
+        b = rebuilt.evaluate(vectors)
+        for name in a:
+            assert (a[name] == b[name]).all()
+
+    @given(random_norlist())
+    @settings(max_examples=25, deadline=None)
+    def test_program_roundtrip_identical_summary(self, nl):
+        from repro.synth.simpler import SimplerConfig, synthesize
+        prog = synthesize(nl, SimplerConfig(row_size=64))
+        rebuilt = program_from_dict(program_to_dict(prog))
+        assert rebuilt.summary() == prog.summary()
+        assert [type(a) for a in rebuilt.ops] == [type(a) for a in prog.ops]
+
+
+class TestRowColCodeProperties:
+    @given(odd_m, st.integers(0, 2 ** 31 - 1), st.data())
+    @settings(max_examples=50)
+    def test_single_error_located(self, m, seed, data):
+        code = RowColParityCode(BlockGrid(m, m))
+        block = np.random.default_rng(seed).integers(
+            0, 2, (m, m)).astype(np.uint8)
+        rows, cols = code.encode_block(block)
+        r = data.draw(st.integers(0, m - 1))
+        c = data.draw(st.integers(0, m - 1))
+        corrupted = block.copy()
+        corrupted[r, c] ^= 1
+        outcome = code.decode_block(corrupted, rows, cols)
+        assert isinstance(outcome, DataError)
+        assert (outcome.row, outcome.col) == (r, c)
+
+
+class TestDriftProperties:
+    @given(st.floats(10.0, 1e6), st.floats(1.0, 4.0),
+           st.floats(0.1, 100.0))
+    @settings(max_examples=50)
+    def test_refresh_never_hurts(self, tau, beta, refresh):
+        """For accumulating drift (beta >= 1), any refresh period never
+        increases the flip probability."""
+        model = DriftModel(tau_hours=tau, beta=beta, abrupt_fit_per_bit=0)
+        window = 240.0
+        assert model.flip_probability(window, refresh) <= \
+            model.flip_probability(window, None) + 1e-12
+
+    @given(st.floats(10.0, 1e6), st.floats(1.0, 4.0))
+    @settings(max_examples=50)
+    def test_probability_bounds(self, tau, beta):
+        model = DriftModel(tau_hours=tau, beta=beta,
+                           abrupt_fit_per_bit=1e-3)
+        for t in (0.0, 1.0, 1e4):
+            p = model.flip_probability(t)
+            assert 0.0 <= p <= 1.0
+
+
+class TestSchedulerProperties:
+    @given(st.integers(1, 40), st.integers(1, 8), st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_proposed_never_below_baseline(self, outputs, k, forwarding):
+        from repro.logic.netlist import LogicNetwork
+        from repro.logic.nor_mapping import map_to_nor
+        from repro.synth.ecc_scheduler import (
+            EccTimingModel,
+            schedule_with_ecc,
+        )
+        from repro.synth.simpler import SimplerConfig, synthesize
+
+        net = LogicNetwork()
+        x = net.input("a")
+        for j in range(outputs):
+            x = net.not_(x)
+            net.output(f"o{j}", x)
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=64))
+        res = schedule_with_ecc(
+            prog, EccTimingModel(pc_count=k, enable_forwarding=forwarding))
+        assert res.proposed_cycles >= res.baseline_cycles
+        assert res.pc_stall_cycles >= 0
+
+    @given(st.integers(2, 30), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_forwarding_never_slower(self, outputs, k):
+        from dataclasses import replace
+
+        from repro.logic.netlist import LogicNetwork
+        from repro.logic.nor_mapping import map_to_nor
+        from repro.synth.ecc_scheduler import (
+            EccTimingModel,
+            schedule_with_ecc,
+        )
+        from repro.synth.simpler import SimplerConfig, synthesize
+
+        net = LogicNetwork()
+        x = net.input("a")
+        for j in range(outputs):
+            x = net.not_(x)
+            net.output(f"o{j}", x)
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=64))
+        base = EccTimingModel(pc_count=k)
+        plain = schedule_with_ecc(prog, base)
+        fwd = schedule_with_ecc(prog, replace(base, enable_forwarding=True))
+        assert fwd.proposed_cycles <= plain.proposed_cycles

@@ -1,0 +1,159 @@
+"""Property-based tests for the logic substrate and synthesis stack."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.eval import evaluate
+from repro.logic.library import (
+    array_multiplier,
+    greater_equal,
+    popcount,
+    ripple_adder,
+)
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.verify import random_vectors
+
+
+@st.composite
+def random_network(draw):
+    """A random well-formed combinational network."""
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    num_inputs = draw(st.integers(1, 6))
+    num_gates = draw(st.integers(1, 40))
+    rng = np.random.default_rng(seed)
+    net = LogicNetwork(name=f"rand-{seed}")
+    nodes = [net.input(f"i{k}") for k in range(num_inputs)]
+    ops = ["not", "and", "or", "nand", "nor", "xor", "xnor", "mux"]
+    for _ in range(num_gates):
+        op = ops[rng.integers(0, len(ops))]
+        if op == "not":
+            nodes.append(net.not_(int(rng.choice(nodes))))
+        elif op == "mux":
+            s, a, b = (int(rng.choice(nodes)) for _ in range(3))
+            nodes.append(net.mux(s, a, b))
+        elif op in ("xor", "xnor"):
+            a, b = (int(rng.choice(nodes)) for _ in range(2))
+            nodes.append(net.xor(a, b) if op == "xor" else net.xnor(a, b))
+        else:
+            k = int(rng.integers(2, 5))
+            fanins = tuple(int(rng.choice(nodes)) for _ in range(k))
+            nodes.append(getattr(net, op if op != "and" else "and_")(*fanins)
+                         if op != "or" else net.or_(*fanins))
+    # A couple of outputs from the most recent nodes.
+    net.output("y0", nodes[-1])
+    if len(nodes) >= 2:
+        net.output("y1", nodes[-2])
+    return net
+
+
+class TestMappingProperties:
+    @given(random_network(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_nor_mapping_preserves_function(self, net, seed):
+        """For any network and any input vectors, the mapped NOR netlist
+        computes the same outputs."""
+        nor = map_to_nor(net)
+        vectors = random_vectors(net.input_names, 16, seed)
+        expected = evaluate(net, vectors)
+        got = nor.evaluate(vectors)
+        for name in expected:
+            assert (expected[name] == got[name]).all()
+
+    @given(random_network())
+    @settings(max_examples=40, deadline=None)
+    def test_mapped_netlist_topologically_ordered(self, net):
+        nor = map_to_nor(net)
+        for gi, gate in enumerate(nor.gates):
+            nid = nor.num_inputs + gi
+            assert all(f < nid for f in gate.fanins)
+
+
+class TestSynthesisProperties:
+    @given(random_network(), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_simpler_execution_matches_netlist(self, net, seed):
+        """Synthesized programs executed on a real simulated crossbar row
+        agree with direct netlist evaluation — for arbitrary circuits."""
+        from repro.synth.executor import execute_program
+        from repro.synth.simpler import SimplerConfig, synthesize
+        from repro.xbar.crossbar import CrossbarArray
+
+        nor = map_to_nor(net)
+        row = max(nor.num_inputs + 8, 256)
+        prog = synthesize(nor, SimplerConfig(row_size=row))
+        xb = CrossbarArray(2, row)
+        vectors = random_vectors(net.input_names, 2, seed)
+        outs = execute_program(prog, xb, rows=[0, 1], inputs=vectors)
+        expected = nor.evaluate(vectors)
+        for name in expected:
+            assert (outs[name].astype(bool) == expected[name]).all()
+
+    @given(random_network())
+    @settings(max_examples=25, deadline=None)
+    def test_peak_live_within_row(self, net):
+        from repro.synth.simpler import SimplerConfig, synthesize
+        nor = map_to_nor(net)
+        row = max(nor.num_inputs + 8, 256)
+        prog = synthesize(nor, SimplerConfig(row_size=row))
+        assert prog.peak_live_cells <= row
+
+
+class TestLibraryProperties:
+    @given(st.integers(2, 10), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_adder_matches_integer_addition(self, width, data):
+        x = data.draw(st.integers(0, 2 ** width - 1))
+        y = data.draw(st.integers(0, 2 ** width - 1))
+        net = LogicNetwork()
+        a = net.input_bus("a", width)
+        b = net.input_bus("b", width)
+        s, cout = ripple_adder(net, a, b)
+        net.output_bus("s", s + [cout])
+        assigns = {f"a[{i}]": (x >> i) & 1 for i in range(width)}
+        assigns.update({f"b[{i}]": (y >> i) & 1 for i in range(width)})
+        out = evaluate(net, assigns)
+        got = sum(int(out[f"s[{i}]"]) << i for i in range(width + 1))
+        assert got == x + y
+
+    @given(st.integers(1, 24), st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_popcount_matches(self, width, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, width)
+        net = LogicNetwork()
+        ins = net.input_bus("b", width)
+        count = popcount(net, ins)
+        net.output_bus("c", count)
+        out = evaluate(net, {f"b[{i}]": int(bits[i]) for i in range(width)})
+        got = sum(int(out[f"c[{i}]"]) << i for i in range(len(count)))
+        assert got == int(bits.sum())
+
+    @given(st.integers(1, 6), st.integers(1, 6), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_multiplier_matches(self, wa, wb, data):
+        x = data.draw(st.integers(0, 2 ** wa - 1))
+        y = data.draw(st.integers(0, 2 ** wb - 1))
+        net = LogicNetwork()
+        a = net.input_bus("a", wa)
+        b = net.input_bus("b", wb)
+        net.output_bus("p", array_multiplier(net, a, b))
+        assigns = {f"a[{i}]": (x >> i) & 1 for i in range(wa)}
+        assigns.update({f"b[{i}]": (y >> i) & 1 for i in range(wb)})
+        out = evaluate(net, assigns)
+        got = sum(int(out[f"p[{i}]"]) << i for i in range(wa + wb))
+        assert got == x * y
+
+    @given(st.integers(1, 8), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_comparator_matches(self, width, data):
+        x = data.draw(st.integers(0, 2 ** width - 1))
+        y = data.draw(st.integers(0, 2 ** width - 1))
+        net = LogicNetwork()
+        a = net.input_bus("a", width)
+        b = net.input_bus("b", width)
+        net.output("ge", greater_equal(net, a, b))
+        assigns = {f"a[{i}]": (x >> i) & 1 for i in range(width)}
+        assigns.update({f"b[{i}]": (y >> i) & 1 for i in range(width)})
+        assert int(evaluate(net, assigns)["ge"]) == int(x >= y)

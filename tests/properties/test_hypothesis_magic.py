@@ -1,0 +1,131 @@
+"""Property-based tests of MAGIC device-accurate semantics.
+
+The engine's permissive mode implements the physical rule
+``out <- out AND NOR(inputs)`` (an HRS output can never switch back to
+LRS during a gate). These properties pit the vectorized engine against
+an independent scalar reference over random operation sequences.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+from repro.xbar.ops import Axis
+
+SIZE = 6
+
+
+@st.composite
+def op_sequence(draw):
+    """Random sequence of init/NOR ops on a SIZE x SIZE crossbar."""
+    seed = draw(st.integers(0, 2 ** 31 - 1))
+    count = draw(st.integers(1, 25))
+    rng = np.random.default_rng(seed)
+    ops = []
+    for _ in range(count):
+        axis = Axis.ROW if rng.integers(0, 2) else Axis.COL
+        if rng.integers(0, 3) == 0:
+            targets = tuple(int(x) for x in rng.choice(
+                SIZE, size=rng.integers(1, 3), replace=False))
+            lanes = tuple(int(x) for x in rng.choice(
+                SIZE, size=rng.integers(1, SIZE), replace=False))
+            ops.append(("init", axis, targets, lanes))
+        else:
+            cells = rng.choice(SIZE, size=3, replace=False)
+            inputs = tuple(int(x) for x in cells[:2])
+            output = int(cells[2])
+            lanes = tuple(int(x) for x in rng.choice(
+                SIZE, size=rng.integers(1, SIZE), replace=False))
+            ops.append(("nor", axis, inputs, output, lanes))
+    return seed, ops
+
+
+def _reference_apply(state, op):
+    """Scalar reference model of MAGIC semantics."""
+    if op[0] == "init":
+        _, axis, targets, lanes = op
+        for lane in lanes:
+            for t in targets:
+                if axis is Axis.ROW:
+                    state[lane][t] = 1
+                else:
+                    state[t][lane] = 1
+    else:
+        _, axis, inputs, output, lanes = op
+        for lane in lanes:
+            if axis is Axis.ROW:
+                in_vals = [state[lane][i] for i in inputs]
+                nor = 0 if any(in_vals) else 1
+                state[lane][output] = state[lane][output] & nor
+            else:
+                in_vals = [state[i][lane] for i in inputs]
+                nor = 0 if any(in_vals) else 1
+                state[output][lane] = state[output][lane] & nor
+
+
+class TestDeviceSemanticsProperties:
+    @given(op_sequence())
+    @settings(max_examples=60, deadline=None)
+    def test_engine_matches_scalar_reference(self, seq):
+        seed, ops = seq
+        rng = np.random.default_rng(seed + 1)
+        initial = rng.integers(0, 2, (SIZE, SIZE))
+
+        xb = CrossbarArray(SIZE, SIZE)
+        xb.write_region(0, 0, initial)
+        engine = MagicEngine(xb, strict=False)
+        state = [[int(initial[r][c]) for c in range(SIZE)]
+                 for r in range(SIZE)]
+
+        for op in ops:
+            if op[0] == "init":
+                engine.init(op[1], op[2], op[3])
+            else:
+                engine.nor(op[1], op[2], op[3], op[4])
+            _reference_apply(state, op)
+
+        assert (xb.snapshot() == np.array(state)).all()
+
+    @given(op_sequence())
+    @settings(max_examples=40, deadline=None)
+    def test_cycle_count_equals_op_count(self, seq):
+        _, ops = seq
+        xb = CrossbarArray(SIZE, SIZE)
+        engine = MagicEngine(xb, strict=False)
+        for op in ops:
+            if op[0] == "init":
+                engine.init(op[1], op[2], op[3])
+            else:
+                engine.nor(op[1], op[2], op[3], op[4])
+        assert engine.cycle == len(ops)
+
+    @given(op_sequence())
+    @settings(max_examples=40, deadline=None)
+    def test_untouched_lanes_invariant(self, seq):
+        """Lanes never named by any op keep their contents bit-exact."""
+        seed, ops = seq
+        touched = set()
+        for op in ops:
+            axis = op[1]
+            lanes = op[3] if op[0] == "init" else op[4]
+            for lane in lanes:
+                touched.add((axis, lane))
+        rng = np.random.default_rng(seed + 2)
+        initial = rng.integers(0, 2, (SIZE, SIZE))
+        xb = CrossbarArray(SIZE, SIZE)
+        xb.write_region(0, 0, initial)
+        engine = MagicEngine(xb, strict=False)
+        for op in ops:
+            if op[0] == "init":
+                engine.init(op[1], op[2], op[3])
+            else:
+                engine.nor(op[1], op[2], op[3], op[4])
+        snap = xb.snapshot()
+        for r in range(SIZE):
+            for c in range(SIZE):
+                row_touched = (Axis.ROW, r) in touched
+                col_touched = (Axis.COL, c) in touched
+                if not row_touched and not col_touched:
+                    assert snap[r, c] == initial[r, c]

@@ -1,0 +1,71 @@
+"""Unit tests for burst (spatial MBU) survival analysis."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.reliability.burst import (
+    interleaving_distance,
+    linear_burst_survival,
+    simulate_burst_survival,
+)
+
+
+class TestClosedForm:
+    def test_single_flip_always_survives(self):
+        assert linear_burst_survival(15, 1) == 1.0
+
+    def test_pair_survives_at_boundary(self):
+        assert linear_burst_survival(15, 2) == pytest.approx(1 / 15)
+        assert linear_burst_survival(5, 2) == pytest.approx(1 / 5)
+
+    def test_three_or_more_never_survive(self):
+        for length in (3, 4, 10):
+            assert linear_burst_survival(15, length) == 0.0
+
+    def test_smaller_blocks_more_burst_tolerant(self):
+        assert linear_burst_survival(3, 2) > linear_burst_survival(15, 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_burst_survival(4, 2)
+        with pytest.raises(ValueError):
+            linear_burst_survival(15, 0)
+
+    def test_interleaving_distance(self):
+        assert interleaving_distance(15) == 15
+        with pytest.raises(ValueError):
+            interleaving_distance(2)
+
+
+class TestMonteCarlo:
+    @pytest.mark.parametrize("orientation", ["row", "col"])
+    def test_single_flip_always_restored(self, tiny_grid, orientation):
+        result = simulate_burst_survival(tiny_grid, 1, trials=30,
+                                         orientation=orientation, seed=1)
+        assert result.survival_rate == 1.0
+
+    def test_pair_survival_matches_closed_form(self):
+        grid = BlockGrid(15, 3)
+        trials = 250
+        result = simulate_burst_survival(grid, 2, trials=trials, seed=2)
+        analytic = linear_burst_survival(3, 2)
+        sigma = (analytic * (1 - analytic) / trials) ** 0.5
+        assert abs(result.survival_rate - analytic) < 5 * sigma
+
+    def test_long_bursts_always_detected_never_silent(self, tiny_grid):
+        result = simulate_burst_survival(tiny_grid, 4, trials=25, seed=3)
+        assert result.survived == 0
+        assert result.detected == 25
+
+    def test_column_bursts_symmetric(self):
+        grid = BlockGrid(15, 5)
+        row = simulate_burst_survival(grid, 2, trials=150,
+                                      orientation="row", seed=4)
+        col = simulate_burst_survival(grid, 2, trials=150,
+                                      orientation="col", seed=5)
+        # Same closed form governs both orientations.
+        assert abs(row.survival_rate - col.survival_rate) < 0.15
+
+    def test_orientation_validation(self, tiny_grid):
+        with pytest.raises(ValueError):
+            simulate_burst_survival(tiny_grid, 2, 5, orientation="diag")

@@ -1,0 +1,66 @@
+"""Unit tests for the refresh-vs-ECC comparison."""
+
+import pytest
+
+from repro.faults.drift import DriftModel
+from repro.reliability.drift_analysis import (
+    compare_protections,
+    refresh_period_sweep,
+)
+from repro.reliability.model import MemoryOrganization
+
+
+@pytest.fixture
+def rows():
+    return compare_protections(
+        DriftModel(tau_hours=5e4, beta=2.0, abrupt_fit_per_bit=1e-4),
+        MemoryOrganization(), refresh_period_hours=1.0)
+
+
+class TestProtectionOrdering:
+    def test_four_configurations(self, rows):
+        names = [r.config.name for r in rows]
+        assert names == ["none", "refresh only", "ECC only",
+                         "refresh + ECC"]
+
+    def test_combined_is_best(self, rows):
+        by_name = {r.config.name: r.mttf_hours for r in rows}
+        assert by_name["refresh + ECC"] >= by_name["ECC only"]
+        assert by_name["refresh + ECC"] >= by_name["refresh only"]
+        assert by_name["refresh + ECC"] > by_name["none"]
+
+    def test_ecc_dominates_refresh_alone(self, rows):
+        """Refresh cannot square the failure probability; ECC can."""
+        by_name = {r.config.name: r.mttf_hours for r in rows}
+        assert by_name["ECC only"] > by_name["refresh only"]
+
+    def test_refresh_lowers_bit_probability(self, rows):
+        by_name = {r.config.name: r.bit_flip_probability for r in rows}
+        assert by_name["refresh only"] < by_name["none"]
+        assert by_name["refresh + ECC"] < by_name["ECC only"]
+
+    def test_paper_conjunction_claim(self, rows):
+        """Sec. II-B: 'refresh can still be used in conjunction with the
+        mechanism proposed in this paper' — and it helps."""
+        by_name = {r.config.name: r.mttf_hours for r in rows}
+        assert by_name["refresh + ECC"] > 2 * by_name["ECC only"]
+
+
+class TestRefreshSweep:
+    def test_mttf_improves_with_faster_refresh(self):
+        rows = refresh_period_sweep(periods_hours=(0.25, 1.0, 24.0))
+        mttfs = [r["mttf_hours"] for r in rows]
+        assert mttfs == sorted(mttfs, reverse=True)
+
+    def test_diminishing_returns_at_abrupt_floor(self):
+        """Once drift is suppressed below the abrupt rate, refreshing
+        harder buys (almost) nothing."""
+        model = DriftModel(tau_hours=5e4, beta=2.0, abrupt_fit_per_bit=1.0)
+        rows = refresh_period_sweep(model,
+                                    periods_hours=(0.01, 0.1))
+        ratio = rows[0]["mttf_hours"] / rows[1]["mttf_hours"]
+        assert ratio < 1.5  # far less than the 10x refresh-rate ratio
+
+    def test_drift_share_decreases(self):
+        rows = refresh_period_sweep(periods_hours=(0.25, 24.0))
+        assert rows[0]["drift_share"] < rows[1]["drift_share"]

@@ -1,0 +1,154 @@
+"""Unit tests for the analytic reliability model (Figure 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.reliability.model import (
+    GIB_BITS,
+    MemoryOrganization,
+    ReliabilityModel,
+)
+
+
+@pytest.fixture
+def model():
+    return ReliabilityModel()
+
+
+class TestOrganization:
+    def test_paper_defaults(self):
+        org = MemoryOrganization()
+        assert org.n == 1020 and org.m == 15
+        assert org.check_period_hours == 24.0
+        assert org.total_data_bits == GIB_BITS
+
+    def test_cells_per_block_modes(self):
+        assert MemoryOrganization().cells_per_block == 225
+        assert MemoryOrganization(
+            include_check_bits=True).cells_per_block == 255
+
+    def test_blocks_per_crossbar(self):
+        assert MemoryOrganization().blocks_per_crossbar == 68 ** 2
+
+    def test_crossbar_count(self):
+        org = MemoryOrganization()
+        assert org.crossbars == pytest.approx(GIB_BITS / 1020 ** 2)
+
+
+class TestPaperHeadlineClaims:
+    def test_improvement_over_3e8_at_flash_ser(self, model):
+        """Abstract: 'over eight orders of magnitude'; Sec. V-A: 'a
+        factor of over 3e8' at SER 1e-3 FIT/bit."""
+        factor = model.improvement_factor(1e-3)
+        assert factor > 3e8
+        assert factor < 1e9  # same order as the paper's figure
+
+    def test_eight_orders_of_magnitude_band(self, model):
+        for ser in (1e-5, 1e-4, 1e-3):
+            assert model.improvement_factor(ser) > 1e8
+
+    def test_baseline_mttf_at_flash_ser(self, model):
+        """~129 hours for 1 GB at 1e-3 FIT/bit (visible in Fig. 6)."""
+        assert model.baseline_mttf_hours(1e-3) == pytest.approx(129, rel=0.05)
+
+
+class TestNumericalCorrectness:
+    def test_block_failure_matches_binomial_series(self, model):
+        """The log-space formula must agree with the exact binomial tail
+        across the whole sweep range."""
+        from math import comb
+        n_cells = model.org.cells_per_block
+        for ser in (1e-5, 1e-3, 1e-1, 10.0, 1e3):
+            p = model.bit_upset_probability(ser)
+            exact = sum(comb(n_cells, k) * p ** k * (1 - p) ** (n_cells - k)
+                        for k in range(2, 8))
+            got = model.block_failure_probability(ser)
+            assert got == pytest.approx(exact, rel=1e-6)
+
+    def test_block_failure_quadratic_scaling(self, model):
+        """For small p the failure probability scales as p^2, i.e. as
+        ser^2 — the slope -2 of the proposed curve in Fig. 6."""
+        f1 = model.block_failure_probability(1e-4)
+        f2 = model.block_failure_probability(1e-3)
+        assert f2 / f1 == pytest.approx(100, rel=0.01)
+
+    def test_proposed_mttf_slope_minus_two(self, model):
+        m1 = model.proposed_mttf_hours(1e-4)
+        m2 = model.proposed_mttf_hours(1e-3)
+        assert m1 / m2 == pytest.approx(100, rel=0.01)
+
+    def test_baseline_mttf_slope_minus_one(self, model):
+        """Slope -1 in the linear regime; by 1e-3 the 1 GB baseline is
+        already mildly saturating (expected upsets ~ 0.2 per window), so
+        the ratio dips slightly below 10."""
+        m1 = model.baseline_mttf_hours(1e-4)
+        m2 = model.baseline_mttf_hours(1e-3)
+        assert m1 / m2 == pytest.approx(10, rel=0.1)
+        # Deep in the linear regime the slope is exact.
+        m3 = model.baseline_mttf_hours(1e-6)
+        m4 = model.baseline_mttf_hours(1e-5)
+        assert m3 / m4 == pytest.approx(10, rel=0.001)
+
+    def test_mttf_floors_at_period_for_huge_ser(self, model):
+        """The paper's exact window formula: P(fail) -> 1 gives MTTF -> T."""
+        assert model.baseline_mttf_hours(1e6) == pytest.approx(24.0)
+        assert model.proposed_mttf_hours(1e6) == pytest.approx(24.0)
+
+    def test_zero_ser_infinite_mttf(self, model):
+        assert model.proposed_mttf_hours(0.0) == float("inf")
+        assert model.baseline_mttf_hours(0.0) == float("inf")
+
+
+class TestMonotonicityAndOrdering:
+    def test_mttf_decreasing_in_ser(self, model):
+        sers = np.logspace(-5, 3, 20)
+        prop = [model.proposed_mttf_hours(s) for s in sers]
+        base = [model.baseline_mttf_hours(s) for s in sers]
+        assert all(a >= b for a, b in zip(prop, prop[1:]))
+        assert all(a >= b for a, b in zip(base, base[1:]))
+
+    def test_proposed_never_worse_than_baseline(self, model):
+        for s in np.logspace(-5, 3, 20):
+            assert model.proposed_mttf_hours(s) >= \
+                model.baseline_mttf_hours(s) * 0.999
+
+    def test_smaller_blocks_more_reliable(self):
+        ser = 1e-3
+        mttf_small = ReliabilityModel(MemoryOrganization(m=5)).\
+            proposed_mttf_hours(ser)
+        mttf_large = ReliabilityModel(MemoryOrganization(m=15)).\
+            proposed_mttf_hours(ser)
+        assert mttf_small > mttf_large
+
+    def test_longer_period_less_reliable(self):
+        ser = 1e-3
+        short = ReliabilityModel(
+            MemoryOrganization(check_period_hours=1.0))
+        long = ReliabilityModel(
+            MemoryOrganization(check_period_hours=168.0))
+        assert short.proposed_mttf_hours(ser) > long.proposed_mttf_hours(ser)
+
+    def test_check_bit_inclusion_is_conservative(self):
+        ser = 1e-3
+        paper = ReliabilityModel(MemoryOrganization())
+        conservative = ReliabilityModel(
+            MemoryOrganization(include_check_bits=True))
+        assert conservative.proposed_mttf_hours(ser) < \
+            paper.proposed_mttf_hours(ser)
+        # Same order of magnitude though.
+        assert conservative.improvement_factor(ser) > 1e8
+
+
+class TestSweep:
+    def test_default_sweep_covers_figure_range(self, model):
+        points = model.sweep()
+        sers = [p.ser_fit_per_bit for p in points]
+        assert min(sers) == pytest.approx(1e-5)
+        assert max(sers) == pytest.approx(1e3)
+
+    def test_point_improvement_property(self, model):
+        point = model.sweep([1e-3])[0]
+        assert point.improvement == pytest.approx(
+            model.improvement_factor(1e-3))

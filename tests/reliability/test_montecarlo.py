@@ -1,0 +1,52 @@
+"""Monte-Carlo validation of the reliability model (experiment E7)."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.reliability.montecarlo import (
+    estimate_block_failure_rate,
+    validate_against_model,
+)
+
+
+class TestBlockTrials:
+    def test_zero_probability_all_restored(self, tiny_grid):
+        result = estimate_block_failure_rate(tiny_grid, 0.0, trials=3,
+                                             seed=1)
+        assert result.blocks_failed == 0
+        assert result.blocks_restored == result.total_blocks
+        assert result.miscorrections == 0
+
+    def test_single_errors_always_restored(self, tiny_grid):
+        """At moderate p, blocks with <= 1 upset must ALWAYS be restored
+        — zero tolerance for miscorrection of correctable patterns."""
+        result = estimate_block_failure_rate(tiny_grid, 0.02, trials=40,
+                                             seed=2)
+        assert result.miscorrections == 0
+
+    def test_multi_fault_blocks_counted(self, tiny_grid):
+        result = estimate_block_failure_rate(tiny_grid, 0.25, trials=10,
+                                             seed=3)
+        assert result.blocks_failed > 0
+        assert result.empirical_failure_rate > 0
+
+    def test_check_bit_inclusion(self, tiny_grid):
+        result = estimate_block_failure_rate(tiny_grid, 0.05, trials=20,
+                                             seed=4, include_check_bits=True)
+        assert result.miscorrections == 0
+
+
+class TestModelValidation:
+    @pytest.mark.parametrize("p", [0.01, 0.05])
+    def test_empirical_matches_binomial(self, p):
+        """The binomial block-failure core of Figure 6's derivation must
+        match injected-fault simulation within sampling error."""
+        grid = BlockGrid(15, 5)
+        report = validate_against_model(grid, p, trials=150, seed=5)
+        assert report["consistent"], report
+
+    def test_consistency_at_paper_block_size(self):
+        grid = BlockGrid(45, 15)
+        report = validate_against_model(grid, 0.01, trials=60, seed=6)
+        assert report["consistent"], report
+        assert report["miscorrections"] == 0

@@ -1,0 +1,173 @@
+"""Unit tests for the ECC-extended scheduler (Table I machinery)."""
+
+import math
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.ecc_scheduler import (
+    EccTimingModel,
+    find_min_pc_count,
+    pc_sweep,
+    schedule_with_ecc,
+)
+from repro.synth.simpler import SimplerConfig, synthesize
+
+
+def _program(inputs=4, outputs=2, row_size=128):
+    """A small program with a known PI/PO interface."""
+    net = LogicNetwork()
+    ins = [net.input(f"i{k}") for k in range(inputs)]
+    value = ins[0]
+    for x in ins[1:]:
+        value = net.xor(value, x)
+    for j in range(outputs):
+        value = net.not_(value)
+        net.output(f"o{j}", value)
+    return synthesize(map_to_nor(net), SimplerConfig(row_size=row_size))
+
+
+class TestTimingModel:
+    def test_default_pc_occupancy_derivation(self):
+        """4 transfers + 2 inits + 16 XOR3 + 2 write-backs = 24."""
+        t = EccTimingModel()
+        assert t.pc_occupancy == 24
+
+    def test_check_tree_ops_for_paper_m(self):
+        """m=15: reducing 16 operands with XOR3 needs ceil(15/2)=8 gates."""
+        assert EccTimingModel(block_size=15).check_tree_ops() == 8
+
+    def test_copy_cycles_default_m(self):
+        assert EccTimingModel(block_size=15).copy_cycles() == 15
+        assert EccTimingModel(block_size=15,
+                              check_copy_cycles_per_block=5).copy_cycles() == 5
+
+    def test_max_pc_bound(self):
+        """ceil(pc_occupancy / 3) = 8: the paper's 'at most eight PCs'."""
+        t = EccTimingModel()
+        assert math.ceil(t.pc_occupancy /
+                         (1 + t.critical_extra_mem_cycles)) == 8
+
+
+class TestScheduleDecomposition:
+    def test_overhead_components(self):
+        prog = _program(inputs=4, outputs=2)
+        t = EccTimingModel(block_size=15, pc_count=8)
+        res = schedule_with_ecc(prog, t)
+        # 4 inputs -> 1 block -> 15 copy cycles; 2 criticals -> +4 cycles.
+        assert res.check_blocks == 1
+        assert res.check_mem_cycles == 15
+        assert res.critical_ops == 2
+        assert res.critical_extra_mem_cycles == 4
+        assert res.proposed_cycles == \
+            res.baseline_cycles + 15 + 4 + res.pc_stall_cycles
+
+    def test_input_blocks_scale_with_pi(self):
+        t = EccTimingModel(block_size=15, pc_count=8)
+        wide = _program(inputs=40, outputs=1)
+        res = schedule_with_ecc(wide, t)
+        assert res.check_blocks == math.ceil(40 / 15) == 3
+        assert res.check_mem_cycles == 45
+
+    def test_overhead_pct_definition(self):
+        prog = _program()
+        res = schedule_with_ecc(prog, EccTimingModel(pc_count=8))
+        assert res.overhead_pct == pytest.approx(
+            100 * (res.proposed_cycles - res.baseline_cycles)
+            / res.baseline_cycles)
+
+    def test_commit_tail_not_smaller(self):
+        prog = _program()
+        t = EccTimingModel(pc_count=8)
+        mem_only = schedule_with_ecc(prog, t)
+        with_tail = schedule_with_ecc(prog, t, count_commit_tail=True)
+        assert with_tail.proposed_cycles >= mem_only.proposed_cycles
+        assert with_tail.commit_finish == mem_only.commit_finish
+
+    def test_requires_one_pc(self):
+        with pytest.raises(SchedulingError):
+            schedule_with_ecc(_program(), EccTimingModel(pc_count=0))
+
+    def test_as_dict_keys(self):
+        res = schedule_with_ecc(_program(), EccTimingModel())
+        assert {"baseline", "proposed", "overhead_pct",
+                "pc_count"} <= set(res.as_dict())
+
+
+class TestPcContention:
+    def _dense_program(self, outputs=64):
+        """Back-to-back critical ops: a chain where every gate is an
+        output (dec-like worst case)."""
+        net = LogicNetwork()
+        a = net.input("a")
+        x = a
+        for j in range(outputs):
+            x = net.not_(x)
+            net.output(f"o{j}", x)
+        return synthesize(map_to_nor(net), SimplerConfig(row_size=128))
+
+    def test_latency_monotone_in_pc_count(self):
+        prog = self._dense_program()
+        sweep = pc_sweep(prog, EccTimingModel(), max_pc=8)
+        latencies = [sweep[k] for k in range(1, 9)]
+        assert all(a >= b for a, b in zip(latencies, latencies[1:]))
+
+    def test_eight_pcs_nearly_stall_free_for_dense_outputs(self):
+        """ceil(24/3) = 8 PCs sustain back-to-back criticals in steady
+        state; only a small transient remains while the input-check XOR3
+        tree still occupies one PC at function start."""
+        prog = self._dense_program()
+        t = EccTimingModel(pc_count=8)
+        res = schedule_with_ecc(prog, t)
+        assert res.pc_stall_cycles <= t.check_pc_occupancy()
+        res1 = schedule_with_ecc(prog, EccTimingModel(pc_count=1))
+        assert res1.pc_stall_cycles > 10 * res.pc_stall_cycles
+
+    def test_one_pc_stalls_dense_outputs(self):
+        prog = self._dense_program()
+        res = schedule_with_ecc(prog, EccTimingModel(pc_count=1))
+        assert res.pc_stall_cycles > 0
+
+    def test_find_min_pc_dense(self):
+        assert find_min_pc_count(self._dense_program(),
+                                 EccTimingModel()) == 8
+
+    def test_find_min_pc_sparse(self):
+        """A single output late in a long function never contends: one PC
+        suffices (the input-check tree has long drained)."""
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        x = net.xor(a, b)
+        for _ in range(100):
+            x = net.not_(net.not_(x))  # long non-critical body
+        net.output("y", net.not_(x))
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=256))
+        assert find_min_pc_count(prog, EccTimingModel()) == 1
+
+    def test_find_min_pc_early_output_needs_second_pc(self):
+        """A critical op landing while the input-check XOR3 tree still
+        occupies the only PC forces a second one."""
+        prog = _program(inputs=4, outputs=1)
+        assert find_min_pc_count(prog, EccTimingModel()) == 2
+
+    def test_min_pc_reaches_best_latency(self):
+        prog = self._dense_program(outputs=32)
+        t = EccTimingModel()
+        k = find_min_pc_count(prog, t)
+        from dataclasses import replace
+        best = schedule_with_ecc(prog, replace(t, pc_count=8))
+        at_k = schedule_with_ecc(prog, replace(t, pc_count=k))
+        assert at_k.proposed_cycles == best.proposed_cycles
+
+
+class TestPaperStructure:
+    """The empirical Table I structure: overhead ~ ceil(PI/m)*m + 2*PO."""
+
+    @pytest.mark.parametrize("pi,po", [(8, 4), (30, 1), (4, 16)])
+    def test_overhead_formula_without_stalls(self, pi, po):
+        prog = _program(inputs=pi, outputs=po, row_size=256)
+        res = schedule_with_ecc(prog, EccTimingModel(pc_count=8))
+        predicted = math.ceil(pi / 15) * 15 + 2 * po
+        assert res.overhead_cycles == predicted + res.pc_stall_cycles

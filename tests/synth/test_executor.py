@@ -1,0 +1,141 @@
+"""Unit tests for program execution on the simulated crossbar."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CrossbarError
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.executor import execute_program, load_inputs
+from repro.synth.simpler import SimplerConfig, synthesize
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+
+
+def _xor_program(row_size=32):
+    net = LogicNetwork()
+    a, b = net.input("a"), net.input("b")
+    net.output("y", net.xor(a, b))
+    return synthesize(map_to_nor(net), SimplerConfig(row_size=row_size))
+
+
+class TestSingleRowExecution:
+    @pytest.mark.parametrize("a,b", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_xor_truth_table(self, a, b):
+        prog = _xor_program()
+        xb = CrossbarArray(4, 32)
+        out = execute_program(prog, xb, rows=[1], inputs={"a": a, "b": b})
+        assert int(out["y"][0]) == a ^ b
+
+    def test_missing_input_rejected(self):
+        prog = _xor_program()
+        xb = CrossbarArray(4, 32)
+        with pytest.raises(CrossbarError, match="missing value"):
+            execute_program(prog, xb, rows=[0], inputs={"a": 1})
+
+    def test_no_rows_rejected(self):
+        with pytest.raises(CrossbarError):
+            execute_program(_xor_program(), CrossbarArray(4, 32), rows=[])
+
+    def test_row_too_wide_for_crossbar(self):
+        with pytest.raises(CrossbarError):
+            execute_program(_xor_program(row_size=64),
+                            CrossbarArray(4, 32), rows=[0],
+                            inputs={"a": 0, "b": 0})
+
+    def test_cycles_match_program(self):
+        prog = _xor_program()
+        xb = CrossbarArray(4, 32)
+        engine = MagicEngine(xb)
+        execute_program(prog, xb, rows=[0], inputs={"a": 1, "b": 0},
+                        engine=engine)
+        assert engine.cycle == prog.cycles
+
+
+class TestSimdExecution:
+    def test_parallel_rows_independent_data(self, rng):
+        """Fig. 1(a): each row computes the function on its own operands
+        with the same op sequence."""
+        prog = _xor_program()
+        xb = CrossbarArray(16, 32)
+        rows = [0, 3, 7, 15]
+        a = rng.integers(0, 2, 4).astype(bool)
+        b = rng.integers(0, 2, 4).astype(bool)
+        out = execute_program(prog, xb, rows=rows, inputs={"a": a, "b": b})
+        assert (out["y"].astype(bool) == (a ^ b)).all()
+
+    def test_simd_cycles_equal_single_row(self, rng):
+        prog = _xor_program()
+        xb1, xb2 = CrossbarArray(16, 32), CrossbarArray(16, 32)
+        e1, e2 = MagicEngine(xb1), MagicEngine(xb2)
+        execute_program(prog, xb1, rows=[0], inputs={"a": 1, "b": 0},
+                        engine=e1)
+        execute_program(prog, xb2, rows=list(range(16)),
+                        inputs={"a": np.ones(16, bool),
+                                "b": np.zeros(16, bool)}, engine=e2)
+        assert e1.cycle == e2.cycle
+
+    def test_untouched_rows_preserved(self, rng):
+        prog = _xor_program()
+        xb = CrossbarArray(8, 32)
+        sentinel = rng.integers(0, 2, 32)
+        xb.write_row(4, sentinel)
+        execute_program(prog, xb, rows=[0, 2], inputs={"a": 1, "b": 1})
+        assert (xb.read_row(4) == sentinel).all()
+
+    def test_input_shape_mismatch(self):
+        prog = _xor_program()
+        xb = CrossbarArray(8, 32)
+        with pytest.raises(CrossbarError):
+            execute_program(prog, xb, rows=[0, 1],
+                            inputs={"a": np.ones(3, bool),
+                                    "b": np.ones(2, bool)})
+
+
+class TestInputsAlreadyResident:
+    def test_execute_without_loading(self):
+        """inputs=None: operands are whatever the row already holds."""
+        prog = _xor_program()
+        xb = CrossbarArray(4, 32)
+        load_inputs(prog, xb, [2], {"a": 1, "b": 1})
+        out = execute_program(prog, xb, rows=[2], inputs=None)
+        assert int(out["y"][0]) == 0
+
+
+class TestConstPrograms:
+    def test_const_cells_written(self):
+        net = LogicNetwork()
+        a = net.input("a")
+        net.output("k1", net.const1())
+        net.output("k0", net.const0())
+        net.output("pass", a)
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=16))
+        xb = CrossbarArray(2, 16)
+        out = execute_program(prog, xb, rows=[0], inputs={"a": 1})
+        assert int(out["k1"][0]) == 1
+        assert int(out["k0"][0]) == 0
+        assert int(out["pass"][0]) == 1
+
+
+class TestEndToEndCircuits:
+    """Full pipeline: circuit -> NOR -> SIMPLER -> crossbar == golden."""
+
+    @pytest.mark.parametrize("name,row_size", [
+        ("ctrl", 256), ("dec", 1020), ("int2float", 256), ("cavlc", 640),
+    ])
+    def test_small_benchmarks_on_hardware(self, name, row_size, rng):
+        from repro.circuits import BENCHMARKS
+        spec = BENCHMARKS[name]
+        nor = map_to_nor(spec.build())
+        prog = synthesize(nor, SimplerConfig(row_size=row_size))
+        xb = CrossbarArray(4, row_size)
+        rows = [1, 3]
+        vectors = {nm: rng.integers(0, 2, 2).astype(bool)
+                   for nm in nor.input_names}
+        out = execute_program(prog, xb, rows=rows, inputs=vectors)
+        for lane in range(2):
+            assignment = {nm: int(vectors[nm][lane])
+                          for nm in nor.input_names}
+            expected = spec.golden(assignment)
+            for oname, val in expected.items():
+                assert int(out[oname][lane]) == int(val), (name, oname)

@@ -1,0 +1,92 @@
+"""Unit tests for the ECC-aware list-order emission strategy."""
+
+import pytest
+
+from repro.circuits.registry import BENCHMARKS
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.verify import random_vectors
+from repro.synth.ecc_scheduler import EccTimingModel, schedule_with_ecc
+from repro.synth.executor import execute_program
+from repro.synth.program import RowConst, RowNor
+from repro.synth.simpler import SimplerConfig, synthesize
+from repro.xbar.crossbar import CrossbarArray
+
+
+@pytest.fixture(scope="module")
+def adder_nor():
+    return map_to_nor(BENCHMARKS["adder"].build())
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["ctrl", "dec", "int2float"])
+    def test_list_order_preserves_function(self, name, rng):
+        spec = BENCHMARKS[name]
+        nor = map_to_nor(spec.build())
+        prog = synthesize(nor, SimplerConfig(row_size=1020, order="list"))
+        xb = CrossbarArray(2, 1020)
+        vectors = random_vectors(nor.input_names, 2, seed=3)
+        outs = execute_program(prog, xb, [0, 1], vectors)
+        expected = nor.evaluate(vectors)
+        for oname in expected:
+            assert (outs[oname].astype(bool) == expected[oname]).all()
+
+    def test_same_gate_count_as_other_orders(self, adder_nor):
+        by_order = {}
+        for order in ("cu-dfs", "topological", "list"):
+            prog = synthesize(adder_nor, SimplerConfig(order=order))
+            by_order[order] = prog.gate_ops
+        assert len(set(by_order.values())) == 1
+
+    def test_all_needed_gates_emitted_once(self, adder_nor):
+        prog = synthesize(adder_nor, SimplerConfig(order="list"))
+        emitted = [op.node_id for op in prog.ops
+                   if isinstance(op, (RowNor, RowConst))]
+        assert len(emitted) == len(set(emitted)) == adder_nor.num_gates
+
+
+class TestCriticalSpacing:
+    def _min_gap(self, prog):
+        gaps = []
+        last = None
+        for i, op in enumerate(prog.ops):
+            if isinstance(op, (RowNor, RowConst)) and op.is_output:
+                if last is not None:
+                    gaps.append(i - last)
+                last = i
+        return min(gaps) if gaps else None
+
+    def test_spacing_increases_critical_gaps(self, adder_nor):
+        dense = synthesize(adder_nor, SimplerConfig(order="cu-dfs"))
+        spaced = synthesize(adder_nor, SimplerConfig(order="list",
+                                                     critical_spacing=8))
+        # The list order must achieve larger typical spacing; measure
+        # via PC stalls under scarce PCs, the metric that matters.
+        t = EccTimingModel(pc_count=2)
+        assert schedule_with_ecc(spaced, t).pc_stall_cycles < \
+            schedule_with_ecc(dense, t).pc_stall_cycles
+
+    def test_latency_win_on_adder_low_k(self, adder_nor):
+        """The headline effect: fewer PCs sustain the adder's output
+        stream when criticals are interleaved with interior gates."""
+        dense = synthesize(adder_nor, SimplerConfig(order="cu-dfs"))
+        spaced = synthesize(adder_nor, SimplerConfig(order="list"))
+        t = EccTimingModel(pc_count=2)
+        assert schedule_with_ecc(spaced, t).proposed_cycles < \
+            schedule_with_ecc(dense, t).proposed_cycles
+
+    def test_spacing_zero_degenerates(self, adder_nor):
+        prog = synthesize(adder_nor, SimplerConfig(order="list",
+                                                   critical_spacing=0))
+        assert prog.gate_ops == adder_nor.num_gates
+
+    def test_dec_cannot_be_saved(self):
+        """dec has 256 outputs among 368 gates: no padding supply, so
+        list order cannot beat cu-dfs meaningfully — documents the
+        limit of the optimization."""
+        nor = map_to_nor(BENCHMARKS["dec"].build())
+        dense = synthesize(nor, SimplerConfig(order="cu-dfs"))
+        spaced = synthesize(nor, SimplerConfig(order="list"))
+        t = EccTimingModel(pc_count=3)
+        a = schedule_with_ecc(dense, t).proposed_cycles
+        b = schedule_with_ecc(spaced, t).proposed_cycles
+        assert abs(a - b) < 0.1 * a

@@ -1,0 +1,210 @@
+"""Unit tests for the SIMPLER mapper (cell usage, ordering, allocation)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MappingError
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.logic.norlist import NorNetlist
+from repro.synth.program import RowInit, RowNor
+from repro.synth.simpler import (
+    SimplerConfig,
+    compute_cell_usage,
+    synthesize,
+)
+
+
+def _xor_netlist():
+    net = LogicNetwork()
+    a, b = net.input("a"), net.input("b")
+    net.output("y", net.xor(a, b))
+    return map_to_nor(net)
+
+
+class TestCellUsage:
+    def test_leaves_are_one(self):
+        nl = NorNetlist(["a", "b"])
+        cu = compute_cell_usage(nl)
+        assert cu == [1, 1]
+
+    def test_balanced_tree(self):
+        """CU(v) = max(CU(c1), CU(c2)+1) with equal children -> grows by
+        one per level."""
+        nl = NorNetlist(["a", "b", "c", "d"])
+        g1 = nl.add_gate((0, 1))
+        g2 = nl.add_gate((2, 3))
+        g3 = nl.add_gate((g1, g2))
+        cu = compute_cell_usage(nl)
+        assert cu[g1] == 2 and cu[g2] == 2
+        assert cu[g3] == 3
+
+    def test_chain_stays_flat(self):
+        nl = NorNetlist(["a"])
+        g = nl.add_gate((0,))
+        for _ in range(10):
+            g = nl.add_gate((g,))
+        assert compute_cell_usage(nl)[g] == 1
+
+
+class TestSynthesizeBasics:
+    def test_program_executles_ops_for_all_gates(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32))
+        assert prog.gate_ops == nor.num_gates
+
+    def test_opening_workspace_init(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32))
+        first = prog.ops[0]
+        assert isinstance(first, RowInit)
+        assert first.cells == tuple(range(nor.num_inputs, 32))
+
+    def test_inputs_occupy_first_cells(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32))
+        assert prog.input_cells == {0: 0, 1: 1}
+
+    def test_outputs_recorded(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32))
+        assert set(prog.output_cells) == {"y"}
+
+    def test_cycles_equal_ops(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32))
+        assert prog.cycles == len(prog.ops)
+
+    def test_too_many_inputs_rejected(self):
+        nl = NorNetlist([f"i{k}" for k in range(10)])
+        nl.add_output("y", nl.add_gate((0, 1)))
+        with pytest.raises(MappingError):
+            synthesize(nl, SimplerConfig(row_size=10))
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(MappingError):
+            synthesize(_xor_netlist(), SimplerConfig(order="zigzag"))
+
+
+class TestSingleAssignmentInvariant:
+    """Between initializations, every cell is written at most once, and
+    NOR operands must be live (defined, not reclaimed)."""
+
+    def _check_program(self, prog):
+        initialized = set(prog.ops[0].cells) if isinstance(prog.ops[0],
+                                                           RowInit) else set()
+        defined = {cell: "input" for cell in prog.input_cells.values()}
+        for op in prog.ops[1:]:
+            if isinstance(op, RowInit):
+                for cell in op.cells:
+                    initialized.add(cell)
+                    defined.pop(cell, None)
+            elif isinstance(op, RowNor):
+                assert op.out_cell in initialized, \
+                    f"write to uninitialized cell {op.out_cell}"
+                initialized.discard(op.out_cell)
+                for cell in op.in_cells:
+                    assert cell in defined or cell in \
+                        prog.input_cells.values(), \
+                        f"read of undefined cell {cell}"
+                defined[op.out_cell] = "gate"
+
+    def test_xor(self):
+        self._check_program(synthesize(_xor_netlist(),
+                                       SimplerConfig(row_size=32)))
+
+    def test_adder_with_tight_row(self):
+        from repro.circuits.adder import build_adder
+        nor = map_to_nor(build_adder(width=16))
+        prog = synthesize(nor, SimplerConfig(row_size=64))
+        self._check_program(prog)
+        assert prog.init_ops >= 1  # the tight row forces reuse
+
+
+class TestCellReuse:
+    def test_tight_row_triggers_init_batches(self):
+        from repro.circuits.adder import build_adder
+        nor = map_to_nor(build_adder(width=16))
+        loose = synthesize(nor, SimplerConfig(row_size=1020))
+        tight = synthesize(nor, SimplerConfig(row_size=64))
+        assert tight.init_ops > loose.init_ops
+        assert tight.gate_ops == loose.gate_ops
+
+    def test_peak_live_bounded_by_row(self):
+        from repro.circuits.adder import build_adder
+        nor = map_to_nor(build_adder(width=16))
+        prog = synthesize(nor, SimplerConfig(row_size=64))
+        assert prog.peak_live_cells <= 64
+
+    def test_impossible_row_raises(self):
+        from repro.circuits.adder import build_adder
+        nor = map_to_nor(build_adder(width=16))
+        with pytest.raises(MappingError):
+            synthesize(nor, SimplerConfig(row_size=36, order="cu-dfs"))
+
+    def test_input_reuse_flag(self):
+        """Without input reuse the voter-class live-set pressure rises:
+        all 31 inputs stay resident forever."""
+        from repro.circuits.voter import build_voter
+        nor = map_to_nor(build_voter(width=31))
+        reuse = synthesize(nor, SimplerConfig(row_size=64))
+        no_reuse = synthesize(nor, SimplerConfig(row_size=128,
+                                                 allow_input_reuse=False,
+                                                 order="topological"))
+        assert no_reuse.peak_live_cells >= reuse.peak_live_cells
+        assert no_reuse.peak_live_cells >= 31
+
+
+class TestOrderStrategies:
+    def test_auto_falls_back_to_topological(self):
+        """The 1001-input voter overflows under CU-DFS at n=1020 but maps
+        under construction order — 'auto' must succeed."""
+        from repro.circuits.voter import build_voter
+        nor = map_to_nor(build_voter(width=101))
+        prog = synthesize(nor, SimplerConfig(row_size=110, order="auto"))
+        assert prog.peak_live_cells <= 110
+
+    def test_explicit_topological(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32,
+                                             order="topological"))
+        assert prog.gate_ops == nor.num_gates
+
+    def test_dead_gates_skipped_in_topological(self):
+        """Gates unreachable from any output must not be scheduled."""
+        nl = NorNetlist(["a", "b"])
+        live = nl.add_gate((0, 1))
+        nl.add_gate((0,))  # dead
+        nl.add_output("y", live)
+        prog = synthesize(nl, SimplerConfig(row_size=16,
+                                            order="topological"))
+        assert prog.gate_ops == 1
+
+    def test_dead_gates_skipped_in_cu_dfs(self):
+        nl = NorNetlist(["a", "b"])
+        live = nl.add_gate((0, 1))
+        nl.add_gate((0,))  # dead
+        nl.add_output("y", live)
+        prog = synthesize(nl, SimplerConfig(row_size=16, order="cu-dfs"))
+        assert prog.gate_ops == 1
+
+
+class TestCriticalMarking:
+    def test_output_ops_marked_critical(self):
+        nor = _xor_netlist()
+        prog = synthesize(nor, SimplerConfig(row_size=32))
+        critical = [op for op in prog.ops
+                    if isinstance(op, RowNor) and op.is_output]
+        assert len(critical) == 1
+        assert prog.critical_ops == 1
+
+    def test_shared_output_counted_once_per_op(self):
+        """A node that is both an output and an internal fanin is still
+        one critical operation."""
+        net = LogicNetwork()
+        a, b = net.input("a"), net.input("b")
+        g = net.nor(a, b)
+        net.output("y1", g)
+        net.output("z", net.not_(g))
+        prog = synthesize(map_to_nor(net), SimplerConfig(row_size=16))
+        assert prog.critical_ops == 2  # the NOR (y1) and the NOT (z)

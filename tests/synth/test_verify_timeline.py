@@ -1,0 +1,142 @@
+"""Unit tests for program linting/verification and schedule timelines."""
+
+import pytest
+
+from repro.circuits.registry import BENCHMARKS
+from repro.errors import MappingError
+from repro.logic.netlist import LogicNetwork
+from repro.logic.nor_mapping import map_to_nor
+from repro.synth.ecc_scheduler import EccTimingModel, schedule_with_ecc
+from repro.synth.program import MagicProgram, RowInit, RowNor
+from repro.synth.simpler import SimplerConfig, synthesize
+from repro.synth.timeline import build_timeline
+from repro.synth.verify import (
+    assert_program_valid,
+    lint_program,
+    verify_program,
+)
+
+
+def _xor_program(row=32):
+    net = LogicNetwork()
+    a, b = net.input("a"), net.input("b")
+    net.output("y", net.xor(a, b))
+    return synthesize(map_to_nor(net), SimplerConfig(row_size=row))
+
+
+class TestLint:
+    def test_synthesized_programs_are_clean(self):
+        for name in ("ctrl", "dec", "int2float", "cavlc"):
+            nor = map_to_nor(BENCHMARKS[name].build())
+            prog = synthesize(nor, SimplerConfig(row_size=1020))
+            report = lint_program(prog)
+            assert report.clean, (name, report.violations[:3])
+
+    def test_all_orders_lint_clean(self):
+        nor = map_to_nor(BENCHMARKS["adder"].build())
+        for order in ("cu-dfs", "topological", "list"):
+            prog = synthesize(nor, SimplerConfig(order=order))
+            assert lint_program(prog).clean, order
+
+    def test_detects_uninitialized_write(self):
+        prog = _xor_program()
+        # Corrupt: drop the opening workspace init.
+        bad = MagicProgram(prog.netlist, prog.row_size,
+                           dict(prog.input_cells),
+                           dict(prog.output_cells),
+                           ops=list(prog.ops[1:]))
+        report = lint_program(bad)
+        assert not report.clean
+        assert any("uninitialized" in v for v in report.violations)
+
+    def test_detects_undefined_read(self):
+        prog = _xor_program()
+        bad = MagicProgram(prog.netlist, prog.row_size,
+                           dict(prog.input_cells),
+                           dict(prog.output_cells),
+                           ops=list(prog.ops))
+        bad.ops.append(RowNor(out_cell=31, in_cells=(30,), node_id=999))
+        bad.ops.insert(0, RowInit((31,)))
+        report = lint_program(bad)
+        assert any("undefined" in v for v in report.violations)
+
+    def test_detects_missing_output(self):
+        prog = _xor_program()
+        bad = MagicProgram(prog.netlist, prog.row_size,
+                           dict(prog.input_cells),
+                           {"y": 31},  # never written
+                           ops=list(prog.ops))
+        report = lint_program(bad)
+        assert any("holds no defined value" in v for v in report.violations)
+
+
+class TestVerifyProgram:
+    def test_exhaustive_for_small_inputs(self):
+        assert verify_program(_xor_program()) is None
+
+    def test_randomized_for_wide_inputs(self):
+        nor = map_to_nor(BENCHMARKS["priority"].build())
+        prog = synthesize(nor, SimplerConfig(row_size=1020))
+        assert verify_program(prog, trials=4, seed=1) is None
+
+    def test_detects_wrong_output_cell(self):
+        prog = _xor_program()
+        wrong = dict(prog.output_cells)
+        wrong["y"] = prog.input_cells[0]  # point output at input a
+        bad = MagicProgram(prog.netlist, prog.row_size,
+                           dict(prog.input_cells), wrong,
+                           ops=list(prog.ops))
+        assert verify_program(bad) is not None
+
+    def test_assert_program_valid_passes(self):
+        assert_program_valid(_xor_program())
+
+    def test_assert_program_valid_raises(self):
+        prog = _xor_program()
+        bad = MagicProgram(prog.netlist, prog.row_size,
+                           dict(prog.input_cells),
+                           dict(prog.output_cells),
+                           ops=list(prog.ops[1:]))
+        with pytest.raises(MappingError, match="lint failed"):
+            assert_program_valid(bad)
+
+
+class TestTimeline:
+    @pytest.fixture(scope="class")
+    def prog(self):
+        nor = map_to_nor(BENCHMARKS["ctrl"].build())
+        return synthesize(nor, SimplerConfig(row_size=1020))
+
+    def test_total_matches_scheduler(self, prog):
+        """The timeline must agree with the scheduler's commit finish."""
+        t = EccTimingModel(pc_count=3)
+        timeline = build_timeline(prog, t)
+        result = schedule_with_ecc(prog, t, count_commit_tail=True)
+        assert timeline.total_cycles == result.commit_finish
+
+    def test_mem_events_cover_all_ops(self, prog):
+        timeline = build_timeline(prog, EccTimingModel(pc_count=3))
+        mem_busy = sum(e.end - e.start
+                       for e in timeline.for_resource("mem"))
+        result = schedule_with_ecc(prog, EccTimingModel(pc_count=3))
+        # MEM busy = proposed minus the stall gaps.
+        assert mem_busy == result.proposed_cycles - result.pc_stall_cycles
+
+    def test_no_resource_overlap(self, prog):
+        timeline = build_timeline(prog, EccTimingModel(pc_count=3))
+        for resource in ("mem", "pc0", "pc1", "pc2", "cmem-port"):
+            events = timeline.for_resource(resource)
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start, (resource, a, b)
+
+    def test_utilization_bounds(self, prog):
+        timeline = build_timeline(prog, EccTimingModel(pc_count=3))
+        for resource in ("mem", "pc0"):
+            u = timeline.utilization(resource)
+            assert 0.0 < u <= 1.0
+
+    def test_render_contains_rows(self, prog):
+        timeline = build_timeline(prog, EccTimingModel(pc_count=2))
+        art = timeline.render(width=60)
+        assert "mem" in art and "pc0" in art and "pc1" in art
+        assert all(len(line) <= 75 for line in art.splitlines())

@@ -1,0 +1,51 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["no-such-command"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "adder" in out and "voter" in out
+
+    def test_table2_default(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "1248480" in out or "1.25e+06" in out
+        assert "Shifters" in out
+
+    def test_table2_custom_geometry(self, capsys):
+        assert main(["table2", "--n", "105", "--m", "5", "--k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Total" in out
+
+    def test_table1_subset(self, capsys):
+        assert main(["table1", "--benchmarks", "ctrl", "int2float"]) == 0
+        out = capsys.readouterr().out
+        assert "ctrl" in out and "int2float" in out
+        assert "Geo. Mean" in out
+
+    def test_fig6(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "FIT/bit" in out
+        assert "improvement" in out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "block-size" in out
+        assert "strawman" in out

@@ -1,0 +1,82 @@
+"""Unit tests for bit-vector helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.bitops import (
+    bits_to_int,
+    bools_to_bits,
+    int_to_bits,
+    pack_bits,
+    parity,
+    popcount,
+    unpack_bits,
+)
+
+
+class TestIntToBits:
+    def test_little_endian(self):
+        assert int_to_bits(6, 4) == [0, 1, 1, 0]
+
+    def test_zero(self):
+        assert int_to_bits(0, 3) == [0, 0, 0]
+
+    def test_full_width(self):
+        assert int_to_bits(15, 4) == [1, 1, 1, 1]
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == []
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bits(1, -2)
+
+
+class TestBitsToInt:
+    def test_roundtrip(self):
+        for v in (0, 1, 5, 127, 255):
+            assert bits_to_int(int_to_bits(v, 8)) == v
+
+    def test_numpy_input(self):
+        assert bits_to_int(np.array([1, 0, 1])) == 5
+
+    def test_empty(self):
+        assert bits_to_int([]) == 0
+
+
+class TestParityPopcount:
+    def test_parity_even(self):
+        assert parity([1, 1, 0]) == 0
+
+    def test_parity_odd(self):
+        assert parity([1, 1, 1]) == 1
+
+    def test_parity_empty(self):
+        assert parity([]) == 0
+
+    def test_popcount(self):
+        assert popcount([1, 0, 1, 1]) == 3
+
+    def test_popcount_matches_parity(self, ):
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            bits = rng.integers(0, 2, 31)
+            assert parity(bits) == popcount(bits) % 2
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(2)
+        bits = rng.integers(0, 2, 50).astype(np.uint8)
+        assert (unpack_bits(pack_bits(bits), 50) == bits).all()
+
+    def test_bools_to_bits(self):
+        assert bools_to_bits([True, False, True]) == [1, 0, 1]

@@ -1,0 +1,38 @@
+"""Unit tests for deterministic RNG plumbing."""
+
+import numpy as np
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).integers(0, 1000, 10)
+        b = make_rng(7).integers(0, 1000, 10)
+        assert (a == b).all()
+
+    def test_different_seeds_differ(self):
+        a = make_rng(7).integers(0, 1000, 10)
+        b = make_rng(8).integers(0, 1000, 10)
+        assert not (a == b).all()
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_children_reproducible(self):
+        a = [g.integers(0, 100, 3).tolist() for g in spawn_rngs(3, 4)]
+        b = [g.integers(0, 100, 3).tolist() for g in spawn_rngs(3, 4)]
+        assert a == b
+
+    def test_children_independent(self):
+        g1, g2 = spawn_rngs(3, 2)
+        assert g1.integers(0, 10**9) != g2.integers(0, 10**9)

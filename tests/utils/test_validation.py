@@ -1,0 +1,59 @@
+"""Unit tests for argument validation helpers."""
+
+import pytest
+
+from repro.errors import ConfigurationError, GeometryError
+from repro.utils.validation import (
+    check_index,
+    check_odd,
+    check_positive,
+    check_power_compatible,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, None])
+    def test_rejects(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_positive("x", bad)
+
+    def test_message_names_parameter(self):
+        with pytest.raises(ConfigurationError, match="block_size"):
+            check_positive("block_size", -3)
+
+
+class TestCheckOdd:
+    def test_accepts_odd(self):
+        check_odd("m", 15)
+
+    def test_rejects_even(self):
+        with pytest.raises(ConfigurationError, match="must be odd"):
+            check_odd("m", 14)
+
+
+class TestPowerCompatible:
+    def test_accepts_divisible(self):
+        check_power_compatible(1020, 15)
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(GeometryError):
+            check_power_compatible(1000, 15)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            check_power_compatible(0, 15)
+
+
+class TestCheckIndex:
+    def test_in_range(self):
+        check_index("i", 0, 5)
+        check_index("i", 4, 5)
+
+    @pytest.mark.parametrize("bad", [-1, 5, 100])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ConfigurationError):
+            check_index("i", bad, 5)

@@ -1,0 +1,166 @@
+"""Unit tests for the crossbar array."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, CrossbarError
+from repro.xbar.crossbar import CrossbarArray
+
+
+class TestConstruction:
+    def test_shape(self):
+        xb = CrossbarArray(4, 7)
+        assert xb.shape == (4, 7)
+        assert xb.size == 28
+
+    def test_starts_zeroed(self):
+        assert CrossbarArray(3, 3).snapshot().sum() == 0
+
+    @pytest.mark.parametrize("rows,cols", [(0, 5), (5, 0), (-1, 5)])
+    def test_rejects_bad_dims(self, rows, cols):
+        with pytest.raises(ConfigurationError):
+            CrossbarArray(rows, cols)
+
+
+class TestBitAccess:
+    def test_write_read_roundtrip(self):
+        xb = CrossbarArray(4, 4)
+        xb.write_bit(1, 2, 1)
+        assert xb.read_bit(1, 2) == 1
+        xb.write_bit(1, 2, 0)
+        assert xb.read_bit(1, 2) == 0
+
+    def test_out_of_range_read(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarArray(2, 2).read_bit(2, 0)
+
+    def test_out_of_range_write(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarArray(2, 2).write_bit(0, 5, 1)
+
+
+class TestVectorAccess:
+    def test_row_roundtrip(self, rng):
+        xb = CrossbarArray(5, 8)
+        vals = rng.integers(0, 2, 8)
+        xb.write_row(2, vals)
+        assert (xb.read_row(2) == vals).all()
+
+    def test_col_roundtrip(self, rng):
+        xb = CrossbarArray(8, 5)
+        vals = rng.integers(0, 2, 8)
+        xb.write_col(3, vals)
+        assert (xb.read_col(3) == vals).all()
+
+    def test_partial_row(self):
+        xb = CrossbarArray(4, 8)
+        xb.write_row(0, [1, 1], cols=[2, 5])
+        assert xb.read_bit(0, 2) == 1
+        assert xb.read_bit(0, 5) == 1
+        assert xb.read_row(0).sum() == 2
+
+    def test_partial_col_read(self):
+        xb = CrossbarArray(6, 3)
+        xb.write_col(1, [1, 1, 1, 1, 1, 1])
+        assert (xb.read_col(1, rows=[0, 5]) == [1, 1]).all()
+
+    def test_row_length_mismatch(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(3, 4).write_row(0, [1, 0])
+
+    def test_col_length_mismatch(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(3, 4).write_col(0, [1, 0])
+
+
+class TestRegionAccess:
+    def test_region_roundtrip(self, rng):
+        xb = CrossbarArray(6, 6)
+        block = rng.integers(0, 2, (3, 4))
+        xb.write_region(1, 2, block)
+        assert (xb.read_region(1, 2, 3, 4) == block).all()
+
+    def test_region_out_of_bounds(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(4, 4).read_region(2, 2, 3, 3)
+
+    def test_fill(self):
+        xb = CrossbarArray(3, 3)
+        xb.fill(1)
+        assert xb.snapshot().sum() == 9
+
+
+class TestFaultInjection:
+    def test_flip_inverts(self):
+        xb = CrossbarArray(3, 3)
+        xb.flip(1, 1)
+        assert xb.read_bit(1, 1) == 1
+        xb.flip(1, 1)
+        assert xb.read_bit(1, 1) == 0
+
+    def test_flip_many(self):
+        xb = CrossbarArray(4, 4)
+        xb.flip_many([0, 1, 2], [0, 1, 2])
+        assert xb.total_flips == 3
+        assert xb.snapshot().trace() == 3
+
+    def test_flip_many_length_mismatch(self):
+        with pytest.raises(CrossbarError):
+            CrossbarArray(4, 4).flip_many([0, 1], [0])
+
+    def test_flip_bypasses_observers(self):
+        xb = CrossbarArray(3, 3)
+        calls = []
+        xb.add_write_observer(lambda *a: calls.append(a))
+        xb.flip(0, 0)
+        assert calls == []
+
+
+class TestObservers:
+    def test_observer_sees_old_and_new(self):
+        xb = CrossbarArray(3, 3)
+        seen = []
+        xb.add_write_observer(
+            lambda rows, cols, old, new: seen.append(
+                (rows.tolist(), cols.tolist(), old.tolist(), new.tolist())))
+        xb.write_bit(1, 2, 1)
+        assert seen == [([1], [2], [False], [True])]
+
+    def test_suspension_context(self):
+        xb = CrossbarArray(3, 3)
+        calls = []
+        xb.add_write_observer(lambda *a: calls.append(1))
+        with xb.observers_suspended():
+            xb.write_bit(0, 0, 1)
+        assert calls == []
+        xb.write_bit(0, 1, 1)
+        assert calls == [1]
+
+    def test_suspension_restores_on_exception(self):
+        xb = CrossbarArray(3, 3)
+        xb.add_write_observer(lambda *a: None)
+        with pytest.raises(RuntimeError):
+            with xb.observers_suspended():
+                raise RuntimeError("boom")
+        assert len(xb._observers) == 1
+
+    def test_remove_observer(self):
+        xb = CrossbarArray(3, 3)
+        obs = lambda *a: None
+        xb.add_write_observer(obs)
+        xb.remove_write_observer(obs)
+        assert xb._observers == []
+
+
+class TestCounters:
+    def test_write_counts(self):
+        xb = CrossbarArray(3, 3)
+        xb.write_bit(0, 0, 1)
+        xb.write_bit(0, 0, 0)
+        assert xb.write_count(0, 0) == 2
+        assert xb.total_writes == 2
+
+    def test_region_write_counts_each_cell(self):
+        xb = CrossbarArray(3, 3)
+        xb.write_region(0, 0, np.ones((2, 2)))
+        assert xb.total_writes == 4

@@ -1,0 +1,149 @@
+"""Unit tests for MAGIC gate semantics (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MagicOperationError, UninitializedOutputError
+from repro.xbar.crossbar import CrossbarArray
+from repro.xbar.magic import MagicEngine
+from repro.xbar.ops import Axis, MagicNorOp
+
+
+@pytest.fixture
+def xb():
+    return CrossbarArray(8, 8)
+
+
+@pytest.fixture
+def engine(xb):
+    return MagicEngine(xb)
+
+
+class TestRowNor:
+    @pytest.mark.parametrize("a,b,expected", [(0, 0, 1), (0, 1, 0),
+                                              (1, 0, 0), (1, 1, 0)])
+    def test_truth_table(self, xb, engine, a, b, expected):
+        xb.write_bit(0, 0, a)
+        xb.write_bit(0, 1, b)
+        engine.init(Axis.ROW, [2], [0])
+        engine.nor(Axis.ROW, [0, 1], 2, [0])
+        assert xb.read_bit(0, 2) == expected
+
+    def test_not_truth_table(self, xb, engine):
+        xb.write_bit(0, 0, 1)
+        xb.write_bit(1, 0, 0)
+        engine.init(Axis.ROW, [1], [0, 1])
+        engine.nor(Axis.ROW, [0], 1, [0, 1])
+        assert xb.read_bit(0, 1) == 0
+        assert xb.read_bit(1, 1) == 1
+
+    def test_row_parallelism_one_cycle(self, xb, engine, rng):
+        """Fig. 1(a): the same gate across all rows costs one cycle."""
+        a = rng.integers(0, 2, 8)
+        b = rng.integers(0, 2, 8)
+        xb.write_col(0, a)
+        xb.write_col(1, b)
+        engine.init(Axis.ROW, [2], range(8))
+        start = engine.cycle
+        engine.nor(Axis.ROW, [0, 1], 2, range(8))
+        assert engine.cycle - start == 1
+        expected = (~(a.astype(bool) | b.astype(bool)))
+        assert (xb.read_col(2).astype(bool) == expected).all()
+
+
+class TestColNor:
+    def test_col_parallelism(self, xb, engine, rng):
+        """Fig. 1(b): in-column gates across all columns in one cycle."""
+        a = rng.integers(0, 2, 8)
+        b = rng.integers(0, 2, 8)
+        xb.write_row(0, a)
+        xb.write_row(1, b)
+        engine.init(Axis.COL, [2], range(8))
+        start = engine.cycle
+        engine.nor(Axis.COL, [0, 1], 2, range(8))
+        assert engine.cycle - start == 1
+        expected = (~(a.astype(bool) | b.astype(bool)))
+        assert (xb.read_row(2).astype(bool) == expected).all()
+
+    def test_subset_of_lanes(self, xb, engine):
+        xb.write_row(0, [0] * 8)
+        engine.init(Axis.COL, [1], [2, 5])
+        engine.nor(Axis.COL, [0], 1, [2, 5])
+        # Only lanes 2 and 5 computed NOT(0)=1; others untouched (0).
+        assert (xb.read_row(1) == np.array([0, 0, 1, 0, 0, 1, 0, 0])).all()
+
+
+class TestDeviceAccurateSemantics:
+    def test_strict_rejects_uninitialized_output(self, xb, engine):
+        with pytest.raises(UninitializedOutputError):
+            engine.nor(Axis.ROW, [0, 1], 2, [0])
+
+    def test_permissive_and_semantics(self, xb):
+        """Unstrict mode: HRS output stays HRS (out &= NOR(inputs))."""
+        engine = MagicEngine(xb, strict=False)
+        xb.write_bit(0, 0, 0)
+        xb.write_bit(0, 1, 0)
+        # Output NOT initialized (HRS): NOR result would be 1, but the
+        # device cannot switch HRS -> LRS during a gate.
+        engine.nor(Axis.ROW, [0, 1], 2, [0])
+        assert xb.read_bit(0, 2) == 0
+
+    def test_permissive_initialized_behaves_normally(self, xb):
+        engine = MagicEngine(xb, strict=False)
+        engine.init(Axis.ROW, [2], [0])
+        engine.nor(Axis.ROW, [0, 1], 2, [0])
+        assert xb.read_bit(0, 2) == 1
+
+
+class TestInit:
+    def test_init_sets_lrs(self, xb, engine):
+        engine.init(Axis.ROW, [0, 3, 5], [1, 2])
+        snap = xb.snapshot()
+        assert snap[1, 0] == snap[1, 3] == snap[1, 5] == 1
+        assert snap[2, 0] == snap[2, 3] == snap[2, 5] == 1
+        assert snap.sum() == 6
+
+    def test_init_one_cycle_regardless_of_size(self, xb, engine):
+        start = engine.cycle
+        engine.init(Axis.ROW, range(8), range(8))
+        assert engine.cycle - start == 1
+
+
+class TestValidation:
+    def test_output_overlapping_input_rejected(self):
+        with pytest.raises(ValueError):
+            MagicNorOp(Axis.ROW, (1, 2), 2, (0,))
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            MagicNorOp(Axis.ROW, (), 2, (0,))
+
+    def test_empty_lanes_rejected(self):
+        with pytest.raises(ValueError):
+            MagicNorOp(Axis.ROW, (0,), 2, ())
+
+    def test_out_of_bounds_lane(self, xb, engine):
+        with pytest.raises(MagicOperationError):
+            engine.init(Axis.ROW, [0], [99])
+
+    def test_engine_rejects_unknown_op(self, engine):
+        with pytest.raises(MagicOperationError):
+            engine.execute("not an op")
+
+    def test_tick_negative_rejected(self, engine):
+        with pytest.raises(MagicOperationError):
+            engine.tick(-1)
+
+
+class TestTraceIntegration:
+    def test_ops_recorded_with_cycles(self, xb, engine):
+        engine.init(Axis.ROW, [2], [0])
+        engine.nor(Axis.ROW, [0, 1], 2, [0])
+        assert engine.trace.cycles == 2
+        assert engine.trace.gate_ops == 1
+        assert engine.trace.init_ops == 1
+
+    def test_tick_advances_clock_without_record(self, xb, engine):
+        engine.tick(5)
+        assert engine.cycle == 5
+        assert len(engine.trace) == 0

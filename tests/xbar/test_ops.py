@@ -1,0 +1,58 @@
+"""Unit tests for operation descriptors."""
+
+import pytest
+
+from repro.xbar.ops import Axis, CopyOp, InitOp, MagicNorOp, OpKind
+
+
+class TestAxis:
+    def test_transpose(self):
+        assert Axis.ROW.transpose() is Axis.COL
+        assert Axis.COL.transpose() is Axis.ROW
+
+    def test_double_transpose_identity(self):
+        for axis in Axis:
+            assert axis.transpose().transpose() is axis
+
+
+class TestMagicNorOp:
+    def test_is_not_for_single_input(self):
+        op = MagicNorOp(Axis.ROW, (3,), 4, (0,))
+        assert op.is_not
+
+    def test_is_not_false_for_two_inputs(self):
+        op = MagicNorOp(Axis.ROW, (3, 5), 4, (0,))
+        assert not op.is_not
+
+    def test_duplicate_inputs_allowed(self):
+        # NOR(a, a) == NOT(a); physically both input lines select the
+        # same device.
+        op = MagicNorOp(Axis.ROW, (3, 3), 4, (0,))
+        assert op.inputs == (3, 3)
+
+    def test_frozen(self):
+        op = MagicNorOp(Axis.ROW, (0,), 1, (0,))
+        with pytest.raises(AttributeError):
+            op.output = 9
+
+
+class TestInitOp:
+    def test_requires_targets(self):
+        with pytest.raises(ValueError):
+            InitOp(Axis.ROW, (), (0,))
+
+    def test_requires_lanes(self):
+        with pytest.raises(ValueError):
+            InitOp(Axis.ROW, (0,), ())
+
+
+class TestCopyOp:
+    def test_defaults_inverting(self):
+        op = CopyOp(Axis.ROW, 3, "cmem", (0, 1))
+        assert op.invert  # MAGIC moves data with NOT copies
+
+
+class TestOpKind:
+    def test_values_distinct(self):
+        values = [k.value for k in OpKind]
+        assert len(values) == len(set(values))

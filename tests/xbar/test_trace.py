@@ -1,0 +1,48 @@
+"""Unit tests for execution traces."""
+
+from repro.xbar.ops import Axis, InitOp, MagicNorOp, OpKind
+from repro.xbar.trace import ExecutionTrace
+
+
+def _nor():
+    return MagicNorOp(Axis.ROW, (0,), 1, (0,))
+
+
+def _init():
+    return InitOp(Axis.ROW, (1,), (0,))
+
+
+class TestTrace:
+    def test_empty_trace(self):
+        t = ExecutionTrace()
+        assert t.cycles == 0
+        assert len(t) == 0
+        assert t.gate_ops == 0
+
+    def test_cycles_from_last_record(self):
+        t = ExecutionTrace()
+        t.append(0, OpKind.INIT, _init())
+        t.append(5, OpKind.NOR, _nor())
+        assert t.cycles == 6
+
+    def test_counters(self):
+        t = ExecutionTrace()
+        t.append(0, OpKind.INIT, _init())
+        t.append(1, OpKind.NOR, _nor())
+        t.append(2, OpKind.NOR, _nor())
+        assert t.gate_ops == 2
+        assert t.init_ops == 1
+        assert t.count(OpKind.COPY) == 0
+
+    def test_summary(self):
+        t = ExecutionTrace()
+        t.append(0, OpKind.NOR, _nor())
+        s = t.summary()
+        assert s["nor"] == 1
+        assert s["cycles"] == 1
+
+    def test_iteration_order(self):
+        t = ExecutionTrace()
+        for i in range(3):
+            t.append(i, OpKind.NOR, _nor(), note=str(i))
+        assert [r.note for r in t] == ["0", "1", "2"]
