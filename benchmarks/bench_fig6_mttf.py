@@ -90,7 +90,25 @@ def test_montecarlo_paper_block_size(benchmark):
         return validate_against_model(grid, p=0.008, trials=50, seed=7)
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report["consistent"]
+
+
+def test_montecarlo_large_sample_batched(benchmark):
+    """E7 at a sample size the scalar loop could not afford.
+
+    The estimator now runs on the vectorized batch sweep, so the
+    binomial-model validation can use an order of magnitude more trials
+    — shrinking the sampling error band the 'consistent' check works in.
+    """
+    grid = BlockGrid(15, 5)
+
+    def run():
+        return validate_against_model(grid, p=0.02, trials=1500, seed=11)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
     assert report["consistent"], report
+    assert report["miscorrections"] == 0
+    assert report["blocks"] == 1500 * grid.block_count, report
 
 
 def test_conservative_variant_same_order(benchmark):

@@ -14,7 +14,11 @@ from repro.analysis.latency import LatencyRow, run_table1
 from repro.analysis.area_report import run_table2
 from repro.analysis.figures import fig6_series, render_loglog
 from repro.analysis.report import format_table, geomean
-from repro.analysis.scrub import minimum_negligible_period, scrub_bandwidth
+from repro.analysis.scrub import (
+    empirical_scrub_failure,
+    minimum_negligible_period,
+    scrub_bandwidth,
+)
 from repro.analysis.endurance import endurance_report
 from repro.analysis.switching import switching_report
 
@@ -27,6 +31,7 @@ __all__ = [
     "format_table",
     "geomean",
     "scrub_bandwidth",
+    "empirical_scrub_failure",
     "minimum_negligible_period",
     "endurance_report",
     "switching_report",

@@ -3,7 +3,9 @@
 Paper Sec. V-A chooses ``T = 24 h`` "to have negligible performance
 impact while still providing adequate reliability" — a claim stated
 without numbers. This module computes the numbers: what fraction of MEM
-cycles does a full periodic sweep consume at a given check period?
+cycles does a full periodic sweep consume at a given check period, and —
+via the batched campaign engine — what failure rate a crossbar actually
+accumulates over one scrub window?
 
 Per crossbar, one sweep checks ``(n/m)^2`` blocks; each block costs
 ``m`` MEM copy cycles (the CMEM-side XOR tree runs off the MEM critical
@@ -17,7 +19,11 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.arch.config import ArchConfig
+from repro.core.blocks import BlockGrid
 from repro.devices.models import DEFAULT_DEVICE, DeviceParameters
+from repro.faults.batch import CampaignRunner
+from repro.faults.injector import UniformInjector
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,36 @@ def scrub_bandwidth(config: Optional[ArchConfig] = None,
         cycles_per_period=cycles_per_period,
         bandwidth_fraction=sweep_cycles / cycles_per_period,
     )
+
+
+def empirical_scrub_failure(grid: BlockGrid, ser_fit_per_bit: float,
+                            period_hours: float, trials: int,
+                            seed: SeedLike = 0, workers: int = 1,
+                            include_check_bits: bool = True) -> dict:
+    """Monte-Carlo failure statistics of one scrub window.
+
+    Exposes a protected crossbar to uniform upsets for ``period_hours``
+    at the given SER, then runs the full check sweep — the empirical
+    counterpart of the analytic window-survival term that picks ``T``.
+    Runs on the batched campaign engine (sharded across ``workers``
+    processes when asked), so realistic trial counts are feasible.
+    """
+    if period_hours <= 0:
+        raise ValueError(f"period must be positive: {period_hours}")
+    injector = UniformInjector.from_ser(ser_fit_per_bit, period_hours,
+                                        include_check_bits=include_check_bits)
+    runner = CampaignRunner(grid, injector, seed=seed,
+                            include_check_bits=include_check_bits,
+                            workers=workers,
+                            seeding="per-trial")
+    result = runner.run(trials)
+    report = result.as_dict()
+    report.update({
+        "ser_fit_per_bit": ser_fit_per_bit,
+        "period_hours": period_hours,
+        "per_bit_probability": injector.probability,
+    })
+    return report
 
 
 def minimum_negligible_period(config: Optional[ArchConfig] = None,

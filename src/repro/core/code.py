@@ -77,6 +77,46 @@ class Uncorrectable:
 DecodeOutcome = Union[NoError, DataError, CheckBitError, Uncorrectable]
 
 
+#: Per-block status codes used by the vectorized batch decoder. The two
+#: check-bit planes get distinct codes (the scalar decoder distinguishes
+#: them via ``CheckBitError.plane``).
+BATCH_NO_ERROR = 0
+BATCH_DATA_ERROR = 1
+BATCH_LEAD_CHECK_ERROR = 2
+BATCH_CTR_CHECK_ERROR = 3
+BATCH_UNCORRECTABLE = 4
+
+
+@dataclass(frozen=True)
+class BatchDecode:
+    """Vectorized decode of every block of a ``(B, n, n)`` stack.
+
+    ``status`` is ``(B, b, b)`` of ``BATCH_*`` codes; ``lead_index`` and
+    ``ctr_index`` are the argmax positions of each syndrome plane — only
+    meaningful where the corresponding status consumes them (the data
+    position for ``BATCH_DATA_ERROR``, the faulty check-bit diagonal for
+    the two check-error codes).
+    """
+
+    m: int
+    status: np.ndarray
+    lead_index: np.ndarray
+    ctr_index: np.ndarray
+
+    def data_error_positions(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Block-local ``(rows, cols)`` planes solving the diagonal pair.
+
+        Valid only where ``status == BATCH_DATA_ERROR``; elsewhere the
+        values are meaningless (computed from zero syndromes). Uses the
+        same modular inverse of 2 as :func:`repro.core.diagonals
+        .solve_position`.
+        """
+        inv2 = (self.m + 1) // 2
+        rows = ((self.lead_index + self.ctr_index) * inv2) % self.m
+        cols = ((self.lead_index - self.ctr_index) * inv2) % self.m
+        return rows, cols
+
+
 class DiagonalParityCode:
     """Encoder/decoder for the per-block diagonal parity code."""
 
@@ -126,6 +166,38 @@ class DiagonalParityCode:
             store.ctr[d] = np.bitwise_xor.reduce(tiles[:, rs, :, cs], axis=0)
         return store
 
+    def encode_batch(self, data: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Parity planes for a stack of ``B`` crossbars at once.
+
+        ``data`` is ``(B, n, n)``; returns ``(lead, ctr)`` planes of shape
+        ``(B, m, n/m, n/m)`` — the per-trial analogue of the
+        :class:`CheckStore` layout. This is the batched-campaign hot path:
+        one gather + XOR-reduce per diagonal covers every block of every
+        trial simultaneously.
+        """
+        n, m = self.grid.n, self.grid.m
+        data = np.asarray(data, dtype=np.uint8)
+        if data.ndim != 3 or data.shape[1:] != (n, n):
+            raise ValueError(f"expected (B, {n}, {n}) data, got {data.shape}")
+        b = self.grid.blocks_per_side
+        batch = data.shape[0]
+        tiles = data.reshape(batch, b, m, b, m)
+        r = np.arange(m)[:, None]
+        c = np.arange(m)[None, :]
+        lead_idx = (r + c) % m
+        ctr_idx = (r - c) % m
+        lead = np.empty((batch, m, b, b), dtype=np.uint8)
+        ctr = np.empty((batch, m, b, b), dtype=np.uint8)
+        for d in range(m):
+            # tiles[:, :, rs, :, cs] gathers the m cells of diagonal d from
+            # every block of every trial: shape (m, B, b, b) with the
+            # advanced axis first; XOR-reduce over the gathered cells.
+            rs, cs = np.nonzero(lead_idx == d)
+            lead[:, d] = np.bitwise_xor.reduce(tiles[:, :, rs, :, cs], axis=0)
+            rs, cs = np.nonzero(ctr_idx == d)
+            ctr[:, d] = np.bitwise_xor.reduce(tiles[:, :, rs, :, cs], axis=0)
+        return lead, ctr
+
     # ------------------------------------------------------------------ #
     # Syndromes and decoding
     # ------------------------------------------------------------------ #
@@ -162,6 +234,42 @@ class DiagonalParityCode:
         """Syndrome + decode in one call."""
         lead_s, ctr_s = self.syndrome_block(block, lead_bits, ctr_bits)
         return self.decode(lead_s, ctr_s)
+
+    def syndrome_batch(self, data: np.ndarray, lead_bits: np.ndarray,
+                       ctr_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Syndrome planes for a ``(B, n, n)`` stack of crossbars.
+
+        ``lead_bits``/``ctr_bits`` are ``(B, m, n/m, n/m)`` stored
+        check-bit planes (e.g. from :meth:`encode_batch` on golden data);
+        the result has the same shape.
+        """
+        lead, ctr = self.encode_batch(data)
+        return (lead ^ np.asarray(lead_bits, dtype=np.uint8),
+                ctr ^ np.asarray(ctr_bits, dtype=np.uint8))
+
+    def decode_batch(self, lead_syndrome: np.ndarray,
+                     ctr_syndrome: np.ndarray) -> "BatchDecode":
+        """Classify every block of every trial in one vectorized pass.
+
+        Input planes are ``(B, m, b, b)``; the result holds one status
+        code per ``(trial, block_row, block_col)`` plus the syndrome
+        positions needed to apply corrections (see :class:`BatchDecode`).
+        """
+        lead_syndrome = np.asarray(lead_syndrome, dtype=np.uint8)
+        ctr_syndrome = np.asarray(ctr_syndrome, dtype=np.uint8)
+        lead_ones = lead_syndrome.sum(axis=1, dtype=np.int64)
+        ctr_ones = ctr_syndrome.sum(axis=1, dtype=np.int64)
+        status = np.full(lead_ones.shape, BATCH_UNCORRECTABLE, dtype=np.uint8)
+        status[(lead_ones == 0) & (ctr_ones == 0)] = BATCH_NO_ERROR
+        status[(lead_ones == 1) & (ctr_ones == 1)] = BATCH_DATA_ERROR
+        status[(lead_ones == 1) & (ctr_ones == 0)] = BATCH_LEAD_CHECK_ERROR
+        status[(lead_ones == 0) & (ctr_ones == 1)] = BATCH_CTR_CHECK_ERROR
+        return BatchDecode(
+            m=self.grid.m,
+            status=status,
+            lead_index=np.argmax(lead_syndrome, axis=1),
+            ctr_index=np.argmax(ctr_syndrome, axis=1),
+        )
 
     # ------------------------------------------------------------------ #
     # Code parameters

@@ -18,6 +18,7 @@ from repro.faults.ser import (
     probability_from_fit,
 )
 from repro.faults.injector import (
+    BatchInjectionResult,
     BurstInjector,
     CheckBitInjector,
     DeterministicInjector,
@@ -26,6 +27,12 @@ from repro.faults.injector import (
     UniformInjector,
 )
 from repro.faults.campaign import CampaignResult, FaultCampaign
+from repro.faults.batch import (
+    BatchCampaign,
+    CampaignRunner,
+    merge_results,
+    run_reference,
+)
 from repro.faults.drift import DriftModel, DriftSimulator
 
 __all__ = [
@@ -41,8 +48,13 @@ __all__ = [
     "BurstInjector",
     "CheckBitInjector",
     "InjectionResult",
+    "BatchInjectionResult",
     "FaultCampaign",
     "CampaignResult",
+    "BatchCampaign",
+    "CampaignRunner",
+    "merge_results",
+    "run_reference",
     "DriftModel",
     "DriftSimulator",
 ]

@@ -1,0 +1,342 @@
+"""Batched Monte-Carlo campaign engine.
+
+The scalar :class:`repro.faults.campaign.FaultCampaign` runs one trial at
+a time: fresh crossbar, encode, inject, full Python-loop check sweep.
+That loop is the slowest path in the repo (the Sec. V-A binomial-model
+validation and the MTTF benches all sit on it). This module runs ``B``
+trials as stacked tensors instead:
+
+* data fill        — ``(B, n, n)`` uint8 stack, one trial per slice;
+* check planes     — ``(B, m, b, b)`` leading/counter stacks
+  (:meth:`repro.core.code.DiagonalParityCode.encode_batch`);
+* injection        — :meth:`repro.faults.injector.FaultInjector
+  .inject_batch`, flat ground-truth event arrays;
+* check sweep      — :func:`repro.core.checker.check_all_batched`, one
+  vectorized syndrome/decode/correct pass over every block of every
+  trial;
+* classification   — golden compare + per-trial reductions into the same
+  :class:`repro.faults.campaign.CampaignResult` tallies the scalar
+  campaign produces.
+
+Seeding + sharding contract
+===========================
+
+The engine has two seeding modes, selected by ``seeding=``:
+
+``"sequential"`` (default for single-process runs)
+    The campaign seed feeds one data-fill stream and the injector keeps
+    its own stream, both consumed trial by trial in scalar order. A
+    sequential batched run is **bit-for-bit identical** to
+    ``FaultCampaign(grid, injector, seed).run(trials)`` with the same
+    seeds, for any ``batch_size`` — the per-trial draws are issued as
+    separate generator calls precisely so chunking can never change the
+    stream. This mode cannot be sharded (shard ``k`` would need shard
+    ``k-1``'s stream position).
+
+``"per-trial"`` (default and required for multi-process runs)
+    Trial ``i`` derives its own :class:`numpy.random.SeedSequence` child
+    ``SeedSequence(entropy, spawn_key=(i,))`` from the campaign's root
+    entropy and splits it into a data-fill stream and an injection
+    stream. Because the mapping depends only on ``(entropy, i)``, the
+    tallies are invariant under the shard layout: any ``workers`` count,
+    any ``batch_size``, and any contiguous partition of the trial range
+    produce identical results. The scalar replay of the same contract is
+    :func:`run_reference`, which drives ``FaultCampaign.run_trial`` with
+    the same per-trial streams — the differential harness in
+    ``tests/faults/test_batch_equivalence.py`` pins both equivalences.
+
+Sharding uses a ``concurrent.futures`` process pool: trials are split
+into contiguous ranges (:func:`repro.utils.rng.shard_bounds`), each
+worker rebuilds the engine from the picklable (grid, injector, entropy)
+triple and runs its range in ``batch_size`` chunks. Peak memory per
+worker is about ``5 * batch_size * n**2`` bytes (data + golden + masks),
+so large-``n`` sweeps should lower ``batch_size`` rather than trials.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.core.checker import check_all_batched
+from repro.core.code import DiagonalParityCode
+from repro.faults.campaign import CampaignResult, FaultCampaign
+from repro.faults.injector import FaultInjector
+from repro.utils.rng import (
+    SeedLike,
+    make_rng,
+    resolve_entropy,
+    shard_bounds,
+    trial_rngs,
+)
+
+#: Default trials per vectorized block; ~5 * 64 * n^2 bytes of peak state.
+DEFAULT_BATCH_SIZE = 64
+
+
+def merge_results(results: Sequence[CampaignResult]) -> CampaignResult:
+    """Sum campaign tallies (shards of one run, or repeated runs)."""
+    out = CampaignResult()
+    for r in results:
+        out.trials += r.trials
+        out.clean += r.clean
+        out.corrected += r.corrected
+        out.detected += r.detected
+        out.silent += r.silent
+        out.injected_faults += r.injected_faults
+        out.blocks_with_multi_faults += r.blocks_with_multi_faults
+    return out
+
+
+class BatchCampaign:
+    """Vectorized inject-check-verify engine over stacked trials.
+
+    Produces the same :class:`CampaignResult` tallies as the scalar
+    :class:`FaultCampaign` (see the module docstring for the exact
+    equivalence contract per seeding mode).
+    """
+
+    def __init__(self, grid: BlockGrid, injector: FaultInjector,
+                 seed: SeedLike = None, include_check_bits: bool = True,
+                 batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
+        self.grid = grid
+        self.injector = injector
+        self.rng = make_rng(seed)
+        self.include_check_bits = include_check_bits
+        self.batch_size = batch_size
+        self.code = DiagonalParityCode(grid)
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+
+    def run(self, trials: int) -> CampaignResult:
+        """Sequential-seeding run: bit-identical to ``FaultCampaign.run``.
+
+        The campaign stream fills trial data in order and the injector
+        consumes its own stream in order, so the result does not depend
+        on ``batch_size``.
+        """
+        chunks = []
+        done = 0
+        while done < trials:
+            batch = min(self.batch_size, trials - done)
+            chunks.append(self._run_block(batch, data_rngs=None,
+                                          inject_rngs=None))
+            done += batch
+        return merge_results(chunks)
+
+    def run_range_seeded(self, entropy: int, lo: int, hi: int) -> CampaignResult:
+        """Per-trial-seeded run of trials ``[lo, hi)`` under ``entropy``.
+
+        The building block of sharded campaigns: results depend only on
+        ``(entropy, lo, hi)``, never on how ranges are grouped into
+        shards or chunked into batches.
+        """
+        chunks = []
+        start = lo
+        while start < hi:
+            batch = min(self.batch_size, hi - start)
+            pairs = [trial_rngs(entropy, i) for i in range(start, start + batch)]
+            chunks.append(self._run_block(
+                batch,
+                data_rngs=[p[0] for p in pairs],
+                inject_rngs=[p[1] for p in pairs]))
+            start += batch
+        return merge_results(chunks)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized core
+    # ------------------------------------------------------------------ #
+
+    def _run_block(self, batch: int,
+                   data_rngs: Optional[Sequence[np.random.Generator]],
+                   inject_rngs: Optional[Sequence[np.random.Generator]],
+                   ) -> CampaignResult:
+        """One stacked block of ``batch`` trials.
+
+        ``data_rngs``/``inject_rngs`` of ``None`` select sequential mode
+        (campaign stream + injector's own stream). Random fields are
+        drawn per trial — never as one ``(B, ...)`` draw — because
+        numpy's bounded-integer generation buffers bits within a call;
+        only per-trial calls keep the stream identical to the scalar
+        engine for every chunking.
+        """
+        n = self.grid.n
+        data = np.empty((batch, n, n), dtype=np.uint8)
+        if data_rngs is None:
+            for i in range(batch):
+                data[i] = self.rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        else:
+            for i, rng in enumerate(data_rngs):
+                data[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+
+        lead, ctr = self.code.encode_batch(data)
+        golden = data.copy()
+        golden_lead = lead.copy()
+        golden_ctr = ctr.copy()
+
+        injection = self.injector.inject_batch(
+            data,
+            lead if self.include_check_bits else None,
+            ctr if self.include_check_bits else None,
+            rngs=inject_rngs)
+
+        sweep = check_all_batched(self.grid, self.code, data, lead, ctr,
+                                  correct=True)
+
+        totals = injection.totals
+        multi = injection.multi_fault_blocks(self.grid)
+        restored = ((data == golden).reshape(batch, -1).all(axis=1)
+                    & (lead == golden_lead).reshape(batch, -1).all(axis=1)
+                    & (ctr == golden_ctr).reshape(batch, -1).all(axis=1))
+
+        clean = totals == 0
+        corrected = ~clean & restored
+        detected = ~clean & ~restored & sweep.uncorrectable_any
+        silent = ~clean & ~restored & ~sweep.uncorrectable_any
+
+        return CampaignResult(
+            trials=batch,
+            clean=int(clean.sum()),
+            corrected=int(corrected.sum()),
+            detected=int(detected.sum()),
+            silent=int(silent.sum()),
+            injected_faults=int(totals.sum()),
+            blocks_with_multi_faults=int(multi.sum()),
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Process-pool shard layer
+# ---------------------------------------------------------------------- #
+
+def _run_shard(payload: tuple) -> CampaignResult:
+    """Worker entry: rebuild the engine and run one trial range."""
+    (n, m, injector, entropy, lo, hi, include_check_bits, batch_size) = payload
+    engine = BatchCampaign(BlockGrid(n, m), injector,
+                           include_check_bits=include_check_bits,
+                           batch_size=batch_size)
+    return engine.run_range_seeded(entropy, lo, hi)
+
+
+def run_reference(grid: BlockGrid, injector: FaultInjector, entropy: int,
+                  trials: int,
+                  include_check_bits: bool = True) -> CampaignResult:
+    """Scalar replay of a per-trial-seeded batched run.
+
+    Drives :meth:`FaultCampaign.run_trial` with exactly the per-trial
+    streams the batched engine derives from ``entropy`` — the reference
+    side of the differential harness. Slow by construction; use for
+    verification, not production sweeps.
+    """
+    campaign = FaultCampaign(grid, injector,
+                             include_check_bits=include_check_bits)
+    out = CampaignResult()
+    for i in range(trials):
+        data_rng, inject_rng = trial_rngs(entropy, i)
+        kind, faults, multi = campaign.run_trial(data_rng=data_rng,
+                                                 inject_rng=inject_rng)
+        out.trials += 1
+        out.injected_faults += faults
+        out.blocks_with_multi_faults += multi
+        setattr(out, kind, getattr(out, kind) + 1)
+    return out
+
+
+class CampaignRunner:
+    """Facade over the scalar reference and the batched/sharded engines.
+
+    Parameters
+    ----------
+    grid, injector, seed, include_check_bits:
+        As for :class:`FaultCampaign`.
+    engine:
+        ``"batched"`` (default) or ``"scalar"`` (the reference
+        implementation, unchanged).
+    batch_size:
+        Trials per vectorized block (memory/speed trade-off).
+    workers:
+        Process count for sharded runs. ``workers > 1`` requires (and
+        ``seeding="per-trial"`` provides) shard-invariant per-trial
+        seeding; the seed must then be an integer or ``None``.
+    seeding:
+        ``"sequential"`` | ``"per-trial"`` | ``None`` (auto: sequential
+        for one worker, per-trial otherwise). See the module docstring
+        for the exact reproducibility contract of each mode.
+    """
+
+    def __init__(self, grid: BlockGrid, injector: FaultInjector,
+                 seed: SeedLike = None, include_check_bits: bool = True,
+                 engine: str = "batched",
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 workers: int = 1, seeding: Optional[str] = None):
+        if engine not in ("batched", "scalar"):
+            raise ValueError(f"engine must be 'batched' or 'scalar', "
+                             f"got {engine!r}")
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if seeding is None:
+            seeding = "sequential" if workers == 1 else "per-trial"
+        if seeding not in ("sequential", "per-trial"):
+            raise ValueError(f"seeding must be 'sequential' or 'per-trial', "
+                             f"got {seeding!r}")
+        if seeding == "sequential" and workers > 1:
+            raise ValueError("sequential seeding cannot be sharded; use "
+                             "seeding='per-trial' for workers > 1")
+        if engine == "scalar" and (workers > 1 or seeding == "per-trial"):
+            raise ValueError("the scalar engine only supports sequential "
+                             "single-process runs; use run_reference() to "
+                             "replay a per-trial-seeded run")
+        self.grid = grid
+        self.injector = injector
+        self.include_check_bits = include_check_bits
+        self.engine = engine
+        self.batch_size = batch_size
+        self.workers = workers
+        self.seeding = seeding
+        if seeding == "per-trial":
+            self.entropy: Optional[int] = resolve_entropy(seed)
+            self._seed: SeedLike = None
+        else:
+            self.entropy = None
+            self._seed = seed
+
+    def run(self, trials: int) -> CampaignResult:
+        """Run ``trials`` trials on the configured engine."""
+        if self.engine == "scalar":
+            return FaultCampaign(
+                self.grid, self.injector, seed=self._seed,
+                include_check_bits=self.include_check_bits).run(trials)
+        if self.seeding == "sequential":
+            return BatchCampaign(
+                self.grid, self.injector, seed=self._seed,
+                include_check_bits=self.include_check_bits,
+                batch_size=self.batch_size).run(trials)
+        bounds = shard_bounds(trials, self.workers)
+        if self.workers == 1 or len(bounds) <= 1:
+            engine = BatchCampaign(self.grid, self.injector,
+                                   include_check_bits=self.include_check_bits,
+                                   batch_size=self.batch_size)
+            return merge_results([engine.run_range_seeded(self.entropy, lo, hi)
+                                  for lo, hi in bounds])
+        payloads = [(self.grid.n, self.grid.m, self.injector, self.entropy,
+                     lo, hi, self.include_check_bits, self.batch_size)
+                    for lo, hi in bounds]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            shards = list(pool.map(_run_shard, payloads))
+        return merge_results(shards)
+
+    def run_reference(self, trials: int) -> CampaignResult:
+        """Scalar replay of this runner's per-trial-seeded contract."""
+        if self.seeding != "per-trial":
+            raise ValueError("run_reference replays per-trial seeding; "
+                             "sequential runs are already bit-identical to "
+                             "FaultCampaign.run")
+        return run_reference(self.grid, self.injector, self.entropy, trials,
+                             self.include_check_bits)

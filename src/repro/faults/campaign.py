@@ -84,18 +84,27 @@ class FaultCampaign:
         self.include_check_bits = include_check_bits
         self.code = DiagonalParityCode(grid)
 
-    def run_trial(self) -> tuple[str, int, int]:
-        """One trial; returns (classification, faults, multi_fault_blocks)."""
+    def run_trial(self, data_rng: Optional[np.random.Generator] = None,
+                  inject_rng: Optional[np.random.Generator] = None,
+                  ) -> tuple[str, int, int]:
+        """One trial; returns (classification, faults, multi_fault_blocks).
+
+        ``data_rng``/``inject_rng`` override the campaign and injector
+        streams for this trial. The batched engine's differential harness
+        uses them to replay a per-trial-seeded sharded run through this
+        scalar reference implementation.
+        """
         n = self.grid.n
         mem = CrossbarArray(n, n, "campaign-mem")
-        data = self.rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        rng = self.rng if data_rng is None else data_rng
+        data = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
         mem.write_region(0, 0, data)
         store = self.code.encode(mem.snapshot())
         golden = mem.snapshot()
         golden_store = store.copy()
 
         result = self.injector.inject(
-            mem, store if self.include_check_bits else None)
+            mem, store if self.include_check_bits else None, rng=inject_rng)
 
         checker = BlockChecker(self.grid, self.code, store)
         sweep = checker.check_all(mem)

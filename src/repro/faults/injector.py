@@ -5,6 +5,15 @@ a :class:`repro.xbar.CrossbarArray` (and optionally check-bits in a
 :class:`repro.core.CheckStore`) and returns an :class:`InjectionResult`
 describing exactly what was flipped — campaigns need the ground truth to
 classify ECC behaviour as corrected / detected / miscorrected.
+
+The batched campaign engine (:mod:`repro.faults.batch`) drives the same
+models through :meth:`FaultInjector.inject_batch`, which upsets a stack of
+``B`` trials held as ``(B, n, n)`` / ``(B, m, b, b)`` tensors. Both paths
+share the RNG-consuming draw helpers, and every batched implementation
+draws per trial in the scalar order (data mask, then leading plane, then
+counter plane), so a batched run consumes an injector's stream exactly as
+``B`` scalar :meth:`inject` calls would — the property the differential
+test harness (`tests/faults/test_batch_equivalence.py`) pins down.
 """
 
 from __future__ import annotations
@@ -18,6 +27,11 @@ from repro.core.checkstore import CheckStore
 from repro.faults.ser import probability_from_fit
 from repro.utils.rng import SeedLike, make_rng
 from repro.xbar.crossbar import CrossbarArray
+
+#: Plane codes used by the flat batched ground truth.
+PLANE_LEADING = 0
+PLANE_COUNTER = 1
+PLANE_NAMES = ("leading", "counter")
 
 
 @dataclass
@@ -38,12 +52,169 @@ class InjectionResult:
                                self.check_flips + other.check_flips)
 
 
+@dataclass
+class BatchInjectionResult:
+    """Ground truth of one injection round over ``B`` stacked trials.
+
+    Flip events are stored flat with a trial index per event — the
+    memory-light layout keeps per-trial reductions (totals, multi-fault
+    block counts) as single ``bincount`` passes. Duplicate events are kept
+    (a cell listed twice flipped twice), matching the scalar ground truth.
+    """
+
+    batch: int
+    #: Data flip events: parallel arrays (trial, row, col).
+    trial: np.ndarray
+    rows: np.ndarray
+    cols: np.ndarray
+    #: Check-bit flip events: parallel arrays (trial, plane, d, br, bc).
+    check_trial: np.ndarray
+    check_plane: np.ndarray
+    check_d: np.ndarray
+    check_br: np.ndarray
+    check_bc: np.ndarray
+
+    @classmethod
+    def from_events(cls, batch: int,
+                    data_events: Sequence[Tuple[int, np.ndarray, np.ndarray]],
+                    check_events: Sequence[Tuple[int, int, np.ndarray,
+                                                 np.ndarray, np.ndarray]],
+                    ) -> "BatchInjectionResult":
+        """Assemble from per-trial event lists.
+
+        ``data_events`` holds ``(trial, rows, cols)`` tuples and
+        ``check_events`` holds ``(trial, plane, ds, brs, bcs)`` tuples.
+        """
+        i64 = np.int64
+        if data_events:
+            trial = np.concatenate([np.full(r.size, t, dtype=i64)
+                                    for t, r, _ in data_events])
+            rows = np.concatenate([np.asarray(r, dtype=i64)
+                                   for _, r, _ in data_events])
+            cols = np.concatenate([np.asarray(c, dtype=i64)
+                                   for _, _, c in data_events])
+        else:
+            trial = rows = cols = np.empty(0, dtype=i64)
+        if check_events:
+            check_trial = np.concatenate([np.full(d.size, t, dtype=i64)
+                                          for t, _, d, _, _ in check_events])
+            check_plane = np.concatenate([np.full(d.size, p, dtype=i64)
+                                          for _, p, d, _, _ in check_events])
+            check_d = np.concatenate([np.asarray(d, dtype=i64)
+                                      for _, _, d, _, _ in check_events])
+            check_br = np.concatenate([np.asarray(br, dtype=i64)
+                                       for _, _, _, br, _ in check_events])
+            check_bc = np.concatenate([np.asarray(bc, dtype=i64)
+                                       for _, _, _, _, bc in check_events])
+        else:
+            check_trial = check_plane = check_d = check_br = check_bc = \
+                np.empty(0, dtype=i64)
+        return cls(batch, trial, rows, cols, check_trial, check_plane,
+                   check_d, check_br, check_bc)
+
+    @property
+    def totals(self) -> np.ndarray:
+        """Per-trial total injected upsets (data + check bits), ``(B,)``."""
+        return (np.bincount(self.trial, minlength=self.batch)
+                + np.bincount(self.check_trial, minlength=self.batch))
+
+    def multi_fault_blocks(self, grid) -> np.ndarray:
+        """Per-trial count of blocks hit by >= 2 upsets, ``(B,)``.
+
+        Mirrors ``FaultCampaign._count_multi_fault_blocks``: a block's
+        tally includes its data cells and its own check-bits, and every
+        flip event counts (duplicates included).
+        """
+        b = grid.blocks_per_side
+        blocks = b * b
+        keys = np.concatenate([
+            self.trial * blocks + (self.rows // grid.m) * b
+            + (self.cols // grid.m),
+            self.check_trial * blocks + self.check_br * b + self.check_bc,
+        ])
+        per_block = np.bincount(keys, minlength=self.batch * blocks)
+        return (per_block.reshape(self.batch, blocks) >= 2).sum(axis=1)
+
+    def result_of(self, i: int) -> InjectionResult:
+        """Scalar-shaped ground truth of trial ``i`` (differential tests)."""
+        sel = self.trial == i
+        csel = self.check_trial == i
+        return InjectionResult(
+            data_flips=list(zip(self.rows[sel].tolist(),
+                                self.cols[sel].tolist())),
+            check_flips=[(PLANE_NAMES[p], d, br, bc)
+                         for p, d, br, bc in zip(
+                             self.check_plane[csel].tolist(),
+                             self.check_d[csel].tolist(),
+                             self.check_br[csel].tolist(),
+                             self.check_bc[csel].tolist())],
+        )
+
+    def apply(self, data: np.ndarray, lead: Optional[np.ndarray],
+              ctr: Optional[np.ndarray]) -> None:
+        """XOR every flip event into the batch tensors (in place).
+
+        ``bitwise_xor.at`` applies repeated events as repeated inversions,
+        so duplicated cells cancel pairwise exactly like repeated scalar
+        :meth:`CrossbarArray.flip` calls.
+        """
+        if self.trial.size:
+            np.bitwise_xor.at(data, (self.trial, self.rows, self.cols),
+                              np.uint8(1))
+        for plane_id, plane in ((PLANE_LEADING, lead), (PLANE_COUNTER, ctr)):
+            if plane is None:
+                continue
+            sel = self.check_plane == plane_id
+            if sel.any():
+                np.bitwise_xor.at(
+                    plane, (self.check_trial[sel], self.check_d[sel],
+                            self.check_br[sel], self.check_bc[sel]),
+                    np.uint8(1))
+
+
+def _resolve_rngs(rngs, default_rng: Optional[np.random.Generator],
+                  batch: int) -> Sequence[np.random.Generator]:
+    """Per-trial generators for a batched injection round.
+
+    ``None`` falls back to the injector's own stream consumed sequentially
+    across trials — the scalar-compatible mode. An explicit sequence (one
+    generator per trial) enables the sharded per-trial seeding of
+    :mod:`repro.faults.batch`.
+    """
+    if rngs is None:
+        return [default_rng] * batch
+    rngs = list(rngs)
+    if len(rngs) != batch:
+        raise ValueError(f"need {batch} per-trial generators, got {len(rngs)}")
+    return rngs
+
+
 class FaultInjector:
     """Base class; concrete injectors override :meth:`inject`."""
 
     def inject(self, mem: CrossbarArray,
-               store: Optional[CheckStore] = None) -> InjectionResult:
-        """Apply one round of upsets; return the ground truth."""
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        """Apply one round of upsets; return the ground truth.
+
+        ``rng`` overrides the injector's own stream for this round — the
+        hook the per-trial-seeded differential reference uses.
+        """
+        raise NotImplementedError
+
+    def inject_batch(self, data: np.ndarray,
+                     lead: Optional[np.ndarray] = None,
+                     ctr: Optional[np.ndarray] = None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     ) -> BatchInjectionResult:
+        """Apply one round of upsets to a ``(B, n, n)`` stack, in place.
+
+        ``lead``/``ctr`` are the stored check-bit planes ``(B, m, b, b)``
+        or ``None`` when check memory is not exposed (the batched analogue
+        of passing ``store=None`` to :meth:`inject`). ``rngs`` supplies one
+        generator per trial; ``None`` consumes the injector's own stream
+        sequentially, which reproduces ``B`` scalar rounds bit-for-bit.
+        """
         raise NotImplementedError
 
 
@@ -73,21 +244,49 @@ class UniformInjector(FaultInjector):
         return cls(probability_from_fit(ser_fit_per_bit, hours), seed,
                    include_check_bits)
 
+    def _draw_mask_indices(self, rng: np.random.Generator,
+                           shape: Tuple[int, ...]) -> Tuple[np.ndarray, ...]:
+        """Indices of cells upset this round (one Bernoulli field draw)."""
+        return np.nonzero(rng.random(shape) < self.probability)
+
     def inject(self, mem: CrossbarArray,
-               store: Optional[CheckStore] = None) -> InjectionResult:
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        rng = self.rng if rng is None else rng
         result = InjectionResult()
-        mask = self.rng.random((mem.rows, mem.cols)) < self.probability
-        rows, cols = np.nonzero(mask)
+        rows, cols = self._draw_mask_indices(rng, (mem.rows, mem.cols))
         if rows.size:
             mem.flip_many(rows, cols)
             result.data_flips = list(zip(rows.tolist(), cols.tolist()))
         if store is not None and self.include_check_bits:
             for plane, arr in (("leading", store.lead), ("counter", store.ctr)):
-                cmask = self.rng.random(arr.shape) < self.probability
-                ds, brs, bcs = np.nonzero(cmask)
+                ds, brs, bcs = self._draw_mask_indices(rng, arr.shape)
                 for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
                     store.flip(plane, d, br, bc)
                     result.check_flips.append((plane, d, br, bc))
+        return result
+
+    def inject_batch(self, data: np.ndarray,
+                     lead: Optional[np.ndarray] = None,
+                     ctr: Optional[np.ndarray] = None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     ) -> BatchInjectionResult:
+        batch = data.shape[0]
+        rngs = _resolve_rngs(rngs, self.rng, batch)
+        plane_shape = None if lead is None else lead.shape[1:]
+        data_events, check_events = [], []
+        for i, rng in enumerate(rngs):
+            rows, cols = self._draw_mask_indices(rng, data.shape[1:])
+            if rows.size:
+                data_events.append((i, rows, cols))
+            if plane_shape is not None and self.include_check_bits:
+                for plane_id in (PLANE_LEADING, PLANE_COUNTER):
+                    ds, brs, bcs = self._draw_mask_indices(rng, plane_shape)
+                    if ds.size:
+                        check_events.append((i, plane_id, ds, brs, bcs))
+        result = BatchInjectionResult.from_events(batch, data_events,
+                                                  check_events)
+        result.apply(data, lead, ctr)
         return result
 
 
@@ -100,7 +299,8 @@ class DeterministicInjector(FaultInjector):
         self.check_flips = list(check_flips)
 
     def inject(self, mem: CrossbarArray,
-               store: Optional[CheckStore] = None) -> InjectionResult:
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
         result = InjectionResult()
         for r, c in self.data_flips:
             mem.flip(r, c)
@@ -109,6 +309,28 @@ class DeterministicInjector(FaultInjector):
             for plane, d, br, bc in self.check_flips:
                 store.flip(plane, d, br, bc)
                 result.check_flips.append((plane, d, br, bc))
+        return result
+
+    def inject_batch(self, data: np.ndarray,
+                     lead: Optional[np.ndarray] = None,
+                     ctr: Optional[np.ndarray] = None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     ) -> BatchInjectionResult:
+        batch = data.shape[0]
+        rows = np.asarray([r for r, _ in self.data_flips], dtype=np.int64)
+        cols = np.asarray([c for _, c in self.data_flips], dtype=np.int64)
+        data_events = [(i, rows, cols) for i in range(batch)] \
+            if rows.size else []
+        check_events = []
+        if lead is not None and self.check_flips:
+            for i in range(batch):
+                for plane, d, br, bc in self.check_flips:
+                    check_events.append((
+                        i, PLANE_NAMES.index(plane),
+                        np.asarray([d]), np.asarray([br]), np.asarray([bc])))
+        result = BatchInjectionResult.from_events(batch, data_events,
+                                                  check_events)
+        result.apply(data, lead, ctr)
         return result
 
 
@@ -132,25 +354,49 @@ class BurstInjector(FaultInjector):
         self.neighbor_probability = neighbor_probability
         self.rng = make_rng(seed)
 
-    def inject(self, mem: CrossbarArray,
-               store: Optional[CheckStore] = None) -> InjectionResult:
-        result = InjectionResult()
+    def _strike_cells(self, rng: np.random.Generator, rows: int,
+                      cols: int) -> list[Tuple[int, int]]:
+        """Cells hit by one round of strikes, in the canonical sorted order."""
         hit = set()
         for _ in range(self.strikes):
-            r0 = int(self.rng.integers(0, mem.rows))
-            c0 = int(self.rng.integers(0, mem.cols))
+            r0 = int(rng.integers(0, rows))
+            c0 = int(rng.integers(0, cols))
             hit.add((r0, c0))
             for dr in range(-self.radius, self.radius + 1):
                 for dc in range(-self.radius, self.radius + 1):
                     if dr == 0 and dc == 0:
                         continue
                     r, c = r0 + dr, c0 + dc
-                    if 0 <= r < mem.rows and 0 <= c < mem.cols and \
-                            self.rng.random() < self.neighbor_probability:
+                    if 0 <= r < rows and 0 <= c < cols and \
+                            rng.random() < self.neighbor_probability:
                         hit.add((r, c))
-        for r, c in sorted(hit):
+        return sorted(hit)
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        rng = self.rng if rng is None else rng
+        result = InjectionResult()
+        for r, c in self._strike_cells(rng, mem.rows, mem.cols):
             mem.flip(r, c)
             result.data_flips.append((r, c))
+        return result
+
+    def inject_batch(self, data: np.ndarray,
+                     lead: Optional[np.ndarray] = None,
+                     ctr: Optional[np.ndarray] = None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     ) -> BatchInjectionResult:
+        batch = data.shape[0]
+        rngs = _resolve_rngs(rngs, self.rng, batch)
+        data_events = []
+        for i, rng in enumerate(rngs):
+            cells = self._strike_cells(rng, data.shape[1], data.shape[2])
+            if cells:
+                arr = np.asarray(cells, dtype=np.int64)
+                data_events.append((i, arr[:, 0], arr[:, 1]))
+        result = BatchInjectionResult.from_events(batch, data_events, [])
+        result.apply(data, lead, ctr)
         return result
 
 
@@ -164,14 +410,37 @@ class CheckBitInjector(FaultInjector):
         self.rng = make_rng(seed)
 
     def inject(self, mem: CrossbarArray,
-               store: Optional[CheckStore] = None) -> InjectionResult:
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        rng = self.rng if rng is None else rng
         result = InjectionResult()
         if store is None:
             return result
         for plane, arr in (("leading", store.lead), ("counter", store.ctr)):
-            cmask = self.rng.random(arr.shape) < self.probability
+            cmask = rng.random(arr.shape) < self.probability
             ds, brs, bcs = np.nonzero(cmask)
             for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
                 store.flip(plane, d, br, bc)
                 result.check_flips.append((plane, d, br, bc))
+        return result
+
+    def inject_batch(self, data: np.ndarray,
+                     lead: Optional[np.ndarray] = None,
+                     ctr: Optional[np.ndarray] = None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     ) -> BatchInjectionResult:
+        batch = data.shape[0]
+        if lead is None:
+            return BatchInjectionResult.from_events(batch, [], [])
+        rngs = _resolve_rngs(rngs, self.rng, batch)
+        plane_shape = lead.shape[1:]
+        check_events = []
+        for i, rng in enumerate(rngs):
+            for plane_id in (PLANE_LEADING, PLANE_COUNTER):
+                cmask = rng.random(plane_shape) < self.probability
+                ds, brs, bcs = np.nonzero(cmask)
+                if ds.size:
+                    check_events.append((i, plane_id, ds, brs, bcs))
+        result = BatchInjectionResult.from_events(batch, [], check_events)
+        result.apply(data, lead, ctr)
         return result

@@ -13,15 +13,16 @@ exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 
 from repro.core.blocks import BlockGrid
-from repro.core.checker import BlockChecker
-from repro.core.code import DecodeStatus, DiagonalParityCode
+from repro.core.checker import check_all_batched
+from repro.core.code import DiagonalParityCode
 from repro.utils.rng import SeedLike, make_rng
-from repro.xbar.crossbar import CrossbarArray
+
+#: Trials per stacked block of the vectorized estimator (memory bound).
+_BATCH = 64
 
 
 @dataclass
@@ -57,39 +58,42 @@ def estimate_block_failure_rate(grid: BlockGrid, p: float, trials: int,
     """
     rng = make_rng(seed)
     code = DiagonalParityCode(grid)
-    n = grid.n
+    n, m = grid.n, grid.m
     b = grid.blocks_per_side
     result = BlockTrialResult(trials, grid.block_count, 0, 0, 0, 0)
 
-    for _ in range(trials):
-        mem = CrossbarArray(n, n, "mc-mem")
-        data = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
-        mem.write_region(0, 0, data)
-        store = code.encode(mem.snapshot())
-        golden = mem.snapshot()
+    # Trials are stacked into (B, n, n) blocks and swept through the
+    # vectorized batch checker. Random fields are still drawn one trial
+    # at a time, in the original order (data, flip mask, leading plane,
+    # counter plane), so tallies are bit-identical to the historical
+    # scalar loop for any seed.
+    done = 0
+    while done < trials:
+        batch = min(_BATCH, trials - done)
+        data = np.empty((batch, n, n), dtype=np.uint8)
+        flip_mask = np.empty((batch, n, n), dtype=bool)
+        cmask_lead = np.zeros((batch, m, b, b), dtype=bool)
+        cmask_ctr = np.zeros((batch, m, b, b), dtype=bool)
+        for i in range(batch):
+            data[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+            flip_mask[i] = rng.random((n, n)) < p
+            if include_check_bits:
+                cmask_lead[i] = rng.random((m, b, b)) < p
+                cmask_ctr[i] = rng.random((m, b, b)) < p
 
-        flip_mask = rng.random((n, n)) < p
-        rows, cols = np.nonzero(flip_mask)
-        if rows.size:
-            mem.flip_many(rows, cols)
-        check_flips = np.zeros((b, b), dtype=np.int64)
-        if include_check_bits:
-            for plane, arr in (("leading", store.lead),
-                               ("counter", store.ctr)):
-                cmask = rng.random(arr.shape) < p
-                ds, brs, bcs = np.nonzero(cmask)
-                for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
-                    store.flip(plane, d, br, bc)
-                    check_flips[br, bc] += 1
+        lead, ctr = code.encode_batch(data)
+        golden = data.copy()
+        data ^= flip_mask
+        lead ^= cmask_lead
+        ctr ^= cmask_ctr
 
-        # Ground-truth upsets per block.
-        per_block = flip_mask.reshape(b, grid.m, b, grid.m) \
-            .sum(axis=(1, 3)) + check_flips
+        # Ground-truth upsets per block (data plus its own check-bits).
+        per_block = flip_mask.reshape(batch, b, m, b, m).sum(axis=(2, 4)) \
+            + cmask_lead.sum(axis=1) + cmask_ctr.sum(axis=1)
 
-        checker = BlockChecker(grid, code, store)
-        checker.check_all(mem)
-        restored = (mem.snapshot() == golden).reshape(
-            b, grid.m, b, grid.m).all(axis=(1, 3))
+        check_all_batched(grid, code, data, lead, ctr, correct=True)
+        restored = (data == golden).reshape(batch, b, m, b, m) \
+            .all(axis=(2, 4))
 
         multi = per_block >= 2
         result.blocks_failed += int(multi.sum())
@@ -99,6 +103,7 @@ def estimate_block_failure_rate(grid: BlockGrid, p: float, trials: int,
         # golden anyway (even number of flips on the same cells corrected
         # by luck) — counted for completeness.
         result.silent_multi += int((restored & multi).sum())
+        done += batch
     return result
 
 

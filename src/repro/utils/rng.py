@@ -34,3 +34,66 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
     """
     root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
     return [np.random.default_rng(s) for s in root.spawn(count)]
+
+
+def resolve_entropy(seed: SeedLike = None) -> int:
+    """Coerce ``seed`` into root entropy for per-trial seeding.
+
+    ``None`` draws fresh OS entropy once (the run is then reproducible
+    from the returned value). A :class:`numpy.random.Generator` cannot be
+    decomposed into per-trial child streams, so it is rejected — sharded
+    campaigns must be seeded with an integer.
+    """
+    if isinstance(seed, np.random.Generator):
+        raise ValueError(
+            "per-trial seeding needs an integer seed (or None), not a "
+            "Generator: child streams cannot be derived from a live stream")
+    if seed is None:
+        entropy = np.random.SeedSequence().entropy
+    else:
+        entropy = seed
+    return int(entropy)
+
+
+def trial_seed_sequence(entropy: int, trial: int) -> np.random.SeedSequence:
+    """The seed sequence of trial ``trial`` under root ``entropy``.
+
+    Equivalent to ``SeedSequence(entropy).spawn(trial + 1)[trial]`` but
+    O(1): the child is addressed directly by its spawn key. Because the
+    mapping depends only on ``(entropy, trial)``, any partition of a
+    campaign into shards reproduces identical per-trial streams.
+    """
+    return np.random.SeedSequence(entropy, spawn_key=(trial,))
+
+
+def trial_rngs(entropy: int, trial: int,
+               streams: int = 2) -> list[np.random.Generator]:
+    """Independent generators for one trial (data fill, injection, ...).
+
+    The trial's seed sequence is split into ``streams`` children so the
+    data-fill stream and the injection stream never interleave — the
+    same decomposition the scalar campaign gets from its two seeds.
+    """
+    return [np.random.default_rng(s)
+            for s in trial_seed_sequence(entropy, trial).spawn(streams)]
+
+
+def shard_bounds(total: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``shards`` contiguous half-open slices.
+
+    Sizes differ by at most one; empty slices are dropped, so the result
+    may be shorter than ``shards`` when ``total < shards``.
+    """
+    if shards <= 0:
+        raise ValueError(f"shards must be positive, got {shards}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    base, extra = divmod(total, shards)
+    bounds = []
+    lo = 0
+    for i in range(shards):
+        hi = lo + base + (1 if i < extra else 0)
+        if hi > lo:
+            bounds.append((lo, hi))
+        lo = hi
+    return bounds

@@ -163,12 +163,19 @@ class CrossbarArray:
         self.total_flips += 1
 
     def flip_many(self, rows: Sequence[int], cols: Sequence[int]) -> None:
-        """Vectorized :meth:`flip` for fault campaigns."""
+        """Vectorized :meth:`flip` for fault campaigns.
+
+        A ``(row, col)`` pair listed ``k`` times inverts the cell ``k``
+        times (an even count cancels out), exactly like ``k`` calls to
+        :meth:`flip` — plain fancy-index assignment would apply the
+        inversion once per *unique* cell while ``total_flips`` counted
+        every entry, letting state and counter disagree.
+        """
         r = np.asarray(list(rows))
         c = np.asarray(list(cols))
         if r.shape != c.shape:
             raise CrossbarError("flip_many requires equal-length row/col lists")
-        self._cells[r, c] = ~self._cells[r, c]
+        np.logical_xor.at(self._cells, (r, c), True)
         self.total_flips += int(r.size)
 
     # ------------------------------------------------------------------ #

@@ -10,6 +10,35 @@ from repro.arch.config import ArchConfig
 from repro.devices.models import DEFAULT_DEVICE
 
 
+class TestEmpiricalScrubWindow:
+    """Monte-Carlo window-failure statistics via the batched engine."""
+
+    def test_realistic_ser_is_all_clean(self):
+        from repro.core.blocks import BlockGrid
+        from repro.analysis.scrub import empirical_scrub_failure
+        report = empirical_scrub_failure(BlockGrid(15, 5),
+                                         ser_fit_per_bit=1e-3,
+                                         period_hours=24, trials=20, seed=1)
+        assert report["trials"] == 20
+        assert report["failure_rate"] == 0.0
+        assert report["per_bit_probability"] < 1e-10
+
+    def test_exaggerated_ser_fails(self):
+        from repro.core.blocks import BlockGrid
+        from repro.analysis.scrub import empirical_scrub_failure
+        report = empirical_scrub_failure(BlockGrid(15, 5),
+                                         ser_fit_per_bit=5e6,
+                                         period_hours=24, trials=20, seed=2)
+        assert report["failure_rate"] > 0.5
+        assert report["period_hours"] == 24
+
+    def test_rejects_nonpositive_period(self):
+        from repro.core.blocks import BlockGrid
+        from repro.analysis.scrub import empirical_scrub_failure
+        with pytest.raises(ValueError):
+            empirical_scrub_failure(BlockGrid(9, 3), 1.0, 0.0, 5)
+
+
 class TestPaperClaim:
     def test_24h_period_is_negligible(self):
         """Sec. V-A: T = 24 h 'chosen to have negligible performance

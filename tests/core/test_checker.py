@@ -117,3 +117,43 @@ class TestSweeps:
     def test_clean_sweep(self, checker):
         mem, chk = checker
         assert chk.check_all(mem).clean
+
+
+class TestBatchedSweep:
+    def test_correct_false_leaves_state_and_reports_zero(self, small_grid,
+                                                         small_code, rng):
+        import numpy as np
+        from repro.core.checker import check_all_batched
+        from repro.core.code import BATCH_DATA_ERROR
+
+        n = small_grid.n
+        data = rng.integers(0, 2, (2, n, n)).astype(np.uint8)
+        lead, ctr = small_code.encode_batch(data)
+        corrupted = data.copy()
+        corrupted[0, 3, 4] ^= 1
+        corrupted[1, 7, 7] ^= 1
+        sweep = check_all_batched(small_grid, small_code, corrupted,
+                                  lead, ctr, correct=False)
+        # read-only sweep: errors located but nothing rewritten
+        assert (sweep.status == BATCH_DATA_ERROR).sum() == 2
+        assert (corrupted != data).sum() == 2
+        assert (sweep.data_corrections == 0).all()
+        assert (sweep.check_bit_corrections == 0).all()
+
+    def test_correct_true_repairs_and_counts(self, small_grid, small_code,
+                                             rng):
+        import numpy as np
+        from repro.core.checker import check_all_batched
+
+        n = small_grid.n
+        data = rng.integers(0, 2, (2, n, n)).astype(np.uint8)
+        lead, ctr = small_code.encode_batch(data)
+        golden = data.copy()
+        data[0, 3, 4] ^= 1
+        lead[1, 2, 0, 0] ^= 1
+        golden_lead = small_code.encode_batch(golden)[0]
+        sweep = check_all_batched(small_grid, small_code, data, lead, ctr)
+        assert (data == golden).all()
+        assert (lead == golden_lead).all()
+        assert sweep.data_corrections.tolist() == [1, 0]
+        assert sweep.check_bit_corrections.tolist() == [0, 1]

@@ -44,6 +44,57 @@ class TestSingleTrials:
         assert kind == "corrected" and faults == 1
 
 
+class TestMultiFaultBlockCounting:
+    """``_count_multi_fault_blocks`` with check-bit flips in and out."""
+
+    def test_data_plus_own_check_bit_counts_as_multi(self, small_grid):
+        """A data flip and a check-bit flip in the same block are two
+        upsets of one codeword."""
+        campaign = FaultCampaign(
+            small_grid,
+            DeterministicInjector([(7, 7)],
+                                  check_flips=[("leading", 0, 1, 1)]),
+            seed=1, include_check_bits=True)
+        kind, faults, multi = campaign.run_trial()
+        assert faults == 2
+        assert multi == 1
+        assert kind == "detected"
+
+    def test_exclude_check_bits_suppresses_check_flips(self, small_grid):
+        """With ``include_check_bits=False`` the store is never exposed:
+        the check flip does not happen, so the block has one upset."""
+        campaign = FaultCampaign(
+            small_grid,
+            DeterministicInjector([(7, 7)],
+                                  check_flips=[("leading", 0, 1, 1)]),
+            seed=1, include_check_bits=False)
+        kind, faults, multi = campaign.run_trial()
+        assert faults == 1
+        assert multi == 0
+        assert kind == "corrected"
+
+    def test_two_check_bits_same_block(self, small_grid):
+        campaign = FaultCampaign(
+            small_grid,
+            DeterministicInjector(check_flips=[("leading", 0, 2, 2),
+                                               ("counter", 1, 2, 2)]),
+            seed=1, include_check_bits=True)
+        _, faults, multi = campaign.run_trial()
+        assert faults == 2
+        assert multi == 1
+
+    def test_flips_in_distinct_blocks_are_not_multi(self, small_grid):
+        campaign = FaultCampaign(
+            small_grid,
+            DeterministicInjector([(0, 0)],
+                                  check_flips=[("counter", 2, 2, 2)]),
+            seed=1, include_check_bits=True)
+        kind, faults, multi = campaign.run_trial()
+        assert faults == 2
+        assert multi == 0
+        assert kind == "corrected"
+
+
 class TestAggregation:
     def test_run_counts_sum(self, small_grid):
         campaign = FaultCampaign(small_grid, UniformInjector(0.002, seed=5),

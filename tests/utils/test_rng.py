@@ -1,8 +1,16 @@
 """Unit tests for deterministic RNG plumbing."""
 
 import numpy as np
+import pytest
 
-from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.rng import (
+    make_rng,
+    resolve_entropy,
+    shard_bounds,
+    spawn_rngs,
+    trial_rngs,
+    trial_seed_sequence,
+)
 
 
 class TestMakeRng:
@@ -36,3 +44,60 @@ class TestSpawnRngs:
     def test_children_independent(self):
         g1, g2 = spawn_rngs(3, 2)
         assert g1.integers(0, 10**9) != g2.integers(0, 10**9)
+
+
+class TestResolveEntropy:
+    def test_integer_passthrough(self):
+        assert resolve_entropy(42) == 42
+
+    def test_none_draws_entropy(self):
+        assert isinstance(resolve_entropy(None), int)
+
+    def test_generator_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_entropy(np.random.default_rng(0))
+
+
+class TestTrialSeeding:
+    def test_matches_spawn(self):
+        """Direct spawn-key addressing equals SeedSequence.spawn."""
+        root = np.random.SeedSequence(7)
+        children = root.spawn(5)
+        for i, child in enumerate(children):
+            direct = trial_seed_sequence(7, i)
+            a = np.random.default_rng(child).integers(0, 10**9, 4)
+            b = np.random.default_rng(direct).integers(0, 10**9, 4)
+            assert (a == b).all()
+
+    def test_streams_independent_per_trial(self):
+        a = trial_rngs(3, 0)[0].integers(0, 10**9)
+        b = trial_rngs(3, 1)[0].integers(0, 10**9)
+        assert a != b
+
+    def test_stream_count(self):
+        assert len(trial_rngs(0, 0, streams=3)) == 3
+
+
+class TestShardBounds:
+    def test_covers_range_contiguously(self):
+        bounds = shard_bounds(17, 4)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 17
+        for (_, hi), (lo2, _) in zip(bounds, bounds[1:]):
+            assert hi == lo2
+
+    def test_sizes_balanced(self):
+        sizes = [hi - lo for lo, hi in shard_bounds(17, 4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_trials(self):
+        bounds = shard_bounds(2, 5)
+        assert bounds == [(0, 1), (1, 2)]
+
+    def test_zero_trials(self):
+        assert shard_bounds(0, 3) == []
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            shard_bounds(5, 0)
+        with pytest.raises(ValueError):
+            shard_bounds(-1, 2)

@@ -108,6 +108,26 @@ class TestFaultInjection:
         with pytest.raises(CrossbarError):
             CrossbarArray(4, 4).flip_many([0, 1], [0])
 
+    def test_flip_many_duplicate_pairs_flip_per_event(self):
+        """Regression: a (row, col) pair listed twice must invert twice
+        (net zero), matching two ``flip`` calls — fancy-index assignment
+        used to apply it once while ``total_flips`` counted two."""
+        xb = CrossbarArray(4, 4)
+        xb.flip_many([2, 2, 1], [3, 3, 0])
+        assert xb.total_flips == 3
+        assert xb.read_bit(2, 3) == 0  # flipped twice: back to 0
+        assert xb.read_bit(1, 0) == 1
+
+    def test_flip_many_matches_repeated_flip(self):
+        events = [(0, 0), (1, 2), (0, 0), (3, 3), (0, 0)]
+        many = CrossbarArray(4, 4)
+        many.flip_many([r for r, _ in events], [c for _, c in events])
+        single = CrossbarArray(4, 4)
+        for r, c in events:
+            single.flip(r, c)
+        assert (many.snapshot() == single.snapshot()).all()
+        assert many.total_flips == single.total_flips == len(events)
+
     def test_flip_bypasses_observers(self):
         xb = CrossbarArray(3, 3)
         calls = []
