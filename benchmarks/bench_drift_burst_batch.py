@@ -1,0 +1,121 @@
+"""Throughput bench: batched drift and burst simulation vs their scalar
+references.
+
+This PR moved the drift-window and burst-survival Monte-Carlo paths onto
+the unified ``(B, n, n)`` campaign engine; this bench pins the speedup
+claim at the target geometry (n=129, m=3 — the closest odd-block
+geometry to the n=128 target, as in ``bench_campaign_batch``) with
+``B = 1024`` batched trials:
+
+* drift: ``CampaignRunner`` + ``DriftInjector`` batched vs the scalar
+  ``FaultCampaign`` reference (per-block Python check sweep);
+* burst: ``simulate_burst_survival(engine="batched")`` vs
+  ``engine="scalar"``.
+
+Both must clear 20x; in practice the vectorized check sweep lands around
+two orders of magnitude ahead, like the uniform-SER campaigns. A small
+differential gate re-asserts bit-identical tallies while the clock runs.
+
+Run:  pytest -m slow benchmarks/bench_drift_burst_batch.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.faults import DriftModel
+from repro.reliability.burst import simulate_burst_survival
+from repro.reliability.drift_analysis import simulate_drift_survival
+
+GRID = BlockGrid(129, 3)
+#: Hot drift model so the campaigns exercise the correction paths.
+MODEL = DriftModel(tau_hours=2e5, beta=2.0, abrupt_fit_per_bit=1e4)
+WINDOW_HOURS = 24.0
+REFRESH_HOURS = 6.0
+BURST_LENGTH = 2
+BATCH_TRIALS = 1024
+SCALAR_TRIALS = 4
+REQUIRED_SPEEDUP = 20.0
+
+
+def _rate(fn, trials: int) -> float:
+    t0 = time.perf_counter()
+    fn(trials)
+    return trials / (time.perf_counter() - t0)
+
+
+@pytest.mark.slow
+def test_batched_drift_speedup(save_artifact):
+    """Batched drift campaign >= 20x the scalar reference trials/sec."""
+    scalar_rate = _rate(
+        lambda t: simulate_drift_survival(
+            GRID, MODEL, WINDOW_HOURS, REFRESH_HOURS, trials=t, seed=1,
+            engine="scalar"),
+        SCALAR_TRIALS)
+    batch_rate = _rate(
+        lambda t: simulate_drift_survival(
+            GRID, MODEL, WINDOW_HOURS, REFRESH_HOURS, trials=t, seed=1,
+            engine="batched", batch_size=64),
+        BATCH_TRIALS)
+    speedup = batch_rate / scalar_rate
+    save_artifact("drift_batch_throughput.txt", "\n".join([
+        f"geometry: n={GRID.n}, m={GRID.m} "
+        f"({GRID.blocks_per_side}x{GRID.blocks_per_side} blocks), "
+        f"window={WINDOW_HOURS}h refresh={REFRESH_HOURS}h",
+        f"scalar drift campaign : {scalar_rate:10.2f} trials/s",
+        f"batched drift campaign (B={BATCH_TRIALS}): "
+        f"{batch_rate:10.2f} trials/s",
+        f"speedup: {speedup:.1f}x (required >= {REQUIRED_SPEEDUP:.0f}x)",
+    ]))
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched drift only {speedup:.1f}x over scalar "
+        f"(required {REQUIRED_SPEEDUP}x)")
+
+
+@pytest.mark.slow
+def test_batched_burst_speedup(save_artifact):
+    """Batched burst survival >= 20x the scalar reference trials/sec."""
+    scalar_rate = _rate(
+        lambda t: simulate_burst_survival(
+            GRID, BURST_LENGTH, t, seed=2, engine="scalar"),
+        SCALAR_TRIALS)
+    batch_rate = _rate(
+        lambda t: simulate_burst_survival(
+            GRID, BURST_LENGTH, t, seed=2, engine="batched",
+            batch_size=64),
+        BATCH_TRIALS)
+    speedup = batch_rate / scalar_rate
+    save_artifact("burst_batch_throughput.txt", "\n".join([
+        f"geometry: n={GRID.n}, m={GRID.m} "
+        f"({GRID.blocks_per_side}x{GRID.blocks_per_side} blocks), "
+        f"burst length {BURST_LENGTH}",
+        f"scalar burst survival : {scalar_rate:10.2f} trials/s",
+        f"batched burst survival (B={BATCH_TRIALS}): "
+        f"{batch_rate:10.2f} trials/s",
+        f"speedup: {speedup:.1f}x (required >= {REQUIRED_SPEEDUP:.0f}x)",
+    ]))
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched burst only {speedup:.1f}x over scalar "
+        f"(required {REQUIRED_SPEEDUP}x)")
+
+
+@pytest.mark.slow
+def test_engines_agree_while_benched():
+    """Speed means nothing if the tallies drift: differential gates."""
+    trials = 8
+    drift_kwargs = dict(model=MODEL, window_hours=WINDOW_HOURS,
+                        refresh_period_hours=REFRESH_HOURS, trials=trials,
+                        seed=3)
+    s = simulate_drift_survival(GRID, engine="scalar", **drift_kwargs)
+    b = simulate_drift_survival(GRID, engine="batched", batch_size=3,
+                                **drift_kwargs)
+    assert s.as_dict() == b.as_dict()
+
+    sb = simulate_burst_survival(GRID, BURST_LENGTH, trials, seed=4,
+                                 engine="scalar")
+    bb = simulate_burst_survival(GRID, BURST_LENGTH, trials, seed=4,
+                                 engine="batched", batch_size=3)
+    assert sb == bb

@@ -62,6 +62,32 @@ def main() -> None:
           f"failure rate {sharded.failure_rate:.3f}, "
           f"silent rate {sharded.silent_rate:.3f}")
 
+    # Adaptive sampling: stop as soon as the failure-rate CI is tight
+    # enough instead of guessing a trial count up front. The round
+    # schedule is deterministic, so the run is seed-reproducible.
+    adaptive = CampaignRunner(grid, UniformInjector(5e-3, seed=0), seed=7,
+                              seeding="per-trial").run_adaptive(
+        tolerance=0.05, max_trials=4096)
+    print(f"\nadaptive sweep: stopped after {adaptive.trials} trials "
+          f"({adaptive.rounds} rounds), failure rate "
+          f"{adaptive.failure_rate:.3f} in "
+          f"[{adaptive.ci_low:.3f}, {adaptive.ci_high:.3f}] "
+          f"(95% Wilson, half-width <= {adaptive.tolerance})")
+
+    # The drift and burst simulators ride the same engine — as does any
+    # registered array backend (REPRO_BACKEND=cupy once a GPU is around).
+    from repro.faults import DriftModel
+    from repro.reliability import simulate_burst_survival, \
+        simulate_drift_survival
+    drift = simulate_drift_survival(
+        grid, DriftModel(tau_hours=2e5, beta=2.0, abrupt_fit_per_bit=1e4),
+        window_hours=24.0, refresh_period_hours=6.0, trials=200, seed=11)
+    burst = simulate_burst_survival(grid, 2, trials=200, seed=12)
+    print(f"drift window (24h, refresh 6h): failure rate "
+          f"{drift.failure_rate:.3f} over {drift.trials} trials")
+    print(f"burst survival (L=2): {burst.survival_rate:.3f} "
+          f"(closed form 1/m = {1 / grid.m:.3f})")
+
     # Cross-validate the binomial model at an observable rate.
     report = validate_against_model(grid, p=0.01, trials=150, seed=7)
     print("\nbinomial-model validation (p=0.01, 150 trials):")

@@ -23,6 +23,7 @@ from repro.core.blocks import BlockGrid
 from repro.devices.models import DEFAULT_DEVICE, DeviceParameters
 from repro.faults.batch import CampaignRunner
 from repro.faults.injector import UniformInjector
+from repro.utils.backend import BackendLike
 from repro.utils.rng import SeedLike
 
 
@@ -68,14 +69,22 @@ def scrub_bandwidth(config: Optional[ArchConfig] = None,
 def empirical_scrub_failure(grid: BlockGrid, ser_fit_per_bit: float,
                             period_hours: float, trials: int,
                             seed: SeedLike = 0, workers: int = 1,
-                            include_check_bits: bool = True) -> dict:
+                            include_check_bits: bool = True,
+                            tolerance: Optional[float] = None,
+                            backend: BackendLike = None) -> dict:
     """Monte-Carlo failure statistics of one scrub window.
 
     Exposes a protected crossbar to uniform upsets for ``period_hours``
     at the given SER, then runs the full check sweep — the empirical
     counterpart of the analytic window-survival term that picks ``T``.
     Runs on the batched campaign engine (sharded across ``workers``
-    processes when asked), so realistic trial counts are feasible.
+    processes when asked, dispatched through ``backend``), so realistic
+    trial counts are feasible.
+
+    ``tolerance`` switches to adaptive sampling: ``trials`` becomes the
+    cap and the sweep stops early once the failure-rate Wilson CI
+    half-width drops below the tolerance (the report then carries the
+    ``ci_low``/``ci_high``/``converged`` fields).
     """
     if period_hours <= 0:
         raise ValueError(f"period must be positive: {period_hours}")
@@ -84,9 +93,19 @@ def empirical_scrub_failure(grid: BlockGrid, ser_fit_per_bit: float,
     runner = CampaignRunner(grid, injector, seed=seed,
                             include_check_bits=include_check_bits,
                             workers=workers,
-                            seeding="per-trial")
-    result = runner.run(trials)
-    report = result.as_dict()
+                            seeding="per-trial",
+                            backend=backend)
+    if tolerance is None:
+        report = runner.run(trials).as_dict()
+    else:
+        adaptive = runner.run_adaptive(tolerance, max_trials=trials)
+        report = adaptive.result.as_dict()
+        report.update({
+            "ci_low": adaptive.ci_low,
+            "ci_high": adaptive.ci_high,
+            "ci_halfwidth": adaptive.halfwidth,
+            "converged": adaptive.converged,
+        })
     report.update({
         "ser_fit_per_bit": ser_fit_per_bit,
         "period_hours": period_hours,

@@ -38,6 +38,7 @@ from repro.core.code import (
     Uncorrectable,
 )
 from repro.errors import UncorrectableError
+from repro.utils.backend import BackendLike, get_backend
 from repro.xbar.crossbar import CrossbarArray
 
 
@@ -215,8 +216,8 @@ class BatchSweepReport:
 
 
 def check_all_batched(grid: BlockGrid, code: DiagonalParityCode,
-                      data: np.ndarray, lead: np.ndarray, ctr: np.ndarray,
-                      correct: bool = True) -> BatchSweepReport:
+                      data, lead, ctr, correct: bool = True,
+                      backend: BackendLike = None) -> BatchSweepReport:
     """Full-memory check of ``B`` stacked crossbars in one vectorized pass.
 
     ``data`` is ``(B, n, n)`` uint8; ``lead``/``ctr`` are the stored
@@ -226,23 +227,27 @@ def check_all_batched(grid: BlockGrid, code: DiagonalParityCode,
     mirroring :meth:`BlockChecker.check_all` block by block. Blocks are
     independent (disjoint data cells and check-bits), so the vectorized
     all-at-once correction is equivalent to the scalar row-major sweep.
+
+    The tensors live on ``backend`` (:mod:`repro.utils.backend`); pass
+    arrays already created through the same handle.
     """
     m = grid.m
-    syn_lead, syn_ctr = code.syndrome_batch(data, lead, ctr)
-    decoded = code.decode_batch(syn_lead, syn_ctr)
+    xp = get_backend(backend).xp
+    syn_lead, syn_ctr = code.syndrome_batch(data, lead, ctr, backend=backend)
+    decoded = code.decode_batch(syn_lead, syn_ctr, backend=backend)
     if correct:
         # Single data errors: flip the located cell of each flagged block.
-        t, br, bc = np.nonzero(decoded.status == BATCH_DATA_ERROR)
+        t, br, bc = xp.nonzero(decoded.status == BATCH_DATA_ERROR)
         if t.size:
             local_r, local_c = decoded.data_error_positions()
             rows = br * m + local_r[t, br, bc]
             cols = bc * m + local_c[t, br, bc]
             data[t, rows, cols] ^= 1
         # Single check-bit errors: rewrite the faulty stored bit.
-        t, br, bc = np.nonzero(decoded.status == BATCH_LEAD_CHECK_ERROR)
+        t, br, bc = xp.nonzero(decoded.status == BATCH_LEAD_CHECK_ERROR)
         if t.size:
             lead[t, decoded.lead_index[t, br, bc], br, bc] ^= 1
-        t, br, bc = np.nonzero(decoded.status == BATCH_CTR_CHECK_ERROR)
+        t, br, bc = xp.nonzero(decoded.status == BATCH_CTR_CHECK_ERROR)
         if t.size:
             ctr[t, decoded.ctr_index[t, br, bc], br, bc] ^= 1
     return BatchSweepReport(status=decoded.status, corrected=correct)

@@ -29,6 +29,7 @@ from repro.core.blocks import BlockGrid
 from repro.core.checkstore import CheckStore
 from repro.core.diagonals import solve_position
 from repro.core.parity import parity_along_counter, parity_along_leading
+from repro.utils.backend import BackendLike, get_backend
 
 
 class DecodeStatus(enum.Enum):
@@ -166,17 +167,21 @@ class DiagonalParityCode:
             store.ctr[d] = np.bitwise_xor.reduce(tiles[:, rs, :, cs], axis=0)
         return store
 
-    def encode_batch(self, data: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def encode_batch(self, data, backend: BackendLike = None) -> Tuple:
         """Parity planes for a stack of ``B`` crossbars at once.
 
         ``data`` is ``(B, n, n)``; returns ``(lead, ctr)`` planes of shape
         ``(B, m, n/m, n/m)`` — the per-trial analogue of the
         :class:`CheckStore` layout. This is the batched-campaign hot path:
         one gather + XOR-reduce per diagonal covers every block of every
-        trial simultaneously.
+        trial simultaneously. All tensor arithmetic runs on ``backend``
+        (see :mod:`repro.utils.backend`); only the tiny per-diagonal
+        ``m x m`` index tables are computed host-side.
         """
         n, m = self.grid.n, self.grid.m
-        data = np.asarray(data, dtype=np.uint8)
+        be = get_backend(backend)
+        xp = be.xp
+        data = xp.asarray(data, dtype=xp.uint8)
         if data.ndim != 3 or data.shape[1:] != (n, n):
             raise ValueError(f"expected (B, {n}, {n}) data, got {data.shape}")
         b = self.grid.blocks_per_side
@@ -186,16 +191,16 @@ class DiagonalParityCode:
         c = np.arange(m)[None, :]
         lead_idx = (r + c) % m
         ctr_idx = (r - c) % m
-        lead = np.empty((batch, m, b, b), dtype=np.uint8)
-        ctr = np.empty((batch, m, b, b), dtype=np.uint8)
+        lead = xp.empty((batch, m, b, b), dtype=xp.uint8)
+        ctr = xp.empty((batch, m, b, b), dtype=xp.uint8)
         for d in range(m):
             # tiles[:, :, rs, :, cs] gathers the m cells of diagonal d from
             # every block of every trial: shape (m, B, b, b) with the
             # advanced axis first; XOR-reduce over the gathered cells.
             rs, cs = np.nonzero(lead_idx == d)
-            lead[:, d] = np.bitwise_xor.reduce(tiles[:, :, rs, :, cs], axis=0)
+            lead[:, d] = be.xor_reduce(tiles[:, :, rs, :, cs], axis=0)
             rs, cs = np.nonzero(ctr_idx == d)
-            ctr[:, d] = np.bitwise_xor.reduce(tiles[:, :, rs, :, cs], axis=0)
+            ctr[:, d] = be.xor_reduce(tiles[:, :, rs, :, cs], axis=0)
         return lead, ctr
 
     # ------------------------------------------------------------------ #
@@ -235,31 +240,33 @@ class DiagonalParityCode:
         lead_s, ctr_s = self.syndrome_block(block, lead_bits, ctr_bits)
         return self.decode(lead_s, ctr_s)
 
-    def syndrome_batch(self, data: np.ndarray, lead_bits: np.ndarray,
-                       ctr_bits: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    def syndrome_batch(self, data, lead_bits, ctr_bits,
+                       backend: BackendLike = None) -> Tuple:
         """Syndrome planes for a ``(B, n, n)`` stack of crossbars.
 
         ``lead_bits``/``ctr_bits`` are ``(B, m, n/m, n/m)`` stored
         check-bit planes (e.g. from :meth:`encode_batch` on golden data);
         the result has the same shape.
         """
-        lead, ctr = self.encode_batch(data)
-        return (lead ^ np.asarray(lead_bits, dtype=np.uint8),
-                ctr ^ np.asarray(ctr_bits, dtype=np.uint8))
+        xp = get_backend(backend).xp
+        lead, ctr = self.encode_batch(data, backend=backend)
+        return (lead ^ xp.asarray(lead_bits, dtype=xp.uint8),
+                ctr ^ xp.asarray(ctr_bits, dtype=xp.uint8))
 
-    def decode_batch(self, lead_syndrome: np.ndarray,
-                     ctr_syndrome: np.ndarray) -> "BatchDecode":
+    def decode_batch(self, lead_syndrome, ctr_syndrome,
+                     backend: BackendLike = None) -> "BatchDecode":
         """Classify every block of every trial in one vectorized pass.
 
         Input planes are ``(B, m, b, b)``; the result holds one status
         code per ``(trial, block_row, block_col)`` plus the syndrome
         positions needed to apply corrections (see :class:`BatchDecode`).
         """
-        lead_syndrome = np.asarray(lead_syndrome, dtype=np.uint8)
-        ctr_syndrome = np.asarray(ctr_syndrome, dtype=np.uint8)
-        lead_ones = lead_syndrome.sum(axis=1, dtype=np.int64)
-        ctr_ones = ctr_syndrome.sum(axis=1, dtype=np.int64)
-        status = np.full(lead_ones.shape, BATCH_UNCORRECTABLE, dtype=np.uint8)
+        xp = get_backend(backend).xp
+        lead_syndrome = xp.asarray(lead_syndrome, dtype=xp.uint8)
+        ctr_syndrome = xp.asarray(ctr_syndrome, dtype=xp.uint8)
+        lead_ones = lead_syndrome.sum(axis=1, dtype=xp.int64)
+        ctr_ones = ctr_syndrome.sum(axis=1, dtype=xp.int64)
+        status = xp.full(lead_ones.shape, BATCH_UNCORRECTABLE, dtype=xp.uint8)
         status[(lead_ones == 0) & (ctr_ones == 0)] = BATCH_NO_ERROR
         status[(lead_ones == 1) & (ctr_ones == 1)] = BATCH_DATA_ERROR
         status[(lead_ones == 1) & (ctr_ones == 0)] = BATCH_LEAD_CHECK_ERROR
@@ -267,8 +274,8 @@ class DiagonalParityCode:
         return BatchDecode(
             m=self.grid.m,
             status=status,
-            lead_index=np.argmax(lead_syndrome, axis=1),
-            ctr_index=np.argmax(ctr_syndrome, axis=1),
+            lead_index=xp.argmax(lead_syndrome, axis=1),
+            ctr_index=xp.argmax(ctr_syndrome, axis=1),
         )
 
     # ------------------------------------------------------------------ #

@@ -24,16 +24,24 @@ from repro.faults.injector import (
     DeterministicInjector,
     FaultInjector,
     InjectionResult,
+    LinearBurstInjector,
+    MaskFieldInjector,
     UniformInjector,
 )
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.faults.batch import (
+    AdaptiveRunResult,
     BatchCampaign,
     CampaignRunner,
     merge_results,
     run_reference,
 )
-from repro.faults.drift import DriftModel, DriftSimulator
+from repro.faults.drift import (
+    DriftInjector,
+    DriftModel,
+    DriftSimulator,
+    window_flip_mask,
+)
 
 __all__ = [
     "HOURS_PER_FIT_UNIT",
@@ -43,18 +51,23 @@ __all__ = [
     "probability_from_fit",
     "mttf_hours_from_fit",
     "FaultInjector",
+    "MaskFieldInjector",
     "UniformInjector",
     "DeterministicInjector",
     "BurstInjector",
     "CheckBitInjector",
     "InjectionResult",
     "BatchInjectionResult",
+    "LinearBurstInjector",
     "FaultCampaign",
     "CampaignResult",
+    "AdaptiveRunResult",
     "BatchCampaign",
     "CampaignRunner",
     "merge_results",
     "run_reference",
     "DriftModel",
     "DriftSimulator",
+    "DriftInjector",
+    "window_flip_mask",
 ]

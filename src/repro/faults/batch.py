@@ -47,15 +47,37 @@ The engine has two seeding modes, selected by ``seeding=``:
 
 Sharding uses a ``concurrent.futures`` process pool: trials are split
 into contiguous ranges (:func:`repro.utils.rng.shard_bounds`), each
-worker rebuilds the engine from the picklable (grid, injector, entropy)
-triple and runs its range in ``batch_size`` chunks. Peak memory per
-worker is about ``5 * batch_size * n**2`` bytes (data + golden + masks),
-so large-``n`` sweeps should lower ``batch_size`` rather than trials.
+worker rebuilds the engine from the picklable (grid, injector, entropy,
+backend-name) tuple and runs its range in ``batch_size`` chunks. Peak
+memory per worker is about ``5 * batch_size * n**2`` bytes (data +
+golden + masks), so large-``n`` sweeps should lower ``batch_size``
+rather than trials.
+
+Array backends
+==============
+
+All tensor arithmetic dispatches through an
+:class:`repro.utils.backend.ArrayBackend` handle (``backend=`` on
+:class:`BatchCampaign` / :class:`CampaignRunner`, default numpy or
+``$REPRO_BACKEND``). Random draws are *always* host-side numpy and cross
+onto the backend via staging, so both seeding contracts above are
+backend-independent: a sequential run under any backend produces the
+same tallies as the numpy run, bit for bit, as long as the backend's
+arithmetic is exact (integer/boolean ops are, on every supported
+backend).
+
+Every simulator in the library rides this engine: uniform/burst/check-bit
+SER campaigns, the drift-window campaigns of
+:class:`repro.faults.drift.DriftInjector`, and the linear-burst survival
+analysis of :mod:`repro.reliability.burst` all dispatch through
+:class:`CampaignRunner`, inheriting batching, sharding, adaptive
+sampling (:meth:`CampaignRunner.run_adaptive`), and backend selection.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -65,16 +87,46 @@ from repro.core.checker import check_all_batched
 from repro.core.code import DiagonalParityCode
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.faults.injector import FaultInjector
+from repro.utils.backend import (
+    ArrayBackend,
+    BackendLike,
+    available_backends,
+    get_backend,
+)
 from repro.utils.rng import (
     SeedLike,
     make_rng,
     resolve_entropy,
     shard_bounds,
+    spawn_rngs,
     trial_rngs,
 )
+from repro.utils.stats import wilson_interval
 
 #: Default trials per vectorized block; ~5 * 64 * n^2 bytes of peak state.
 DEFAULT_BATCH_SIZE = 64
+
+
+def derive_campaign_seeds(seed: SeedLike, seeding: Optional[str],
+                          workers: int) -> tuple:
+    """Split one user seed into ``(campaign_seed, injector_seed)``.
+
+    The helper for simulator entry points that wrap a single ``seed``
+    around a :class:`CampaignRunner` (burst survival, drift survival):
+
+    * per-trial mode (``seeding="per-trial"`` or ``workers > 1``): the
+      engine derives both streams per trial from the root entropy, so
+      the seed passes through as the campaign seed and the injector's
+      own stream is never consumed (``None``);
+    * sequential mode: the seed is split into independent data-fill and
+      injection generators by ``SeedSequence`` spawning
+      (:func:`repro.utils.rng.spawn_rngs`) — deterministic for any
+      integral seed, loud for a live ``Generator``.
+    """
+    if seeding == "per-trial" or workers > 1:
+        return seed, None
+    campaign_rng, injector_rng = spawn_rngs(seed, 2)
+    return campaign_rng, injector_rng
 
 
 def merge_results(results: Sequence[CampaignResult]) -> CampaignResult:
@@ -101,7 +153,8 @@ class BatchCampaign:
 
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
                  seed: SeedLike = None, include_check_bits: bool = True,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 backend: BackendLike = None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.grid = grid
@@ -109,6 +162,7 @@ class BatchCampaign:
         self.rng = make_rng(seed)
         self.include_check_bits = include_check_bits
         self.batch_size = batch_size
+        self.backend = get_backend(backend)
         self.code = DiagonalParityCode(grid)
 
     # ------------------------------------------------------------------ #
@@ -168,15 +222,20 @@ class BatchCampaign:
         engine for every chunking.
         """
         n = self.grid.n
-        data = np.empty((batch, n, n), dtype=np.uint8)
+        be = self.backend
+        stage = np.empty((batch, n, n), dtype=np.uint8)
         if data_rngs is None:
             for i in range(batch):
-                data[i] = self.rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+                stage[i] = self.rng.integers(0, 2, size=(n, n),
+                                             dtype=np.uint8)
         else:
             for i, rng in enumerate(data_rngs):
-                data[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+                stage[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        # Draws are always host-side numpy (the seeding contract); the
+        # stack crosses onto the backend once, here.
+        data = be.from_numpy(stage)
 
-        lead, ctr = self.code.encode_batch(data)
+        lead, ctr = self.code.encode_batch(data, backend=be)
         golden = data.copy()
         golden_lead = lead.copy()
         golden_ctr = ctr.copy()
@@ -185,21 +244,23 @@ class BatchCampaign:
             data,
             lead if self.include_check_bits else None,
             ctr if self.include_check_bits else None,
-            rngs=inject_rngs)
+            rngs=inject_rngs, backend=be)
 
         sweep = check_all_batched(self.grid, self.code, data, lead, ctr,
-                                  correct=True)
+                                  correct=True, backend=be)
 
         totals = injection.totals
         multi = injection.multi_fault_blocks(self.grid)
-        restored = ((data == golden).reshape(batch, -1).all(axis=1)
-                    & (lead == golden_lead).reshape(batch, -1).all(axis=1)
-                    & (ctr == golden_ctr).reshape(batch, -1).all(axis=1))
+        restored = be.to_numpy(
+            (data == golden).reshape(batch, -1).all(axis=1)
+            & (lead == golden_lead).reshape(batch, -1).all(axis=1)
+            & (ctr == golden_ctr).reshape(batch, -1).all(axis=1))
+        uncorrectable = be.to_numpy(sweep.uncorrectable_any)
 
         clean = totals == 0
         corrected = ~clean & restored
-        detected = ~clean & ~restored & sweep.uncorrectable_any
-        silent = ~clean & ~restored & ~sweep.uncorrectable_any
+        detected = ~clean & ~restored & uncorrectable
+        silent = ~clean & ~restored & ~uncorrectable
 
         return CampaignResult(
             trials=batch,
@@ -217,11 +278,26 @@ class BatchCampaign:
 # ---------------------------------------------------------------------- #
 
 def _run_shard(payload: tuple) -> CampaignResult:
-    """Worker entry: rebuild the engine and run one trial range."""
-    (n, m, injector, entropy, lo, hi, include_check_bits, batch_size) = payload
+    """Worker entry: rebuild the engine and run one trial range.
+
+    The backend crosses the process boundary by registered *name* —
+    module handles do not pickle — and is re-resolved in the worker.
+    """
+    (n, m, injector, entropy, lo, hi, include_check_bits, batch_size,
+     backend_name) = payload
+    try:
+        backend = get_backend(backend_name)
+    except ValueError as exc:
+        raise ValueError(
+            f"backend {backend_name!r} is not registered inside this "
+            f"worker process; with a spawn-based pool start method the "
+            f"register_backend() call must run at import time of a "
+            f"module the worker imports (e.g. next to the injector "
+            f"definition), not interactively in the parent") from exc
     engine = BatchCampaign(BlockGrid(n, m), injector,
                            include_check_bits=include_check_bits,
-                           batch_size=batch_size)
+                           batch_size=batch_size,
+                           backend=backend)
     return engine.run_range_seeded(entropy, lo, hi)
 
 
@@ -249,6 +325,34 @@ def run_reference(grid: BlockGrid, injector: FaultInjector, entropy: int,
     return out
 
 
+@dataclass(frozen=True)
+class AdaptiveRunResult:
+    """Outcome of an adaptive (CI-early-stopped) campaign run.
+
+    ``result`` holds the merged tallies of every round actually run;
+    ``ci_low``/``ci_high`` bracket the failure rate at ``confidence`` via
+    the Wilson score interval, and ``converged`` reports whether the
+    half-width reached ``tolerance`` before ``max_trials``.
+    """
+
+    result: CampaignResult
+    tolerance: float
+    confidence: float
+    halfwidth: float
+    ci_low: float
+    ci_high: float
+    rounds: int
+    converged: bool
+
+    @property
+    def trials(self) -> int:
+        return self.result.trials
+
+    @property
+    def failure_rate(self) -> float:
+        return self.result.failure_rate
+
+
 class CampaignRunner:
     """Facade over the scalar reference and the batched/sharded engines.
 
@@ -269,13 +373,23 @@ class CampaignRunner:
         ``"sequential"`` | ``"per-trial"`` | ``None`` (auto: sequential
         for one worker, per-trial otherwise). See the module docstring
         for the exact reproducibility contract of each mode.
+    backend:
+        Array backend for the vectorized engine — an
+        :class:`repro.utils.backend.ArrayBackend`, a registered name, or
+        ``None`` (``$REPRO_BACKEND`` / numpy). Sharded runs rebuild the
+        backend in each worker from its registered name, so unregistered
+        ad-hoc instances are limited to ``workers == 1`` — and with a
+        spawn-based pool start method (macOS/Windows default) a custom
+        name must be registered at import time of a module workers
+        import; built-in names always resolve.
     """
 
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
                  seed: SeedLike = None, include_check_bits: bool = True,
                  engine: str = "batched",
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 workers: int = 1, seeding: Optional[str] = None):
+                 workers: int = 1, seeding: Optional[str] = None,
+                 backend: BackendLike = None):
         if engine not in ("batched", "scalar"):
             raise ValueError(f"engine must be 'batched' or 'scalar', "
                              f"got {engine!r}")
@@ -300,6 +414,25 @@ class CampaignRunner:
         self.batch_size = batch_size
         self.workers = workers
         self.seeding = seeding
+        self.backend = get_backend(backend)
+        if workers > 1:
+            if self.backend.name not in available_backends():
+                raise ValueError(
+                    f"backend {self.backend.name!r} is not registered; "
+                    f"sharded runs rebuild the backend by name in each "
+                    f"worker — register_backend() it or run with workers=1")
+            if isinstance(backend, ArrayBackend) \
+                    and get_backend(backend.name) is not backend:
+                # An ad-hoc instance shadowing a registered name would
+                # silently mix backends: workers re-resolve the name to
+                # the registered one while in-process spans use the
+                # instance.
+                raise ValueError(
+                    f"backend instance {backend.name!r} is not the "
+                    f"registered instance of that name; sharded runs "
+                    f"re-resolve backends by name in each worker, so "
+                    f"pass the name (backend={backend.name!r}) or run "
+                    f"with workers=1")
         if seeding == "per-trial":
             self.entropy: Optional[int] = resolve_entropy(seed)
             self._seed: SeedLike = None
@@ -307,30 +440,127 @@ class CampaignRunner:
             self.entropy = None
             self._seed = seed
 
-    def run(self, trials: int) -> CampaignResult:
-        """Run ``trials`` trials on the configured engine."""
+    def _make_engine(self):
+        """Fresh engine honouring this runner's configuration."""
         if self.engine == "scalar":
             return FaultCampaign(
                 self.grid, self.injector, seed=self._seed,
-                include_check_bits=self.include_check_bits).run(trials)
-        if self.seeding == "sequential":
-            return BatchCampaign(
-                self.grid, self.injector, seed=self._seed,
-                include_check_bits=self.include_check_bits,
-                batch_size=self.batch_size).run(trials)
-        bounds = shard_bounds(trials, self.workers)
+                include_check_bits=self.include_check_bits)
+        return BatchCampaign(
+            self.grid, self.injector, seed=self._seed,
+            include_check_bits=self.include_check_bits,
+            batch_size=self.batch_size, backend=self.backend)
+
+    def _run_span(self, lo: int, hi: int,
+                  pool: Optional[ProcessPoolExecutor] = None
+                  ) -> CampaignResult:
+        """Per-trial-seeded trials ``[lo, hi)``, sharded across workers.
+
+        ``pool`` reuses a caller-managed executor (the adaptive loop runs
+        many spans and should not respawn workers per round); ``None``
+        creates one for this span when sharding is needed.
+        """
+        bounds = [(lo + a, lo + b)
+                  for a, b in shard_bounds(hi - lo, self.workers)]
         if self.workers == 1 or len(bounds) <= 1:
             engine = BatchCampaign(self.grid, self.injector,
                                    include_check_bits=self.include_check_bits,
-                                   batch_size=self.batch_size)
-            return merge_results([engine.run_range_seeded(self.entropy, lo, hi)
-                                  for lo, hi in bounds])
+                                   batch_size=self.batch_size,
+                                   backend=self.backend)
+            return merge_results([engine.run_range_seeded(self.entropy, a, b)
+                                  for a, b in bounds])
         payloads = [(self.grid.n, self.grid.m, self.injector, self.entropy,
-                     lo, hi, self.include_check_bits, self.batch_size)
-                    for lo, hi in bounds]
+                     a, b, self.include_check_bits, self.batch_size,
+                     self.backend.name)
+                    for a, b in bounds]
+        if pool is not None:
+            return merge_results(list(pool.map(_run_shard, payloads)))
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
             shards = list(pool.map(_run_shard, payloads))
         return merge_results(shards)
+
+    def run(self, trials: int) -> CampaignResult:
+        """Run ``trials`` trials on the configured engine."""
+        if self.seeding == "sequential":
+            return self._make_engine().run(trials)
+        return self._run_span(0, trials)
+
+    def run_adaptive(self, tolerance: float, confidence: float = 0.95,
+                     max_trials: int = 1_000_000,
+                     initial_trials: int = 256,
+                     growth: float = 2.0) -> AdaptiveRunResult:
+        """Run until the failure-rate CI is tight enough (or the cap).
+
+        Trials are issued in rounds of deterministic size — the schedule
+        ``initial_trials, initial_trials * growth, ...`` (truncated at
+        ``max_trials``) depends only on the arguments, never on observed
+        tallies — and after each round the Wilson score interval of the
+        failure rate (``detected + silent`` over trials) is evaluated at
+        ``confidence``; the run stops once its half-width is at most
+        ``tolerance``.
+
+        Reproducibility: because the schedule is deterministic and each
+        round extends the same trial sequence (sequential modes continue
+        one engine's streams; per-trial mode runs trial ranges under the
+        root entropy), the merged tallies equal a plain ``run`` of the
+        same total — and therefore depend only on the seed and the
+        stopping point, not on how rounds were grouped. In per-trial
+        mode the result is additionally invariant under ``workers`` and
+        ``batch_size``, like every other per-trial-seeded run.
+        """
+        if tolerance <= 0:
+            raise ValueError(f"tolerance must be positive, got {tolerance}")
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), "
+                             f"got {confidence}")
+        if max_trials <= 0:
+            raise ValueError(f"max_trials must be positive, got {max_trials}")
+        if initial_trials <= 0:
+            raise ValueError(f"initial_trials must be positive, "
+                             f"got {initial_trials}")
+        if growth < 1.0:
+            raise ValueError(f"growth must be >= 1, got {growth}")
+
+        pool: Optional[ProcessPoolExecutor] = None
+        if self.seeding == "sequential":
+            engine = self._make_engine()
+
+            def run_span(lo: int, hi: int) -> CampaignResult:
+                return engine.run(hi - lo)
+        else:
+            if self.workers > 1:
+                # One executor across every round — adaptive sweeps run
+                # many spans and must not respawn workers per round.
+                pool = ProcessPoolExecutor(max_workers=self.workers)
+
+            def run_span(lo: int, hi: int) -> CampaignResult:
+                return self._run_span(lo, hi, pool=pool)
+
+        try:
+            total = CampaignResult()
+            done = 0
+            rounds = 0
+            step = initial_trials
+            while True:
+                take = min(step, max_trials - done)
+                total = merge_results([total, run_span(done, done + take)])
+                done += take
+                rounds += 1
+                failures = total.detected + total.silent
+                low, high = wilson_interval(failures, total.trials,
+                                            confidence)
+                halfwidth = (high - low) / 2.0
+                converged = halfwidth <= tolerance
+                if converged or done >= max_trials:
+                    return AdaptiveRunResult(
+                        result=total, tolerance=tolerance,
+                        confidence=confidence, halfwidth=halfwidth,
+                        ci_low=low, ci_high=high, rounds=rounds,
+                        converged=converged)
+                step = max(1, int(step * growth))
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
     def run_reference(self, trials: int) -> CampaignResult:
         """Scalar replay of this runner's per-trial-seeded contract."""

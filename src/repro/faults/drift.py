@@ -16,18 +16,35 @@ The paper distinguishes two soft-error classes:
 per-bit flip probability within an ECC check window — the quantity the
 reliability composition consumes — and :class:`DriftSimulator` provides
 a discrete-event per-cell simulation used to validate the closed form.
+
+:class:`DriftInjector` lifts the same discrete-event draws onto the
+fault-campaign machinery: one injection round flips every cell of a
+protected crossbar (and optionally its check memory) that the drift +
+abrupt model upsets within one exposure window, so drift survival runs
+through the real encode/inject/check/classify pipeline — batched,
+sharded, and backend-dispatched via :class:`repro.faults.batch
+.CampaignRunner` exactly like the uniform-SER campaigns (see
+:func:`repro.reliability.drift_analysis.simulate_drift_survival`).
+
+Seeding: all draws flow through :mod:`repro.utils.rng`. Injection rounds
+follow the campaign contract (sequential mode consumes the injector's
+own stream trial by trial, bit-identically to scalar :meth:`DriftInjector
+.inject` calls; per-trial mode takes engine-supplied ``SeedSequence``
+child streams), and :meth:`DriftSimulator.empirical_flip_probability`
+accepts an ``entropy`` for shard-invariant per-trial streams.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.faults.injector import MaskFieldInjector
 from repro.faults.ser import HOURS_PER_FIT_UNIT
-from repro.utils.rng import SeedLike, make_rng
+from repro.utils.rng import SeedLike, make_rng, trial_rngs
 
 
 @dataclass(frozen=True)
@@ -97,6 +114,49 @@ class DriftModel:
         return float(-np.expm1(-total))
 
 
+def window_flip_mask(model: DriftModel, rng: np.random.Generator,
+                     shape: Tuple[int, ...], window_hours: float,
+                     refresh_period_hours: Optional[float] = None
+                     ) -> np.ndarray:
+    """Boolean field: which cells flip within one exposure window.
+
+    The shared discrete-event kernel behind :class:`DriftSimulator` and
+    :class:`DriftInjector`. Draw order is part of the seeding contract
+    (abrupt exponential first-arrival field, then one uniform field per
+    refresh segment): both consumers issue exactly these draws per trial,
+    so scalar and batched paths consume any stream identically.
+    """
+    if window_hours < 0:
+        raise ValueError("window must be non-negative")
+    flipped = np.zeros(shape, dtype=bool)
+    # Abrupt component: exponential first arrival, refresh-immune.
+    rate = model.abrupt_fit_per_bit / HOURS_PER_FIT_UNIT
+    if rate > 0:
+        abrupt_t = rng.exponential(1.0 / rate, shape)
+        flipped |= abrupt_t <= window_hours
+    # Drift component, segment by segment between refreshes: a Weibull
+    # first-flip time is drawn fresh per segment (refresh resets the
+    # exposure clock).
+    inv_beta = 1.0 / model.beta
+
+    def weibull_first_flip() -> np.ndarray:
+        u = rng.random(shape)
+        return model.tau_hours * (-np.log1p(-u)) ** inv_beta
+
+    if refresh_period_hours is None or \
+            refresh_period_hours >= window_hours:
+        flipped |= weibull_first_flip() <= window_hours
+        return flipped
+    if refresh_period_hours <= 0:
+        raise ValueError("refresh period must be positive")
+    remaining = window_hours
+    while remaining > 0:
+        segment = min(refresh_period_hours, remaining)
+        flipped |= weibull_first_flip() <= segment
+        remaining -= segment
+    return flipped
+
+
 class DriftSimulator:
     """Per-cell discrete simulation of the drift + abrupt model.
 
@@ -112,40 +172,71 @@ class DriftSimulator:
         self.cells = cells
         self.rng = make_rng(seed)
 
-    def _weibull_first_flip(self, size: int) -> np.ndarray:
-        u = self.rng.random(size)
-        return self.model.tau_hours * (-np.log1p(-u)) ** \
-            (1.0 / self.model.beta)
-
     def simulate_window(self, window_hours: float,
-                        refresh_period_hours: Optional[float] = None
+                        refresh_period_hours: Optional[float] = None,
+                        rng: Optional[np.random.Generator] = None
                         ) -> np.ndarray:
-        """Boolean array: which cells flipped within the window."""
-        flipped = np.zeros(self.cells, dtype=bool)
-        # Abrupt component: exponential first arrival.
-        rate = self.model.abrupt_fit_per_bit / HOURS_PER_FIT_UNIT
-        if rate > 0:
-            abrupt_t = self.rng.exponential(1.0 / rate, self.cells)
-            flipped |= abrupt_t <= window_hours
-        # Drift component, segment by segment between refreshes.
-        if refresh_period_hours is None or \
-                refresh_period_hours >= window_hours:
-            flipped |= self._weibull_first_flip(self.cells) <= window_hours
-            return flipped
-        remaining = window_hours
-        while remaining > 0:
-            segment = min(refresh_period_hours, remaining)
-            flips = self._weibull_first_flip(self.cells) <= segment
-            flipped |= flips
-            remaining -= segment
-        return flipped
+        """Boolean array: which cells flipped within the window.
+
+        ``rng`` overrides the simulator's own stream for this window
+        (the hook per-trial-seeded estimation uses).
+        """
+        rng = self.rng if rng is None else rng
+        return window_flip_mask(self.model, rng, (self.cells,),
+                                window_hours, refresh_period_hours)
 
     def empirical_flip_probability(self, window_hours: float,
                                    refresh_period_hours: Optional[float],
-                                   trials: int = 1) -> float:
-        """Monte-Carlo estimate of the per-cell flip probability."""
+                                   trials: int = 1,
+                                   entropy: Optional[int] = None) -> float:
+        """Monte-Carlo estimate of the per-cell flip probability.
+
+        With ``entropy=None`` the simulator's own stream is consumed
+        trial by trial (sequential mode). An integer ``entropy`` derives
+        each trial's stream from ``SeedSequence(entropy, spawn_key=(i,))``
+        (:func:`repro.utils.rng.trial_rngs`), making the estimate
+        invariant under any partition of the trial range — the same
+        per-trial contract as the batched campaign engine.
+        """
         total = 0
-        for _ in range(trials):
+        for i in range(trials):
+            rng = None if entropy is None else trial_rngs(entropy, i, 1)[0]
             total += int(self.simulate_window(window_hours,
-                                              refresh_period_hours).sum())
+                                              refresh_period_hours,
+                                              rng=rng).sum())
         return total / (self.cells * trials)
+
+
+class DriftInjector(MaskFieldInjector):
+    """Fault injector sampling one drift + abrupt exposure window.
+
+    Each injection round flips the cells :func:`window_flip_mask` marks
+    for one ``window_hours`` exposure (with optional refresh every
+    ``refresh_period_hours``). When check memory is exposed, the check
+    planes are drawn after the data field (the shared
+    :class:`MaskFieldInjector` draw order, identical on the scalar and
+    batched paths), since check memristors drift like data memristors.
+
+    Campaigns built on this injector turn the per-cell drift model into
+    grid-level survival statistics through the real ECC machinery; see
+    :func:`repro.reliability.drift_analysis.simulate_drift_survival`.
+    """
+
+    def __init__(self, model: DriftModel, window_hours: float,
+                 refresh_period_hours: Optional[float] = None,
+                 seed: SeedLike = None, include_check_bits: bool = True):
+        if window_hours < 0:
+            raise ValueError("window must be non-negative")
+        if refresh_period_hours is not None and refresh_period_hours <= 0:
+            raise ValueError("refresh period must be positive")
+        self.model = model
+        self.window_hours = window_hours
+        self.refresh_period_hours = refresh_period_hours
+        self.include_check_bits = include_check_bits
+        self.rng = make_rng(seed)
+
+    def _draw_mask_indices(self, rng: np.random.Generator,
+                           shape: Tuple[int, ...]) -> Tuple[np.ndarray, ...]:
+        return np.nonzero(window_flip_mask(
+            self.model, rng, shape, self.window_hours,
+            self.refresh_period_hours))

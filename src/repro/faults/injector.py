@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.checkstore import CheckStore
 from repro.faults.ser import probability_from_fit
+from repro.utils.backend import BackendLike, get_backend
 from repro.utils.rng import SeedLike, make_rng
 from repro.xbar.crossbar import CrossbarArray
 
@@ -150,26 +151,26 @@ class BatchInjectionResult:
                              self.check_bc[csel].tolist())],
         )
 
-    def apply(self, data: np.ndarray, lead: Optional[np.ndarray],
-              ctr: Optional[np.ndarray]) -> None:
+    def apply(self, data, lead, ctr, backend: BackendLike = None) -> None:
         """XOR every flip event into the batch tensors (in place).
 
-        ``bitwise_xor.at`` applies repeated events as repeated inversions,
-        so duplicated cells cancel pairwise exactly like repeated scalar
-        :meth:`CrossbarArray.flip` calls.
+        The scatter applies repeated events as repeated inversions, so
+        duplicated cells cancel pairwise exactly like repeated scalar
+        :meth:`CrossbarArray.flip` calls. The tensors live on ``backend``
+        (:meth:`repro.utils.backend.ArrayBackend.scatter_xor`); the flip
+        event arrays themselves always stay host-side numpy.
         """
+        be = get_backend(backend)
         if self.trial.size:
-            np.bitwise_xor.at(data, (self.trial, self.rows, self.cols),
-                              np.uint8(1))
+            be.scatter_xor(data, (self.trial, self.rows, self.cols))
         for plane_id, plane in ((PLANE_LEADING, lead), (PLANE_COUNTER, ctr)):
             if plane is None:
                 continue
             sel = self.check_plane == plane_id
             if sel.any():
-                np.bitwise_xor.at(
+                be.scatter_xor(
                     plane, (self.check_trial[sel], self.check_d[sel],
-                            self.check_br[sel], self.check_bc[sel]),
-                    np.uint8(1))
+                            self.check_br[sel], self.check_bc[sel]))
 
 
 def _resolve_rngs(rngs, default_rng: Optional[np.random.Generator],
@@ -202,11 +203,9 @@ class FaultInjector:
         """
         raise NotImplementedError
 
-    def inject_batch(self, data: np.ndarray,
-                     lead: Optional[np.ndarray] = None,
-                     ctr: Optional[np.ndarray] = None,
+    def inject_batch(self, data, lead=None, ctr=None,
                      rngs: Optional[Sequence[np.random.Generator]] = None,
-                     ) -> BatchInjectionResult:
+                     backend: BackendLike = None) -> BatchInjectionResult:
         """Apply one round of upsets to a ``(B, n, n)`` stack, in place.
 
         ``lead``/``ctr`` are the stored check-bit planes ``(B, m, b, b)``
@@ -214,11 +213,73 @@ class FaultInjector:
         of passing ``store=None`` to :meth:`inject`). ``rngs`` supplies one
         generator per trial; ``None`` consumes the injector's own stream
         sequentially, which reproduces ``B`` scalar rounds bit-for-bit.
+        ``backend`` names the array backend holding the stacked tensors;
+        draws always happen host-side so the stream contract is
+        backend-independent.
         """
         raise NotImplementedError
 
 
-class UniformInjector(FaultInjector):
+class MaskFieldInjector(FaultInjector):
+    """Base for injectors drawing one index field per plane per round.
+
+    Subclasses implement :meth:`_draw_mask_indices` (which cells of a
+    given plane shape upset this round) and set ``include_check_bits``
+    and ``rng``; the shared bodies here fix the per-trial draw order —
+    data mask, then leading plane, then counter plane — in **one** place
+    for both the scalar and the batched path, which is what makes
+    sequential-seeded batched runs bit-identical to ``B`` scalar
+    :meth:`inject` calls for every subclass.
+    """
+
+    include_check_bits: bool = True
+    rng: np.random.Generator
+
+    def _draw_mask_indices(self, rng: np.random.Generator,
+                           shape: Tuple[int, ...]) -> Tuple[np.ndarray, ...]:
+        """Indices of cells upset this round within one plane."""
+        raise NotImplementedError
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        rng = self.rng if rng is None else rng
+        result = InjectionResult()
+        rows, cols = self._draw_mask_indices(rng, (mem.rows, mem.cols))
+        if rows.size:
+            mem.flip_many(rows, cols)
+            result.data_flips = list(zip(rows.tolist(), cols.tolist()))
+        if store is not None and self.include_check_bits:
+            for plane, arr in (("leading", store.lead), ("counter", store.ctr)):
+                ds, brs, bcs = self._draw_mask_indices(rng, arr.shape)
+                for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
+                    store.flip(plane, d, br, bc)
+                    result.check_flips.append((plane, d, br, bc))
+        return result
+
+    def inject_batch(self, data, lead=None, ctr=None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     backend: BackendLike = None) -> BatchInjectionResult:
+        batch = data.shape[0]
+        rngs = _resolve_rngs(rngs, self.rng, batch)
+        plane_shape = None if lead is None else tuple(lead.shape[1:])
+        data_events, check_events = [], []
+        for i, rng in enumerate(rngs):
+            rows, cols = self._draw_mask_indices(rng, tuple(data.shape[1:]))
+            if rows.size:
+                data_events.append((i, rows, cols))
+            if plane_shape is not None and self.include_check_bits:
+                for plane_id in (PLANE_LEADING, PLANE_COUNTER):
+                    ds, brs, bcs = self._draw_mask_indices(rng, plane_shape)
+                    if ds.size:
+                        check_events.append((i, plane_id, ds, brs, bcs))
+        result = BatchInjectionResult.from_events(batch, data_events,
+                                                  check_events)
+        result.apply(data, lead, ctr, backend=backend)
+        return result
+
+
+class UniformInjector(MaskFieldInjector):
     """Paper's model: i.i.d. upsets with per-bit probability ``p``.
 
     ``p`` is usually derived from an SER and an exposure window via
@@ -249,46 +310,6 @@ class UniformInjector(FaultInjector):
         """Indices of cells upset this round (one Bernoulli field draw)."""
         return np.nonzero(rng.random(shape) < self.probability)
 
-    def inject(self, mem: CrossbarArray,
-               store: Optional[CheckStore] = None,
-               rng: Optional[np.random.Generator] = None) -> InjectionResult:
-        rng = self.rng if rng is None else rng
-        result = InjectionResult()
-        rows, cols = self._draw_mask_indices(rng, (mem.rows, mem.cols))
-        if rows.size:
-            mem.flip_many(rows, cols)
-            result.data_flips = list(zip(rows.tolist(), cols.tolist()))
-        if store is not None and self.include_check_bits:
-            for plane, arr in (("leading", store.lead), ("counter", store.ctr)):
-                ds, brs, bcs = self._draw_mask_indices(rng, arr.shape)
-                for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
-                    store.flip(plane, d, br, bc)
-                    result.check_flips.append((plane, d, br, bc))
-        return result
-
-    def inject_batch(self, data: np.ndarray,
-                     lead: Optional[np.ndarray] = None,
-                     ctr: Optional[np.ndarray] = None,
-                     rngs: Optional[Sequence[np.random.Generator]] = None,
-                     ) -> BatchInjectionResult:
-        batch = data.shape[0]
-        rngs = _resolve_rngs(rngs, self.rng, batch)
-        plane_shape = None if lead is None else lead.shape[1:]
-        data_events, check_events = [], []
-        for i, rng in enumerate(rngs):
-            rows, cols = self._draw_mask_indices(rng, data.shape[1:])
-            if rows.size:
-                data_events.append((i, rows, cols))
-            if plane_shape is not None and self.include_check_bits:
-                for plane_id in (PLANE_LEADING, PLANE_COUNTER):
-                    ds, brs, bcs = self._draw_mask_indices(rng, plane_shape)
-                    if ds.size:
-                        check_events.append((i, plane_id, ds, brs, bcs))
-        result = BatchInjectionResult.from_events(batch, data_events,
-                                                  check_events)
-        result.apply(data, lead, ctr)
-        return result
-
 
 class DeterministicInjector(FaultInjector):
     """Flips an explicit list of cells; for reproducible unit tests."""
@@ -311,11 +332,9 @@ class DeterministicInjector(FaultInjector):
                 result.check_flips.append((plane, d, br, bc))
         return result
 
-    def inject_batch(self, data: np.ndarray,
-                     lead: Optional[np.ndarray] = None,
-                     ctr: Optional[np.ndarray] = None,
+    def inject_batch(self, data, lead=None, ctr=None,
                      rngs: Optional[Sequence[np.random.Generator]] = None,
-                     ) -> BatchInjectionResult:
+                     backend: BackendLike = None) -> BatchInjectionResult:
         batch = data.shape[0]
         rows = np.asarray([r for r, _ in self.data_flips], dtype=np.int64)
         cols = np.asarray([c for _, c in self.data_flips], dtype=np.int64)
@@ -330,7 +349,7 @@ class DeterministicInjector(FaultInjector):
                         np.asarray([d]), np.asarray([br]), np.asarray([bc])))
         result = BatchInjectionResult.from_events(batch, data_events,
                                                   check_events)
-        result.apply(data, lead, ctr)
+        result.apply(data, lead, ctr, backend=backend)
         return result
 
 
@@ -382,11 +401,9 @@ class BurstInjector(FaultInjector):
             result.data_flips.append((r, c))
         return result
 
-    def inject_batch(self, data: np.ndarray,
-                     lead: Optional[np.ndarray] = None,
-                     ctr: Optional[np.ndarray] = None,
+    def inject_batch(self, data, lead=None, ctr=None,
                      rngs: Optional[Sequence[np.random.Generator]] = None,
-                     ) -> BatchInjectionResult:
+                     backend: BackendLike = None) -> BatchInjectionResult:
         batch = data.shape[0]
         rngs = _resolve_rngs(rngs, self.rng, batch)
         data_events = []
@@ -396,7 +413,82 @@ class BurstInjector(FaultInjector):
                 arr = np.asarray(cells, dtype=np.int64)
                 data_events.append((i, arr[:, 0], arr[:, 1]))
         result = BatchInjectionResult.from_events(batch, data_events, [])
-        result.apply(data, lead, ctr)
+        result.apply(data, lead, ctr, backend=backend)
+        return result
+
+
+class LinearBurstInjector(FaultInjector):
+    """One linear burst of ``length`` adjacent flips per trial.
+
+    The dominant crossbar MBU geometry runs along a wordline or bitline
+    (Liu et al., TNS 2015): each round picks a uniform lane and start
+    position and flips ``length`` adjacent cells in that lane. The burst
+    survival analysis (:func:`repro.reliability.burst
+    .simulate_burst_survival`) drives campaigns with this injector; the
+    closed form it validates is :func:`repro.reliability.burst
+    .linear_burst_survival`.
+
+    The start position is uniform over the full lane with wrap-around
+    (cell indices mod the lane length) — the geometry
+    :func:`repro.reliability.burst.linear_burst_survival` states its
+    closed form for; without the wrap the edge placements bias L=2
+    survival from ``1/m`` down to ``(b-1)/(n-1)``.
+
+    Draw order per trial is (lane, start) — two bounded-integer draws —
+    identically in :meth:`inject` and :meth:`inject_batch`, so the
+    batched engine's sequential-seeding contract holds for this injector
+    like every other.
+    """
+
+    def __init__(self, length: int, orientation: str = "row",
+                 seed: SeedLike = None):
+        if length < 1:
+            raise ValueError(f"burst length must be >= 1, got {length}")
+        if orientation not in ("row", "col"):
+            raise ValueError(
+                f"orientation must be 'row' or 'col': {orientation}")
+        self.length = length
+        self.orientation = orientation
+        self.rng = make_rng(seed)
+
+    def _burst_cells(self, rng: np.random.Generator, rows: int,
+                     cols: int) -> Tuple[np.ndarray, np.ndarray]:
+        """(rows, cols) of one burst; start uniform, wrap-around lane."""
+        along = cols if self.orientation == "row" else rows
+        across = rows if self.orientation == "row" else cols
+        if self.length > along:
+            raise ValueError(f"burst length {self.length} exceeds the "
+                             f"{along}-cell lane")
+        lane = int(rng.integers(0, across))
+        start = int(rng.integers(0, along))
+        span = np.arange(start, start + self.length, dtype=np.int64) % along
+        lanes = np.full(self.length, lane, dtype=np.int64)
+        if self.orientation == "row":
+            return lanes, span
+        return span, lanes
+
+    def inject(self, mem: CrossbarArray,
+               store: Optional[CheckStore] = None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        rng = self.rng if rng is None else rng
+        result = InjectionResult()
+        rows, cols = self._burst_cells(rng, mem.rows, mem.cols)
+        for r, c in zip(rows.tolist(), cols.tolist()):
+            mem.flip(r, c)
+            result.data_flips.append((r, c))
+        return result
+
+    def inject_batch(self, data, lead=None, ctr=None,
+                     rngs: Optional[Sequence[np.random.Generator]] = None,
+                     backend: BackendLike = None) -> BatchInjectionResult:
+        batch = data.shape[0]
+        rngs = _resolve_rngs(rngs, self.rng, batch)
+        data_events = []
+        for i, rng in enumerate(rngs):
+            rows, cols = self._burst_cells(rng, data.shape[1], data.shape[2])
+            data_events.append((i, rows, cols))
+        result = BatchInjectionResult.from_events(batch, data_events, [])
+        result.apply(data, lead, ctr, backend=backend)
         return result
 
 
@@ -424,16 +516,14 @@ class CheckBitInjector(FaultInjector):
                 result.check_flips.append((plane, d, br, bc))
         return result
 
-    def inject_batch(self, data: np.ndarray,
-                     lead: Optional[np.ndarray] = None,
-                     ctr: Optional[np.ndarray] = None,
+    def inject_batch(self, data, lead=None, ctr=None,
                      rngs: Optional[Sequence[np.random.Generator]] = None,
-                     ) -> BatchInjectionResult:
+                     backend: BackendLike = None) -> BatchInjectionResult:
         batch = data.shape[0]
         if lead is None:
             return BatchInjectionResult.from_events(batch, [], [])
         rngs = _resolve_rngs(rngs, self.rng, batch)
-        plane_shape = lead.shape[1:]
+        plane_shape = tuple(lead.shape[1:])
         check_events = []
         for i, rng in enumerate(rngs):
             for plane_id in (PLANE_LEADING, PLANE_COUNTER):
@@ -442,5 +532,5 @@ class CheckBitInjector(FaultInjector):
                 if ds.size:
                     check_events.append((i, plane_id, ds, brs, bcs))
         result = BatchInjectionResult.from_events(batch, [], check_events)
-        result.apply(data, lead, ctr)
+        result.apply(data, lead, ctr, backend=backend)
         return result

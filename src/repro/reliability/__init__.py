@@ -15,6 +15,8 @@ from repro.reliability.model import (
     MemoryOrganization,
     ReliabilityModel,
     SweepPoint,
+    log_block_success_probability,
+    window_failure_probability,
 )
 from repro.reliability.montecarlo import (
     BlockTrialResult,
@@ -30,12 +32,16 @@ from repro.reliability.burst import (
 from repro.reliability.drift_analysis import (
     compare_protections,
     refresh_period_sweep,
+    simulate_drift_survival,
+    validate_drift_model,
 )
 
 __all__ = [
     "ReliabilityModel",
     "MemoryOrganization",
     "SweepPoint",
+    "log_block_success_probability",
+    "window_failure_probability",
     "estimate_block_failure_rate",
     "validate_against_model",
     "BlockTrialResult",
@@ -45,4 +51,6 @@ __all__ = [
     "BurstSurvivalResult",
     "compare_protections",
     "refresh_period_sweep",
+    "simulate_drift_survival",
+    "validate_drift_model",
 ]

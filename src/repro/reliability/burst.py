@@ -24,6 +24,19 @@ dominant MBU geometry along wordlines/bitlines):
 
 :func:`linear_burst_survival` provides the closed form and
 :func:`simulate_burst_survival` validates it through the full machinery.
+The Monte-Carlo side is a thin classification layer over the unified
+campaign engine: each trial drives one
+:class:`repro.faults.injector.LinearBurstInjector` round through
+:class:`repro.faults.batch.CampaignRunner`, so burst sweeps inherit the
+``(B, n, n)`` vectorized kernels, process-pool sharding, array-backend
+selection, and both campaign seeding contracts (``engine="scalar"`` is
+the per-block Python reference; sequential batched runs are bit-identical
+to it, per-trial runs are shard-layout invariant).
+
+Seeding: the single ``seed`` is split into independent data-fill and
+injection streams with :func:`repro.utils.rng.spawn_rngs` (sequential
+modes) or used as the root entropy of per-trial ``SeedSequence`` children
+(per-trial mode) — no ad-hoc single-stream consumption.
 """
 
 from __future__ import annotations
@@ -31,13 +44,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.core.blocks import BlockGrid
-from repro.core.checker import BlockChecker
-from repro.core.code import DiagonalParityCode
-from repro.utils.rng import SeedLike, make_rng
-from repro.xbar.crossbar import CrossbarArray
+from repro.faults.batch import (
+    DEFAULT_BATCH_SIZE,
+    CampaignRunner,
+    derive_campaign_seeds,
+)
+from repro.faults.injector import LinearBurstInjector
+from repro.utils.backend import BackendLike
+from repro.utils.rng import SeedLike
 
 
 def linear_burst_survival(m: int, length: int) -> float:
@@ -78,7 +93,13 @@ class BurstSurvivalResult:
 
 def simulate_burst_survival(grid: BlockGrid, length: int, trials: int,
                             orientation: str = "row",
-                            seed: SeedLike = 0) -> BurstSurvivalResult:
+                            seed: SeedLike = 0,
+                            engine: str = "batched",
+                            batch_size: int = DEFAULT_BATCH_SIZE,
+                            workers: int = 1,
+                            seeding: Optional[str] = None,
+                            backend: BackendLike = None,
+                            ) -> BurstSurvivalResult:
     """Empirical burst survival through the real checker.
 
     Each trial: random data, one linear burst of ``length`` adjacent
@@ -86,33 +107,35 @@ def simulate_burst_survival(grid: BlockGrid, length: int, trials: int,
     check sweep, classify as survived (memory restored exactly) or
     detected (uncorrectable reports — never silent corruption, which is
     asserted).
+
+    ``engine``/``batch_size``/``workers``/``seeding``/``backend`` are the
+    :class:`repro.faults.batch.CampaignRunner` knobs: the default batched
+    engine sweeps trials as ``(B, n, n)`` stacks and, with the same
+    ``seed``, reproduces the scalar reference (``engine="scalar"``)
+    bit-for-bit in sequential mode; ``workers > 1`` (or
+    ``seeding="per-trial"``) switches to the shard-invariant per-trial
+    contract, which requires an integer seed.
     """
-    if orientation not in ("row", "col"):
-        raise ValueError(f"orientation must be 'row' or 'col': {orientation}")
-    rng = make_rng(seed)
-    code = DiagonalParityCode(grid)
-    n = grid.n
-    result = BurstSurvivalResult(trials, 0, 0)
-    for _ in range(trials):
-        mem = CrossbarArray(n, n)
-        data = rng.integers(0, 2, (n, n), dtype=np.uint8)
-        mem.write_region(0, 0, data)
-        store = code.encode(mem.snapshot())
-        lane = int(rng.integers(0, n))
-        start = int(rng.integers(0, n - length + 1))
-        for i in range(length):
-            if orientation == "row":
-                mem.flip(lane, start + i)
-            else:
-                mem.flip(start + i, lane)
-        checker = BlockChecker(grid, code, store)
-        sweep = checker.check_all(mem)
-        if (mem.snapshot() == data).all():
-            result.survived += 1
-        else:
-            assert sweep.uncorrectable, "silent burst corruption"
-            result.detected += 1
-    return result
+    if length > grid.n:
+        raise ValueError(f"burst length {length} exceeds the {grid.n}-cell "
+                         f"crossbar lane")
+    campaign_seed, injector_seed = derive_campaign_seeds(seed, seeding,
+                                                         workers)
+    runner = CampaignRunner(
+        grid, LinearBurstInjector(length, orientation, seed=injector_seed),
+        seed=campaign_seed, include_check_bits=True, engine=engine,
+        batch_size=batch_size, workers=workers, seeding=seeding,
+        backend=backend)
+    result = runner.run(trials)
+    # A linear burst can never alias to a correctable syndrome: within a
+    # block its cells occupy distinct diagonals, so any block catching
+    # >= 2 flips reports uncorrectable. Silent corruption would mean the
+    # machinery (not the model) is broken.
+    assert result.silent == 0, "silent burst corruption"
+    return BurstSurvivalResult(
+        trials=result.trials,
+        survived=result.clean + result.corrected,
+        detected=result.detected)
 
 
 def interleaving_distance(m: int) -> int:

@@ -20,8 +20,18 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.faults.drift import DriftModel
-from repro.reliability.model import MemoryOrganization
+from repro.core.blocks import BlockGrid
+from repro.faults.batch import (
+    DEFAULT_BATCH_SIZE,
+    CampaignRunner,
+    derive_campaign_seeds,
+)
+from repro.faults.campaign import CampaignResult
+from repro.faults.drift import DriftInjector, DriftModel
+from repro.reliability.model import MemoryOrganization, \
+    window_failure_probability
+from repro.utils.backend import BackendLike
+from repro.utils.rng import SeedLike
 
 
 @dataclass(frozen=True)
@@ -53,11 +63,8 @@ def _mttf_no_ecc(p_bit: float, org: MemoryOrganization) -> float:
 
 def _mttf_with_ecc(p_bit: float, org: MemoryOrganization) -> float:
     """Diagonal-ECC memory: any block with >= 2 flips fails."""
-    n_cells = org.cells_per_block
-    log_block_ok = (n_cells - 1) * math.log1p(-p_bit) \
-        + math.log1p((n_cells - 1) * p_bit)
-    log_ok = org.total_blocks * log_block_ok
-    p_fail = -math.expm1(log_ok)
+    p_fail = window_failure_probability(p_bit, org.cells_per_block,
+                                        org.total_blocks)
     if p_fail <= 0:
         return float("inf")
     return org.check_period_hours / p_fail
@@ -88,6 +95,87 @@ def compare_protections(model: Optional[DriftModel] = None,
         mttf = (_mttf_with_ecc if cfg.use_ecc else _mttf_no_ecc)(p_bit, org)
         rows.append(DriftComparisonRow(cfg, p_bit, mttf))
     return rows
+
+
+def simulate_drift_survival(grid: BlockGrid,
+                            model: Optional[DriftModel] = None,
+                            window_hours: float = 24.0,
+                            refresh_period_hours: Optional[float] = None,
+                            trials: int = 256,
+                            seed: SeedLike = 0,
+                            engine: str = "batched",
+                            batch_size: int = DEFAULT_BATCH_SIZE,
+                            workers: int = 1,
+                            seeding: Optional[str] = None,
+                            backend: BackendLike = None,
+                            include_check_bits: bool = True,
+                            ) -> CampaignResult:
+    """Grid-level drift survival through the real ECC machinery.
+
+    Each trial samples one drift + abrupt exposure window over a fresh
+    protected ``n x n`` crossbar (:class:`repro.faults.drift
+    .DriftInjector`), runs the full check sweep, and classifies the trial
+    — the empirical counterpart of the closed-form composition the rows
+    of :func:`compare_protections` are built from.
+
+    Dispatches through :class:`repro.faults.batch.CampaignRunner`, so
+    drift sweeps get the batched ``(B, n, n)`` kernels, process-pool
+    sharding, adaptive sampling, and array-backend selection with the
+    standard seeding contracts (``engine="scalar"`` is the bit-identical
+    sequential reference; per-trial mode is shard-invariant and needs an
+    integer seed). The single ``seed`` is split into data-fill and
+    injection streams via :func:`repro.utils.rng.spawn_rngs`.
+    """
+    model = model or DriftModel()
+    campaign_seed, injector_seed = derive_campaign_seeds(seed, seeding,
+                                                         workers)
+    runner = CampaignRunner(
+        grid,
+        DriftInjector(model, window_hours, refresh_period_hours,
+                      seed=injector_seed,
+                      include_check_bits=include_check_bits),
+        seed=campaign_seed, include_check_bits=include_check_bits,
+        engine=engine, batch_size=batch_size, workers=workers,
+        seeding=seeding, backend=backend)
+    return runner.run(trials)
+
+
+def validate_drift_model(grid: BlockGrid, model: DriftModel,
+                         window_hours: float,
+                         refresh_period_hours: Optional[float] = None,
+                         trials: int = 256, seed: SeedLike = 0,
+                         tolerance_sigmas: float = 5.0,
+                         backend: BackendLike = None) -> dict:
+    """Empirical drift campaign vs the closed-form block binomial.
+
+    The analytic side converts the model's per-bit window flip
+    probability into P(some block of the crossbar catches >= 2 upsets) —
+    the same composition as :func:`compare_protections` but for one
+    crossbar, counting each block's codeword (``m^2 + 2m`` cells). The
+    empirical side is :func:`simulate_drift_survival`'s failure rate
+    (trials not fully restored). They agree within sampling error except
+    for the rare aliasing cases (a multi-upset block that happens to
+    restore), so ``consistent`` uses a one-sided-friendly sigma band.
+    """
+    n_cells = grid.cells_per_block + grid.check_bits_per_block
+    p_bit = model.flip_probability(window_hours, refresh_period_hours)
+    analytic = window_failure_probability(p_bit, n_cells, grid.block_count)
+
+    mc = simulate_drift_survival(
+        grid, model, window_hours, refresh_period_hours, trials=trials,
+        seed=seed, backend=backend)
+    sigma = math.sqrt(max(analytic * (1 - analytic), 1e-300) / trials)
+    diff = abs(mc.failure_rate - analytic)
+    return {
+        "analytic": analytic,
+        "empirical": mc.failure_rate,
+        "sigma": sigma,
+        "difference": diff,
+        "consistent": diff <= tolerance_sigmas * sigma + 1e-12,
+        "silent": mc.silent,
+        "trials": trials,
+        "bit_flip_probability": p_bit,
+    }
 
 
 def refresh_period_sweep(model: Optional[DriftModel] = None,

@@ -39,6 +39,29 @@ from repro.faults.ser import HOURS_PER_FIT_UNIT, probability_from_fit
 GIB_BITS = 8 * 1024 ** 3
 
 
+def log_block_success_probability(p_bit: float, cells_per_block: int) -> float:
+    """``log P(a block has <= 1 upset among its cells)`` in log-space.
+
+    The paper's core closed form: ``log[(1-p)^(N-1) (1 + (N-1) p)]``.
+    Shared by every composition in the library (Figure 6 model, drift
+    comparison, empirical validators) so the block-success term has one
+    definition.
+    """
+    return (cells_per_block - 1) * math.log1p(-p_bit) \
+        + math.log1p((cells_per_block - 1) * p_bit)
+
+
+def window_failure_probability(p_bit: float, cells_per_block: int,
+                               blocks: float) -> float:
+    """P(some block of ``blocks`` accumulates >= 2 upsets in a window).
+
+    Composes :func:`log_block_success_probability` over independent
+    blocks, staying in log-space until the final ``expm1``.
+    """
+    return -math.expm1(blocks * log_block_success_probability(
+        p_bit, cells_per_block))
+
+
 @dataclass(frozen=True)
 class MemoryOrganization:
     """Geometry of the analyzed memory.
@@ -106,9 +129,8 @@ class ReliabilityModel:
 
     def log_block_success(self, ser: float) -> float:
         """``log P(block has <= 1 upset in T)`` (see module docstring)."""
-        p = self.bit_upset_probability(ser)
-        n_cells = self.org.cells_per_block
-        return (n_cells - 1) * math.log1p(-p) + math.log1p((n_cells - 1) * p)
+        return log_block_success_probability(self.bit_upset_probability(ser),
+                                             self.org.cells_per_block)
 
     def block_failure_probability(self, ser: float) -> float:
         """``P(block accumulates >= 2 upsets in T)``."""

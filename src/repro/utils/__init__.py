@@ -1,5 +1,13 @@
-"""Shared helpers: bit manipulation, validation, deterministic RNG."""
+"""Shared helpers: bit manipulation, validation, RNG, array backends."""
 
+from repro.utils.backend import (
+    ArrayBackend,
+    BackendUnavailableError,
+    TracingBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.utils.bitops import (
     bits_to_int,
     bools_to_bits,
@@ -10,6 +18,7 @@ from repro.utils.bitops import (
     unpack_bits,
 )
 from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.stats import wilson_halfwidth, wilson_interval
 from repro.utils.validation import (
     check_index,
     check_odd,
@@ -18,6 +27,14 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "TracingBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "wilson_interval",
+    "wilson_halfwidth",
     "bits_to_int",
     "bools_to_bits",
     "int_to_bits",

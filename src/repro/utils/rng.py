@@ -31,8 +31,19 @@ def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
 
     Used by parallel Monte-Carlo campaigns so each trial gets its own
     stream while remaining reproducible from the single campaign seed.
+    Any integral seed (Python or numpy) seeds the root deterministically;
+    ``None`` draws fresh OS entropy. A live :class:`numpy.random
+    .Generator` cannot be decomposed into independent children and is
+    rejected rather than silently falling back to fresh entropy.
     """
-    root = np.random.SeedSequence(seed if isinstance(seed, int) else None)
+    if isinstance(seed, np.random.Generator):
+        raise ValueError(
+            "spawn_rngs needs an integer seed (or None), not a Generator: "
+            "independent child streams cannot be derived from a live "
+            "stream")
+    if seed is not None:
+        seed = int(seed)
+    root = np.random.SeedSequence(seed)
     return [np.random.default_rng(s) for s in root.spawn(count)]
 
 

@@ -1,0 +1,56 @@
+"""Small statistics helpers for Monte-Carlo campaign control.
+
+The adaptive-sampling loop (:meth:`repro.faults.batch.CampaignRunner
+.run_adaptive`) stops once the failure-rate confidence interval is tight
+enough. The Wilson score interval is used rather than the normal
+approximation because campaign failure rates are routinely tiny (a
+handful of failures in thousands of trials), where the Wald interval
+collapses to zero width and never triggers a principled stop.
+"""
+
+from __future__ import annotations
+
+import math
+from statistics import NormalDist
+from typing import Tuple
+
+
+def _z_value(confidence: float) -> float:
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return NormalDist().inv_cdf(0.5 + confidence / 2.0)
+
+
+def wilson_interval(successes: int, trials: int,
+                    confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    Returns ``(low, high)`` bounds in ``[0, 1]``. With ``trials == 0``
+    the interval is the vacuous ``(0, 1)``.
+    """
+    if trials < 0:
+        raise ValueError(f"trials must be non-negative, got {trials}")
+    if not 0 <= successes <= max(trials, 0):
+        raise ValueError(f"successes must be in [0, {trials}], "
+                         f"got {successes}")
+    z = _z_value(confidence)
+    if trials == 0:
+        return 0.0, 1.0
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p * (1 - p) / trials
+                                   + z2 / (4 * trials * trials))
+    # At the degenerate proportions the exact bounds are 0 and 1; snap
+    # them so float rounding cannot leave the interval excluding p-hat.
+    low = 0.0 if successes == 0 else max(0.0, center - half)
+    high = 1.0 if successes == trials else min(1.0, center + half)
+    return low, high
+
+
+def wilson_halfwidth(successes: int, trials: int,
+                     confidence: float = 0.95) -> float:
+    """Half-width of :func:`wilson_interval` (the early-stop criterion)."""
+    low, high = wilson_interval(successes, trials, confidence)
+    return (high - low) / 2.0

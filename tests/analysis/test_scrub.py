@@ -38,6 +38,27 @@ class TestEmpiricalScrubWindow:
         with pytest.raises(ValueError):
             empirical_scrub_failure(BlockGrid(9, 3), 1.0, 0.0, 5)
 
+    def test_adaptive_mode_reports_interval(self):
+        from repro.core.blocks import BlockGrid
+        from repro.analysis.scrub import empirical_scrub_failure
+        report = empirical_scrub_failure(BlockGrid(15, 5),
+                                         ser_fit_per_bit=5e6,
+                                         period_hours=24, trials=2048,
+                                         seed=3, tolerance=0.08)
+        assert report["converged"]
+        assert report["trials"] < 2048  # stopped early
+        assert report["ci_low"] <= report["failure_rate"] <= report["ci_high"]
+        assert report["ci_halfwidth"] <= 0.08
+
+    def test_backend_handle_identical(self):
+        from repro.core.blocks import BlockGrid
+        from repro.analysis.scrub import empirical_scrub_failure
+        from repro.utils.backend import TracingBackend
+        base = empirical_scrub_failure(BlockGrid(9, 3), 5e6, 24, 16, seed=4)
+        traced = empirical_scrub_failure(BlockGrid(9, 3), 5e6, 24, 16,
+                                         seed=4, backend=TracingBackend())
+        assert base == traced
+
 
 class TestPaperClaim:
     def test_24h_period_is_negligible(self):

@@ -1,0 +1,121 @@
+"""End-to-end: the full batched engine under a non-default backend.
+
+Acceptance pin for the array-backend refactor: a uniform-SER campaign, a
+drift-window campaign, and a burst-survival sweep all run through
+:class:`repro.utils.backend.TracingBackend` — a non-default handle whose
+op log proves the kernels dispatched through the backend — and produce
+tallies bit-identical to the numpy default (draws are host-side, so the
+backend cannot perturb the stream).
+"""
+
+import numpy as np
+
+from repro.core.blocks import BlockGrid
+from repro.faults import CampaignRunner, DriftInjector, DriftModel, \
+    UniformInjector
+from repro.reliability import estimate_block_failure_rate, \
+    simulate_burst_survival, simulate_drift_survival
+from repro.utils.backend import TracingBackend, get_backend
+
+
+def test_campaign_drift_burst_under_tracing_backend():
+    grid = BlockGrid(15, 5)
+    tracing = TracingBackend()
+    model = DriftModel(tau_hours=150.0, beta=2.0, abrupt_fit_per_bit=5e5)
+
+    campaign_np = CampaignRunner(grid, UniformInjector(0.02, seed=1),
+                                 seed=2).run(30)
+    campaign_tr = CampaignRunner(grid, UniformInjector(0.02, seed=1),
+                                 seed=2, backend=tracing).run(30)
+    assert campaign_np.as_dict() == campaign_tr.as_dict()
+    assert tracing.ops, "campaign never touched the backend handle"
+
+    drift_np = simulate_drift_survival(grid, model, 24.0, 4.0, trials=20,
+                                       seed=3)
+    drift_tr = simulate_drift_survival(grid, model, 24.0, 4.0, trials=20,
+                                       seed=3, backend=TracingBackend())
+    assert drift_np.as_dict() == drift_tr.as_dict()
+
+    burst_np = simulate_burst_survival(grid, 2, 30, seed=4)
+    burst_tr = simulate_burst_survival(grid, 2, 30, seed=4,
+                                       backend=TracingBackend())
+    assert burst_np == burst_tr
+
+
+def test_campaign_under_registered_name_handle():
+    """Backends resolve by registered name at every entry point."""
+    grid = BlockGrid(9, 3)
+    by_name = CampaignRunner(grid, UniformInjector(0.05, seed=0), seed=1,
+                             backend="tracing").run(15)
+    default = CampaignRunner(grid, UniformInjector(0.05, seed=0),
+                             seed=1).run(15)
+    assert by_name.as_dict() == default.as_dict()
+
+
+def test_montecarlo_estimator_backend_identical():
+    grid = BlockGrid(15, 5)
+    a = estimate_block_failure_rate(grid, 0.02, trials=40, seed=5)
+    b = estimate_block_failure_rate(grid, 0.02, trials=40, seed=5,
+                                    backend=TracingBackend())
+    assert a == b
+
+
+def test_sharded_campaign_with_named_backend():
+    """Worker processes rebuild the backend from its registered name."""
+    grid = BlockGrid(15, 5)
+    sharded = CampaignRunner(grid, UniformInjector(0.03, seed=0), seed=6,
+                             workers=2, backend="tracing").run(24)
+    inline = CampaignRunner(grid, UniformInjector(0.03, seed=0), seed=6,
+                            workers=1, seeding="per-trial").run(24)
+    assert sharded.as_dict() == inline.as_dict()
+
+
+def test_env_var_selection_end_to_end(monkeypatch):
+    monkeypatch.setenv("REPRO_BACKEND", "tracing")
+    grid = BlockGrid(9, 3)
+    selected = CampaignRunner(grid, UniformInjector(0.05, seed=2),
+                              seed=7).run(12)
+    monkeypatch.delenv("REPRO_BACKEND")
+    default = CampaignRunner(grid, UniformInjector(0.05, seed=2),
+                             seed=7).run(12)
+    assert selected.as_dict() == default.as_dict()
+
+
+def test_unregistered_instance_cannot_shard():
+    import pytest
+
+    class Anon(TracingBackend):
+        def __init__(self):
+            super().__init__()
+            self.name = "anonymous-instance"
+
+    grid = BlockGrid(9, 3)
+    with pytest.raises(ValueError, match="not registered"):
+        CampaignRunner(grid, UniformInjector(0.01, seed=0), workers=2,
+                       backend=Anon())
+
+
+def test_instance_shadowing_registered_name_cannot_shard():
+    """An ad-hoc instance named like a registered backend must not shard:
+    workers would re-resolve the name to the registered backend while
+    in-process spans used the instance — a silent mixed-backend run."""
+    import pytest
+
+    impostor = TracingBackend()
+    impostor.name = "numpy"
+    grid = BlockGrid(9, 3)
+    with pytest.raises(ValueError, match="registered instance"):
+        CampaignRunner(grid, UniformInjector(0.01, seed=0), workers=2,
+                       backend=impostor)
+    # The genuinely registered instance passes the guard.
+    CampaignRunner(grid, UniformInjector(0.01, seed=0), workers=2,
+                   backend=get_backend("numpy"))
+
+
+def test_estimator_results_are_plain_numpy():
+    """Host boundary: public results never leak backend array types."""
+    grid = BlockGrid(9, 3)
+    mc = estimate_block_failure_rate(grid, 0.05, trials=10, seed=1,
+                                     backend=TracingBackend())
+    assert isinstance(mc.blocks_failed, int)
+    assert isinstance(np.asarray(mc.empirical_failure_rate).item(), float)

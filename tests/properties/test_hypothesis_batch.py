@@ -10,7 +10,10 @@ Invariants pinned here:
 * campaign classification is a partition: clean + corrected + detected +
   silent == trials, always;
 * per-trial seeding is deterministic and invariant under shard layout
-  and batch size.
+  and batch size — for the uniform-SER, drift-window, and linear-burst
+  injectors alike (the whole simulator family rides one engine);
+* every batched kernel produces identical tallies under a non-default
+  array backend (draws are host-side, so backends cannot perturb them).
 """
 
 import numpy as np
@@ -20,7 +23,15 @@ from hypothesis import strategies as st
 from repro.core.blocks import BlockGrid
 from repro.core.checker import check_all_batched
 from repro.core.code import BATCH_NO_ERROR, DiagonalParityCode
-from repro.faults import BatchCampaign, UniformInjector, merge_results
+from repro.faults import (
+    BatchCampaign,
+    DriftInjector,
+    DriftModel,
+    LinearBurstInjector,
+    UniformInjector,
+    merge_results,
+)
+from repro.utils.backend import TracingBackend
 from repro.utils.rng import shard_bounds, trial_rngs
 
 #: Small geometries: (n, m) with n a multiple of odd m.
@@ -142,3 +153,66 @@ class TestCampaignProperties:
         b_data, b_inj = trial_rngs(entropy, trial)
         assert (a_data.integers(0, 1000, 8) == b_data.integers(0, 1000, 8)).all()
         assert (a_inj.random(8) == b_inj.random(8)).all()
+
+
+#: Injector factories spanning the whole simulator family; each takes a
+#: seed so sequential campaigns are reconstructible.
+INJECTOR_FAMILY = [
+    lambda seed: UniformInjector(0.05, seed=seed),
+    lambda seed: DriftInjector(
+        DriftModel(tau_hours=150.0, beta=2.0, abrupt_fit_per_bit=5e5),
+        window_hours=24.0, refresh_period_hours=6.0, seed=seed),
+    lambda seed: LinearBurstInjector(2, "row", seed=seed),
+]
+
+
+class TestUnifiedEngineProperties:
+    """The drift and burst paths obey the same engine invariants as the
+    uniform-SER campaigns — one vectorized engine, one contract."""
+
+    @given(st.integers(0, len(INJECTOR_FAMILY) - 1),
+           st.integers(0, 2 ** 31 - 1), st.integers(1, 16),
+           st.integers(1, 5), st.integers(1, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_shard_layout_invariance_across_family(self, which, entropy,
+                                                   trials, shards,
+                                                   batch_size):
+        grid = BlockGrid(9, 3)
+        make = INJECTOR_FAMILY[which]
+
+        def engine(bs):
+            return BatchCampaign(grid, make(0), batch_size=bs)
+        whole = engine(batch_size).run_range_seeded(entropy, 0, trials)
+        sharded = merge_results([
+            engine(2).run_range_seeded(entropy, lo, hi)
+            for lo, hi in shard_bounds(trials, shards)])
+        assert whole.as_dict() == sharded.as_dict()
+
+    @given(st.integers(0, len(INJECTOR_FAMILY) - 1),
+           st.integers(0, 2 ** 31 - 1), st.integers(1, 12),
+           st.integers(1, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_backend_invariance_across_family(self, which, seed, trials,
+                                              batch_size):
+        grid = BlockGrid(9, 3)
+        make = INJECTOR_FAMILY[which]
+        default = BatchCampaign(grid, make(seed), seed=seed + 1,
+                                batch_size=batch_size).run(trials)
+        traced = BatchCampaign(grid, make(seed), seed=seed + 1,
+                               batch_size=batch_size,
+                               backend=TracingBackend()).run(trials)
+        assert default.as_dict() == traced.as_dict()
+
+    @given(st.integers(0, len(INJECTOR_FAMILY) - 1),
+           st.integers(0, 2 ** 31 - 1), st.integers(1, 20),
+           st.integers(1, 8))
+    @settings(max_examples=15, deadline=None)
+    def test_classification_partitions_across_family(self, which, seed,
+                                                     trials, batch_size):
+        grid = BlockGrid(9, 3)
+        result = BatchCampaign(grid, INJECTOR_FAMILY[which](seed),
+                               seed=seed + 1,
+                               batch_size=batch_size).run(trials)
+        assert result.trials == trials
+        assert (result.clean + result.corrected + result.detected
+                + result.silent) == trials

@@ -1,0 +1,151 @@
+"""Unit tests for the pluggable array-backend layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.core.code import DiagonalParityCode
+from repro.utils.backend import (
+    BACKEND_ENV_VAR,
+    ArrayBackend,
+    BackendUnavailableError,
+    TracingBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+
+
+class TestResolution:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        be = get_backend()
+        assert be.name == "numpy"
+        assert be.xp is np
+
+    def test_instance_passthrough(self):
+        be = TracingBackend()
+        assert get_backend(be) is be
+
+    def test_name_lookup(self):
+        assert get_backend("numpy").name == "numpy"
+        assert get_backend("tracing").name == "tracing"
+
+    def test_numpy_backend_is_cached(self):
+        assert get_backend("numpy") is get_backend("numpy")
+
+    def test_tracing_backend_is_fresh_per_lookup(self):
+        """Each lookup gets its own op log."""
+        assert get_backend("tracing") is not get_backend("tracing")
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "tracing")
+        assert get_backend().name == "tracing"
+
+    def test_empty_env_var_falls_back_to_numpy(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert get_backend().name == "numpy"
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="numpy"):
+            get_backend("no-such-backend")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+    def test_builtins_registered(self):
+        names = available_backends()
+        assert "numpy" in names and "cupy" in names and "tracing" in names
+
+    def test_cupy_unavailable_raises_helpfully(self):
+        pytest.importorskip_reason = None
+        try:
+            import cupy  # noqa: F401
+            pytest.skip("cupy is installed here")
+        except ImportError:
+            pass
+        with pytest.raises(BackendUnavailableError, match="cupy"):
+            get_backend("cupy")
+
+
+class TestRegistry:
+    def test_register_and_resolve(self):
+        name = "test-custom-backend"
+        register_backend(name, lambda: ArrayBackend(name, np),
+                         overwrite=True)
+        assert get_backend(name).name == name
+
+    def test_duplicate_registration_guarded(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("numpy", lambda: ArrayBackend("numpy", np))
+
+
+class TestArrayBackendOps:
+    def test_host_transfer_defaults_are_identity_for_numpy(self):
+        be = get_backend("numpy")
+        arr = np.arange(6, dtype=np.uint8)
+        assert be.to_numpy(arr) is arr
+        assert be.from_numpy(arr) is arr
+
+    def test_scatter_xor_honours_duplicates(self):
+        be = get_backend("numpy")
+        arr = np.zeros((3, 3), dtype=np.uint8)
+        rows = np.array([0, 0, 1, 2, 2, 2])
+        cols = np.array([1, 1, 2, 0, 0, 0])
+        be.scatter_xor(arr, (rows, cols))
+        # (0,1) twice -> 0, (1,2) once -> 1, (2,0) thrice -> 1
+        assert arr[0, 1] == 0 and arr[1, 2] == 1 and arr[2, 0] == 1
+        assert arr.sum() == 2
+
+    def test_scatter_xor_fallback_matches_ufunc_at(self):
+        """A module without ufunc.at takes the bincount-parity path."""
+
+        class NoAtXor:
+            pass  # no .at attribute
+
+        class NoAtModule:
+            bitwise_xor = NoAtXor()
+            asarray = staticmethod(np.asarray)
+            ravel_multi_index = staticmethod(np.ravel_multi_index)
+            bincount = staticmethod(np.bincount)
+
+        be = ArrayBackend("no-at", NoAtModule())
+        direct = get_backend("numpy")
+        rng = np.random.default_rng(7)
+        idx = (rng.integers(0, 4, 50), rng.integers(0, 5, 50))
+        a = np.zeros((4, 5), dtype=np.uint8)
+        b = np.zeros((4, 5), dtype=np.uint8)
+        be.scatter_xor(a, idx)
+        direct.scatter_xor(b, idx)
+        assert (a == b).all()
+
+    def test_xor_reduce_matches_parity(self):
+        be = get_backend("numpy")
+        rng = np.random.default_rng(3)
+        arr = rng.integers(0, 2, (7, 4, 5)).astype(np.uint8)
+        assert (be.xor_reduce(arr, axis=0)
+                == (arr.sum(axis=0) % 2).astype(np.uint8)).all()
+
+
+class TestTracingBackend:
+    def test_records_ops_and_matches_numpy(self):
+        grid = BlockGrid(9, 3)
+        code = DiagonalParityCode(grid)
+        rng = np.random.default_rng(11)
+        data = rng.integers(0, 2, (4, 9, 9)).astype(np.uint8)
+
+        tracing = TracingBackend()
+        lead_t, ctr_t = code.encode_batch(data, backend=tracing)
+        lead_n, ctr_n = code.encode_batch(data)
+        assert (np.asarray(lead_t) == lead_n).all()
+        assert (np.asarray(ctr_t) == ctr_n).all()
+        assert tracing.ops  # the kernel went through the handle
+        assert "asarray" in tracing.ops
+
+    def test_reset_clears_log(self):
+        tracing = TracingBackend()
+        tracing.xp.asarray([1, 2])
+        assert tracing.ops
+        tracing.reset()
+        assert not tracing.ops

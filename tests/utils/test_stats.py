@@ -1,0 +1,50 @@
+"""Unit tests for the Wilson score interval helpers."""
+
+import pytest
+
+from repro.utils.stats import wilson_halfwidth, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_brackets_point_estimate(self):
+        for s, t in [(0, 10), (1, 10), (5, 10), (10, 10), (3, 1000)]:
+            low, high = wilson_interval(s, t)
+            assert 0.0 <= low <= s / t <= high <= 1.0
+
+    def test_known_value(self):
+        # Classic check: 7/10 at 95% -> approx (0.3968, 0.8922).
+        low, high = wilson_interval(7, 10, 0.95)
+        assert low == pytest.approx(0.3968, abs=2e-3)
+        assert high == pytest.approx(0.8922, abs=2e-3)
+
+    def test_zero_successes_lower_bound_is_zero(self):
+        low, high = wilson_interval(0, 50)
+        assert low == 0.0
+        assert 0.0 < high < 0.2  # non-degenerate, unlike Wald
+
+    def test_all_successes_upper_bound_is_one(self):
+        low, high = wilson_interval(50, 50)
+        assert high == 1.0
+        assert 0.8 < low < 1.0
+
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_narrows_with_trials(self):
+        widths = [wilson_halfwidth(n // 10, n) for n in (10, 100, 1000, 10000)]
+        assert widths == sorted(widths, reverse=True)
+
+    def test_widens_with_confidence(self):
+        assert wilson_halfwidth(5, 100, 0.99) > wilson_halfwidth(5, 100, 0.9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(5, 3)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+        with pytest.raises(ValueError):
+            wilson_interval(1, -1)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=0.0)
+        with pytest.raises(ValueError):
+            wilson_interval(1, 10, confidence=1.0)
