@@ -12,8 +12,11 @@ can be inspected without rerunning.
 
 from __future__ import annotations
 
+import json
 import os
+import platform
 
+import numpy as np
 import pytest
 
 
@@ -36,5 +39,33 @@ def save_artifact(results_dir):
         with open(path, "w") as handle:
             handle.write(content + "\n")
         print(f"\n=== {name} ===\n{content}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def save_json(results_dir):
+    """Persist machine-readable bench results as ``BENCH_<name>.json``.
+
+    Each payload is a flat-ish dict (throughput numbers plus the
+    parameters that produced them: n, B, packing mode, backend, ...).
+    A ``machine`` stanza is attached so cross-PR trajectories can be
+    filtered by host. Keep the human-readable ``.txt`` artifact too —
+    this is the greppable/plottable twin, not a replacement.
+    """
+
+    def _save(name: str, payload: dict) -> None:
+        path = os.path.join(results_dir, f"BENCH_{name}.json")
+        record = dict(payload)
+        record.setdefault("machine", {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        })
+        with open(path, "w") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"\n=== BENCH_{name}.json ===\n"
+              f"{json.dumps(record, indent=2, sort_keys=True)}\n")
 
     return _save

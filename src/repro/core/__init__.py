@@ -14,12 +14,14 @@ to the exact cell.
 from repro.core.blocks import BlockGrid
 from repro.core.checkstore import CheckStore
 from repro.core.code import (
+    BatchDecode,
     CheckBitError,
     DataError,
     DecodeOutcome,
     DecodeStatus,
     DiagonalParityCode,
     NoError,
+    PackedBatchDecode,
     Uncorrectable,
 )
 from repro.core.diagonals import (
@@ -36,12 +38,21 @@ from repro.core.parity import (
     xor3_by_nor,
 )
 from repro.core.updater import ContinuousUpdater
-from repro.core.checker import BlockChecker, CheckReport
+from repro.core.checker import (
+    BatchSweepReport,
+    BlockChecker,
+    CheckReport,
+    PackedSweepReport,
+    check_all_batched,
+    check_all_batched_packed,
+)
 
 __all__ = [
     "BlockGrid",
     "CheckStore",
     "DiagonalParityCode",
+    "BatchDecode",
+    "PackedBatchDecode",
     "DecodeOutcome",
     "DecodeStatus",
     "NoError",
@@ -60,4 +71,8 @@ __all__ = [
     "ContinuousUpdater",
     "BlockChecker",
     "CheckReport",
+    "BatchSweepReport",
+    "PackedSweepReport",
+    "check_all_batched",
+    "check_all_batched_packed",
 ]

@@ -37,8 +37,10 @@ from repro.core.code import (
     NoError,
     Uncorrectable,
 )
+from repro.core.code import PackedBatchDecode
 from repro.errors import UncorrectableError
-from repro.utils.backend import BackendLike, get_backend
+from repro.utils.backend import ArrayBackend, BackendLike, get_backend
+from repro.utils.bitpack import or_reduce_words, unpack_batch
 from repro.xbar.crossbar import CrossbarArray
 
 
@@ -251,3 +253,115 @@ def check_all_batched(grid: BlockGrid, code: DiagonalParityCode,
         if t.size:
             ctr[t, decoded.ctr_index[t, br, bc], br, bc] ^= 1
     return BatchSweepReport(status=decoded.status, corrected=correct)
+
+
+@dataclass
+class PackedSweepReport:
+    """Bit-sliced analogue of :class:`BatchSweepReport`.
+
+    ``decode`` holds the word-level status masks
+    (:class:`repro.core.code.PackedBatchDecode`); ``batch`` is the true
+    trial count (the packed word tensors cover ``ceil(batch/64) * 64``
+    bit lanes, the tail being padding). Per-trial views unpack on demand
+    and always trim to ``batch``, so tail garbage never leaks out.
+    """
+
+    batch: int
+    decode: PackedBatchDecode
+    backend: ArrayBackend
+    corrected: bool = True
+
+    @property
+    def trials(self) -> int:
+        return int(self.batch)
+
+    @property
+    def blocks_checked(self) -> int:
+        """Blocks checked across the whole batch."""
+        shape = self.decode.no_error.shape
+        return int(self.batch * shape[1] * shape[2])
+
+    def _mask(self, words) -> np.ndarray:
+        return unpack_batch(words, self.batch, backend=self.backend)
+
+    @property
+    def data_corrections(self) -> np.ndarray:
+        """Per-trial count of single-data-error corrections."""
+        if not self.corrected:
+            return np.zeros(self.batch, dtype=np.int64)
+        return self._mask(self.decode.data_error).sum(
+            axis=(1, 2), dtype=np.int64)
+
+    @property
+    def check_bit_corrections(self) -> np.ndarray:
+        """Per-trial count of check-bit rewrites."""
+        if not self.corrected:
+            return np.zeros(self.batch, dtype=np.int64)
+        return (self._mask(self.decode.lead_check)
+                + self._mask(self.decode.ctr_check)).sum(
+            axis=(1, 2), dtype=np.int64)
+
+    @property
+    def uncorrectable_any(self) -> np.ndarray:
+        """Per-trial flag: at least one block reported uncorrectable."""
+        words = or_reduce_words(self.decode.uncorrectable, axis=(1, 2),
+                                backend=self.backend)
+        return self._mask(words).astype(bool)
+
+    @property
+    def clean(self) -> np.ndarray:
+        """Per-trial flag: every block decoded to NO_ERROR."""
+        words = or_reduce_words(~self.decode.no_error, axis=(1, 2),
+                                backend=self.backend)
+        return ~self._mask(words).astype(bool)
+
+    def status_codes(self) -> np.ndarray:
+        """``(B, b, b)`` uint8 ``BATCH_*`` codes (differential bridge)."""
+        return self.decode.status_codes(self.batch, backend=self.backend)
+
+
+def check_all_batched_packed(grid: BlockGrid, code: DiagonalParityCode,
+                             words, lead, ctr, batch: int,
+                             correct: bool = True,
+                             backend: BackendLike = None
+                             ) -> PackedSweepReport:
+    """Full-memory check of a packed word stack, 64 trials per word.
+
+    The bit-sliced analogue of :func:`check_all_batched`: ``words`` is
+    the ``(W, n, n)`` uint64 data stack and ``lead``/``ctr`` the stored
+    ``(W, m, b, b)`` check-bit words (:mod:`repro.utils.bitpack`
+    layout); ``batch`` is the true trial count. With ``correct=True``
+    corrections are applied **in place**, entirely bit-parallel:
+
+    * a single data error at diagonal pair ``(dl, dc)`` resolves to one
+      block-local cell, so for each of the ``m^2`` pairs the mask
+      ``data_error & lead_syn[dl] & ctr_syn[dc]`` selects exactly the
+      trials/blocks to flip at that cell — one strided XOR per pair;
+    * a single check-bit error sits on the one set syndrome diagonal, so
+      ``lead[:, d] ^= lead_check & lead_syn[:, d]`` rewrites it.
+
+    Tail bits stay zero throughout (every correction mask is an AND of
+    zero-padded syndromes), so padding lanes are never written.
+    """
+    m = grid.m
+    be = get_backend(backend)
+    syn_lead, syn_ctr = code.syndrome_batch_packed(words, lead, ctr,
+                                                   backend=be)
+    decoded = code.decode_batch_packed(syn_lead, syn_ctr, backend=be)
+    if correct:
+        inv2 = (m + 1) // 2
+        for dl in range(m):
+            for dc in range(m):
+                mask = decoded.data_error \
+                    & syn_lead[:, dl] & syn_ctr[:, dc]
+                r = ((dl + dc) * inv2) % m
+                c = ((dl - dc) * inv2) % m
+                # words[:, r::m, c::m] is the (W, b, b) strided view of
+                # block-local cell (r, c) across every block — a basic
+                # slice, so the XOR lands in place.
+                words[:, r::m, c::m] ^= mask
+        for d in range(m):
+            lead[:, d] ^= decoded.lead_check & syn_lead[:, d]
+            ctr[:, d] ^= decoded.ctr_check & syn_ctr[:, d]
+    return PackedSweepReport(batch=batch, decode=decoded, backend=be,
+                             corrected=correct)

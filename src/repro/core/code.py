@@ -30,6 +30,7 @@ from repro.core.checkstore import CheckStore
 from repro.core.diagonals import solve_position
 from repro.core.parity import parity_along_counter, parity_along_leading
 from repro.utils.backend import BackendLike, get_backend
+from repro.utils.bitpack import saturating_count2, unpack_batch
 
 
 class DecodeStatus(enum.Enum):
@@ -118,6 +119,50 @@ class BatchDecode:
         return rows, cols
 
 
+@dataclass(frozen=True)
+class PackedBatchDecode:
+    """Bit-parallel decode of packed ``uint64`` syndrome planes.
+
+    Every field is a word tensor in the bit-slice layout of
+    :mod:`repro.utils.bitpack` (trial ``i`` -> word ``i // 64``, bit
+    ``i % 64``). ``lead_syndrome``/``ctr_syndrome`` are ``(W, m, b, b)``;
+    the five status masks are ``(W, b, b)`` with a bit set iff that
+    trial's block carries the status — one mask per ``BATCH_*`` code,
+    with the two check planes separated like :class:`BatchDecode`.
+
+    Tail rule: ``no_error`` is computed with complements, so its padding
+    bits (trials beyond the true batch size) are *set*; the other four
+    masks derive from AND/OR of zero-padded syndromes and keep zero
+    tails. Consumers unpacking any mask must trim to the true batch
+    (:meth:`status_codes` does).
+    """
+
+    m: int
+    lead_syndrome: np.ndarray
+    ctr_syndrome: np.ndarray
+    no_error: np.ndarray
+    data_error: np.ndarray
+    lead_check: np.ndarray
+    ctr_check: np.ndarray
+    uncorrectable: np.ndarray
+
+    def status_codes(self, batch: int,
+                     backend: BackendLike = None) -> np.ndarray:
+        """Unpack to the ``(B, b, b)`` uint8 ``BATCH_*`` code tensor.
+
+        The differential bridge to :class:`BatchDecode.status`; the hot
+        path never calls it.
+        """
+        status = np.full((batch,) + tuple(self.no_error.shape[1:]),
+                         BATCH_UNCORRECTABLE, dtype=np.uint8)
+        for code, mask in ((BATCH_NO_ERROR, self.no_error),
+                           (BATCH_DATA_ERROR, self.data_error),
+                           (BATCH_LEAD_CHECK_ERROR, self.lead_check),
+                           (BATCH_CTR_CHECK_ERROR, self.ctr_check)):
+            status[unpack_batch(mask, batch, backend=backend) != 0] = code
+        return status
+
+
 class DiagonalParityCode:
     """Encoder/decoder for the per-block diagonal parity code."""
 
@@ -178,10 +223,26 @@ class DiagonalParityCode:
         (see :mod:`repro.utils.backend`); only the tiny per-diagonal
         ``m x m`` index tables are computed host-side.
         """
-        n, m = self.grid.n, self.grid.m
         be = get_backend(backend)
+        return self._encode_batch_impl(data, be, be.xp.uint8)
+
+    def encode_batch_packed(self, words, backend: BackendLike = None) -> Tuple:
+        """Parity planes of a packed ``(W, n, n)`` ``uint64`` word stack.
+
+        The bit-sliced analogue of :meth:`encode_batch`: ``words`` packs
+        the batch dimension 64 trials per word (:mod:`repro.utils
+        .bitpack` layout), and the returned ``(lead, ctr)`` planes are
+        ``(W, m, n/m, n/m)`` words. XOR is bitwise, so the exact same
+        gather + XOR-reduce per diagonal computes 64 trials per machine
+        word — this is the packed campaign hot path.
+        """
+        be = get_backend(backend)
+        return self._encode_batch_impl(words, be, be.xp.uint64)
+
+    def _encode_batch_impl(self, data, be, dtype) -> Tuple:
+        n, m = self.grid.n, self.grid.m
         xp = be.xp
-        data = xp.asarray(data, dtype=xp.uint8)
+        data = xp.asarray(data, dtype=dtype)
         if data.ndim != 3 or data.shape[1:] != (n, n):
             raise ValueError(f"expected (B, {n}, {n}) data, got {data.shape}")
         b = self.grid.blocks_per_side
@@ -191,8 +252,8 @@ class DiagonalParityCode:
         c = np.arange(m)[None, :]
         lead_idx = (r + c) % m
         ctr_idx = (r - c) % m
-        lead = xp.empty((batch, m, b, b), dtype=xp.uint8)
-        ctr = xp.empty((batch, m, b, b), dtype=xp.uint8)
+        lead = xp.empty((batch, m, b, b), dtype=dtype)
+        ctr = xp.empty((batch, m, b, b), dtype=dtype)
         for d in range(m):
             # tiles[:, :, rs, :, cs] gathers the m cells of diagonal d from
             # every block of every trial: shape (m, B, b, b) with the
@@ -276,6 +337,57 @@ class DiagonalParityCode:
             status=status,
             lead_index=xp.argmax(lead_syndrome, axis=1),
             ctr_index=xp.argmax(ctr_syndrome, axis=1),
+        )
+
+    def syndrome_batch_packed(self, words, lead_words, ctr_words,
+                              backend: BackendLike = None) -> Tuple:
+        """Packed syndrome planes: stored words XOR fresh packed parity.
+
+        ``words`` is the ``(W, n, n)`` packed data stack; ``lead_words``
+        / ``ctr_words`` are ``(W, m, b, b)`` stored check-bit words. The
+        result has the check-plane shape, 64 trials per word.
+        """
+        xp = get_backend(backend).xp
+        lead, ctr = self.encode_batch_packed(words, backend=backend)
+        return (lead ^ xp.asarray(lead_words, dtype=xp.uint64),
+                ctr ^ xp.asarray(ctr_words, dtype=xp.uint64))
+
+    def decode_batch_packed(self, lead_syndrome, ctr_syndrome,
+                            backend: BackendLike = None) -> "PackedBatchDecode":
+        """Bit-parallel classification of packed syndrome planes.
+
+        Where :meth:`decode_batch` counts syndrome ones with an integer
+        ``sum`` per trial, the packed decoder runs a carry-save sideways
+        counter (:func:`repro.utils.bitpack.saturating_count2`) over the
+        ``m`` diagonal planes, classifying 64 trials per word:
+
+        * count 0 in both planes          -> ``no_error``
+        * exactly 1 in both               -> ``data_error``
+        * exactly 1 leading / 0 counter   -> ``lead_check``
+        * 0 leading / exactly 1 counter   -> ``ctr_check``
+        * 2+ anywhere                     -> ``uncorrectable``
+
+        See :class:`PackedBatchDecode` for the tail-padding rule.
+        """
+        be = get_backend(backend)
+        xp = be.xp
+        lead_syndrome = xp.asarray(lead_syndrome, dtype=xp.uint64)
+        ctr_syndrome = xp.asarray(ctr_syndrome, dtype=xp.uint64)
+        l_ones, l_twos = saturating_count2(lead_syndrome, axis=1, backend=be)
+        c_ones, c_twos = saturating_count2(ctr_syndrome, axis=1, backend=be)
+        l0 = ~l_ones & ~l_twos
+        l1 = l_ones & ~l_twos
+        c0 = ~c_ones & ~c_twos
+        c1 = c_ones & ~c_twos
+        return PackedBatchDecode(
+            m=self.grid.m,
+            lead_syndrome=lead_syndrome,
+            ctr_syndrome=ctr_syndrome,
+            no_error=l0 & c0,
+            data_error=l1 & c1,
+            lead_check=l1 & c0,
+            ctr_check=l0 & c1,
+            uncorrectable=l_twos | c_twos,
         )
 
     # ------------------------------------------------------------------ #

@@ -66,12 +66,40 @@ same tallies as the numpy run, bit for bit, as long as the backend's
 arithmetic is exact (integer/boolean ops are, on every supported
 backend).
 
+Packed bit-slice layout
+=======================
+
+``packing="u64"`` on :class:`BatchCampaign` / :class:`CampaignRunner`
+switches the execution tensors from one uint8 byte per trial bit to the
+bit-sliced layout of :mod:`repro.utils.bitpack`: the batch dimension is
+packed 64 trials per ``uint64`` word, so a ``(B, n, n)`` stack becomes
+``(ceil(B/64), n, n)`` words and every XOR/AND/OR kernel op processes 64
+trials at once.
+
+* **Word layout:** trial ``i`` occupies bit ``i % 64`` (little-endian:
+  bit ``j`` of a word is ``(word >> j) & 1``) of word ``i // 64``.
+* **Tail padding:** when ``B % 64 != 0`` the surplus bits of the last
+  word are zero in every state tensor (data words, check planes) and
+  are never written by injection or correction (all flip masks are ANDs
+  of zero-padded state); derived masks built with complements may carry
+  garbage there, so every unpacking consumer trims to the true ``B``.
+* **Seeding stays layout-invariant:** random fields are drawn host-side
+  per trial *before* any layout decision — the staged draws are packed
+  (or staged as uint8) afterwards, and injector draws are converted to
+  flip events that apply to either layout. Both seeding contracts above
+  therefore hold verbatim under ``packing="u64"``: a sequential packed
+  run is bit-identical to the scalar ``FaultCampaign`` and a per-trial
+  packed run is shard-layout invariant, for any ``B % 64`` remainder.
+  The differential suite ``tests/faults/test_packed_equivalence.py``
+  pins packed == unpacked == scalar across the injector family.
+
 Every simulator in the library rides this engine: uniform/burst/check-bit
 SER campaigns, the drift-window campaigns of
 :class:`repro.faults.drift.DriftInjector`, and the linear-burst survival
 analysis of :mod:`repro.reliability.burst` all dispatch through
 :class:`CampaignRunner`, inheriting batching, sharding, adaptive
-sampling (:meth:`CampaignRunner.run_adaptive`), and backend selection.
+sampling (:meth:`CampaignRunner.run_adaptive`), backend selection, and
+the packed layout switch.
 """
 
 from __future__ import annotations
@@ -83,8 +111,9 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.blocks import BlockGrid
-from repro.core.checker import check_all_batched
+from repro.core.checker import check_all_batched, check_all_batched_packed
 from repro.core.code import DiagonalParityCode
+from repro.utils.bitpack import or_reduce_words, pack_batch, unpack_batch
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.faults.injector import FaultInjector
 from repro.utils.backend import (
@@ -105,6 +134,10 @@ from repro.utils.stats import wilson_interval
 
 #: Default trials per vectorized block; ~5 * 64 * n^2 bytes of peak state.
 DEFAULT_BATCH_SIZE = 64
+
+#: Tensor layouts of the vectorized engine: one byte per trial bit
+#: (``"u8"``) or 64 trials bit-sliced into each uint64 word (``"u64"``).
+PACKINGS = ("u8", "u64")
 
 
 def derive_campaign_seeds(seed: SeedLike, seeding: Optional[str],
@@ -154,15 +187,19 @@ class BatchCampaign:
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
                  seed: SeedLike = None, include_check_bits: bool = True,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 backend: BackendLike = None):
+                 backend: BackendLike = None, packing: str = "u8"):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
+        if packing not in PACKINGS:
+            raise ValueError(f"packing must be one of {PACKINGS}, "
+                             f"got {packing!r}")
         self.grid = grid
         self.injector = injector
         self.rng = make_rng(seed)
         self.include_check_bits = include_check_bits
         self.batch_size = batch_size
         self.backend = get_backend(backend)
+        self.packing = packing
         self.code = DiagonalParityCode(grid)
 
     # ------------------------------------------------------------------ #
@@ -219,10 +256,12 @@ class BatchCampaign:
         drawn per trial — never as one ``(B, ...)`` draw — because
         numpy's bounded-integer generation buffers bits within a call;
         only per-trial calls keep the stream identical to the scalar
-        engine for every chunking.
+        engine for every chunking. The staged host draws then execute on
+        either tensor layout (``packing``): the draw order is fixed
+        before the layout comes into play, which is what makes the
+        tallies packing-invariant.
         """
         n = self.grid.n
-        be = self.backend
         stage = np.empty((batch, n, n), dtype=np.uint8)
         if data_rngs is None:
             for i in range(batch):
@@ -231,6 +270,35 @@ class BatchCampaign:
         else:
             for i, rng in enumerate(data_rngs):
                 stage[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        if self.packing == "u64":
+            injection, restored, uncorrectable = \
+                self._execute_packed(batch, stage, inject_rngs)
+        else:
+            injection, restored, uncorrectable = \
+                self._execute_u8(batch, stage, inject_rngs)
+
+        totals = injection.totals
+        multi = injection.multi_fault_blocks(self.grid)
+        clean = totals == 0
+        corrected = ~clean & restored
+        detected = ~clean & ~restored & uncorrectable
+        silent = ~clean & ~restored & ~uncorrectable
+
+        return CampaignResult(
+            trials=batch,
+            clean=int(clean.sum()),
+            corrected=int(corrected.sum()),
+            detected=int(detected.sum()),
+            silent=int(silent.sum()),
+            injected_faults=int(totals.sum()),
+            blocks_with_multi_faults=int(multi.sum()),
+        )
+
+    def _execute_u8(self, batch: int, stage: np.ndarray,
+                    inject_rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> tuple:
+        """Unpacked ``(B, n, n)`` uint8 execution of one staged block."""
+        be = self.backend
         # Draws are always host-side numpy (the seeding contract); the
         # stack crosses onto the backend once, here.
         data = be.from_numpy(stage)
@@ -249,28 +317,46 @@ class BatchCampaign:
         sweep = check_all_batched(self.grid, self.code, data, lead, ctr,
                                   correct=True, backend=be)
 
-        totals = injection.totals
-        multi = injection.multi_fault_blocks(self.grid)
         restored = be.to_numpy(
             (data == golden).reshape(batch, -1).all(axis=1)
             & (lead == golden_lead).reshape(batch, -1).all(axis=1)
             & (ctr == golden_ctr).reshape(batch, -1).all(axis=1))
         uncorrectable = be.to_numpy(sweep.uncorrectable_any)
+        return injection, restored, uncorrectable
 
-        clean = totals == 0
-        corrected = ~clean & restored
-        detected = ~clean & ~restored & uncorrectable
-        silent = ~clean & ~restored & ~uncorrectable
+    def _execute_packed(self, batch: int, stage: np.ndarray,
+                        inject_rngs: Optional[Sequence[np.random.Generator]],
+                        ) -> tuple:
+        """Bit-sliced ``(W, n, n)`` uint64 execution of one staged block.
 
-        return CampaignResult(
-            trials=batch,
-            clean=int(clean.sum()),
-            corrected=int(corrected.sum()),
-            detected=int(detected.sum()),
-            silent=int(silent.sum()),
-            injected_faults=int(totals.sum()),
-            blocks_with_multi_faults=int(multi.sum()),
-        )
+        Packs the staged draws 64 trials per word, then runs the packed
+        encode / inject / check kernels — every per-trial tensor op
+        becomes a word op over 64 trials. The golden compare reduces
+        difference words with bitwise OR, so "restored" falls out one
+        bit per trial without unpacking any state tensor.
+        """
+        be = self.backend
+        words = pack_batch(stage, backend=be)
+
+        lead, ctr = self.code.encode_batch_packed(words, backend=be)
+        golden = words.copy()
+        golden_lead = lead.copy()
+        golden_ctr = ctr.copy()
+
+        injection = self.injector.inject_batch_packed(
+            batch, words,
+            lead if self.include_check_bits else None,
+            ctr if self.include_check_bits else None,
+            rngs=inject_rngs, backend=be)
+
+        sweep = check_all_batched_packed(self.grid, self.code, words, lead,
+                                         ctr, batch, correct=True, backend=be)
+
+        damaged = or_reduce_words(words ^ golden, axis=(1, 2), backend=be) \
+            | or_reduce_words(lead ^ golden_lead, axis=(1, 2, 3), backend=be) \
+            | or_reduce_words(ctr ^ golden_ctr, axis=(1, 2, 3), backend=be)
+        restored = unpack_batch(damaged, batch, backend=be) == 0
+        return injection, restored, sweep.uncorrectable_any
 
 
 # ---------------------------------------------------------------------- #
@@ -284,7 +370,7 @@ def _run_shard(payload: tuple) -> CampaignResult:
     module handles do not pickle — and is re-resolved in the worker.
     """
     (n, m, injector, entropy, lo, hi, include_check_bits, batch_size,
-     backend_name) = payload
+     backend_name, packing) = payload
     try:
         backend = get_backend(backend_name)
     except ValueError as exc:
@@ -297,7 +383,7 @@ def _run_shard(payload: tuple) -> CampaignResult:
     engine = BatchCampaign(BlockGrid(n, m), injector,
                            include_check_bits=include_check_bits,
                            batch_size=batch_size,
-                           backend=backend)
+                           backend=backend, packing=packing)
     return engine.run_range_seeded(entropy, lo, hi)
 
 
@@ -382,6 +468,12 @@ class CampaignRunner:
         spawn-based pool start method (macOS/Windows default) a custom
         name must be registered at import time of a module workers
         import; built-in names always resolve.
+    packing:
+        ``"u8"`` (default, one byte per trial bit) or ``"u64"`` (the
+        bit-sliced layout: 64 trials packed per uint64 word — see the
+        module docstring). Tallies are identical either way; ``"u64"``
+        cuts memory traffic 8x on the campaign kernels. Only meaningful
+        for the batched engine.
     """
 
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
@@ -389,10 +481,16 @@ class CampaignRunner:
                  engine: str = "batched",
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  workers: int = 1, seeding: Optional[str] = None,
-                 backend: BackendLike = None):
+                 backend: BackendLike = None, packing: str = "u8"):
         if engine not in ("batched", "scalar"):
             raise ValueError(f"engine must be 'batched' or 'scalar', "
                              f"got {engine!r}")
+        if packing not in PACKINGS:
+            raise ValueError(f"packing must be one of {PACKINGS}, "
+                             f"got {packing!r}")
+        if engine == "scalar" and packing != "u8":
+            raise ValueError("the scalar engine has no packed layout; "
+                             "packing='u64' requires engine='batched'")
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if seeding is None:
@@ -415,6 +513,7 @@ class CampaignRunner:
         self.workers = workers
         self.seeding = seeding
         self.backend = get_backend(backend)
+        self.packing = packing
         if workers > 1:
             if self.backend.name not in available_backends():
                 raise ValueError(
@@ -449,7 +548,8 @@ class CampaignRunner:
         return BatchCampaign(
             self.grid, self.injector, seed=self._seed,
             include_check_bits=self.include_check_bits,
-            batch_size=self.batch_size, backend=self.backend)
+            batch_size=self.batch_size, backend=self.backend,
+            packing=self.packing)
 
     def _run_span(self, lo: int, hi: int,
                   pool: Optional[ProcessPoolExecutor] = None
@@ -466,12 +566,13 @@ class CampaignRunner:
             engine = BatchCampaign(self.grid, self.injector,
                                    include_check_bits=self.include_check_bits,
                                    batch_size=self.batch_size,
-                                   backend=self.backend)
+                                   backend=self.backend,
+                                   packing=self.packing)
             return merge_results([engine.run_range_seeded(self.entropy, a, b)
                                   for a, b in bounds])
         payloads = [(self.grid.n, self.grid.m, self.injector, self.entropy,
                      a, b, self.include_check_bits, self.batch_size,
-                     self.backend.name)
+                     self.backend.name, self.packing)
                     for a, b in bounds]
         if pool is not None:
             return merge_results(list(pool.map(_run_shard, payloads)))

@@ -8,12 +8,18 @@ classify ECC behaviour as corrected / detected / miscorrected.
 
 The batched campaign engine (:mod:`repro.faults.batch`) drives the same
 models through :meth:`FaultInjector.inject_batch`, which upsets a stack of
-``B`` trials held as ``(B, n, n)`` / ``(B, m, b, b)`` tensors. Both paths
-share the RNG-consuming draw helpers, and every batched implementation
-draws per trial in the scalar order (data mask, then leading plane, then
-counter plane), so a batched run consumes an injector's stream exactly as
-``B`` scalar :meth:`inject` calls would — the property the differential
-test harness (`tests/faults/test_batch_equivalence.py`) pins down.
+``B`` trials held as ``(B, n, n)`` / ``(B, m, b, b)`` tensors, and through
+:meth:`FaultInjector.inject_batch_packed`, which upsets the bit-sliced
+``uint64`` layout (64 trials per word, :mod:`repro.utils.bitpack`). All
+paths share the RNG-consuming draw core (:meth:`FaultInjector
+._draw_batch`), and every implementation draws per trial in the scalar
+order (data mask, then leading plane, then counter plane), so a batched
+run — packed or not — consumes an injector's stream exactly as ``B``
+scalar :meth:`inject` calls would; the host-side draws are converted to
+flip events first and only the application step depends on the layout.
+This is the property the differential test harnesses
+(`tests/faults/test_batch_equivalence.py`,
+`tests/faults/test_packed_equivalence.py`) pin down.
 """
 
 from __future__ import annotations
@@ -172,6 +178,34 @@ class BatchInjectionResult:
                     plane, (self.check_trial[sel], self.check_d[sel],
                             self.check_br[sel], self.check_bc[sel]))
 
+    def apply_packed(self, data, lead, ctr,
+                     backend: BackendLike = None) -> None:
+        """XOR every flip event into packed ``uint64`` word tensors.
+
+        The bit-slice analogue of :meth:`apply`: trial ``i``'s event
+        becomes the single-bit mask ``1 << (i % 64)`` scatter-XORed into
+        word ``i // 64`` at the event's cell (:mod:`repro.utils.bitpack`
+        layout), so duplicated events cancel pairwise exactly like the
+        unpacked scatter. The host-side event arrays are the same either
+        way — the ground truth is layout-independent.
+        """
+        be = get_backend(backend)
+        one = np.uint64(1)
+        if self.trial.size:
+            bits = one << (self.trial % 64).astype(np.uint64)
+            be.scatter_xor(data, (self.trial // 64, self.rows, self.cols),
+                           bits)
+        for plane_id, plane in ((PLANE_LEADING, lead), (PLANE_COUNTER, ctr)):
+            if plane is None:
+                continue
+            sel = self.check_plane == plane_id
+            if sel.any():
+                t = self.check_trial[sel]
+                bits = one << (t % 64).astype(np.uint64)
+                be.scatter_xor(
+                    plane, (t // 64, self.check_d[sel],
+                            self.check_br[sel], self.check_bc[sel]), bits)
+
 
 def _resolve_rngs(rngs, default_rng: Optional[np.random.Generator],
                   batch: int) -> Sequence[np.random.Generator]:
@@ -203,6 +237,22 @@ class FaultInjector:
         """
         raise NotImplementedError
 
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> BatchInjectionResult:
+        """Draw one round of upsets for ``batch`` trials (no application).
+
+        The layout-independent core both :meth:`inject_batch` and
+        :meth:`inject_batch_packed` share: concrete injectors implement
+        their per-trial draws here, in the scalar draw order, and the
+        base class applies the resulting ground truth to whichever
+        tensor layout is in play. ``plane_shape`` is the per-trial
+        check-plane shape ``(m, b, b)`` or ``None`` when check memory is
+        not exposed.
+        """
+        raise NotImplementedError
+
     def inject_batch(self, data, lead=None, ctr=None,
                      rngs: Optional[Sequence[np.random.Generator]] = None,
                      backend: BackendLike = None) -> BatchInjectionResult:
@@ -217,7 +267,35 @@ class FaultInjector:
         draws always happen host-side so the stream contract is
         backend-independent.
         """
-        raise NotImplementedError
+        plane_shape = None if lead is None else tuple(lead.shape[1:])
+        result = self._draw_batch(int(data.shape[0]), tuple(data.shape[1:]),
+                                  plane_shape, rngs)
+        result.apply(data, lead, ctr, backend=backend)
+        return result
+
+    def inject_batch_packed(self, batch: int, data, lead=None, ctr=None,
+                            rngs: Optional[Sequence[np.random.Generator]]
+                            = None,
+                            backend: BackendLike = None
+                            ) -> BatchInjectionResult:
+        """Apply one round of upsets to a packed ``(W, n, n)`` word stack.
+
+        The bit-slice analogue of :meth:`inject_batch`: ``data`` holds
+        ``batch`` trials packed 64 per ``uint64`` word along axis 0
+        (:mod:`repro.utils.bitpack` layout) and ``lead``/``ctr`` are the
+        packed ``(W, m, b, b)`` check-bit words or ``None``. ``batch``
+        is the true trial count (it cannot be recovered from ``W`` when
+        ``batch % 64 != 0``). The RNG draws are identical to the
+        unpacked path — same per-trial order, same host-side streams —
+        so both seeding contracts of :mod:`repro.faults.batch` hold
+        regardless of layout; only the application step differs
+        (:meth:`BatchInjectionResult.apply_packed`).
+        """
+        plane_shape = None if lead is None else tuple(lead.shape[1:])
+        result = self._draw_batch(int(batch), tuple(data.shape[1:]),
+                                  plane_shape, rngs)
+        result.apply_packed(data, lead, ctr, backend=backend)
+        return result
 
 
 class MaskFieldInjector(FaultInjector):
@@ -257,15 +335,14 @@ class MaskFieldInjector(FaultInjector):
                     result.check_flips.append((plane, d, br, bc))
         return result
 
-    def inject_batch(self, data, lead=None, ctr=None,
-                     rngs: Optional[Sequence[np.random.Generator]] = None,
-                     backend: BackendLike = None) -> BatchInjectionResult:
-        batch = data.shape[0]
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> BatchInjectionResult:
         rngs = _resolve_rngs(rngs, self.rng, batch)
-        plane_shape = None if lead is None else tuple(lead.shape[1:])
         data_events, check_events = [], []
         for i, rng in enumerate(rngs):
-            rows, cols = self._draw_mask_indices(rng, tuple(data.shape[1:]))
+            rows, cols = self._draw_mask_indices(rng, data_shape)
             if rows.size:
                 data_events.append((i, rows, cols))
             if plane_shape is not None and self.include_check_bits:
@@ -273,10 +350,8 @@ class MaskFieldInjector(FaultInjector):
                     ds, brs, bcs = self._draw_mask_indices(rng, plane_shape)
                     if ds.size:
                         check_events.append((i, plane_id, ds, brs, bcs))
-        result = BatchInjectionResult.from_events(batch, data_events,
-                                                  check_events)
-        result.apply(data, lead, ctr, backend=backend)
-        return result
+        return BatchInjectionResult.from_events(batch, data_events,
+                                                check_events)
 
 
 class UniformInjector(MaskFieldInjector):
@@ -332,25 +407,23 @@ class DeterministicInjector(FaultInjector):
                 result.check_flips.append((plane, d, br, bc))
         return result
 
-    def inject_batch(self, data, lead=None, ctr=None,
-                     rngs: Optional[Sequence[np.random.Generator]] = None,
-                     backend: BackendLike = None) -> BatchInjectionResult:
-        batch = data.shape[0]
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> BatchInjectionResult:
         rows = np.asarray([r for r, _ in self.data_flips], dtype=np.int64)
         cols = np.asarray([c for _, c in self.data_flips], dtype=np.int64)
         data_events = [(i, rows, cols) for i in range(batch)] \
             if rows.size else []
         check_events = []
-        if lead is not None and self.check_flips:
+        if plane_shape is not None and self.check_flips:
             for i in range(batch):
                 for plane, d, br, bc in self.check_flips:
                     check_events.append((
                         i, PLANE_NAMES.index(plane),
                         np.asarray([d]), np.asarray([br]), np.asarray([bc])))
-        result = BatchInjectionResult.from_events(batch, data_events,
-                                                  check_events)
-        result.apply(data, lead, ctr, backend=backend)
-        return result
+        return BatchInjectionResult.from_events(batch, data_events,
+                                                check_events)
 
 
 class BurstInjector(FaultInjector):
@@ -401,20 +474,18 @@ class BurstInjector(FaultInjector):
             result.data_flips.append((r, c))
         return result
 
-    def inject_batch(self, data, lead=None, ctr=None,
-                     rngs: Optional[Sequence[np.random.Generator]] = None,
-                     backend: BackendLike = None) -> BatchInjectionResult:
-        batch = data.shape[0]
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> BatchInjectionResult:
         rngs = _resolve_rngs(rngs, self.rng, batch)
         data_events = []
         for i, rng in enumerate(rngs):
-            cells = self._strike_cells(rng, data.shape[1], data.shape[2])
+            cells = self._strike_cells(rng, data_shape[0], data_shape[1])
             if cells:
                 arr = np.asarray(cells, dtype=np.int64)
                 data_events.append((i, arr[:, 0], arr[:, 1]))
-        result = BatchInjectionResult.from_events(batch, data_events, [])
-        result.apply(data, lead, ctr, backend=backend)
-        return result
+        return BatchInjectionResult.from_events(batch, data_events, [])
 
 
 class LinearBurstInjector(FaultInjector):
@@ -478,18 +549,16 @@ class LinearBurstInjector(FaultInjector):
             result.data_flips.append((r, c))
         return result
 
-    def inject_batch(self, data, lead=None, ctr=None,
-                     rngs: Optional[Sequence[np.random.Generator]] = None,
-                     backend: BackendLike = None) -> BatchInjectionResult:
-        batch = data.shape[0]
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> BatchInjectionResult:
         rngs = _resolve_rngs(rngs, self.rng, batch)
         data_events = []
         for i, rng in enumerate(rngs):
-            rows, cols = self._burst_cells(rng, data.shape[1], data.shape[2])
+            rows, cols = self._burst_cells(rng, data_shape[0], data_shape[1])
             data_events.append((i, rows, cols))
-        result = BatchInjectionResult.from_events(batch, data_events, [])
-        result.apply(data, lead, ctr, backend=backend)
-        return result
+        return BatchInjectionResult.from_events(batch, data_events, [])
 
 
 class CheckBitInjector(FaultInjector):
@@ -516,14 +585,13 @@ class CheckBitInjector(FaultInjector):
                 result.check_flips.append((plane, d, br, bc))
         return result
 
-    def inject_batch(self, data, lead=None, ctr=None,
-                     rngs: Optional[Sequence[np.random.Generator]] = None,
-                     backend: BackendLike = None) -> BatchInjectionResult:
-        batch = data.shape[0]
-        if lead is None:
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs: Optional[Sequence[np.random.Generator]],
+                    ) -> BatchInjectionResult:
+        if plane_shape is None:
             return BatchInjectionResult.from_events(batch, [], [])
         rngs = _resolve_rngs(rngs, self.rng, batch)
-        plane_shape = tuple(lead.shape[1:])
         check_events = []
         for i, rng in enumerate(rngs):
             for plane_id in (PLANE_LEADING, PLANE_COUNTER):
@@ -531,6 +599,4 @@ class CheckBitInjector(FaultInjector):
                 ds, brs, bcs = np.nonzero(cmask)
                 if ds.size:
                     check_events.append((i, plane_id, ds, brs, bcs))
-        result = BatchInjectionResult.from_events(batch, [], check_events)
-        result.apply(data, lead, ctr, backend=backend)
-        return result
+        return BatchInjectionResult.from_events(batch, [], check_events)

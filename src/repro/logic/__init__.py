@@ -12,7 +12,12 @@ scratch — no ABC, no external benchmark files.
 """
 
 from repro.logic.netlist import LogicNetwork, Node, OPS
-from repro.logic.eval import evaluate, evaluate_ints
+from repro.logic.eval import (
+    evaluate,
+    evaluate_ints,
+    evaluate_packed,
+    evaluate_vectors_packed,
+)
 from repro.logic.norlist import NorNetlist
 from repro.logic.nor_mapping import map_to_nor
 from repro.logic.serialize import (
@@ -33,6 +38,8 @@ __all__ = [
     "OPS",
     "evaluate",
     "evaluate_ints",
+    "evaluate_packed",
+    "evaluate_vectors_packed",
     "NorNetlist",
     "map_to_nor",
     "equivalence_check",

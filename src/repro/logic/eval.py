@@ -4,6 +4,13 @@ Evaluation is batched: every input is bound to a numpy boolean array of
 shape ``(batch,)`` and all gates evaluate the whole batch at once. This is
 what makes randomized equivalence checking of the multi-thousand-gate
 benchmark circuits fast enough to run inside unit tests.
+
+:func:`evaluate_packed` goes one step further: input batches are packed
+64 assignments per ``uint64`` word (:func:`repro.utils.bitops
+.pack_words` layout) and every gate evaluates with a single word-wide
+bitwise op per ``ceil(batch/64)`` words — 64 assignments per gate-op
+instead of 64 bytes of boolean traffic. The equivalence checker
+(:mod:`repro.logic.verify`) routes its vectors through this path.
 """
 
 from __future__ import annotations
@@ -14,7 +21,13 @@ import numpy as np
 
 from repro.errors import NetlistError
 from repro.logic.netlist import LogicNetwork
-from repro.utils.bitops import bits_to_int, int_to_bits
+from repro.utils.bitops import (
+    bits_to_int,
+    int_to_bits,
+    pack_words,
+    unpack_words,
+    words_for,
+)
 
 InputValue = Union[bool, int, np.ndarray]
 
@@ -46,14 +59,31 @@ def evaluate(net: LogicNetwork,
             arr = np.broadcast_to(arr, batch_shape)
         values[net.input_id(name)] = arr
 
+    _eval_nodes(net, values,
+                zeros=np.broadcast_to(np.asarray(False), batch_shape),
+                ones=np.broadcast_to(np.asarray(True), batch_shape))
+
+    return {name: np.asarray(values[nid], dtype=bool)
+            for name, nid in net.outputs}
+
+
+def _eval_nodes(net: LogicNetwork, values: list, zeros, ones) -> None:
+    """Evaluate every unresolved node of ``net`` in place.
+
+    The gate dispatch shared by :func:`evaluate` and
+    :func:`evaluate_packed`: it only uses ``& | ^ ~``, so it works for
+    any value domain closed under those operators — boolean arrays or
+    packed ``uint64`` words — with the domain's all-zeros/all-ones
+    constants supplied by the caller.
+    """
     for nid, node in enumerate(net.nodes):
         if values[nid] is not None:
             continue
         op = node.op
         if op == "const0":
-            values[nid] = np.broadcast_to(np.asarray(False), batch_shape)
+            values[nid] = zeros
         elif op == "const1":
-            values[nid] = np.broadcast_to(np.asarray(True), batch_shape)
+            values[nid] = ones
         elif op == "not":
             values[nid] = ~values[node.fanins[0]]
         elif op in ("and", "nand"):
@@ -72,12 +102,91 @@ def evaluate(net: LogicNetwork,
             values[nid] = ~(values[node.fanins[0]] ^ values[node.fanins[1]])
         elif op == "mux":
             s, a, b = (values[f] for f in node.fanins)
-            values[nid] = np.where(s, a, b)
+            values[nid] = (s & a) | (~s & b)
         else:  # pragma: no cover - op set is closed
             raise NetlistError(f"unknown op {op!r}")
 
-    return {name: np.asarray(values[nid], dtype=bool)
-            for name, nid in net.outputs}
+
+def evaluate_packed(net: LogicNetwork,
+                    assignments: Mapping[str, InputValue],
+                    batch: int) -> Dict[str, np.ndarray]:
+    """Bit-sliced evaluation: 64 assignments per gate-op.
+
+    ``assignments`` maps input names to scalars (0/1/bool, broadcast to
+    the whole batch) or ``uint64`` word arrays of shape
+    ``(ceil(batch/64),)`` in the little-endian bit-slice layout of
+    :func:`repro.utils.bitops.pack_words` (assignment ``i`` -> word
+    ``i // 64``, bit ``i % 64``). Returns output name -> word array of
+    that shape. Tail bits beyond ``batch`` are unspecified (complement
+    gates set them); trim on unpacking with
+    :func:`repro.utils.bitops.unpack_words`.
+
+    Semantically identical to :func:`evaluate` over the same unpacked
+    batch — :func:`evaluate_vectors_packed` wraps the pack/unpack
+    round-trip for boolean-vector callers.
+    """
+    missing = [name for name in net.input_names if name not in assignments]
+    if missing:
+        raise NetlistError(f"missing assignments for inputs: {missing[:5]}"
+                           + ("..." if len(missing) > 5 else ""))
+    nwords = words_for(batch)
+    zeros = np.zeros(nwords, dtype=np.uint64)
+    ones = ~zeros
+
+    values: list = [None] * len(net.nodes)
+    for name in net.input_names:
+        v = assignments[name]
+        if isinstance(v, np.ndarray) and v.ndim > 0:
+            # Only genuine word arrays are accepted — coercing e.g. a
+            # boolean batch through bool() would silently broadcast it.
+            if v.dtype != np.uint64:
+                raise NetlistError(
+                    f"packed input {name!r} must be a uint64 word array "
+                    f"(pack with repro.utils.bitops.pack_words) or a "
+                    f"scalar; got dtype {v.dtype}")
+            if v.shape != (nwords,):
+                raise NetlistError(
+                    f"packed input {name!r} has shape {v.shape}, expected "
+                    f"({nwords},) for batch {batch}")
+            values[net.input_id(name)] = v
+        else:
+            values[net.input_id(name)] = ones if v else zeros
+
+    _eval_nodes(net, values, zeros=zeros, ones=ones)
+
+    return {name: values[nid] for name, nid in net.outputs}
+
+
+def evaluate_vectors_packed(net: LogicNetwork,
+                            vectors: Mapping[str, np.ndarray],
+                            ) -> Dict[str, np.ndarray]:
+    """Boolean-vector facade over :func:`evaluate_packed`.
+
+    Packs each ``(batch,)`` boolean input 64-wide, evaluates word-wise,
+    and unpacks the outputs back to boolean arrays — a drop-in
+    replacement for :func:`evaluate` on 1-D batches.
+    """
+    batch = None
+    packed: Dict[str, InputValue] = {}
+    for name, arr in vectors.items():
+        arr = np.asarray(arr)
+        if arr.ndim == 0:
+            packed[name] = bool(arr)
+            continue
+        if arr.ndim != 1:
+            raise NetlistError(f"packed evaluation needs 1-D batches; "
+                               f"input {name!r} has shape {arr.shape}")
+        if batch is None:
+            batch = arr.shape[0]
+        elif arr.shape[0] != batch:
+            raise NetlistError(f"input {name!r} has batch {arr.shape[0]}, "
+                               f"expected {batch}")
+        packed[name] = pack_words(arr)
+    if batch is None:
+        batch = 1
+    words = evaluate_packed(net, packed, batch)
+    return {name: unpack_words(w, batch).astype(bool)
+            for name, w in words.items()}
 
 
 def evaluate_ints(net: LogicNetwork, buses: Mapping[str, tuple[int, int]],

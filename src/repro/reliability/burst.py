@@ -99,6 +99,7 @@ def simulate_burst_survival(grid: BlockGrid, length: int, trials: int,
                             workers: int = 1,
                             seeding: Optional[str] = None,
                             backend: BackendLike = None,
+                            packing: str = "u8",
                             ) -> BurstSurvivalResult:
     """Empirical burst survival through the real checker.
 
@@ -108,7 +109,8 @@ def simulate_burst_survival(grid: BlockGrid, length: int, trials: int,
     detected (uncorrectable reports — never silent corruption, which is
     asserted).
 
-    ``engine``/``batch_size``/``workers``/``seeding``/``backend`` are the
+    ``engine``/``batch_size``/``workers``/``seeding``/``backend``/
+    ``packing`` are the
     :class:`repro.faults.batch.CampaignRunner` knobs: the default batched
     engine sweeps trials as ``(B, n, n)`` stacks and, with the same
     ``seed``, reproduces the scalar reference (``engine="scalar"``)
@@ -125,7 +127,7 @@ def simulate_burst_survival(grid: BlockGrid, length: int, trials: int,
         grid, LinearBurstInjector(length, orientation, seed=injector_seed),
         seed=campaign_seed, include_check_bits=True, engine=engine,
         batch_size=batch_size, workers=workers, seeding=seeding,
-        backend=backend)
+        backend=backend, packing=packing)
     result = runner.run(trials)
     # A linear burst can never alias to a correctable syndrome: within a
     # block its cells occupy distinct diagonals, so any block catching

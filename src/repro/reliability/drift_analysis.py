@@ -109,6 +109,7 @@ def simulate_drift_survival(grid: BlockGrid,
                             seeding: Optional[str] = None,
                             backend: BackendLike = None,
                             include_check_bits: bool = True,
+                            packing: str = "u8",
                             ) -> CampaignResult:
     """Grid-level drift survival through the real ECC machinery.
 
@@ -123,8 +124,10 @@ def simulate_drift_survival(grid: BlockGrid,
     sharding, adaptive sampling, and array-backend selection with the
     standard seeding contracts (``engine="scalar"`` is the bit-identical
     sequential reference; per-trial mode is shard-invariant and needs an
-    integer seed). The single ``seed`` is split into data-fill and
-    injection streams via :func:`repro.utils.rng.spawn_rngs`.
+    integer seed). ``packing="u64"`` selects the bit-sliced uint64
+    layout (64 trials per word, identical tallies). The single ``seed``
+    is split into data-fill and injection streams via
+    :func:`repro.utils.rng.spawn_rngs`.
     """
     model = model or DriftModel()
     campaign_seed, injector_seed = derive_campaign_seeds(seed, seeding,
@@ -136,7 +139,7 @@ def simulate_drift_survival(grid: BlockGrid,
                       include_check_bits=include_check_bits),
         seed=campaign_seed, include_check_bits=include_check_bits,
         engine=engine, batch_size=batch_size, workers=workers,
-        seeding=seeding, backend=backend)
+        seeding=seeding, backend=backend, packing=packing)
     return runner.run(trials)
 
 

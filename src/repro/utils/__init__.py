@@ -9,13 +9,28 @@ from repro.utils.backend import (
     register_backend,
 )
 from repro.utils.bitops import (
+    WORD_BITS,
     bits_to_int,
     bools_to_bits,
     int_to_bits,
     pack_bits,
+    pack_words,
+    pack_words_axis0,
     parity,
     popcount,
     unpack_bits,
+    unpack_words,
+    unpack_words_axis0,
+    words_for,
+)
+from repro.utils.bitpack import (
+    and_reduce_words,
+    batch_tail_mask,
+    or_reduce_words,
+    pack_batch,
+    popcount_words,
+    saturating_count2,
+    unpack_batch,
 )
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.stats import wilson_halfwidth, wilson_interval
@@ -35,13 +50,26 @@ __all__ = [
     "register_backend",
     "wilson_interval",
     "wilson_halfwidth",
+    "WORD_BITS",
     "bits_to_int",
     "bools_to_bits",
     "int_to_bits",
     "pack_bits",
+    "pack_words",
+    "pack_words_axis0",
     "parity",
     "popcount",
     "unpack_bits",
+    "unpack_words",
+    "unpack_words_axis0",
+    "words_for",
+    "and_reduce_words",
+    "batch_tail_mask",
+    "or_reduce_words",
+    "pack_batch",
+    "popcount_words",
+    "saturating_count2",
+    "unpack_batch",
     "make_rng",
     "spawn_rngs",
     "check_index",

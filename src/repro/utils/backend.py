@@ -120,31 +120,75 @@ class ArrayBackend:
         """XOR-reduce along ``axis``.
 
         Uses the ufunc reduction when the module provides one, otherwise
-        the portable sum-parity formulation (values must be 0/1).
+        a portable bitwise fold — the fold (not a sum-parity trick) so
+        the result is correct for multi-bit values like the packed
+        ``uint64`` word tensors, not just 0/1 fields.
         """
         xor = getattr(self.xp, "bitwise_xor", None)
         reduce = getattr(xor, "reduce", None) if xor is not None else None
         if reduce is not None:
             return reduce(arr, axis=axis)
-        return (arr.sum(axis=axis) % 2).astype(arr.dtype)
+        index = (slice(None),) * (axis % arr.ndim)
+        acc = arr[index + (0,)]
+        for d in range(1, arr.shape[axis]):
+            acc = acc ^ arr[index + (d,)]
+        return acc
 
-    def scatter_xor(self, arr, indices: Tuple) -> None:
-        """In-place ``arr[indices] ^= 1`` honouring duplicate indices.
+    def scatter_xor(self, arr, indices: Tuple, values=None) -> None:
+        """In-place ``arr[indices] ^= values`` honouring duplicate indices.
 
-        A cell listed ``k`` times is inverted ``k`` times — the semantics
-        the fault injectors rely on for duplicate flip events. numpy's
-        ``bitwise_xor.at`` implements this directly; modules without
-        ``ufunc.at`` fall back to a parity-of-multiplicity pass built
-        from ``ravel_multi_index`` + ``bincount``.
+        With ``values=None`` every listed cell is XORed with 1; a cell
+        listed ``k`` times is inverted ``k`` times — the semantics the
+        fault injectors rely on for duplicate flip events. An explicit
+        ``values`` array (one value per index tuple, e.g. the single-bit
+        masks of the packed ``uint64`` layout) is XOR-folded per cell the
+        same way, so duplicated (index, value) pairs cancel pairwise.
+        numpy's ``bitwise_xor.at`` implements both directly; modules
+        without ``ufunc.at`` fall back to a host-side fold staged back
+        through :meth:`from_numpy`.
         """
         indices = tuple(self.xp.asarray(ix) for ix in indices)
         at = getattr(self.xp.bitwise_xor, "at", None)
         if at is not None:
-            at(arr, indices, arr.dtype.type(1))
+            if values is None:
+                at(arr, indices, arr.dtype.type(1))
+            else:
+                at(arr, indices, self.xp.asarray(values, dtype=arr.dtype))
             return
-        flat = self.xp.ravel_multi_index(indices, arr.shape)
-        counts = self.xp.bincount(flat, minlength=arr.size)
-        arr ^= (counts % 2).astype(arr.dtype).reshape(arr.shape)
+        if values is None and hasattr(self.xp, "ravel_multi_index") \
+                and hasattr(self.xp, "bincount"):
+            flat = self.xp.ravel_multi_index(indices, arr.shape)
+            counts = self.xp.bincount(flat, minlength=arr.size)
+            arr ^= (counts % 2).astype(arr.dtype).reshape(arr.shape)
+            return
+        # Generic fallback: XOR-fold host-side, then apply in one pass.
+        host_idx = tuple(np.asarray(self.to_numpy(ix)) for ix in indices)
+        fold = np.zeros(arr.shape, dtype=arr.dtype)
+        host_vals = fold.dtype.type(1) if values is None \
+            else np.asarray(values, dtype=fold.dtype)
+        np.bitwise_xor.at(fold, host_idx, host_vals)
+        arr ^= self.from_numpy(fold)
+
+    def popcount(self, arr):
+        """Per-element count of set bits (for packed ``uint64`` words).
+
+        Uses the module's native ``bitwise_count`` when present (numpy
+        >= 2.0, cupy) and a SWAR (SIMD-within-a-register) bit-twiddling
+        fallback otherwise. Returns an ``int64`` array of ``arr.shape``.
+        """
+        xp = self.xp
+        native = getattr(xp, "bitwise_count", None)
+        if native is not None:
+            return native(arr).astype(xp.int64)
+        x = xp.asarray(arr, dtype=xp.uint64)
+        m1 = xp.uint64(0x5555555555555555)
+        m2 = xp.uint64(0x3333333333333333)
+        m4 = xp.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = xp.uint64(0x0101010101010101)
+        x = x - ((x >> xp.uint64(1)) & m1)
+        x = (x & m2) + ((x >> xp.uint64(2)) & m2)
+        x = (x + (x >> xp.uint64(4))) & m4
+        return ((x * h01) >> xp.uint64(56)).astype(xp.int64)
 
 
 class _TracingModule:

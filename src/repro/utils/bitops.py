@@ -4,6 +4,19 @@ Data inside the simulated crossbars is held as numpy boolean arrays; the
 logic layer frequently needs to convert between Python integers and
 little-endian bit vectors (bit 0 = least significant). These helpers keep
 those conversions in one place and make the endianness convention explicit.
+
+Two packing granularities are exposed:
+
+* the byte-level :func:`pack_bits` / :func:`unpack_bits` pair (numpy
+  ``packbits`` order) used for serialization;
+* the word-level ``uint64`` API — :func:`pack_words` /
+  :func:`unpack_words` and the axis-0 generalizations
+  :func:`pack_words_axis0` / :func:`unpack_words_axis0` — which is the
+  layout primitive of the bit-sliced simulation kernels in
+  :mod:`repro.utils.bitpack`. Word layout: element ``i`` of the unpacked
+  axis lives in word ``i // 64`` at bit ``i % 64`` (little-endian within
+  the word: bit ``j`` is ``(word >> j) & 1``), and the tail of the last
+  word is zero-padded.
 """
 
 from __future__ import annotations
@@ -11,6 +24,9 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import numpy as np
+
+#: Bits per packed word of the uint64 API.
+WORD_BITS = 64
 
 
 def int_to_bits(value: int, width: int) -> list[int]:
@@ -67,3 +83,86 @@ def unpack_bits(data: bytes, count: int) -> np.ndarray:
     """Inverse of :func:`pack_bits`; returns a uint8 0/1 array of ``count``."""
     arr = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=count)
     return arr.astype(np.uint8)
+
+
+# ---------------------------------------------------------------------- #
+# Word-level (uint64) packing — the bit-slice layout primitive
+# ---------------------------------------------------------------------- #
+
+def words_for(count: int) -> int:
+    """Number of 64-bit words holding ``count`` packed bits."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return (count + WORD_BITS - 1) // WORD_BITS
+
+
+def pack_words_axis0(bits: np.ndarray) -> np.ndarray:
+    """Pack axis 0 of a 0/1 array 64-wide into ``uint64`` words.
+
+    ``bits`` of shape ``(B, ...)`` becomes ``(ceil(B/64), ...)`` words
+    where slice ``i`` of the input occupies bit ``i % 64`` of word
+    ``i // 64`` (little-endian within the word). The tail of the last
+    word is zero-padded — the layout invariant every bit-sliced kernel
+    in :mod:`repro.utils.bitpack` relies on.
+
+    Implementation: regroup the packed axis into per-word 64-bit lanes,
+    transpose them innermost (one contiguous copy), then a single
+    ``packbits(bitorder="little")`` over the contiguous lane axis and an
+    8-byte little-endian view — packbits over a strided axis is several
+    times slower than the transpose + contiguous pass.
+    """
+    bits = np.asarray(bits)
+    count = bits.shape[0]
+    tail_shape = bits.shape[1:]
+    nwords = words_for(count)
+    lanes = bits != 0
+    if count != nwords * WORD_BITS:
+        padded = np.zeros((nwords * WORD_BITS,) + tail_shape, dtype=bool)
+        padded[:count] = lanes
+        lanes = padded
+    k = int(np.prod(tail_shape))
+    lanes = np.ascontiguousarray(
+        np.moveaxis(lanes.reshape(nwords, WORD_BITS, k), 1, 2))
+    packed = np.packbits(lanes, axis=-1, bitorder="little")  # (W, k, 8)
+    return packed.view("<u8").reshape((nwords,) + tail_shape)
+
+
+def unpack_words_axis0(words: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_words_axis0`: ``(W, ...)`` -> ``(count, ...)``.
+
+    Returns a uint8 0/1 array; padding bits beyond ``count`` (and any
+    garbage a kernel left in them) are discarded.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.shape[0] * WORD_BITS < count:
+        raise ValueError(f"{words.shape[0]} words hold at most "
+                         f"{words.shape[0] * WORD_BITS} bits, need {count}")
+    lanes = np.ascontiguousarray(np.moveaxis(words, 0, -1))
+    packed = np.moveaxis(lanes.astype("<u8", copy=False).view(np.uint8),
+                         -1, 0)
+    bits = np.unpackbits(packed, axis=0, count=count, bitorder="little")
+    return bits.astype(np.uint8, copy=False)
+
+
+def pack_words(bits: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Pack a 1-D bit sequence into little-endian ``uint64`` words.
+
+    >>> pack_words([1, 0, 1])
+    array([5], dtype=uint64)
+    """
+    bits = np.asarray(bits)
+    if bits.ndim != 1:
+        raise ValueError(f"expected a 1-D bit sequence, got shape {bits.shape}")
+    return pack_words_axis0(bits)
+
+
+def unpack_words(words: np.ndarray, count: int) -> np.ndarray:
+    """Inverse of :func:`pack_words`; returns a uint8 0/1 array of ``count``.
+
+    >>> unpack_words(np.asarray([5], dtype=np.uint64), 3)
+    array([1, 0, 1], dtype=uint8)
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 1:
+        raise ValueError(f"expected 1-D words, got shape {words.shape}")
+    return unpack_words_axis0(words, count)

@@ -148,3 +148,54 @@ class TestDecodeClassification:
         code = DiagonalParityCode(BlockGrid(1020, 15))
         # 2m / m^2 = 2/15 ~ 13.3% of data bits.
         assert code.overhead_fraction == pytest.approx(2 / 15)
+
+
+class TestDecodeBatchEdgeCases:
+    """Edge coverage for the vectorized batch decoder."""
+
+    def _code(self, n=9, m=3):
+        return DiagonalParityCode(BlockGrid(n, m))
+
+    def test_all_zero_syndromes(self):
+        """A fully clean stack decodes to NO_ERROR in every block."""
+        from repro.core.code import BATCH_NO_ERROR
+        code = self._code()
+        b = code.grid.blocks_per_side
+        zeros = np.zeros((70, code.grid.m, b, b), dtype=np.uint8)
+        dec = code.decode_batch(zeros, zeros)
+        assert (dec.status == BATCH_NO_ERROR).all()
+
+    def test_multi_diagonal_patterns_are_uncorrectable(self):
+        """Any plane with 2+ set diagonals classifies uncorrectable."""
+        from repro.core.code import BATCH_UNCORRECTABLE
+        code = self._code()
+        m, b = code.grid.m, code.grid.blocks_per_side
+        for lead_bits, ctr_bits in [((0, 1), ()), ((0, 1, 2), (1,)),
+                                    ((0,), (0, 2)), ((0, 1), (0, 1))]:
+            lead = np.zeros((4, m, b, b), dtype=np.uint8)
+            ctr = np.zeros((4, m, b, b), dtype=np.uint8)
+            for d in lead_bits:
+                lead[:, d, 1, 1] = 1
+            for d in ctr_bits:
+                ctr[:, d, 1, 1] = 1
+            dec = code.decode_batch(lead, ctr)
+            assert (dec.status[:, 1, 1] == BATCH_UNCORRECTABLE).all(), \
+                (lead_bits, ctr_bits)
+
+    def test_data_error_positions_solve_the_pair(self):
+        """The vectorized position planes agree with solve_position."""
+        from repro.core.code import BATCH_DATA_ERROR
+        from repro.core.diagonals import solve_position
+        code = self._code()
+        m, b = code.grid.m, code.grid.blocks_per_side
+        for dl in range(m):
+            for dc in range(m):
+                lead = np.zeros((1, m, b, b), dtype=np.uint8)
+                ctr = np.zeros((1, m, b, b), dtype=np.uint8)
+                lead[0, dl, 0, 0] = 1
+                ctr[0, dc, 0, 0] = 1
+                dec = code.decode_batch(lead, ctr)
+                assert dec.status[0, 0, 0] == BATCH_DATA_ERROR
+                rows, cols = dec.data_error_positions()
+                assert (int(rows[0, 0, 0]), int(cols[0, 0, 0])) == \
+                    solve_position(dl, dc, m)

@@ -127,6 +127,51 @@ class TestArrayBackendOps:
         assert (be.xor_reduce(arr, axis=0)
                 == (arr.sum(axis=0) % 2).astype(np.uint8)).all()
 
+    def test_xor_reduce_fallback_handles_word_values(self):
+        """Without ufunc.reduce the fold must XOR multi-bit words
+        correctly (not a 0/1 sum-parity shortcut)."""
+
+        class NoReduceModule:
+            bitwise_xor = object()  # no .reduce attribute
+            asarray = staticmethod(np.asarray)
+
+        be = ArrayBackend("no-reduce", NoReduceModule())
+        rng = np.random.default_rng(5)
+        for dtype, hi in ((np.uint64, 2**63), (np.uint8, 2)):
+            arr = rng.integers(0, hi, (5, 3, 4)).astype(dtype)
+            for axis in (0, 1, -1):
+                expected = np.bitwise_xor.reduce(arr, axis=axis)
+                assert np.array_equal(be.xor_reduce(arr, axis=axis),
+                                      expected), (dtype, axis)
+
+    def test_scatter_xor_with_values(self):
+        """Per-event values XOR-fold with duplicates (packed bit masks)."""
+        be = get_backend("numpy")
+        arr = np.zeros((2, 3), dtype=np.uint64)
+        idx = (np.array([0, 0, 1]), np.array([1, 1, 2]))
+        vals = np.asarray([0b0101, 0b0011, 0b1000], dtype=np.uint64)
+        be.scatter_xor(arr, idx, vals)
+        assert arr[0, 1] == (0b0101 ^ 0b0011)
+        assert arr[1, 2] == 0b1000
+
+    def test_scatter_xor_values_fallback_matches_ufunc_at(self):
+        """The no-ufunc.at fold gives the same result for valued XORs."""
+
+        class NoAtModule:
+            bitwise_xor = object()  # no .at attribute
+            asarray = staticmethod(np.asarray)
+
+        be = ArrayBackend("no-at-values", NoAtModule())
+        direct = get_backend("numpy")
+        rng = np.random.default_rng(9)
+        idx = (rng.integers(0, 4, 50), rng.integers(0, 5, 50))
+        vals = rng.integers(0, 2**63, 50, dtype=np.uint64)
+        a = np.zeros((4, 5), dtype=np.uint64)
+        b = np.zeros((4, 5), dtype=np.uint64)
+        be.scatter_xor(a, idx, vals)
+        direct.scatter_xor(b, idx, vals)
+        assert (a == b).all()
+
 
 class TestTracingBackend:
     def test_records_ops_and_matches_numpy(self):

@@ -80,3 +80,57 @@ class TestPackUnpack:
 
     def test_bools_to_bits(self):
         assert bools_to_bits([True, False, True]) == [1, 0, 1]
+
+
+class TestWordLevelAPI:
+    """The documented uint64 word API reused by repro.utils.bitpack."""
+
+    def test_pack_words_value(self):
+        from repro.utils.bitops import pack_words
+        assert pack_words([1, 0, 1]).tolist() == [5]
+        assert pack_words([0] * 64 + [1]).tolist() == [0, 1]
+
+    def test_roundtrip_1d(self):
+        from repro.utils.bitops import pack_words, unpack_words
+        rng = np.random.default_rng(3)
+        for count in (1, 63, 64, 65, 200):
+            bits = rng.integers(0, 2, count).astype(np.uint8)
+            words = pack_words(bits)
+            assert words.dtype == np.uint64
+            assert (unpack_words(words, count) == bits).all()
+
+    def test_words_for(self):
+        from repro.utils.bitops import words_for
+        assert [words_for(k) for k in (0, 1, 64, 65, 128)] == [0, 1, 1, 2, 2]
+        with pytest.raises(ValueError):
+            words_for(-1)
+
+    def test_pack_words_rejects_nd(self):
+        from repro.utils.bitops import pack_words, unpack_words
+        with pytest.raises(ValueError):
+            pack_words(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            unpack_words(np.zeros((2, 2), dtype=np.uint64), 4)
+
+    def test_axis0_roundtrip_nd(self):
+        from repro.utils.bitops import pack_words_axis0, unpack_words_axis0
+        rng = np.random.default_rng(4)
+        bits = rng.integers(0, 2, size=(70, 3, 5), dtype=np.uint8)
+        words = pack_words_axis0(bits)
+        assert words.shape == (2, 3, 5)
+        assert (unpack_words_axis0(words, 70) == bits).all()
+
+    def test_unpack_count_exceeding_words(self):
+        from repro.utils.bitops import unpack_words
+        with pytest.raises(ValueError):
+            unpack_words(np.zeros(1, dtype=np.uint64), 65)
+
+    def test_byte_and_word_packing_agree(self):
+        """Both packers describe the same bits (little-endian words vs
+        numpy big-endian-bit bytes): unpacking must reproduce them."""
+        from repro.utils.bitops import pack_words, unpack_words
+        rng = np.random.default_rng(5)
+        bits = rng.integers(0, 2, 77).astype(np.uint8)
+        via_bytes = unpack_bits(pack_bits(bits), 77)
+        via_words = unpack_words(pack_words(bits), 77)
+        assert (via_bytes == via_words).all()
