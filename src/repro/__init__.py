@@ -16,9 +16,14 @@ Public API highlights
   (Table I), over :mod:`repro.circuits` benchmark generators.
 - :mod:`repro.reliability` — the MTTF sensitivity model (Fig. 6).
 - :mod:`repro.arch.area` — device-count model (Table II).
+- :mod:`repro.faults` — fault injectors + the batched/sharded
+  Monte-Carlo campaign engine (:class:`repro.faults.CampaignRunner`).
+- :mod:`repro.service` — the campaign service: submit-and-poll jobs
+  over an async scheduler with a content-addressed result store
+  (``repro serve`` / ``repro submit`` / ``repro status``).
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 from repro.core import (
     BlockChecker,

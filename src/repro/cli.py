@@ -1,4 +1,4 @@
-"""Command-line interface: regenerate any paper artifact from the shell.
+"""Command-line interface: paper artifacts and the campaign service.
 
 ::
 
@@ -8,14 +8,30 @@
     python -m repro ablations
     python -m repro info
 
-Everything prints to stdout; exit code 0 on success.
+    python -m repro serve  [--host H --port P --store DIR --workers N]
+    python -m repro submit SPEC.json [--url U --wait --timeout S]
+    python -m repro status JOB_ID [--url U]
+
+Everything prints to stdout; exit code 0 on success. ``submit`` and
+``status`` print the job record as JSON (``-`` reads the spec from
+stdin), so they compose with ``jq``-style pipelines.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+#: Default bind/connect address of the campaign service.
+DEFAULT_SERVICE_HOST = "127.0.0.1"
+DEFAULT_SERVICE_PORT = 8937
+DEFAULT_SERVICE_STORE = ".repro-service"
+
+
+def _default_service_url() -> str:
+    return f"http://{DEFAULT_SERVICE_HOST}:{DEFAULT_SERVICE_PORT}"
 
 
 def _cmd_table1(args) -> int:
@@ -83,12 +99,70 @@ def _cmd_ablations(args) -> int:
 def _cmd_info(args) -> int:
     import repro
     from repro.circuits.registry import BENCHMARKS
+    from repro.service.scheduler import service_info
+    info = service_info()
     print(f"repro {repro.__version__} — diagonal-parity ECC for "
           "memristive PIM (DAC 2021 reproduction)")
     print(f"benchmarks: {', '.join(sorted(BENCHMARKS))}")
     print("artifacts: table1 (latency), table2 (area), fig6 (MTTF), "
           "ablations")
+    print(f"backends: {', '.join(info['backends'])}")
+    print(f"packings: {', '.join(info['packings'])}")
+    print(f"job kinds: {', '.join(info['job_kinds'])}")
+    print(f"injector kinds: {', '.join(info['injector_kinds'])}")
+    print(f"queue backends: {', '.join(info['queue_backends'])}")
+    print("service: serve (start), submit (enqueue a spec), "
+          "status (poll a job)")
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service.scheduler import CampaignService
+    from repro.service.server import ServiceServer
+
+    async def run() -> None:
+        service = CampaignService(
+            args.store, workers=args.workers,
+            shard_trials=args.shard_trials, queue=args.queue,
+            max_concurrent_jobs=args.max_concurrent_jobs)
+        server = ServiceServer(service, host=args.host, port=args.port)
+        async with server:
+            print(f"campaign service listening on {server.url} "
+                  f"(store: {args.store}, workers: {args.workers}, "
+                  f"shard_trials: {args.shard_trials})", flush=True)
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("campaign service stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import ServiceClient
+
+    if args.spec == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.spec) as handle:
+            text = handle.read()
+    client = ServiceClient(args.url)
+    record = client.submit(json.loads(text))
+    if args.wait:
+        record = client.wait(record["id"], timeout=args.timeout)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_status(args) -> int:
+    from repro.service.client import ServiceClient
+
+    record = ServiceClient(args.url).status(args.job_id)
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0 if record["state"] != "failed" else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -119,8 +193,37 @@ def build_parser() -> argparse.ArgumentParser:
     p4 = sub.add_parser("ablations", help="run the ablation sweeps")
     p4.set_defaults(func=_cmd_ablations)
 
-    p5 = sub.add_parser("info", help="library and benchmark info")
+    p5 = sub.add_parser("info", help="library, benchmark, and service info")
     p5.set_defaults(func=_cmd_info)
+
+    p6 = sub.add_parser("serve", help="run the campaign service")
+    p6.add_argument("--host", default=DEFAULT_SERVICE_HOST)
+    p6.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                    help="listen port (0 picks a free one)")
+    p6.add_argument("--store", default=DEFAULT_SERVICE_STORE,
+                    help="result-store directory (created if missing)")
+    p6.add_argument("--workers", type=int, default=2,
+                    help="work-unit pool size")
+    p6.add_argument("--shard-trials", type=int, default=512,
+                    help="max trials per checkpointable shard")
+    p6.add_argument("--queue", default="memory",
+                    help="registered job-queue backend")
+    p6.add_argument("--max-concurrent-jobs", type=int, default=2)
+    p6.set_defaults(func=_cmd_serve)
+
+    p7 = sub.add_parser("submit", help="submit a job spec to the service")
+    p7.add_argument("spec", help="path to a JSON job spec ('-' for stdin)")
+    p7.add_argument("--url", default=_default_service_url())
+    p7.add_argument("--wait", action="store_true",
+                    help="poll until the job settles, print final record")
+    p7.add_argument("--timeout", type=float, default=300.0,
+                    help="--wait deadline in seconds")
+    p7.set_defaults(func=_cmd_submit)
+
+    p8 = sub.add_parser("status", help="show one service job record")
+    p8.add_argument("job_id")
+    p8.add_argument("--url", default=_default_service_url())
+    p8.set_defaults(func=_cmd_status)
     return parser
 
 

@@ -33,8 +33,10 @@ from repro.faults.batch import (
     AdaptiveRunResult,
     BatchCampaign,
     CampaignRunner,
+    ShardTask,
     merge_results,
     run_reference,
+    run_shard_task,
 )
 from repro.faults.drift import (
     DriftInjector,
@@ -64,8 +66,10 @@ __all__ = [
     "AdaptiveRunResult",
     "BatchCampaign",
     "CampaignRunner",
+    "ShardTask",
     "merge_results",
     "run_reference",
+    "run_shard_task",
     "DriftModel",
     "DriftSimulator",
     "DriftInjector",

@@ -47,11 +47,34 @@ The engine has two seeding modes, selected by ``seeding=``:
 
 Sharding uses a ``concurrent.futures`` process pool: trials are split
 into contiguous ranges (:func:`repro.utils.rng.shard_bounds`), each
-worker rebuilds the engine from the picklable (grid, injector, entropy,
-backend-name) tuple and runs its range in ``batch_size`` chunks. Peak
-memory per worker is about ``5 * batch_size * n**2`` bytes (data +
-golden + masks), so large-``n`` sweeps should lower ``batch_size``
-rather than trials.
+worker rebuilds the engine from a picklable :class:`ShardTask` (grid
+geometry, injector, entropy, backend name) and runs its range in
+``batch_size`` chunks. Peak memory per worker is about
+``5 * batch_size * n**2`` bytes (data + golden + masks), so large-``n``
+sweeps should lower ``batch_size`` rather than trials.
+
+Service-sharded execution
+-------------------------
+
+The campaign service (:mod:`repro.service`) executes submitted jobs by
+materializing the *same* :class:`ShardTask` spans a sharded
+:class:`CampaignRunner` builds — there is no third execution path.
+Both contracts therefore extend verbatim to service execution:
+
+* a service job always runs under **per-trial seeding** (sequential
+  streams cannot be split into relocatable spans), so its merged
+  tallies are a pure function of ``(spec, entropy)`` — independent of
+  the service's shard size, worker count, scheduling order,
+  interruptions, and checkpoint/resume boundaries;
+* because :func:`run_shard_task` tallies depend only on
+  ``(entropy, lo, hi)`` and the engine configuration, a shard span
+  completed before a crash can be persisted and *reused* after a
+  restart: merging checkpointed spans with freshly executed ones (in
+  ``lo`` order, via :func:`merge_results`) is bit-identical to an
+  uninterrupted run, which is in turn bit-identical to an in-process
+  ``CampaignRunner.run`` with the same entropy — for either
+  ``packing`` and any registered backend. The differential suite
+  ``tests/service/`` pins service-executed == in-process results.
 
 Array backends
 ==============
@@ -360,31 +383,67 @@ class BatchCampaign:
 
 
 # ---------------------------------------------------------------------- #
-# Process-pool shard layer
+# Work-unit shard layer
 # ---------------------------------------------------------------------- #
 
-def _run_shard(payload: tuple) -> CampaignResult:
-    """Worker entry: rebuild the engine and run one trial range.
+@dataclass(frozen=True)
+class ShardTask:
+    """Picklable description of one per-trial-seeded trial span.
 
-    The backend crosses the process boundary by registered *name* —
-    module handles do not pickle — and is re-resolved in the worker.
+    The unit of sharded campaign execution: everything a worker process
+    needs to rebuild the engine and run trials ``[lo, hi)`` under the
+    per-trial seeding contract. Because the contract makes the tallies a
+    pure function of ``(entropy, lo, hi)`` and the engine configuration,
+    a ``ShardTask`` can run anywhere — this process, a local pool
+    worker, or a remote service worker — and :func:`merge_results` over
+    any contiguous partition of a trial range reproduces the unsharded
+    run exactly. The backend crosses process boundaries by registered
+    *name* (module handles do not pickle) and is re-resolved where the
+    task runs.
     """
-    (n, m, injector, entropy, lo, hi, include_check_bits, batch_size,
-     backend_name, packing) = payload
+
+    n: int
+    m: int
+    injector: FaultInjector
+    entropy: int
+    lo: int
+    hi: int
+    include_check_bits: bool = True
+    batch_size: int = DEFAULT_BATCH_SIZE
+    backend_name: str = "numpy"
+    packing: str = "u8"
+
+    @property
+    def trials(self) -> int:
+        """Trial count of this span."""
+        return self.hi - self.lo
+
+    @property
+    def span(self) -> tuple[int, int]:
+        """The half-open trial range ``(lo, hi)``."""
+        return (self.lo, self.hi)
+
+
+def run_shard_task(task: ShardTask) -> CampaignResult:
+    """Execute one :class:`ShardTask`: rebuild the engine, run its span.
+
+    The worker entry point of both the process-pool shard layer and the
+    campaign service (:mod:`repro.service`).
+    """
     try:
-        backend = get_backend(backend_name)
+        backend = get_backend(task.backend_name)
     except ValueError as exc:
         raise ValueError(
-            f"backend {backend_name!r} is not registered inside this "
+            f"backend {task.backend_name!r} is not registered inside this "
             f"worker process; with a spawn-based pool start method the "
             f"register_backend() call must run at import time of a "
             f"module the worker imports (e.g. next to the injector "
             f"definition), not interactively in the parent") from exc
-    engine = BatchCampaign(BlockGrid(n, m), injector,
-                           include_check_bits=include_check_bits,
-                           batch_size=batch_size,
-                           backend=backend, packing=packing)
-    return engine.run_range_seeded(entropy, lo, hi)
+    engine = BatchCampaign(BlockGrid(task.n, task.m), task.injector,
+                           include_check_bits=task.include_check_bits,
+                           batch_size=task.batch_size,
+                           backend=backend, packing=task.packing)
+    return engine.run_range_seeded(task.entropy, task.lo, task.hi)
 
 
 def run_reference(grid: BlockGrid, injector: FaultInjector, entropy: int,
@@ -570,15 +629,30 @@ class CampaignRunner:
                                    packing=self.packing)
             return merge_results([engine.run_range_seeded(self.entropy, a, b)
                                   for a, b in bounds])
-        payloads = [(self.grid.n, self.grid.m, self.injector, self.entropy,
-                     a, b, self.include_check_bits, self.batch_size,
-                     self.backend.name, self.packing)
-                    for a, b in bounds]
+        tasks = [self.shard_task(a, b) for a, b in bounds]
         if pool is not None:
-            return merge_results(list(pool.map(_run_shard, payloads)))
+            return merge_results(list(pool.map(run_shard_task, tasks)))
         with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            shards = list(pool.map(_run_shard, payloads))
+            shards = list(pool.map(run_shard_task, tasks))
         return merge_results(shards)
+
+    def shard_task(self, lo: int, hi: int) -> ShardTask:
+        """The :class:`ShardTask` for trials ``[lo, hi)`` of this runner.
+
+        Requires per-trial seeding (the only mode whose spans are
+        relocatable); the campaign service uses this to turn one
+        submitted job into independently executable work units.
+        """
+        if self.seeding != "per-trial":
+            raise ValueError("shard tasks require seeding='per-trial'; "
+                             "sequential streams cannot be split into "
+                             "independent spans")
+        return ShardTask(self.grid.n, self.grid.m, self.injector,
+                         self.entropy, lo, hi,
+                         include_check_bits=self.include_check_bits,
+                         batch_size=self.batch_size,
+                         backend_name=self.backend.name,
+                         packing=self.packing)
 
     def run(self, trials: int) -> CampaignResult:
         """Run ``trials`` trials on the configured engine."""

@@ -17,7 +17,7 @@ per-bit flip probability within an ECC check window — the quantity the
 reliability composition consumes — and :class:`DriftSimulator` provides
 a discrete-event per-cell simulation used to validate the closed form.
 
-:class:`DriftInjector` lifts the same discrete-event draws onto the
+:class:`DriftInjector` lifts the same error model onto the
 fault-campaign machinery: one injection round flips every cell of a
 protected crossbar (and optionally its check memory) that the drift +
 abrupt model upsets within one exposure window, so drift survival runs
@@ -26,12 +26,32 @@ sharded, and backend-dispatched via :class:`repro.faults.batch
 .CampaignRunner` exactly like the uniform-SER campaigns (see
 :func:`repro.reliability.drift_analysis.simulate_drift_survival`).
 
+The injector does **not** replay the discrete-event draws cell by cell.
+In the discrete-event kernel every cell flips independently with
+probability exactly :meth:`DriftModel.flip_probability` (the abrupt
+first-arrival and the per-segment Weibull first-flip events compose to
+``1 - exp(-(drift_exposure + abrupt_exposure))`` — the closed form),
+so the injector draws one aggregated Bernoulli field per round instead:
+a **single** uniform draw over the concatenated (data, leading,
+counter) cells, thresholded at that closed-form probability. The
+sampled flip masks are identically distributed to the discrete-event
+kernel's, while the host-RNG cost drops from ``1 + segments`` field
+draws per plane to one draw per round — the ROADMAP-flagged drift
+bottleneck. :class:`DriftSimulator` deliberately keeps the
+discrete-event kernel (:func:`window_flip_mask`): it exists to validate
+the closed form the injector consumes, so it must not be built on it.
+
 Seeding: all draws flow through :mod:`repro.utils.rng`. Injection rounds
 follow the campaign contract (sequential mode consumes the injector's
 own stream trial by trial, bit-identically to scalar :meth:`DriftInjector
 .inject` calls; per-trial mode takes engine-supplied ``SeedSequence``
 child streams), and :meth:`DriftSimulator.empirical_flip_probability`
-accepts an ``entropy`` for shard-invariant per-trial streams.
+accepts an ``entropy`` for shard-invariant per-trial streams. Because a
+round's draw is one contiguous uniform block per trial, the batched
+engine's sequential mode issues literally **one** host-RNG call per
+``(B, n, n)`` block — ``rng.random((B, cells))`` consumes the shared
+stream exactly like ``B`` scalar rounds — and per-trial mode issues one
+call per trial.
 """
 
 from __future__ import annotations
@@ -42,7 +62,14 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.faults.injector import MaskFieldInjector
+from repro.faults.injector import (
+    PLANE_COUNTER,
+    PLANE_LEADING,
+    BatchInjectionResult,
+    FaultInjector,
+    InjectionResult,
+    _resolve_rngs,
+)
 from repro.faults.ser import HOURS_PER_FIT_UNIT
 from repro.utils.rng import SeedLike, make_rng, trial_rngs
 
@@ -207,15 +234,28 @@ class DriftSimulator:
         return total / (self.cells * trials)
 
 
-class DriftInjector(MaskFieldInjector):
+class DriftInjector(FaultInjector):
     """Fault injector sampling one drift + abrupt exposure window.
 
-    Each injection round flips the cells :func:`window_flip_mask` marks
-    for one ``window_hours`` exposure (with optional refresh every
-    ``refresh_period_hours``). When check memory is exposed, the check
-    planes are drawn after the data field (the shared
-    :class:`MaskFieldInjector` draw order, identical on the scalar and
-    batched paths), since check memristors drift like data memristors.
+    Each injection round flips every cell the combined model upsets
+    within one ``window_hours`` exposure (with optional refresh every
+    ``refresh_period_hours``); check memristors drift like data
+    memristors, so the check planes are exposed at the same per-cell
+    probability when check memory is present.
+
+    Draw contract (normative, shared by the scalar and batched paths):
+    one round of one trial issues exactly **one** ``rng.random(cells)``
+    call over the concatenated field — data cells first, then the
+    leading plane, then the counter plane when check memory is exposed
+    — and flips the cells whose uniform falls below
+    :meth:`DriftModel.flip_probability`. That threshold is the exact
+    per-cell flip probability of the discrete-event kernel
+    (:func:`window_flip_mask`), and cells are independent in both, so
+    the sampled masks are identically distributed while the host-RNG
+    cost collapses to a single draw per round (see the module
+    docstring). The contiguous per-trial block is what lets sequential
+    batched rounds draw the whole batch in one ``(B, cells)`` call
+    without perturbing the shared stream.
 
     Campaigns built on this injector turn the per-cell drift model into
     grid-level survival statistics through the real ECC machinery; see
@@ -233,10 +273,75 @@ class DriftInjector(MaskFieldInjector):
         self.window_hours = window_hours
         self.refresh_period_hours = refresh_period_hours
         self.include_check_bits = include_check_bits
+        self.probability = model.flip_probability(window_hours,
+                                                  refresh_period_hours)
         self.rng = make_rng(seed)
 
-    def _draw_mask_indices(self, rng: np.random.Generator,
-                           shape: Tuple[int, ...]) -> Tuple[np.ndarray, ...]:
-        return np.nonzero(window_flip_mask(
-            self.model, rng, shape, self.window_hours,
-            self.refresh_period_hours))
+    @staticmethod
+    def _field_sizes(data_shape: Tuple[int, ...],
+                     plane_shape: Optional[Tuple[int, ...]]
+                     ) -> Tuple[int, int]:
+        """(data cells, per-plane cells) of the concatenated field."""
+        nd = int(np.prod(data_shape))
+        npl = 0 if plane_shape is None else int(np.prod(plane_shape))
+        return nd, npl
+
+    def inject(self, mem, store=None,
+               rng: Optional[np.random.Generator] = None) -> InjectionResult:
+        rng = self.rng if rng is None else rng
+        data_shape = (mem.rows, mem.cols)
+        plane_shape = None
+        if store is not None and self.include_check_bits:
+            plane_shape = store.lead.shape
+        nd, npl = self._field_sizes(data_shape, plane_shape)
+        field = rng.random(nd + 2 * npl) < self.probability
+
+        result = InjectionResult()
+        rows, cols = np.nonzero(field[:nd].reshape(data_shape))
+        if rows.size:
+            mem.flip_many(rows, cols)
+            result.data_flips = list(zip(rows.tolist(), cols.tolist()))
+        if plane_shape is not None:
+            for k, plane in enumerate(("leading", "counter")):
+                mask = field[nd + k * npl:nd + (k + 1) * npl]
+                ds, brs, bcs = np.nonzero(mask.reshape(plane_shape))
+                for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
+                    store.flip(plane, d, br, bc)
+                    result.check_flips.append((plane, d, br, bc))
+        return result
+
+    def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
+                    plane_shape: Optional[Tuple[int, ...]],
+                    rngs,
+                    ) -> BatchInjectionResult:
+        if plane_shape is not None and not self.include_check_bits:
+            plane_shape = None
+        nd, npl = self._field_sizes(data_shape, plane_shape)
+        cells = nd + 2 * npl
+        if rngs is None:
+            # Sequential mode: the shared stream fills the (B, cells)
+            # field with the same doubles B scalar rounds would consume,
+            # in the same order, because each trial's draw is one
+            # contiguous block — the single-vectorized-draw-per-round
+            # fast path.
+            fields = self.rng.random((batch, cells))
+        else:
+            rngs = _resolve_rngs(rngs, None, batch)
+            fields = np.empty((batch, cells))
+            for i, rng in enumerate(rngs):
+                fields[i] = rng.random(cells)
+        mask = fields < self.probability
+
+        trial, rows, cols = np.nonzero(
+            mask[:, :nd].reshape((batch,) + tuple(data_shape)))
+        check = [np.empty(0, dtype=np.int64)] * 5
+        if plane_shape is not None:
+            planes = []
+            for k, plane_id in enumerate((PLANE_LEADING, PLANE_COUNTER)):
+                t, ds, brs, bcs = np.nonzero(
+                    mask[:, nd + k * npl:nd + (k + 1) * npl]
+                    .reshape((batch,) + tuple(plane_shape)))
+                planes.append((t, np.full(t.size, plane_id, dtype=np.int64),
+                               ds, brs, bcs))
+            check = [np.concatenate(parts) for parts in zip(*planes)]
+        return BatchInjectionResult(batch, trial, rows, cols, *check)

@@ -1,0 +1,73 @@
+"""Campaign service layer: submit-and-poll reliability campaigns.
+
+Turns the library's blocking campaign entry points into long-running
+service jobs:
+
+* :mod:`repro.service.spec` — declarative, JSON-serializable
+  :class:`JobSpec` families covering every campaign workload (fault
+  campaigns, drift survival, burst survival, adaptive Wilson-CI runs,
+  logic equivalence checks) with full fidelity to the
+  packing/backend/seeding options;
+* :mod:`repro.service.store` — content-addressed persistent result
+  store with shard-level checkpoints (identical ``(spec, entropy)``
+  submissions dedupe to the cached result; a killed service resumes a
+  half-done campaign without redoing completed spans);
+* :mod:`repro.service.queue` — pluggable job-queue backends (in-memory
+  asyncio queue by default; a distributed broker can register the same
+  interface);
+* :mod:`repro.service.scheduler` — the asyncio scheduler executing
+  jobs as :class:`repro.faults.batch.ShardTask` spans on a process
+  pool, under the per-trial seeding contract, so service-executed
+  results are bit-identical to in-process ``CampaignRunner`` runs;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — a small
+  stdlib HTTP surface (``repro serve`` / ``repro submit`` /
+  ``repro status``) and its Python client.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.queue import (
+    MemoryJobQueue,
+    available_queue_backends,
+    make_queue,
+    register_queue_backend,
+)
+from repro.service.scheduler import CampaignService, JobRecord, service_info
+from repro.service.server import ServiceServer
+from repro.service.spec import (
+    JOB_KINDS,
+    AdaptiveCampaignJobSpec,
+    BurstSurvivalJobSpec,
+    CampaignJobSpec,
+    DriftSurvivalJobSpec,
+    InjectorSpec,
+    JobSpec,
+    LogicEquivalenceJobSpec,
+    injector_kinds,
+    result_from_dict,
+    result_to_dict,
+)
+from repro.service.store import ResultStore
+
+__all__ = [
+    "JOB_KINDS",
+    "AdaptiveCampaignJobSpec",
+    "BurstSurvivalJobSpec",
+    "CampaignJobSpec",
+    "CampaignService",
+    "DriftSurvivalJobSpec",
+    "InjectorSpec",
+    "JobRecord",
+    "JobSpec",
+    "LogicEquivalenceJobSpec",
+    "MemoryJobQueue",
+    "ResultStore",
+    "ServiceClient",
+    "ServiceServer",
+    "available_queue_backends",
+    "injector_kinds",
+    "make_queue",
+    "register_queue_backend",
+    "result_from_dict",
+    "result_to_dict",
+    "service_info",
+]

@@ -1,0 +1,133 @@
+"""Python client for the campaign service's HTTP surface.
+
+Thin, blocking, stdlib-only (``urllib``): the shape a user script or a
+CI smoke test wants. Submit a spec, poll until it settles, read the
+result::
+
+    from repro.service import CampaignJobSpec, InjectorSpec, ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8937")
+    job = client.submit(CampaignJobSpec(
+        n=45, m=15, trials=2048, seed=7,
+        injector=InjectorSpec("uniform", {"probability": 5e-3})))
+    record = client.wait(job["id"])
+    print(record["result"])
+
+``repro submit`` / ``repro status`` are CLI wrappers over this class.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Optional, Union
+
+from repro.service.spec import JobSpec
+
+
+class ServiceUnavailableError(ConnectionError):
+    """The service did not answer (not running / wrong URL)."""
+
+
+class JobFailedError(RuntimeError):
+    """A waited-on job reached the ``failed`` state."""
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client (see the module docstring)."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8937",
+                 timeout: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[dict] = None) -> dict:
+        body = None if payload is None \
+            else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            self.url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                detail = json.loads(exc.read().decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                detail = {}
+            raise ValueError(
+                detail.get("error", f"HTTP {exc.code} from {path}")
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailableError(
+                f"campaign service unreachable at {self.url}: "
+                f"{exc.reason}") from None
+
+    # ------------------------------------------------------------------ #
+    # API
+    # ------------------------------------------------------------------ #
+
+    def health(self) -> bool:
+        """True when the service answers its liveness probe."""
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except ServiceUnavailableError:
+            return False
+
+    def info(self) -> dict:
+        """Service introspection (:func:`repro.service.service_info`)."""
+        return self._request("GET", "/info")
+
+    def submit(self, spec: Union[JobSpec, dict]) -> dict:
+        """Submit a job spec; returns the initial job record."""
+        if isinstance(spec, JobSpec):
+            spec = spec.to_dict()
+        return self._request("POST", "/jobs", spec)
+
+    def status(self, job_id: str) -> dict:
+        """The current record of ``job_id``."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def jobs(self) -> List[dict]:
+        """Every job record the service instance has accepted."""
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.1) -> dict:
+        """Poll until ``job_id`` settles; return its terminal record.
+
+        Raises :class:`JobFailedError` when the job fails and
+        :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] == "done":
+                return record
+            if record["state"] == "failed":
+                raise JobFailedError(
+                    f"job {job_id} failed: {record.get('error')}")
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']!r} after "
+                    f"{timeout:.1f}s")
+            time.sleep(poll_interval)
+
+    def wait_until_up(self, timeout: float = 10.0,
+                      poll_interval: float = 0.1) -> None:
+        """Block until the service answers (for just-started servers)."""
+        deadline = time.monotonic() + timeout
+        while not self.health():
+            if time.monotonic() >= deadline:
+                raise ServiceUnavailableError(
+                    f"campaign service at {self.url} did not come up "
+                    f"within {timeout:.1f}s")
+            time.sleep(poll_interval)

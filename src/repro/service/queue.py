@@ -1,0 +1,78 @@
+"""Pluggable job-queue backends for the campaign service.
+
+The scheduler never touches a concrete queue class: it asks
+:func:`make_queue` for a registered backend by name, exactly like the
+array-backend registry (:mod:`repro.utils.backend`). The built-in
+``"memory"`` backend wraps :class:`asyncio.Queue` — correct for a
+single-process service; a distributed deployment registers a broker
+adapter (Redis, SQS, ...) under a new name and selects it with
+``CampaignService(queue="...")`` without any scheduler change.
+
+The interface is deliberately minimal — FIFO put/get of opaque job ids
+plus a close hook — because all job *state* lives in the scheduler's
+records and the persistent :class:`repro.service.store.ResultStore`;
+the queue only orders work. Crash recovery therefore does not depend
+on queue durability: a restarted service re-derives progress from the
+store's shard checkpoints, not from queue contents.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Tuple
+
+
+class JobQueue:
+    """Minimal async FIFO of job ids (see the module docstring)."""
+
+    async def put(self, job_id: str) -> None:
+        raise NotImplementedError
+
+    async def get(self) -> str:
+        raise NotImplementedError
+
+    async def close(self) -> None:
+        """Release backend resources (no-op for in-memory queues)."""
+
+
+class MemoryJobQueue(JobQueue):
+    """In-process FIFO over :class:`asyncio.Queue` (the default)."""
+
+    def __init__(self) -> None:
+        self._queue: asyncio.Queue = asyncio.Queue()
+
+    async def put(self, job_id: str) -> None:
+        await self._queue.put(job_id)
+
+    async def get(self) -> str:
+        return await self._queue.get()
+
+    def __len__(self) -> int:  # pragma: no cover - debugging aid
+        return self._queue.qsize()
+
+
+_QUEUE_BACKENDS: Dict[str, Callable[[], JobQueue]] = {
+    "memory": MemoryJobQueue,
+}
+
+
+def register_queue_backend(name: str, factory: Callable[[], JobQueue],
+                           overwrite: bool = False) -> None:
+    """Register a queue factory under ``name`` (lazily instantiated)."""
+    if name in _QUEUE_BACKENDS and not overwrite:
+        raise ValueError(f"queue backend {name!r} is already registered "
+                         f"(pass overwrite=True to replace it)")
+    _QUEUE_BACKENDS[name] = factory
+
+
+def available_queue_backends() -> Tuple[str, ...]:
+    """Registered queue-backend names."""
+    return tuple(sorted(_QUEUE_BACKENDS))
+
+
+def make_queue(name: str) -> JobQueue:
+    """Instantiate the queue backend registered under ``name``."""
+    if name not in _QUEUE_BACKENDS:
+        raise ValueError(f"unknown queue backend {name!r}; registered: "
+                         f"{', '.join(available_queue_backends())}")
+    return _QUEUE_BACKENDS[name]()

@@ -1,0 +1,483 @@
+"""Async campaign scheduler: jobs -> shard work units -> process pool.
+
+:class:`CampaignService` is the execution core behind ``repro serve``:
+an :mod:`asyncio` front-end that accepts :class:`JobSpec` submissions,
+orders them through a pluggable :class:`repro.service.queue.JobQueue`,
+and executes them as :class:`repro.faults.batch.ShardTask` spans on a
+``concurrent.futures`` pool — the *same* work units a sharded
+in-process :class:`CampaignRunner` builds, which is what makes
+service-executed results bit-identical to in-process runs (the
+contract ``tests/service/`` pins).
+
+Execution pipeline of one campaign-family job:
+
+1. **Normalize + address.** The spec's ``seed`` is resolved to concrete
+   root entropy; its canonical hash is the store key.
+2. **Dedupe.** A completed record under the key is returned immediately
+   (``cached``); a key currently in flight attaches the submission to
+   the running job instead of executing twice.
+3. **Shard.** Trials split into contiguous spans of at most
+   ``shard_trials`` (:func:`repro.utils.rng.shard_bounds`); spans with
+   a checkpoint in the store are reused, the rest run concurrently on
+   the pool, each checkpointing on completion.
+4. **Merge + persist.** Span tallies merge in ``lo`` order
+   (:func:`repro.faults.batch.merge_results`); the final record is
+   written atomically and the span checkpoints are dropped.
+
+A killed service therefore loses only in-flight spans: on restart,
+resubmitting the same spec (same entropy) reuses every checkpointed
+span and executes just the gaps, and the merged result is bit-identical
+to an uninterrupted run. Adaptive and logic-equivalence jobs execute as
+single work units (their results are not span-decomposable) but get the
+same normalize/dedupe/persist treatment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, \
+    ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Union
+
+import repro
+from repro.faults.batch import PACKINGS, merge_results, run_shard_task
+from repro.service.queue import JobQueue, available_queue_backends, \
+    make_queue
+from repro.service.spec import (
+    JOB_KINDS,
+    AdaptiveCampaignJobSpec,
+    JobSpec,
+    LogicEquivalenceJobSpec,
+    injector_kinds,
+    result_to_dict,
+)
+from repro.service.store import ResultStore
+from repro.utils.backend import available_backends
+from repro.utils.rng import shard_bounds
+
+#: Default trials per service shard (work-unit granularity: small enough
+#: to checkpoint often, large enough to amortize engine rebuild).
+DEFAULT_SHARD_TRIALS = 512
+
+
+def service_info() -> dict:
+    """Static introspection: what a deployed service can execute.
+
+    The payload behind ``repro info`` and the server's ``/info``
+    endpoint — operators use it to see which array backends, tensor
+    layouts, job kinds, and queue backends this build serves.
+    """
+    return {
+        "version": repro.__version__,
+        "backends": list(available_backends()),
+        "packings": list(PACKINGS),
+        "job_kinds": sorted(JOB_KINDS),
+        "injector_kinds": list(injector_kinds()),
+        "queue_backends": list(available_queue_backends()),
+    }
+
+
+def _run_adaptive_job(spec_dict: dict) -> dict:
+    """Worker entry: one adaptive campaign as a single work unit."""
+    spec = JobSpec.from_dict(spec_dict)
+    result = spec.build_runner().run_adaptive(
+        tolerance=spec.tolerance, confidence=spec.confidence,
+        max_trials=spec.max_trials, initial_trials=spec.initial_trials,
+        growth=spec.growth)
+    return result_to_dict(result)
+
+
+def _run_logic_job(spec_dict: dict) -> dict:
+    """Worker entry: one logic-equivalence check as a single work unit."""
+    from repro.circuits.registry import get_spec
+    from repro.logic.verify import exhaustive_check, random_check
+
+    spec = JobSpec.from_dict(spec_dict)
+    bench = get_spec(spec.circuit)
+    net = bench.build()
+    inputs = len(net.input_names)
+    if inputs <= spec.exhaustive_threshold:
+        mode, trials = "exhaustive", 1 << inputs
+        message = exhaustive_check(net, bench.golden, packing=spec.packing)
+    else:
+        mode, trials = "random", spec.trials
+        message = random_check(net, bench.golden, trials=spec.trials,
+                               seed=spec.entropy, packing=spec.packing)
+    return {
+        "type": "logic_equivalence_result",
+        "circuit": spec.circuit,
+        "equivalent": message is None,
+        "mismatch": message,
+        "mode": mode,
+        "trials": trials,
+        "packing": spec.packing,
+    }
+
+
+@dataclass
+class JobRecord:
+    """Live state of one submission (what ``repro status`` shows)."""
+
+    id: str
+    spec: JobSpec
+    key: str
+    state: str = "queued"  # queued | running | done | failed
+    cached: bool = False
+    error: Optional[str] = None
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    shards_total: int = 0
+    shards_done: int = 0
+    shards_cached: int = 0
+    result: Optional[dict] = None
+    done_event: asyncio.Event = field(default_factory=asyncio.Event,
+                                      repr=False)
+
+    def to_dict(self) -> dict:
+        """JSON view (the server's job-status payload)."""
+        return {
+            "id": self.id,
+            "kind": self.spec.kind,
+            "key": self.key,
+            "state": self.state,
+            "cached": self.cached,
+            "error": self.error,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "shards": {"total": self.shards_total,
+                       "done": self.shards_done,
+                       "cached": self.shards_cached},
+            "result": self.result,
+            "spec": self.spec.to_dict(),
+        }
+
+
+class CampaignService:
+    """Submit-and-poll campaign execution (see the module docstring).
+
+    Parameters
+    ----------
+    store:
+        A :class:`ResultStore` or a path to create one at. The store is
+        the durable half of the service: results, dedupe index, and
+        crash checkpoints all live there.
+    workers:
+        Pool size for work units (processes by default).
+    shard_trials:
+        Maximum trials per shard span — the checkpoint granularity.
+    queue:
+        Registered queue-backend name (default ``"memory"``).
+    max_concurrent_jobs:
+        Scheduler tasks pulling from the queue; shards of concurrent
+        jobs interleave on the shared pool.
+    executor:
+        ``"process"`` (default) or ``"thread"``. The thread pool exists
+        for embedding and tests (closures and mocks don't cross process
+        boundaries); numpy kernels release the GIL enough to keep it
+        useful for small jobs.
+    shard_runner:
+        The work-unit function (default
+        :func:`repro.faults.batch.run_shard_task`). Injection point for
+        tests and for remote-execution adapters; must be picklable
+        under ``executor="process"``.
+    max_job_records:
+        Cap on in-memory :class:`JobRecord` objects; beyond it the
+        oldest *terminal* records are evicted (their results remain in
+        the store — only the transient job id is forgotten).
+    """
+
+    def __init__(self, store: Union[ResultStore, str], workers: int = 2,
+                 shard_trials: int = DEFAULT_SHARD_TRIALS,
+                 queue: str = "memory", max_concurrent_jobs: int = 2,
+                 executor: str = "process",
+                 shard_runner: Optional[Callable] = None,
+                 max_job_records: int = 10_000) -> None:
+        if workers <= 0:
+            raise ValueError(f"workers must be positive, got {workers}")
+        if shard_trials <= 0:
+            raise ValueError(f"shard_trials must be positive, "
+                             f"got {shard_trials}")
+        if max_concurrent_jobs <= 0:
+            raise ValueError(f"max_concurrent_jobs must be positive, "
+                             f"got {max_concurrent_jobs}")
+        if max_job_records <= 0:
+            raise ValueError(f"max_job_records must be positive, "
+                             f"got {max_job_records}")
+        if executor not in ("process", "thread"):
+            raise ValueError(f"executor must be 'process' or 'thread', "
+                             f"got {executor!r}")
+        self.store = store if isinstance(store, ResultStore) \
+            else ResultStore(store)
+        self.workers = workers
+        self.shard_trials = shard_trials
+        self.queue_name = queue
+        self.max_concurrent_jobs = max_concurrent_jobs
+        self.executor_kind = executor
+        self.shard_runner = shard_runner or run_shard_task
+        self.max_job_records = max_job_records
+        self._jobs: Dict[str, JobRecord] = {}
+        self._inflight: Dict[str, str] = {}       # key -> leader job id
+        self._followers: Dict[str, List[str]] = {}  # key -> follower ids
+        self._seq = 0
+        self._queue: Optional[JobQueue] = None
+        self._pool: Optional[Executor] = None
+        self._scheduler_tasks: List[asyncio.Task] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "CampaignService":
+        if self._started:
+            return self
+        self._queue = make_queue(self.queue_name)
+        pool_cls = ProcessPoolExecutor if self.executor_kind == "process" \
+            else ThreadPoolExecutor
+        self._pool = pool_cls(max_workers=self.workers)
+        self._scheduler_tasks = [
+            asyncio.create_task(self._scheduler_loop())
+            for _ in range(self.max_concurrent_jobs)]
+        self._started = True
+        return self
+
+    async def close(self) -> None:
+        for task in self._scheduler_tasks:
+            task.cancel()
+        for task in self._scheduler_tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        self._scheduler_tasks = []
+        if self._queue is not None:
+            await self._queue.close()
+            self._queue = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._started = False
+
+    async def __aenter__(self) -> "CampaignService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission and queries
+    # ------------------------------------------------------------------ #
+
+    async def submit(self, spec: Union[JobSpec, dict]) -> JobRecord:
+        """Validate, normalize, dedupe, and enqueue one job.
+
+        Returns the live :class:`JobRecord`; a spec whose key is
+        already in the store completes immediately from cache, and one
+        whose key is currently executing attaches to that run.
+        """
+        if not self._started:
+            raise RuntimeError("service is not started; use 'async with "
+                               "CampaignService(...)' or await start()")
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        spec.validate()
+        spec = spec.normalized()
+        key = spec.cache_key()
+        self._seq += 1
+        job = JobRecord(id=f"j{self._seq:06d}-{key[:8]}", spec=spec, key=key)
+        self._jobs[job.id] = job
+        self._evict_settled_records()
+
+        cached = await asyncio.to_thread(self.store.get, key)
+        if cached is not None:
+            job.state = "done"
+            job.cached = True
+            job.result = cached["result"]
+            job.shards_total = job.shards_cached = \
+                cached.get("shards", {}).get("total", 0)
+            job.shards_done = job.shards_total
+            job.finished_at = time.time()
+            job.done_event.set()
+            return job
+        if key in self._inflight:
+            self._followers.setdefault(key, []).append(job.id)
+            return job
+        self._inflight[key] = job.id
+        await self._queue.put(job.id)
+        return job
+
+    def _evict_settled_records(self) -> None:
+        """Cap in-memory job records; results stay in the store.
+
+        Long-lived services accumulate one :class:`JobRecord` per
+        submission (cache hits included). Once the count exceeds
+        ``max_job_records``, the oldest *terminal* records are dropped
+        — their durable state is the content-addressed store record, so
+        only their transient ids become unknown to ``status``.
+        """
+        excess = len(self._jobs) - self.max_job_records
+        if excess <= 0:
+            return
+        for job_id in [j.id for j in self._jobs.values()
+                       if j.state in ("done", "failed")][:excess]:
+            del self._jobs[job_id]
+
+    def status(self, job_id: str) -> JobRecord:
+        """The live record of ``job_id`` (KeyError if unknown)."""
+        return self._jobs[job_id]
+
+    def jobs(self) -> List[JobRecord]:
+        """Every record this service instance has accepted."""
+        return [self._jobs[k] for k in sorted(self._jobs)]
+
+    async def wait(self, job_id: str,
+                   timeout: Optional[float] = None) -> JobRecord:
+        """Block until ``job_id`` reaches a terminal state."""
+        job = self._jobs[job_id]
+        await asyncio.wait_for(job.done_event.wait(), timeout)
+        return job
+
+    def info(self) -> dict:
+        """Live service introspection (static info + instance state)."""
+        out = service_info()
+        out.update({
+            "workers": self.workers,
+            "shard_trials": self.shard_trials,
+            "executor": self.executor_kind,
+            "queue": self.queue_name,
+            "jobs": {
+                state: sum(1 for j in self._jobs.values()
+                           if j.state == state)
+                for state in ("queued", "running", "done", "failed")},
+            "store": str(self.store.root),
+            "stored_results": len(self.store.keys()),
+        })
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+
+    async def _scheduler_loop(self) -> None:
+        while True:
+            job_id = await self._queue.get()
+            job = self._jobs.get(job_id)
+            if job is None:
+                continue
+            try:
+                await self._execute(job)
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - the loop must survive
+                # _execute marks the job failed itself; this guard only
+                # keeps a scheduler task alive if something escapes it.
+                pass
+
+    async def _execute(self, job: JobRecord) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        try:
+            if isinstance(job.spec, AdaptiveCampaignJobSpec):
+                result = await self._run_single_unit(job, _run_adaptive_job)
+            elif isinstance(job.spec, LogicEquivalenceJobSpec):
+                result = await self._run_single_unit(job, _run_logic_job)
+            else:
+                result = await self._run_sharded(job)
+            record = {
+                "key": job.key,
+                "kind": job.spec.kind,
+                "entropy": job.spec.entropy,
+                "spec": job.spec.to_dict(),
+                "result": result,
+                "shards": {"total": job.shards_total,
+                           "cached": job.shards_cached},
+                "elapsed_s": time.time() - job.started_at,
+            }
+            # Persisting is part of the job: a store failure (disk
+            # full, permissions) must fail the job, not the scheduler.
+            await asyncio.to_thread(self.store.put, job.key, record)
+            await asyncio.to_thread(self.store.clear_shards, job.key)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+        else:
+            job.result = result
+            job.state = "done"
+        finally:
+            job.finished_at = time.time()
+            job.done_event.set()
+            self._inflight.pop(job.key, None)
+            self._resolve_followers(job)
+
+    def _resolve_followers(self, leader: JobRecord) -> None:
+        """Complete every submission that attached to ``leader``'s run."""
+        for follower_id in self._followers.pop(leader.key, []):
+            follower = self._jobs[follower_id]
+            follower.state = leader.state
+            follower.error = leader.error
+            follower.result = leader.result
+            follower.cached = leader.state == "done"
+            follower.shards_total = leader.shards_total
+            if leader.state == "done":
+                # The follower got the whole span set without executing.
+                follower.shards_done = leader.shards_total
+                follower.shards_cached = leader.shards_total
+            else:
+                follower.shards_done = leader.shards_done
+                follower.shards_cached = leader.shards_cached
+            follower.finished_at = time.time()
+            follower.done_event.set()
+
+    async def _run_single_unit(self, job: JobRecord,
+                               fn: Callable[[dict], dict]) -> dict:
+        job.shards_total = 1
+        loop = asyncio.get_running_loop()
+        result = await loop.run_in_executor(self._pool, fn,
+                                            job.spec.to_dict())
+        job.shards_done = 1
+        return result
+
+    async def _run_sharded(self, job: JobRecord) -> dict:
+        """Campaign-family execution: checkpointable shard spans."""
+        spec = job.spec
+        runner = spec.build_runner()
+        shards = max(1, math.ceil(spec.trials / self.shard_trials))
+        bounds = shard_bounds(spec.trials, shards)
+        # Store I/O happens on worker threads (asyncio.to_thread), never
+        # on the event loop: a slow disk must not stall the HTTP surface
+        # or the scheduling of other jobs.
+        checkpoints = await asyncio.to_thread(self.store.shard_spans,
+                                              job.key)
+        job.shards_total = len(bounds)
+        results = {}
+        loop = asyncio.get_running_loop()
+
+        async def run_span(lo: int, hi: int) -> None:
+            cached = checkpoints.get((lo, hi))
+            if cached is not None:
+                results[(lo, hi)] = cached
+                job.shards_cached += 1
+                job.shards_done += 1
+                return
+            tallies = await loop.run_in_executor(
+                self._pool, self.shard_runner, runner.shard_task(lo, hi))
+            await asyncio.to_thread(self.store.put_shard, job.key, lo, hi,
+                                    tallies)
+            results[(lo, hi)] = tallies
+            job.shards_done += 1
+
+        outcomes = await asyncio.gather(
+            *(run_span(lo, hi) for lo, hi in bounds),
+            return_exceptions=True)
+        errors = [o for o in outcomes if isinstance(o, BaseException)]
+        if errors:
+            # Completed spans stay checkpointed in the store — the
+            # resume payoff — only the failure is surfaced.
+            raise errors[0]
+        merged = merge_results([results[span] for span in bounds])
+        return result_to_dict(merged)

@@ -1,0 +1,174 @@
+"""Minimal stdlib HTTP front-end for the campaign service.
+
+A deliberately small JSON-over-HTTP surface (no third-party web stack;
+the container bakes in numpy + pytest and nothing else) that exposes a
+:class:`repro.service.scheduler.CampaignService` on localhost:
+
+==========================  ============================================
+``GET  /healthz``           liveness probe -> ``{"ok": true}``
+``GET  /info``              :meth:`CampaignService.info`
+``POST /jobs``              submit a :class:`JobSpec` (the JSON body is
+                            the spec's ``to_dict`` form) -> job record
+``GET  /jobs``              every job record this instance accepted
+``GET  /jobs/<id>``         one job record (404 when unknown)
+==========================  ============================================
+
+The server speaks just enough HTTP/1.1 for ``urllib`` and ``curl``
+(request line + headers + ``Content-Length`` body, one request per
+connection); it is an operator surface for submit-and-poll clients, not
+a general web server. Responses are always JSON; errors use
+``{"error": ...}`` with the matching status code.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.service.scheduler import CampaignService
+
+#: Request bodies larger than this are rejected (a job spec is tiny).
+MAX_BODY_BYTES = 1 << 20
+
+#: Seconds a client gets to deliver its whole request; a stalled or
+#: half-open connection must not pin a handler coroutine forever.
+READ_TIMEOUT_S = 30.0
+
+#: Header lines accepted before the request is rejected as malformed.
+MAX_HEADER_LINES = 100
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 413: "Payload Too Large",
+            500: "Internal Server Error"}
+
+
+class ServiceServer:
+    """Asyncio HTTP wrapper around one :class:`CampaignService`."""
+
+    def __init__(self, service: CampaignService, host: str = "127.0.0.1",
+                 port: int = 8937) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running server (resolves ``port=0``)."""
+        return f"http://{self.host}:{self.port}"
+
+    async def start(self) -> "ServiceServer":
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        # port=0 asks the OS for a free port; reflect the real one.
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.close()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ServiceServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # HTTP plumbing
+    # ------------------------------------------------------------------ #
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload = await asyncio.wait_for(
+                self._respond(reader), timeout=READ_TIMEOUT_S)
+        except asyncio.TimeoutError:
+            status, payload = 400, {"error": "request read timed out"}
+        except Exception as exc:  # noqa: BLE001 - connection boundary
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        body = json.dumps(payload).encode("utf-8")
+        head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n").encode("ascii")
+        try:
+            writer.write(head + body)
+            await writer.drain()
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader
+                       ) -> Tuple[int, dict]:
+        request = await reader.readline()
+        parts = request.decode("latin-1").split()
+        if len(parts) < 2:
+            return 400, {"error": "malformed request line"}
+        method, path = parts[0].upper(), parts[1]
+        length = 0
+        for _ in range(MAX_HEADER_LINES):
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError:
+                    return 400, {"error": "bad Content-Length"}
+        else:
+            return 400, {"error": f"more than {MAX_HEADER_LINES} "
+                                  f"header lines"}
+        if length < 0:
+            return 400, {"error": "negative Content-Length"}
+        if length > MAX_BODY_BYTES:
+            return 413, {"error": f"body exceeds {MAX_BODY_BYTES} bytes"}
+        body = await reader.readexactly(length) if length else b""
+        return await self._route(method, path, body)
+
+    async def _route(self, method: str, path: str,
+                     body: bytes) -> Tuple[int, dict]:
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True}
+        if path == "/info" and method == "GET":
+            return 200, self.service.info()
+        if path == "/jobs" and method == "GET":
+            return 200, {"jobs": [j.to_dict() for j in self.service.jobs()]}
+        if path == "/jobs" and method == "POST":
+            try:
+                spec = json.loads(body.decode("utf-8")) if body else None
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}
+            if not isinstance(spec, dict):
+                return 400, {"error": "body must be a JSON job spec object"}
+            try:
+                job = await self.service.submit(spec)
+            except (TypeError, ValueError) as exc:
+                return 400, {"error": str(exc)}
+            return 200, job.to_dict()
+        if path.startswith("/jobs/") and method == "GET":
+            job_id = path[len("/jobs/"):]
+            try:
+                return 200, self.service.status(job_id).to_dict()
+            except KeyError:
+                return 404, {"error": f"unknown job {job_id!r}"}
+        if path in ("/healthz", "/info", "/jobs") or \
+                path.startswith("/jobs/"):
+            return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no route for {path}"}

@@ -1,0 +1,145 @@
+"""Content-addressed persistent result store with shard checkpoints.
+
+Layout under the store root (all files are JSON, written atomically via
+a temp file + ``os.replace`` so a killed service never leaves a torn
+record)::
+
+    results/<key>.json            completed job record
+    shards/<key>/<lo>-<hi>.json   checkpointed span of a running job
+
+``<key>`` is :meth:`repro.service.spec.JobSpec.cache_key` — the SHA-256
+of the normalized spec's canonical JSON — so the store *is* the dedupe
+index: a resubmitted identical ``(spec, entropy)`` hits ``results/``
+and is served without re-execution, and a restarted service finds the
+completed spans of an interrupted campaign under ``shards/`` and only
+executes the gaps. Both are sound because the per-trial seeding
+contract makes every span's tallies a pure function of the key and the
+span bounds (see the service-sharded execution contract in
+:mod:`repro.faults.batch`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.campaign import CampaignResult
+from repro.service.spec import result_from_dict, result_to_dict
+
+_SHARD_FILE = re.compile(r"^(\d+)-(\d+)\.json$")
+
+
+def _atomic_write_json(path: Path, payload: dict) -> None:
+    """Write JSON so readers see either the old file or the new one."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed store (see module docstring).
+
+    The store is safe to share between a service and ad-hoc readers:
+    records are immutable once written (same key -> same content by
+    construction, so an overwrite race is harmless).
+    """
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.results_dir = self.root / "results"
+        self.shards_dir = self.root / "shards"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.shards_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Final results
+    # ------------------------------------------------------------------ #
+
+    def _result_path(self, key: str) -> Path:
+        return self.results_dir / f"{key}.json"
+
+    def has(self, key: str) -> bool:
+        return self._result_path(key).exists()
+
+    def get(self, key: str) -> Optional[dict]:
+        """The completed job record under ``key``, or ``None``."""
+        path = self._result_path(key)
+        if not path.exists():
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def put(self, key: str, record: dict) -> None:
+        """Persist a completed job record (atomic)."""
+        _atomic_write_json(self._result_path(key), record)
+
+    def keys(self) -> List[str]:
+        """Keys of every completed record in the store."""
+        return sorted(p.stem for p in self.results_dir.glob("*.json"))
+
+    # ------------------------------------------------------------------ #
+    # Shard checkpoints
+    # ------------------------------------------------------------------ #
+
+    def _shard_path(self, key: str, lo: int, hi: int) -> Path:
+        return self.shards_dir / key / f"{lo}-{hi}.json"
+
+    def put_shard(self, key: str, lo: int, hi: int,
+                  result: CampaignResult) -> None:
+        """Checkpoint one completed span of the job under ``key``."""
+        _atomic_write_json(self._shard_path(key, lo, hi), {
+            "lo": lo, "hi": hi, "result": result_to_dict(result)})
+
+    def get_shard(self, key: str, lo: int,
+                  hi: int) -> Optional[CampaignResult]:
+        """The checkpointed tallies of span ``[lo, hi)``, or ``None``."""
+        path = self._shard_path(key, lo, hi)
+        if not path.exists():
+            return None
+        with open(path) as handle:
+            return result_from_dict(json.load(handle)["result"])
+
+    def shard_spans(self, key: str) -> Dict[Tuple[int, int], CampaignResult]:
+        """Every checkpointed span of ``key`` (for resume planning)."""
+        out: Dict[Tuple[int, int], CampaignResult] = {}
+        directory = self.shards_dir / key
+        if not directory.is_dir():
+            return out
+        for path in directory.iterdir():
+            match = _SHARD_FILE.match(path.name)
+            if not match:
+                continue
+            with open(path) as handle:
+                record = json.load(handle)
+            out[(int(match.group(1)), int(match.group(2)))] = \
+                result_from_dict(record["result"])
+        return out
+
+    def clear_shards(self, key: str) -> None:
+        """Drop the checkpoints of ``key`` (after its final record)."""
+        directory = self.shards_dir / key
+        if not directory.is_dir():
+            return
+        for path in directory.iterdir():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        try:
+            directory.rmdir()
+        except OSError:
+            pass

@@ -32,6 +32,7 @@ from repro.utils.bitpack import (
     saturating_count2,
     unpack_batch,
 )
+from repro.utils.canonical import canonical_json, content_hash
 from repro.utils.rng import make_rng, spawn_rngs
 from repro.utils.stats import wilson_halfwidth, wilson_interval
 from repro.utils.validation import (
@@ -70,6 +71,8 @@ __all__ = [
     "popcount_words",
     "saturating_count2",
     "unpack_batch",
+    "canonical_json",
+    "content_hash",
     "make_rng",
     "spawn_rngs",
     "check_index",

@@ -1,0 +1,42 @@
+"""Canonical JSON serialization and content hashing.
+
+The campaign service (:mod:`repro.service`) addresses results by the
+*content* of the submitted job spec: two submissions with the same
+normalized spec must map to the same store key on any host, any Python
+version, and any dict insertion order. That requires a canonical byte
+encoding, which plain ``json.dumps`` is not (key order, whitespace, and
+NaN handling all vary by call site).
+
+Canonical form: JSON with sorted keys, no whitespace, ``allow_nan``
+disabled (NaN/Infinity have no interoperable JSON encoding and would
+silently break cross-host key stability). Floats use Python's shortest
+round-trip ``repr``, which is deterministic for equal values.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(obj: Any) -> str:
+    """Serialize ``obj`` to its canonical JSON text.
+
+    ``obj`` must be JSON-representable (dicts with string keys, lists,
+    strings, ints, finite floats, bools, None). Equal objects always
+    produce identical text; non-finite floats and non-JSON types raise
+    ``ValueError``/``TypeError`` rather than degrading determinism.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def content_hash(obj: Any) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``obj``.
+
+    The content-addressed store key: identical specs hash identically
+    on every host, and any semantic change to the spec changes the key.
+    """
+    digest = hashlib.sha256(canonical_json(obj).encode("utf-8"))
+    return digest.hexdigest()

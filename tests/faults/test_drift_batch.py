@@ -81,6 +81,39 @@ class TestDriftSimulatorSeeding:
         assert p == total / (800 * 3)
 
 
+class TestAggregatedFieldContract:
+    """The injector's single-draw Bernoulli field vs the event kernel."""
+
+    def test_threshold_is_the_closed_form(self):
+        inj = _injector(refresh=4.0)
+        assert inj.probability == HOT.flip_probability(24.0, 4.0)
+
+    def test_one_host_call_per_sequential_block(self):
+        """A (B, cells) shared-stream draw equals B scalar rounds.
+
+        The fast path's whole premise: uniform doubles are generated
+        element-sequentially, so the batched call consumes the stream
+        exactly like per-trial calls. Pinned directly on the generator
+        (the campaign-level equivalence tests inherit it).
+        """
+        a = np.random.default_rng(9).random((6, 100))
+        scalar_stream = np.random.default_rng(9)
+        b = np.vstack([scalar_stream.random(100) for _ in range(6)])
+        assert (a == b).all()
+
+    def test_flip_rate_matches_discrete_event_kernel(self):
+        """Aggregated field and window_flip_mask agree in distribution."""
+        rng = np.random.default_rng(5)
+        cells = 200_000
+        event = window_flip_mask(HOT, rng, (cells,), 24.0, 4.0).mean()
+        agg = (np.random.default_rng(6).random(cells)
+               < HOT.flip_probability(24.0, 4.0)).mean()
+        p = HOT.flip_probability(24.0, 4.0)
+        sigma = (p * (1 - p) / cells) ** 0.5
+        assert abs(event - p) < 6 * sigma
+        assert abs(agg - p) < 6 * sigma
+
+
 class TestDriftInjectorGroundTruth:
     @pytest.mark.parametrize("include_check_bits", [True, False])
     def test_batched_events_match_scalar_events(self, small_grid,

@@ -1,0 +1,170 @@
+"""Checkpoint/resume: a killed service finishes without redoing work.
+
+Scenario pinned here: a service executing a sharded campaign dies
+mid-run (simulated by a shard runner that starts failing after N
+spans — from the store's point of view indistinguishable from a
+``kill -9`` between span completions, since every completed span is
+checkpointed atomically and the final record does not exist yet). A
+*fresh* service instance on the same store then receives the same
+spec and must (a) reuse every checkpointed span, (b) execute only the
+gaps, and (c) produce a merged ``CampaignResult`` bit-identical to an
+uninterrupted run — which the differential suite separately pins to
+the in-process ``CampaignRunner``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.faults.batch import run_shard_task
+from repro.service import (
+    CampaignJobSpec,
+    CampaignService,
+    InjectorSpec,
+    ResultStore,
+    result_from_dict,
+)
+
+SPEC = CampaignJobSpec(
+    n=15, m=3, trials=320, seed=101,
+    injector=InjectorSpec("uniform", {"probability": 2e-3}))
+
+#: 320 trials in 64-trial spans -> 5 shards.
+SHARD_TRIALS = 64
+SPANS = [(0, 64), (64, 128), (128, 192), (192, 256), (256, 320)]
+
+
+class DyingRunner:
+    """Completes ``survive`` spans, then fails every subsequent one."""
+
+    def __init__(self, survive):
+        self.survive = survive
+        self.completed = []
+
+    def __call__(self, task):
+        if len(self.completed) >= self.survive:
+            raise RuntimeError("service killed mid-campaign")
+        result = run_shard_task(task)
+        self.completed.append(task.span)
+        return result
+
+
+class RecordingRunner:
+    """Plain runner that records which spans it actually executed."""
+
+    def __init__(self):
+        self.executed = []
+
+    def __call__(self, task):
+        result = run_shard_task(task)
+        self.executed.append(task.span)
+        return result
+
+
+def _run_one(store, spec, runner):
+    """One spec through a fresh single-worker service instance."""
+
+    async def main():
+        async with CampaignService(
+                store, workers=1, shard_trials=SHARD_TRIALS,
+                max_concurrent_jobs=1, executor="thread",
+                shard_runner=runner) as service:
+            job = await service.submit(spec)
+            await service.wait(job.id, timeout=300)
+            return job
+
+    return asyncio.run(main())
+
+
+class TestCheckpointResume:
+    def test_interrupted_then_resumed_is_bit_identical(self, tmp_path):
+        # --- first service: dies after 2 of 5 spans ------------------- #
+        dying = DyingRunner(survive=2)
+        crashed = _run_one(tmp_path, SPEC, dying)
+        assert crashed.state == "failed"
+        assert "killed mid-campaign" in crashed.error
+        assert dying.completed == SPANS[:2]
+
+        # the completed spans survived the crash as checkpoints; no
+        # final record was written
+        store = ResultStore(tmp_path)
+        key = SPEC.normalized().cache_key()
+        assert not store.has(key)
+        assert sorted(store.shard_spans(key)) == SPANS[:2]
+
+        # --- restart: fresh instance, same store, same spec ----------- #
+        recording = RecordingRunner()
+        resumed = _run_one(tmp_path, SPEC, recording)
+        assert resumed.state == "done" and not resumed.cached
+        assert resumed.shards_total == len(SPANS)
+        assert resumed.shards_cached == 2       # reused checkpoints
+        assert recording.executed == SPANS[2:]  # only the gaps ran
+
+        # --- bit-identity against an uninterrupted execution ---------- #
+        pristine = RecordingRunner()
+        uninterrupted = _run_one(tmp_path / "fresh", SPEC, pristine)
+        assert pristine.executed == SPANS       # nothing cached there
+        assert resumed.result == uninterrupted.result
+        in_process = SPEC.build_runner().run(SPEC.trials)
+        assert result_from_dict(resumed.result).as_dict() == \
+            in_process.as_dict()
+
+        # checkpoints are dropped once the final record lands
+        assert store.has(key)
+        assert store.shard_spans(key) == {}
+
+    def test_resume_after_total_loss_of_progress(self, tmp_path):
+        """Crash before any span completes: resume just runs everything."""
+        dying = DyingRunner(survive=0)
+        crashed = _run_one(tmp_path, SPEC, dying)
+        assert crashed.state == "failed"
+
+        recording = RecordingRunner()
+        resumed = _run_one(tmp_path, SPEC, recording)
+        assert resumed.state == "done"
+        assert resumed.shards_cached == 0
+        assert recording.executed == SPANS
+        assert result_from_dict(resumed.result).as_dict() == \
+            SPEC.build_runner().run(SPEC.trials).as_dict()
+
+    def test_checkpoints_of_other_jobs_do_not_leak(self, tmp_path):
+        """A different (spec, entropy) never reuses foreign checkpoints."""
+        dying = DyingRunner(survive=2)
+        _run_one(tmp_path, SPEC, dying)
+
+        other = CampaignJobSpec(
+            n=15, m=3, trials=320, seed=202,  # different entropy
+            injector=InjectorSpec("uniform", {"probability": 2e-3}))
+        recording = RecordingRunner()
+        job = _run_one(tmp_path, other, recording)
+        assert job.state == "done"
+        assert job.shards_cached == 0
+        assert recording.executed == SPANS
+
+    def test_partial_checkpoints_require_matching_shard_plan(self, tmp_path):
+        """Resume reuses only spans that match the current shard bounds.
+
+        (The shard plan is derived from the spec and shard_trials; a
+        service restarted with a different granularity falls back to
+        executing non-matching spans rather than merging misaligned
+        tallies.)
+        """
+        dying = DyingRunner(survive=2)
+        _run_one(tmp_path, SPEC, dying)  # checkpoints (0,64), (64,128)
+
+        async def main():
+            recording = RecordingRunner()
+            async with CampaignService(
+                    tmp_path, workers=1, shard_trials=160,
+                    max_concurrent_jobs=1, executor="thread",
+                    shard_runner=recording) as service:
+                job = await service.submit(SPEC)
+                await service.wait(job.id, timeout=300)
+                return job, recording
+
+        job, recording = asyncio.run(main())
+        assert job.state == "done"
+        assert job.shards_cached == 0           # bounds (0,160),(160,320)
+        assert recording.executed == [(0, 160), (160, 320)]
+        assert result_from_dict(job.result).as_dict() == \
+            SPEC.build_runner().run(SPEC.trials).as_dict()

@@ -1,0 +1,94 @@
+"""ResultStore: content-addressed records and shard checkpoints."""
+
+import json
+
+import pytest
+
+from repro.faults.campaign import CampaignResult
+from repro.service import ResultStore
+from repro.service.spec import result_from_dict, result_to_dict
+
+KEY = "a" * 64
+OTHER = "b" * 64
+
+
+def _tallies(trials=10, corrected=3):
+    return CampaignResult(trials=trials, clean=trials - corrected,
+                          corrected=corrected, injected_faults=corrected)
+
+
+class TestResults:
+    def test_get_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(KEY) is None
+        assert not store.has(KEY)
+
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = {"key": KEY, "kind": "campaign",
+                  "result": result_to_dict(_tallies())}
+        store.put(KEY, record)
+        assert store.has(KEY)
+        assert store.get(KEY) == record
+        assert store.keys() == [KEY]
+
+    def test_reopen_sees_existing_records(self, tmp_path):
+        ResultStore(tmp_path).put(KEY, {"result": result_to_dict(_tallies())})
+        again = ResultStore(tmp_path)
+        assert again.has(KEY)
+
+    def test_records_are_valid_json_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"kind": "campaign"})
+        path = store.results_dir / f"{KEY}.json"
+        assert json.loads(path.read_text())["kind"] == "campaign"
+
+    def test_no_temp_droppings(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, {"kind": "campaign"})
+        store.put_shard(KEY, 0, 5, _tallies())
+        leftovers = [p for p in tmp_path.rglob("*.tmp")]
+        assert leftovers == []
+
+
+class TestShards:
+    def test_shard_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path)
+        tallies = _tallies(7, 2)
+        store.put_shard(KEY, 0, 7, tallies)
+        assert store.get_shard(KEY, 0, 7).as_dict() == tallies.as_dict()
+        assert store.get_shard(KEY, 7, 14) is None
+        assert store.get_shard(OTHER, 0, 7) is None
+
+    def test_shard_spans_listing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_shard(KEY, 0, 5, _tallies(5))
+        store.put_shard(KEY, 5, 12, _tallies(7))
+        spans = store.shard_spans(KEY)
+        assert set(spans) == {(0, 5), (5, 12)}
+        assert spans[(5, 12)].trials == 7
+        assert store.shard_spans(OTHER) == {}
+
+    def test_clear_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_shard(KEY, 0, 5, _tallies(5))
+        store.clear_shards(KEY)
+        assert store.shard_spans(KEY) == {}
+        store.clear_shards(KEY)  # idempotent on missing directory
+
+
+class TestResultSerialization:
+    def test_campaign_result_round_trip(self):
+        tallies = CampaignResult(trials=9, clean=2, corrected=3, detected=2,
+                                 silent=2, injected_faults=11,
+                                 blocks_with_multi_faults=4)
+        again = result_from_dict(result_to_dict(tallies))
+        assert again.as_dict() == tallies.as_dict()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown result type"):
+            result_from_dict({"type": "mystery"})
+
+    def test_unserializable_rejected(self):
+        with pytest.raises(TypeError, match="unserializable"):
+            result_to_dict(object())

@@ -15,11 +15,43 @@ class TestParser:
             build_parser().parse_args(["no-such-command"])
 
 
+class TestServiceParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8937
+        assert args.store == ".repro-service"
+        assert args.workers == 2
+
+    def test_submit_flags(self):
+        args = build_parser().parse_args(
+            ["submit", "spec.json", "--wait", "--timeout", "12",
+             "--url", "http://h:1"])
+        assert args.spec == "spec.json"
+        assert args.wait and args.timeout == 12.0
+        assert args.url == "http://h:1"
+
+    def test_status_requires_job_id(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["status"])
+        args = build_parser().parse_args(["status", "j000001-aaaa"])
+        assert args.job_id == "j000001-aaaa"
+
+
 class TestCommands:
     def test_info(self, capsys):
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "adder" in out and "voter" in out
+
+    def test_info_reports_service_capabilities(self, capsys):
+        """Operators can introspect backends/packings/job kinds."""
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "backends:" in out and "numpy" in out
+        assert "packings: u8, u64" in out
+        assert "job kinds:" in out and "drift_survival" in out
+        assert "queue backends: memory" in out
 
     def test_table2_default(self, capsys):
         assert main(["table2"]) == 0

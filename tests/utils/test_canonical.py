@@ -1,0 +1,55 @@
+"""Canonical JSON + content hashing (the store-key foundation)."""
+
+import pytest
+
+from repro.utils.canonical import canonical_json, content_hash
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == \
+            canonical_json({"a": 2, "b": 1})
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": [1, 2], "a": None}) == \
+            '{"a":null,"b":[1,2]}'
+
+    def test_nested_structures(self):
+        obj = {"spec": {"kind": "campaign", "params": {"p": 0.5}},
+               "ids": [3, 1, 2]}
+        assert canonical_json(obj) == canonical_json(dict(reversed(
+            list(obj.items()))))
+
+    def test_non_finite_floats_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("nan")})
+        with pytest.raises(ValueError):
+            canonical_json({"x": float("inf")})
+
+    def test_non_json_types_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+
+class TestContentHash:
+    def test_deterministic(self):
+        assert content_hash({"a": 1}) == content_hash({"a": 1})
+
+    def test_order_independent(self):
+        assert content_hash({"b": 1, "a": 2}) == \
+            content_hash({"a": 2, "b": 1})
+
+    def test_value_sensitive(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+        assert content_hash({"a": 1}) != content_hash({"a": 1.0000001})
+
+    def test_is_hex_sha256(self):
+        digest = content_hash({"a": 1})
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    def test_known_vector(self):
+        """Pinned so the store-key scheme cannot drift silently."""
+        import hashlib
+        expected = hashlib.sha256(b'{"a":1}').hexdigest()
+        assert content_hash({"a": 1}) == expected
