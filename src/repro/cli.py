@@ -9,12 +9,20 @@
     python -m repro info
 
     python -m repro serve  [--host H --port P --store DIR --workers N]
+                           [--execution local|distributed --queue NAME]
     python -m repro submit SPEC.json [--url U --wait --timeout S]
     python -m repro status JOB_ID [--url U]
+    python -m repro worker (--store DIR [--broker PATH] | --url U)
+                           [--id W --lease-ttl S --max-units N]
+    python -m repro store gc --store DIR [--max-age-days D]
+                           [--max-bytes B --dry-run]
 
 Everything prints to stdout; exit code 0 on success. ``submit`` and
 ``status`` print the job record as JSON (``-`` reads the spec from
-stdin), so they compose with ``jq``-style pipelines.
+stdin), so they compose with ``jq``-style pipelines; ``store gc``
+prints its eviction report as JSON the same way. ``worker`` joins a
+distributed service's fleet: give it the service's ``--store`` path
+(same host / shared disk) or its ``--url`` (any host).
 """
 
 from __future__ import annotations
@@ -111,8 +119,10 @@ def _cmd_info(args) -> int:
     print(f"job kinds: {', '.join(info['job_kinds'])}")
     print(f"injector kinds: {', '.join(info['injector_kinds'])}")
     print(f"queue backends: {', '.join(info['queue_backends'])}")
+    print(f"execution modes: {', '.join(info['execution_modes'])}")
     print("service: serve (start), submit (enqueue a spec), "
-          "status (poll a job)")
+          "status (poll a job), worker (join a distributed fleet), "
+          "store gc (evict old results)")
     return 0
 
 
@@ -126,12 +136,17 @@ def _cmd_serve(args) -> int:
         service = CampaignService(
             args.store, workers=args.workers,
             shard_trials=args.shard_trials, queue=args.queue,
-            max_concurrent_jobs=args.max_concurrent_jobs)
+            max_concurrent_jobs=args.max_concurrent_jobs,
+            execution=args.execution, broker_path=args.broker)
         server = ServiceServer(service, host=args.host, port=args.port)
         async with server:
+            extra = ""
+            if args.execution == "distributed":
+                extra = (f", execution: distributed, "
+                         f"broker: {service.broker_path}")
             print(f"campaign service listening on {server.url} "
                   f"(store: {args.store}, workers: {args.workers}, "
-                  f"shard_trials: {args.shard_trials})", flush=True)
+                  f"shard_trials: {args.shard_trials}{extra})", flush=True)
             await server.serve_forever()
 
     try:
@@ -163,6 +178,59 @@ def _cmd_status(args) -> int:
     record = ServiceClient(args.url).status(args.job_id)
     print(json.dumps(record, indent=2, sort_keys=True))
     return 0 if record["state"] != "failed" else 1
+
+
+def _cmd_worker(args) -> int:
+    from repro.distributed.broker import SqliteBroker
+    from repro.distributed.worker import (
+        BrokerWorkSource,
+        HttpWorkSource,
+        ShardWorker,
+        default_worker_id,
+    )
+
+    if (args.store is None) == (args.url is None):
+        print("worker needs exactly one of --store (shared-store "
+              "topology) or --url (HTTP topology)", file=sys.stderr)
+        return 2
+    if args.store is not None:
+        from repro.service.scheduler import BROKER_FILENAME
+        from repro.service.store import ResultStore
+        broker_path = args.broker or \
+            f"{args.store.rstrip('/')}/{BROKER_FILENAME}"
+        source = BrokerWorkSource(SqliteBroker(broker_path),
+                                  ResultStore(args.store))
+        where = f"broker {broker_path}"
+    else:
+        from repro.service.client import ServiceClient
+        source = HttpWorkSource(ServiceClient(args.url))
+        where = f"service {args.url}"
+    worker = ShardWorker(source, worker_id=args.id or default_worker_id(),
+                         lease_ttl_s=args.lease_ttl,
+                         poll_interval_s=args.poll_interval)
+    print(f"worker {worker.worker_id} pulling from {where} "
+          f"(lease ttl {worker.lease_ttl_s:.0f}s)", flush=True)
+    try:
+        processed = worker.run(max_units=args.max_units,
+                               idle_exit_s=args.idle_exit)
+    except KeyboardInterrupt:
+        processed = worker.units_done
+        print(f"worker {worker.worker_id} interrupted")
+    print(f"worker {worker.worker_id} exiting: {processed} unit(s) "
+          f"processed, {worker.units_failed} failed", flush=True)
+    return 0
+
+
+def _cmd_store_gc(args) -> int:
+    from repro.service.store import ResultStore
+
+    max_age_s = None if args.max_age_days is None \
+        else args.max_age_days * 86400.0
+    report = ResultStore(args.store).gc(
+        max_age_s=max_age_s, max_bytes=args.max_bytes,
+        sweep_orphans=not args.no_orphan_sweep, dry_run=args.dry_run)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -207,8 +275,15 @@ def build_parser() -> argparse.ArgumentParser:
     p6.add_argument("--shard-trials", type=int, default=512,
                     help="max trials per checkpointable shard")
     p6.add_argument("--queue", default="memory",
-                    help="registered job-queue backend")
+                    help="registered job-queue backend (memory | sqlite)")
     p6.add_argument("--max-concurrent-jobs", type=int, default=2)
+    p6.add_argument("--execution", default="local",
+                    choices=["local", "distributed"],
+                    help="where shard spans run: this process's pool "
+                         "(local) or the repro-worker fleet (distributed)")
+    p6.add_argument("--broker", default=None,
+                    help="broker SQLite file for distributed execution "
+                         "(default: <store>/broker.sqlite3)")
     p6.set_defaults(func=_cmd_serve)
 
     p7 = sub.add_parser("submit", help="submit a job spec to the service")
@@ -224,6 +299,46 @@ def build_parser() -> argparse.ArgumentParser:
     p8.add_argument("job_id")
     p8.add_argument("--url", default=_default_service_url())
     p8.set_defaults(func=_cmd_status)
+
+    p9 = sub.add_parser(
+        "worker", help="run a shard worker for a distributed service")
+    p9.add_argument("--store", default=None,
+                    help="service store directory (shared-store topology)")
+    p9.add_argument("--broker", default=None,
+                    help="broker SQLite file (default: "
+                         "<store>/broker.sqlite3)")
+    p9.add_argument("--url", default=None,
+                    help="service URL (HTTP topology, for workers "
+                         "without access to the store path)")
+    p9.add_argument("--id", default=None,
+                    help="worker identity (default: host-pid-random)")
+    p9.add_argument("--lease-ttl", type=float, default=30.0,
+                    help="seconds a claim survives without heartbeat")
+    p9.add_argument("--poll-interval", type=float, default=0.2,
+                    help="idle sleep between empty claims")
+    p9.add_argument("--max-units", type=int, default=None,
+                    help="exit after this many units (default: run "
+                         "until killed)")
+    p9.add_argument("--idle-exit", type=float, default=None,
+                    help="exit after this many consecutive idle seconds")
+    p9.set_defaults(func=_cmd_worker)
+
+    p10 = sub.add_parser("store", help="manage a service result store")
+    store_sub = p10.add_subparsers(dest="store_command", required=True)
+    p10gc = store_sub.add_parser(
+        "gc", help="evict old results / bound store size")
+    p10gc.add_argument("--store", default=DEFAULT_SERVICE_STORE,
+                       help="result-store directory")
+    p10gc.add_argument("--max-age-days", type=float, default=None,
+                       help="evict results older than this many days")
+    p10gc.add_argument("--max-bytes", type=int, default=None,
+                       help="evict oldest results until the store fits")
+    p10gc.add_argument("--no-orphan-sweep", action="store_true",
+                       help="skip dropping checkpoint dirs whose final "
+                            "record already exists")
+    p10gc.add_argument("--dry-run", action="store_true",
+                       help="report what would be evicted, touch nothing")
+    p10gc.set_defaults(func=_cmd_store_gc)
     return parser
 
 

@@ -1,0 +1,412 @@
+"""Durable, stdlib-only work broker (SQLite-backed) with TTL leases.
+
+Two cooperating surfaces live here, both on one SQLite file that any
+process able to reach the path may open (the service host's local disk
+for single-host fleets; for true multi-host fleets prefer the HTTP
+topology — see :mod:`repro.distributed`):
+
+* :class:`SqliteJobQueue` — the durable implementation of the
+  scheduler's :class:`repro.service.queue.JobQueue` registry interface
+  (FIFO of job ids). Registered as the ``"sqlite"`` backend; queued
+  submissions survive a service restart.
+* :class:`SqliteBroker` — the work-unit plane of distributed campaign
+  execution. A dispatcher publishes serialized shard-task payloads;
+  workers *claim* them under a TTL lease, *heartbeat* while running,
+  and *ack* on completion. A lease that expires without heartbeat or
+  ack — a killed or wedged worker — makes the unit claimable again on
+  the next claim, so no span is ever stranded. Claims are exclusive:
+  the claim transaction runs under SQLite's write lock, so two workers
+  racing for the same unit observe a strict winner.
+
+Everything here opens a short-lived connection per operation (safe
+across threads and processes, no connection lifecycle to manage) and
+uses ``BEGIN IMMEDIATE`` transactions for every read-modify-write, so
+the atomicity guarantees come from SQLite's file locking rather than
+any in-process state. Payloads are opaque text to the broker; the
+dispatcher/worker agree on content via :mod:`repro.distributed.wire`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional
+
+from repro.service.queue import JobQueue, register_queue_backend
+
+#: Unit lifecycle states (the only values the ``state`` column takes).
+UNIT_STATES = ("queued", "leased", "done", "failed")
+
+#: Default seconds a worker may hold a lease without heartbeating.
+DEFAULT_LEASE_TTL_S = 30.0
+
+#: Default executions a unit gets before it is failed terminally. Each
+#: claim counts one attempt, so this caps explicit requeue-failures AND
+#: crash loops (workers that die holding the lease, over and over).
+DEFAULT_MAX_ATTEMPTS = 5
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS units (
+    unit_id       TEXT PRIMARY KEY,
+    group_key     TEXT,
+    payload       TEXT NOT NULL,
+    state         TEXT NOT NULL DEFAULT 'queued',
+    seq           INTEGER NOT NULL,
+    owner         TEXT,
+    lease_expires REAL,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    error         TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_units_state_seq ON units(state, seq);
+CREATE INDEX IF NOT EXISTS idx_units_group ON units(group_key);
+CREATE TABLE IF NOT EXISTS jobq (
+    seq     INTEGER PRIMARY KEY AUTOINCREMENT,
+    job_id  TEXT NOT NULL,
+    claimed INTEGER NOT NULL DEFAULT 0
+);
+"""
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """Read-model of one broker work unit (see the module docstring)."""
+
+    unit_id: str
+    group_key: Optional[str]
+    payload: str
+    state: str
+    owner: Optional[str]
+    lease_expires: Optional[float]
+    attempts: int
+    error: Optional[str]
+
+
+class SqliteBroker:
+    """Lease-based work-unit broker over one SQLite file.
+
+    ``path`` is created (with parents) on first use. All methods are
+    synchronous and safe to call from any thread or process; async
+    callers wrap them in ``asyncio.to_thread``.
+
+    ``max_attempts`` bounds retries: a unit that keeps failing — a
+    worker reporting ``fail(requeue=True)`` repeatedly, or workers
+    crashing while holding its lease so expiry keeps re-enqueueing it —
+    is failed terminally once it has consumed that many claims, so a
+    deterministically broken span surfaces as a job failure instead of
+    looping the fleet forever.
+    """
+
+    def __init__(self, path, busy_timeout_s: float = 10.0,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+        if max_attempts <= 0:
+            raise ValueError(f"max_attempts must be positive, "
+                             f"got {max_attempts}")
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.busy_timeout_s = busy_timeout_s
+        self.max_attempts = max_attempts
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+
+    @contextmanager
+    def _connect(self) -> Iterator[sqlite3.Connection]:
+        """One short-lived autocommit connection, closed on exit.
+
+        (``sqlite3.Connection`` as a context manager only wraps a
+        transaction — it never closes — so a dedicated manager keeps
+        per-operation connections from leaking file handles.)
+        """
+        conn = sqlite3.connect(self.path, timeout=self.busy_timeout_s,
+                               isolation_level=None)
+        conn.row_factory = sqlite3.Row
+        try:
+            yield conn
+        finally:
+            conn.close()
+
+    # ------------------------------------------------------------------ #
+    # Dispatcher side
+    # ------------------------------------------------------------------ #
+
+    def publish(self, unit_id: str, payload: str,
+                group_key: Optional[str] = None) -> bool:
+        """Enqueue one work unit; idempotent on ``unit_id``.
+
+        Re-publishing an existing unit is a no-op unless the unit had
+        *failed terminally*, in which case it is reset to ``queued``
+        with the fresh payload (the dispatcher's retry path). Returns
+        ``True`` when the unit is (re-)queued by this call.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT state FROM units WHERE unit_id = ?",
+                    (unit_id,)).fetchone()
+                if row is None:
+                    conn.execute(
+                        "INSERT INTO units (unit_id, group_key, payload, "
+                        "state, seq) VALUES (?, ?, ?, 'queued', "
+                        "(SELECT COALESCE(MAX(seq), 0) + 1 FROM units))",
+                        (unit_id, group_key, payload))
+                    published = True
+                elif row["state"] == "failed":
+                    # A republish is a fresh start: the attempts
+                    # counter resets too, or the unit would inherit a
+                    # spent retry budget and fail terminally on its
+                    # first hiccup.
+                    conn.execute(
+                        "UPDATE units SET state = 'queued', payload = ?, "
+                        "owner = NULL, lease_expires = NULL, "
+                        "error = NULL, attempts = 0 "
+                        "WHERE unit_id = ?", (payload, unit_id))
+                    published = True
+                else:
+                    published = False
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        return published
+
+    def clear_group(self, group_key: str) -> int:
+        """Drop every unit of ``group_key`` (after its job completed)."""
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "DELETE FROM units WHERE group_key = ?", (group_key,))
+            return cursor.rowcount
+
+    # ------------------------------------------------------------------ #
+    # Worker side: the lease protocol
+    # ------------------------------------------------------------------ #
+
+    def claim(self, owner: str, ttl_s: float = DEFAULT_LEASE_TTL_S,
+              now: Optional[float] = None) -> Optional[WorkUnit]:
+        """Atomically claim the oldest available unit for ``owner``.
+
+        Available means ``queued`` or ``leased`` with an expired lease
+        (an abandoned worker's unit) — expiry *is* the re-enqueue, no
+        reaper process required. Returns ``None`` when nothing is
+        available. ``now`` is injectable for tests.
+        """
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                # Crash-loop guard: a unit whose lease expired after
+                # consuming its attempt budget is terminal, not
+                # claimable (explicit fail()s are capped separately).
+                conn.execute(
+                    "UPDATE units SET state = 'failed', owner = NULL, "
+                    "lease_expires = NULL, error = COALESCE(error, '') "
+                    "|| ' [lease expired after ' || attempts || "
+                    "' attempts]' WHERE state = 'leased' AND "
+                    "lease_expires < ? AND attempts >= ?",
+                    (now, self.max_attempts))
+                row = conn.execute(
+                    "SELECT unit_id FROM units WHERE state = 'queued' OR "
+                    "(state = 'leased' AND lease_expires < ?) "
+                    "ORDER BY seq LIMIT 1", (now,)).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return None
+                conn.execute(
+                    "UPDATE units SET state = 'leased', owner = ?, "
+                    "lease_expires = ?, attempts = attempts + 1 "
+                    "WHERE unit_id = ?",
+                    (owner, now + ttl_s, row["unit_id"]))
+                unit = self._fetch(conn, row["unit_id"])
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        return unit
+
+    def heartbeat(self, unit_id: str, owner: str,
+                  ttl_s: float = DEFAULT_LEASE_TTL_S,
+                  now: Optional[float] = None) -> bool:
+        """Extend ``owner``'s lease on ``unit_id``.
+
+        Returns ``False`` when the lease is no longer held — the unit
+        was reclaimed by another worker after expiry, acked, or removed
+        — which tells the worker its result will be ignored.
+        """
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE units SET lease_expires = ? WHERE unit_id = ? "
+                "AND owner = ? AND state = 'leased'",
+                (now + ttl_s, unit_id, owner))
+            return cursor.rowcount == 1
+
+    def ack(self, unit_id: str, owner: str) -> bool:
+        """Mark ``unit_id`` done; ``False`` if the lease was lost."""
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "UPDATE units SET state = 'done', lease_expires = NULL "
+                "WHERE unit_id = ? AND owner = ? AND state = 'leased'",
+                (unit_id, owner))
+            return cursor.rowcount == 1
+
+    def fail(self, unit_id: str, owner: str, error: str,
+             requeue: bool = True) -> bool:
+        """Report a failed execution of ``unit_id``.
+
+        ``requeue=True`` (transient failure) returns the unit to the
+        queue for another worker — until its ``max_attempts`` budget is
+        spent, after which the failure is terminal anyway;
+        ``requeue=False`` (poison payload — e.g. a wire-format refusal
+        that no retry can fix) marks it terminally ``failed``
+        immediately. Either way the dispatcher surfaces the error
+        instead of looping forever.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT attempts FROM units WHERE unit_id = ? AND "
+                    "owner = ? AND state = 'leased'",
+                    (unit_id, owner)).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return False
+                if requeue and row["attempts"] >= self.max_attempts:
+                    requeue = False
+                    error = (f"retries exhausted after {row['attempts']} "
+                             f"attempts: {error}")
+                state = "queued" if requeue else "failed"
+                conn.execute(
+                    "UPDATE units SET state = ?, owner = NULL, "
+                    "lease_expires = NULL, error = ? "
+                    "WHERE unit_id = ? AND owner = ? AND "
+                    "state = 'leased'",
+                    (state, error, unit_id, owner))
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def unit(self, unit_id: str) -> Optional[WorkUnit]:
+        """The current row of ``unit_id``, or ``None``."""
+        with self._connect() as conn:
+            return self._fetch(conn, unit_id)
+
+    def units(self, group_key: Optional[str] = None) -> List[WorkUnit]:
+        """Every unit (of ``group_key`` when given), in FIFO order."""
+        query = "SELECT * FROM units"
+        params: tuple = ()
+        if group_key is not None:
+            query += " WHERE group_key = ?"
+            params = (group_key,)
+        with self._connect() as conn:
+            rows = conn.execute(query + " ORDER BY seq", params).fetchall()
+        return [self._to_unit(r) for r in rows]
+
+    def counts(self, group_key: Optional[str] = None) -> Dict[str, int]:
+        """``state -> unit count`` (of ``group_key`` when given).
+
+        Aggregated in SQL — never materializes payloads; cheap enough
+        for hot paths (dispatch polls, ``/info``)."""
+        query = "SELECT state, COUNT(*) AS n FROM units"
+        params: tuple = ()
+        if group_key is not None:
+            query += " WHERE group_key = ?"
+            params = (group_key,)
+        out = {state: 0 for state in UNIT_STATES}
+        with self._connect() as conn:
+            for row in conn.execute(query + " GROUP BY state", params):
+                out[row["state"]] = row["n"]
+        return out
+
+    def failed_units(self, group_key: str) -> List[tuple]:
+        """``(unit_id, error)`` of the terminally failed units of
+        ``group_key`` — the dispatcher's per-poll failure check, so it
+        selects only those two columns (no payloads)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT unit_id, error FROM units WHERE group_key = ? "
+                "AND state = 'failed' ORDER BY seq",
+                (group_key,)).fetchall()
+        return [(row["unit_id"], row["error"]) for row in rows]
+
+    @staticmethod
+    def _fetch(conn: sqlite3.Connection,
+               unit_id: str) -> Optional[WorkUnit]:
+        row = conn.execute("SELECT * FROM units WHERE unit_id = ?",
+                           (unit_id,)).fetchone()
+        return None if row is None else SqliteBroker._to_unit(row)
+
+    @staticmethod
+    def _to_unit(row: sqlite3.Row) -> WorkUnit:
+        return WorkUnit(
+            unit_id=row["unit_id"], group_key=row["group_key"],
+            payload=row["payload"], state=row["state"],
+            owner=row["owner"], lease_expires=row["lease_expires"],
+            attempts=row["attempts"], error=row["error"])
+
+
+class SqliteJobQueue(JobQueue):
+    """Durable FIFO of job ids on the broker's SQLite file.
+
+    The ``"sqlite"`` entry of the queue-backend registry. ``get``
+    polls (there is no cross-process wakeup in SQLite); the interval
+    bounds scheduler latency for an idle service and is irrelevant
+    under load.
+    """
+
+    def __init__(self, path, poll_interval_s: float = 0.05) -> None:
+        if poll_interval_s <= 0:
+            raise ValueError(f"poll_interval_s must be positive, "
+                             f"got {poll_interval_s}")
+        self._broker = SqliteBroker(path)  # creates the jobq table
+        self.poll_interval_s = poll_interval_s
+
+    async def put(self, job_id: str) -> None:
+        self._check_open()
+        await asyncio.to_thread(self._insert, job_id)
+
+    async def get(self) -> str:
+        self._check_open()
+        while True:
+            job_id = await asyncio.to_thread(self._claim_next)
+            if job_id is not None:
+                return job_id
+            self._check_open()
+            await asyncio.sleep(self.poll_interval_s)
+
+    def _insert(self, job_id: str) -> None:
+        with self._broker._connect() as conn:
+            conn.execute("INSERT INTO jobq (job_id) VALUES (?)", (job_id,))
+
+    def _claim_next(self) -> Optional[str]:
+        # Claimed rows are DELETEd, not flagged: scheduler job state is
+        # the durable truth (persisted records re-enqueue on restart),
+        # so keeping consumed rows would only grow the file forever.
+        with self._broker._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT seq, job_id FROM jobq WHERE claimed = 0 "
+                    "ORDER BY seq LIMIT 1").fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return None
+                conn.execute("DELETE FROM jobq WHERE seq = ?",
+                             (row["seq"],))
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        return row["job_id"]
+
+
+register_queue_backend("sqlite", SqliteJobQueue)

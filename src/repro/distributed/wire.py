@@ -1,0 +1,106 @@
+"""Versioned, hash-stamped wire encoding of shard tasks.
+
+A :class:`repro.faults.batch.ShardTask` that leaves the dispatching
+process must survive three hazards the in-process path never sees:
+
+* **Revision skew** — a worker built from an older checkout could
+  happily execute a task whose fields it misinterprets, producing
+  tallies that are *not* bit-identical to the dispatcher's contract.
+  The envelope carries an explicit format name and version; decoding
+  refuses anything but an exact match.
+* **Corruption/truncation** — brokers and object stores occasionally
+  hand back torn payloads. The envelope is stamped with the canonical
+  content hash (:func:`repro.utils.canonical.content_hash`) of its
+  body; decoding recomputes and refuses mismatches.
+* **Ambiguous serialization** — two hosts must produce byte-identical
+  encodings of the same task (unit ids and dedupe depend on it), so
+  the text form is canonical JSON, never ``json.dumps`` defaults.
+
+The payload is plain data end to end: the injector crosses as its
+declarative config (:mod:`repro.faults.serialize`), never as a pickle,
+so a worker trusts only the spec schema — not arbitrary bytecode — and
+rebuilds behaviourally identical engines under the per-trial seeding
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.faults.batch import ShardTask
+from repro.utils.canonical import canonical_json, content_hash
+
+#: Format discriminator of a shard-task envelope.
+WIRE_FORMAT = "repro/shard-task"
+
+#: Bump on any change to the task schema or its semantics. Workers and
+#: dispatchers must agree exactly; there is no cross-version execution.
+WIRE_VERSION = 1
+
+
+class WireFormatError(ValueError):
+    """The payload is not a valid shard-task envelope for this build."""
+
+
+def task_wire_dict(task: ShardTask) -> dict:
+    """The hash-stamped envelope of ``task`` (plain dict form)."""
+    body = task.to_dict()
+    return {
+        "format": WIRE_FORMAT,
+        "version": WIRE_VERSION,
+        "task": body,
+        "digest": _digest(body),
+    }
+
+
+def task_from_wire_dict(envelope: dict) -> ShardTask:
+    """Decode an envelope, refusing version/digest mismatches."""
+    if not isinstance(envelope, dict):
+        raise WireFormatError(
+            f"shard-task envelope must be an object, "
+            f"got {type(envelope).__name__}")
+    if envelope.get("format") != WIRE_FORMAT:
+        raise WireFormatError(
+            f"not a shard-task envelope: format="
+            f"{envelope.get('format')!r} (expected {WIRE_FORMAT!r})")
+    version = envelope.get("version")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"shard-task wire version {version!r} does not match this "
+            f"build's version {WIRE_VERSION}; dispatcher and worker "
+            f"must run the same revision")
+    body = envelope.get("task")
+    if not isinstance(body, dict):
+        raise WireFormatError("shard-task envelope has no task body")
+    digest = envelope.get("digest")
+    expected = _digest(body)
+    if digest != expected:
+        raise WireFormatError(
+            f"shard-task digest mismatch (stamped {str(digest)[:12]}..., "
+            f"computed {expected[:12]}...); payload was altered or "
+            f"produced by an incompatible spec revision")
+    try:
+        return ShardTask.from_dict(body)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"undecodable shard task: {exc}") from exc
+
+
+def encode_task(task: ShardTask) -> str:
+    """Canonical JSON text of the envelope (byte-stable across hosts)."""
+    return canonical_json(task_wire_dict(task))
+
+
+def decode_task(text: str) -> ShardTask:
+    """Inverse of :func:`encode_task` (same refusal semantics)."""
+    try:
+        envelope = json.loads(text)
+    except (TypeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"shard-task payload is not JSON: "
+                              f"{exc}") from exc
+    return task_from_wire_dict(envelope)
+
+
+def _digest(body: dict) -> str:
+    """Content hash binding the envelope header to the task body."""
+    return content_hash({"format": WIRE_FORMAT, "version": WIRE_VERSION,
+                         "task": body})

@@ -1,0 +1,330 @@
+"""Standalone shard worker: claim, execute, checkpoint, ack, repeat.
+
+The execution half of distributed campaign mode (`repro worker` on the
+CLI). A worker is deliberately dumb: it holds no job state, knows no
+spec semantics, and can be killed at any instant without corrupting a
+campaign — every guarantee it participates in comes from three shared
+contracts:
+
+* the **wire format** (:mod:`repro.distributed.wire`): a payload that
+  fails to decode is poisoned once, terminally, never retried;
+* the **lease protocol** (:class:`repro.distributed.broker`): claims
+  carry a TTL and a background thread heartbeats at ``ttl/3`` while
+  the span runs, so only a *dead* worker's lease expires — and expiry
+  alone re-enqueues its unit for the rest of the fleet;
+* the **checkpoint path** (:meth:`ResultStore.put_shard`): tallies are
+  written with the same atomic rename the in-process scheduler uses,
+  making completion idempotent — two workers racing one span (possible
+  after a lease expiry) write byte-identical files.
+
+Two transports implement :class:`WorkSource`:
+
+=====================  ================================================
+:class:`BrokerWorkSource`  Shared-store topology: the worker opens the
+                           service's broker file and result store
+                           directly (same host or shared local disk).
+:class:`HttpWorkSource`    Multi-host topology: the worker speaks to
+                           the service's ``/units/*`` HTTP endpoints;
+                           the service performs store writes, so only
+                           the URL crosses hosts.
+=====================  ================================================
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+import uuid
+from typing import Optional, Tuple
+
+from repro.distributed.broker import DEFAULT_LEASE_TTL_S, SqliteBroker
+from repro.distributed.wire import WireFormatError, task_from_wire_dict
+from repro.faults.batch import run_shard_task
+from repro.faults.campaign import CampaignResult
+from repro.service.client import ServiceClient
+from repro.service.spec import result_to_dict
+from repro.service.store import ResultStore
+
+
+def default_worker_id() -> str:
+    """A fleet-unique worker identity: host, pid, and a random tail."""
+    return (f"{socket.gethostname()}-{os.getpid()}-"
+            f"{uuid.uuid4().hex[:6]}")
+
+
+class WorkSource:
+    """Transport abstraction between a worker and its dispatcher."""
+
+    def claim(self, owner: str,
+              ttl_s: float) -> Optional[Tuple[str, str]]:
+        """``(unit_id, payload_text)`` of a claimed unit, or ``None``."""
+        raise NotImplementedError
+
+    def heartbeat(self, unit_id: str, owner: str, ttl_s: float) -> bool:
+        raise NotImplementedError
+
+    def complete(self, unit_id: str, owner: str, job_key: str, lo: int,
+                 hi: int, tallies: CampaignResult) -> None:
+        """Persist ``tallies`` as the span checkpoint, then ack."""
+        raise NotImplementedError
+
+    def ack(self, unit_id: str, owner: str) -> bool:
+        """Ack without a result (the checkpoint already exists)."""
+        raise NotImplementedError
+
+    def fail(self, unit_id: str, owner: str, error: str,
+             requeue: bool) -> None:
+        raise NotImplementedError
+
+    def shard_done(self, job_key: str, lo: int, hi: int) -> bool:
+        """True when the span's checkpoint already exists (dedupe)."""
+        return False
+
+
+class BrokerWorkSource(WorkSource):
+    """Direct broker + store access (shared-store topology)."""
+
+    def __init__(self, broker: SqliteBroker, store: ResultStore) -> None:
+        self.broker = broker
+        self.store = store
+
+    def claim(self, owner, ttl_s):
+        unit = self.broker.claim(owner, ttl_s)
+        return None if unit is None else (unit.unit_id, unit.payload)
+
+    def heartbeat(self, unit_id, owner, ttl_s):
+        return self.broker.heartbeat(unit_id, owner, ttl_s)
+
+    def complete(self, unit_id, owner, job_key, lo, hi, tallies):
+        # Checkpoint first, ack second: a crash in between leaves a
+        # leased unit whose span is already durable — the next claimer
+        # sees the checkpoint and acks without recomputing.
+        self.store.put_shard(job_key, lo, hi, tallies)
+        self.broker.ack(unit_id, owner)
+
+    def ack(self, unit_id, owner):
+        return self.broker.ack(unit_id, owner)
+
+    def fail(self, unit_id, owner, error, requeue):
+        self.broker.fail(unit_id, owner, error, requeue=requeue)
+
+    def shard_done(self, job_key, lo, hi):
+        return self.store.get_shard(job_key, lo, hi) is not None
+
+
+class HttpWorkSource(WorkSource):
+    """The service's ``/units/*`` endpoints (multi-host topology)."""
+
+    def __init__(self, client: ServiceClient) -> None:
+        self.client = client
+
+    def claim(self, owner, ttl_s):
+        unit = self.client.claim_unit(owner, ttl_s)
+        return None if unit is None else (unit["unit_id"], unit["payload"])
+
+    def heartbeat(self, unit_id, owner, ttl_s):
+        return self.client.heartbeat_unit(unit_id, owner, ttl_s)
+
+    def complete(self, unit_id, owner, job_key, lo, hi, tallies):
+        self.client.complete_unit(unit_id, owner, job_key, lo, hi,
+                                  result_to_dict(tallies))
+
+    def ack(self, unit_id, owner):
+        return self.client.ack_unit(unit_id, owner)
+
+    def fail(self, unit_id, owner, error, requeue):
+        self.client.fail_unit(unit_id, owner, error, requeue)
+
+    def shard_done(self, job_key, lo, hi):
+        return self.client.shard_done(job_key, lo, hi)
+
+
+class _Heartbeat:
+    """Background lease extension while a span executes.
+
+    Beats every ``ttl/3``; a beat answered ``False`` means the lease
+    was lost (the worker was presumed dead and its unit re-enqueued),
+    recorded in :attr:`lost` so the worker can demote its completion
+    to best-effort.
+    """
+
+    def __init__(self, source: WorkSource, unit_id: str, owner: str,
+                 ttl_s: float) -> None:
+        self.source = source
+        self.unit_id = unit_id
+        self.owner = owner
+        self.ttl_s = ttl_s
+        self.lost = False
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self) -> "_Heartbeat":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self.ttl_s)
+
+    def _run(self) -> None:
+        interval = self.ttl_s / 3.0
+        while not self._stop.wait(interval):
+            try:
+                if not self.source.heartbeat(self.unit_id, self.owner,
+                                             self.ttl_s):
+                    self.lost = True
+                    return
+            except Exception:  # noqa: BLE001 - transient transport error
+                # Missing one beat is survivable (TTL is 3 intervals);
+                # the next beat retries.
+                pass
+
+
+class ShardWorker:
+    """Pull-execute-checkpoint loop over one :class:`WorkSource`.
+
+    Parameters
+    ----------
+    source:
+        Where work comes from and results go.
+    worker_id:
+        Fleet-unique identity (defaults to host-pid-random).
+    lease_ttl_s:
+        Seconds a claim survives without heartbeat. The re-enqueue
+        latency after ``kill -9``, traded against heartbeat traffic.
+    poll_interval_s:
+        Idle sleep between empty claims.
+    """
+
+    def __init__(self, source: WorkSource,
+                 worker_id: Optional[str] = None,
+                 lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+                 poll_interval_s: float = 0.2) -> None:
+        if lease_ttl_s <= 0:
+            raise ValueError(f"lease_ttl_s must be positive, "
+                             f"got {lease_ttl_s}")
+        if poll_interval_s <= 0:
+            raise ValueError(f"poll_interval_s must be positive, "
+                             f"got {poll_interval_s}")
+        self.source = source
+        self.worker_id = worker_id or default_worker_id()
+        self.lease_ttl_s = lease_ttl_s
+        self.poll_interval_s = poll_interval_s
+        self.units_done = 0
+        self.units_failed = 0
+
+    def run_once(self) -> bool:
+        """Claim and process at most one unit; ``True`` if one ran."""
+        claimed = self.source.claim(self.worker_id, self.lease_ttl_s)
+        if claimed is None:
+            return False
+        self._process(*claimed)
+        return True
+
+    def run(self, max_units: Optional[int] = None,
+            stop: Optional[threading.Event] = None,
+            idle_exit_s: Optional[float] = None) -> int:
+        """Work until stopped; returns the number of processed units.
+
+        Stops on ``max_units`` processed, ``stop`` set, or — when
+        ``idle_exit_s`` is given — that many consecutive seconds
+        without available work (the batch-fleet pattern: drain and
+        exit).
+
+        A transport error on claim (service restarting, broker file
+        briefly locked) must not kill the daemon: it is treated as an
+        idle poll with exponential backoff (capped at 5 s), so an
+        HTTP-topology fleet rides out the very service restarts the
+        store's resume semantics are built for. Such error time counts
+        toward ``idle_exit_s``.
+        """
+        processed = 0
+        idle_since: Optional[float] = None
+        claim_errors = 0
+        while True:
+            if stop is not None and stop.is_set():
+                return processed
+            if max_units is not None and processed >= max_units:
+                return processed
+            try:
+                ran = self.run_once()
+            except Exception:  # noqa: BLE001 - daemon must outlive claims
+                claim_errors += 1
+                ran = False
+            else:
+                claim_errors = 0
+            if ran:
+                processed += 1
+                idle_since = None
+                continue
+            now = time.monotonic()
+            idle_since = idle_since if idle_since is not None else now
+            if idle_exit_s is not None and now - idle_since >= idle_exit_s:
+                return processed
+            backoff = min(self.poll_interval_s * (2 ** claim_errors), 5.0)
+            time.sleep(backoff if claim_errors else self.poll_interval_s)
+
+    # ------------------------------------------------------------------ #
+    # One unit
+    # ------------------------------------------------------------------ #
+
+    def _process(self, unit_id: str, payload_text: str) -> None:
+        try:
+            job_key, lo, hi, task = self._decode(payload_text)
+        except (WireFormatError, ValueError) as exc:
+            # Poison payload: no retry can fix a revision/digest
+            # mismatch, so fail terminally and let the dispatcher
+            # surface it instead of bouncing the unit forever.
+            self.units_failed += 1
+            self.source.fail(unit_id, self.worker_id,
+                             f"{type(exc).__name__}: {exc}",
+                             requeue=False)
+            return
+        try:
+            if self.source.shard_done(job_key, lo, hi):
+                # Another worker finished this span after a lease
+                # expiry race; the checkpoint is the truth — just ack.
+                self.source.ack(unit_id, self.worker_id)
+                self.units_done += 1
+                return
+            with _Heartbeat(self.source, unit_id, self.worker_id,
+                            self.lease_ttl_s) as beat:
+                tallies = run_shard_task(task)
+            # Even if the lease was lost mid-run, writing the
+            # checkpoint is harmless: tallies are a pure function of
+            # (key, span), so racing writers produce identical bytes.
+            self.source.complete(unit_id, self.worker_id, job_key, lo, hi,
+                                 tallies)
+            if not beat.lost:
+                self.units_done += 1  # a lost lease credits the reclaimer
+        except Exception as exc:  # noqa: BLE001 - unit isolation boundary
+            self.units_failed += 1
+            try:
+                self.source.fail(unit_id, self.worker_id,
+                                 f"{type(exc).__name__}: {exc}",
+                                 requeue=True)
+            except Exception:  # noqa: BLE001 - transport died too
+                pass  # the lease will expire and re-enqueue the unit
+
+    @staticmethod
+    def _decode(payload_text: str):
+        """Split a dispatch envelope into routing metadata + task."""
+        try:
+            envelope = json.loads(payload_text)
+        except json.JSONDecodeError as exc:
+            raise WireFormatError(f"unit payload is not JSON: "
+                                  f"{exc}") from exc
+        if not isinstance(envelope, dict) or \
+                not {"job_key", "lo", "hi", "shard_task"} <= set(envelope):
+            raise WireFormatError(
+                "unit payload must carry job_key/lo/hi/shard_task")
+        task = task_from_wire_dict(envelope["shard_task"])
+        lo, hi = int(envelope["lo"]), int(envelope["hi"])
+        if (lo, hi) != task.span:
+            raise WireFormatError(
+                f"unit routing span ({lo}, {hi}) does not match the "
+                f"shard task span {task.span}")
+        return str(envelope["job_key"]), lo, hi, task

@@ -76,6 +76,16 @@ Both contracts therefore extend verbatim to service execution:
   ``packing`` and any registered backend. The differential suite
   ``tests/service/`` pins service-executed == in-process results.
 
+The same purity is what makes spans *relocatable across hosts*: the
+distributed layer (:mod:`repro.distributed`) serializes a
+:class:`ShardTask` to versioned, hash-stamped JSON (:meth:`to_dict` /
+:meth:`from_dict`, injector configs via
+:mod:`repro.faults.serialize`), ships it through a lease broker to any
+``repro worker`` process, and merges the returned tallies through the
+identical checkpoint path — so distributed results are bit-identical
+too, including after worker deaths and lease re-enqueues
+(``tests/distributed/`` pins this).
+
 Array backends
 ==============
 
@@ -422,6 +432,49 @@ class ShardTask:
     def span(self) -> tuple[int, int]:
         """The half-open trial range ``(lo, hi)``."""
         return (self.lo, self.hi)
+
+    # -- serialization hooks (the distributed wire format builds on
+    # these; see repro.distributed.wire for the versioned envelope) ---- #
+
+    def to_dict(self) -> dict:
+        """Plain-JSON form of this task.
+
+        Requires an injector with a declarative config
+        (:meth:`FaultInjector.to_config`); the config — not the live
+        object — crosses the wire, so a worker rebuilds an injector
+        that is behaviourally identical under per-trial seeding.
+        """
+        return {
+            "n": self.n, "m": self.m,
+            "injector": self.injector.to_config(),
+            "entropy": self.entropy, "lo": self.lo, "hi": self.hi,
+            "include_check_bits": self.include_check_bits,
+            "batch_size": self.batch_size,
+            "backend_name": self.backend_name,
+            "packing": self.packing,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ShardTask":
+        """Rebuild a task from :meth:`to_dict` output (inverse)."""
+        from repro.faults.serialize import build_injector
+        expected = {"n", "m", "injector", "entropy", "lo", "hi",
+                    "include_check_bits", "batch_size", "backend_name",
+                    "packing"}
+        missing = sorted(expected - set(data))
+        unknown = sorted(set(data) - expected)
+        if missing or unknown:
+            raise ValueError(f"malformed shard task: missing fields "
+                             f"{missing}, unknown fields {unknown}")
+        return ShardTask(
+            n=int(data["n"]), m=int(data["m"]),
+            injector=build_injector(data["injector"]),
+            entropy=int(data["entropy"]),
+            lo=int(data["lo"]), hi=int(data["hi"]),
+            include_check_bits=bool(data["include_check_bits"]),
+            batch_size=int(data["batch_size"]),
+            backend_name=str(data["backend_name"]),
+            packing=str(data["packing"]))
 
 
 def run_shard_task(task: ShardTask) -> CampaignResult:

@@ -277,6 +277,16 @@ class DriftInjector(FaultInjector):
                                                   refresh_period_hours)
         self.rng = make_rng(seed)
 
+    def to_config(self) -> dict:
+        return {"kind": "drift",
+                "params": {
+                    "tau_hours": self.model.tau_hours,
+                    "beta": self.model.beta,
+                    "abrupt_fit_per_bit": self.model.abrupt_fit_per_bit,
+                    "window_hours": self.window_hours,
+                    "refresh_period_hours": self.refresh_period_hours,
+                    "include_check_bits": self.include_check_bits}}
+
     @staticmethod
     def _field_sizes(data_shape: Tuple[int, ...],
                      plane_shape: Optional[Tuple[int, ...]]

@@ -227,6 +227,22 @@ def _resolve_rngs(rngs, default_rng: Optional[np.random.Generator],
 class FaultInjector:
     """Base class; concrete injectors override :meth:`inject`."""
 
+    def to_config(self) -> dict:
+        """This injector's declarative ``{"kind", "params"}`` config.
+
+        The JSON form :mod:`repro.faults.serialize` registers builders
+        for — what lets a :class:`repro.faults.batch.ShardTask` cross
+        process and host boundaries as plain data. Seeds are not part of
+        the config: per-trial seeding never consumes the injector's own
+        stream, so the config fully determines relocatable behaviour.
+        Classes without a declarative form (explicit flip lists, ad-hoc
+        test doubles) raise ``TypeError``.
+        """
+        raise TypeError(
+            f"{type(self).__name__} has no declarative config; only "
+            f"registered injector kinds (repro.faults.serialize) can be "
+            f"serialized for distributed execution")
+
     def inject(self, mem: CrossbarArray,
                store: Optional[CheckStore] = None,
                rng: Optional[np.random.Generator] = None) -> InjectionResult:
@@ -372,6 +388,11 @@ class UniformInjector(MaskFieldInjector):
         self.include_check_bits = include_check_bits
         self.rng = make_rng(seed)
 
+    def to_config(self) -> dict:
+        return {"kind": "uniform",
+                "params": {"probability": self.probability,
+                           "include_check_bits": self.include_check_bits}}
+
     @classmethod
     def from_ser(cls, ser_fit_per_bit: float, hours: float,
                  seed: SeedLike = None,
@@ -445,6 +466,12 @@ class BurstInjector(FaultInjector):
         self.radius = radius
         self.neighbor_probability = neighbor_probability
         self.rng = make_rng(seed)
+
+    def to_config(self) -> dict:
+        return {"kind": "burst",
+                "params": {
+                    "strikes": self.strikes, "radius": self.radius,
+                    "neighbor_probability": self.neighbor_probability}}
 
     def _strike_cells(self, rng: np.random.Generator, rows: int,
                       cols: int) -> list[Tuple[int, int]]:
@@ -522,6 +549,11 @@ class LinearBurstInjector(FaultInjector):
         self.orientation = orientation
         self.rng = make_rng(seed)
 
+    def to_config(self) -> dict:
+        return {"kind": "linear_burst",
+                "params": {"length": self.length,
+                           "orientation": self.orientation}}
+
     def _burst_cells(self, rng: np.random.Generator, rows: int,
                      cols: int) -> Tuple[np.ndarray, np.ndarray]:
         """(rows, cols) of one burst; start uniform, wrap-around lane."""
@@ -569,6 +601,10 @@ class CheckBitInjector(FaultInjector):
             raise ValueError(f"probability must be in [0,1], got {probability}")
         self.probability = probability
         self.rng = make_rng(seed)
+
+    def to_config(self) -> dict:
+        return {"kind": "check_bit",
+                "params": {"probability": self.probability}}
 
     def inject(self, mem: CrossbarArray,
                store: Optional[CheckStore] = None,

@@ -13,11 +13,13 @@ service jobs:
   submissions dedupe to the cached result; a killed service resumes a
   half-done campaign without redoing completed spans);
 * :mod:`repro.service.queue` — pluggable job-queue backends (in-memory
-  asyncio queue by default; a distributed broker can register the same
-  interface);
+  asyncio queue by default; the durable SQLite queue from
+  :mod:`repro.distributed.broker` registers as ``"sqlite"``);
 * :mod:`repro.service.scheduler` — the asyncio scheduler executing
   jobs as :class:`repro.faults.batch.ShardTask` spans on a process
-  pool, under the per-trial seeding contract, so service-executed
+  pool (``execution="local"``) or publishing them to the
+  :mod:`repro.distributed` worker fleet (``execution="distributed"``),
+  under the per-trial seeding contract either way, so service-executed
   results are bit-identical to in-process ``CampaignRunner`` runs;
 * :mod:`repro.service.server` / :mod:`repro.service.client` — a small
   stdlib HTTP surface (``repro serve`` / ``repro submit`` /
@@ -31,7 +33,12 @@ from repro.service.queue import (
     make_queue,
     register_queue_backend,
 )
-from repro.service.scheduler import CampaignService, JobRecord, service_info
+from repro.service.scheduler import (
+    EXECUTION_MODES,
+    CampaignService,
+    JobRecord,
+    service_info,
+)
 from repro.service.server import ServiceServer
 from repro.service.spec import (
     JOB_KINDS,
@@ -49,6 +56,7 @@ from repro.service.spec import (
 from repro.service.store import ResultStore
 
 __all__ = [
+    "EXECUTION_MODES",
     "JOB_KINDS",
     "AdaptiveCampaignJobSpec",
     "BurstSurvivalJobSpec",

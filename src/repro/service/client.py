@@ -121,6 +121,56 @@ class ServiceClient:
                     f"{timeout:.1f}s")
             time.sleep(poll_interval)
 
+    # ------------------------------------------------------------------ #
+    # Worker transport (the HTTP half of repro.distributed.worker)
+    # ------------------------------------------------------------------ #
+
+    def claim_unit(self, worker: str,
+                   ttl_s: float = 30.0) -> Optional[dict]:
+        """Claim one work unit under a TTL lease (``None`` when idle).
+
+        Only answered by services running ``execution="distributed"``;
+        otherwise the server returns 409, surfaced as ``ValueError``.
+        """
+        return self._request("POST", "/units/claim",
+                             {"worker": worker, "ttl_s": ttl_s})["unit"]
+
+    def heartbeat_unit(self, unit_id: str, worker: str,
+                       ttl_s: float = 30.0) -> bool:
+        """Extend a lease; ``False`` means the lease was lost."""
+        return bool(self._request(
+            "POST", "/units/heartbeat",
+            {"unit_id": unit_id, "worker": worker, "ttl_s": ttl_s})["ok"])
+
+    def ack_unit(self, unit_id: str, worker: str) -> bool:
+        """Ack a unit whose checkpoint already exists server-side."""
+        return bool(self._request(
+            "POST", "/units/ack",
+            {"unit_id": unit_id, "worker": worker})["ok"])
+
+    def complete_unit(self, unit_id: str, worker: str, job_key: str,
+                      lo: int, hi: int, result: dict) -> bool:
+        """Upload span tallies; the server checkpoints, then acks."""
+        return bool(self._request(
+            "POST", "/units/complete",
+            {"unit_id": unit_id, "worker": worker, "job_key": job_key,
+             "lo": lo, "hi": hi, "result": result})["ok"])
+
+    def fail_unit(self, unit_id: str, worker: str, error: str,
+                  requeue: bool = True) -> bool:
+        """Report a unit failure (requeue or terminal poison)."""
+        return bool(self._request(
+            "POST", "/units/fail",
+            {"unit_id": unit_id, "worker": worker, "error": error,
+             "requeue": requeue})["ok"])
+
+    def shard_done(self, job_key: str, lo: int, hi: int) -> bool:
+        """Whether the span's checkpoint already exists server-side
+        (the dedupe short-circuit after a lease-expiry race)."""
+        return bool(self._request(
+            "POST", "/units/shard_done",
+            {"job_key": job_key, "lo": lo, "hi": hi})["done"])
+
     def wait_until_up(self, timeout: float = 10.0,
                       poll_interval: float = 0.1) -> None:
         """Block until the service answers (for just-started servers)."""

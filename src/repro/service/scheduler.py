@@ -30,12 +30,36 @@ span and executes just the gaps, and the merged result is bit-identical
 to an uninterrupted run. Adaptive and logic-equivalence jobs execute as
 single work units (their results are not span-decomposable) but get the
 same normalize/dedupe/persist treatment.
+
+Job records themselves persist in the store's ``jobs/`` namespace on
+every state transition, so a restarted service still answers
+``status`` for pre-restart job ids and re-enqueues submissions that
+never settled (their checkpointed spans are reused, so the replay only
+executes the gaps).
+
+Two **execution modes** share this pipeline (``execution=`` knob):
+
+``local``
+    Spans run on this process's own ``concurrent.futures`` pool — the
+    PR-4 behaviour, still the default.
+``distributed``
+    Spans are *published* to a durable lease broker
+    (:class:`repro.distributed.broker.SqliteBroker`) as hash-stamped
+    wire payloads (:mod:`repro.distributed.wire`) instead of running
+    locally; any number of ``repro worker`` processes — same host via
+    the shared store path, or other hosts via the HTTP unit endpoints
+    — claim, execute, and write tallies back through the *same* atomic
+    shard-checkpoint path. Completion is driven by the store: the
+    dispatcher polls for checkpoints, so worker identity is invisible
+    to the result and the bit-for-bit contract is unchanged. Adaptive
+    and logic jobs are not span-decomposable and always run locally.
 """
 
 from __future__ import annotations
 
 import asyncio
 import math
+import re
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, \
     ThreadPoolExecutor
@@ -56,11 +80,30 @@ from repro.service.spec import (
 )
 from repro.service.store import ResultStore
 from repro.utils.backend import available_backends
+from repro.utils.canonical import canonical_json
 from repro.utils.rng import shard_bounds
 
 #: Default trials per service shard (work-unit granularity: small enough
 #: to checkpoint often, large enough to amortize engine rebuild).
 DEFAULT_SHARD_TRIALS = 512
+
+#: Where campaign spans execute: this process's pool, or a worker fleet.
+EXECUTION_MODES = ("local", "distributed")
+
+#: Default broker filename inside the store root (shared-store
+#: topology: workers reach the same file through the store path).
+BROKER_FILENAME = "broker.sqlite3"
+
+_JOB_ID = re.compile(r"^j(\d+)-[0-9a-f]+$")
+
+_UNIT_ID = re.compile(r":(\d+)-(\d+)$")
+
+
+def _unit_span(unit_id: str) -> Optional[tuple]:
+    """The ``(lo, hi)`` a dispatcher-minted unit id encodes, or None."""
+    match = _UNIT_ID.search(unit_id)
+    return None if match is None else (int(match.group(1)),
+                                       int(match.group(2)))
 
 
 def service_info() -> dict:
@@ -77,6 +120,7 @@ def service_info() -> dict:
         "job_kinds": sorted(JOB_KINDS),
         "injector_kinds": list(injector_kinds()),
         "queue_backends": list(available_queue_backends()),
+        "execution_modes": list(EXECUTION_MODES),
     }
 
 
@@ -138,7 +182,8 @@ class JobRecord:
                                       repr=False)
 
     def to_dict(self) -> dict:
-        """JSON view (the server's job-status payload)."""
+        """JSON view (the server's job-status payload; also the
+        persisted ``jobs/`` form — :meth:`from_dict` is the inverse)."""
         return {
             "id": self.id,
             "kind": self.spec.kind,
@@ -155,6 +200,30 @@ class JobRecord:
             "result": self.result,
             "spec": self.spec.to_dict(),
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "JobRecord":
+        """Rebuild a record from :meth:`to_dict` output (restart path).
+
+        The ``done_event`` is reconstructed — set for terminal states —
+        so waiters behave exactly as for a live record.
+        """
+        shards = data.get("shards", {})
+        job = JobRecord(
+            id=data["id"], spec=JobSpec.from_dict(data["spec"]),
+            key=data["key"], state=data.get("state", "queued"),
+            cached=bool(data.get("cached", False)),
+            error=data.get("error"),
+            submitted_at=data.get("submitted_at", 0.0),
+            started_at=data.get("started_at"),
+            finished_at=data.get("finished_at"),
+            shards_total=shards.get("total", 0),
+            shards_done=shards.get("done", 0),
+            shards_cached=shards.get("cached", 0),
+            result=data.get("result"))
+        if job.state in ("done", "failed"):
+            job.done_event.set()
+        return job
 
 
 class CampaignService:
@@ -184,11 +253,26 @@ class CampaignService:
         The work-unit function (default
         :func:`repro.faults.batch.run_shard_task`). Injection point for
         tests and for remote-execution adapters; must be picklable
-        under ``executor="process"``.
+        under ``executor="process"``. Local execution only.
     max_job_records:
         Cap on in-memory :class:`JobRecord` objects; beyond it the
         oldest *terminal* records are evicted (their results remain in
-        the store — only the transient job id is forgotten).
+        the store — only the job id is forgotten, in memory and in the
+        persisted ``jobs/`` namespace alike).
+    execution:
+        ``"local"`` (default; spans on this process's pool) or
+        ``"distributed"`` (spans published to the lease broker for
+        ``repro worker`` processes — see the module docstring).
+    broker_path:
+        SQLite file of the work-unit broker (distributed mode).
+        Defaults to ``<store root>/broker.sqlite3``, which is what
+        shared-store workers expect.
+    queue_options:
+        Extra keyword options for the queue backend (``path=...`` for
+        ``"sqlite"``; defaults to the broker path).
+    dispatch_poll_s:
+        Distributed mode: seconds between store polls while waiting
+        for worker-written checkpoints.
     """
 
     def __init__(self, store: Union[ResultStore, str], workers: int = 2,
@@ -196,7 +280,11 @@ class CampaignService:
                  queue: str = "memory", max_concurrent_jobs: int = 2,
                  executor: str = "process",
                  shard_runner: Optional[Callable] = None,
-                 max_job_records: int = 10_000) -> None:
+                 max_job_records: int = 10_000,
+                 execution: str = "local",
+                 broker_path: Optional[str] = None,
+                 queue_options: Optional[dict] = None,
+                 dispatch_poll_s: float = 0.1) -> None:
         if workers <= 0:
             raise ValueError(f"workers must be positive, got {workers}")
         if shard_trials <= 0:
@@ -211,15 +299,27 @@ class CampaignService:
         if executor not in ("process", "thread"):
             raise ValueError(f"executor must be 'process' or 'thread', "
                              f"got {executor!r}")
+        if execution not in EXECUTION_MODES:
+            raise ValueError(f"execution must be one of {EXECUTION_MODES},"
+                             f" got {execution!r}")
+        if dispatch_poll_s <= 0:
+            raise ValueError(f"dispatch_poll_s must be positive, "
+                             f"got {dispatch_poll_s}")
         self.store = store if isinstance(store, ResultStore) \
             else ResultStore(store)
         self.workers = workers
         self.shard_trials = shard_trials
         self.queue_name = queue
+        self.queue_options = dict(queue_options or {})
         self.max_concurrent_jobs = max_concurrent_jobs
         self.executor_kind = executor
         self.shard_runner = shard_runner or run_shard_task
         self.max_job_records = max_job_records
+        self.execution = execution
+        self.broker_path = str(broker_path) if broker_path is not None \
+            else str(self.store.root / BROKER_FILENAME)
+        self.dispatch_poll_s = dispatch_poll_s
+        self.broker = None  # SqliteBroker, created in start()
         self._jobs: Dict[str, JobRecord] = {}
         self._inflight: Dict[str, str] = {}       # key -> leader job id
         self._followers: Dict[str, List[str]] = {}  # key -> follower ids
@@ -236,7 +336,16 @@ class CampaignService:
     async def start(self) -> "CampaignService":
         if self._started:
             return self
-        self._queue = make_queue(self.queue_name)
+        options = dict(self.queue_options)
+        if self.queue_name == "sqlite":
+            # The durable queue shares the broker file by default so a
+            # distributed deployment is one path, not two.
+            options.setdefault("path", self.broker_path)
+        self._queue = make_queue(self.queue_name, **options)
+        if self.execution == "distributed":
+            from repro.distributed.broker import SqliteBroker
+            self.broker = await asyncio.to_thread(SqliteBroker,
+                                                  self.broker_path)
         pool_cls = ProcessPoolExecutor if self.executor_kind == "process" \
             else ThreadPoolExecutor
         self._pool = pool_cls(max_workers=self.workers)
@@ -244,6 +353,7 @@ class CampaignService:
             asyncio.create_task(self._scheduler_loop())
             for _ in range(self.max_concurrent_jobs)]
         self._started = True
+        await self._recover_persisted_jobs()
         return self
 
     async def close(self) -> None:
@@ -303,22 +413,71 @@ class CampaignService:
             job.shards_done = job.shards_total
             job.finished_at = time.time()
             job.done_event.set()
+            await asyncio.to_thread(self._persist_job, job)
             return job
         if key in self._inflight:
             self._followers.setdefault(key, []).append(job.id)
+            await asyncio.to_thread(self._persist_job, job)
             return job
         self._inflight[key] = job.id
+        await asyncio.to_thread(self._persist_job, job)
         await self._queue.put(job.id)
         return job
 
+    def _persist_job(self, job: JobRecord) -> None:
+        """Write ``job`` to the store's ``jobs/`` namespace.
+
+        Called (off the event loop) on every state transition, so a
+        restarted service still knows every accepted id — the durable
+        half of :meth:`_recover_persisted_jobs`.
+        """
+        self.store.put_job(job.id, job.to_dict())
+
+    async def _recover_persisted_jobs(self) -> None:
+        """Reload persisted job records after a restart.
+
+        Terminal records come back queryable under their original ids;
+        records the previous process never settled (``queued`` or
+        ``running`` at kill time) are reset to ``queued`` and
+        re-enqueued — their checkpointed spans make the replay cheap,
+        and a completed record under the same key short-circuits in
+        :meth:`_execute`. Duplicate keys re-attach as followers, same
+        as live submissions.
+        """
+        records = await asyncio.to_thread(
+            lambda: list(self.store.iter_jobs()))
+        for data in records:
+            try:
+                job = JobRecord.from_dict(data)
+            except (KeyError, TypeError, ValueError):
+                continue  # torn/foreign file: ignore, never crash boot
+            if job.id in self._jobs:
+                continue
+            match = _JOB_ID.match(job.id)
+            if match:
+                self._seq = max(self._seq, int(match.group(1)))
+            self._jobs[job.id] = job
+            if job.state in ("done", "failed"):
+                continue
+            job.state = "queued"
+            job.started_at = None
+            job.shards_done = job.shards_cached = 0
+            if job.key in self._inflight:
+                self._followers.setdefault(job.key, []).append(job.id)
+                continue
+            self._inflight[job.key] = job.id
+            await self._queue.put(job.id)
+        self._evict_settled_records()
+
     def _evict_settled_records(self) -> None:
-        """Cap in-memory job records; results stay in the store.
+        """Cap job records; results stay in the store.
 
         Long-lived services accumulate one :class:`JobRecord` per
         submission (cache hits included). Once the count exceeds
         ``max_job_records``, the oldest *terminal* records are dropped
-        — their durable state is the content-addressed store record, so
-        only their transient ids become unknown to ``status``.
+        from memory and from the persisted ``jobs/`` namespace — their
+        durable state is the content-addressed store record, so only
+        the job id becomes unknown to ``status``.
         """
         excess = len(self._jobs) - self.max_job_records
         if excess <= 0:
@@ -326,6 +485,7 @@ class CampaignService:
         for job_id in [j.id for j in self._jobs.values()
                        if j.state in ("done", "failed")][:excess]:
             del self._jobs[job_id]
+            self.store.delete_job(job_id)
 
     def status(self, job_id: str) -> JobRecord:
         """The live record of ``job_id`` (KeyError if unknown)."""
@@ -350,13 +510,19 @@ class CampaignService:
             "shard_trials": self.shard_trials,
             "executor": self.executor_kind,
             "queue": self.queue_name,
+            "execution": self.execution,
             "jobs": {
                 state: sum(1 for j in self._jobs.values()
                            if j.state == state)
                 for state in ("queued", "running", "done", "failed")},
             "store": str(self.store.root),
             "stored_results": len(self.store.keys()),
+            "persisted_jobs": len(self.store.job_ids()),
         })
+        if self.execution == "distributed":
+            out["broker"] = self.broker_path
+            if self.broker is not None:
+                out["work_units"] = self.broker.counts()
         return out
 
     # ------------------------------------------------------------------ #
@@ -367,7 +533,10 @@ class CampaignService:
         while True:
             job_id = await self._queue.get()
             job = self._jobs.get(job_id)
-            if job is None:
+            if job is None or job.state != "queued":
+                # Unknown (evicted) or already picked up — a durable
+                # queue can replay ids across restarts; the state guard
+                # makes such duplicates harmless.
                 continue
             try:
                 await self._execute(job)
@@ -381,27 +550,43 @@ class CampaignService:
     async def _execute(self, job: JobRecord) -> None:
         job.state = "running"
         job.started_at = time.time()
+        await asyncio.to_thread(self._persist_job, job)
         try:
-            if isinstance(job.spec, AdaptiveCampaignJobSpec):
-                result = await self._run_single_unit(job, _run_adaptive_job)
-            elif isinstance(job.spec, LogicEquivalenceJobSpec):
-                result = await self._run_single_unit(job, _run_logic_job)
+            cached = await asyncio.to_thread(self.store.get, job.key)
+            if cached is not None:
+                # Replayed after a restart (or raced by another
+                # service on the shared store) and the work already
+                # completed: serve the record, execute nothing.
+                job.cached = True
+                job.shards_total = cached.get("shards", {}).get("total", 0)
+                job.shards_cached = job.shards_total
+                job.shards_done = job.shards_total
+                result = cached["result"]
             else:
-                result = await self._run_sharded(job)
-            record = {
-                "key": job.key,
-                "kind": job.spec.kind,
-                "entropy": job.spec.entropy,
-                "spec": job.spec.to_dict(),
-                "result": result,
-                "shards": {"total": job.shards_total,
-                           "cached": job.shards_cached},
-                "elapsed_s": time.time() - job.started_at,
-            }
-            # Persisting is part of the job: a store failure (disk
-            # full, permissions) must fail the job, not the scheduler.
-            await asyncio.to_thread(self.store.put, job.key, record)
-            await asyncio.to_thread(self.store.clear_shards, job.key)
+                if isinstance(job.spec, AdaptiveCampaignJobSpec):
+                    result = await self._run_single_unit(job,
+                                                         _run_adaptive_job)
+                elif isinstance(job.spec, LogicEquivalenceJobSpec):
+                    result = await self._run_single_unit(job, _run_logic_job)
+                elif self.execution == "distributed":
+                    result = await self._run_sharded_distributed(job)
+                else:
+                    result = await self._run_sharded(job)
+                record = {
+                    "key": job.key,
+                    "kind": job.spec.kind,
+                    "entropy": job.spec.entropy,
+                    "spec": job.spec.to_dict(),
+                    "result": result,
+                    "shards": {"total": job.shards_total,
+                               "cached": job.shards_cached},
+                    "elapsed_s": time.time() - job.started_at,
+                }
+                # Persisting is part of the job: a store failure (disk
+                # full, permissions) must fail the job, not the
+                # scheduler.
+                await asyncio.to_thread(self.store.put, job.key, record)
+                await asyncio.to_thread(self.store.clear_shards, job.key)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
@@ -410,14 +595,32 @@ class CampaignService:
             job.state = "done"
         finally:
             job.finished_at = time.time()
-            job.done_event.set()
             self._inflight.pop(job.key, None)
-            self._resolve_followers(job)
+            followers = self._resolve_followers(job)
+            # Persist the terminal state synchronously (a tiny JSON
+            # write) and *before* waking waiters: an awaited persist
+            # here could be cancelled by a service closing right after
+            # wait() returns, leaving "running" as the last durable
+            # state — which a restart would wrongly re-enqueue.
+            for settled in [job] + followers:
+                try:
+                    self._persist_job(settled)
+                except OSError:
+                    pass  # the in-memory record still settles waiters
+            job.done_event.set()
+            for follower in followers:
+                follower.done_event.set()
 
-    def _resolve_followers(self, leader: JobRecord) -> None:
-        """Complete every submission that attached to ``leader``'s run."""
+    def _resolve_followers(self, leader: JobRecord) -> List[JobRecord]:
+        """Copy ``leader``'s outcome onto every attached submission.
+
+        Returns the settled followers; the caller persists them and
+        sets their ``done_event`` (after persistence, so a durable
+        "running" can never outlive a settled run)."""
+        settled = []
         for follower_id in self._followers.pop(leader.key, []):
             follower = self._jobs[follower_id]
+            settled.append(follower)
             follower.state = leader.state
             follower.error = leader.error
             follower.result = leader.result
@@ -431,7 +634,7 @@ class CampaignService:
                 follower.shards_done = leader.shards_done
                 follower.shards_cached = leader.shards_cached
             follower.finished_at = time.time()
-            follower.done_event.set()
+        return settled
 
     async def _run_single_unit(self, job: JobRecord,
                                fn: Callable[[dict], dict]) -> dict:
@@ -479,5 +682,90 @@ class CampaignService:
             # Completed spans stay checkpointed in the store — the
             # resume payoff — only the failure is surfaced.
             raise errors[0]
+        merged = merge_results([results[span] for span in bounds])
+        return result_to_dict(merged)
+
+    async def _run_sharded_distributed(self, job: JobRecord) -> dict:
+        """Distributed campaign execution: publish spans, await the store.
+
+        The local path's twin with the pool swapped for the worker
+        fleet: spans without a checkpoint become broker work units
+        (hash-stamped wire payloads, idempotent unit ids), and
+        completion is read back *from the store* — a worker's ack is
+        bookkeeping, the checkpoint file is the truth, so dispatcher
+        and workers never need a direct channel. A terminally failed
+        unit (poison payload, repeated worker crashes reported as
+        terminal) fails the job with the worker's error; abandoned
+        leases are invisible here because the broker re-enqueues them
+        on claim.
+        """
+        # Function-scope import: repro.distributed depends on the
+        # service layer's store/client, so the dependency must point
+        # this way only at call time, not at module import time.
+        from repro.distributed.wire import task_wire_dict
+
+        spec = job.spec
+        runner = spec.build_runner()
+        shards = max(1, math.ceil(spec.trials / self.shard_trials))
+        bounds = shard_bounds(spec.trials, shards)
+        checkpoints = await asyncio.to_thread(self.store.shard_spans,
+                                              job.key)
+        job.shards_total = len(bounds)
+        results = {}
+        missing = []
+        for lo, hi in bounds:
+            cached = checkpoints.get((lo, hi))
+            if cached is not None:
+                results[(lo, hi)] = cached
+                job.shards_cached += 1
+                job.shards_done += 1
+            else:
+                missing.append((lo, hi))
+
+        def publish_all() -> None:
+            for lo, hi in missing:
+                payload = canonical_json({
+                    "job_key": job.key, "lo": lo, "hi": hi,
+                    "shard_task": task_wire_dict(runner.shard_task(lo, hi))})
+                self.broker.publish(f"{job.key}:{lo}-{hi}", payload,
+                                    group_key=job.key)
+
+        await asyncio.to_thread(publish_all)
+        pending = set(missing)
+        while pending:
+            progressed = False
+            for lo, hi in sorted(pending):
+                tallies = await asyncio.to_thread(self.store.get_shard,
+                                                  job.key, lo, hi)
+                if tallies is not None:
+                    results[(lo, hi)] = tallies
+                    pending.discard((lo, hi))
+                    job.shards_done += 1
+                    progressed = True
+            if not pending:
+                break
+            failed = await asyncio.to_thread(self.broker.failed_units,
+                                             job.key)
+            # A failed unit only fails the job while its span is still
+            # missing: a worker that wrote the checkpoint but died
+            # before ack leaves a unit that expires into 'failed' even
+            # though its work is durably done — the checkpoint is the
+            # truth, the unit state is bookkeeping.
+            failed = [(unit_id, error) for unit_id, error in failed
+                      if _unit_span(unit_id) is None  # foreign id: keep
+                      or _unit_span(unit_id) in pending]
+            if failed:
+                unit_id, error = failed[0]
+                # Withdraw the job's remaining units: the job is about
+                # to fail, so letting workers keep computing spans for
+                # it would only waste the fleet. Checkpoints already
+                # written stay — they are the resume currency.
+                await asyncio.to_thread(self.broker.clear_group, job.key)
+                raise RuntimeError(
+                    f"work unit {unit_id} failed terminally on the "
+                    f"worker fleet: {error}")
+            if not progressed:
+                await asyncio.sleep(self.dispatch_poll_s)
+        await asyncio.to_thread(self.broker.clear_group, job.key)
         merged = merge_results([results[span] for span in bounds])
         return result_to_dict(merged)

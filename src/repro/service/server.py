@@ -11,7 +11,22 @@ the container bakes in numpy + pytest and nothing else) that exposes a
                             the spec's ``to_dict`` form) -> job record
 ``GET  /jobs``              every job record this instance accepted
 ``GET  /jobs/<id>``         one job record (404 when unknown)
+``POST /units/claim``       claim one work unit under a TTL lease
+``POST /units/heartbeat``   extend a worker's lease
+``POST /units/ack``         ack a unit whose checkpoint already exists
+``POST /units/complete``    upload span tallies + ack (the server
+                            writes the shard checkpoint)
+``POST /units/fail``        report a unit failure (requeue | terminal)
+``POST /units/shard_done``  does the span's checkpoint already exist?
 ==========================  ============================================
+
+The ``/units/*`` family is the multi-host worker transport
+(:class:`repro.distributed.worker.HttpWorkSource`): workers that
+cannot reach the service's store path speak these endpoints instead,
+and the *server* performs the store writes — so the atomic-checkpoint
+and bit-identity guarantees are the server's regardless of where
+workers run. They answer 409 unless the service runs
+``execution="distributed"``.
 
 The server speaks just enough HTTP/1.1 for ``urllib`` and ``curl``
 (request line + headers + ``Content-Length`` body, one request per
@@ -39,8 +54,8 @@ READ_TIMEOUT_S = 30.0
 MAX_HEADER_LINES = 100
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
-            405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 500: "Internal Server Error"}
 
 
 class ServiceServer:
@@ -147,7 +162,10 @@ class ServiceServer:
         if path == "/healthz" and method == "GET":
             return 200, {"ok": True}
         if path == "/info" and method == "GET":
-            return 200, self.service.info()
+            # info() walks store directories and queries the broker —
+            # disk work that must not stall the event loop (and the
+            # worker heartbeat endpoints riding on it).
+            return 200, await asyncio.to_thread(self.service.info)
         if path == "/jobs" and method == "GET":
             return 200, {"jobs": [j.to_dict() for j in self.service.jobs()]}
         if path == "/jobs" and method == "POST":
@@ -168,7 +186,75 @@ class ServiceServer:
                 return 200, self.service.status(job_id).to_dict()
             except KeyError:
                 return 404, {"error": f"unknown job {job_id!r}"}
+        if path.startswith("/units/") and method == "POST":
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {"error": f"invalid JSON body: {exc}"}
+            if not isinstance(payload, dict):
+                return 400, {"error": "body must be a JSON object"}
+            return await self._route_units(path, payload)
         if path in ("/healthz", "/info", "/jobs") or \
-                path.startswith("/jobs/"):
+                path.startswith(("/jobs/", "/units/")):
             return 405, {"error": f"{method} not allowed on {path}"}
+        return 404, {"error": f"no route for {path}"}
+
+    async def _route_units(self, path: str,
+                           payload: dict) -> Tuple[int, dict]:
+        """The worker transport (see the module docstring)."""
+        broker = self.service.broker
+        if self.service.execution != "distributed" or broker is None:
+            return 409, {"error": "service is not running in distributed "
+                                  "execution mode; /units/* endpoints "
+                                  "are unavailable"}
+        try:
+            if path == "/units/claim":
+                worker = str(payload["worker"])
+                ttl_s = float(payload.get("ttl_s", 30.0))
+                unit = await asyncio.to_thread(broker.claim, worker, ttl_s)
+                if unit is None:
+                    return 200, {"unit": None}
+                return 200, {"unit": {"unit_id": unit.unit_id,
+                                      "payload": unit.payload,
+                                      "attempts": unit.attempts}}
+            if path == "/units/heartbeat":
+                ok = await asyncio.to_thread(
+                    broker.heartbeat, str(payload["unit_id"]),
+                    str(payload["worker"]),
+                    float(payload.get("ttl_s", 30.0)))
+                return 200, {"ok": ok}
+            if path == "/units/ack":
+                ok = await asyncio.to_thread(
+                    broker.ack, str(payload["unit_id"]),
+                    str(payload["worker"]))
+                return 200, {"ok": ok}
+            if path == "/units/complete":
+                from repro.service.spec import result_from_dict
+                tallies = result_from_dict(dict(payload["result"]))
+                lo, hi = int(payload["lo"]), int(payload["hi"])
+                # Checkpoint first, ack second — the same ordering the
+                # shared-store worker uses, for the same resume reason.
+                await asyncio.to_thread(
+                    self.service.store.put_shard,
+                    str(payload["job_key"]), lo, hi, tallies)
+                ok = await asyncio.to_thread(
+                    broker.ack, str(payload["unit_id"]),
+                    str(payload["worker"]))
+                return 200, {"ok": ok}
+            if path == "/units/fail":
+                ok = await asyncio.to_thread(
+                    broker.fail, str(payload["unit_id"]),
+                    str(payload["worker"]),
+                    str(payload.get("error", "worker failure")),
+                    bool(payload.get("requeue", True)))
+                return 200, {"ok": ok}
+            if path == "/units/shard_done":
+                tallies = await asyncio.to_thread(
+                    self.service.store.get_shard,
+                    str(payload["job_key"]), int(payload["lo"]),
+                    int(payload["hi"]))
+                return 200, {"done": tallies is not None}
+        except (KeyError, TypeError, ValueError) as exc:
+            return 400, {"error": f"malformed unit request: "
+                                  f"{type(exc).__name__}: {exc}"}
         return 404, {"error": f"no route for {path}"}

@@ -40,7 +40,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Callable, ClassVar, Dict, Optional, Tuple, Type
+from typing import ClassVar, Dict, Optional, Type
 
 from repro.core.blocks import BlockGrid
 from repro.faults.batch import (
@@ -51,12 +51,11 @@ from repro.faults.batch import (
 )
 from repro.faults.campaign import CampaignResult
 from repro.faults.drift import DriftInjector, DriftModel
-from repro.faults.injector import (
-    BurstInjector,
-    CheckBitInjector,
-    FaultInjector,
-    LinearBurstInjector,
-    UniformInjector,
+from repro.faults.injector import FaultInjector, LinearBurstInjector
+from repro.faults.serialize import (
+    build_injector,
+    injector_kinds,
+    validate_config,
 )
 from repro.utils.backend import available_backends
 from repro.utils.canonical import content_hash
@@ -66,81 +65,33 @@ from repro.utils.rng import resolve_entropy
 # Injector specifications
 # ---------------------------------------------------------------------- #
 
-#: kind -> (builder, allowed parameter names). Builders receive the
-#: params dict and return a fresh injector; the injector's own stream is
-#: never consumed under per-trial seeding, so no seed is threaded.
-_INJECTOR_BUILDERS: Dict[str, Tuple[Callable[[dict], FaultInjector],
-                                    Tuple[str, ...]]] = {
-    "uniform": (
-        lambda p: UniformInjector(
-            p["probability"],
-            include_check_bits=p.get("include_check_bits", True)),
-        ("probability", "include_check_bits")),
-    "burst": (
-        lambda p: BurstInjector(
-            strikes=p.get("strikes", 1), radius=p.get("radius", 1),
-            neighbor_probability=p.get("neighbor_probability", 0.5)),
-        ("strikes", "radius", "neighbor_probability")),
-    "linear_burst": (
-        lambda p: LinearBurstInjector(
-            p["length"], orientation=p.get("orientation", "row")),
-        ("length", "orientation")),
-    "check_bit": (
-        lambda p: CheckBitInjector(p["probability"]),
-        ("probability",)),
-    "drift": (
-        lambda p: DriftInjector(
-            DriftModel(tau_hours=p.get("tau_hours", 5e4),
-                       beta=p.get("beta", 2.0),
-                       abrupt_fit_per_bit=p.get("abrupt_fit_per_bit", 1e-4)),
-            p["window_hours"],
-            refresh_period_hours=p.get("refresh_period_hours"),
-            include_check_bits=p.get("include_check_bits", True)),
-        ("tau_hours", "beta", "abrupt_fit_per_bit", "window_hours",
-         "refresh_period_hours", "include_check_bits")),
-}
-
-
-def injector_kinds() -> Tuple[str, ...]:
-    """Registered declarative injector kinds."""
-    return tuple(sorted(_INJECTOR_BUILDERS))
-
 
 @dataclass(frozen=True)
 class InjectorSpec:
     """Declarative injector description: a kind plus its parameters.
 
-    ``params`` holds only JSON scalars; unknown kinds and unknown
-    parameter names fail eagerly in :meth:`validate`, value errors
-    surface from the injector constructors in :meth:`build`.
+    A thin frozen-dataclass wrapper over the shared injector-config
+    registry (:mod:`repro.faults.serialize` — the same kinds the
+    distributed wire format speaks). ``params`` holds only JSON
+    scalars; unknown kinds and unknown parameter names fail eagerly in
+    :meth:`validate`, value errors surface from the injector
+    constructors in :meth:`build`.
     """
 
     kind: str
     params: dict
 
+    def to_config(self) -> dict:
+        """The registry-form config ``{"kind", "params"}``."""
+        return {"kind": self.kind, "params": dict(self.params)}
+
     def validate(self) -> None:
-        if self.kind not in _INJECTOR_BUILDERS:
-            raise ValueError(f"unknown injector kind {self.kind!r}; "
-                             f"known: {', '.join(injector_kinds())}")
-        allowed = _INJECTOR_BUILDERS[self.kind][1]
-        unknown = sorted(set(self.params) - set(allowed))
-        if unknown:
-            raise ValueError(
-                f"injector kind {self.kind!r} does not accept parameters "
-                f"{unknown}; allowed: {', '.join(allowed)}")
+        validate_config(self.to_config())
         self.build()
 
     def build(self) -> FaultInjector:
         """Instantiate the injector (constructor validation applies)."""
-        if self.kind not in _INJECTOR_BUILDERS:
-            raise ValueError(f"unknown injector kind {self.kind!r}; "
-                             f"known: {', '.join(injector_kinds())}")
-        builder, _ = _INJECTOR_BUILDERS[self.kind]
-        try:
-            return builder(dict(self.params))
-        except KeyError as exc:
-            raise ValueError(f"injector kind {self.kind!r} requires "
-                             f"parameter {exc.args[0]!r}") from None
+        return build_injector(self.to_config())
 
 
 # ---------------------------------------------------------------------- #

@@ -6,6 +6,7 @@ record)::
 
     results/<key>.json            completed job record
     shards/<key>/<lo>-<hi>.json   checkpointed span of a running job
+    jobs/<job_id>.json            persisted scheduler JobRecord
 
 ``<key>`` is :meth:`repro.service.spec.JobSpec.cache_key` — the SHA-256
 of the normalized spec's canonical JSON — so the store *is* the dedupe
@@ -16,6 +17,18 @@ executes the gaps. Both are sound because the per-trial seeding
 contract makes every span's tallies a pure function of the key and the
 span bounds (see the service-sharded execution contract in
 :mod:`repro.faults.batch`).
+
+``jobs/`` holds the scheduler's live job records so job *ids* — not
+just results — survive a service restart: a restarted
+:class:`repro.service.scheduler.CampaignService` reloads them, answers
+``status`` queries for pre-restart ids, and re-enqueues the ones that
+never reached a terminal state.
+
+The store grows without bound by default (content-addressed records
+are never invalidated); long-lived deployments run :meth:`gc` — the
+``repro store gc`` subcommand — with a max-age and/or max-bytes policy
+plus an orphan-shard sweep for checkpoint directories a crash left
+behind after their final record was already written.
 """
 
 from __future__ import annotations
@@ -23,14 +36,31 @@ from __future__ import annotations
 import json
 import os
 import re
+import shutil
 import tempfile
+import time
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.faults.campaign import CampaignResult
 from repro.service.spec import result_from_dict, result_to_dict
 
 _SHARD_FILE = re.compile(r"^(\d+)-(\d+)\.json$")
+
+#: Path components the store will embed in filenames. Keys are SHA-256
+#: hex in practice, but the HTTP worker surface forwards caller-supplied
+#: strings here, so anything that could traverse (separators, leading
+#: dots, empty) is rejected at the boundary.
+_SAFE_COMPONENT = re.compile(r"^[A-Za-z0-9_-][A-Za-z0-9._-]*$")
+
+
+def _checked_component(value: str, what: str) -> str:
+    """``value`` if it is a safe single path component, else ValueError."""
+    if not isinstance(value, str) or not _SAFE_COMPONENT.match(value):
+        raise ValueError(f"invalid {what} {value!r}: must be a single "
+                         f"path component (letters, digits, '._-', no "
+                         f"leading dot)")
+    return value
 
 
 def _atomic_write_json(path: Path, payload: dict) -> None:
@@ -62,15 +92,17 @@ class ResultStore:
         self.root = Path(root)
         self.results_dir = self.root / "results"
         self.shards_dir = self.root / "shards"
+        self.jobs_dir = self.root / "jobs"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.shards_dir.mkdir(parents=True, exist_ok=True)
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
     # Final results
     # ------------------------------------------------------------------ #
 
     def _result_path(self, key: str) -> Path:
-        return self.results_dir / f"{key}.json"
+        return self.results_dir / f"{_checked_component(key, 'key')}.json"
 
     def has(self, key: str) -> bool:
         return self._result_path(key).exists()
@@ -96,7 +128,8 @@ class ResultStore:
     # ------------------------------------------------------------------ #
 
     def _shard_path(self, key: str, lo: int, hi: int) -> Path:
-        return self.shards_dir / key / f"{lo}-{hi}.json"
+        return self.shards_dir / _checked_component(key, "key") / \
+            f"{int(lo)}-{int(hi)}.json"
 
     def put_shard(self, key: str, lo: int, hi: int,
                   result: CampaignResult) -> None:
@@ -116,7 +149,7 @@ class ResultStore:
     def shard_spans(self, key: str) -> Dict[Tuple[int, int], CampaignResult]:
         """Every checkpointed span of ``key`` (for resume planning)."""
         out: Dict[Tuple[int, int], CampaignResult] = {}
-        directory = self.shards_dir / key
+        directory = self.shards_dir / _checked_component(key, "key")
         if not directory.is_dir():
             return out
         for path in directory.iterdir():
@@ -131,7 +164,7 @@ class ResultStore:
 
     def clear_shards(self, key: str) -> None:
         """Drop the checkpoints of ``key`` (after its final record)."""
-        directory = self.shards_dir / key
+        directory = self.shards_dir / _checked_component(key, "key")
         if not directory.is_dir():
             return
         for path in directory.iterdir():
@@ -143,3 +176,232 @@ class ResultStore:
             directory.rmdir()
         except OSError:
             pass
+
+    # ------------------------------------------------------------------ #
+    # Persisted job records (stable ids across service restarts)
+    # ------------------------------------------------------------------ #
+
+    def _job_path(self, job_id: str) -> Path:
+        return self.jobs_dir / \
+            f"{_checked_component(job_id, 'job id')}.json"
+
+    def put_job(self, job_id: str, record: dict) -> None:
+        """Persist one scheduler job record (atomic overwrite)."""
+        _atomic_write_json(self._job_path(job_id), record)
+
+    def get_job(self, job_id: str) -> Optional[dict]:
+        """The persisted record of ``job_id``, or ``None``."""
+        path = self._job_path(job_id)
+        if not path.exists():
+            return None
+        with open(path) as handle:
+            return json.load(handle)
+
+    def job_ids(self) -> List[str]:
+        """Every persisted job id, sorted (= submission order: ids
+        embed a monotonic sequence number)."""
+        return sorted(p.stem for p in self.jobs_dir.glob("*.json"))
+
+    def iter_jobs(self) -> Iterator[dict]:
+        """Persisted job records in id order (skips torn/alien files)."""
+        for job_id in self.job_ids():
+            try:
+                record = self.get_job(job_id)
+            except (json.JSONDecodeError, OSError):
+                continue  # a torn file must never block recovery
+            if record is not None:
+                yield record
+
+    def delete_job(self, job_id: str) -> None:
+        """Forget one persisted job record (id eviction)."""
+        try:
+            self._job_path(job_id).unlink()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Eviction / garbage collection
+    # ------------------------------------------------------------------ #
+
+    def size_bytes(self) -> int:
+        """Total bytes under the store root (results, shards, jobs)."""
+        total = 0
+        for directory, _dirs, files in os.walk(self.root):
+            for name in files:
+                try:
+                    total += os.path.getsize(os.path.join(directory, name))
+                except OSError:
+                    pass
+        return total
+
+    def gc(self, max_age_s: Optional[float] = None,
+           max_bytes: Optional[int] = None, sweep_orphans: bool = True,
+           dry_run: bool = False, now: Optional[float] = None) -> dict:
+        """Bounded-growth policy for long-lived deployments.
+
+        Three independent sweeps, in order:
+
+        1. **Orphan shards** (``sweep_orphans``): checkpoint
+           directories whose final record already exists — a crash
+           between ``put`` and ``clear_shards`` leaves them — are
+           dropped; they can never be read again.
+        2. **Max age** (``max_age_s``): result records older than the
+           horizon are evicted, along with the persisted *terminal* job
+           records pointing at them and any equally old in-flight shard
+           directories/job records (abandoned work).
+        3. **Max bytes** (``max_bytes``): while the store exceeds the
+           budget, the oldest result records are evicted (with their
+           dependent job records), oldest first.
+
+        Eviction is safe, never destructive of meaning: a record is a
+        pure function of its spec, so an evicted key simply re-executes
+        on next submission instead of hitting cache. ``dry_run=True``
+        reports what would go without touching the filesystem. Returns
+        a report dict (counts, evicted keys, bytes before/after).
+        """
+        if max_age_s is not None and max_age_s < 0:
+            raise ValueError(f"max_age_s must be non-negative, "
+                             f"got {max_age_s}")
+        if max_bytes is not None and max_bytes < 0:
+            raise ValueError(f"max_bytes must be non-negative, "
+                             f"got {max_bytes}")
+        now = time.time() if now is None else now
+        report = {
+            "dry_run": dry_run,
+            "bytes_before": self.size_bytes(),
+            "evicted_results": [],
+            "evicted_jobs": [],
+            "orphan_shard_keys": [],
+            "stale_shard_keys": [],
+        }
+        # `freed` tracks bytes the sweeps have reclaimed (or, on a dry
+        # run, *would* reclaim) so the byte-budget step below starts
+        # from the post-sweep size either way — a dry run must predict
+        # the real run, not overstate it.
+        freed = 0
+        jobs_by_key: Dict[str, List[str]] = {}
+        for record in self.iter_jobs():
+            job_id = record.get("id")
+            if isinstance(job_id, str):  # schema-alien files: not ours
+                jobs_by_key.setdefault(record.get("key", ""), []).append(
+                    job_id)
+
+        def evict_key(key: str) -> None:
+            nonlocal freed
+            freed += self._key_bytes(key)
+            report["evicted_results"].append(key)
+            if not dry_run:
+                try:
+                    self._result_path(key).unlink()
+                except OSError:
+                    pass
+                self.clear_shards(key)
+            for job_id in jobs_by_key.pop(key, []):
+                report["evicted_jobs"].append(job_id)
+                freed += self._file_bytes(self._job_path(job_id))
+                if not dry_run:
+                    self.delete_job(job_id)
+
+        # 1. orphan shard directories (final record already written)
+        if sweep_orphans:
+            for directory in sorted(self.shards_dir.iterdir()):
+                if directory.is_dir() and self.has(directory.name):
+                    report["orphan_shard_keys"].append(directory.name)
+                    freed += self._dir_bytes(directory)
+                    if not dry_run:
+                        shutil.rmtree(directory, ignore_errors=True)
+
+        # 2. age horizon
+        if max_age_s is not None:
+            horizon = now - max_age_s
+            for key in self.keys():
+                if self._mtime(self._result_path(key)) < horizon:
+                    evict_key(key)
+            for directory in sorted(self.shards_dir.iterdir()):
+                if directory.is_dir() and \
+                        self._dir_mtime(directory) < horizon:
+                    report["stale_shard_keys"].append(directory.name)
+                    freed += self._dir_bytes(directory)
+                    if not dry_run:
+                        shutil.rmtree(directory, ignore_errors=True)
+            for record in list(self.iter_jobs()):
+                if not isinstance(record.get("id"), str):
+                    continue  # schema-alien JSON: never ours to delete
+                if record["id"] in report["evicted_jobs"]:
+                    continue
+                if record.get("state") in ("done", "failed"):
+                    # terminal: age from completion time
+                    stamp = record.get("finished_at") or 0.0
+                else:
+                    # abandoned in-flight work (a deployment that died
+                    # long ago): age from submission, so a record this
+                    # old can never be genuinely live — left alone it
+                    # would re-enqueue and re-execute on every restart
+                    stamp = record.get("submitted_at") or 0.0
+                if stamp < horizon:
+                    report["evicted_jobs"].append(record["id"])
+                    freed += self._file_bytes(
+                        self._job_path(record["id"]))
+                    peers = jobs_by_key.get(record.get("key", ""), [])
+                    if record["id"] in peers:
+                        peers.remove(record["id"])
+                    if not dry_run:
+                        self.delete_job(record["id"])
+
+        # 3. byte budget (oldest results first)
+        if max_bytes is not None:
+            remaining = [k for k in self.keys()
+                         if k not in report["evicted_results"]]
+            remaining.sort(key=lambda k: self._mtime(self._result_path(k)))
+            size = self.size_bytes() if not dry_run else \
+                report["bytes_before"] - freed
+            for key in remaining:
+                if size <= max_bytes:
+                    break
+                size -= self._key_bytes(key)
+                evict_key(key)
+
+        report["bytes_after"] = report["bytes_before"] if dry_run \
+            else self.size_bytes()
+        return report
+
+    def _key_bytes(self, key: str) -> int:
+        """Bytes attributable to ``key`` (record + checkpoints)."""
+        total = 0
+        try:
+            total += self._result_path(key).stat().st_size
+        except OSError:
+            pass
+        directory = self.shards_dir / key
+        if directory.is_dir():
+            for path in directory.iterdir():
+                try:
+                    total += path.stat().st_size
+                except OSError:
+                    pass
+        return total
+
+    @staticmethod
+    def _mtime(path: Path) -> float:
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return 0.0
+
+    @staticmethod
+    def _file_bytes(path: Path) -> int:
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
+    def _dir_bytes(self, directory: Path) -> int:
+        """Total file bytes directly inside ``directory``."""
+        return sum(self._file_bytes(p) for p in directory.iterdir())
+
+    def _dir_mtime(self, directory: Path) -> float:
+        """Newest mtime inside ``directory`` (activity timestamp)."""
+        newest = self._mtime(directory)
+        for path in directory.iterdir():
+            newest = max(newest, self._mtime(path))
+        return newest

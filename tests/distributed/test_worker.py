@@ -1,0 +1,167 @@
+"""ShardWorker unit tests: decode, execute, checkpoint, ack, survive.
+
+The differential suite (`test_distributed_execution`) pins end-to-end
+bit-identity; here we pin the worker's own failure discipline — poison
+payloads fail terminally, duplicate checkpoints short-circuit to an
+ack, and execution errors requeue the unit for the rest of the fleet.
+"""
+
+import json
+
+import pytest
+
+from repro.distributed.broker import SqliteBroker
+from repro.distributed.wire import task_wire_dict
+from repro.distributed.worker import BrokerWorkSource, ShardWorker
+from repro.faults.batch import CampaignRunner
+from repro.faults.injector import UniformInjector
+from repro.service.store import ResultStore
+from repro.utils.canonical import canonical_json
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+@pytest.fixture
+def broker(tmp_path):
+    return SqliteBroker(tmp_path / "store" / "broker.sqlite3")
+
+
+@pytest.fixture
+def source(broker, store):
+    return BrokerWorkSource(broker, store)
+
+
+def runner(seed=3):
+    return CampaignRunner(__grid(), UniformInjector(2e-3), seed=seed,
+                          seeding="per-trial")
+
+
+def __grid():
+    from repro.core.blocks import BlockGrid
+    return BlockGrid(15, 3)
+
+
+def publish_span(broker, key, lo, hi, seed=3):
+    task = runner(seed).shard_task(lo, hi)
+    payload = canonical_json({
+        "job_key": key, "lo": lo, "hi": hi,
+        "shard_task": task_wire_dict(task)})
+    broker.publish(f"{key}:{lo}-{hi}", payload, group_key=key)
+    return task
+
+
+class TestProcessing:
+    def test_unit_executes_and_checkpoints(self, broker, store, source):
+        task = publish_span(broker, "k", 0, 64)
+        worker = ShardWorker(source, worker_id="w", lease_ttl_s=10)
+        assert worker.run_once()
+        assert worker.units_done == 1
+        from repro.faults.batch import run_shard_task
+        assert store.get_shard("k", 0, 64).as_dict() == \
+            run_shard_task(task).as_dict()
+        assert broker.unit("k:0-64").state == "done"
+        assert not worker.run_once()  # queue drained
+
+    def test_existing_checkpoint_short_circuits(self, broker, store,
+                                                source):
+        from repro.faults.batch import run_shard_task
+        task = publish_span(broker, "k", 0, 64)
+        store.put_shard("k", 0, 64, run_shard_task(task))
+
+        class Exploding(BrokerWorkSource):
+            def complete(self, *a, **k):
+                raise AssertionError("must not recompute/rewrite")
+
+        worker = ShardWorker(Exploding(broker, store), worker_id="w")
+        assert worker.run_once()
+        assert broker.unit("k:0-64").state == "done"
+
+    def test_poison_payload_fails_terminally(self, broker, source):
+        broker.publish("bad", "this is not json", group_key="g")
+        worker = ShardWorker(source, worker_id="w")
+        assert worker.run_once()
+        unit = broker.unit("bad")
+        assert unit.state == "failed"
+        assert "WireFormatError" in unit.error
+        assert worker.units_failed == 1
+
+    def test_version_skew_fails_terminally(self, broker, source):
+        env = task_wire_dict(runner().shard_task(0, 64))
+        env["version"] = 999  # a worker from the future
+        broker.publish("skew", canonical_json(
+            {"job_key": "k", "lo": 0, "hi": 64, "shard_task": env}))
+        ShardWorker(source, worker_id="w").run_once()
+        assert broker.unit("skew").state == "failed"
+        assert "wire version" in broker.unit("skew").error
+
+    def test_span_routing_mismatch_fails_terminally(self, broker, source):
+        env = task_wire_dict(runner().shard_task(0, 64))
+        broker.publish("route", canonical_json(
+            {"job_key": "k", "lo": 64, "hi": 128, "shard_task": env}))
+        ShardWorker(source, worker_id="w").run_once()
+        assert broker.unit("route").state == "failed"
+
+    def test_execution_error_requeues(self, broker, store):
+        publish_span(broker, "k", 0, 64)
+
+        class FlakyStore(BrokerWorkSource):
+            def complete(self, *a, **k):
+                raise OSError("disk detached")
+
+        worker = ShardWorker(FlakyStore(broker, store), worker_id="w")
+        assert worker.run_once()
+        unit = broker.unit("k:0-64")
+        assert unit.state == "queued"  # back for the fleet
+        assert "disk detached" in unit.error
+
+    def test_run_drains_and_exits_on_idle(self, broker, source):
+        for lo in (0, 64, 128):
+            publish_span(broker, "k", lo, lo + 64)
+        worker = ShardWorker(source, worker_id="w", poll_interval_s=0.01)
+        processed = worker.run(idle_exit_s=0.05)
+        assert processed == 3
+
+    def test_run_respects_max_units(self, broker, source):
+        for lo in (0, 64, 128):
+            publish_span(broker, "k", lo, lo + 64)
+        assert ShardWorker(source, worker_id="w").run(max_units=2) == 2
+        assert broker.counts("k")["queued"] == 1
+
+
+class TestResilience:
+    def test_run_survives_transient_claim_errors(self, broker, store,
+                                                 source):
+        """A flaky transport (service restarting, broker locked) must
+        not kill the daemon loop — it backs off and keeps pulling."""
+        publish_span(broker, "k", 0, 64)
+        calls = {"n": 0}
+
+        class FlakyClaim(BrokerWorkSource):
+            def claim(self, owner, ttl_s):
+                calls["n"] += 1
+                if calls["n"] <= 2:
+                    raise ConnectionError("service restarting")
+                return super().claim(owner, ttl_s)
+
+        worker = ShardWorker(FlakyClaim(broker, store), worker_id="w",
+                             poll_interval_s=0.01)
+        assert worker.run(max_units=1) == 1
+        assert calls["n"] >= 3
+        assert broker.unit("k:0-64").state == "done"
+
+
+class TestValidation:
+    def test_bad_ttl_and_poll(self, source):
+        with pytest.raises(ValueError, match="lease_ttl_s"):
+            ShardWorker(source, lease_ttl_s=0)
+        with pytest.raises(ValueError, match="poll_interval_s"):
+            ShardWorker(source, poll_interval_s=-1)
+
+    def test_payload_missing_routing_fields(self, broker, source):
+        broker.publish("m", json.dumps({"shard_task": {}}))
+        ShardWorker(source, worker_id="w").run_once()
+        assert broker.unit("m").state == "failed"
+        assert "job_key" in broker.unit("m").error

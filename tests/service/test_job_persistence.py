@@ -1,0 +1,169 @@
+"""Persisted job records: ids — not just results — survive a restart.
+
+The ROADMAP gap this closes: the PR-4 scheduler kept ``JobRecord``s in
+memory only, so a restarted server answered 404 for every pre-restart
+job id even though the results were safely in the store. Now records
+persist in the store's ``jobs/`` namespace on every transition, and a
+fresh service (a) answers ``status`` for old ids, (b) re-enqueues
+submissions that never settled, and (c) continues the id sequence
+without collisions.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    CampaignJobSpec,
+    CampaignService,
+    InjectorSpec,
+    JobRecord,
+    ResultStore,
+    result_from_dict,
+)
+
+UNIFORM = InjectorSpec("uniform", {"probability": 2e-3})
+
+
+def spec_for(seed, trials=100):
+    return CampaignJobSpec(n=9, m=3, trials=trials, seed=seed,
+                           injector=UNIFORM)
+
+
+def run_service(store, coro_fn, **kwargs):
+    kwargs.setdefault("executor", "thread")
+    kwargs.setdefault("shard_trials", 64)
+
+    async def main():
+        async with CampaignService(store, **kwargs) as service:
+            return await coro_fn(service)
+
+    return asyncio.run(main())
+
+
+class TestRecordRoundTrip:
+    def test_to_from_dict_is_lossless(self):
+        job = JobRecord(id="j000004-deadbeef",
+                        spec=spec_for(3).normalized(), key="k" * 8,
+                        state="done", result={"type": "campaign_result"})
+        rebuilt = JobRecord.from_dict(job.to_dict())
+        assert rebuilt.to_dict() == job.to_dict()
+        assert rebuilt.done_event.is_set()
+
+    def test_nonterminal_rebuild_has_unset_event(self):
+        job = JobRecord(id="j000001-aa", spec=spec_for(1).normalized(),
+                        key="k")
+        rebuilt = JobRecord.from_dict(job.to_dict())
+        assert not rebuilt.done_event.is_set()
+
+
+class TestRestart:
+    def test_status_answers_for_pre_restart_ids(self, tmp_path):
+        async def first(service):
+            job = await service.submit(spec_for(1))
+            await service.wait(job.id, timeout=120)
+            return job
+
+        done = run_service(tmp_path, first)
+        assert done.state == "done"
+
+        async def second(service):
+            return service.status(done.id)
+
+        reloaded = run_service(tmp_path, second)
+        assert reloaded.state == "done"
+        assert reloaded.result == done.result
+        assert reloaded.key == done.key
+
+    def test_unsettled_job_reenqueues_and_completes(self, tmp_path):
+        """A job killed while queued/running finishes after restart,
+        bit-identically to an uninterrupted run."""
+        spec = spec_for(5, trials=200)
+        store = ResultStore(tmp_path)
+
+        # Simulate a service killed before execution: persist the
+        # record exactly as submit() does, then never run it.
+        job = JobRecord(id="j000009-feedc0de", spec=spec.normalized(),
+                        key=spec.normalized().cache_key(), state="queued")
+        store.put_job(job.id, job.to_dict())
+
+        async def revived(service):
+            record = await service.wait(job.id, timeout=120)
+            return record
+
+        record = run_service(tmp_path, revived)
+        assert record.state == "done"
+        expected = spec.build_runner().run(spec.trials)
+        assert result_from_dict(record.result).as_dict() == \
+            expected.as_dict()
+
+    def test_id_sequence_continues_after_restart(self, tmp_path):
+        async def first(service):
+            job = await service.submit(spec_for(1))
+            await service.wait(job.id, timeout=120)
+            return job.id
+
+        first_id = run_service(tmp_path, first)
+
+        async def second(service):
+            job = await service.submit(spec_for(2))
+            await service.wait(job.id, timeout=120)
+            return job.id
+
+        second_id = run_service(tmp_path, second)
+        assert second_id != first_id
+        # ids embed a monotonic sequence: the restart continued it
+        assert int(second_id[1:7]) > int(first_id[1:7])
+
+    def test_duplicate_keys_reattach_as_followers(self, tmp_path):
+        """Two persisted unsettled submissions of the same spec must
+        execute once and both settle."""
+        spec = spec_for(11, trials=120)
+        store = ResultStore(tmp_path)
+        normalized = spec.normalized()
+        for seq in (1, 2):
+            job = JobRecord(id=f"j{seq:06d}-cafecafe", spec=normalized,
+                            key=normalized.cache_key(), state="queued")
+            store.put_job(job.id, job.to_dict())
+
+        async def revived(service):
+            a = await service.wait("j000001-cafecafe", timeout=120)
+            b = await service.wait("j000002-cafecafe", timeout=120)
+            return a, b
+
+        a, b = run_service(tmp_path, revived)
+        assert a.state == b.state == "done"
+        assert a.result == b.result
+
+    def test_torn_job_file_is_ignored(self, tmp_path):
+        store = ResultStore(tmp_path)
+        (store.jobs_dir / "j000001-bad.json").write_text("{torn")
+
+        async def boots(service):
+            job = await service.submit(spec_for(3, trials=64))
+            await service.wait(job.id, timeout=120)
+            return job
+
+        assert run_service(tmp_path, boots).state == "done"
+
+
+class TestEviction:
+    def test_eviction_forgets_persisted_ids_too(self, tmp_path):
+        async def main(service):
+            ids = []
+            for seed in range(5):
+                job = await service.submit(spec_for(seed, trials=40))
+                await service.wait(job.id, timeout=120)
+                ids.append(job.id)
+            return ids
+
+        ids = run_service(tmp_path, main, max_job_records=3)
+        store = ResultStore(tmp_path)
+        persisted = store.job_ids()
+        assert len(persisted) <= 3
+        assert ids[0] not in persisted  # oldest evicted from disk too
+
+    def test_invalid_job_id_path_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ValueError, match="invalid job id"):
+            store.put_job("../escape", {})

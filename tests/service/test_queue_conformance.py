@@ -1,0 +1,197 @@
+"""Queue-backend conformance: one suite, every registered backend.
+
+Any backend selectable via ``CampaignService(queue=...)`` must honour
+the same small contract (FIFO order, blocking get, close semantics) or
+scheduler behaviour silently diverges between deployments. The suite
+runs against every *built-in* registered backend; third-party backends
+can reuse it by extending ``QUEUE_FACTORIES``. Lease semantics
+(expiry/re-enqueue, exclusivity) are conformance-tested for every
+lease-capable broker in ``LEASE_BROKER_FACTORIES`` — today the SQLite
+broker, tomorrow any Redis/SQS adapter.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.distributed.broker import SqliteBroker, SqliteJobQueue
+from repro.service.queue import (
+    MemoryJobQueue,
+    available_queue_backends,
+    make_queue,
+)
+
+#: name -> factory(tmp_path) for every built-in JobQueue backend.
+QUEUE_FACTORIES = {
+    "memory": lambda tmp_path: MemoryJobQueue(),
+    "sqlite": lambda tmp_path: SqliteJobQueue(
+        tmp_path / "q.sqlite3", poll_interval_s=0.01),
+}
+
+#: name -> factory(tmp_path) for every lease-capable work-unit broker.
+LEASE_BROKER_FACTORIES = {
+    "sqlite": lambda tmp_path: SqliteBroker(tmp_path / "b.sqlite3"),
+}
+
+
+def test_every_registered_backend_is_conformance_tested():
+    """Registering a backend without extending this suite is an error."""
+    assert set(QUEUE_FACTORIES) == set(available_queue_backends())
+
+
+def test_make_queue_forwards_options(tmp_path):
+    queue = make_queue("sqlite", path=tmp_path / "own.sqlite3",
+                       poll_interval_s=0.5)
+    assert queue.poll_interval_s == 0.5
+    assert (tmp_path / "own.sqlite3").exists()
+
+
+def test_make_queue_unknown_name():
+    with pytest.raises(ValueError, match="unknown queue backend"):
+        make_queue("zeromq")
+
+
+@pytest.fixture(params=sorted(QUEUE_FACTORIES))
+def queue(request, tmp_path):
+    return QUEUE_FACTORIES[request.param](tmp_path)
+
+
+class TestJobQueueConformance:
+    def test_fifo_order(self, queue):
+        async def main():
+            for i in range(10):
+                await queue.put(f"j{i}")
+            return [await queue.get() for _ in range(10)]
+
+        assert asyncio.run(main()) == [f"j{i}" for i in range(10)]
+
+    def test_interleaved_put_get(self, queue):
+        async def main():
+            await queue.put("a")
+            await queue.put("b")
+            first = await queue.get()
+            await queue.put("c")
+            return [first, await queue.get(), await queue.get()]
+
+        assert asyncio.run(main()) == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, queue):
+        async def main():
+            getter = asyncio.create_task(queue.get())
+            await asyncio.sleep(0.05)
+            assert not getter.done()  # nothing queued yet
+            await queue.put("late")
+            return await asyncio.wait_for(getter, timeout=5)
+
+        assert asyncio.run(main()) == "late"
+
+    def test_close_semantics(self, queue):
+        async def main():
+            await queue.put("x")
+            assert not queue.closed
+            await queue.close()
+            assert queue.closed
+            with pytest.raises(RuntimeError, match="closed"):
+                await queue.put("y")
+            with pytest.raises(RuntimeError, match="closed"):
+                await queue.get()
+
+        asyncio.run(main())
+
+    def test_close_wakes_waiting_getters(self, queue):
+        """A get() already awaiting when close() runs must raise, not
+        hang (a closed queue never strands a waiter)."""
+        async def main():
+            getters = [asyncio.create_task(queue.get())
+                       for _ in range(2)]
+            await asyncio.sleep(0.05)  # both blocked on an empty queue
+            await queue.close()
+            for task in getters:
+                with pytest.raises(RuntimeError, match="closed"):
+                    await asyncio.wait_for(task, timeout=5)
+
+        asyncio.run(main())
+
+    def test_close_is_idempotent(self, queue):
+        async def main():
+            await queue.close()
+            await queue.close()
+
+        asyncio.run(main())
+
+
+def test_sqlite_queue_does_not_accumulate_consumed_rows(tmp_path):
+    """Consumed ids are deleted (durable job state lives in the
+    scheduler's persisted records, not the queue), so a long-lived
+    deployment's queue table stays bounded."""
+    import sqlite3
+
+    path = tmp_path / "q.sqlite3"
+    queue = SqliteJobQueue(path, poll_interval_s=0.01)
+
+    async def main():
+        for i in range(5):
+            await queue.put(f"j{i}")
+        for _ in range(5):
+            await queue.get()
+
+    asyncio.run(main())
+    with sqlite3.connect(path) as conn:
+        assert conn.execute("SELECT COUNT(*) FROM jobq").fetchone()[0] == 0
+
+
+@pytest.fixture(params=sorted(LEASE_BROKER_FACTORIES))
+def lease_broker(request, tmp_path):
+    return LEASE_BROKER_FACTORIES[request.param](tmp_path)
+
+
+class TestLeaseConformance:
+    """The lease API contract every work-unit broker must honour."""
+
+    def test_claim_is_fifo_and_exhaustible(self, lease_broker):
+        for i in range(3):
+            lease_broker.publish(f"u{i}", "p")
+        assert [lease_broker.claim("w").unit_id for _ in range(3)] == \
+            ["u0", "u1", "u2"]
+        assert lease_broker.claim("w") is None
+
+    def test_lease_expiry_requeues(self, lease_broker):
+        lease_broker.publish("u", "p")
+        lease_broker.claim("w1", ttl_s=1.0, now=100.0)
+        assert lease_broker.claim("w2", now=100.5) is None  # still held
+        reclaimed = lease_broker.claim("w2", now=102.0)     # expired
+        assert reclaimed is not None and reclaimed.unit_id == "u"
+        # the abandoned owner has lost every verb
+        assert not lease_broker.heartbeat("u", "w1", ttl_s=1.0)
+        assert not lease_broker.ack("u", "w1")
+
+    def test_concurrent_claim_exclusivity(self, lease_broker):
+        for i in range(16):
+            lease_broker.publish(f"u{i:02d}", "p")
+        seen, lock = [], threading.Lock()
+
+        def drain(owner):
+            while True:
+                unit = lease_broker.claim(owner, ttl_s=60)
+                if unit is None:
+                    return
+                with lock:
+                    seen.append(unit.unit_id)
+                lease_broker.ack(unit.unit_id, owner)
+
+        threads = [threading.Thread(target=drain, args=(f"w{i}",))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 16 and len(set(seen)) == 16
+
+    def test_ack_finalizes_heartbeat_extends(self, lease_broker):
+        lease_broker.publish("u", "p")
+        lease_broker.claim("w", ttl_s=2.0, now=10.0)
+        assert lease_broker.heartbeat("u", "w", ttl_s=2.0, now=11.0)
+        assert lease_broker.claim("other", now=12.5) is None  # extended
+        assert lease_broker.ack("u", "w")
+        assert lease_broker.claim("other", now=1e9) is None   # done

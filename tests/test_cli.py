@@ -37,6 +37,41 @@ class TestServiceParser:
         args = build_parser().parse_args(["status", "j000001-aaaa"])
         assert args.job_id == "j000001-aaaa"
 
+    def test_serve_distributed_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--execution", "distributed", "--queue", "sqlite",
+             "--broker", "/tmp/b.sqlite3"])
+        assert args.execution == "distributed"
+        assert args.queue == "sqlite"
+        assert args.broker == "/tmp/b.sqlite3"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--execution", "psychic"])
+
+    def test_worker_flags(self):
+        args = build_parser().parse_args(
+            ["worker", "--store", "./s", "--lease-ttl", "5",
+             "--max-units", "3", "--idle-exit", "2.5"])
+        assert args.store == "./s" and args.url is None
+        assert args.lease_ttl == 5.0
+        assert args.max_units == 3 and args.idle_exit == 2.5
+        args = build_parser().parse_args(["worker", "--url", "http://h:1"])
+        assert args.url == "http://h:1" and args.store is None
+
+    def test_worker_requires_exactly_one_topology(self, capsys):
+        from repro.cli import main
+        assert main(["worker"]) == 2
+        assert main(["worker", "--store", "s", "--url", "u"]) == 2
+
+    def test_store_gc_flags(self):
+        args = build_parser().parse_args(
+            ["store", "gc", "--store", "./s", "--max-age-days", "7",
+             "--max-bytes", "1000", "--dry-run"])
+        assert args.store == "./s"
+        assert args.max_age_days == 7.0 and args.max_bytes == 1000
+        assert args.dry_run
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])  # needs a subcommand
+
 
 class TestCommands:
     def test_info(self, capsys):
@@ -51,7 +86,8 @@ class TestCommands:
         assert "backends:" in out and "numpy" in out
         assert "packings: u8, u64" in out
         assert "job kinds:" in out and "drift_survival" in out
-        assert "queue backends: memory" in out
+        assert "queue backends: memory, sqlite" in out
+        assert "execution modes: local, distributed" in out
 
     def test_table2_default(self, capsys):
         assert main(["table2"]) == 0
