@@ -40,18 +40,40 @@ class AreaRow:
 
 
 class AreaModel:
-    """Evaluates the Table II device-count expressions."""
+    """Evaluates the Table II device-count expressions.
 
-    def __init__(self, config: Optional[ArchConfig] = None):
+    ``check_bits_per_block`` overrides the check-memory row for
+    non-diagonal codes (the paper's table assumes the diagonal code's
+    ``2m`` check bits per block): pass a registry code's
+    ``check_bits_per_block`` (:class:`repro.core.registry.BlockCode`)
+    and the Check-Bits row becomes ``cb x (n/m)^2`` while every other
+    row — processing crossbars, checking crossbar, shifters,
+    connection unit — keeps the paper's expressions. ``None`` (the
+    default) preserves the published diagonal-code table exactly.
+    """
+
+    def __init__(self, config: Optional[ArchConfig] = None,
+                 check_bits_per_block: Optional[int] = None):
         self.config = config or ArchConfig.paper_case_study()
+        if check_bits_per_block is not None and check_bits_per_block <= 0:
+            raise ValueError(f"check_bits_per_block must be positive, "
+                             f"got {check_bits_per_block}")
+        self.check_bits_per_block = check_bits_per_block
+
+    def _check_bit_row(self, n: int, m: int) -> AreaRow:
+        cb = self.check_bits_per_block
+        if cb is None:
+            return AreaRow("Check-Bits", 2 * m * (n // m) ** 2, 0,
+                           "2 x m x (n/m)^2")
+        return AreaRow("Check-Bits", cb * (n // m) ** 2, 0,
+                       f"{cb} x (n/m)^2")
 
     def rows(self) -> List[AreaRow]:
         """All table rows, in the paper's order."""
         n, m, k = self.config.n, self.config.m, self.config.pc_count
         return [
             AreaRow("Data (MEM)", n * n, 0, "n x n"),
-            AreaRow("Check-Bits", 2 * m * (n // m) ** 2, 0,
-                    "2 x m x (n/m)^2"),
+            self._check_bit_row(n, m),
             AreaRow("Processing XBs", 2 * PC_CELLS_PER_SLICE * k * n, 0,
                     "2 x 11 x k x n"),
             AreaRow("Checking XB", 2 * n, 0, "2 x n"),

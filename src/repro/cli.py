@@ -6,6 +6,8 @@
     python -m repro table2 [--n 1020 --m 15 --k 3]
     python -m repro fig6   [--ser 1e-3]
     python -m repro ablations
+    python -m repro select [--n N --m M ... --ber B ... --row-fraction F ...]
+                           [--trials T --seed S --codes C ... --packing P]
     python -m repro info
 
     python -m repro serve  [--host H --port P --store DIR --workers N]
@@ -104,6 +106,25 @@ def _cmd_ablations(args) -> int:
     return 0
 
 
+def _cmd_select(args) -> int:
+    from repro.analysis.selector import Scenario, default_scenarios, select
+
+    if args.m or args.ber or args.row_fraction:
+        ms = args.m or [3, 5]
+        bers = args.ber or [1e-3, 1e-2]
+        fracs = args.row_fraction or [0.9, 0.5, 0.1]
+        scenarios = [Scenario(name=f"m{m}-ber{ber:g}-row{frac:g}",
+                              n=args.n, m=m, ber=ber, row_fraction=frac,
+                              trials=args.trials, seed=args.seed)
+                     for m in ms for ber in bers for frac in fracs]
+    else:
+        scenarios = default_scenarios(trials=args.trials, seed=args.seed)
+    report = select(scenarios, codes=args.codes or None,
+                    packing=args.packing)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_info(args) -> int:
     import repro
     from repro.circuits.registry import BENCHMARKS
@@ -116,6 +137,7 @@ def _cmd_info(args) -> int:
           "ablations")
     print(f"backends: {', '.join(info['backends'])}")
     print(f"packings: {', '.join(info['packings'])}")
+    print(f"codes: {', '.join(info['codes'])}")
     print(f"job kinds: {', '.join(info['job_kinds'])}")
     print(f"injector kinds: {', '.join(info['injector_kinds'])}")
     print(f"queue backends: {', '.join(info['queue_backends'])}")
@@ -260,6 +282,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p4 = sub.add_parser("ablations", help="run the ablation sweeps")
     p4.set_defaults(func=_cmd_ablations)
+
+    psel = sub.add_parser(
+        "select", help="sweep scenarios x codes, print the Pareto report")
+    psel.add_argument("--n", type=int, default=15,
+                      help="crossbar dimension for explicit sweeps")
+    psel.add_argument("--m", type=int, action="append", default=None,
+                      help="block size (repeatable; odd, divides n)")
+    psel.add_argument("--ber", type=float, action="append", default=None,
+                      help="per-bit upset probability (repeatable)")
+    psel.add_argument("--row-fraction", type=float, action="append",
+                      default=None,
+                      help="fraction of row-parallel ops (repeatable)")
+    psel.add_argument("--trials", type=int, default=512,
+                      help="Monte-Carlo trials per scenario x code")
+    psel.add_argument("--seed", type=int, default=0,
+                      help="campaign root entropy")
+    psel.add_argument("--codes", nargs="*", default=None,
+                      help="subset of registered codes (default: all)")
+    psel.add_argument("--packing", default="u8", choices=["u8", "u64"],
+                      help="engine tensor layout for the coverage runs")
+    psel.set_defaults(func=_cmd_select)
 
     p5 = sub.add_parser("info", help="library, benchmark, and service info")
     p5.set_defaults(func=_cmd_info)

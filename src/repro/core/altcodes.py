@@ -15,9 +15,12 @@ writes one cell in every row — i.e. a *column* of the array. Per block:
   changed data bit: one XOR3 each, Theta(1) issue.
 * row+column code: the m written cells hit m distinct *row* parities
   (fine) but all belong to the *same column parity*, which must absorb
-  the XOR of all m deltas — a Theta(m) reduction (ceil(m/2) XOR3-tree
-  levels) per block per operation. Column-parallel operations mirror the
-  problem onto row parities.
+  the XOR of all m deltas — a Theta(m) reduction of ceil(m/2)
+  sequential XOR3 gate issues per block per operation (the serialized
+  fold of :func:`update_cost`, not the ceil(log3(m+1)) levels a
+  balanced tree would need — MAGIC rewrites one accumulator bit, so
+  the fold cannot be tree-shaped). Column-parallel operations mirror
+  the problem onto row parities.
 * horizontal word parity (paper Fig. 2(a)): Theta(n) for one of the two
   orientations.
 
@@ -113,10 +116,31 @@ def update_cost(scheme: str, n: int, m: int) -> UpdateCost:
     """XOR3-issue count per block to absorb one parallel MAGIC op.
 
     ``scheme`` is ``"diagonal"``, ``"rowcol"``, or ``"horizontal"``.
-    Counts are *sequential XOR3 issues* needed per affected block (the
-    reduction depth drives CMEM busy time): one issue covers all
-    check-bits that each see a single delta; a parity absorbing ``k``
-    deltas needs a ``ceil(k/2)``-gate XOR3 reduction.
+
+    **Cost model (normative — the registry's per-code models cite
+    it).** The unit is one *sequential XOR3 gate issue* per block: a
+    MAGIC XOR3 cycle whose output rewrites a check-bit accumulator.
+    Three rules compose every per-code number:
+
+    * a check-bit absorbing ``w`` data deltas folds ``w + 1`` operands
+      (the old parity plus the deltas) two at a time into that single
+      accumulator — ``ceil(w/2)`` *serialized* issues, never a
+      ``ceil(log3)``-level tree, because every step rewrites the same
+      CMEM bit;
+    * single-delta check-bits (``w = 1``) that are geometrically
+      aligned with the written vector — one per plane row, as in the
+      diagonal and row/column planes — share one plane-parallel issue,
+      which is what makes the diagonal placement Theta(1); without
+      such alignment (the matrix codes of
+      :mod:`repro.core.registry`, the horizontal word parity across
+      rows) each check-bit costs its own issue and the total is the
+      *sum* of the folds;
+    * distinct planes hold independent accumulators, so aligned
+      planes update concurrently and the block cost is the *critical
+      path* — the longest per-plane issue count (for ``rowcol`` the
+      untouched-orientation plane's one shared issue hides behind the
+      other plane's ``ceil(m/2)`` fold), maximized over write
+      positions.
     """
     if scheme == "diagonal":
         # Every check-bit of both planes sees at most one delta.

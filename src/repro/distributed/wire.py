@@ -35,7 +35,9 @@ WIRE_FORMAT = "repro/shard-task"
 
 #: Bump on any change to the task schema or its semantics. Workers and
 #: dispatchers must agree exactly; there is no cross-version execution.
-WIRE_VERSION = 1
+#: History: 1 = original schema; 2 = added the ``code`` field (pluggable
+#: block-code registry) to :class:`ShardTask`.
+WIRE_VERSION = 2
 
 
 class WireFormatError(ValueError):

@@ -142,13 +142,18 @@ class HttpWorkSource(WorkSource):
         return self.client.shard_done(job_key, lo, hi)
 
 
-class _Heartbeat:
+class HeartbeatThread:
     """Background lease extension while a span executes.
 
     Beats every ``ttl/3``; a beat answered ``False`` means the lease
     was lost (the worker was presumed dead and its unit re-enqueued),
     recorded in :attr:`lost` so the worker can demote its completion
     to best-effort.
+
+    Shutdown is prompt: the beat loop blocks on
+    :meth:`threading.Event.wait` (never a bare ``time.sleep``), so
+    :meth:`stop` — and ``with``-exit — returns as soon as the current
+    beat RPC (if any) finishes, not up to a full ``ttl/3`` later.
     """
 
     def __init__(self, source: WorkSource, unit_id: str, owner: str,
@@ -161,13 +166,19 @@ class _Heartbeat:
         self._stop = threading.Event()
         self._thread = threading.Thread(target=self._run, daemon=True)
 
-    def __enter__(self) -> "_Heartbeat":
+    def start(self) -> "HeartbeatThread":
         self._thread.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def stop(self) -> None:
         self._stop.set()
         self._thread.join(timeout=self.ttl_s)
+
+    def __enter__(self) -> "HeartbeatThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
 
     def _run(self) -> None:
         interval = self.ttl_s / 3.0
@@ -181,6 +192,11 @@ class _Heartbeat:
                 # Missing one beat is survivable (TTL is 3 intervals);
                 # the next beat retries.
                 pass
+
+
+#: Backwards-compatible alias (the class was private before it grew a
+#: public start/stop surface).
+_Heartbeat = HeartbeatThread
 
 
 class ShardWorker:
@@ -240,6 +256,10 @@ class ShardWorker:
         HTTP-topology fleet rides out the very service restarts the
         store's resume semantics are built for. Such error time counts
         toward ``idle_exit_s``.
+
+        Idle sleeps block on ``stop.wait`` when a ``stop`` event is
+        given, so a shutdown request interrupts the wait immediately
+        instead of lingering up to a full poll/backoff interval.
         """
         processed = 0
         idle_since: Optional[float] = None
@@ -265,7 +285,12 @@ class ShardWorker:
             if idle_exit_s is not None and now - idle_since >= idle_exit_s:
                 return processed
             backoff = min(self.poll_interval_s * (2 ** claim_errors), 5.0)
-            time.sleep(backoff if claim_errors else self.poll_interval_s)
+            delay = backoff if claim_errors else self.poll_interval_s
+            if stop is not None:
+                if stop.wait(delay):
+                    return processed
+            else:
+                time.sleep(delay)
 
     # ------------------------------------------------------------------ #
     # One unit
@@ -290,8 +315,8 @@ class ShardWorker:
                 self.source.ack(unit_id, self.worker_id)
                 self.units_done += 1
                 return
-            with _Heartbeat(self.source, unit_id, self.worker_id,
-                            self.lease_ttl_s) as beat:
+            with HeartbeatThread(self.source, unit_id, self.worker_id,
+                                 self.lease_ttl_s) as beat:
                 tallies = run_shard_task(task)
             # Even if the lease was lost mid-run, writing the
             # checkpoint is harmless: tallies are a pure function of

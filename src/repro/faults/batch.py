@@ -7,13 +7,14 @@ validation and the MTTF benches all sit on it). This module runs ``B``
 trials as stacked tensors instead:
 
 * data fill        — ``(B, n, n)`` uint8 stack, one trial per slice;
-* check planes     — ``(B, m, b, b)`` leading/counter stacks
-  (:meth:`repro.core.code.DiagonalParityCode.encode_batch`);
+* check planes     — ``(B, rk, b, b)`` stacks, one per code plane
+  (:meth:`repro.core.registry.BlockCode.encode_batch`; the default
+  diagonal code stores the leading/counter pair);
 * injection        — :meth:`repro.faults.injector.FaultInjector
-  .inject_batch`, flat ground-truth event arrays;
-* check sweep      — :func:`repro.core.checker.check_all_batched`, one
-  vectorized syndrome/decode/correct pass over every block of every
-  trial;
+  .inject_batch_planes`, flat ground-truth event arrays;
+* check sweep      — :meth:`repro.core.registry.BlockCode
+  .check_batched`, one vectorized syndrome/decode/correct pass over
+  every block of every trial;
 * classification   — golden compare + per-trial reductions into the same
   :class:`repro.faults.campaign.CampaignResult` tallies the scalar
   campaign produces.
@@ -144,8 +145,12 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.core.blocks import BlockGrid
-from repro.core.checker import check_all_batched, check_all_batched_packed
-from repro.core.code import DiagonalParityCode
+from repro.core.code import (
+    CheckBitError,
+    DataError,
+    Uncorrectable,
+)
+from repro.core.registry import build_code, code_names
 from repro.utils.bitpack import or_reduce_words, pack_batch, unpack_batch
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.faults.injector import FaultInjector
@@ -220,7 +225,8 @@ class BatchCampaign:
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
                  seed: SeedLike = None, include_check_bits: bool = True,
                  batch_size: int = DEFAULT_BATCH_SIZE,
-                 backend: BackendLike = None, packing: str = "u8"):
+                 backend: BackendLike = None, packing: str = "u8",
+                 code: str = "diagonal"):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if packing not in PACKINGS:
@@ -233,7 +239,8 @@ class BatchCampaign:
         self.batch_size = batch_size
         self.backend = get_backend(backend)
         self.packing = packing
-        self.code = DiagonalParityCode(grid)
+        self.code_name = code
+        self.code = build_code(code, grid)
 
     # ------------------------------------------------------------------ #
     # Public entry points
@@ -336,26 +343,22 @@ class BatchCampaign:
         # stack crosses onto the backend once, here.
         data = be.from_numpy(stage)
 
-        lead, ctr = self.code.encode_batch(data, backend=be)
+        planes = self.code.encode_batch(data, backend=be)
         golden = data.copy()
-        golden_lead = lead.copy()
-        golden_ctr = ctr.copy()
+        golden_planes = tuple(p.copy() for p in planes)
 
-        injection = self.injector.inject_batch(
-            data,
-            lead if self.include_check_bits else None,
-            ctr if self.include_check_bits else None,
+        injection = self.injector.inject_batch_planes(
+            data, planes if self.include_check_bits else (),
             rngs=inject_rngs, backend=be)
 
-        sweep = check_all_batched(self.grid, self.code, data, lead, ctr,
-                                  correct=True, backend=be)
+        sweep = self.code.check_batched(data, planes, correct=True,
+                                        backend=be)
 
-        restored = be.to_numpy(
-            (data == golden).reshape(batch, -1).all(axis=1)
-            & (lead == golden_lead).reshape(batch, -1).all(axis=1)
-            & (ctr == golden_ctr).reshape(batch, -1).all(axis=1))
+        restored = (data == golden).reshape(batch, -1).all(axis=1)
+        for p, g in zip(planes, golden_planes):
+            restored = restored & (p == g).reshape(batch, -1).all(axis=1)
         uncorrectable = be.to_numpy(sweep.uncorrectable_any)
-        return injection, restored, uncorrectable
+        return injection, be.to_numpy(restored), uncorrectable
 
     def _execute_packed(self, batch: int, stage: np.ndarray,
                         inject_rngs: Optional[Sequence[np.random.Generator]],
@@ -371,23 +374,21 @@ class BatchCampaign:
         be = self.backend
         words = pack_batch(stage, backend=be)
 
-        lead, ctr = self.code.encode_batch_packed(words, backend=be)
+        planes = self.code.encode_batch_packed(words, backend=be)
         golden = words.copy()
-        golden_lead = lead.copy()
-        golden_ctr = ctr.copy()
+        golden_planes = tuple(p.copy() for p in planes)
 
-        injection = self.injector.inject_batch_packed(
-            batch, words,
-            lead if self.include_check_bits else None,
-            ctr if self.include_check_bits else None,
+        injection = self.injector.inject_batch_planes_packed(
+            batch, words, planes if self.include_check_bits else (),
             rngs=inject_rngs, backend=be)
 
-        sweep = check_all_batched_packed(self.grid, self.code, words, lead,
-                                         ctr, batch, correct=True, backend=be)
+        sweep = self.code.check_batched_packed(words, planes, batch,
+                                               correct=True, backend=be)
 
-        damaged = or_reduce_words(words ^ golden, axis=(1, 2), backend=be) \
-            | or_reduce_words(lead ^ golden_lead, axis=(1, 2, 3), backend=be) \
-            | or_reduce_words(ctr ^ golden_ctr, axis=(1, 2, 3), backend=be)
+        damaged = or_reduce_words(words ^ golden, axis=(1, 2), backend=be)
+        for p, g in zip(planes, golden_planes):
+            damaged = damaged | or_reduce_words(p ^ g, axis=(1, 2, 3),
+                                                backend=be)
         restored = unpack_batch(damaged, batch, backend=be) == 0
         return injection, restored, sweep.uncorrectable_any
 
@@ -422,6 +423,7 @@ class ShardTask:
     batch_size: int = DEFAULT_BATCH_SIZE
     backend_name: str = "numpy"
     packing: str = "u8"
+    code: str = "diagonal"
 
     @property
     def trials(self) -> int:
@@ -452,6 +454,7 @@ class ShardTask:
             "batch_size": self.batch_size,
             "backend_name": self.backend_name,
             "packing": self.packing,
+            "code": self.code,
         }
 
     @staticmethod
@@ -460,7 +463,7 @@ class ShardTask:
         from repro.faults.serialize import build_injector
         expected = {"n", "m", "injector", "entropy", "lo", "hi",
                     "include_check_bits", "batch_size", "backend_name",
-                    "packing"}
+                    "packing", "code"}
         missing = sorted(expected - set(data))
         unknown = sorted(set(data) - expected)
         if missing or unknown:
@@ -474,7 +477,8 @@ class ShardTask:
             include_check_bits=bool(data["include_check_bits"]),
             batch_size=int(data["batch_size"]),
             backend_name=str(data["backend_name"]),
-            packing=str(data["packing"]))
+            packing=str(data["packing"]),
+            code=str(data["code"]))
 
 
 def run_shard_task(task: ShardTask) -> CampaignResult:
@@ -495,27 +499,105 @@ def run_shard_task(task: ShardTask) -> CampaignResult:
     engine = BatchCampaign(BlockGrid(task.n, task.m), task.injector,
                            include_check_bits=task.include_check_bits,
                            batch_size=task.batch_size,
-                           backend=backend, packing=task.packing)
+                           backend=backend, packing=task.packing,
+                           code=task.code)
     return engine.run_range_seeded(task.entropy, task.lo, task.hi)
 
 
 def run_reference(grid: BlockGrid, injector: FaultInjector, entropy: int,
-                  trials: int,
-                  include_check_bits: bool = True) -> CampaignResult:
+                  trials: int, include_check_bits: bool = True,
+                  code: str = "diagonal") -> CampaignResult:
     """Scalar replay of a per-trial-seeded batched run.
 
-    Drives :meth:`FaultCampaign.run_trial` with exactly the per-trial
-    streams the batched engine derives from ``entropy`` — the reference
-    side of the differential harness. Slow by construction; use for
-    verification, not production sweeps.
+    For the diagonal code this drives :meth:`FaultCampaign.run_trial`
+    with exactly the per-trial streams the batched engine derives from
+    ``entropy``; other registered codes replay the same streams through
+    the code's per-block ``encode_block``/``decode_block`` pair. Either
+    way this is the reference side of the differential harness. Slow by
+    construction; use for verification, not production sweeps.
     """
-    campaign = FaultCampaign(grid, injector,
-                             include_check_bits=include_check_bits)
+    if code == "diagonal":
+        campaign = FaultCampaign(grid, injector,
+                                 include_check_bits=include_check_bits)
+        out = CampaignResult()
+        for i in range(trials):
+            data_rng, inject_rng = trial_rngs(entropy, i)
+            kind, faults, multi = campaign.run_trial(data_rng=data_rng,
+                                                     inject_rng=inject_rng)
+            out.trials += 1
+            out.injected_faults += faults
+            out.blocks_with_multi_faults += multi
+            setattr(out, kind, getattr(out, kind) + 1)
+        return out
+    return _run_reference_code(grid, injector, entropy, trials,
+                               include_check_bits, code)
+
+
+def _run_reference_code(grid: BlockGrid, injector: FaultInjector,
+                        entropy: int, trials: int, include_check_bits: bool,
+                        code: str) -> CampaignResult:
+    """Per-block Python replay for non-diagonal registry codes.
+
+    Consumes exactly the per-trial streams of the batched engine — data
+    fill first, then the injector's :meth:`FaultInjector._draw_batch`
+    with the code's plane shapes — and decodes block by block through
+    :meth:`repro.core.registry.BlockCode.decode_block`.
+    """
+    blockcode = build_code(code, grid)
+    n, m = grid.n, grid.m
+    b = grid.blocks_per_side
+    shapes = blockcode.plane_shapes if include_check_bits else None
     out = CampaignResult()
     for i in range(trials):
         data_rng, inject_rng = trial_rngs(entropy, i)
-        kind, faults, multi = campaign.run_trial(data_rng=data_rng,
-                                                 inject_rng=inject_rng)
+        data = data_rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        planes = [np.zeros(shape, dtype=np.uint8)
+                  for shape in blockcode.plane_shapes]
+        for br in range(b):
+            for bc in range(b):
+                block = data[br * m:(br + 1) * m, bc * m:(bc + 1) * m]
+                for p, bits in enumerate(blockcode.encode_block(block)):
+                    planes[p][:, br, bc] = bits
+        golden = data.copy()
+        golden_planes = [p.copy() for p in planes]
+
+        injection = injector._draw_batch(1, (n, n), shapes, [inject_rng])
+        if injection.trial.size:
+            np.bitwise_xor.at(data, (injection.rows, injection.cols), 1)
+        for p in range(len(planes)):
+            sel = injection.check_plane == p
+            if sel.any():
+                np.bitwise_xor.at(
+                    planes[p], (injection.check_d[sel],
+                                injection.check_br[sel],
+                                injection.check_bc[sel]), 1)
+
+        uncorrectable = False
+        for br in range(b):
+            for bc in range(b):
+                block = data[br * m:(br + 1) * m, bc * m:(bc + 1) * m]
+                outcome = blockcode.decode_block(
+                    block, *(p[:, br, bc] for p in planes))
+                if isinstance(outcome, DataError):
+                    data[br * m + outcome.row, bc * m + outcome.col] ^= 1
+                elif isinstance(outcome, CheckBitError):
+                    p = blockcode.plane_names.index(outcome.plane)
+                    planes[p][outcome.index, br, bc] ^= 1
+                elif isinstance(outcome, Uncorrectable):
+                    uncorrectable = True
+
+        restored = bool(np.array_equal(data, golden)) and all(
+            np.array_equal(p, g) for p, g in zip(planes, golden_planes))
+        faults = int(injection.totals[0])
+        multi = int(injection.multi_fault_blocks(grid)[0])
+        if faults == 0:
+            kind = "clean"
+        elif restored:
+            kind = "corrected"
+        elif uncorrectable:
+            kind = "detected"
+        else:
+            kind = "silent"
         out.trials += 1
         out.injected_faults += faults
         out.blocks_with_multi_faults += multi
@@ -586,6 +668,11 @@ class CampaignRunner:
         module docstring). Tallies are identical either way; ``"u64"``
         cuts memory traffic 8x on the campaign kernels. Only meaningful
         for the batched engine.
+    code:
+        Registered block-code name (:func:`repro.core.registry
+        .code_names`); default ``"diagonal"``. The scalar engine is the
+        diagonal reference implementation, so ``engine="scalar"``
+        requires the default.
     """
 
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
@@ -593,10 +680,19 @@ class CampaignRunner:
                  engine: str = "batched",
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  workers: int = 1, seeding: Optional[str] = None,
-                 backend: BackendLike = None, packing: str = "u8"):
+                 backend: BackendLike = None, packing: str = "u8",
+                 code: str = "diagonal"):
         if engine not in ("batched", "scalar"):
             raise ValueError(f"engine must be 'batched' or 'scalar', "
                              f"got {engine!r}")
+        if code not in code_names():
+            raise ValueError(f"unknown code {code!r}; registered codes: "
+                             f"{code_names()}")
+        if engine == "scalar" and code != "diagonal":
+            raise ValueError("the scalar engine is the diagonal reference "
+                             "implementation; non-diagonal codes require "
+                             "engine='batched' (run_reference replays them "
+                             "in scalar form)")
         if packing not in PACKINGS:
             raise ValueError(f"packing must be one of {PACKINGS}, "
                              f"got {packing!r}")
@@ -626,6 +722,7 @@ class CampaignRunner:
         self.seeding = seeding
         self.backend = get_backend(backend)
         self.packing = packing
+        self.code = code
         if workers > 1:
             if self.backend.name not in available_backends():
                 raise ValueError(
@@ -661,7 +758,7 @@ class CampaignRunner:
             self.grid, self.injector, seed=self._seed,
             include_check_bits=self.include_check_bits,
             batch_size=self.batch_size, backend=self.backend,
-            packing=self.packing)
+            packing=self.packing, code=self.code)
 
     def _run_span(self, lo: int, hi: int,
                   pool: Optional[ProcessPoolExecutor] = None
@@ -679,7 +776,7 @@ class CampaignRunner:
                                    include_check_bits=self.include_check_bits,
                                    batch_size=self.batch_size,
                                    backend=self.backend,
-                                   packing=self.packing)
+                                   packing=self.packing, code=self.code)
             return merge_results([engine.run_range_seeded(self.entropy, a, b)
                                   for a, b in bounds])
         tasks = [self.shard_task(a, b) for a, b in bounds]
@@ -705,7 +802,7 @@ class CampaignRunner:
                          include_check_bits=self.include_check_bits,
                          batch_size=self.batch_size,
                          backend_name=self.backend.name,
-                         packing=self.packing)
+                         packing=self.packing, code=self.code)
 
     def run(self, trials: int) -> CampaignResult:
         """Run ``trials`` trials on the configured engine."""
@@ -797,4 +894,4 @@ class CampaignRunner:
                              "sequential runs are already bit-identical to "
                              "FaultCampaign.run")
         return run_reference(self.grid, self.injector, self.entropy, trials,
-                             self.include_check_bits)
+                             self.include_check_bits, code=self.code)

@@ -63,8 +63,6 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.faults.injector import (
-    PLANE_COUNTER,
-    PLANE_LEADING,
     BatchInjectionResult,
     FaultInjector,
     InjectionResult,
@@ -289,45 +287,48 @@ class DriftInjector(FaultInjector):
 
     @staticmethod
     def _field_sizes(data_shape: Tuple[int, ...],
-                     plane_shape: Optional[Tuple[int, ...]]
-                     ) -> Tuple[int, int]:
-        """(data cells, per-plane cells) of the concatenated field."""
+                     plane_shapes: Optional[Tuple[Tuple[int, ...], ...]]
+                     ) -> Tuple[int, Tuple[int, ...]]:
+        """(data cells, per-plane cell counts) of the concatenated field."""
         nd = int(np.prod(data_shape))
-        npl = 0 if plane_shape is None else int(np.prod(plane_shape))
-        return nd, npl
+        npls = tuple(int(np.prod(s)) for s in (plane_shapes or ()))
+        return nd, npls
 
     def inject(self, mem, store=None,
                rng: Optional[np.random.Generator] = None) -> InjectionResult:
         rng = self.rng if rng is None else rng
         data_shape = (mem.rows, mem.cols)
-        plane_shape = None
+        plane_shapes = None
         if store is not None and self.include_check_bits:
-            plane_shape = store.lead.shape
-        nd, npl = self._field_sizes(data_shape, plane_shape)
-        field = rng.random(nd + 2 * npl) < self.probability
+            plane_shapes = (tuple(store.lead.shape), tuple(store.ctr.shape))
+        nd, npls = self._field_sizes(data_shape, plane_shapes)
+        field = rng.random(nd + sum(npls)) < self.probability
 
         result = InjectionResult()
         rows, cols = np.nonzero(field[:nd].reshape(data_shape))
         if rows.size:
             mem.flip_many(rows, cols)
             result.data_flips = list(zip(rows.tolist(), cols.tolist()))
-        if plane_shape is not None:
-            for k, plane in enumerate(("leading", "counter")):
-                mask = field[nd + k * npl:nd + (k + 1) * npl]
-                ds, brs, bcs = np.nonzero(mask.reshape(plane_shape))
+        if plane_shapes is not None:
+            offset = nd
+            for shape, npl, plane in zip(plane_shapes, npls,
+                                         ("leading", "counter")):
+                mask = field[offset:offset + npl]
+                offset += npl
+                ds, brs, bcs = np.nonzero(mask.reshape(shape))
                 for d, br, bc in zip(ds.tolist(), brs.tolist(), bcs.tolist()):
                     store.flip(plane, d, br, bc)
                     result.check_flips.append((plane, d, br, bc))
         return result
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs,
                     ) -> BatchInjectionResult:
-        if plane_shape is not None and not self.include_check_bits:
-            plane_shape = None
-        nd, npl = self._field_sizes(data_shape, plane_shape)
-        cells = nd + 2 * npl
+        if not self.include_check_bits:
+            plane_shapes = None
+        nd, npls = self._field_sizes(data_shape, plane_shapes)
+        cells = nd + sum(npls)
         if rngs is None:
             # Sequential mode: the shared stream fills the (B, cells)
             # field with the same doubles B scalar rounds would consume,
@@ -345,12 +346,14 @@ class DriftInjector(FaultInjector):
         trial, rows, cols = np.nonzero(
             mask[:, :nd].reshape((batch,) + tuple(data_shape)))
         check = [np.empty(0, dtype=np.int64)] * 5
-        if plane_shape is not None:
+        if plane_shapes:
             planes = []
-            for k, plane_id in enumerate((PLANE_LEADING, PLANE_COUNTER)):
+            offset = nd
+            for plane_id, (shape, npl) in enumerate(zip(plane_shapes, npls)):
                 t, ds, brs, bcs = np.nonzero(
-                    mask[:, nd + k * npl:nd + (k + 1) * npl]
-                    .reshape((batch,) + tuple(plane_shape)))
+                    mask[:, offset:offset + npl]
+                    .reshape((batch,) + tuple(shape)))
+                offset += npl
                 planes.append((t, np.full(t.size, plane_id, dtype=np.int64),
                                ds, brs, bcs))
             check = [np.concatenate(parts) for parts in zip(*planes)]

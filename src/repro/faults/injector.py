@@ -13,13 +13,22 @@ models through :meth:`FaultInjector.inject_batch`, which upsets a stack of
 ``uint64`` layout (64 trials per word, :mod:`repro.utils.bitpack`). All
 paths share the RNG-consuming draw core (:meth:`FaultInjector
 ._draw_batch`), and every implementation draws per trial in the scalar
-order (data mask, then leading plane, then counter plane), so a batched
+order (data mask, then check plane 0, then plane 1, ...), so a batched
 run — packed or not — consumes an injector's stream exactly as ``B``
 scalar :meth:`inject` calls would; the host-side draws are converted to
 flip events first and only the application step depends on the layout.
 This is the property the differential test harnesses
 (`tests/faults/test_batch_equivalence.py`,
 `tests/faults/test_packed_equivalence.py`) pin down.
+
+Check planes are code-defined: the diagonal code stores two ``(m, b, b)``
+planes (leading, counter), the row+column product code two, and the
+matrix codes of :mod:`repro.core.registry` a single ``(r, b, b)`` plane.
+Injectors therefore draw over a *tuple* of per-plane shapes
+(``plane_shapes``) rather than a hardwired pair; for the diagonal
+layout (two equal planes) the consumed stream is bit-identical to the
+historical two-plane draw order, which keeps every existing seeding
+contract intact.
 """
 
 from __future__ import annotations
@@ -142,14 +151,20 @@ class BatchInjectionResult:
         per_block = np.bincount(keys, minlength=self.batch * blocks)
         return (per_block.reshape(self.batch, blocks) >= 2).sum(axis=1)
 
-    def result_of(self, i: int) -> InjectionResult:
-        """Scalar-shaped ground truth of trial ``i`` (differential tests)."""
+    def result_of(self, i: int,
+                  plane_names: Sequence[str] = PLANE_NAMES) -> InjectionResult:
+        """Scalar-shaped ground truth of trial ``i`` (differential tests).
+
+        ``plane_names`` maps plane ids to the scalar flip-event plane
+        labels; it defaults to the diagonal pair and should be a code's
+        ``plane_names`` for other check-plane layouts.
+        """
         sel = self.trial == i
         csel = self.check_trial == i
         return InjectionResult(
             data_flips=list(zip(self.rows[sel].tolist(),
                                 self.cols[sel].tolist())),
-            check_flips=[(PLANE_NAMES[p], d, br, bc)
+            check_flips=[(plane_names[p], d, br, bc)
                          for p, d, br, bc in zip(
                              self.check_plane[csel].tolist(),
                              self.check_d[csel].tolist(),
@@ -157,19 +172,23 @@ class BatchInjectionResult:
                              self.check_bc[csel].tolist())],
         )
 
-    def apply(self, data, lead, ctr, backend: BackendLike = None) -> None:
+    def apply_planes(self, data, planes: Sequence,
+                     backend: BackendLike = None) -> None:
         """XOR every flip event into the batch tensors (in place).
 
-        The scatter applies repeated events as repeated inversions, so
-        duplicated cells cancel pairwise exactly like repeated scalar
-        :meth:`CrossbarArray.flip` calls. The tensors live on ``backend``
-        (:meth:`repro.utils.backend.ArrayBackend.scatter_xor`); the flip
-        event arrays themselves always stay host-side numpy.
+        ``planes`` is the code-ordered sequence of stored check-plane
+        tensors (``None`` entries are skipped — check memory not
+        exposed). The scatter applies repeated events as repeated
+        inversions, so duplicated cells cancel pairwise exactly like
+        repeated scalar :meth:`CrossbarArray.flip` calls. The tensors
+        live on ``backend`` (:meth:`repro.utils.backend.ArrayBackend
+        .scatter_xor`); the flip event arrays themselves always stay
+        host-side numpy.
         """
         be = get_backend(backend)
         if self.trial.size:
             be.scatter_xor(data, (self.trial, self.rows, self.cols))
-        for plane_id, plane in ((PLANE_LEADING, lead), (PLANE_COUNTER, ctr)):
+        for plane_id, plane in enumerate(planes):
             if plane is None:
                 continue
             sel = self.check_plane == plane_id
@@ -178,16 +197,21 @@ class BatchInjectionResult:
                     plane, (self.check_trial[sel], self.check_d[sel],
                             self.check_br[sel], self.check_bc[sel]))
 
-    def apply_packed(self, data, lead, ctr,
-                     backend: BackendLike = None) -> None:
+    def apply(self, data, lead, ctr, backend: BackendLike = None) -> None:
+        """Two-plane (diagonal layout) wrapper over :meth:`apply_planes`."""
+        self.apply_planes(data, (lead, ctr), backend=backend)
+
+    def apply_planes_packed(self, data, planes: Sequence,
+                            backend: BackendLike = None) -> None:
         """XOR every flip event into packed ``uint64`` word tensors.
 
-        The bit-slice analogue of :meth:`apply`: trial ``i``'s event
-        becomes the single-bit mask ``1 << (i % 64)`` scatter-XORed into
-        word ``i // 64`` at the event's cell (:mod:`repro.utils.bitpack`
-        layout), so duplicated events cancel pairwise exactly like the
-        unpacked scatter. The host-side event arrays are the same either
-        way — the ground truth is layout-independent.
+        The bit-slice analogue of :meth:`apply_planes`: trial ``i``'s
+        event becomes the single-bit mask ``1 << (i % 64)`` scatter-XORed
+        into word ``i // 64`` at the event's cell
+        (:mod:`repro.utils.bitpack` layout), so duplicated events cancel
+        pairwise exactly like the unpacked scatter. The host-side event
+        arrays are the same either way — the ground truth is
+        layout-independent.
         """
         be = get_backend(backend)
         one = np.uint64(1)
@@ -195,7 +219,7 @@ class BatchInjectionResult:
             bits = one << (self.trial % 64).astype(np.uint64)
             be.scatter_xor(data, (self.trial // 64, self.rows, self.cols),
                            bits)
-        for plane_id, plane in ((PLANE_LEADING, lead), (PLANE_COUNTER, ctr)):
+        for plane_id, plane in enumerate(planes):
             if plane is None:
                 continue
             sel = self.check_plane == plane_id
@@ -205,6 +229,12 @@ class BatchInjectionResult:
                 be.scatter_xor(
                     plane, (t // 64, self.check_d[sel],
                             self.check_br[sel], self.check_bc[sel]), bits)
+
+    def apply_packed(self, data, lead, ctr,
+                     backend: BackendLike = None) -> None:
+        """Two-plane (diagonal layout) wrapper over
+        :meth:`apply_planes_packed`."""
+        self.apply_planes_packed(data, (lead, ctr), backend=backend)
 
 
 def _resolve_rngs(rngs, default_rng: Optional[np.random.Generator],
@@ -254,7 +284,7 @@ class FaultInjector:
         raise NotImplementedError
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs: Optional[Sequence[np.random.Generator]],
                     ) -> BatchInjectionResult:
         """Draw one round of upsets for ``batch`` trials (no application).
@@ -263,30 +293,77 @@ class FaultInjector:
         :meth:`inject_batch_packed` share: concrete injectors implement
         their per-trial draws here, in the scalar draw order, and the
         base class applies the resulting ground truth to whichever
-        tensor layout is in play. ``plane_shape`` is the per-trial
-        check-plane shape ``(m, b, b)`` or ``None`` when check memory is
-        not exposed.
+        tensor layout is in play. ``plane_shapes`` is the code-ordered
+        tuple of per-trial check-plane shapes — ``((m, b, b), (m, b, b))``
+        for the diagonal layout, ``((r, b, b),)`` for a single-plane
+        matrix code — or ``None``/empty when check memory is not exposed.
+        Draws happen per plane in tuple order, after the data draw.
         """
         raise NotImplementedError
+
+    def inject_batch_planes(self, data, planes: Sequence = (),
+                            rngs: Optional[Sequence[np.random.Generator]]
+                            = None,
+                            backend: BackendLike = None
+                            ) -> BatchInjectionResult:
+        """Apply one round of upsets to a ``(B, n, n)`` stack, in place.
+
+        ``planes`` is the code-ordered sequence of stored check-plane
+        tensors (each ``(B, rk, b, b)``); empty when check memory is not
+        exposed (the batched analogue of passing ``store=None`` to
+        :meth:`inject`). ``rngs`` supplies one generator per trial;
+        ``None`` consumes the injector's own stream sequentially, which
+        reproduces ``B`` scalar rounds bit-for-bit. ``backend`` names the
+        array backend holding the stacked tensors; draws always happen
+        host-side so the stream contract is backend-independent.
+        """
+        planes = tuple(planes)
+        shapes = tuple(tuple(p.shape[1:]) for p in planes) or None
+        result = self._draw_batch(int(data.shape[0]), tuple(data.shape[1:]),
+                                  shapes, rngs)
+        result.apply_planes(data, planes, backend=backend)
+        return result
 
     def inject_batch(self, data, lead=None, ctr=None,
                      rngs: Optional[Sequence[np.random.Generator]] = None,
                      backend: BackendLike = None) -> BatchInjectionResult:
-        """Apply one round of upsets to a ``(B, n, n)`` stack, in place.
+        """Two-plane (diagonal layout) wrapper over
+        :meth:`inject_batch_planes`.
 
         ``lead``/``ctr`` are the stored check-bit planes ``(B, m, b, b)``
-        or ``None`` when check memory is not exposed (the batched analogue
-        of passing ``store=None`` to :meth:`inject`). ``rngs`` supplies one
-        generator per trial; ``None`` consumes the injector's own stream
-        sequentially, which reproduces ``B`` scalar rounds bit-for-bit.
-        ``backend`` names the array backend holding the stacked tensors;
-        draws always happen host-side so the stream contract is
-        backend-independent.
+        or ``None`` when check memory is not exposed. As historically,
+        the two planes share ``lead``'s shape for the draws.
         """
-        plane_shape = None if lead is None else tuple(lead.shape[1:])
+        shapes = None if lead is None else (tuple(lead.shape[1:]),) * 2
         result = self._draw_batch(int(data.shape[0]), tuple(data.shape[1:]),
-                                  plane_shape, rngs)
-        result.apply(data, lead, ctr, backend=backend)
+                                  shapes, rngs)
+        result.apply_planes(data, (lead, ctr), backend=backend)
+        return result
+
+    def inject_batch_planes_packed(self, batch: int, data,
+                                   planes: Sequence = (),
+                                   rngs: Optional[
+                                       Sequence[np.random.Generator]] = None,
+                                   backend: BackendLike = None
+                                   ) -> BatchInjectionResult:
+        """Apply one round of upsets to a packed ``(W, n, n)`` word stack.
+
+        The bit-slice analogue of :meth:`inject_batch_planes`: ``data``
+        holds ``batch`` trials packed 64 per ``uint64`` word along axis 0
+        (:mod:`repro.utils.bitpack` layout) and ``planes`` the packed
+        ``(W, rk, b, b)`` check-bit words (empty when not exposed).
+        ``batch`` is the true trial count (it cannot be recovered from
+        ``W`` when ``batch % 64 != 0``). The RNG draws are identical to
+        the unpacked path — same per-trial order, same host-side streams
+        — so both seeding contracts of :mod:`repro.faults.batch` hold
+        regardless of layout; only the application step differs
+        (:meth:`BatchInjectionResult.apply_planes_packed`).
+        """
+        planes = tuple(planes)
+        shapes = tuple(tuple(p.shape[1:]) for p in planes) or None
+        result = self._draw_batch(int(batch), tuple(data.shape[1:]),
+                                  shapes, rngs)
+        result.apply_planes_packed(data, planes, backend=backend)
         return result
 
     def inject_batch_packed(self, batch: int, data, lead=None, ctr=None,
@@ -294,23 +371,12 @@ class FaultInjector:
                             = None,
                             backend: BackendLike = None
                             ) -> BatchInjectionResult:
-        """Apply one round of upsets to a packed ``(W, n, n)`` word stack.
-
-        The bit-slice analogue of :meth:`inject_batch`: ``data`` holds
-        ``batch`` trials packed 64 per ``uint64`` word along axis 0
-        (:mod:`repro.utils.bitpack` layout) and ``lead``/``ctr`` are the
-        packed ``(W, m, b, b)`` check-bit words or ``None``. ``batch``
-        is the true trial count (it cannot be recovered from ``W`` when
-        ``batch % 64 != 0``). The RNG draws are identical to the
-        unpacked path — same per-trial order, same host-side streams —
-        so both seeding contracts of :mod:`repro.faults.batch` hold
-        regardless of layout; only the application step differs
-        (:meth:`BatchInjectionResult.apply_packed`).
-        """
-        plane_shape = None if lead is None else tuple(lead.shape[1:])
+        """Two-plane (diagonal layout) wrapper over
+        :meth:`inject_batch_planes_packed`."""
+        shapes = None if lead is None else (tuple(lead.shape[1:]),) * 2
         result = self._draw_batch(int(batch), tuple(data.shape[1:]),
-                                  plane_shape, rngs)
-        result.apply_packed(data, lead, ctr, backend=backend)
+                                  shapes, rngs)
+        result.apply_planes_packed(data, (lead, ctr), backend=backend)
         return result
 
 
@@ -320,7 +386,7 @@ class MaskFieldInjector(FaultInjector):
     Subclasses implement :meth:`_draw_mask_indices` (which cells of a
     given plane shape upset this round) and set ``include_check_bits``
     and ``rng``; the shared bodies here fix the per-trial draw order —
-    data mask, then leading plane, then counter plane — in **one** place
+    data mask, then each check plane in code order — in **one** place
     for both the scalar and the batched path, which is what makes
     sequential-seeded batched runs bit-identical to ``B`` scalar
     :meth:`inject` calls for every subclass.
@@ -352,7 +418,7 @@ class MaskFieldInjector(FaultInjector):
         return result
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs: Optional[Sequence[np.random.Generator]],
                     ) -> BatchInjectionResult:
         rngs = _resolve_rngs(rngs, self.rng, batch)
@@ -361,9 +427,9 @@ class MaskFieldInjector(FaultInjector):
             rows, cols = self._draw_mask_indices(rng, data_shape)
             if rows.size:
                 data_events.append((i, rows, cols))
-            if plane_shape is not None and self.include_check_bits:
-                for plane_id in (PLANE_LEADING, PLANE_COUNTER):
-                    ds, brs, bcs = self._draw_mask_indices(rng, plane_shape)
+            if plane_shapes and self.include_check_bits:
+                for plane_id, shape in enumerate(plane_shapes):
+                    ds, brs, bcs = self._draw_mask_indices(rng, shape)
                     if ds.size:
                         check_events.append((i, plane_id, ds, brs, bcs))
         return BatchInjectionResult.from_events(batch, data_events,
@@ -408,12 +474,19 @@ class UniformInjector(MaskFieldInjector):
 
 
 class DeterministicInjector(FaultInjector):
-    """Flips an explicit list of cells; for reproducible unit tests."""
+    """Flips an explicit list of cells; for reproducible unit tests.
+
+    ``plane_names`` maps check-flip plane labels to plane ids for the
+    batched path; it defaults to the diagonal pair.
+    """
 
     def __init__(self, data_flips: Sequence[Tuple[int, int]] = (),
-                 check_flips: Sequence[Tuple[str, int, int, int]] = ()):
+                 check_flips: Sequence[Tuple[str, int, int, int]] = (),
+                 plane_names: Optional[Sequence[str]] = None):
         self.data_flips = list(data_flips)
         self.check_flips = list(check_flips)
+        self.plane_names = tuple(plane_names) if plane_names is not None \
+            else None
 
     def inject(self, mem: CrossbarArray,
                store: Optional[CheckStore] = None,
@@ -429,7 +502,7 @@ class DeterministicInjector(FaultInjector):
         return result
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs: Optional[Sequence[np.random.Generator]],
                     ) -> BatchInjectionResult:
         rows = np.asarray([r for r, _ in self.data_flips], dtype=np.int64)
@@ -437,11 +510,13 @@ class DeterministicInjector(FaultInjector):
         data_events = [(i, rows, cols) for i in range(batch)] \
             if rows.size else []
         check_events = []
-        if plane_shape is not None and self.check_flips:
+        if plane_shapes and self.check_flips:
+            names = self.plane_names if self.plane_names is not None \
+                else PLANE_NAMES
             for i in range(batch):
                 for plane, d, br, bc in self.check_flips:
                     check_events.append((
-                        i, PLANE_NAMES.index(plane),
+                        i, list(names).index(plane),
                         np.asarray([d]), np.asarray([br]), np.asarray([bc])))
         return BatchInjectionResult.from_events(batch, data_events,
                                                 check_events)
@@ -502,7 +577,7 @@ class BurstInjector(FaultInjector):
         return result
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs: Optional[Sequence[np.random.Generator]],
                     ) -> BatchInjectionResult:
         rngs = _resolve_rngs(rngs, self.rng, batch)
@@ -582,7 +657,7 @@ class LinearBurstInjector(FaultInjector):
         return result
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs: Optional[Sequence[np.random.Generator]],
                     ) -> BatchInjectionResult:
         rngs = _resolve_rngs(rngs, self.rng, batch)
@@ -622,16 +697,16 @@ class CheckBitInjector(FaultInjector):
         return result
 
     def _draw_batch(self, batch: int, data_shape: Tuple[int, ...],
-                    plane_shape: Optional[Tuple[int, ...]],
+                    plane_shapes: Optional[Tuple[Tuple[int, ...], ...]],
                     rngs: Optional[Sequence[np.random.Generator]],
                     ) -> BatchInjectionResult:
-        if plane_shape is None:
+        if not plane_shapes:
             return BatchInjectionResult.from_events(batch, [], [])
         rngs = _resolve_rngs(rngs, self.rng, batch)
         check_events = []
         for i, rng in enumerate(rngs):
-            for plane_id in (PLANE_LEADING, PLANE_COUNTER):
-                cmask = rng.random(plane_shape) < self.probability
+            for plane_id, shape in enumerate(plane_shapes):
+                cmask = rng.random(shape) < self.probability
                 ds, brs, bcs = np.nonzero(cmask)
                 if ds.size:
                     check_events.append((i, plane_id, ds, brs, bcs))

@@ -106,10 +106,30 @@ class ServiceClient:
 
         Raises :class:`JobFailedError` when the job fails and
         :class:`TimeoutError` when ``timeout`` elapses first.
+
+        A poll that hits a transient connection error (service
+        restarting between checks, socket briefly refused) does not
+        abort the wait: unreachability is retried with capped
+        exponential backoff until the deadline — the same
+        transport-error policy the worker daemon's claim loop uses
+        (:meth:`repro.distributed.worker.ShardWorker.run`). Only the
+        deadline turns persistent unreachability into an error.
         """
         deadline = time.monotonic() + timeout
+        errors = 0
         while True:
-            record = self.status(job_id)
+            try:
+                record = self.status(job_id)
+            except ServiceUnavailableError as exc:
+                errors += 1
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"job {job_id} unsettled after {timeout:.1f}s; "
+                        f"service unreachable on the last poll: "
+                        f"{exc}") from exc
+                time.sleep(min(poll_interval * (2 ** errors), 5.0))
+                continue
+            errors = 0
             if record["state"] == "done":
                 return record
             if record["state"] == "failed":
@@ -173,11 +193,22 @@ class ServiceClient:
 
     def wait_until_up(self, timeout: float = 10.0,
                       poll_interval: float = 0.1) -> None:
-        """Block until the service answers (for just-started servers)."""
+        """Block until the service answers (for just-started servers).
+
+        Polls :meth:`health` with capped exponential backoff while the
+        service is unreachable (:meth:`health` swallows the transport
+        error itself, so a restarting service reads as ``False``, never
+        as an exception); raises :class:`ServiceUnavailableError` only
+        when the deadline passes first.
+        """
         deadline = time.monotonic() + timeout
+        misses = 0
         while not self.health():
             if time.monotonic() >= deadline:
                 raise ServiceUnavailableError(
                     f"campaign service at {self.url} did not come up "
                     f"within {timeout:.1f}s")
-            time.sleep(poll_interval)
+            misses += 1
+            # Cap lower than wait(): come-up latency is the whole point
+            # here, so never doze past a second at a time.
+            time.sleep(min(poll_interval * (2 ** misses), 1.0))

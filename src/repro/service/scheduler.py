@@ -67,6 +67,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Union
 
 import repro
+from repro.core.registry import code_names
 from repro.faults.batch import PACKINGS, merge_results, run_shard_task
 from repro.service.queue import JobQueue, available_queue_backends, \
     make_queue
@@ -111,12 +112,14 @@ def service_info() -> dict:
 
     The payload behind ``repro info`` and the server's ``/info``
     endpoint — operators use it to see which array backends, tensor
-    layouts, job kinds, and queue backends this build serves.
+    layouts, block codes, job kinds, and queue backends this build
+    serves.
     """
     return {
         "version": repro.__version__,
         "backends": list(available_backends()),
         "packings": list(PACKINGS),
+        "codes": list(code_names()),
         "job_kinds": sorted(JOB_KINDS),
         "injector_kinds": list(injector_kinds()),
         "queue_backends": list(available_queue_backends()),

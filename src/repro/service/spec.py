@@ -26,7 +26,8 @@ Five kinds cover the library's campaign workload families:
 
 Every campaign-family spec carries the full engine configuration —
 ``packing`` (``"u8"``/``"u64"``), ``backend`` (registered array-backend
-name), ``batch_size``, ``include_check_bits`` — with exactly the
+name), ``batch_size``, ``include_check_bits``, ``code`` (registered
+block-code name, :mod:`repro.core.registry`) — with exactly the
 semantics of the in-process :class:`CampaignRunner` knobs; service
 execution always uses the **per-trial** seeding contract (the only
 relocatable one), so the spec's ``seed`` is the campaign root entropy.
@@ -43,6 +44,7 @@ from dataclasses import dataclass
 from typing import ClassVar, Dict, Optional, Type
 
 from repro.core.blocks import BlockGrid
+from repro.core.registry import code_names
 from repro.faults.batch import (
     DEFAULT_BATCH_SIZE,
     PACKINGS,
@@ -217,7 +219,7 @@ class _CampaignFamilySpec(JobSpec):
             include_check_bits=self.include_check_bits,
             batch_size=self.batch_size, workers=workers,
             seeding="per-trial", backend=self.backend,
-            packing=self.packing)
+            packing=self.packing, code=self.code)
 
     def _validate_engine_fields(self) -> None:
         self.build_grid()
@@ -235,6 +237,10 @@ class _CampaignFamilySpec(JobSpec):
             raise ValueError(
                 f"backend {self.backend!r} is not registered; "
                 f"registered: {', '.join(available_backends())}")
+        if self.code not in code_names():
+            raise ValueError(
+                f"code {self.code!r} is not registered; "
+                f"registered: {', '.join(code_names())}")
 
     def validate(self) -> None:
         self._validate_engine_fields()
@@ -258,6 +264,7 @@ class CampaignJobSpec(_CampaignFamilySpec):
     batch_size: int = DEFAULT_BATCH_SIZE
     packing: str = "u8"
     backend: str = "numpy"
+    code: str = "diagonal"
 
     def validate(self) -> None:
         self.injector.validate()
@@ -287,6 +294,7 @@ class DriftSurvivalJobSpec(_CampaignFamilySpec):
     batch_size: int = DEFAULT_BATCH_SIZE
     packing: str = "u8"
     backend: str = "numpy"
+    code: str = "diagonal"
 
     def build_injector(self) -> FaultInjector:
         return DriftInjector(
@@ -313,6 +321,7 @@ class BurstSurvivalJobSpec(_CampaignFamilySpec):
     batch_size: int = DEFAULT_BATCH_SIZE
     packing: str = "u8"
     backend: str = "numpy"
+    code: str = "diagonal"
 
     #: Burst survival always protects check memory, like
     #: :func:`repro.reliability.burst.simulate_burst_survival`.
@@ -356,6 +365,7 @@ class AdaptiveCampaignJobSpec(_CampaignFamilySpec):
     batch_size: int = DEFAULT_BATCH_SIZE
     packing: str = "u8"
     backend: str = "numpy"
+    code: str = "diagonal"
 
     def validate(self) -> None:
         self.injector.validate()

@@ -1,0 +1,139 @@
+"""Scenario selector tests: Pareto semantics and the Fig. 2 claim."""
+
+import pytest
+
+from repro.analysis.selector import (
+    OBJECTIVES,
+    Scenario,
+    default_scenarios,
+    evaluate_code,
+    pareto_front,
+    select,
+)
+from repro.core.registry import code_names
+
+
+def _eval(code, coverage, cost, area, throughput):
+    return {"code": code, "coverage": coverage, "update_cost": cost,
+            "area_overhead": area, "throughput": throughput}
+
+
+class TestScenario:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ber"):
+            Scenario("s", 15, 3, ber=1.5, row_fraction=0.5)
+        with pytest.raises(ValueError, match="row_fraction"):
+            Scenario("s", 15, 3, ber=0.01, row_fraction=-0.1)
+        with pytest.raises(ValueError, match="trials"):
+            Scenario("s", 15, 3, ber=0.01, row_fraction=0.5, trials=0)
+
+    def test_grid(self):
+        scenario = Scenario("s", 15, 5, ber=0.01, row_fraction=0.5)
+        grid = scenario.grid()
+        assert (grid.n, grid.m) == (15, 5)
+
+    def test_default_scenarios_cover_the_sweep(self):
+        scenarios = default_scenarios(trials=8, seed=3)
+        assert len(scenarios) == 12  # 2 block sizes x 2 BERs x 3 mixes
+        assert len({s.name for s in scenarios}) == 12
+        assert all(s.trials == 8 and s.seed == 3 for s in scenarios)
+        assert {s.m for s in scenarios} == {3, 5}
+
+
+class TestParetoFront:
+    def test_dominated_point_dropped(self):
+        a = _eval("a", 0.9, 1.0, 0.1, 100.0)
+        b = _eval("b", 0.8, 2.0, 0.2, 50.0)  # worse on every axis
+        assert pareto_front([a, b]) == ["a"]
+
+    def test_tradeoff_points_both_kept(self):
+        a = _eval("a", 0.9, 5.0, 0.1, 100.0)   # cheap area, dear updates
+        b = _eval("b", 0.9, 1.0, 0.5, 100.0)   # dear area, cheap updates
+        assert pareto_front([a, b]) == ["a", "b"]
+
+    def test_equal_points_both_survive(self):
+        """Dominance requires a strict improvement somewhere."""
+        a = _eval("a", 0.9, 1.0, 0.1, 100.0)
+        b = _eval("b", 0.9, 1.0, 0.1, 100.0)
+        assert pareto_front([a, b]) == ["a", "b"]
+
+    def test_objective_directions(self):
+        assert OBJECTIVES["coverage"] == +1
+        assert OBJECTIVES["throughput"] == +1
+        assert OBJECTIVES["update_cost"] == -1
+        assert OBJECTIVES["area_overhead"] == -1
+
+
+class TestEvaluateCode:
+    def test_evaluation_fields(self):
+        scenario = Scenario("s", 15, 5, ber=0.02, row_fraction=0.5,
+                            trials=32, seed=1)
+        ev = evaluate_code(scenario, "rowcol")
+        assert ev["code"] == "rowcol"
+        assert 0.0 <= ev["coverage"] <= 1.0
+        assert ev["throughput"] > 0
+        assert ev["trials"] == 32
+        assert ev["update_cost"] == pytest.approx(3.0)  # ceil(5/2) both ways
+
+    def test_mixed_cost_interpolates(self):
+        base = dict(n=15, m=5, ber=0.02, trials=8, seed=1)
+        row_heavy = evaluate_code(
+            Scenario("r", row_fraction=1.0, **base), "hsiao")
+        col_heavy = evaluate_code(
+            Scenario("c", row_fraction=0.0, **base), "hsiao")
+        mixed = evaluate_code(
+            Scenario("m", row_fraction=0.25, **base), "hsiao")
+        assert mixed["update_cost"] == pytest.approx(
+            0.25 * row_heavy["update_cost"]
+            + 0.75 * col_heavy["update_cost"])
+
+
+class TestSelect:
+    @pytest.fixture(scope="class")
+    def report(self):
+        scenarios = [
+            Scenario("mixed", 15, 5, ber=0.02, row_fraction=0.5,
+                     trials=32, seed=1),
+            Scenario("row-heavy", 15, 3, ber=0.01, row_fraction=0.9,
+                     trials=32, seed=1),
+        ]
+        return select(scenarios)
+
+    def test_report_structure(self, report):
+        assert report["codes"] == list(code_names())
+        assert len(report["scenarios"]) == 2
+        entry = report["scenarios"][0]
+        assert set(entry) == {"scenario", "evaluations", "pareto_front",
+                              "update_cost_winner"}
+        assert len(entry["evaluations"]) == len(code_names())
+
+    def test_diagonal_wins_update_cost_on_mixed_workloads(self, report):
+        """The measured Fig. 2 claim: Theta(1)/Theta(1) maintenance
+        makes diagonal the unique winner for every mixed op mix."""
+        for entry in report["scenarios"]:
+            assert entry["update_cost_winner"] == "diagonal"
+
+    def test_diagonal_on_every_pareto_front(self, report):
+        for entry in report["scenarios"]:
+            assert "diagonal" in entry["pareto_front"]
+
+    def test_front_is_subset_of_codes(self, report):
+        for entry in report["scenarios"]:
+            assert set(entry["pareto_front"]) <= set(code_names())
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown codes"):
+            select(codes=["diagonal", "nope"])
+
+    def test_code_subset_respected(self):
+        scenario = Scenario("s", 15, 3, ber=0.01, row_fraction=0.5,
+                            trials=8, seed=1)
+        report = select([scenario], codes=["diagonal", "rowcol"])
+        assert report["codes"] == ["diagonal", "rowcol"]
+        assert [e["code"] for e in
+                report["scenarios"][0]["evaluations"]] == \
+            ["diagonal", "rowcol"]
+
+    def test_report_is_json_serializable(self, report):
+        import json
+        json.dumps(report)

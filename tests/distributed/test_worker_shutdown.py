@@ -1,0 +1,117 @@
+"""Shutdown promptness: no sleep may outlive a stop request.
+
+Pins the two latency bugs of the worker loop: the heartbeat thread
+must not doze up to ``ttl/3`` after ``stop()``, and the idle claim
+loop must not doze a full poll/backoff interval after its stop event
+is set. Both tests use intervals far longer than the tolerated
+shutdown time, so a regression to bare ``time.sleep`` fails loudly
+rather than shaving milliseconds.
+"""
+
+import threading
+import time
+
+from repro.distributed.worker import (
+    HeartbeatThread,
+    ShardWorker,
+    _Heartbeat,
+)
+
+#: Generous bound for "prompt": far below the 10 s (ttl/3) and 10 s
+#: (poll interval) sleeps the tests would suffer on a regression, far
+#: above CI scheduler jitter.
+PROMPT_S = 2.0
+
+
+class RecordingSource:
+    """WorkSource stub: records heartbeats, never has work."""
+
+    def __init__(self, claim_error: Exception = None):
+        self.beats = 0
+        self.claim_error = claim_error
+        self.claims = 0
+
+    def claim(self, worker_id, ttl_s):
+        self.claims += 1
+        if self.claim_error is not None:
+            raise self.claim_error
+        return None
+
+    def heartbeat(self, unit_id, owner, ttl_s):
+        self.beats += 1
+        return True
+
+
+class TestHeartbeatThread:
+    def test_stop_returns_well_before_one_interval(self):
+        """ttl=30 -> beat interval 10 s; stop must not wait for it."""
+        source = RecordingSource()
+        beat = HeartbeatThread(source, "u1", "w1", ttl_s=30.0)
+        beat.start()
+        start = time.monotonic()
+        beat.stop()
+        assert time.monotonic() - start < PROMPT_S
+        assert not beat._thread.is_alive()
+        assert not beat.lost
+
+    def test_context_manager_exit_is_prompt(self):
+        source = RecordingSource()
+        start = time.monotonic()
+        with HeartbeatThread(source, "u1", "w1", ttl_s=30.0):
+            pass
+        assert time.monotonic() - start < PROMPT_S
+
+    def test_lost_lease_recorded(self):
+        class LosingSource(RecordingSource):
+            def heartbeat(self, unit_id, owner, ttl_s):
+                return False
+
+        beat = HeartbeatThread(LosingSource(), "u1", "w1", ttl_s=0.09)
+        with beat:
+            deadline = time.monotonic() + 5.0
+            while not beat.lost and time.monotonic() < deadline:
+                time.sleep(0.01)
+        assert beat.lost
+
+    def test_private_alias_preserved(self):
+        assert _Heartbeat is HeartbeatThread
+
+
+class TestShardWorkerStop:
+    def _run_with_delayed_stop(self, source, delay=0.1, **worker_kwargs):
+        worker = ShardWorker(source, worker_id="w1", **worker_kwargs)
+        stop = threading.Event()
+        timer = threading.Timer(delay, stop.set)
+        timer.start()
+        start = time.monotonic()
+        try:
+            processed = worker.run(stop=stop)
+        finally:
+            timer.cancel()
+        return processed, time.monotonic() - start
+
+    def test_stop_interrupts_idle_poll_sleep(self):
+        """poll_interval=10 s: the stop event must cut the sleep short."""
+        processed, elapsed = self._run_with_delayed_stop(
+            RecordingSource(), poll_interval_s=10.0)
+        assert processed == 0
+        assert elapsed < PROMPT_S
+
+    def test_stop_interrupts_error_backoff_sleep(self):
+        """Claim errors escalate toward the 5 s backoff cap; the stop
+        event must interrupt that wait too."""
+        source = RecordingSource(claim_error=ConnectionError("down"))
+        processed, elapsed = self._run_with_delayed_stop(
+            source, delay=0.3, poll_interval_s=2.0)
+        assert processed == 0
+        assert source.claims >= 1
+        assert elapsed < PROMPT_S
+
+    def test_pre_set_stop_returns_immediately(self):
+        worker = ShardWorker(RecordingSource(), worker_id="w1",
+                             poll_interval_s=10.0)
+        stop = threading.Event()
+        stop.set()
+        start = time.monotonic()
+        assert worker.run(stop=stop) == 0
+        assert time.monotonic() - start < PROMPT_S

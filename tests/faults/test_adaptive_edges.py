@@ -1,0 +1,68 @@
+"""Edge cases of CampaignRunner.run_adaptive and its Wilson stopper."""
+
+import pytest
+
+from repro.core.blocks import BlockGrid
+from repro.faults.batch import CampaignRunner
+from repro.faults.injector import UniformInjector
+from repro.utils.stats import wilson_interval
+
+
+def _runner(p=0.02, seed=33, **kwargs):
+    kwargs.setdefault("seeding", "per-trial")
+    return CampaignRunner(BlockGrid(15, 5), UniformInjector(p),
+                          seed=seed, **kwargs)
+
+
+class TestRoundSchedule:
+    def test_initial_trials_above_cap_truncates_first_round(self):
+        """initial_trials > max_trials must issue exactly max_trials,
+        not overshoot the cap on round one."""
+        adaptive = _runner().run_adaptive(
+            tolerance=1e-9, max_trials=32, initial_trials=256)
+        assert adaptive.result.trials == 32
+        assert adaptive.rounds == 1
+        assert not adaptive.converged
+
+    def test_growth_one_runs_flat_rounds(self):
+        """growth=1.0 keeps every round at initial_trials."""
+        adaptive = _runner().run_adaptive(
+            tolerance=1e-9, max_trials=64, initial_trials=16, growth=1.0)
+        assert adaptive.result.trials == 64
+        assert adaptive.rounds == 4
+        assert not adaptive.converged
+
+    def test_growth_one_matches_plain_run(self):
+        """Round grouping must not change tallies (the reproducibility
+        contract), including the degenerate flat schedule."""
+        adaptive = _runner().run_adaptive(
+            tolerance=1e-9, max_trials=64, initial_trials=16, growth=1.0)
+        plain = _runner().run(64)
+        assert adaptive.result.as_dict() == plain.as_dict()
+
+    def test_growth_below_one_rejected(self):
+        with pytest.raises(ValueError, match="growth"):
+            _runner().run_adaptive(tolerance=0.1, growth=0.5)
+
+
+class TestZeroFailureSnap:
+    def test_zero_failures_snap_ci_low_to_zero(self):
+        """probability=0 -> no failures; the Wilson low bound must be
+        exactly 0.0 (the snap), so downstream rate math stays exact."""
+        adaptive = _runner(p=0.0).run_adaptive(
+            tolerance=0.05, max_trials=1024, initial_trials=64)
+        assert adaptive.result.detected + adaptive.result.silent == 0
+        assert adaptive.ci_low == 0.0
+        assert adaptive.converged
+
+    def test_wilson_degenerate_bounds(self):
+        low, high = wilson_interval(0, 100)
+        assert low == 0.0 and 0.0 < high < 1.0
+        low, high = wilson_interval(100, 100)
+        assert high == 1.0 and 0.0 < low < 1.0
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_wilson_interval_contains_p_hat(self):
+        for successes, trials in [(1, 7), (3, 64), (50, 51)]:
+            low, high = wilson_interval(successes, trials)
+            assert low <= successes / trials <= high

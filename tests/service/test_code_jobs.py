@@ -1,0 +1,86 @@
+"""Job specs carrying a non-diagonal code through the service layer."""
+
+import asyncio
+
+import pytest
+
+from repro.core.registry import code_names
+from repro.service import (
+    AdaptiveCampaignJobSpec,
+    CampaignJobSpec,
+    CampaignService,
+    InjectorSpec,
+    result_from_dict,
+)
+from repro.service.spec import JobSpec
+from repro.service.scheduler import service_info
+
+UNIFORM = InjectorSpec("uniform", {"probability": 2e-2})
+
+
+def run_jobs(store, specs, **service_kwargs):
+    service_kwargs.setdefault("executor", "thread")
+    service_kwargs.setdefault("shard_trials", 64)
+
+    async def main():
+        async with CampaignService(store, **service_kwargs) as service:
+            jobs = [await service.submit(spec) for spec in specs]
+            for job in jobs:
+                await service.wait(job.id, timeout=300)
+            return jobs
+
+    return asyncio.run(main())
+
+
+class TestSpecValidation:
+    def test_default_code_is_diagonal(self):
+        spec = CampaignJobSpec(n=15, m=3, trials=32, seed=1,
+                               injector=UNIFORM)
+        assert spec.code == "diagonal"
+
+    def test_unknown_code_rejected(self):
+        spec = CampaignJobSpec(n=15, m=3, trials=32, seed=1,
+                               injector=UNIFORM, code="nope")
+        with pytest.raises(ValueError, match="not registered"):
+            spec.validate()
+
+    def test_code_round_trips_through_dict(self):
+        spec = CampaignJobSpec(n=15, m=5, trials=32, seed=1,
+                               injector=UNIFORM, code="hsiao")
+        revived = JobSpec.from_dict(spec.to_dict())
+        assert revived == spec
+        assert revived.code == "hsiao"
+
+    def test_cache_key_distinguishes_codes(self):
+        """Same campaign, different code -> different result, new key."""
+        base = dict(n=15, m=5, trials=32, seed=1, injector=UNIFORM)
+        keys = {CampaignJobSpec(**base, code=c).cache_key()
+                for c in code_names()}
+        assert len(keys) == len(code_names())
+
+    def test_service_info_lists_codes(self):
+        assert service_info()["codes"] == list(code_names())
+
+
+class TestServiceExecution:
+    @pytest.mark.parametrize("code", ["rowcol", "hsiao"])
+    def test_service_equals_in_process_runner(self, tmp_path, code):
+        spec = CampaignJobSpec(n=15, m=5, trials=192, seed=41,
+                               injector=UNIFORM, code=code)
+        (job,) = run_jobs(tmp_path, [spec], workers=2)
+        assert job.state == "done" and not job.cached
+        service_result = result_from_dict(job.result)
+        in_process = spec.build_runner().run(spec.trials)
+        assert service_result.as_dict() == in_process.as_dict()
+
+    def test_adaptive_spec_carries_code(self, tmp_path):
+        spec = AdaptiveCampaignJobSpec(
+            n=15, m=5, seed=11, injector=UNIFORM, tolerance=0.2,
+            max_trials=128, initial_trials=64, code="hamming_ext")
+        (job,) = run_jobs(tmp_path, [spec])
+        assert job.state == "done"
+        expected = spec.build_runner().run_adaptive(
+            tolerance=0.2, max_trials=128, initial_trials=64)
+        got = result_from_dict(job.result)
+        assert got.result.as_dict() == expected.result.as_dict()
+        assert got.rounds == expected.rounds

@@ -117,3 +117,55 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "block-size" in out
         assert "strawman" in out
+
+
+class TestSelectParser:
+    def test_select_defaults(self):
+        args = build_parser().parse_args(["select"])
+        assert args.n == 15 and args.trials == 512 and args.seed == 0
+        assert args.m is None and args.ber is None
+        assert args.row_fraction is None
+        assert args.codes is None and args.packing == "u8"
+
+    def test_select_flags(self):
+        args = build_parser().parse_args(
+            ["select", "--n", "45", "--m", "3", "--m", "5",
+             "--ber", "0.01", "--row-fraction", "0.5",
+             "--trials", "16", "--seed", "9",
+             "--codes", "diagonal", "rowcol", "--packing", "u64"])
+        assert args.n == 45 and args.m == [3, 5]
+        assert args.ber == [0.01] and args.row_fraction == [0.5]
+        assert args.trials == 16 and args.seed == 9
+        assert args.codes == ["diagonal", "rowcol"]
+        assert args.packing == "u64"
+
+    def test_select_rejects_unknown_packing(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["select", "--packing", "u32"])
+
+
+class TestSelectCommand:
+    def test_select_emits_pareto_json(self, capsys):
+        import json
+        assert main(["select", "--m", "3", "--ber", "1e-2",
+                     "--row-fraction", "0.5", "--trials", "8"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["scenarios"]) == 1
+        entry = report["scenarios"][0]
+        assert entry["update_cost_winner"] == "diagonal"
+        assert "diagonal" in entry["pareto_front"]
+        assert entry["scenario"]["trials"] == 8
+
+    def test_select_code_subset(self, capsys):
+        import json
+        assert main(["select", "--m", "3", "--ber", "1e-2",
+                     "--row-fraction", "0.9", "--trials", "8",
+                     "--codes", "diagonal", "hsiao"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["codes"] == ["diagonal", "hsiao"]
+
+    def test_info_lists_codes(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "codes:" in out
+        assert "diagonal" in out and "hamming_ext" in out
