@@ -1,17 +1,15 @@
-"""Throughput bench: scalar ``FaultCampaign`` vs the batched engine,
-and the bit-packed uint64 kernels vs the uint8 path.
+"""Throughput bench: scalar ``FaultCampaign`` vs the batched engine.
 
 The batched campaign engine exists for one reason — trials/sec on the
-Monte-Carlo hot path. This bench pins the claims: at the target geometry
+Monte-Carlo hot path. This bench pins the claim: at the target geometry
 (the issue's n=128 has no odd block divisor, so the closest valid
 geometry n=129, m=3 is used) the batched engine must clear at least a
-5x speedup over ``FaultCampaign.run``, and the bit-packed campaign
-kernel (pack + encode + full check sweep, 64 trials per uint64 word)
-must clear at least 4x over the uint8 kernel at B=4096 — in practice
-the sweep kernels alone land two orders of magnitude ahead. Smaller
-differential checks re-assert that the engines agree bit-for-bit on the
-tallies while the clock runs, and every claim is persisted both
-human-readable (``.txt``) and machine-readable (``BENCH_*.json``).
+5x speedup over ``FaultCampaign.run``. Smaller differential checks
+re-assert that the engines agree bit-for-bit on the tallies while the
+clock runs, and every claim is persisted both human-readable (``.txt``)
+and machine-readable (``BENCH_*.json``). The packed-kernel pack-tax
+gates (uint64 vs uint8, per kernel tier) live in
+``bench_kernels.py::test_packed_kernel_pack_tax``.
 
 Run:  pytest benchmarks/bench_campaign_batch.py
 """
@@ -20,14 +18,8 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
-import pytest
-
 from repro.core.blocks import BlockGrid
-from repro.core.checker import check_all_batched, check_all_batched_packed
-from repro.core.code import DiagonalParityCode
 from repro.faults import BatchCampaign, FaultCampaign, UniformInjector
-from repro.utils.bitpack import pack_batch, unpack_batch
 
 #: Closest valid geometry to the n=128 target (128 = 2^7 has no odd
 #: divisor except 1; 129 = 3 * 43 keeps blocks realistic).
@@ -36,9 +28,6 @@ PROBABILITY = 2e-4
 BATCH_TRIALS = 256
 SCALAR_TRIALS = 4
 REQUIRED_SPEEDUP = 5.0
-#: Packed-kernel gate (ISSUE 3): >= 4x over the uint8 kernel at B=4096.
-PACKED_TRIALS = 4096
-REQUIRED_PACKED_SPEEDUP = 4.0
 
 
 def _trials_per_second(run, trials: int) -> float:
@@ -77,87 +66,6 @@ def test_batched_engine_speedup(benchmark, save_artifact, save_json):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batched engine only {speedup:.1f}x over scalar "
         f"(required {REQUIRED_SPEEDUP}x)")
-
-
-def test_packed_kernel_speedup(save_artifact, save_json):
-    """Bit-packed campaign kernel >= 4x the uint8 kernel at B=4096.
-
-    The timed kernel is the per-block campaign work on *staged* state:
-    encode the golden check planes, then the full syndrome/decode/
-    correct sweep — the ops a campaign repeats per block once its state
-    tensors exist. The one-off layout conversion (pack) is timed and
-    reported separately so the JSON keeps both numbers honest; the gate
-    applies to the kernel, where the word-wise ops do 64 trials per
-    machine word.
-    """
-    code = DiagonalParityCode(GRID)
-    rng = np.random.default_rng(0)
-    golden = rng.integers(0, 2, size=(PACKED_TRIALS, GRID.n, GRID.n),
-                          dtype=np.uint8)
-    # Fault field staged in both layouts up front: check planes must be
-    # encoded from the *golden* data, then the upsets land, then the
-    # sweep decodes and corrects — the real campaign order, so the
-    # differential below exercises live corrections/uncorrectables.
-    flips = (rng.random(golden.shape) < PROBABILITY).astype(np.uint8)
-    flip_words = pack_batch(flips)
-
-    u8_data = golden.copy()
-    t0 = time.perf_counter()
-    lead8, ctr8 = code.encode_batch(u8_data)
-    u8_data ^= flips
-    sweep8 = check_all_batched(GRID, code, u8_data, lead8, ctr8,
-                               correct=True)
-    t_u8 = time.perf_counter() - t0
-
-    t0 = time.perf_counter()
-    words = pack_batch(golden)
-    t_pack = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    lead64, ctr64 = code.encode_batch_packed(words)
-    words ^= flip_words
-    sweep64 = check_all_batched_packed(GRID, code, words, lead64, ctr64,
-                                       PACKED_TRIALS, correct=True)
-    t_u64 = time.perf_counter() - t0
-
-    # Correctness while the clock runs: identical statuses + corrections,
-    # and the fault field was hot enough to exercise both paths.
-    assert np.array_equal(sweep64.status_codes(), np.asarray(sweep8.status))
-    assert np.array_equal(unpack_batch(words, PACKED_TRIALS), u8_data)
-    assert int(sweep8.data_corrections.sum()) > 0
-
-    speedup = t_u8 / t_u64
-    inclusive = t_u8 / (t_u64 + t_pack)
-    save_artifact("packed_kernel_throughput.txt", "\n".join([
-        f"geometry: n={GRID.n}, m={GRID.m} "
-        f"({GRID.blocks_per_side}x{GRID.blocks_per_side} blocks), "
-        f"B={PACKED_TRIALS}",
-        f"kernel = encode check planes + full check sweep",
-        f"uint8 kernel : {t_u8:8.3f}s  "
-        f"({PACKED_TRIALS / t_u8:10.1f} trials/s)",
-        f"uint64 kernel: {t_u64:8.3f}s  "
-        f"({PACKED_TRIALS / t_u64:10.1f} trials/s)",
-        f"uint64 pack  : {t_pack:8.3f}s (one-off layout conversion)",
-        f"kernel speedup: {speedup:.1f}x "
-        f"(required >= {REQUIRED_PACKED_SPEEDUP:.0f}x); "
-        f"{inclusive:.1f}x including the pack",
-    ]))
-    save_json("packed_kernel_throughput", {
-        "bench": "packed_kernel_throughput",
-        "kernel": "encode_batch + check_all_batched",
-        "n": GRID.n, "m": GRID.m, "B": PACKED_TRIALS,
-        "backend": "numpy",
-        "u8_seconds": t_u8,
-        "u8_trials_per_s": PACKED_TRIALS / t_u8,
-        "u64_seconds": t_u64,
-        "u64_trials_per_s": PACKED_TRIALS / t_u64,
-        "u64_pack_seconds": t_pack,
-        "speedup": speedup,
-        "speedup_including_pack": inclusive,
-        "required_speedup": REQUIRED_PACKED_SPEEDUP,
-    })
-    assert speedup >= REQUIRED_PACKED_SPEEDUP, (
-        f"packed kernel only {speedup:.1f}x over uint8 "
-        f"(required {REQUIRED_PACKED_SPEEDUP}x)")
 
 
 def test_packed_campaign_end_to_end(save_json):

@@ -19,8 +19,23 @@ import platform
 import numpy as np
 import pytest
 
+from repro.utils.kernels import get_kernels
+
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def active_kernels():
+    """Resolve the session's kernel tier once, loudly.
+
+    Benchmarks record which tier produced their numbers, so a
+    ``REPRO_KERNELS=native`` run on a host without the compiled
+    extension must abort here (``KernelUnavailableError``) rather than
+    silently benchmarking the numpy fallback and mislabeling the
+    artifacts.
+    """
+    return get_kernels(None)
 
 
 @pytest.fixture(scope="session")
@@ -44,19 +59,21 @@ def save_artifact(results_dir):
 
 
 @pytest.fixture(scope="session")
-def save_json(results_dir):
+def save_json(results_dir, active_kernels):
     """Persist machine-readable bench results as ``BENCH_<name>.json``.
 
     Each payload is a flat-ish dict (throughput numbers plus the
     parameters that produced them: n, B, packing mode, backend, ...).
-    A ``machine`` stanza is attached so cross-PR trajectories can be
-    filtered by host. Keep the human-readable ``.txt`` artifact too —
-    this is the greppable/plottable twin, not a replacement.
+    A ``machine`` stanza and the active kernel tier are attached so
+    cross-PR trajectories can be filtered by host and by tier. Keep the
+    human-readable ``.txt`` artifact too — this is the
+    greppable/plottable twin, not a replacement.
     """
 
     def _save(name: str, payload: dict) -> None:
         path = os.path.join(results_dir, f"BENCH_{name}.json")
         record = dict(payload)
+        record.setdefault("kernels", active_kernels.name)
         record.setdefault("machine", {
             "platform": platform.platform(),
             "python": platform.python_version(),

@@ -1,10 +1,60 @@
-"""Setup shim for environments without the ``wheel`` package.
+"""Build configuration, including the optional native kernel extension.
 
-The project metadata lives in ``pyproject.toml``; this file only enables
-legacy ``pip install -e .`` / ``python setup.py develop`` flows on offline
-machines whose setuptools cannot build PEP 660 editable wheels.
+The package itself is pure python; ``repro._native._kernels`` is a
+strictly optional C extension implementing the word-level hot loops of
+the ``uint64`` bit-slice layout (see ``src/repro/_native/``). It is
+marked ``optional=True`` so a missing compiler, missing numpy headers,
+or any build failure degrades to a pure-python install — the kernel-tier
+registry (``repro.utils.kernels``) falls back to the numpy
+implementations automatically. Build in-tree for ``PYTHONPATH=src``
+development with::
+
+    python setup.py build_ext --inplace
 """
 
-from setuptools import setup
+import re
+from pathlib import Path
 
-setup()
+from setuptools import Extension, find_packages, setup
+
+
+def _version() -> str:
+    text = Path(__file__).with_name("src").joinpath(
+        "repro", "__init__.py").read_text(encoding="utf-8")
+    match = re.search(r'^__version__ = "([^"]+)"', text, re.MULTILINE)
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/__init__.py")
+    return match.group(1)
+
+
+def _extensions():
+    try:
+        import numpy
+    except ImportError:
+        # No numpy at build time: skip the extension entirely; the
+        # runtime kernel registry degrades to the numpy tier (which will
+        # itself report numpy missing — a clearer error than a compile
+        # failure here).
+        return []
+    return [
+        Extension(
+            "repro._native._kernels",
+            sources=["src/repro/_native/_kernelsmodule.c"],
+            include_dirs=[numpy.get_include()],
+            extra_compile_args=["-O3"],
+            optional=True,
+        )
+    ]
+
+
+setup(
+    name="repro",
+    version=_version(),
+    description=("Reproduction of the DAC'21 diagonal-parity ECC mechanism "
+                 "for high-throughput memristive PIM"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+    ext_modules=_extensions(),
+)

@@ -1,0 +1,27 @@
+"""Optional compiled kernels for the ``uint64`` bit-slice layout.
+
+The C extension :mod:`repro._native._kernels` is built by ``setup.py``
+(``ext_modules``, marked *optional*: a missing compiler or failed build
+never breaks installation). This package never raises on import — use
+:func:`load` to obtain the extension module or ``None``, and let
+:mod:`repro.utils.kernels` decide what that means for tier selection.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised indirectly via repro.utils.kernels
+    from repro._native import _kernels as _MODULE
+except ImportError:  # extension not built — pure-python install
+    _MODULE = None
+
+__all__ = ["load", "available"]
+
+
+def load():
+    """Return the compiled ``_kernels`` module, or ``None`` if unbuilt."""
+    return _MODULE
+
+
+def available() -> bool:
+    """Whether the compiled extension imported successfully."""
+    return _MODULE is not None

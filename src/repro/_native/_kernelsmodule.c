@@ -1,0 +1,465 @@
+/* Compiled word-level kernels for the bit-slice (uint64) layout.
+ *
+ * Implements the hot loops of repro.utils.bitops / repro.utils.bitpack
+ * bit-for-bit: the axis-0 bit transpose (pack/unpack), per-word
+ * popcounts, the saturating carry-save counter of the packed syndrome
+ * decoder, the fused decode sweep (dual carry-save count + status
+ * combos), and the syndrome-difference pattern match of the matrix
+ * codes. Every function evaluates exactly the same bitwise expressions
+ * as the numpy reference, in the same order, so results are identical
+ * including any tail-padding garbage a complement produces.
+ *
+ * Layout contract (see repro/utils/bitops.py): element i of the packed
+ * axis lives in word i // 64 at bit i % 64, little-endian within the
+ * word; the tail of the last word is zero-padded by the packer.
+ *
+ * The Python-visible wrappers in repro/utils/kernels.py normalise
+ * shapes (collapsing leading/trailing axes to the canonical 2-D/3-D
+ * forms expected here) and fall back to numpy for anything this module
+ * does not accept, so the C side only handles C-contiguous arrays of
+ * the exact dtype.
+ */
+
+#define NPY_NO_DEPRECATED_API NPY_1_7_API_VERSION
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <numpy/arrayobject.h>
+
+#include <stdint.h>
+#include <string.h>
+
+#if defined(_MSC_VER)
+#include <intrin.h>
+#define REPRO_POPCOUNT64(x) ((int64_t)__popcnt64(x))
+#else
+#define REPRO_POPCOUNT64(x) ((int64_t)__builtin_popcountll(x))
+#endif
+
+#define WORD_BITS 64
+
+static PyArrayObject *
+as_carray(PyObject *obj, int typenum, int ndim, const char *name)
+{
+    PyArrayObject *arr = (PyArrayObject *)PyArray_FROM_OTF(
+        obj, typenum, NPY_ARRAY_IN_ARRAY);
+    if (arr == NULL)
+        return NULL;
+    if (PyArray_NDIM(arr) != ndim) {
+        PyErr_Format(PyExc_ValueError, "%s: expected %d-d array, got %d-d",
+                     name, ndim, PyArray_NDIM(arr));
+        Py_DECREF(arr);
+        return NULL;
+    }
+    return arr;
+}
+
+/* ------------------------------------------------------------------ */
+/* pack_words_axis0(bits_2d) -> (W, k) uint64                          */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+pack_words_axis0(PyObject *self, PyObject *args)
+{
+    PyObject *bits_obj;
+    if (!PyArg_ParseTuple(args, "O", &bits_obj))
+        return NULL;
+    PyArrayObject *bits = as_carray(bits_obj, NPY_UINT8, 2, "bits");
+    if (bits == NULL)
+        return NULL;
+
+    const npy_intp count = PyArray_DIM(bits, 0);
+    const npy_intp k = PyArray_DIM(bits, 1);
+    const npy_intp nwords = (count + WORD_BITS - 1) / WORD_BITS;
+    npy_intp dims[2] = {nwords, k};
+    PyArrayObject *out = (PyArrayObject *)PyArray_ZEROS(2, dims,
+                                                        NPY_UINT64, 0);
+    if (out == NULL) {
+        Py_DECREF(bits);
+        return NULL;
+    }
+    const uint8_t *src = (const uint8_t *)PyArray_DATA(bits);
+    uint64_t *dst = (uint64_t *)PyArray_DATA(out);
+
+    NPY_BEGIN_ALLOW_THREADS
+    /* Two-level accumulation: fold each group of 8 rows into a uint8
+     * stripe first (byte-wide ops vectorize 8x denser than uint64),
+     * then widen the stripe into its byte lane of the word row. The
+     * column axis is tiled so stripes and output stay cache-resident. */
+    enum { JT = 8192 };
+    uint8_t acc[JT];
+    for (npy_intp w = 0; w < nwords; ++w) {
+        uint64_t *orow = dst + w * k;
+        const npy_intp rmax = (count - w * WORD_BITS < WORD_BITS)
+            ? count - w * WORD_BITS : WORD_BITS;
+        for (npy_intp j0 = 0; j0 < k; j0 += JT) {
+            const npy_intp j1 = (j0 + JT < k) ? j0 + JT : k;
+            const npy_intp jn = j1 - j0;
+            for (npy_intp t = 0; t * 8 < rmax; ++t) {
+                const npy_intp rlim = (rmax - t * 8 < 8) ? rmax - t * 8 : 8;
+                memset(acc, 0, (size_t)jn);
+                for (npy_intp r = 0; r < rlim; ++r) {
+                    const uint8_t *srow =
+                        src + (w * WORD_BITS + t * 8 + r) * k + j0;
+                    /* Select-with-constant-bit instead of a variable
+                     * byte shift (which SIMD lacks): compare yields an
+                     * all-ones/all-zeros byte mask, AND with the bit. */
+                    const uint8_t bitv = (uint8_t)(1u << r);
+                    for (npy_intp j = 0; j < jn; ++j)
+                        acc[j] |= (uint8_t)((srow[j] != 0) ? bitv : 0);
+                }
+                const unsigned wshift = (unsigned)(t * 8);
+                for (npy_intp j = 0; j < jn; ++j)
+                    orow[j0 + j] |= (uint64_t)acc[j] << wshift;
+            }
+        }
+    }
+    NPY_END_ALLOW_THREADS
+
+    Py_DECREF(bits);
+    return (PyObject *)out;
+}
+
+/* ------------------------------------------------------------------ */
+/* unpack_words_axis0(words_2d, count) -> (count, k) uint8             */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+unpack_words_axis0(PyObject *self, PyObject *args)
+{
+    PyObject *words_obj;
+    Py_ssize_t count;
+    if (!PyArg_ParseTuple(args, "On", &words_obj, &count))
+        return NULL;
+    PyArrayObject *words = as_carray(words_obj, NPY_UINT64, 2, "words");
+    if (words == NULL)
+        return NULL;
+
+    const npy_intp nwords = PyArray_DIM(words, 0);
+    const npy_intp k = PyArray_DIM(words, 1);
+    if (count < 0 || (npy_intp)count > nwords * WORD_BITS) {
+        PyErr_Format(PyExc_ValueError,
+                     "%zd words hold at most %zd bits, need %zd",
+                     (Py_ssize_t)nwords,
+                     (Py_ssize_t)(nwords * WORD_BITS), count);
+        Py_DECREF(words);
+        return NULL;
+    }
+    npy_intp dims[2] = {(npy_intp)count, k};
+    PyArrayObject *out = (PyArrayObject *)PyArray_EMPTY(2, dims,
+                                                        NPY_UINT8, 0);
+    if (out == NULL) {
+        Py_DECREF(words);
+        return NULL;
+    }
+    const uint64_t *src = (const uint64_t *)PyArray_DATA(words);
+    uint8_t *dst = (uint8_t *)PyArray_DATA(out);
+
+    NPY_BEGIN_ALLOW_THREADS
+    for (npy_intp i = 0; i < (npy_intp)count; ++i) {
+        const uint64_t *wrow = src + (i / WORD_BITS) * k;
+        const unsigned shift = (unsigned)(i % WORD_BITS);
+        uint8_t *drow = dst + i * k;
+        for (npy_intp j = 0; j < k; ++j)
+            drow[j] = (uint8_t)((wrow[j] >> shift) & 1u);
+    }
+    NPY_END_ALLOW_THREADS
+
+    Py_DECREF(words);
+    return (PyObject *)out;
+}
+
+/* ------------------------------------------------------------------ */
+/* popcount_words(words_1d) -> (N,) int64                              */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+popcount_words(PyObject *self, PyObject *args)
+{
+    PyObject *words_obj;
+    if (!PyArg_ParseTuple(args, "O", &words_obj))
+        return NULL;
+    PyArrayObject *words = as_carray(words_obj, NPY_UINT64, 1, "words");
+    if (words == NULL)
+        return NULL;
+
+    npy_intp n = PyArray_DIM(words, 0);
+    PyArrayObject *out = (PyArrayObject *)PyArray_EMPTY(1, &n,
+                                                        NPY_INT64, 0);
+    if (out == NULL) {
+        Py_DECREF(words);
+        return NULL;
+    }
+    const uint64_t *src = (const uint64_t *)PyArray_DATA(words);
+    int64_t *dst = (int64_t *)PyArray_DATA(out);
+
+    NPY_BEGIN_ALLOW_THREADS
+    for (npy_intp i = 0; i < n; ++i)
+        dst[i] = REPRO_POPCOUNT64(src[i]);
+    NPY_END_ALLOW_THREADS
+
+    Py_DECREF(words);
+    return (PyObject *)out;
+}
+
+/* ------------------------------------------------------------------ */
+/* Carry-save sideways counter core (shared by saturating_count2 and   */
+/* decode_sweep). planes is (outer, depth, inner); ones/twos are the   */
+/* zero-initialised (outer, inner) accumulators. The update order      */
+/* (twos before ones) matches the numpy reference exactly.             */
+/* ------------------------------------------------------------------ */
+
+static void
+count2_core(const uint64_t *planes, npy_intp outer, npy_intp depth,
+            npy_intp inner, uint64_t *ones, uint64_t *twos)
+{
+    for (npy_intp o = 0; o < outer; ++o) {
+        uint64_t *orow = ones + o * inner;
+        uint64_t *trow = twos + o * inner;
+        for (npy_intp d = 0; d < depth; ++d) {
+            const uint64_t *lane = planes + (o * depth + d) * inner;
+            for (npy_intp j = 0; j < inner; ++j) {
+                const uint64_t x = lane[j];
+                trow[j] |= orow[j] & x;
+                orow[j] ^= x;
+            }
+        }
+    }
+}
+
+static PyObject *
+saturating_count2(PyObject *self, PyObject *args)
+{
+    PyObject *planes_obj;
+    if (!PyArg_ParseTuple(args, "O", &planes_obj))
+        return NULL;
+    PyArrayObject *planes = as_carray(planes_obj, NPY_UINT64, 3, "planes");
+    if (planes == NULL)
+        return NULL;
+
+    const npy_intp outer = PyArray_DIM(planes, 0);
+    const npy_intp depth = PyArray_DIM(planes, 1);
+    const npy_intp inner = PyArray_DIM(planes, 2);
+    npy_intp dims[2] = {outer, inner};
+    PyArrayObject *ones = (PyArrayObject *)PyArray_ZEROS(2, dims,
+                                                         NPY_UINT64, 0);
+    PyArrayObject *twos = (PyArrayObject *)PyArray_ZEROS(2, dims,
+                                                         NPY_UINT64, 0);
+    if (ones == NULL || twos == NULL) {
+        Py_XDECREF(ones);
+        Py_XDECREF(twos);
+        Py_DECREF(planes);
+        return NULL;
+    }
+
+    NPY_BEGIN_ALLOW_THREADS
+    count2_core((const uint64_t *)PyArray_DATA(planes), outer, depth,
+                inner, (uint64_t *)PyArray_DATA(ones),
+                (uint64_t *)PyArray_DATA(twos));
+    NPY_END_ALLOW_THREADS
+
+    Py_DECREF(planes);
+    return Py_BuildValue("(NN)", ones, twos);
+}
+
+/* ------------------------------------------------------------------ */
+/* decode_sweep(lead_3d, ctr_3d) -> 5 x (W, inner) uint64 status masks */
+/*                                                                     */
+/* The fused packed decoder: dual carry-save counts over the syndrome  */
+/* diagonal planes, then the status combos                              */
+/*   l0 = ~ones & ~twos, l1 = ones & ~twos (per plane pair)            */
+/*   no_error = l0 & c0, data_error = l1 & c1, lead_check = l1 & c0,   */
+/*   ctr_check = l0 & c1, uncorrectable = l_twos | c_twos              */
+/* evaluated in one elementwise pass instead of eight numpy temporaries.*/
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+decode_sweep(PyObject *self, PyObject *args)
+{
+    PyObject *lead_obj, *ctr_obj;
+    if (!PyArg_ParseTuple(args, "OO", &lead_obj, &ctr_obj))
+        return NULL;
+    PyArrayObject *lead = as_carray(lead_obj, NPY_UINT64, 3, "lead");
+    if (lead == NULL)
+        return NULL;
+    PyArrayObject *ctr = as_carray(ctr_obj, NPY_UINT64, 3, "ctr");
+    if (ctr == NULL) {
+        Py_DECREF(lead);
+        return NULL;
+    }
+
+    const npy_intp outer = PyArray_DIM(lead, 0);
+    const npy_intp inner = PyArray_DIM(lead, 2);
+    if (PyArray_DIM(ctr, 0) != outer || PyArray_DIM(ctr, 2) != inner) {
+        PyErr_Format(PyExc_ValueError,
+                     "lead/ctr outer and inner dims must match");
+        Py_DECREF(lead);
+        Py_DECREF(ctr);
+        return NULL;
+    }
+
+    npy_intp dims[2] = {outer, inner};
+    PyArrayObject *masks[5] = {NULL, NULL, NULL, NULL, NULL};
+    uint64_t *l_ones = NULL, *l_twos = NULL, *c_ones = NULL, *c_twos = NULL;
+    int ok = 1;
+    for (int i = 0; i < 5; ++i) {
+        masks[i] = (PyArrayObject *)PyArray_EMPTY(2, dims, NPY_UINT64, 0);
+        if (masks[i] == NULL)
+            ok = 0;
+    }
+    const size_t nbytes = (size_t)(outer * inner) * sizeof(uint64_t);
+    if (ok) {
+        l_ones = (uint64_t *)PyMem_Calloc(1, nbytes ? nbytes : 1);
+        l_twos = (uint64_t *)PyMem_Calloc(1, nbytes ? nbytes : 1);
+        c_ones = (uint64_t *)PyMem_Calloc(1, nbytes ? nbytes : 1);
+        c_twos = (uint64_t *)PyMem_Calloc(1, nbytes ? nbytes : 1);
+        if (!l_ones || !l_twos || !c_ones || !c_twos) {
+            PyErr_NoMemory();
+            ok = 0;
+        }
+    }
+    if (!ok) {
+        for (int i = 0; i < 5; ++i)
+            Py_XDECREF(masks[i]);
+        PyMem_Free(l_ones);
+        PyMem_Free(l_twos);
+        PyMem_Free(c_ones);
+        PyMem_Free(c_twos);
+        Py_DECREF(lead);
+        Py_DECREF(ctr);
+        return NULL;
+    }
+
+    uint64_t *no_error = (uint64_t *)PyArray_DATA(masks[0]);
+    uint64_t *data_error = (uint64_t *)PyArray_DATA(masks[1]);
+    uint64_t *lead_check = (uint64_t *)PyArray_DATA(masks[2]);
+    uint64_t *ctr_check = (uint64_t *)PyArray_DATA(masks[3]);
+    uint64_t *uncorrectable = (uint64_t *)PyArray_DATA(masks[4]);
+
+    NPY_BEGIN_ALLOW_THREADS
+    count2_core((const uint64_t *)PyArray_DATA(lead), outer,
+                PyArray_DIM(lead, 1), inner, l_ones, l_twos);
+    count2_core((const uint64_t *)PyArray_DATA(ctr), outer,
+                PyArray_DIM(ctr, 1), inner, c_ones, c_twos);
+    for (npy_intp j = 0; j < outer * inner; ++j) {
+        const uint64_t lt = l_twos[j], ct = c_twos[j];
+        const uint64_t l0 = ~l_ones[j] & ~lt;
+        const uint64_t l1 = l_ones[j] & ~lt;
+        const uint64_t c0 = ~c_ones[j] & ~ct;
+        const uint64_t c1 = c_ones[j] & ~ct;
+        no_error[j] = l0 & c0;
+        data_error[j] = l1 & c1;
+        lead_check[j] = l1 & c0;
+        ctr_check[j] = l0 & c1;
+        uncorrectable[j] = lt | ct;
+    }
+    NPY_END_ALLOW_THREADS
+
+    PyMem_Free(l_ones);
+    PyMem_Free(l_twos);
+    PyMem_Free(c_ones);
+    PyMem_Free(c_twos);
+    Py_DECREF(lead);
+    Py_DECREF(ctr);
+    return Py_BuildValue("(NNNNN)", masks[0], masks[1], masks[2],
+                         masks[3], masks[4]);
+}
+
+/* ------------------------------------------------------------------ */
+/* match_pattern(diff_3d, pattern) -> (W, inner) uint64                */
+/*                                                                     */
+/* AND over the r syndrome-difference planes, complementing plane j    */
+/* when bit j of the pattern is clear — the matrix codes' packed       */
+/* column match, fused instead of r numpy temporaries.                 */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+match_pattern(PyObject *self, PyObject *args)
+{
+    PyObject *diff_obj;
+    unsigned long long pattern;
+    if (!PyArg_ParseTuple(args, "OK", &diff_obj, &pattern))
+        return NULL;
+    PyArrayObject *diff = as_carray(diff_obj, NPY_UINT64, 3, "diff");
+    if (diff == NULL)
+        return NULL;
+
+    const npy_intp outer = PyArray_DIM(diff, 0);
+    const npy_intp depth = PyArray_DIM(diff, 1);
+    const npy_intp inner = PyArray_DIM(diff, 2);
+    if (depth < 1) {
+        PyErr_SetString(PyExc_ValueError,
+                        "diff must have at least one plane");
+        Py_DECREF(diff);
+        return NULL;
+    }
+    npy_intp dims[2] = {outer, inner};
+    PyArrayObject *out = (PyArrayObject *)PyArray_EMPTY(2, dims,
+                                                        NPY_UINT64, 0);
+    if (out == NULL) {
+        Py_DECREF(diff);
+        return NULL;
+    }
+    const uint64_t *src = (const uint64_t *)PyArray_DATA(diff);
+    uint64_t *dst = (uint64_t *)PyArray_DATA(out);
+
+    NPY_BEGIN_ALLOW_THREADS
+    for (npy_intp o = 0; o < outer; ++o) {
+        uint64_t *orow = dst + o * inner;
+        const uint64_t *lane = src + o * depth * inner;
+        if ((pattern >> 0) & 1ULL)
+            for (npy_intp j = 0; j < inner; ++j)
+                orow[j] = lane[j];
+        else
+            for (npy_intp j = 0; j < inner; ++j)
+                orow[j] = ~lane[j];
+        for (npy_intp d = 1; d < depth; ++d) {
+            lane = src + (o * depth + d) * inner;
+            if ((pattern >> d) & 1ULL)
+                for (npy_intp j = 0; j < inner; ++j)
+                    orow[j] &= lane[j];
+            else
+                for (npy_intp j = 0; j < inner; ++j)
+                    orow[j] &= ~lane[j];
+        }
+    }
+    NPY_END_ALLOW_THREADS
+
+    Py_DECREF(diff);
+    return (PyObject *)out;
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef kernel_methods[] = {
+    {"pack_words_axis0", pack_words_axis0, METH_VARARGS,
+     "pack_words_axis0(bits_2d) -> (W, k) uint64 words\n\n"
+     "Bit-transpose axis 0 of a C-contiguous (B, k) uint8 array into\n"
+     "ceil(B/64) little-endian uint64 word rows (tail zero-padded)."},
+    {"unpack_words_axis0", unpack_words_axis0, METH_VARARGS,
+     "unpack_words_axis0(words_2d, count) -> (count, k) uint8 bits"},
+    {"popcount_words", popcount_words, METH_VARARGS,
+     "popcount_words(words_1d) -> (N,) int64 per-word set-bit counts"},
+    {"saturating_count2", saturating_count2, METH_VARARGS,
+     "saturating_count2(planes_3d) -> (ones, twos) (outer, inner) words"},
+    {"decode_sweep", decode_sweep, METH_VARARGS,
+     "decode_sweep(lead_3d, ctr_3d) -> (no_error, data_error,\n"
+     "lead_check, ctr_check, uncorrectable) (outer, inner) word masks"},
+    {"match_pattern", match_pattern, METH_VARARGS,
+     "match_pattern(diff_3d, pattern) -> (outer, inner) uint64 mask"},
+    {NULL, NULL, 0, NULL},
+};
+
+static struct PyModuleDef kernels_module = {
+    PyModuleDef_HEAD_INIT,
+    "repro._native._kernels",
+    "Compiled word-level kernels for the uint64 bit-slice layout.",
+    -1,
+    kernel_methods,
+};
+
+PyMODINIT_FUNC
+PyInit__kernels(void)
+{
+    import_array();
+    return PyModule_Create(&kernels_module);
+}

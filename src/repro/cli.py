@@ -138,6 +138,9 @@ def _cmd_info(args) -> int:
     print(f"backends: {', '.join(info['backends'])}")
     print(f"packings: {', '.join(info['packings'])}")
     print(f"codes: {', '.join(info['codes'])}")
+    native = "built" if info["native_kernels_available"] else "not built"
+    print(f"kernel tiers: {', '.join(info['kernel_tiers'])} "
+          f"(native extension: {native})")
     print(f"job kinds: {', '.join(info['job_kinds'])}")
     print(f"injector kinds: {', '.join(info['injector_kinds'])}")
     print(f"queue backends: {', '.join(info['queue_backends'])}")

@@ -41,6 +41,7 @@ from repro.core.code import PackedBatchDecode
 from repro.errors import UncorrectableError
 from repro.utils.backend import ArrayBackend, BackendLike, get_backend
 from repro.utils.bitpack import or_reduce_words, unpack_batch
+from repro.utils.kernels import KernelsLike
 from repro.xbar.crossbar import CrossbarArray
 
 
@@ -323,7 +324,8 @@ class PackedSweepReport:
 def check_all_batched_packed(grid: BlockGrid, code: DiagonalParityCode,
                              words, lead, ctr, batch: int,
                              correct: bool = True,
-                             backend: BackendLike = None
+                             backend: BackendLike = None,
+                             kernels: KernelsLike = None
                              ) -> PackedSweepReport:
     """Full-memory check of a packed word stack, 64 trials per word.
 
@@ -347,7 +349,8 @@ def check_all_batched_packed(grid: BlockGrid, code: DiagonalParityCode,
     be = get_backend(backend)
     syn_lead, syn_ctr = code.syndrome_batch_packed(words, lead, ctr,
                                                    backend=be)
-    decoded = code.decode_batch_packed(syn_lead, syn_ctr, backend=be)
+    decoded = code.decode_batch_packed(syn_lead, syn_ctr, backend=be,
+                                       kernels=kernels)
     if correct:
         inv2 = (m + 1) // 2
         for dl in range(m):

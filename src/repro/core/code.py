@@ -30,7 +30,8 @@ from repro.core.checkstore import CheckStore
 from repro.core.diagonals import solve_position
 from repro.core.parity import parity_along_counter, parity_along_leading
 from repro.utils.backend import BackendLike, get_backend
-from repro.utils.bitpack import saturating_count2, unpack_batch
+from repro.utils.bitpack import decode_status_masks, unpack_batch
+from repro.utils.kernels import KernelsLike
 
 
 class DecodeStatus(enum.Enum):
@@ -353,13 +354,16 @@ class DiagonalParityCode:
                 ctr ^ xp.asarray(ctr_words, dtype=xp.uint64))
 
     def decode_batch_packed(self, lead_syndrome, ctr_syndrome,
-                            backend: BackendLike = None) -> "PackedBatchDecode":
+                            backend: BackendLike = None,
+                            kernels: KernelsLike = None
+                            ) -> "PackedBatchDecode":
         """Bit-parallel classification of packed syndrome planes.
 
         Where :meth:`decode_batch` counts syndrome ones with an integer
         ``sum`` per trial, the packed decoder runs a carry-save sideways
-        counter (:func:`repro.utils.bitpack.saturating_count2`) over the
-        ``m`` diagonal planes, classifying 64 trials per word:
+        counter over the ``m`` diagonal planes
+        (:func:`repro.utils.bitpack.decode_status_masks`, fused on the
+        compiled kernel tier), classifying 64 trials per word:
 
         * count 0 in both planes          -> ``no_error``
         * exactly 1 in both               -> ``data_error``
@@ -373,21 +377,18 @@ class DiagonalParityCode:
         xp = be.xp
         lead_syndrome = xp.asarray(lead_syndrome, dtype=xp.uint64)
         ctr_syndrome = xp.asarray(ctr_syndrome, dtype=xp.uint64)
-        l_ones, l_twos = saturating_count2(lead_syndrome, axis=1, backend=be)
-        c_ones, c_twos = saturating_count2(ctr_syndrome, axis=1, backend=be)
-        l0 = ~l_ones & ~l_twos
-        l1 = l_ones & ~l_twos
-        c0 = ~c_ones & ~c_twos
-        c1 = c_ones & ~c_twos
+        no_error, data_error, lead_check, ctr_check, uncorrectable = \
+            decode_status_masks(lead_syndrome, ctr_syndrome, backend=be,
+                                kernels=kernels)
         return PackedBatchDecode(
             m=self.grid.m,
             lead_syndrome=lead_syndrome,
             ctr_syndrome=ctr_syndrome,
-            no_error=l0 & c0,
-            data_error=l1 & c1,
-            lead_check=l1 & c0,
-            ctr_check=l0 & c1,
-            uncorrectable=l_twos | c_twos,
+            no_error=no_error,
+            data_error=data_error,
+            lead_check=lead_check,
+            ctr_check=ctr_check,
+            uncorrectable=uncorrectable,
         )
 
     # ------------------------------------------------------------------ #

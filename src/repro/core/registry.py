@@ -96,7 +96,12 @@ from repro.core.code import (
     Uncorrectable,
 )
 from repro.utils.backend import BackendLike, get_backend
-from repro.utils.bitpack import or_reduce_words, saturating_count2
+from repro.utils.bitpack import (
+    _native_applies,
+    decode_status_masks,
+    or_reduce_words,
+)
+from repro.utils.kernels import KernelsLike, get_kernels
 
 __all__ = [
     "BlockCode",
@@ -199,7 +204,8 @@ class BlockCode:
 
     def check_batched_packed(self, words, planes: Sequence, batch: int,
                              correct: bool = True,
-                             backend: BackendLike = None
+                             backend: BackendLike = None,
+                             kernels: KernelsLike = None
                              ) -> PackedSweepReport:
         """Check-and-correct every block of a packed word stack."""
         raise NotImplementedError
@@ -259,12 +265,13 @@ class DiagonalBlockCode(BlockCode):
 
     def check_batched_packed(self, words, planes: Sequence, batch: int,
                              correct: bool = True,
-                             backend: BackendLike = None
+                             backend: BackendLike = None,
+                             kernels: KernelsLike = None
                              ) -> PackedSweepReport:
         lead, ctr = planes
         return check_all_batched_packed(self.grid, self.inner, words, lead,
                                         ctr, batch, correct=correct,
-                                        backend=backend)
+                                        backend=backend, kernels=kernels)
 
     def update_cost(self) -> UpdateCost:
         return update_cost("diagonal", self.grid.n, self.grid.m)
@@ -361,7 +368,8 @@ class RowColBlockCode(BlockCode):
 
     def check_batched_packed(self, words, planes: Sequence, batch: int,
                              correct: bool = True,
-                             backend: BackendLike = None
+                             backend: BackendLike = None,
+                             kernels: KernelsLike = None
                              ) -> PackedSweepReport:
         be = get_backend(backend)
         xp = be.xp
@@ -370,19 +378,17 @@ class RowColBlockCode(BlockCode):
         fresh_r, fresh_c = self.encode_batch_packed(words, backend=be)
         syn_r = fresh_r ^ xp.asarray(row_bits, dtype=xp.uint64)
         syn_c = fresh_c ^ xp.asarray(col_bits, dtype=xp.uint64)
-        r_ones, r_twos = saturating_count2(syn_r, axis=1, backend=be)
-        c_ones, c_twos = saturating_count2(syn_c, axis=1, backend=be)
-        r0, r1 = ~r_ones & ~r_twos, r_ones & ~r_twos
-        c0, c1 = ~c_ones & ~c_twos, c_ones & ~c_twos
+        no_error, data_error, row_check, col_check, uncorrectable = \
+            decode_status_masks(syn_r, syn_c, backend=be, kernels=kernels)
         decoded = PackedBatchDecode(
             m=m,
             lead_syndrome=syn_r,
             ctr_syndrome=syn_c,
-            no_error=r0 & c0,
-            data_error=r1 & c1,
-            lead_check=r1 & c0,
-            ctr_check=r0 & c1,
-            uncorrectable=r_twos | c_twos,
+            no_error=no_error,
+            data_error=data_error,
+            lead_check=row_check,
+            ctr_check=col_check,
+            uncorrectable=uncorrectable,
         )
         if correct:
             for dr in range(m):
@@ -608,7 +614,8 @@ class MatrixBlockCode(BlockCode):
 
     def check_batched_packed(self, words, planes: Sequence, batch: int,
                              correct: bool = True,
-                             backend: BackendLike = None
+                             backend: BackendLike = None,
+                             kernels: KernelsLike = None
                              ) -> PackedSweepReport:
         be = get_backend(backend)
         xp = be.xp
@@ -617,11 +624,16 @@ class MatrixBlockCode(BlockCode):
         (fresh,) = self.encode_batch_packed(words, backend=be)
         diff = fresh ^ xp.asarray(stored, dtype=xp.uint64)
         nonzero = or_reduce_words(diff, axis=1, backend=be)
+        kern = get_kernels(kernels)
+        fused = _native_applies(kern, be, diff)
 
         def match(pattern: int):
             # AND of syndrome planes (complemented where the pattern bit
             # is clear). At least one non-complemented term exists for
-            # every pattern, so tail bits stay zero.
+            # every pattern, so tail bits stay zero. The compiled tier
+            # runs the whole chain as one C pass.
+            if fused:
+                return kern.match_pattern(diff, pattern)
             mask = None
             for j in range(self.r):
                 term = diff[:, j] if (pattern >> j) & 1 else ~diff[:, j]

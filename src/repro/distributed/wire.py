@@ -36,8 +36,9 @@ WIRE_FORMAT = "repro/shard-task"
 #: Bump on any change to the task schema or its semantics. Workers and
 #: dispatchers must agree exactly; there is no cross-version execution.
 #: History: 1 = original schema; 2 = added the ``code`` field (pluggable
-#: block-code registry) to :class:`ShardTask`.
-WIRE_VERSION = 2
+#: block-code registry) to :class:`ShardTask`; 3 = added the
+#: ``kernels_name`` field (host-side kernel tier, resolved at dispatch).
+WIRE_VERSION = 3
 
 
 class WireFormatError(ValueError):

@@ -100,6 +100,15 @@ same tallies as the numpy run, bit for bit, as long as the backend's
 arithmetic is exact (integer/boolean ops are, on every supported
 backend).
 
+Orthogonally, ``kernels=`` selects the host-side kernel tier
+(:mod:`repro.utils.kernels`: pure numpy, or the optional compiled
+extension) for the packed layout's word-level hot loops. Tiers are
+bit-identical by contract, engage only when the resolved backend's
+arrays are plain numpy, and — like the backend — cross process
+boundaries by resolved *name* on every :class:`ShardTask`, so sharded,
+service, and distributed executions record exactly which tier computed
+each span and fail loudly on a worker that cannot provide it.
+
 Packed bit-slice layout
 =======================
 
@@ -151,7 +160,12 @@ from repro.core.code import (
     Uncorrectable,
 )
 from repro.core.registry import build_code, code_names
-from repro.utils.bitpack import or_reduce_words, pack_batch, unpack_batch
+from repro.utils.bitpack import (
+    batch_tail_mask,
+    or_reduce_words,
+    pack_batch,
+    popcount_words,
+)
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.faults.injector import FaultInjector
 from repro.utils.backend import (
@@ -160,6 +174,7 @@ from repro.utils.backend import (
     available_backends,
     get_backend,
 )
+from repro.utils.kernels import KernelsLike, get_kernels
 from repro.utils.rng import (
     SeedLike,
     make_rng,
@@ -226,7 +241,7 @@ class BatchCampaign:
                  seed: SeedLike = None, include_check_bits: bool = True,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  backend: BackendLike = None, packing: str = "u8",
-                 code: str = "diagonal"):
+                 code: str = "diagonal", kernels: KernelsLike = None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if packing not in PACKINGS:
@@ -241,6 +256,7 @@ class BatchCampaign:
         self.packing = packing
         self.code_name = code
         self.code = build_code(code, grid)
+        self.kernels = get_kernels(kernels)
 
     # ------------------------------------------------------------------ #
     # Public entry points
@@ -311,25 +327,20 @@ class BatchCampaign:
             for i, rng in enumerate(data_rngs):
                 stage[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
         if self.packing == "u64":
-            injection, restored, uncorrectable = \
-                self._execute_packed(batch, stage, inject_rngs)
+            injection, counts = self._execute_packed(batch, stage,
+                                                     inject_rngs)
         else:
-            injection, restored, uncorrectable = \
-                self._execute_u8(batch, stage, inject_rngs)
+            injection, counts = self._execute_u8(batch, stage, inject_rngs)
+        clean, corrected, detected, silent = counts
 
         totals = injection.totals
         multi = injection.multi_fault_blocks(self.grid)
-        clean = totals == 0
-        corrected = ~clean & restored
-        detected = ~clean & ~restored & uncorrectable
-        silent = ~clean & ~restored & ~uncorrectable
-
         return CampaignResult(
             trials=batch,
-            clean=int(clean.sum()),
-            corrected=int(corrected.sum()),
-            detected=int(detected.sum()),
-            silent=int(silent.sum()),
+            clean=clean,
+            corrected=corrected,
+            detected=detected,
+            silent=silent,
             injected_faults=int(totals.sum()),
             blocks_with_multi_faults=int(multi.sum()),
         )
@@ -337,7 +348,10 @@ class BatchCampaign:
     def _execute_u8(self, batch: int, stage: np.ndarray,
                     inject_rngs: Optional[Sequence[np.random.Generator]],
                     ) -> tuple:
-        """Unpacked ``(B, n, n)`` uint8 execution of one staged block."""
+        """Unpacked ``(B, n, n)`` uint8 execution of one staged block.
+
+        Returns ``(injection, (clean, corrected, detected, silent))``.
+        """
         be = self.backend
         # Draws are always host-side numpy (the seeding contract); the
         # stack crosses onto the backend once, here.
@@ -357,8 +371,15 @@ class BatchCampaign:
         restored = (data == golden).reshape(batch, -1).all(axis=1)
         for p, g in zip(planes, golden_planes):
             restored = restored & (p == g).reshape(batch, -1).all(axis=1)
+        restored = be.to_numpy(restored)
         uncorrectable = be.to_numpy(sweep.uncorrectable_any)
-        return injection, be.to_numpy(restored), uncorrectable
+
+        clean = injection.totals == 0
+        corrected = ~clean & restored
+        detected = ~clean & ~restored & uncorrectable
+        silent = ~clean & ~restored & ~uncorrectable
+        return injection, (int(clean.sum()), int(corrected.sum()),
+                           int(detected.sum()), int(silent.sum()))
 
     def _execute_packed(self, batch: int, stage: np.ndarray,
                         inject_rngs: Optional[Sequence[np.random.Generator]],
@@ -367,12 +388,17 @@ class BatchCampaign:
 
         Packs the staged draws 64 trials per word, then runs the packed
         encode / inject / check kernels — every per-trial tensor op
-        becomes a word op over 64 trials. The golden compare reduces
-        difference words with bitwise OR, so "restored" falls out one
-        bit per trial without unpacking any state tensor.
+        becomes a word op over 64 trials. Classification stays in the
+        packed domain end to end: the golden compare OR-reduces
+        difference words, the faulty-trial flags are the packed
+        ``totals != 0`` mask, and the four tallies fall out of word
+        popcounts — no state tensor is ever unpacked.
+
+        Returns ``(injection, (clean, corrected, detected, silent))``.
         """
         be = self.backend
-        words = pack_batch(stage, backend=be)
+        kern = self.kernels
+        words = pack_batch(stage, backend=be, kernels=kern)
 
         planes = self.code.encode_batch_packed(words, backend=be)
         golden = words.copy()
@@ -383,14 +409,32 @@ class BatchCampaign:
             rngs=inject_rngs, backend=be)
 
         sweep = self.code.check_batched_packed(words, planes, batch,
-                                               correct=True, backend=be)
+                                               correct=True, backend=be,
+                                               kernels=kern)
 
         damaged = or_reduce_words(words ^ golden, axis=(1, 2), backend=be)
         for p, g in zip(planes, golden_planes):
             damaged = damaged | or_reduce_words(p ^ g, axis=(1, 2, 3),
                                                 backend=be)
-        restored = unpack_batch(damaged, batch, backend=be) == 0
-        return injection, restored, sweep.uncorrectable_any
+        # Word-level tallies. ``faulty`` packs the host-side ground-truth
+        # totals (zero-padded tail), so ANDing with it also clears any
+        # tail garbage the complements below would otherwise admit;
+        # ``uncorrectable`` is built from zero-padded syndromes and needs
+        # no extra masking beyond that same AND.
+        faulty = pack_batch(injection.totals != 0, backend=be, kernels=kern)
+        uncorrectable = or_reduce_words(sweep.decode.uncorrectable,
+                                        axis=(1, 2), backend=be)
+        corrected = faulty & ~damaged
+        detected = faulty & damaged & uncorrectable
+        silent = faulty & damaged & ~uncorrectable
+
+        def count(mask_words) -> int:
+            return int(be.to_numpy(popcount_words(
+                mask_words, backend=be, kernels=kern)).sum())
+
+        n_faulty = count(faulty)
+        return injection, (batch - n_faulty, count(corrected),
+                           count(detected), count(silent))
 
 
 # ---------------------------------------------------------------------- #
@@ -424,6 +468,7 @@ class ShardTask:
     backend_name: str = "numpy"
     packing: str = "u8"
     code: str = "diagonal"
+    kernels_name: str = "numpy"
 
     @property
     def trials(self) -> int:
@@ -455,6 +500,7 @@ class ShardTask:
             "backend_name": self.backend_name,
             "packing": self.packing,
             "code": self.code,
+            "kernels_name": self.kernels_name,
         }
 
     @staticmethod
@@ -463,7 +509,7 @@ class ShardTask:
         from repro.faults.serialize import build_injector
         expected = {"n", "m", "injector", "entropy", "lo", "hi",
                     "include_check_bits", "batch_size", "backend_name",
-                    "packing", "code"}
+                    "packing", "code", "kernels_name"}
         missing = sorted(expected - set(data))
         unknown = sorted(set(data) - expected)
         if missing or unknown:
@@ -478,7 +524,8 @@ class ShardTask:
             batch_size=int(data["batch_size"]),
             backend_name=str(data["backend_name"]),
             packing=str(data["packing"]),
-            code=str(data["code"]))
+            code=str(data["code"]),
+            kernels_name=str(data["kernels_name"]))
 
 
 def run_shard_task(task: ShardTask) -> CampaignResult:
@@ -496,11 +543,20 @@ def run_shard_task(task: ShardTask) -> CampaignResult:
             f"register_backend() call must run at import time of a "
             f"module the worker imports (e.g. next to the injector "
             f"definition), not interactively in the parent") from exc
+    try:
+        kernels = get_kernels(task.kernels_name)
+    except ValueError as exc:
+        raise ValueError(
+            f"kernel tier {task.kernels_name!r} is not registered inside "
+            f"this worker process; with a spawn-based pool start method "
+            f"the register_kernels() call must run at import time of a "
+            f"module the worker imports, not interactively in the "
+            f"parent") from exc
     engine = BatchCampaign(BlockGrid(task.n, task.m), task.injector,
                            include_check_bits=task.include_check_bits,
                            batch_size=task.batch_size,
                            backend=backend, packing=task.packing,
-                           code=task.code)
+                           code=task.code, kernels=kernels)
     return engine.run_range_seeded(task.entropy, task.lo, task.hi)
 
 
@@ -673,6 +729,14 @@ class CampaignRunner:
         .code_names`); default ``"diagonal"``. The scalar engine is the
         diagonal reference implementation, so ``engine="scalar"``
         requires the default.
+    kernels:
+        Host-side kernel tier for the word-level hot loops — a
+        :class:`repro.utils.kernels.KernelTier`, a registered name, or
+        ``None`` (``$REPRO_KERNELS`` / auto). Resolved eagerly to a
+        concrete tier; sharded runs ship the **resolved name** to each
+        worker (like the backend name), so a worker without the compiled
+        extension fails loudly instead of silently switching code paths.
+        Tiers are bit-identical — this only affects throughput.
     """
 
     def __init__(self, grid: BlockGrid, injector: FaultInjector,
@@ -681,7 +745,7 @@ class CampaignRunner:
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  workers: int = 1, seeding: Optional[str] = None,
                  backend: BackendLike = None, packing: str = "u8",
-                 code: str = "diagonal"):
+                 code: str = "diagonal", kernels: KernelsLike = None):
         if engine not in ("batched", "scalar"):
             raise ValueError(f"engine must be 'batched' or 'scalar', "
                              f"got {engine!r}")
@@ -723,6 +787,7 @@ class CampaignRunner:
         self.backend = get_backend(backend)
         self.packing = packing
         self.code = code
+        self.kernels = get_kernels(kernels)
         if workers > 1:
             if self.backend.name not in available_backends():
                 raise ValueError(
@@ -758,7 +823,7 @@ class CampaignRunner:
             self.grid, self.injector, seed=self._seed,
             include_check_bits=self.include_check_bits,
             batch_size=self.batch_size, backend=self.backend,
-            packing=self.packing, code=self.code)
+            packing=self.packing, code=self.code, kernels=self.kernels)
 
     def _run_span(self, lo: int, hi: int,
                   pool: Optional[ProcessPoolExecutor] = None
@@ -776,7 +841,8 @@ class CampaignRunner:
                                    include_check_bits=self.include_check_bits,
                                    batch_size=self.batch_size,
                                    backend=self.backend,
-                                   packing=self.packing, code=self.code)
+                                   packing=self.packing, code=self.code,
+                                   kernels=self.kernels)
             return merge_results([engine.run_range_seeded(self.entropy, a, b)
                                   for a, b in bounds])
         tasks = [self.shard_task(a, b) for a, b in bounds]
@@ -802,7 +868,8 @@ class CampaignRunner:
                          include_check_bits=self.include_check_bits,
                          batch_size=self.batch_size,
                          backend_name=self.backend.name,
-                         packing=self.packing, code=self.code)
+                         packing=self.packing, code=self.code,
+                         kernels_name=self.kernels.name)
 
     def run(self, trials: int) -> CampaignResult:
         """Run ``trials`` trials on the configured engine."""

@@ -82,6 +82,7 @@ from repro.service.spec import (
 from repro.service.store import ResultStore
 from repro.utils.backend import available_backends
 from repro.utils.canonical import canonical_json
+from repro.utils.kernels import available_kernels, native_available
 from repro.utils.rng import shard_bounds
 
 #: Default trials per service shard (work-unit granularity: small enough
@@ -112,14 +113,19 @@ def service_info() -> dict:
 
     The payload behind ``repro info`` and the server's ``/info``
     endpoint — operators use it to see which array backends, tensor
-    layouts, block codes, job kinds, and queue backends this build
-    serves.
+    layouts, block codes, kernel tiers, job kinds, and queue backends
+    this build serves. ``native_kernels_available`` reports whether the
+    compiled extension actually imported here (registration alone does
+    not imply it built), so fleet operators can tell at a glance which
+    hosts run the compiled hot loops.
     """
     return {
         "version": repro.__version__,
         "backends": list(available_backends()),
         "packings": list(PACKINGS),
         "codes": list(code_names()),
+        "kernel_tiers": list(available_kernels()),
+        "native_kernels_available": native_available(),
         "job_kinds": sorted(JOB_KINDS),
         "injector_kinds": list(injector_kinds()),
         "queue_backends": list(available_queue_backends()),

@@ -96,20 +96,30 @@ def words_for(count: int) -> int:
     return (count + WORD_BITS - 1) // WORD_BITS
 
 
-def pack_words_axis0(bits: np.ndarray) -> np.ndarray:
-    """Pack axis 0 of a 0/1 array 64-wide into ``uint64`` words.
+def _pack_lanes_contiguous(lanes: np.ndarray, nwords: int) -> np.ndarray:
+    """Pack pre-padded ``(nwords * 64, ...)`` uint8/bool lanes to words.
 
-    ``bits`` of shape ``(B, ...)`` becomes ``(ceil(B/64), ...)`` words
-    where slice ``i`` of the input occupies bit ``i % 64`` of word
-    ``i // 64`` (little-endian within the word). The tail of the last
-    word is zero-padded — the layout invariant every bit-sliced kernel
-    in :mod:`repro.utils.bitpack` relies on.
-
-    Implementation: regroup the packed axis into per-word 64-bit lanes,
-    transpose them innermost (one contiguous copy), then a single
+    Regroup the packed axis into per-word 64-bit lanes, transpose them
+    innermost (one contiguous copy), then a single
     ``packbits(bitorder="little")`` over the contiguous lane axis and an
     8-byte little-endian view — packbits over a strided axis is several
     times slower than the transpose + contiguous pass.
+    """
+    tail_shape = lanes.shape[1:]
+    k = int(np.prod(tail_shape))
+    lanes = np.ascontiguousarray(
+        np.moveaxis(lanes.reshape(nwords, WORD_BITS, k), 1, 2))
+    packed = np.packbits(lanes, axis=-1, bitorder="little")  # (W, k, 8)
+    return packed.view("<u8").reshape((nwords,) + tail_shape)
+
+
+def _pack_words_axis0_generic(bits: np.ndarray) -> np.ndarray:
+    """Reference pack path: normalise to bool, zero-pad, then pack.
+
+    Kept (and benchmarked) separately from the uint8 fast path of
+    :func:`pack_words_axis0_numpy` — the ``bits != 0`` bool tensor plus
+    the padded copy are two full-size materialisations the common case
+    never needs.
     """
     bits = np.asarray(bits)
     count = bits.shape[0]
@@ -120,19 +130,44 @@ def pack_words_axis0(bits: np.ndarray) -> np.ndarray:
         padded = np.zeros((nwords * WORD_BITS,) + tail_shape, dtype=bool)
         padded[:count] = lanes
         lanes = padded
-    k = int(np.prod(tail_shape))
-    lanes = np.ascontiguousarray(
-        np.moveaxis(lanes.reshape(nwords, WORD_BITS, k), 1, 2))
-    packed = np.packbits(lanes, axis=-1, bitorder="little")  # (W, k, 8)
-    return packed.view("<u8").reshape((nwords,) + tail_shape)
+    return _pack_lanes_contiguous(lanes, nwords)
 
 
-def unpack_words_axis0(words: np.ndarray, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_words_axis0`: ``(W, ...)`` -> ``(count, ...)``.
+def pack_words_axis0_numpy(bits: np.ndarray) -> np.ndarray:
+    """Pure-numpy :func:`pack_words_axis0` (the reference tier).
 
-    Returns a uint8 0/1 array; padding bits beyond ``count`` (and any
-    garbage a kernel left in them) are discarded.
+    Fast path: uint8/bool input whose packed axis is already a whole
+    number of 64-bit words needs neither the ``bits != 0`` bool tensor
+    nor the zero-padded copy — ``packbits`` itself treats any nonzero
+    byte as a set bit, so the input feeds the transpose directly.
     """
+    bits = np.asarray(bits)
+    count = bits.shape[0]
+    if count % WORD_BITS == 0 and bits.dtype in (np.uint8, np.bool_):
+        return _pack_lanes_contiguous(bits, words_for(count))
+    return _pack_words_axis0_generic(bits)
+
+
+def pack_words_axis0(bits: np.ndarray, kernels=None) -> np.ndarray:
+    """Pack axis 0 of a 0/1 array 64-wide into ``uint64`` words.
+
+    ``bits`` of shape ``(B, ...)`` becomes ``(ceil(B/64), ...)`` words
+    where slice ``i`` of the input occupies bit ``i % 64`` of word
+    ``i // 64`` (little-endian within the word). The tail of the last
+    word is zero-padded — the layout invariant every bit-sliced kernel
+    in :mod:`repro.utils.bitpack` relies on.
+
+    Dispatches through the kernel-tier registry
+    (:func:`repro.utils.kernels.get_kernels`): the compiled tier, when
+    built, runs the bit transpose as a single C pass; the numpy tier is
+    :func:`pack_words_axis0_numpy`. Both are bit-identical.
+    """
+    from repro.utils.kernels import get_kernels
+    return get_kernels(kernels).pack_words_axis0(np.asarray(bits))
+
+
+def unpack_words_axis0_numpy(words: np.ndarray, count: int) -> np.ndarray:
+    """Pure-numpy :func:`unpack_words_axis0` (the reference tier)."""
     words = np.asarray(words, dtype=np.uint64)
     if words.shape[0] * WORD_BITS < count:
         raise ValueError(f"{words.shape[0]} words hold at most "
@@ -144,7 +179,20 @@ def unpack_words_axis0(words: np.ndarray, count: int) -> np.ndarray:
     return bits.astype(np.uint8, copy=False)
 
 
-def pack_words(bits: Sequence[int] | np.ndarray) -> np.ndarray:
+def unpack_words_axis0(words: np.ndarray, count: int,
+                       kernels=None) -> np.ndarray:
+    """Inverse of :func:`pack_words_axis0`: ``(W, ...)`` -> ``(count, ...)``.
+
+    Returns a uint8 0/1 array; padding bits beyond ``count`` (and any
+    garbage a kernel left in them) are discarded. Dispatches through the
+    kernel-tier registry like :func:`pack_words_axis0`.
+    """
+    from repro.utils.kernels import get_kernels
+    return get_kernels(kernels).unpack_words_axis0(words, count)
+
+
+def pack_words(bits: Sequence[int] | np.ndarray,
+               kernels=None) -> np.ndarray:
     """Pack a 1-D bit sequence into little-endian ``uint64`` words.
 
     >>> pack_words([1, 0, 1])
@@ -153,10 +201,11 @@ def pack_words(bits: Sequence[int] | np.ndarray) -> np.ndarray:
     bits = np.asarray(bits)
     if bits.ndim != 1:
         raise ValueError(f"expected a 1-D bit sequence, got shape {bits.shape}")
-    return pack_words_axis0(bits)
+    return pack_words_axis0(bits, kernels=kernels)
 
 
-def unpack_words(words: np.ndarray, count: int) -> np.ndarray:
+def unpack_words(words: np.ndarray, count: int,
+                 kernels=None) -> np.ndarray:
     """Inverse of :func:`pack_words`; returns a uint8 0/1 array of ``count``.
 
     >>> unpack_words(np.asarray([5], dtype=np.uint64), 3)
@@ -165,4 +214,4 @@ def unpack_words(words: np.ndarray, count: int) -> np.ndarray:
     words = np.asarray(words, dtype=np.uint64)
     if words.ndim != 1:
         raise ValueError(f"expected 1-D words, got shape {words.shape}")
-    return unpack_words_axis0(words, count)
+    return unpack_words_axis0(words, count, kernels=kernels)

@@ -29,7 +29,13 @@ Layout contract
 The word-wise kernels (diagonal XOR parity, saturating bit-counts for
 the packed decoder, word reductions, popcount) all dispatch through the
 backend layer (:mod:`repro.utils.backend`), so the packed path runs on
-any registered array module like the uint8 path does.
+any registered array module like the uint8 path does. Orthogonally,
+the host-side hot loops (pack/unpack, the counters, the fused decoder
+sweep) dispatch through the kernel-tier registry
+(:mod:`repro.utils.kernels`): when the optional compiled tier is active
+*and* the resolved backend's arrays are plain numpy, the C loops run;
+every other combination keeps the generic backend path. The tiers are
+bit-identical, so the choice is invisible outside of throughput.
 """
 
 from __future__ import annotations
@@ -39,13 +45,14 @@ from typing import Tuple, Union
 
 import numpy as np
 
-from repro.utils.backend import BackendLike, get_backend
+from repro.utils.backend import ArrayBackend, BackendLike, get_backend
 from repro.utils.bitops import (
     WORD_BITS,
     pack_words_axis0,
     unpack_words_axis0,
     words_for,
 )
+from repro.utils.kernels import KernelsLike, KernelTier, get_kernels
 
 __all__ = [
     "WORD_BITS",
@@ -54,31 +61,48 @@ __all__ = [
     "unpack_batch",
     "batch_tail_mask",
     "saturating_count2",
+    "decode_status_masks",
     "or_reduce_words",
     "and_reduce_words",
     "popcount_words",
 ]
 
 
-def pack_batch(bits: np.ndarray, backend: BackendLike = None):
+def _native_applies(kern: KernelTier, be: ArrayBackend, *arrays) -> bool:
+    """Whether the compiled tier may run on these backend arrays.
+
+    Only when the tier is native *and* the backend's array module is
+    numpy itself *and* every operand is a real ``numpy.ndarray`` —
+    device backends (cupy) and diagnostic proxies (tracing) must keep
+    the generic backend-dispatched path so their semantics (residency,
+    op accounting) are preserved.
+    """
+    return (kern.native and be.xp is np
+            and all(isinstance(a, np.ndarray) for a in arrays))
+
+
+def pack_batch(bits: np.ndarray, backend: BackendLike = None,
+               kernels: KernelsLike = None):
     """Pack a host ``(B, ...)`` 0/1 array into ``(W, ...)`` backend words.
 
-    The pack itself runs host-side (numpy) and the words cross onto the
-    backend once — mirroring the staged-draw contract of the campaign
-    engine.
+    The pack itself runs host-side (numpy or the compiled kernel tier)
+    and the words cross onto the backend once — mirroring the
+    staged-draw contract of the campaign engine.
     """
     be = get_backend(backend)
-    return be.from_numpy(pack_words_axis0(np.asarray(bits)))
+    return be.from_numpy(pack_words_axis0(np.asarray(bits),
+                                          kernels=kernels))
 
 
-def unpack_batch(words, batch: int, backend: BackendLike = None) -> np.ndarray:
+def unpack_batch(words, batch: int, backend: BackendLike = None,
+                 kernels: KernelsLike = None) -> np.ndarray:
     """Unpack ``(W, ...)`` backend words to a host ``(batch, ...)`` uint8.
 
     Trims tail-padding bits (and any kernel garbage in them) beyond
     ``batch``.
     """
     be = get_backend(backend)
-    return unpack_words_axis0(be.to_numpy(words), batch)
+    return unpack_words_axis0(be.to_numpy(words), batch, kernels=kernels)
 
 
 def batch_tail_mask(batch: int) -> np.ndarray:
@@ -95,7 +119,8 @@ def batch_tail_mask(batch: int) -> np.ndarray:
     return mask
 
 
-def saturating_count2(planes, axis: int, backend: BackendLike = None) -> Tuple:
+def saturating_count2(planes, axis: int, backend: BackendLike = None,
+                      kernels: KernelsLike = None) -> Tuple:
     """Per-bit count of set bits along ``axis``, saturated at two.
 
     Returns ``(ones, twos)`` word tensors with ``axis`` removed:
@@ -106,6 +131,9 @@ def saturating_count2(planes, axis: int, backend: BackendLike = None) -> Tuple:
     decoder (the uint8 path's ``sum(axis=1)`` over diagonals).
     """
     be = get_backend(backend)
+    kern = get_kernels(kernels)
+    if _native_applies(kern, be, planes):
+        return kern.saturating_count2(planes, axis)
     xp = be.xp
     planes = xp.asarray(planes)
     length = planes.shape[axis]
@@ -117,6 +145,43 @@ def saturating_count2(planes, axis: int, backend: BackendLike = None) -> Tuple:
         twos = twos | (ones & lane)
         ones = ones ^ lane
     return ones, twos
+
+
+def decode_status_masks(lead_syndrome, ctr_syndrome,
+                        backend: BackendLike = None,
+                        kernels: KernelsLike = None) -> Tuple:
+    """Fused packed-decoder classification of two syndrome plane stacks.
+
+    ``lead_syndrome``/``ctr_syndrome`` are ``(W, depth, ...)`` word
+    tensors (plane axis 1); returns the five status masks ``(no_error,
+    data_error, lead_check, ctr_check, uncorrectable)`` of
+    :class:`repro.core.code.PackedBatchDecode`:
+
+    * count 0 in both plane stacks  -> ``no_error``
+    * exactly 1 in both             -> ``data_error``
+    * exactly 1 lead / 0 counter    -> ``lead_check``
+    * 0 lead / exactly 1 counter    -> ``ctr_check``
+    * 2+ anywhere                   -> ``uncorrectable``
+
+    On the compiled tier (with numpy-resident arrays) the dual
+    carry-save count and the combo expressions run as one C pass; the
+    generic path evaluates the same expressions via
+    :func:`saturating_count2`. Complement-derived masks may carry tail
+    garbage — the usual rule, consumers trim to the true batch.
+    """
+    be = get_backend(backend)
+    kern = get_kernels(kernels)
+    if _native_applies(kern, be, lead_syndrome, ctr_syndrome):
+        return kern.decode_sweep(lead_syndrome, ctr_syndrome)
+    l_ones, l_twos = saturating_count2(lead_syndrome, axis=1, backend=be,
+                                       kernels=kern)
+    c_ones, c_twos = saturating_count2(ctr_syndrome, axis=1, backend=be,
+                                       kernels=kern)
+    l0 = ~l_ones & ~l_twos
+    l1 = l_ones & ~l_twos
+    c0 = ~c_ones & ~c_twos
+    c1 = c_ones & ~c_twos
+    return (l0 & c0, l1 & c1, l1 & c0, l0 & c1, l_twos | c_twos)
 
 
 def _fold_reduce(op, arr, axes):
@@ -165,10 +230,15 @@ def and_reduce_words(arr, axis: Union[int, Tuple[int, ...]],
     return _bitwise_reduce("bitwise_and", operator.and_, arr, axis, backend)
 
 
-def popcount_words(words, backend: BackendLike = None):
-    """Per-word set-bit counts (``int64``), via the backend's popcount.
+def popcount_words(words, backend: BackendLike = None,
+                   kernels: KernelsLike = None):
+    """Per-word set-bit counts (``int64``), via backend or kernel tier.
 
     Summing popcounts of a state tensor's words gives the total set bits
     across all trials in one pass — 64 trials per word, no unpacking.
     """
-    return get_backend(backend).popcount(words)
+    be = get_backend(backend)
+    kern = get_kernels(kernels)
+    if _native_applies(kern, be, words):
+        return kern.popcount_words(words)
+    return be.popcount(words)

@@ -51,9 +51,9 @@ def publish_span(broker, key, lo, hi, code, seed=3):
 
 
 class TestWireVersion:
-    def test_version_is_two(self):
-        """Version 2 added the ``code`` field; bump again if it changes."""
-        assert WIRE_VERSION == 2
+    def test_version_is_three(self):
+        """Version 3 added ``kernels_name``; bump again if it changes."""
+        assert WIRE_VERSION == 3
 
     def test_envelope_carries_code(self):
         task = runner("hsiao").shard_task(0, 32)
