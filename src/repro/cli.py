@@ -18,13 +18,17 @@
                            [--id W --lease-ttl S --max-units N]
     python -m repro store gc --store DIR [--max-age-days D]
                            [--max-bytes B --dry-run]
+    python -m repro store verify --store DIR [--quarantine]
 
 Everything prints to stdout; exit code 0 on success. ``submit`` and
 ``status`` print the job record as JSON (``-`` reads the spec from
 stdin), so they compose with ``jq``-style pipelines; ``store gc``
 prints its eviction report as JSON the same way. ``worker`` joins a
 distributed service's fleet: give it the service's ``--store`` path
-(same host / shared disk) or its ``--url`` (any host).
+(same host / shared disk) or its ``--url`` (any host). ``store
+verify`` digest-checks every record and exits 1 when anything is
+corrupt (``--quarantine`` also moves the bad files aside), so it
+slots straight into cron/CI health gates.
 """
 
 from __future__ import annotations
@@ -258,6 +262,16 @@ def _cmd_store_gc(args) -> int:
     return 0
 
 
+def _cmd_store_verify(args) -> int:
+    from repro.service.store import ResultStore
+
+    report = ResultStore(args.store).verify(quarantine=args.quarantine)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    # Exit status is the scriptable verdict: 1 when anything failed the
+    # integrity check, so cron jobs and CI gates need no JSON parsing.
+    return 1 if report["corrupt"] else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse tree (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -385,6 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
     p10gc.add_argument("--dry-run", action="store_true",
                        help="report what would be evicted, touch nothing")
     p10gc.set_defaults(func=_cmd_store_gc)
+    p10verify = store_sub.add_parser(
+        "verify", help="integrity-sweep every record (digest check)")
+    p10verify.add_argument("--store", default=DEFAULT_SERVICE_STORE,
+                           help="result-store directory")
+    p10verify.add_argument("--quarantine", action="store_true",
+                           help="move corrupt records to quarantine/ "
+                                "instead of just reporting them")
+    p10verify.set_defaults(func=_cmd_store_verify)
     return parser
 
 

@@ -49,6 +49,13 @@ DEFAULT_LEASE_TTL_S = 30.0
 #: crash loops (workers that die holding the lease, over and over).
 DEFAULT_MAX_ATTEMPTS = 5
 
+#: Default consecutive failures before a worker's circuit breaker
+#: opens (its claims return no work until the cooldown passes).
+DEFAULT_BREAKER_THRESHOLD = 5
+
+#: Default seconds an open breaker refuses a worker's claims.
+DEFAULT_BREAKER_COOLDOWN_S = 30.0
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS units (
     unit_id       TEXT PRIMARY KEY,
@@ -67,6 +74,11 @@ CREATE TABLE IF NOT EXISTS jobq (
     seq     INTEGER PRIMARY KEY AUTOINCREMENT,
     job_id  TEXT NOT NULL,
     claimed INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS worker_health (
+    owner      TEXT PRIMARY KEY,
+    failures   INTEGER NOT NULL DEFAULT 0,
+    open_until REAL
 );
 """
 
@@ -98,17 +110,39 @@ class SqliteBroker:
     is failed terminally once it has consumed that many claims, so a
     deterministically broken span surfaces as a job failure instead of
     looping the fleet forever.
+
+    ``breaker_threshold`` / ``breaker_cooldown_s`` are the per-worker
+    circuit breaker: a worker whose *consecutive* explicit failures
+    reach the threshold (a bad build, a broken local numpy, a full
+    disk — the unit contents are fine, the worker is not) stops being
+    handed work for the cooldown, so one sick host degrades fleet
+    throughput instead of burning every unit's retry budget. Any
+    successful ack closes its breaker and resets the count; after the
+    cooldown the breaker half-opens (one probe claim is allowed — a
+    success closes it, another failure re-opens it for a fresh
+    cooldown).
     """
 
     def __init__(self, path, busy_timeout_s: float = 10.0,
-                 max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> None:
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+                 breaker_cooldown_s: float = DEFAULT_BREAKER_COOLDOWN_S,
+                 ) -> None:
         if max_attempts <= 0:
             raise ValueError(f"max_attempts must be positive, "
                              f"got {max_attempts}")
+        if breaker_threshold <= 0:
+            raise ValueError(f"breaker_threshold must be positive, "
+                             f"got {breaker_threshold}")
+        if breaker_cooldown_s <= 0:
+            raise ValueError(f"breaker_cooldown_s must be positive, "
+                             f"got {breaker_cooldown_s}")
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.busy_timeout_s = busy_timeout_s
         self.max_attempts = max_attempts
+        self.breaker_threshold = breaker_threshold
+        self.breaker_cooldown_s = breaker_cooldown_s
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
 
@@ -197,6 +231,15 @@ class SqliteBroker:
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             try:
+                # Circuit breaker: a worker with too many consecutive
+                # failures gets no work until its cooldown passes.
+                row = conn.execute(
+                    "SELECT open_until FROM worker_health WHERE "
+                    "owner = ?", (owner,)).fetchone()
+                if row is not None and row["open_until"] is not None \
+                        and row["open_until"] > now:
+                    conn.execute("COMMIT")
+                    return None
                 # Crash-loop guard: a unit whose lease expired after
                 # consuming its attempt budget is terminal, not
                 # claimable (explicit fail()s are capped separately).
@@ -244,16 +287,25 @@ class SqliteBroker:
             return cursor.rowcount == 1
 
     def ack(self, unit_id: str, owner: str) -> bool:
-        """Mark ``unit_id`` done; ``False`` if the lease was lost."""
+        """Mark ``unit_id`` done; ``False`` if the lease was lost.
+
+        A successful ack also closes ``owner``'s circuit breaker: the
+        worker demonstrably completes work, so its consecutive-failure
+        count resets.
+        """
         with self._connect() as conn:
             cursor = conn.execute(
                 "UPDATE units SET state = 'done', lease_expires = NULL "
                 "WHERE unit_id = ? AND owner = ? AND state = 'leased'",
                 (unit_id, owner))
+            if cursor.rowcount == 1:
+                conn.execute(
+                    "UPDATE worker_health SET failures = 0, "
+                    "open_until = NULL WHERE owner = ?", (owner,))
             return cursor.rowcount == 1
 
     def fail(self, unit_id: str, owner: str, error: str,
-             requeue: bool = True) -> bool:
+             requeue: bool = True, now: Optional[float] = None) -> bool:
         """Report a failed execution of ``unit_id``.
 
         ``requeue=True`` (transient failure) returns the unit to the
@@ -263,7 +315,13 @@ class SqliteBroker:
         that no retry can fix) marks it terminally ``failed``
         immediately. Either way the dispatcher surfaces the error
         instead of looping forever.
+
+        Each accepted failure report also advances ``owner``'s
+        consecutive-failure count; reaching ``breaker_threshold``
+        opens the worker's circuit breaker for ``breaker_cooldown_s``
+        (see the class docstring). ``now`` is injectable for tests.
         """
+        now = time.time() if now is None else now
         with self._connect() as conn:
             conn.execute("BEGIN IMMEDIATE")
             try:
@@ -285,11 +343,66 @@ class SqliteBroker:
                     "WHERE unit_id = ? AND owner = ? AND "
                     "state = 'leased'",
                     (state, error, unit_id, owner))
+                conn.execute(
+                    "INSERT INTO worker_health (owner, failures) "
+                    "VALUES (?, 1) ON CONFLICT(owner) DO UPDATE SET "
+                    "failures = failures + 1", (owner,))
+                conn.execute(
+                    "UPDATE worker_health SET open_until = ? WHERE "
+                    "owner = ? AND failures >= ?",
+                    (now + self.breaker_cooldown_s, owner,
+                     self.breaker_threshold))
                 conn.execute("COMMIT")
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
         return True
+
+    def requeue_unit(self, unit_id: str, reason: str,
+                     now: Optional[float] = None) -> str:
+        """Return an acked-but-unfinished unit to the queue.
+
+        The dispatcher's recovery path for a *lost checkpoint*: a
+        worker completed and acked a span, but its checkpoint file
+        turned out torn or corrupt (the store quarantined it on read),
+        so the ``done`` unit state is a lie and the span would
+        otherwise never finish — a silent hang. Requeueing preserves
+        the attempts budget: a span whose checkpoints keep corrupting
+        exhausts ``max_attempts`` and turns terminally ``failed``
+        instead of looping forever.
+
+        Returns what happened: ``"requeued"``, ``"failed"`` (budget
+        already spent — the unit was marked terminal), or
+        ``"missing"`` (no such unit). ``now`` is injectable for tests.
+        """
+        with self._connect() as conn:
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = conn.execute(
+                    "SELECT state, attempts FROM units WHERE "
+                    "unit_id = ?", (unit_id,)).fetchone()
+                if row is None:
+                    conn.execute("COMMIT")
+                    return "missing"
+                if row["attempts"] >= self.max_attempts:
+                    conn.execute(
+                        "UPDATE units SET state = 'failed', "
+                        "owner = NULL, lease_expires = NULL, error = ? "
+                        "WHERE unit_id = ?",
+                        (f"checkpoint lost after {row['attempts']} "
+                         f"attempts: {reason}", unit_id))
+                    outcome = "failed"
+                else:
+                    conn.execute(
+                        "UPDATE units SET state = 'queued', "
+                        "owner = NULL, lease_expires = NULL, error = ? "
+                        "WHERE unit_id = ?", (reason, unit_id))
+                    outcome = "requeued"
+                conn.execute("COMMIT")
+            except BaseException:
+                conn.execute("ROLLBACK")
+                raise
+        return outcome
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -326,6 +439,26 @@ class SqliteBroker:
             for row in conn.execute(query + " GROUP BY state", params):
                 out[row["state"]] = row["n"]
         return out
+
+    def worker_health(self, now: Optional[float] = None) -> List[dict]:
+        """Per-worker breaker state: ``{owner, failures, open_until,
+        open}`` rows, failing-most first (the ``/health`` payload's
+        fleet half)."""
+        now = time.time() if now is None else now
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT owner, failures, open_until FROM worker_health "
+                "ORDER BY failures DESC, owner").fetchall()
+        return [{"owner": row["owner"], "failures": row["failures"],
+                 "open_until": row["open_until"],
+                 "open": row["open_until"] is not None
+                 and row["open_until"] > now}
+                for row in rows]
+
+    def open_breakers(self, now: Optional[float] = None) -> List[str]:
+        """Owners whose circuit breaker is currently open."""
+        return [entry["owner"] for entry in self.worker_health(now)
+                if entry["open"]]
 
     def failed_units(self, group_key: str) -> List[tuple]:
         """``(unit_id, error)`` of the terminally failed units of

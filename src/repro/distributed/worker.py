@@ -47,6 +47,7 @@ from repro.faults.campaign import CampaignResult
 from repro.service.client import ServiceClient
 from repro.service.spec import result_to_dict
 from repro.service.store import ResultStore
+from repro.utils.retry import RetryPolicy, poll_policy
 
 
 def default_worker_id() -> str:
@@ -252,15 +253,20 @@ class ShardWorker:
 
         A transport error on claim (service restarting, broker file
         briefly locked) must not kill the daemon: it is treated as an
-        idle poll with exponential backoff (capped at 5 s), so an
-        HTTP-topology fleet rides out the very service restarts the
-        store's resume semantics are built for. Such error time counts
-        toward ``idle_exit_s``.
+        idle poll backed off on the shared :class:`RetryPolicy`
+        (capped exponential, full jitter — a restarted fleet must not
+        thunder back in lockstep), so an HTTP-topology fleet rides out
+        the very service restarts the store's resume semantics are
+        built for. Such error time counts toward ``idle_exit_s``.
+        Empty-queue idle polls are jittered too, decorrelating claim
+        traffic across the fleet.
 
-        Idle sleeps block on ``stop.wait`` when a ``stop`` event is
-        given, so a shutdown request interrupts the wait immediately
-        instead of lingering up to a full poll/backoff interval.
+        Sleeps block on ``stop.wait`` when a ``stop`` event is given,
+        so a shutdown request interrupts the wait immediately instead
+        of lingering up to a full poll/backoff interval.
         """
+        backoff = RetryPolicy(initial_s=self.poll_interval_s, cap_s=5.0)
+        idle_poll = poll_policy(self.poll_interval_s)
         processed = 0
         idle_since: Optional[float] = None
         claim_errors = 0
@@ -284,13 +290,13 @@ class ShardWorker:
             idle_since = idle_since if idle_since is not None else now
             if idle_exit_s is not None and now - idle_since >= idle_exit_s:
                 return processed
-            backoff = min(self.poll_interval_s * (2 ** claim_errors), 5.0)
-            delay = backoff if claim_errors else self.poll_interval_s
-            if stop is not None:
-                if stop.wait(delay):
-                    return processed
+            if claim_errors:
+                interrupted = not backoff.sleep(claim_errors - 1,
+                                                stop=stop)
             else:
-                time.sleep(delay)
+                interrupted = not idle_poll.sleep(0, stop=stop)
+            if interrupted:
+                return processed
 
     # ------------------------------------------------------------------ #
     # One unit

@@ -37,6 +37,7 @@ from repro.service.scheduler import (
     EXECUTION_MODES,
     CampaignService,
     JobRecord,
+    UnitFailedError,
     service_info,
 )
 from repro.service.server import ServiceServer
@@ -71,6 +72,7 @@ __all__ = [
     "ResultStore",
     "ServiceClient",
     "ServiceServer",
+    "UnitFailedError",
     "available_queue_backends",
     "injector_kinds",
     "make_queue",

@@ -19,12 +19,12 @@ result::
 from __future__ import annotations
 
 import json
-import time
 import urllib.error
 import urllib.request
 from typing import List, Optional, Union
 
 from repro.service.spec import JobSpec
+from repro.utils.retry import Deadline, RetryPolicy, poll_policy
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -82,6 +82,14 @@ class ServiceClient:
         except ServiceUnavailableError:
             return False
 
+    def health_report(self) -> dict:
+        """The service's detailed ``/health`` payload: job-state
+        counts, broker depth and inflight leases, open circuit
+        breakers, and store quarantine counts (unlike :meth:`health`,
+        transport errors propagate — an unreachable service has no
+        health report)."""
+        return self._request("GET", "/health")
+
     def info(self) -> dict:
         """Service introspection (:func:`repro.service.service_info`)."""
         return self._request("GET", "/info")
@@ -105,41 +113,58 @@ class ServiceClient:
         """Poll until ``job_id`` settles; return its terminal record.
 
         Raises :class:`JobFailedError` when the job fails and
-        :class:`TimeoutError` when ``timeout`` elapses first.
+        :class:`TimeoutError` when ``timeout`` elapses first. The two
+        timeout flavours are distinguishable from the message — and
+        both report the last job state this client observed — so an
+        operator can tell a *dead service* (transport unreachable on
+        the final poll) from a *slow job* (service answering, job
+        simply not terminal yet).
 
         A poll that hits a transient connection error (service
         restarting between checks, socket briefly refused) does not
-        abort the wait: unreachability is retried with capped
-        exponential backoff until the deadline — the same
-        transport-error policy the worker daemon's claim loop uses
+        abort the wait: unreachability is retried on the shared
+        :class:`RetryPolicy` (capped exponential, full jitter) until
+        the deadline — the same transport-error policy the worker
+        daemon's claim loop uses
         (:meth:`repro.distributed.worker.ShardWorker.run`). Only the
         deadline turns persistent unreachability into an error.
         """
-        deadline = time.monotonic() + timeout
+        deadline = Deadline.after(timeout)
+        backoff = RetryPolicy(initial_s=poll_interval, cap_s=5.0)
+        steady = poll_policy(poll_interval)
         errors = 0
+        last_state: Optional[str] = None
         while True:
             try:
                 record = self.status(job_id)
             except ServiceUnavailableError as exc:
                 errors += 1
-                if time.monotonic() >= deadline:
+                if deadline.expired():
+                    observed = (
+                        f"last observed job state: {last_state!r}"
+                        if last_state is not None else
+                        "the job's state was never observed")
                     raise TimeoutError(
                         f"job {job_id} unsettled after {timeout:.1f}s; "
-                        f"service unreachable on the last poll: "
-                        f"{exc}") from exc
-                time.sleep(min(poll_interval * (2 ** errors), 5.0))
+                        f"service unreachable on the last poll "
+                        f"({exc}); {observed} — this looks like a dead "
+                        f"or unreachable service, not a slow job"
+                    ) from exc
+                backoff.sleep(errors - 1, deadline=deadline)
                 continue
             errors = 0
+            last_state = record["state"]
             if record["state"] == "done":
                 return record
             if record["state"] == "failed":
                 raise JobFailedError(
                     f"job {job_id} failed: {record.get('error')}")
-            if time.monotonic() >= deadline:
+            if deadline.expired():
                 raise TimeoutError(
                     f"job {job_id} still {record['state']!r} after "
-                    f"{timeout:.1f}s")
-            time.sleep(poll_interval)
+                    f"{timeout:.1f}s; the service is reachable — this "
+                    f"is a slow or stuck job, not a dead service")
+            steady.sleep(0, deadline=deadline)
 
     # ------------------------------------------------------------------ #
     # Worker transport (the HTTP half of repro.distributed.worker)
@@ -201,14 +226,15 @@ class ServiceClient:
         as an exception); raises :class:`ServiceUnavailableError` only
         when the deadline passes first.
         """
-        deadline = time.monotonic() + timeout
+        deadline = Deadline.after(timeout)
+        # Cap lower than wait(): come-up latency is the whole point
+        # here, so never doze past a second at a time.
+        backoff = RetryPolicy(initial_s=poll_interval, cap_s=1.0)
         misses = 0
         while not self.health():
-            if time.monotonic() >= deadline:
+            if deadline.expired():
                 raise ServiceUnavailableError(
                     f"campaign service at {self.url} did not come up "
                     f"within {timeout:.1f}s")
+            backoff.sleep(misses, deadline=deadline)
             misses += 1
-            # Cap lower than wait(): come-up latency is the whole point
-            # here, so never doze past a second at a time.
-            time.sleep(min(poll_interval * (2 ** misses), 1.0))

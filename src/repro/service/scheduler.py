@@ -81,6 +81,7 @@ from repro.service.spec import (
 )
 from repro.service.store import ResultStore
 from repro.utils.backend import available_backends
+from repro.utils.retry import RetryPolicy
 from repro.utils.canonical import canonical_json
 from repro.utils.kernels import available_kernels, native_available
 from repro.utils.rng import shard_bounds
@@ -106,6 +107,23 @@ def _unit_span(unit_id: str) -> Optional[tuple]:
     match = _UNIT_ID.search(unit_id)
     return None if match is None else (int(match.group(1)),
                                        int(match.group(2)))
+
+
+class UnitFailedError(RuntimeError):
+    """A published work unit failed terminally on the worker fleet.
+
+    Carries the structured ``failure`` dict that lands on the job
+    record verbatim, so operators (and the chaos matrix) can
+    machine-read *which* unit poisoned the job and why, instead of
+    parsing a prose message.
+    """
+
+    def __init__(self, unit_id: str, error: Optional[str]) -> None:
+        super().__init__(
+            f"work unit {unit_id} failed terminally on the worker "
+            f"fleet: {error}")
+        self.failure = {"kind": "unit_failed", "unit_id": unit_id,
+                        "error": error}
 
 
 def service_info() -> dict:
@@ -180,6 +198,9 @@ class JobRecord:
     state: str = "queued"  # queued | running | done | failed
     cached: bool = False
     error: Optional[str] = None
+    #: Structured terminal-failure reason (``kind`` plus kind-specific
+    #: detail), set alongside the prose ``error`` when a job fails.
+    failure: Optional[dict] = None
     submitted_at: float = field(default_factory=time.time)
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
@@ -200,6 +221,7 @@ class JobRecord:
             "state": self.state,
             "cached": self.cached,
             "error": self.error,
+            "failure": self.failure,
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
@@ -223,6 +245,7 @@ class JobRecord:
             key=data["key"], state=data.get("state", "queued"),
             cached=bool(data.get("cached", False)),
             error=data.get("error"),
+            failure=data.get("failure"),
             submitted_at=data.get("submitted_at", 0.0),
             started_at=data.get("started_at"),
             finished_at=data.get("finished_at"),
@@ -249,7 +272,11 @@ class CampaignService:
     shard_trials:
         Maximum trials per shard span — the checkpoint granularity.
     queue:
-        Registered queue-backend name (default ``"memory"``).
+        Registered queue-backend name (default ``"memory"``), or an
+        already-built :class:`JobQueue` instance — the injection point
+        for wrapped/instrumented queues (the chaos harness hands in a
+        fault-wrapped queue this way). An instance is owned by the
+        service once handed over: ``close()`` closes it.
     max_concurrent_jobs:
         Scheduler tasks pulling from the queue; shards of concurrent
         jobs interleave on the shared pool.
@@ -276,6 +303,12 @@ class CampaignService:
         SQLite file of the work-unit broker (distributed mode).
         Defaults to ``<store root>/broker.sqlite3``, which is what
         shared-store workers expect.
+    broker_options:
+        Extra keyword options for the
+        :class:`~repro.distributed.broker.SqliteBroker` constructor
+        (``max_attempts``, ``breaker_threshold``,
+        ``breaker_cooldown_s``, ...) — how deployments and tests tune
+        retry budgets and circuit-breaker pacing.
     queue_options:
         Extra keyword options for the queue backend (``path=...`` for
         ``"sqlite"``; defaults to the broker path).
@@ -286,12 +319,14 @@ class CampaignService:
 
     def __init__(self, store: Union[ResultStore, str], workers: int = 2,
                  shard_trials: int = DEFAULT_SHARD_TRIALS,
-                 queue: str = "memory", max_concurrent_jobs: int = 2,
+                 queue: Union[str, JobQueue] = "memory",
+                 max_concurrent_jobs: int = 2,
                  executor: str = "process",
                  shard_runner: Optional[Callable] = None,
                  max_job_records: int = 10_000,
                  execution: str = "local",
                  broker_path: Optional[str] = None,
+                 broker_options: Optional[dict] = None,
                  queue_options: Optional[dict] = None,
                  dispatch_poll_s: float = 0.1) -> None:
         if workers <= 0:
@@ -318,7 +353,12 @@ class CampaignService:
             else ResultStore(store)
         self.workers = workers
         self.shard_trials = shard_trials
-        self.queue_name = queue
+        if isinstance(queue, JobQueue):
+            self._queue_instance: Optional[JobQueue] = queue
+            self.queue_name = type(queue).__name__
+        else:
+            self._queue_instance = None
+            self.queue_name = queue
         self.queue_options = dict(queue_options or {})
         self.max_concurrent_jobs = max_concurrent_jobs
         self.executor_kind = executor
@@ -327,6 +367,7 @@ class CampaignService:
         self.execution = execution
         self.broker_path = str(broker_path) if broker_path is not None \
             else str(self.store.root / BROKER_FILENAME)
+        self.broker_options = dict(broker_options or {})
         self.dispatch_poll_s = dispatch_poll_s
         self.broker = None  # SqliteBroker, created in start()
         self._jobs: Dict[str, JobRecord] = {}
@@ -345,16 +386,20 @@ class CampaignService:
     async def start(self) -> "CampaignService":
         if self._started:
             return self
-        options = dict(self.queue_options)
-        if self.queue_name == "sqlite":
-            # The durable queue shares the broker file by default so a
-            # distributed deployment is one path, not two.
-            options.setdefault("path", self.broker_path)
-        self._queue = make_queue(self.queue_name, **options)
+        if self._queue_instance is not None:
+            self._queue = self._queue_instance
+        else:
+            options = dict(self.queue_options)
+            if self.queue_name == "sqlite":
+                # The durable queue shares the broker file by default
+                # so a distributed deployment is one path, not two.
+                options.setdefault("path", self.broker_path)
+            self._queue = make_queue(self.queue_name, **options)
         if self.execution == "distributed":
             from repro.distributed.broker import SqliteBroker
-            self.broker = await asyncio.to_thread(SqliteBroker,
-                                                  self.broker_path)
+            self.broker = await asyncio.to_thread(
+                lambda: SqliteBroker(self.broker_path,
+                                     **self.broker_options))
         pool_cls = ProcessPoolExecutor if self.executor_kind == "process" \
             else ThreadPoolExecutor
         self._pool = pool_cls(max_workers=self.workers)
@@ -534,13 +579,64 @@ class CampaignService:
                 out["work_units"] = self.broker.counts()
         return out
 
+    def health(self) -> dict:
+        """Operational health: the ``/health`` payload.
+
+        Where :meth:`info` answers *what can this service run*, this
+        answers *how is it doing right now*: per-state job counts,
+        broker queue depth and in-flight leases, per-worker circuit
+        breakers, and how much the store has quarantined. Cheap enough
+        to poll from a dashboard.
+        """
+        jobs = {state: sum(1 for j in self._jobs.values()
+                           if j.state == state)
+                for state in ("queued", "running", "done", "failed")}
+        out = {
+            "ok": True,
+            "execution": self.execution,
+            "jobs": jobs,
+            "store": {"quarantine": self.store.quarantine_counts()},
+        }
+        if self.execution == "distributed" and self.broker is not None:
+            counts = self.broker.counts()
+            health = self.broker.worker_health()
+            out["broker"] = {
+                "depth": counts.get("queued", 0),
+                "inflight": counts.get("leased", 0),
+                "done": counts.get("done", 0),
+                "failed": counts.get("failed", 0),
+                "workers": health,
+                "open_breakers": [entry["owner"] for entry in health
+                                  if entry["open"]],
+            }
+        return out
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
 
     async def _scheduler_loop(self) -> None:
+        backoff = RetryPolicy(initial_s=0.05, cap_s=1.0)
+        queue_errors = 0
         while True:
-            job_id = await self._queue.get()
+            try:
+                job_id = await self._queue.get()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # noqa: BLE001 - queue fault isolation
+                # A flaky queue backend (transient sqlite error, chaos
+                # injection) must not kill a scheduler task — that
+                # would silently shrink concurrency until nothing
+                # drains the queue at all. Closure is the one
+                # legitimate end: get() raises after close(), which is
+                # how shutdown reads here.
+                queue = self._queue
+                if queue is None or queue.closed:
+                    return
+                queue_errors += 1
+                await backoff.sleep_async(queue_errors - 1)
+                continue
+            queue_errors = 0
             job = self._jobs.get(job_id)
             if job is None or job.state != "queued":
                 # Unknown (evicted) or already picked up — a durable
@@ -599,6 +695,9 @@ class CampaignService:
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
+            job.failure = getattr(exc, "failure", None) or {
+                "kind": "exception", "type": type(exc).__name__,
+                "message": str(exc)}
         else:
             job.result = result
             job.state = "done"
@@ -632,6 +731,7 @@ class CampaignService:
             settled.append(follower)
             follower.state = leader.state
             follower.error = leader.error
+            follower.failure = leader.failure
             follower.result = leader.result
             follower.cached = leader.state == "done"
             follower.shards_total = leader.shards_total
@@ -741,6 +841,12 @@ class CampaignService:
 
         await asyncio.to_thread(publish_all)
         pending = set(missing)
+        # Escalating jittered poll: tight while checkpoints are landing,
+        # backing off (capped at 10x) through idle stretches so a big
+        # fleet of dispatchers doesn't hammer the store in lockstep.
+        poll = RetryPolicy(initial_s=self.dispatch_poll_s,
+                           cap_s=self.dispatch_poll_s * 10)
+        idle = 0
         while pending:
             progressed = False
             for lo, hi in sorted(pending):
@@ -770,11 +876,47 @@ class CampaignService:
                 # it would only waste the fleet. Checkpoints already
                 # written stay — they are the resume currency.
                 await asyncio.to_thread(self.broker.clear_group, job.key)
-                raise RuntimeError(
-                    f"work unit {unit_id} failed terminally on the "
-                    f"worker fleet: {error}")
+                raise UnitFailedError(unit_id, error)
             if not progressed:
-                await asyncio.sleep(self.dispatch_poll_s)
+                # The inverse hazard of the ack/expiry race above: a
+                # unit acked 'done' whose checkpoint is *gone* (torn
+                # write quarantined by the store's integrity check).
+                # Without this sweep the dispatcher would poll forever
+                # for a file nobody will ever write again.
+                requeued = await asyncio.to_thread(
+                    self._requeue_lost_units, job.key, pending)
+                if requeued:
+                    progressed = True
+            if progressed:
+                idle = 0
+            else:
+                idle += 1
+                await poll.sleep_async(idle - 1)
         await asyncio.to_thread(self.broker.clear_group, job.key)
         merged = merge_results([results[span] for span in bounds])
         return result_to_dict(merged)
+
+    def _requeue_lost_units(self, group_key: str, pending: set) -> int:
+        """Re-enqueue ``done`` units whose checkpoint never materialized.
+
+        A unit can be acked while its span is still in ``pending`` only
+        when the checkpoint the ack vouched for is unreadable — torn by
+        a crash mid-write and quarantined by the store's integrity
+        check. :meth:`SqliteBroker.requeue_unit` sends such a unit
+        around again against its remaining attempts budget, and turns
+        it terminally ``failed`` once the budget is spent — so silent
+        corruption degrades into a structured job failure, never a
+        dispatcher hang. Returns the number of units re-enqueued.
+        """
+        requeued = 0
+        for unit in self.broker.units(group_key):
+            if unit.state != "done":
+                continue
+            span = _unit_span(unit.unit_id)
+            if span is None or span not in pending:
+                continue
+            self.broker.requeue_unit(
+                unit.unit_id,
+                "acked checkpoint missing or quarantined in the store")
+            requeued += 1
+        return requeued

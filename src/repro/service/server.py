@@ -6,6 +6,10 @@ the container bakes in numpy + pytest and nothing else) that exposes a
 
 ==========================  ============================================
 ``GET  /healthz``           liveness probe -> ``{"ok": true}``
+``GET  /health``            operational report
+                            (:meth:`CampaignService.health`): job
+                            counts, broker depth/leases, circuit
+                            breakers, store quarantine
 ``GET  /info``              :meth:`CampaignService.info`
 ``POST /jobs``              submit a :class:`JobSpec` (the JSON body is
                             the spec's ``to_dict`` form) -> job record
@@ -161,6 +165,11 @@ class ServiceServer:
                      body: bytes) -> Tuple[int, dict]:
         if path == "/healthz" and method == "GET":
             return 200, {"ok": True}
+        if path == "/health" and method == "GET":
+            # The operational report (job counts, broker depth and
+            # leases, breakers, quarantine) — store/broker I/O, so off
+            # the event loop like /info.
+            return 200, await asyncio.to_thread(self.service.health)
         if path == "/info" and method == "GET":
             # info() walks store directories and queries the broker —
             # disk work that must not stall the event loop (and the
@@ -194,7 +203,7 @@ class ServiceServer:
             if not isinstance(payload, dict):
                 return 400, {"error": "body must be a JSON object"}
             return await self._route_units(path, payload)
-        if path in ("/healthz", "/info", "/jobs") or \
+        if path in ("/healthz", "/health", "/info", "/jobs") or \
                 path.startswith(("/jobs/", "/units/")):
             return 405, {"error": f"{method} not allowed on {path}"}
         return 404, {"error": f"no route for {path}"}

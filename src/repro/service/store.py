@@ -7,6 +7,19 @@ record)::
     results/<key>.json            completed job record
     shards/<key>/<lo>-<hi>.json   checkpointed span of a running job
     jobs/<job_id>.json            persisted scheduler JobRecord
+    quarantine/<namespace>/...    corrupt records pulled out of the way
+
+Every record carries a content digest (the ``integrity`` field: the
+SHA-256 of its canonical JSON), stamped on write and verified on read.
+A record that fails the check — bit-rot, a torn write that somehow
+produced parseable-but-wrong bytes, a bad sector — is *quarantined*:
+moved to ``quarantine/<namespace>/`` with a ``.reason`` sidecar and
+read as missing, so the caller's resume machinery regenerates it
+instead of crashing or silently consuming corruption. Records written
+before the integrity layer (no stamp) are accepted as legacy.
+:meth:`verify` (the ``repro store verify`` subcommand) sweeps the
+whole store eagerly and reports per-namespace ok/legacy/corrupt
+counts.
 
 ``<key>`` is :meth:`repro.service.spec.JobSpec.cache_key` — the SHA-256
 of the normalized spec's canonical JSON — so the store *is* the dedupe
@@ -33,6 +46,7 @@ behind after their final record was already written.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import re
@@ -44,8 +58,17 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.faults.campaign import CampaignResult
 from repro.service.spec import result_from_dict, result_to_dict
+from repro.utils.canonical import canonical_json
 
 _SHARD_FILE = re.compile(r"^(\d+)-(\d+)\.json$")
+
+#: Top-level field carrying each record's content digest. Stamped on
+#: every write, verified on every read; records written before the
+#: integrity layer existed simply lack it and are accepted as legacy.
+INTEGRITY_KEY = "integrity"
+
+#: Store namespaces the integrity sweep covers (subdirectory names).
+NAMESPACES = ("results", "shards", "jobs")
 
 #: Path components the store will embed in filenames. Keys are SHA-256
 #: hex in practice, but the HTTP worker surface forwards caller-supplied
@@ -63,13 +86,52 @@ def _checked_component(value: str, what: str) -> str:
     return value
 
 
+def _payload_digest(payload: dict) -> str:
+    """SHA-256 of the canonical JSON of ``payload`` minus its stamp."""
+    body = {k: v for k, v in payload.items() if k != INTEGRITY_KEY}
+    return hashlib.sha256(
+        canonical_json(body).encode("utf-8")).hexdigest()
+
+
+def _stamped(payload: dict) -> dict:
+    """``payload`` with its integrity stamp (a shallow copy)."""
+    out = dict(payload)
+    out[INTEGRITY_KEY] = {"algo": "sha256",
+                          "digest": _payload_digest(payload)}
+    return out
+
+
+def _integrity_error(payload) -> Optional[str]:
+    """Why ``payload`` fails verification, or ``None`` when it passes.
+
+    A record without a stamp is *legacy*, not corrupt — the store
+    predates the integrity layer for some deployments — so absence
+    passes; a present-but-wrong stamp is the corruption signal.
+    """
+    if not isinstance(payload, dict):
+        return "record is not a JSON object"
+    stamp = payload.get(INTEGRITY_KEY)
+    if stamp is None:
+        return None
+    if not isinstance(stamp, dict) or "digest" not in stamp:
+        return "malformed integrity stamp"
+    try:
+        actual = _payload_digest(payload)
+    except (TypeError, ValueError):
+        return "record is not canonically hashable"
+    if stamp["digest"] != actual:
+        return (f"digest mismatch: stamped {stamp['digest'][:12]}..., "
+                f"content hashes to {actual[:12]}...")
+    return None
+
+
 def _atomic_write_json(path: Path, payload: dict) -> None:
-    """Write JSON so readers see either the old file or the new one."""
+    """Write stamped JSON so readers see the old file or the new one."""
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            json.dump(_stamped(payload), handle, indent=2, sort_keys=True)
             handle.write("\n")
         os.replace(tmp, path)
     except BaseException:
@@ -93,9 +155,138 @@ class ResultStore:
         self.results_dir = self.root / "results"
         self.shards_dir = self.root / "shards"
         self.jobs_dir = self.root / "jobs"
+        self.quarantine_dir = self.root / "quarantine"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # Integrity: checked reads + quarantine
+    # ------------------------------------------------------------------ #
+
+    def _quarantine(self, path: Path, namespace: str,
+                    reason: str) -> Optional[Path]:
+        """Move a corrupt record out of its namespace instead of
+        crashing (or silently re-serving bad bytes) on every read.
+
+        The file lands under ``quarantine/<namespace>/`` with its name
+        preserved (numeric suffix on collision) next to a ``.reason``
+        sidecar recording why, when, and from where it was pulled.
+        Returns the quarantined path, or ``None`` when the move itself
+        failed (in which case the caller still treats the record as
+        missing — quarantine is best-effort, correctness never depends
+        on it).
+        """
+        target_dir = self.quarantine_dir / namespace
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            bump = 0
+            while target.exists():
+                bump += 1
+                target = target_dir / f"{path.name}.{bump}"
+            os.replace(path, target)
+        except OSError:
+            return None
+        try:
+            _atomic_write_json(
+                Path(f"{target}.reason"),
+                {"reason": reason, "namespace": namespace,
+                 "original_path": str(path),
+                 "quarantined_at": time.time()})
+        except OSError:
+            pass
+        return target
+
+    def _read_checked(self, path: Path, namespace: str) -> Optional[dict]:
+        """Read + verify one record; corrupt files are quarantined and
+        read as missing (the caller's resume/re-execute machinery then
+        regenerates them — graceful degradation, never a crash)."""
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as exc:
+            self._quarantine(path, namespace,
+                             f"undecodable JSON: {exc}")
+            return None
+        error = _integrity_error(payload)
+        if error is not None:
+            self._quarantine(path, namespace, error)
+            return None
+        payload.pop(INTEGRITY_KEY, None)
+        return payload
+
+    def quarantine_counts(self) -> Dict[str, int]:
+        """Quarantined record count per namespace (``.reason`` sidecars
+        excluded) — the store half of the ``/health`` payload."""
+        out = {namespace: 0 for namespace in NAMESPACES}
+        if not self.quarantine_dir.is_dir():
+            return out
+        for sub in self.quarantine_dir.iterdir():
+            if sub.is_dir():
+                out[sub.name] = sum(
+                    1 for p in sub.iterdir()
+                    if not p.name.endswith(".reason"))
+        return out
+
+    def verify(self, quarantine: bool = False) -> dict:
+        """Integrity sweep over every record in the store.
+
+        Parses and digest-checks all of ``results/``, ``shards/``, and
+        ``jobs/``. Returns a report dict: per-namespace counts of
+        ``ok`` (stamped, digest matches), ``legacy`` (pre-integrity
+        records without a stamp), and ``corrupt`` entries
+        (``{path, namespace, reason}``). With ``quarantine=True`` the
+        corrupt files are moved to the quarantine namespace as a side
+        effect (the same motion a checked read performs lazily).
+
+        The ``repro store verify`` subcommand is a thin wrapper.
+        """
+        report = {
+            "checked": 0, "ok": 0, "legacy": 0,
+            "corrupt": [], "quarantined": [],
+            "quarantine_counts": None,
+        }
+
+        def check(path: Path, namespace: str) -> None:
+            report["checked"] += 1
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (json.JSONDecodeError, UnicodeDecodeError,
+                    OSError) as exc:
+                error: Optional[str] = f"undecodable JSON: {exc}"
+            else:
+                error = _integrity_error(payload)
+                if error is None:
+                    if isinstance(payload, dict) and \
+                            INTEGRITY_KEY in payload:
+                        report["ok"] += 1
+                    else:
+                        report["legacy"] += 1
+                    return
+            report["corrupt"].append({
+                "path": str(path), "namespace": namespace,
+                "reason": error})
+            if quarantine:
+                moved = self._quarantine(path, namespace, error)
+                if moved is not None:
+                    report["quarantined"].append(str(moved))
+
+        for path in sorted(self.results_dir.glob("*.json")):
+            check(path, "results")
+        for directory in sorted(self.shards_dir.iterdir()) \
+                if self.shards_dir.is_dir() else []:
+            if directory.is_dir():
+                for path in sorted(directory.iterdir()):
+                    if _SHARD_FILE.match(path.name):
+                        check(path, "shards")
+        for path in sorted(self.jobs_dir.glob("*.json")):
+            check(path, "jobs")
+        report["quarantine_counts"] = self.quarantine_counts()
+        return report
 
     # ------------------------------------------------------------------ #
     # Final results
@@ -108,12 +299,13 @@ class ResultStore:
         return self._result_path(key).exists()
 
     def get(self, key: str) -> Optional[dict]:
-        """The completed job record under ``key``, or ``None``."""
-        path = self._result_path(key)
-        if not path.exists():
-            return None
-        with open(path) as handle:
-            return json.load(handle)
+        """The completed job record under ``key``, or ``None``.
+
+        Digest-checked: a corrupt record is quarantined and read as
+        missing, so the key simply re-executes instead of serving (or
+        crashing on) bad bytes.
+        """
+        return self._read_checked(self._result_path(key), "results")
 
     def put(self, key: str, record: dict) -> None:
         """Persist a completed job record (atomic)."""
@@ -139,27 +331,44 @@ class ResultStore:
 
     def get_shard(self, key: str, lo: int,
                   hi: int) -> Optional[CampaignResult]:
-        """The checkpointed tallies of span ``[lo, hi)``, or ``None``."""
+        """The checkpointed tallies of span ``[lo, hi)``, or ``None``.
+
+        Digest-checked like :meth:`get`: a corrupt or undecodable
+        checkpoint is quarantined and reads as missing, so the span is
+        simply re-executed.
+        """
         path = self._shard_path(key, lo, hi)
-        if not path.exists():
+        record = self._read_checked(path, "shards")
+        if record is None:
             return None
-        with open(path) as handle:
-            return result_from_dict(json.load(handle)["result"])
+        try:
+            return result_from_dict(record["result"])
+        except (KeyError, TypeError, ValueError) as exc:
+            # Valid JSON, valid (or legacy-absent) digest, wrong shape:
+            # still corruption from the reader's point of view.
+            self._quarantine(path, "shards",
+                             f"undecodable shard record: "
+                             f"{type(exc).__name__}: {exc}")
+            return None
 
     def shard_spans(self, key: str) -> Dict[Tuple[int, int], CampaignResult]:
-        """Every checkpointed span of ``key`` (for resume planning)."""
+        """Every checkpointed span of ``key`` (for resume planning).
+
+        Corrupt checkpoints are quarantined and skipped — the span
+        reads as a gap and re-executes.
+        """
         out: Dict[Tuple[int, int], CampaignResult] = {}
         directory = self.shards_dir / _checked_component(key, "key")
         if not directory.is_dir():
             return out
-        for path in directory.iterdir():
+        for path in sorted(directory.iterdir()):
             match = _SHARD_FILE.match(path.name)
             if not match:
                 continue
-            with open(path) as handle:
-                record = json.load(handle)
-            out[(int(match.group(1)), int(match.group(2)))] = \
-                result_from_dict(record["result"])
+            tallies = self.get_shard(key, int(match.group(1)),
+                                     int(match.group(2)))
+            if tallies is not None:
+                out[(int(match.group(1)), int(match.group(2)))] = tallies
         return out
 
     def clear_shards(self, key: str) -> None:
@@ -190,12 +399,9 @@ class ResultStore:
         _atomic_write_json(self._job_path(job_id), record)
 
     def get_job(self, job_id: str) -> Optional[dict]:
-        """The persisted record of ``job_id``, or ``None``."""
-        path = self._job_path(job_id)
-        if not path.exists():
-            return None
-        with open(path) as handle:
-            return json.load(handle)
+        """The persisted record of ``job_id``, or ``None`` (corrupt
+        records are quarantined and read as missing)."""
+        return self._read_checked(self._job_path(job_id), "jobs")
 
     def job_ids(self) -> List[str]:
         """Every persisted job id, sorted (= submission order: ids
@@ -203,12 +409,11 @@ class ResultStore:
         return sorted(p.stem for p in self.jobs_dir.glob("*.json"))
 
     def iter_jobs(self) -> Iterator[dict]:
-        """Persisted job records in id order (skips torn/alien files)."""
+        """Persisted job records in id order. Torn or corrupt files are
+        quarantined by the checked read and skipped — they must never
+        block recovery."""
         for job_id in self.job_ids():
-            try:
-                record = self.get_job(job_id)
-            except (json.JSONDecodeError, OSError):
-                continue  # a torn file must never block recovery
+            record = self.get_job(job_id)
             if record is not None:
                 yield record
 

@@ -1,0 +1,114 @@
+"""Circuit breaker + lost-checkpoint requeue on the SQLite broker.
+
+The graceful-degradation plane added for fleet hardening: a worker
+that fails units back-to-back stops being handed work for a cooldown
+(instead of grinding the retry budget of every queued unit), and a
+unit acked 'done' whose checkpoint evaporated goes around again
+against its remaining attempts — terminally failing, never hanging,
+once the budget is spent.
+"""
+
+import pytest
+
+from repro.distributed.broker import (
+    DEFAULT_BREAKER_COOLDOWN_S,
+    DEFAULT_BREAKER_THRESHOLD,
+    SqliteBroker,
+)
+
+
+@pytest.fixture
+def broker(tmp_path):
+    return SqliteBroker(tmp_path / "broker.sqlite3",
+                        breaker_threshold=3, breaker_cooldown_s=60.0)
+
+
+def fail_once(broker, owner, unit, now=None):
+    claimed = broker.claim(owner)
+    assert claimed is not None and claimed.unit_id == unit
+    broker.fail(unit, owner, "boom", requeue=True, now=now)
+
+
+class TestBreakerOpens:
+    def test_consecutive_failures_open_the_breaker(self, broker):
+        broker.publish("u", "x")
+        for _ in range(3):
+            fail_once(broker, "w", "u", now=100.0)
+        # breaker open: the failing worker is refused work...
+        assert broker.claim("w", now=100.0) is None
+        # ...while a healthy peer still gets the unit
+        assert broker.claim("other", now=100.0).unit_id == "u"
+        assert broker.open_breakers(now=100.0) == ["w"]
+
+    def test_below_threshold_keeps_claiming(self, broker):
+        broker.publish("u", "x")
+        for _ in range(2):
+            fail_once(broker, "w", "u", now=100.0)
+        assert broker.claim("w", now=100.0) is not None
+
+    def test_cooldown_reopens_claims(self, broker):
+        broker.publish("u", "x")
+        for _ in range(3):
+            fail_once(broker, "w", "u", now=100.0)
+        assert broker.claim("w", now=100.0) is None
+        # past the cooldown the worker gets a probe claim (half-open)
+        assert broker.claim("w", now=161.0) is not None
+        assert broker.open_breakers(now=161.0) == []
+
+    def test_success_resets_the_count(self, broker):
+        broker.publish("u", "x")
+        for _ in range(2):
+            fail_once(broker, "w", "u", now=100.0)
+        unit = broker.claim("w", now=100.0)
+        broker.ack(unit.unit_id, "w")
+        # the ack closed the streak: two more failures stay below
+        # the threshold of three
+        broker.publish("v", "x")
+        for _ in range(2):
+            fail_once(broker, "w", "v", now=100.0)
+        assert broker.claim("w", now=100.0) is not None
+
+    def test_worker_health_rows(self, broker):
+        broker.publish("u", "x")
+        fail_once(broker, "w", "u", now=100.0)
+        rows = broker.worker_health(now=100.0)
+        assert rows == [{"owner": "w", "failures": 1,
+                         "open_until": None, "open": False}]
+
+    def test_defaults_are_sane(self, tmp_path):
+        broker = SqliteBroker(tmp_path / "b.sqlite3")
+        assert broker.breaker_threshold == DEFAULT_BREAKER_THRESHOLD
+        assert broker.breaker_cooldown_s == DEFAULT_BREAKER_COOLDOWN_S
+        with pytest.raises(ValueError, match="breaker_threshold"):
+            SqliteBroker(tmp_path / "c.sqlite3", breaker_threshold=0)
+        with pytest.raises(ValueError, match="breaker_cooldown_s"):
+            SqliteBroker(tmp_path / "d.sqlite3", breaker_cooldown_s=-1)
+
+
+class TestRequeueUnit:
+    def test_requeue_preserves_attempts_budget(self, tmp_path):
+        broker = SqliteBroker(tmp_path / "b.sqlite3", max_attempts=3)
+        broker.publish("u", "x")
+        unit = broker.claim("w")
+        broker.ack("u", "w")
+        assert broker.unit("u").state == "done"
+        assert broker.requeue_unit("u", "checkpoint gone") == "requeued"
+        requeued = broker.unit("u")
+        assert requeued.state == "queued"
+        assert requeued.attempts == unit.attempts  # budget untouched
+
+    def test_budget_exhaustion_turns_terminal(self, tmp_path):
+        broker = SqliteBroker(tmp_path / "b.sqlite3", max_attempts=2)
+        broker.publish("u", "x")
+        for _ in range(2):
+            broker.claim("w")
+            broker.ack("u", "w")
+            broker.requeue_unit("u", "checkpoint gone")
+        # two attempts spent; the next requeue must settle, not loop
+        assert broker.unit("u").state == "failed"
+        assert "checkpoint lost after 2 attempts" in broker.unit("u").error
+
+    def test_missing_and_nonterminal_states(self, broker):
+        assert broker.requeue_unit("ghost", "r") == "missing"
+        broker.publish("u", "x")
+        assert broker.requeue_unit("u", "r") == "requeued"  # queued: noop-ish

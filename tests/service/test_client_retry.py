@@ -78,6 +78,45 @@ class TestWait:
         assert client.polls == 5
 
 
+class TestTimeoutFlavours:
+    """An operator must be able to tell a dead service from a slow job
+    straight from the TimeoutError message — including what state the
+    job was last seen in."""
+
+    def test_dead_service_flavour_reports_last_state(self):
+        client = FlakyClient([])
+        calls = iter(range(1_000_000))
+
+        def one_good_poll_then_down(job_id):
+            if next(calls) == 0:
+                return {"state": "running"}
+            raise DOWN
+
+        client.status = one_good_poll_then_down
+        with pytest.raises(TimeoutError) as excinfo:
+            client.wait("j", timeout=0.2, poll_interval=0.01)
+        message = str(excinfo.value)
+        assert "unreachable" in message
+        assert "last observed job state: 'running'" in message
+        assert "dead or unreachable service" in message
+
+    def test_dead_service_never_observed(self):
+        client = FlakyClient([])
+        client.status = lambda job_id: (_ for _ in ()).throw(DOWN)
+        with pytest.raises(TimeoutError,
+                           match="never observed"):
+            client.wait("j", timeout=0.2, poll_interval=0.01)
+
+    def test_slow_job_flavour_names_the_state(self):
+        client = FlakyClient([])  # always {"state": "running"}
+        with pytest.raises(TimeoutError) as excinfo:
+            client.wait("j", timeout=0.1, poll_interval=0.01)
+        message = str(excinfo.value)
+        assert "still 'running'" in message
+        assert "slow or stuck job, not a dead service" in message
+        assert "unreachable" not in message
+
+
 class TestWaitUntilUp:
     def test_comes_up_after_misses(self):
         client = FlakyClient([])

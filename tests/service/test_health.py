@@ -1,0 +1,123 @@
+"""The /health operational report: jobs, broker, breakers, quarantine."""
+
+import asyncio
+
+from repro.service import (
+    CampaignJobSpec,
+    CampaignService,
+    InjectorSpec,
+    ResultStore,
+    ServiceClient,
+    ServiceServer,
+)
+from repro.testing import corrupt_file
+
+UNIFORM = InjectorSpec("uniform", {"probability": 2e-3})
+
+
+class TestServiceHealth:
+    def test_local_mode_reports_jobs_and_quarantine(self, tmp_path):
+        async def main():
+            async with CampaignService(tmp_path,
+                                       executor="thread") as service:
+                spec = CampaignJobSpec(n=15, m=3, trials=32, seed=3,
+                                       injector=UNIFORM)
+                job = await service.submit(spec)
+                await service.wait(job.id, timeout=300)
+                return service.health()
+
+        health = asyncio.run(main())
+        assert health["ok"] is True
+        assert health["execution"] == "local"
+        assert health["jobs"]["done"] == 1
+        assert health["store"]["quarantine"] == {
+            "results": 0, "shards": 0, "jobs": 0}
+        assert "broker" not in health  # local mode has no fleet half
+
+    def test_distributed_mode_reports_broker_depth(self, tmp_path):
+        async def main():
+            async with CampaignService(
+                    tmp_path, executor="thread",
+                    execution="distributed") as service:
+                await asyncio.to_thread(service.broker.publish, "u1", "x")
+                await asyncio.to_thread(service.broker.publish, "u2", "x")
+                await asyncio.to_thread(service.broker.claim, "w", 30.0)
+                return service.health()
+
+        health = asyncio.run(main())
+        broker = health["broker"]
+        assert broker["depth"] == 1 and broker["inflight"] == 1
+        assert broker["done"] == 0 and broker["failed"] == 0
+        assert broker["open_breakers"] == []
+
+    def test_open_breaker_is_reported(self, tmp_path):
+        async def main():
+            async with CampaignService(
+                    tmp_path, executor="thread", execution="distributed",
+                    broker_options={"breaker_threshold": 1}) as service:
+                await asyncio.to_thread(service.broker.publish, "u", "x")
+                await asyncio.to_thread(service.broker.claim, "sick", 30.0)
+                await asyncio.to_thread(service.broker.fail, "u", "sick",
+                                        "boom", True)
+                return service.health()
+
+        health = asyncio.run(main())
+        assert health["broker"]["open_breakers"] == ["sick"]
+        (row,) = health["broker"]["workers"]
+        assert row["owner"] == "sick" and row["failures"] == 1
+        assert row["open"] is True
+
+    def test_quarantine_counts_surface(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "cd" * 32
+        store.put(key, {"key": key})
+        corrupt_file(tmp_path / "results" / f"{key}.json", seed=1)
+        assert store.get(key) is None  # quarantines as a side effect
+
+        async def main():
+            async with CampaignService(store,
+                                       executor="thread") as service:
+                return service.health()
+
+        health = asyncio.run(main())
+        assert health["store"]["quarantine"]["results"] == 1
+
+
+class TestHttpHealth:
+    def test_health_route_and_client_report(self, tmp_path):
+        async def main():
+            service = CampaignService(tmp_path, executor="thread",
+                                      execution="distributed")
+            async with ServiceServer(service, port=0) as server:
+                client = ServiceClient(server.url)
+                # /healthz still answers (off the event loop: the
+                # client is blocking urllib)
+                assert await asyncio.to_thread(client.health) is True
+                return await asyncio.to_thread(client.health_report)
+
+        report = asyncio.run(main())
+        assert report["ok"] is True
+        assert report["execution"] == "distributed"
+        assert report["broker"]["depth"] == 0
+        assert report["store"]["quarantine"]["shards"] == 0
+
+    def test_health_rejects_post(self, tmp_path):
+        import urllib.error
+        import urllib.request
+
+        async def main():
+            service = CampaignService(tmp_path, executor="thread")
+            async with ServiceServer(service, port=0) as server:
+                def post():
+                    request = urllib.request.Request(
+                        server.url + "/health", data=b"{}",
+                        method="POST")
+                    try:
+                        urllib.request.urlopen(request, timeout=10)
+                    except urllib.error.HTTPError as exc:
+                        return exc.code
+                    return None
+
+                return await asyncio.to_thread(post)
+
+        assert asyncio.run(main()) == 405

@@ -1,0 +1,207 @@
+"""Store integrity: digest stamps, quarantine-on-read, verify sweep.
+
+The graceful-degradation contract: a corrupt record (bit-rot, torn
+bytes, wrong shape) is *never* served and *never* crashes a reader —
+it is moved to ``quarantine/<namespace>/`` with a ``.reason`` sidecar
+and read as missing, so the resume machinery regenerates it.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.faults.campaign import CampaignResult
+from repro.service.store import INTEGRITY_KEY, ResultStore
+from repro.testing import corrupt_file
+
+KEY = "ab" * 32
+
+
+def make_record(**extra):
+    record = {"key": KEY, "result": {"trials": 64}}
+    record.update(extra)
+    return record
+
+
+class TestStamping:
+    def test_writes_carry_integrity_stamp(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        raw = json.loads((tmp_path / "results" / f"{KEY}.json")
+                         .read_text())
+        assert raw[INTEGRITY_KEY]["algo"] == "sha256"
+        assert len(raw[INTEGRITY_KEY]["digest"]) == 64
+
+    def test_stamp_stripped_on_read(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        assert INTEGRITY_KEY not in store.get(KEY)
+
+    def test_legacy_unstamped_record_accepted(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = tmp_path / "results" / f"{KEY}.json"
+        path.write_text(json.dumps(make_record()))
+        assert store.get(KEY) == make_record()
+        assert store.verify()["legacy"] == 1
+
+
+class TestQuarantine:
+    def test_flipped_bytes_quarantined_and_read_as_missing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        corrupt_file(tmp_path / "results" / f"{KEY}.json", seed=1)
+        assert store.get(KEY) is None
+        assert store.quarantine_counts()["results"] == 1
+        quarantined = list((tmp_path / "quarantine" / "results").iterdir())
+        names = {p.name for p in quarantined}
+        assert f"{KEY}.json" in names
+        assert f"{KEY}.json.reason" in names
+
+    def test_undecodable_json_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = tmp_path / "results" / f"{KEY}.json"
+        path.write_text('{"truncated": ')
+        assert store.get(KEY) is None
+        assert store.quarantine_counts()["results"] == 1
+
+    def test_corrupt_shard_reads_as_gap(self, tmp_path):
+        """A quarantined checkpoint is a *gap*, so resume re-executes
+        the span instead of crashing or trusting bad tallies."""
+        store = ResultStore(tmp_path)
+        store.put_shard(KEY, 0, 64, CampaignResult(trials=64))
+        store.put_shard(KEY, 64, 128, CampaignResult(trials=64))
+        corrupt_file(tmp_path / "shards" / KEY / "0-64.json", seed=2)
+        spans = store.shard_spans(KEY)
+        assert (0, 64) not in spans and (64, 128) in spans
+        assert store.get_shard(KEY, 0, 64) is None
+        assert store.quarantine_counts()["shards"] == 1
+
+    def test_wrong_shape_shard_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path)
+        # valid JSON, no stamp (legacy), but not a shard record at all
+        path = tmp_path / "shards" / KEY / "0-64.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps({"not": "a shard"}))
+        assert store.get_shard(KEY, 0, 64) is None
+        assert store.quarantine_counts()["shards"] == 1
+
+    def test_corrupt_job_record_skipped_on_recovery(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put_job("j000001-aaaa", {"id": "j000001-aaaa"})
+        store.put_job("j000002-bbbb", {"id": "j000002-bbbb"})
+        corrupt_file(tmp_path / "jobs" / "j000001-aaaa.json", seed=3)
+        ids = [r["id"] for r in store.iter_jobs()]
+        assert ids == ["j000002-bbbb"]
+        assert store.quarantine_counts()["jobs"] == 1
+
+    def test_name_collision_gets_numeric_suffix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for seed in (1, 2):
+            store.put(KEY, make_record())
+            corrupt_file(tmp_path / "results" / f"{KEY}.json", seed=seed)
+            assert store.get(KEY) is None
+        names = {p.name
+                 for p in (tmp_path / "quarantine" / "results").iterdir()}
+        assert f"{KEY}.json" in names and f"{KEY}.json.1" in names
+
+
+class TestVerify:
+    def test_clean_store_verifies_ok(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        store.put_shard(KEY, 0, 64, CampaignResult(trials=64))
+        store.put_job("j000001-aaaa", {"id": "j000001-aaaa"})
+        report = store.verify()
+        assert report["checked"] == 3 and report["ok"] == 3
+        assert report["corrupt"] == [] and report["legacy"] == 0
+
+    def test_verify_reports_without_moving(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        corrupt_file(tmp_path / "results" / f"{KEY}.json", seed=4)
+        report = store.verify()
+        assert len(report["corrupt"]) == 1
+        assert report["corrupt"][0]["namespace"] == "results"
+        # report-only mode: the file stays where it was
+        assert (tmp_path / "results" / f"{KEY}.json").exists()
+        assert report["quarantine_counts"]["results"] == 0
+
+    def test_verify_quarantine_moves(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        corrupt_file(tmp_path / "results" / f"{KEY}.json", seed=5)
+        report = store.verify(quarantine=True)
+        assert len(report["quarantined"]) == 1
+        assert not (tmp_path / "results" / f"{KEY}.json").exists()
+        assert report["quarantine_counts"]["results"] == 1
+
+
+class TestCli:
+    def test_parser_flags(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["store", "verify", "--store", "./s", "--quarantine"])
+        assert args.store == "./s" and args.quarantine
+
+    def test_clean_store_exits_zero(self, tmp_path, capsys):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] == 1 and report["corrupt"] == []
+
+    def test_corrupt_store_exits_one(self, tmp_path, capsys):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        corrupt_file(tmp_path / "results" / f"{KEY}.json", seed=6)
+        assert main(["store", "verify", "--store", str(tmp_path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert len(report["corrupt"]) == 1
+
+    def test_quarantine_flag_moves_files(self, tmp_path, capsys):
+        store = ResultStore(tmp_path)
+        store.put(KEY, make_record())
+        corrupt_file(tmp_path / "results" / f"{KEY}.json", seed=7)
+        assert main(["store", "verify", "--store", str(tmp_path),
+                     "--quarantine"]) == 1
+        assert not (tmp_path / "results" / f"{KEY}.json").exists()
+        assert (tmp_path / "quarantine" / "results" /
+                f"{KEY}.json").exists()
+
+
+class TestEndToEndRegeneration:
+    def test_corrupt_result_reexecutes_and_matches_reference(
+            self, tmp_path):
+        """The full degradation loop: complete a campaign, corrupt its
+        stored record, resubmit — the service re-executes (no crash,
+        no bad bytes served) and the fresh result is bit-identical to
+        the scalar reference."""
+        import asyncio
+
+        from repro.service import (CampaignJobSpec, CampaignService,
+                                   InjectorSpec, result_from_dict)
+
+        spec = CampaignJobSpec(
+            n=15, m=3, trials=96, seed=11,
+            injector=InjectorSpec("uniform", {"probability": 2e-3}))
+
+        async def run_once():
+            async with CampaignService(tmp_path, executor="thread",
+                                       shard_trials=48) as service:
+                job = await service.submit(spec)
+                await service.wait(job.id, timeout=300)
+                return job
+
+        first = asyncio.run(run_once())
+        assert first.state == "done" and not first.cached
+        key = spec.normalized().cache_key()
+        corrupt_file(tmp_path / "results" / f"{key}.json", seed=8)
+
+        second = asyncio.run(run_once())
+        assert second.state == "done" and not second.cached
+        reference = spec.build_runner().run_reference(spec.trials)
+        assert result_from_dict(second.result).as_dict() == \
+            reference.as_dict()
+        store = ResultStore(tmp_path)
+        assert store.quarantine_counts()["results"] == 1
