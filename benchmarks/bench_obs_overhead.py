@@ -1,0 +1,93 @@
+"""Observability overhead gate: instrumented vs stripped hot path.
+
+The tracing/metrics/profiling plane buys its keep only if the packed
+campaign hot path barely notices it. This bench runs the same shard
+task through :func:`run_shard_task_profiled` twice — once with
+observability enabled (phase timers live, shard/phase metrics
+incremented) and once stripped (``set_enabled(False)``: the profile is
+``None``, every metric mutation is a flag-check-and-return) — and
+gates the median overhead below 3%.
+
+The differential suites already pin that the tallies are bit-identical
+either way; this file pins the *price*.
+
+Run:  pytest benchmarks/bench_obs_overhead.py
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.core.blocks import BlockGrid
+from repro.faults import UniformInjector
+from repro.faults.batch import CampaignRunner, run_shard_task_profiled
+from repro.obs import metrics as obs_metrics
+
+GRID = BlockGrid(129, 3)
+PROBABILITY = 2e-4
+TRIALS = 256
+ROUNDS = 7
+MAX_OVERHEAD = 0.03  # 3%
+
+
+def _make_task():
+    runner = CampaignRunner(GRID, UniformInjector(PROBABILITY, seed=1),
+                            seed=2, seeding="per-trial", packing="u8")
+    return runner.shard_task(0, TRIALS)
+
+
+def _median_seconds(task, rounds=ROUNDS):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        run_shard_task_profiled(task)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def test_obs_overhead_under_three_percent(save_artifact, save_json):
+    task = _make_task()
+    run_shard_task_profiled(task)  # warm caches/kernels once
+
+    previous = obs_metrics.set_enabled(True)
+    try:
+        result_on, phases_on = run_shard_task_profiled(task)
+        assert phases_on  # instrumented run actually profiled
+        instrumented_s = _median_seconds(task)
+
+        obs_metrics.set_enabled(False)
+        result_off, phases_off = run_shard_task_profiled(task)
+        assert phases_off == {}  # stripped run pays no profiler
+        stripped_s = _median_seconds(task)
+    finally:
+        obs_metrics.set_enabled(previous)
+
+    # profiling never reorders the engine: tallies bit-identical
+    assert result_on.as_dict() == result_off.as_dict()
+
+    overhead = instrumented_s / stripped_s - 1.0
+    rate_on = TRIALS / instrumented_s
+    rate_off = TRIALS / stripped_s
+    save_artifact("obs_overhead.txt", "\n".join([
+        f"geometry: n={GRID.n}, m={GRID.m}, trials={TRIALS}, "
+        f"packing=u8, rounds={ROUNDS} (median)",
+        f"stripped     : {rate_off:10.1f} trials/s "
+        f"({stripped_s * 1e3:.1f} ms)",
+        f"instrumented : {rate_on:10.1f} trials/s "
+        f"({instrumented_s * 1e3:.1f} ms)",
+        f"overhead: {overhead * 100:+.2f}% "
+        f"(gate < {MAX_OVERHEAD * 100:.0f}%)",
+    ]))
+    save_json("obs_overhead", {
+        "bench": "obs_overhead",
+        "n": GRID.n, "m": GRID.m, "trials": TRIALS,
+        "packing": "u8", "rounds": ROUNDS,
+        "stripped_trials_per_s": rate_off,
+        "instrumented_trials_per_s": rate_on,
+        "overhead_fraction": overhead,
+        "max_overhead_fraction": MAX_OVERHEAD,
+    })
+    assert overhead < MAX_OVERHEAD, (
+        f"observability costs {overhead * 100:.2f}% on the packed "
+        f"campaign path (gate {MAX_OVERHEAD * 100:.0f}%)")

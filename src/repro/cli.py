@@ -14,6 +14,8 @@
                            [--execution local|distributed --queue NAME]
     python -m repro submit SPEC.json [--url U --wait --timeout S]
     python -m repro status JOB_ID [--url U]
+    python -m repro trace  JOB_ID (--store DIR | --url U) [--json]
+    python -m repro metrics [--url U]
     python -m repro worker (--store DIR [--broker PATH] | --url U)
                            [--id W --lease-ttl S --max-units N]
     python -m repro store gc --store DIR [--max-age-days D]
@@ -28,7 +30,10 @@ distributed service's fleet: give it the service's ``--store`` path
 (same host / shared disk) or its ``--url`` (any host). ``store
 verify`` digest-checks every record and exits 1 when anything is
 corrupt (``--quarantine`` also moves the bad files aside), so it
-slots straight into cron/CI health gates.
+slots straight into cron/CI health gates. ``trace`` reconstructs a
+job's cross-process timeline from its persisted trace events (read
+straight from the store directory or over the service's ``/trace/``
+endpoint); ``metrics`` dumps the service's Prometheus exposition.
 """
 
 from __future__ import annotations
@@ -209,6 +214,40 @@ def _cmd_status(args) -> int:
     return 0 if record["state"] != "failed" else 1
 
 
+def _cmd_trace(args) -> int:
+    from repro.obs.timeline import render_timeline
+
+    if (args.store is None) == (args.url is None):
+        print("trace needs exactly one of --store (read events from "
+              "the store directory) or --url (ask the service)",
+              file=sys.stderr)
+        return 2
+    if args.store is not None:
+        from repro.service.store import ResultStore
+        events = ResultStore(args.store).read_events(args.job_id)
+    else:
+        from repro.service.client import ServiceClient
+        try:
+            events = ServiceClient(args.url).trace(args.job_id)
+        except ValueError:
+            events = []
+    if not events:
+        print(f"no trace recorded for {args.job_id!r}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(events, indent=2, sort_keys=True))
+    else:
+        print(render_timeline(events))
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.service.client import ServiceClient
+
+    print(ServiceClient(args.url).metrics_text(), end="")
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from repro.distributed.broker import SqliteBroker
     from repro.distributed.worker import (
@@ -359,6 +398,24 @@ def build_parser() -> argparse.ArgumentParser:
     p8.add_argument("job_id")
     p8.add_argument("--url", default=_default_service_url())
     p8.set_defaults(func=_cmd_status)
+
+    ptrace = sub.add_parser(
+        "trace", help="reconstruct one job's cross-process timeline")
+    ptrace.add_argument("job_id")
+    ptrace.add_argument("--store", default=None,
+                        help="service store directory (read the events "
+                             "files directly)")
+    ptrace.add_argument("--url", default=None,
+                        help="service URL (fetch via GET /trace/<id>)")
+    ptrace.add_argument("--json", action="store_true",
+                        help="print raw event records instead of the "
+                             "rendered timeline")
+    ptrace.set_defaults(func=_cmd_trace)
+
+    pmetrics = sub.add_parser(
+        "metrics", help="dump the service's Prometheus metrics text")
+    pmetrics.add_argument("--url", default=_default_service_url())
+    pmetrics.set_defaults(func=_cmd_metrics)
 
     p9 = sub.add_parser(
         "worker", help="run a shard worker for a distributed service")

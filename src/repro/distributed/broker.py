@@ -36,10 +36,36 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
+from repro.obs import metrics as obs_metrics
 from repro.service.queue import JobQueue, register_queue_backend
 
 #: Unit lifecycle states (the only values the ``state`` column takes).
 UNIT_STATES = ("queued", "leased", "done", "failed")
+
+_PUBLISHES = obs_metrics.counter(
+    "repro_broker_publish_total",
+    "Work-unit publishes, by outcome.", ("outcome",))
+_CLAIMS = obs_metrics.counter(
+    "repro_broker_claims_total",
+    "Claim attempts: granted (fresh), reclaimed (expired lease), "
+    "empty, or breaker_open.", ("outcome",))
+_HEARTBEATS = obs_metrics.counter(
+    "repro_broker_heartbeats_total",
+    "Lease heartbeats, by outcome (lost = lease no longer held).",
+    ("outcome",))
+_ACKS = obs_metrics.counter(
+    "repro_broker_acks_total",
+    "Completion acks, by outcome (lost = lease no longer held).",
+    ("outcome",))
+_FAILS = obs_metrics.counter(
+    "repro_broker_fails_total",
+    "Failure reports: requeued, terminal, or lost.", ("outcome",))
+_REQUEUES = obs_metrics.counter(
+    "repro_broker_requeues_total",
+    "Dispatcher lost-checkpoint requeues, by outcome.", ("outcome",))
+_BREAKER_OPENS = obs_metrics.counter(
+    "repro_broker_breaker_open_total",
+    "Circuit-breaker (re)arms after a threshold-crossing failure.")
 
 #: Default seconds a worker may hold a lease without heartbeating.
 DEFAULT_LEASE_TTL_S = 30.0
@@ -205,6 +231,7 @@ class SqliteBroker:
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+        _PUBLISHES.inc(outcome="queued" if published else "duplicate")
         return published
 
     def clear_group(self, group_key: str) -> int:
@@ -239,6 +266,7 @@ class SqliteBroker:
                 if row is not None and row["open_until"] is not None \
                         and row["open_until"] > now:
                     conn.execute("COMMIT")
+                    _CLAIMS.inc(outcome="breaker_open")
                     return None
                 # Crash-loop guard: a unit whose lease expired after
                 # consuming its attempt budget is terminal, not
@@ -251,12 +279,19 @@ class SqliteBroker:
                     "lease_expires < ? AND attempts >= ?",
                     (now, self.max_attempts))
                 row = conn.execute(
-                    "SELECT unit_id FROM units WHERE state = 'queued' OR "
+                    "SELECT unit_id, state FROM units WHERE "
+                    "state = 'queued' OR "
                     "(state = 'leased' AND lease_expires < ?) "
                     "ORDER BY seq LIMIT 1", (now,)).fetchone()
                 if row is None:
                     conn.execute("COMMIT")
+                    _CLAIMS.inc(outcome="empty")
                     return None
+                # "reclaimed" = the previous holder's lease expired —
+                # the metric (and the worker's reattempt trace event)
+                # is the observable form of the implicit re-enqueue.
+                outcome = ("reclaimed" if row["state"] == "leased"
+                           else "granted")
                 conn.execute(
                     "UPDATE units SET state = 'leased', owner = ?, "
                     "lease_expires = ?, attempts = attempts + 1 "
@@ -267,6 +302,7 @@ class SqliteBroker:
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+        _CLAIMS.inc(outcome=outcome)
         return unit
 
     def heartbeat(self, unit_id: str, owner: str,
@@ -284,7 +320,9 @@ class SqliteBroker:
                 "UPDATE units SET lease_expires = ? WHERE unit_id = ? "
                 "AND owner = ? AND state = 'leased'",
                 (now + ttl_s, unit_id, owner))
-            return cursor.rowcount == 1
+            held = cursor.rowcount == 1
+        _HEARTBEATS.inc(outcome="ok" if held else "lost")
+        return held
 
     def ack(self, unit_id: str, owner: str) -> bool:
         """Mark ``unit_id`` done; ``False`` if the lease was lost.
@@ -302,7 +340,9 @@ class SqliteBroker:
                 conn.execute(
                     "UPDATE worker_health SET failures = 0, "
                     "open_until = NULL WHERE owner = ?", (owner,))
-            return cursor.rowcount == 1
+            acked = cursor.rowcount == 1
+        _ACKS.inc(outcome="ok" if acked else "lost")
+        return acked
 
     def fail(self, unit_id: str, owner: str, error: str,
              requeue: bool = True, now: Optional[float] = None) -> bool:
@@ -331,6 +371,7 @@ class SqliteBroker:
                     (unit_id, owner)).fetchone()
                 if row is None:
                     conn.execute("COMMIT")
+                    _FAILS.inc(outcome="lost")
                     return False
                 if requeue and row["attempts"] >= self.max_attempts:
                     requeue = False
@@ -347,15 +388,20 @@ class SqliteBroker:
                     "INSERT INTO worker_health (owner, failures) "
                     "VALUES (?, 1) ON CONFLICT(owner) DO UPDATE SET "
                     "failures = failures + 1", (owner,))
-                conn.execute(
+                breaker = conn.execute(
                     "UPDATE worker_health SET open_until = ? WHERE "
                     "owner = ? AND failures >= ?",
                     (now + self.breaker_cooldown_s, owner,
                      self.breaker_threshold))
+                tripped = breaker.rowcount == 1
                 conn.execute("COMMIT")
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+        _FAILS.inc(outcome="requeued" if state == "queued"
+                   else "terminal")
+        if tripped:
+            _BREAKER_OPENS.inc()
         return True
 
     def requeue_unit(self, unit_id: str, reason: str,
@@ -402,6 +448,7 @@ class SqliteBroker:
             except BaseException:
                 conn.execute("ROLLBACK")
                 raise
+        _REQUEUES.inc(outcome=outcome)
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -496,6 +543,8 @@ class SqliteJobQueue(JobQueue):
     under load.
     """
 
+    backend_name = "sqlite"
+
     def __init__(self, path, poll_interval_s: float = 0.05) -> None:
         if poll_interval_s <= 0:
             raise ValueError(f"poll_interval_s must be positive, "
@@ -506,12 +555,14 @@ class SqliteJobQueue(JobQueue):
     async def put(self, job_id: str) -> None:
         self._check_open()
         await asyncio.to_thread(self._insert, job_id)
+        self._count_op("put")
 
     async def get(self) -> str:
         self._check_open()
         while True:
             job_id = await asyncio.to_thread(self._claim_next)
             if job_id is not None:
+                self._count_op("get")
                 return job_id
             self._check_open()
             await asyncio.sleep(self.poll_interval_s)

@@ -37,8 +37,14 @@ WIRE_FORMAT = "repro/shard-task"
 #: dispatchers must agree exactly; there is no cross-version execution.
 #: History: 1 = original schema; 2 = added the ``code`` field (pluggable
 #: block-code registry) to :class:`ShardTask`; 3 = added the
-#: ``kernels_name`` field (host-side kernel tier, resolved at dispatch).
-WIRE_VERSION = 3
+#: ``kernels_name`` field (host-side kernel tier, resolved at dispatch);
+#: 4 = the unit dispatch envelope (the broker payload wrapping a task
+#: envelope, :func:`unit_envelope`) joined the versioned surface and may
+#: carry an optional ``trace`` routing block (``{"id", "span"}``) for
+#: cross-process tracing. The task schema is unchanged; the trace block
+#: rides *outside* the digest-stamped body, so unit ids, content
+#: digests, and dedupe keys are unaffected by whether tracing is on.
+WIRE_VERSION = 4
 
 
 class WireFormatError(ValueError):
@@ -107,3 +113,52 @@ def _digest(body: dict) -> str:
     """Content hash binding the envelope header to the task body."""
     return content_hash({"format": WIRE_FORMAT, "version": WIRE_VERSION,
                          "task": body})
+
+
+# ---------------------------------------------------------------------- #
+# Unit dispatch envelope (the broker payload around a task envelope)
+# ---------------------------------------------------------------------- #
+
+#: Keys every unit dispatch envelope must carry. ``trace`` is optional
+#: routing metadata (``{"id": trace_id, "span": parent_span_id}``);
+#: decoding tolerates unknown extra keys for forward compatibility.
+UNIT_ENVELOPE_KEYS = frozenset({"job_key", "lo", "hi", "shard_task"})
+
+
+def unit_envelope(job_key: str, lo: int, hi: int, task: ShardTask,
+                  trace: dict = None) -> str:
+    """Canonical JSON of one broker work-unit payload.
+
+    The dispatcher publishes this under the unit id
+    ``{job_key}:{lo}-{hi}``; byte-stability matters because republish
+    idempotence compares payloads by unit id. The optional ``trace``
+    block is deliberately outside the task envelope's digest — it is
+    observability routing, not work content.
+    """
+    payload = {"job_key": job_key, "lo": lo, "hi": hi,
+               "shard_task": task_wire_dict(task)}
+    if trace:
+        payload["trace"] = dict(trace)
+    return canonical_json(payload)
+
+
+def decode_unit_envelope(text: str) -> dict:
+    """Parse a unit payload, refusing structural mismatches.
+
+    Returns the envelope dict (``shard_task`` still in wire form —
+    callers hand it to :func:`task_from_wire_dict` for the full
+    version/digest refusal semantics). The optional ``trace`` block is
+    normalized to a dict or ``None``.
+    """
+    try:
+        envelope = json.loads(text)
+    except (TypeError, json.JSONDecodeError) as exc:
+        raise WireFormatError(f"unit payload is not JSON: {exc}") from exc
+    if not isinstance(envelope, dict) or \
+            not UNIT_ENVELOPE_KEYS <= set(envelope):
+        raise WireFormatError(
+            f"malformed unit envelope: expected keys "
+            f"{sorted(UNIT_ENVELOPE_KEYS)}")
+    trace = envelope.get("trace")
+    envelope["trace"] = trace if isinstance(trace, dict) else None
+    return envelope

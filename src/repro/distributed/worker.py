@@ -32,22 +32,35 @@ Two transports implement :class:`WorkSource`:
 
 from __future__ import annotations
 
-import json
 import os
 import socket
 import threading
 import time
+from time import perf_counter_ns
+from typing import Dict, List, Optional, Tuple
 import uuid
-from typing import Optional, Tuple
 
 from repro.distributed.broker import DEFAULT_LEASE_TTL_S, SqliteBroker
-from repro.distributed.wire import WireFormatError, task_from_wire_dict
-from repro.faults.batch import run_shard_task
+from repro.distributed.wire import (
+    WireFormatError,
+    decode_unit_envelope,
+    task_from_wire_dict,
+)
+from repro.faults.batch import run_shard_task_profiled
 from repro.faults.campaign import CampaignResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer
 from repro.service.client import ServiceClient
 from repro.service.spec import result_to_dict
 from repro.service.store import ResultStore
 from repro.utils.retry import RetryPolicy, poll_policy
+
+_WORKER_UNITS = obs_metrics.counter(
+    "repro_worker_units_total",
+    "Units processed by this worker process, by outcome.", ("outcome",))
+_CHECKPOINT_SECONDS = obs_metrics.histogram(
+    "repro_checkpoint_write_seconds",
+    "Wall seconds spent persisting a span checkpoint (complete call).")
 
 
 def default_worker_id() -> str:
@@ -60,16 +73,23 @@ class WorkSource:
     """Transport abstraction between a worker and its dispatcher."""
 
     def claim(self, owner: str,
-              ttl_s: float) -> Optional[Tuple[str, str]]:
-        """``(unit_id, payload_text)`` of a claimed unit, or ``None``."""
+              ttl_s: float) -> Optional[Tuple[str, str, int]]:
+        """``(unit_id, payload_text, attempts)`` of a claimed unit, or
+        ``None``. ``attempts`` counts this claim too, so a value above
+        1 means the unit was retried or reclaimed after a lease expiry
+        — the worker surfaces that in the trace."""
         raise NotImplementedError
 
     def heartbeat(self, unit_id: str, owner: str, ttl_s: float) -> bool:
         raise NotImplementedError
 
     def complete(self, unit_id: str, owner: str, job_key: str, lo: int,
-                 hi: int, tallies: CampaignResult) -> None:
-        """Persist ``tallies`` as the span checkpoint, then ack."""
+                 hi: int, tallies: CampaignResult,
+                 phases: Optional[Dict[str, int]] = None) -> None:
+        """Persist ``tallies`` as the span checkpoint, then ack.
+
+        ``phases`` is the optional per-phase timing profile stamped
+        onto the checkpoint record (observability metadata only)."""
         raise NotImplementedError
 
     def ack(self, unit_id: str, owner: str) -> bool:
@@ -84,6 +104,12 @@ class WorkSource:
         """True when the span's checkpoint already exists (dedupe)."""
         return False
 
+    def record_events(self, trace_id: str, events: List[dict]) -> None:
+        """Persist a batch of trace events (best-effort; default none).
+
+        Telemetry only: implementations must never let a failure here
+        propagate into the unit lifecycle."""
+
 
 class BrokerWorkSource(WorkSource):
     """Direct broker + store access (shared-store topology)."""
@@ -94,16 +120,18 @@ class BrokerWorkSource(WorkSource):
 
     def claim(self, owner, ttl_s):
         unit = self.broker.claim(owner, ttl_s)
-        return None if unit is None else (unit.unit_id, unit.payload)
+        return None if unit is None else (unit.unit_id, unit.payload,
+                                          unit.attempts)
 
     def heartbeat(self, unit_id, owner, ttl_s):
         return self.broker.heartbeat(unit_id, owner, ttl_s)
 
-    def complete(self, unit_id, owner, job_key, lo, hi, tallies):
+    def complete(self, unit_id, owner, job_key, lo, hi, tallies,
+                 phases=None):
         # Checkpoint first, ack second: a crash in between leaves a
         # leased unit whose span is already durable — the next claimer
         # sees the checkpoint and acks without recomputing.
-        self.store.put_shard(job_key, lo, hi, tallies)
+        self.store.put_shard(job_key, lo, hi, tallies, phases=phases)
         self.broker.ack(unit_id, owner)
 
     def ack(self, unit_id, owner):
@@ -115,6 +143,9 @@ class BrokerWorkSource(WorkSource):
     def shard_done(self, job_key, lo, hi):
         return self.store.get_shard(job_key, lo, hi) is not None
 
+    def record_events(self, trace_id, events):
+        self.store.append_events(trace_id, events)
+
 
 class HttpWorkSource(WorkSource):
     """The service's ``/units/*`` endpoints (multi-host topology)."""
@@ -124,14 +155,18 @@ class HttpWorkSource(WorkSource):
 
     def claim(self, owner, ttl_s):
         unit = self.client.claim_unit(owner, ttl_s)
-        return None if unit is None else (unit["unit_id"], unit["payload"])
+        if unit is None:
+            return None
+        return (unit["unit_id"], unit["payload"],
+                int(unit.get("attempts") or 1))
 
     def heartbeat(self, unit_id, owner, ttl_s):
         return self.client.heartbeat_unit(unit_id, owner, ttl_s)
 
-    def complete(self, unit_id, owner, job_key, lo, hi, tallies):
+    def complete(self, unit_id, owner, job_key, lo, hi, tallies,
+                 phases=None):
         self.client.complete_unit(unit_id, owner, job_key, lo, hi,
-                                  result_to_dict(tallies))
+                                  result_to_dict(tallies), phases=phases)
 
     def ack(self, unit_id, owner):
         return self.client.ack_unit(unit_id, owner)
@@ -141,6 +176,9 @@ class HttpWorkSource(WorkSource):
 
     def shard_done(self, job_key, lo, hi):
         return self.client.shard_done(job_key, lo, hi)
+
+    def record_events(self, trace_id, events):
+        self.client.record_events(trace_id, events)
 
 
 class HeartbeatThread:
@@ -232,6 +270,14 @@ class ShardWorker:
         self.poll_interval_s = poll_interval_s
         self.units_done = 0
         self.units_failed = 0
+        # Trace events flow back through the work source (store append
+        # on the shared-store topology, POST /units/events over HTTP);
+        # emission is batched per unit and never fails the unit. The
+        # getattr keeps duck-typed sources without the telemetry hook
+        # (test fakes, minimal adapters) working — they just run
+        # untraced.
+        self.tracer = Tracer(getattr(source, "record_events", None),
+                             proc=self.worker_id)
 
     def run_once(self) -> bool:
         """Claim and process at most one unit; ``True`` if one ran."""
@@ -302,37 +348,92 @@ class ShardWorker:
     # One unit
     # ------------------------------------------------------------------ #
 
-    def _process(self, unit_id: str, payload_text: str) -> None:
+    def _process(self, unit_id: str, payload_text: str,
+                 attempts: Optional[int] = None) -> None:
         try:
-            job_key, lo, hi, task = self._decode(payload_text)
+            job_key, lo, hi, task, trace = self._decode(payload_text)
         except (WireFormatError, ValueError) as exc:
             # Poison payload: no retry can fix a revision/digest
             # mismatch, so fail terminally and let the dispatcher
             # surface it instead of bouncing the unit forever.
             self.units_failed += 1
+            _WORKER_UNITS.inc(outcome="poison")
             self.source.fail(unit_id, self.worker_id,
                              f"{type(exc).__name__}: {exc}",
                              requeue=False)
             return
+        trace_id = (trace or {}).get("id")
+        parent = (trace or {}).get("span")
+        tracer = self.tracer
+        if trace_id:
+            # Flush the claim evidence immediately — before execution —
+            # so even a worker killed mid-span leaves its claim in the
+            # timeline; attempts > 1 is the lease-expiry/requeue marker.
+            claim_attrs = {"unit": unit_id, "lo": lo, "hi": hi}
+            if attempts is not None:
+                claim_attrs["attempts"] = attempts
+            records = [tracer.event_record(trace_id, "unit.claim",
+                                           parent=parent,
+                                           attrs=claim_attrs)]
+            if attempts is not None and attempts > 1:
+                # error status: a prior attempt was lost (lease expiry
+                # or requeue), and the timeline should flag it.
+                records.append(tracer.event_record(
+                    trace_id, "unit.reattempt", parent=parent,
+                    attrs=dict(claim_attrs), status="error"))
+            tracer.emit_records(trace_id, records)
         try:
             if self.source.shard_done(job_key, lo, hi):
                 # Another worker finished this span after a lease
                 # expiry race; the checkpoint is the truth — just ack.
                 self.source.ack(unit_id, self.worker_id)
                 self.units_done += 1
+                _WORKER_UNITS.inc(outcome="dedupe_ack")
+                if trace_id:
+                    tracer.event(trace_id, "unit.dedupe_ack",
+                                 parent=parent, attrs={"unit": unit_id})
                 return
-            with HeartbeatThread(self.source, unit_id, self.worker_id,
-                                 self.lease_ttl_s) as beat:
-                tallies = run_shard_task(task)
+            with tracer.span(trace_id, "unit.execute", parent=parent,
+                             attrs={"unit": unit_id, "lo": lo, "hi": hi,
+                                    "code": task.code,
+                                    "packing": task.packing,
+                                    "kernels": task.kernels_name}
+                             ) as span:
+                with HeartbeatThread(self.source, unit_id,
+                                     self.worker_id,
+                                     self.lease_ttl_s) as beat:
+                    tallies, phases = run_shard_task_profiled(task)
+                if phases:
+                    span.set("phases", phases)
             # Even if the lease was lost mid-run, writing the
             # checkpoint is harmless: tallies are a pure function of
-            # (key, span), so racing writers produce identical bytes.
+            # (key, span), so racing writers agree on the result —
+            # only the wall-clock phase stamps can differ, and the
+            # atomic replace means one complete record wins.
+            t_ckpt = perf_counter_ns()
             self.source.complete(unit_id, self.worker_id, job_key, lo, hi,
-                                 tallies)
+                                 tallies, phases=phases or None)
+            ckpt_ns = perf_counter_ns() - t_ckpt
+            _CHECKPOINT_SECONDS.observe(ckpt_ns / 1e9)
+            if trace_id:
+                tracer.event(trace_id, "unit.complete", parent=parent,
+                             attrs={"unit": unit_id,
+                                    "checkpoint_write_ns": ckpt_ns,
+                                    "lease_lost": beat.lost})
             if not beat.lost:
                 self.units_done += 1  # a lost lease credits the reclaimer
+                _WORKER_UNITS.inc(outcome="done")
+            else:
+                _WORKER_UNITS.inc(outcome="lease_lost")
         except Exception as exc:  # noqa: BLE001 - unit isolation boundary
             self.units_failed += 1
+            _WORKER_UNITS.inc(outcome="failed")
+            if trace_id:
+                tracer.event(trace_id, "unit.fail", parent=parent,
+                             status="error",
+                             attrs={"unit": unit_id,
+                                    "error": f"{type(exc).__name__}: "
+                                             f"{exc}"})
             try:
                 self.source.fail(unit_id, self.worker_id,
                                  f"{type(exc).__name__}: {exc}",
@@ -342,20 +443,16 @@ class ShardWorker:
 
     @staticmethod
     def _decode(payload_text: str):
-        """Split a dispatch envelope into routing metadata + task."""
-        try:
-            envelope = json.loads(payload_text)
-        except json.JSONDecodeError as exc:
-            raise WireFormatError(f"unit payload is not JSON: "
-                                  f"{exc}") from exc
-        if not isinstance(envelope, dict) or \
-                not {"job_key", "lo", "hi", "shard_task"} <= set(envelope):
-            raise WireFormatError(
-                "unit payload must carry job_key/lo/hi/shard_task")
+        """Split a dispatch envelope into routing metadata + task.
+
+        Returns ``(job_key, lo, hi, task, trace)`` where ``trace`` is
+        the optional observability routing block (or ``None`` — wire v4
+        keeps it optional, so untraced dispatchers still work)."""
+        envelope = decode_unit_envelope(payload_text)
         task = task_from_wire_dict(envelope["shard_task"])
         lo, hi = int(envelope["lo"]), int(envelope["hi"])
         if (lo, hi) != task.span:
             raise WireFormatError(
                 f"unit routing span ({lo}, {hi}) does not match the "
                 f"shard task span {task.span}")
-        return str(envelope["job_key"]), lo, hi, task
+        return str(envelope["job_key"]), lo, hi, task, envelope["trace"]

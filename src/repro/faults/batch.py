@@ -149,7 +149,8 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from time import perf_counter_ns
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -168,6 +169,8 @@ from repro.utils.bitpack import (
 )
 from repro.faults.campaign import CampaignResult, FaultCampaign
 from repro.faults.injector import FaultInjector
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import PhaseProfile
 from repro.utils.backend import (
     ArrayBackend,
     BackendLike,
@@ -191,6 +194,23 @@ DEFAULT_BATCH_SIZE = 64
 #: Tensor layouts of the vectorized engine: one byte per trial bit
 #: (``"u8"``) or 64 trials bit-sliced into each uint64 word (``"u64"``).
 PACKINGS = ("u8", "u64")
+
+#: The campaign phases the engine's profiler times per block (the
+#: worker/scheduler add ``checkpoint_write`` at the persistence layer).
+PROFILE_PHASES = ("fill", "pack", "encode", "inject", "decode_sweep",
+                  "tally")
+
+_SHARD_RUNS = obs_metrics.counter(
+    "repro_shard_tasks_total",
+    "Shard-task executions, by kernel tier / packing / code.",
+    ("kernels", "packing", "code"))
+_SHARD_SECONDS = obs_metrics.histogram(
+    "repro_shard_seconds",
+    "Wall seconds per shard-task execution.", ("kernels", "packing"))
+_PHASE_SECONDS = obs_metrics.counter(
+    "repro_shard_phase_seconds_total",
+    "Cumulative seconds spent per campaign phase (profiled shards).",
+    ("phase",))
 
 
 def derive_campaign_seeds(seed: SeedLike, seeding: Optional[str],
@@ -241,7 +261,8 @@ class BatchCampaign:
                  seed: SeedLike = None, include_check_bits: bool = True,
                  batch_size: int = DEFAULT_BATCH_SIZE,
                  backend: BackendLike = None, packing: str = "u8",
-                 code: str = "diagonal", kernels: KernelsLike = None):
+                 code: str = "diagonal", kernels: KernelsLike = None,
+                 profile: Optional[PhaseProfile] = None):
         if batch_size <= 0:
             raise ValueError(f"batch_size must be positive, got {batch_size}")
         if packing not in PACKINGS:
@@ -257,6 +278,12 @@ class BatchCampaign:
         self.code_name = code
         self.code = build_code(code, grid)
         self.kernels = get_kernels(kernels)
+        #: Optional per-phase nanosecond accumulator (observability).
+        #: Timestamps are read unconditionally in the block path — two
+        #: ``perf_counter_ns`` calls per phase — but only stored when a
+        #: profile is attached, so the None case stays branch-cheap and
+        #: the tallies are identical either way.
+        self.profile = profile
 
     # ------------------------------------------------------------------ #
     # Public entry points
@@ -318,6 +345,7 @@ class BatchCampaign:
         tallies packing-invariant.
         """
         n = self.grid.n
+        t_fill = perf_counter_ns()
         stage = np.empty((batch, n, n), dtype=np.uint8)
         if data_rngs is None:
             for i in range(batch):
@@ -326,6 +354,8 @@ class BatchCampaign:
         else:
             for i, rng in enumerate(data_rngs):
                 stage[i] = rng.integers(0, 2, size=(n, n), dtype=np.uint8)
+        if self.profile is not None:
+            self.profile.add("fill", perf_counter_ns() - t_fill)
         if self.packing == "u64":
             injection, counts = self._execute_packed(batch, stage,
                                                      inject_rngs)
@@ -355,18 +385,22 @@ class BatchCampaign:
         be = self.backend
         # Draws are always host-side numpy (the seeding contract); the
         # stack crosses onto the backend once, here.
+        t0 = perf_counter_ns()
         data = be.from_numpy(stage)
 
         planes = self.code.encode_batch(data, backend=be)
         golden = data.copy()
         golden_planes = tuple(p.copy() for p in planes)
+        t1 = perf_counter_ns()
 
         injection = self.injector.inject_batch_planes(
             data, planes if self.include_check_bits else (),
             rngs=inject_rngs, backend=be)
+        t2 = perf_counter_ns()
 
         sweep = self.code.check_batched(data, planes, correct=True,
                                         backend=be)
+        t3 = perf_counter_ns()
 
         restored = (data == golden).reshape(batch, -1).all(axis=1)
         for p, g in zip(planes, golden_planes):
@@ -378,8 +412,15 @@ class BatchCampaign:
         corrected = ~clean & restored
         detected = ~clean & ~restored & uncorrectable
         silent = ~clean & ~restored & ~uncorrectable
-        return injection, (int(clean.sum()), int(corrected.sum()),
-                           int(detected.sum()), int(silent.sum()))
+        counts = (int(clean.sum()), int(corrected.sum()),
+                  int(detected.sum()), int(silent.sum()))
+        if self.profile is not None:
+            profile = self.profile
+            profile.add("encode", t1 - t0)
+            profile.add("inject", t2 - t1)
+            profile.add("decode_sweep", t3 - t2)
+            profile.add("tally", perf_counter_ns() - t3)
+        return injection, counts
 
     def _execute_packed(self, batch: int, stage: np.ndarray,
                         inject_rngs: Optional[Sequence[np.random.Generator]],
@@ -398,19 +439,24 @@ class BatchCampaign:
         """
         be = self.backend
         kern = self.kernels
+        t0 = perf_counter_ns()
         words = pack_batch(stage, backend=be, kernels=kern)
+        t1 = perf_counter_ns()
 
         planes = self.code.encode_batch_packed(words, backend=be)
         golden = words.copy()
         golden_planes = tuple(p.copy() for p in planes)
+        t2 = perf_counter_ns()
 
         injection = self.injector.inject_batch_planes_packed(
             batch, words, planes if self.include_check_bits else (),
             rngs=inject_rngs, backend=be)
+        t3 = perf_counter_ns()
 
         sweep = self.code.check_batched_packed(words, planes, batch,
                                                correct=True, backend=be,
                                                kernels=kern)
+        t4 = perf_counter_ns()
 
         damaged = or_reduce_words(words ^ golden, axis=(1, 2), backend=be)
         for p, g in zip(planes, golden_planes):
@@ -433,8 +479,16 @@ class BatchCampaign:
                 mask_words, backend=be, kernels=kern)).sum())
 
         n_faulty = count(faulty)
-        return injection, (batch - n_faulty, count(corrected),
-                           count(detected), count(silent))
+        counts = (batch - n_faulty, count(corrected),
+                  count(detected), count(silent))
+        if self.profile is not None:
+            profile = self.profile
+            profile.add("pack", t1 - t0)
+            profile.add("encode", t2 - t1)
+            profile.add("inject", t3 - t2)
+            profile.add("decode_sweep", t4 - t3)
+            profile.add("tally", perf_counter_ns() - t4)
+        return injection, counts
 
 
 # ---------------------------------------------------------------------- #
@@ -534,6 +588,21 @@ def run_shard_task(task: ShardTask) -> CampaignResult:
     The worker entry point of both the process-pool shard layer and the
     campaign service (:mod:`repro.service`).
     """
+    return run_shard_task_profiled(task)[0]
+
+
+def run_shard_task_profiled(task: ShardTask
+                            ) -> Tuple[CampaignResult, Dict[str, int]]:
+    """:func:`run_shard_task` plus the per-phase timing profile.
+
+    Returns ``(result, {phase: ns})``. The profile covers the engine
+    phases in :data:`PROFILE_PHASES`; it is empty when observability is
+    disabled (:func:`repro.obs.set_enabled`). The tallies are the same
+    object either way — profiling reads clocks around the existing
+    statements, never reorders them — so the bit-identity differential
+    suites hold for both entry points. Picklable at module level like
+    :func:`run_shard_task`, so process pools can return the pair.
+    """
     try:
         backend = get_backend(task.backend_name)
     except ValueError as exc:
@@ -552,12 +621,24 @@ def run_shard_task(task: ShardTask) -> CampaignResult:
             f"the register_kernels() call must run at import time of a "
             f"module the worker imports, not interactively in the "
             f"parent") from exc
+    profile = PhaseProfile() if obs_metrics.is_enabled() else None
     engine = BatchCampaign(BlockGrid(task.n, task.m), task.injector,
                            include_check_bits=task.include_check_bits,
                            batch_size=task.batch_size,
                            backend=backend, packing=task.packing,
-                           code=task.code, kernels=kernels)
-    return engine.run_range_seeded(task.entropy, task.lo, task.hi)
+                           code=task.code, kernels=kernels,
+                           profile=profile)
+    t0 = perf_counter_ns()
+    result = engine.run_range_seeded(task.entropy, task.lo, task.hi)
+    elapsed_ns = perf_counter_ns() - t0
+    phases = profile.as_dict() if profile is not None else {}
+    _SHARD_RUNS.inc(kernels=kernels.name, packing=task.packing,
+                    code=task.code)
+    _SHARD_SECONDS.observe(elapsed_ns / 1e9, kernels=kernels.name,
+                           packing=task.packing)
+    for phase, ns in phases.items():
+        _PHASE_SECONDS.inc(ns / 1e9, phase=phase)
+    return result, phases
 
 
 def run_reference(grid: BlockGrid, injector: FaultInjector, entropy: int,

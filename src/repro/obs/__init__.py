@@ -1,0 +1,60 @@
+"""Zero-dependency observability plane: metrics, tracing, profiling.
+
+Three legs, one package (see the module docstrings for the contracts):
+
+* :mod:`repro.obs.metrics` — a process-local metrics registry
+  (counters, gauges, fixed-bucket histograms) rendered in Prometheus
+  text exposition format by ``GET /metrics`` and ``repro metrics``.
+* :mod:`repro.obs.trace` — ``trace_id``/``span_id`` event records
+  propagated from job submission through the broker wire to worker
+  shard execution, persisted as append-only JSONL by the store's
+  ``events/`` namespace.
+* :mod:`repro.obs.timeline` — reconstructs and renders a cross-process
+  timeline from those events (``repro trace <job-id>``).
+
+The package imports nothing from the rest of :mod:`repro` (stdlib
+only), so any layer — ``utils.retry`` included — can instrument itself
+without import cycles. A single switch (:func:`set_enabled`, or the
+``REPRO_OBS=off`` environment variable read at import) turns every
+counter increment, span emission, and phase timer into a near-zero-cost
+no-op; ``benchmarks/bench_obs_overhead.py`` gates the enabled cost.
+"""
+
+from repro.obs.metrics import (
+    REGISTRY,
+    MetricsRegistry,
+    counter,
+    gauge,
+    histogram,
+    is_enabled,
+    render_prometheus,
+    set_enabled,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    PhaseProfile,
+    Tracer,
+    chaos_sink,
+    merge_phases,
+    new_span_id,
+)
+from repro.obs.timeline import build_timeline, render_timeline
+
+__all__ = [
+    "REGISTRY",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+    "is_enabled",
+    "render_prometheus",
+    "set_enabled",
+    "NULL_TRACER",
+    "PhaseProfile",
+    "Tracer",
+    "chaos_sink",
+    "merge_phases",
+    "new_span_id",
+    "build_timeline",
+    "render_timeline",
+]

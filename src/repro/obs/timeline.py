@@ -1,0 +1,116 @@
+"""Reconstruct and render a cross-process job timeline from events.
+
+Input is the flat list of span/event records a trace accumulated in
+the store's ``events/`` namespace (service submit/dispatch/settle,
+worker claim/execute/complete, chaos firings — whatever landed).
+Records are ordered by wall-clock start; parentage (``parent`` span
+ids, carried across the wire by the dispatch envelope) indents worker
+activity under the scheduler's execute span, so one readable page
+shows a job's whole distributed life: retries, lease-expiry
+reattempts, requeues, and per-phase shard timings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+def _fmt_dur(dur_ns: int) -> str:
+    if dur_ns <= 0:
+        return ""
+    if dur_ns < 1_000_000:
+        return f"{dur_ns / 1_000:.0f}us"
+    if dur_ns < 1_000_000_000:
+        return f"{dur_ns / 1_000_000:.1f}ms"
+    return f"{dur_ns / 1_000_000_000:.3f}s"
+
+
+def _fmt_attrs(attrs: dict) -> str:
+    parts = []
+    for key in sorted(attrs):
+        if key == "phases":
+            continue
+        value = attrs[key]
+        if isinstance(value, float):
+            value = f"{value:.6g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _fmt_phases(phases: Dict[str, int]) -> str:
+    shown = " ".join(f"{name}={_fmt_dur(int(ns))}"
+                     for name, ns in sorted(phases.items(),
+                                            key=lambda kv: -kv[1]))
+    return f"phases: {shown}"
+
+
+def build_timeline(events: List[dict]) -> dict:
+    """Order events and resolve parentage.
+
+    Returns ``{"trace", "start_wall", "end_wall", "events", "depths"}``
+    where ``events`` is wall-clock sorted and ``depths`` maps span id →
+    indent depth (0 for roots and for events whose parent never made it
+    into the trace — a killed worker can die before emitting spans its
+    children reference).
+    """
+    ordered = sorted(events, key=lambda e: (e.get("wall", 0.0),
+                                            e.get("span") or ""))
+    by_span = {e["span"]: e for e in ordered if e.get("span")}
+    depths: Dict[str, int] = {}
+
+    def depth_of(span_id: Optional[str], hops: int = 0) -> int:
+        if not span_id or span_id not in by_span or hops > 32:
+            return 0
+        if span_id in depths:
+            return depths[span_id]
+        parent = by_span[span_id].get("parent")
+        depth = (depth_of(parent, hops + 1) + 1
+                 if parent and parent in by_span else 0)
+        depths[span_id] = depth
+        return depth
+
+    for event in ordered:
+        depth_of(event.get("span"))
+    walls = [e["wall"] for e in ordered if "wall" in e]
+    return {
+        "trace": ordered[0].get("trace") if ordered else None,
+        "start_wall": min(walls) if walls else 0.0,
+        "end_wall": max(
+            (e["wall"] + e.get("dur_ns", 0) / 1e9 for e in ordered
+             if "wall" in e), default=0.0),
+        "events": ordered,
+        "depths": depths,
+    }
+
+
+def render_timeline(events: List[dict]) -> str:
+    """One line per event: offset, process, name, duration, attrs."""
+    if not events:
+        return "(no events)"
+    timeline = build_timeline(events)
+    t0 = timeline["start_wall"]
+    procs = sorted({e.get("proc", "?") for e in timeline["events"]})
+    wall_s = max(0.0, timeline["end_wall"] - t0)
+    lines = [f"trace {timeline['trace']} — "
+             f"{len(timeline['events'])} events, "
+             f"{wall_s:.3f}s wall, procs: {', '.join(procs)}"]
+    for event in timeline["events"]:
+        offset = event.get("wall", t0) - t0
+        indent = "  " * timeline["depths"].get(event.get("span"), 0)
+        mark = "x" if event.get("status") == "error" else (
+            "-" if event.get("kind") == "event" else "+")
+        dur = _fmt_dur(event.get("dur_ns", 0))
+        attrs = event.get("attrs") or {}
+        cells = [f"{offset:8.3f}s", mark,
+                 f"{indent}{event.get('name', '?')}"]
+        if dur:
+            cells.append(dur)
+        summary = _fmt_attrs(attrs)
+        if summary:
+            cells.append(f"[{summary}]")
+        cells.append(f"({event.get('proc', '?')})")
+        lines.append("  ".join(cells))
+        phases = attrs.get("phases")
+        if isinstance(phases, dict) and phases:
+            lines.append(f"{'':>10}  {indent}  {_fmt_phases(phases)}")
+    return "\n".join(lines)

@@ -24,7 +24,8 @@ import urllib.request
 from typing import List, Optional, Union
 
 from repro.service.spec import JobSpec
-from repro.utils.retry import Deadline, RetryPolicy, poll_policy
+from repro.utils.retry import Deadline, RetryPolicy, note_giveup, \
+    poll_policy
 
 
 class ServiceUnavailableError(ConnectionError):
@@ -71,6 +72,20 @@ class ServiceClient:
                 f"campaign service unreachable at {self.url}: "
                 f"{exc.reason}") from None
 
+    def _request_text(self, path: str) -> str:
+        """GET a non-JSON endpoint (``/metrics``) as raw text."""
+        request = urllib.request.Request(self.url + path, method="GET")
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ValueError(f"HTTP {exc.code} from {path}") from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnavailableError(
+                f"campaign service unreachable at {self.url}: "
+                f"{exc.reason}") from None
+
     # ------------------------------------------------------------------ #
     # API
     # ------------------------------------------------------------------ #
@@ -85,14 +100,23 @@ class ServiceClient:
     def health_report(self) -> dict:
         """The service's detailed ``/health`` payload: job-state
         counts, broker depth and inflight leases, open circuit
-        breakers, and store quarantine counts (unlike :meth:`health`,
-        transport errors propagate — an unreachable service has no
-        health report)."""
+        breakers, store quarantine counts, service ``uptime_s``, and a
+        compact ``metrics_snapshot`` of label-summed counters (unlike
+        :meth:`health`, transport errors propagate — an unreachable
+        service has no health report)."""
         return self._request("GET", "/health")
 
     def info(self) -> dict:
         """Service introspection (:func:`repro.service.service_info`)."""
         return self._request("GET", "/info")
+
+    def metrics_text(self) -> str:
+        """The raw Prometheus text exposition from ``GET /metrics``."""
+        return self._request_text("/metrics")
+
+    def trace(self, job_id: str) -> List[dict]:
+        """The job's raw trace events (``ValueError`` when unknown)."""
+        return self._request("GET", f"/trace/{job_id}")["events"]
 
     def submit(self, spec: Union[JobSpec, dict]) -> dict:
         """Submit a job spec; returns the initial job record."""
@@ -140,6 +164,7 @@ class ServiceClient:
             except ServiceUnavailableError as exc:
                 errors += 1
                 if deadline.expired():
+                    note_giveup("client.wait.unreachable")
                     observed = (
                         f"last observed job state: {last_state!r}"
                         if last_state is not None else
@@ -160,6 +185,7 @@ class ServiceClient:
                 raise JobFailedError(
                     f"job {job_id} failed: {record.get('error')}")
             if deadline.expired():
+                note_giveup("client.wait.slow_job")
                 raise TimeoutError(
                     f"job {job_id} still {record['state']!r} after "
                     f"{timeout:.1f}s; the service is reachable — this "
@@ -194,12 +220,26 @@ class ServiceClient:
             {"unit_id": unit_id, "worker": worker})["ok"])
 
     def complete_unit(self, unit_id: str, worker: str, job_key: str,
-                      lo: int, hi: int, result: dict) -> bool:
-        """Upload span tallies; the server checkpoints, then acks."""
-        return bool(self._request(
-            "POST", "/units/complete",
-            {"unit_id": unit_id, "worker": worker, "job_key": job_key,
-             "lo": lo, "hi": hi, "result": result})["ok"])
+                      lo: int, hi: int, result: dict,
+                      phases: Optional[dict] = None) -> bool:
+        """Upload span tallies; the server checkpoints, then acks.
+
+        ``phases`` is the optional ``{phase: ns}`` execution profile
+        stamped onto the server-side checkpoint record."""
+        payload = {"unit_id": unit_id, "worker": worker,
+                   "job_key": job_key, "lo": lo, "hi": hi,
+                   "result": result}
+        if phases:
+            payload["phases"] = phases
+        return bool(self._request("POST", "/units/complete",
+                                  payload)["ok"])
+
+    def record_events(self, trace_id: str, events: List[dict]) -> None:
+        """Append worker trace events to the service's event log."""
+        if not events:
+            return
+        self._request("POST", "/units/events",
+                      {"trace": trace_id, "events": events})
 
     def fail_unit(self, unit_id: str, worker: str, error: str,
                   requeue: bool = True) -> bool:

@@ -34,11 +34,24 @@ from __future__ import annotations
 import asyncio
 from typing import Callable, Dict, Tuple
 
+from repro.obs import metrics as obs_metrics
+
+_QUEUE_OPS = obs_metrics.counter(
+    "repro_queue_ops_total",
+    "Job-queue operations, by backend and op.", ("backend", "op"))
+
 
 class JobQueue:
     """Minimal async FIFO of job ids (see the module docstring)."""
 
     _closed = False
+
+    #: Metrics label for the backend; subclasses override.
+    backend_name = "unknown"
+
+    def _count_op(self, op: str) -> None:
+        """Count one queue operation against this backend's label."""
+        _QUEUE_OPS.inc(backend=self.backend_name, op=op)
 
     @property
     def closed(self) -> bool:
@@ -63,6 +76,8 @@ class JobQueue:
 class MemoryJobQueue(JobQueue):
     """In-process FIFO over :class:`asyncio.Queue` (the default)."""
 
+    backend_name = "memory"
+
     def __init__(self) -> None:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._closed_event = asyncio.Event()
@@ -70,6 +85,7 @@ class MemoryJobQueue(JobQueue):
     async def put(self, job_id: str) -> None:
         self._check_open()
         await self._queue.put(job_id)
+        self._count_op("put")
 
     async def get(self) -> str:
         self._check_open()
@@ -88,6 +104,7 @@ class MemoryJobQueue(JobQueue):
             raise
         closer.cancel()
         if getter in done:
+            self._count_op("get")
             return getter.result()
         getter.cancel()
         try:
@@ -95,6 +112,7 @@ class MemoryJobQueue(JobQueue):
         except asyncio.CancelledError:
             pass
         else:
+            self._count_op("get")
             return value  # an item slipped in before the cancel landed
         self._check_open()
         raise RuntimeError(  # pragma: no cover - closure is the only

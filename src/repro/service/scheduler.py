@@ -68,7 +68,10 @@ from typing import Callable, Dict, List, Optional, Union
 
 import repro
 from repro.core.registry import code_names
-from repro.faults.batch import PACKINGS, merge_results, run_shard_task
+from repro.faults.batch import PACKINGS, merge_results, run_shard_task, \
+    run_shard_task_profiled
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import Tracer, merge_phases
 from repro.service.queue import JobQueue, available_queue_backends, \
     make_queue
 from repro.service.spec import (
@@ -82,7 +85,6 @@ from repro.service.spec import (
 from repro.service.store import ResultStore
 from repro.utils.backend import available_backends
 from repro.utils.retry import RetryPolicy
-from repro.utils.canonical import canonical_json
 from repro.utils.kernels import available_kernels, native_available
 from repro.utils.rng import shard_bounds
 
@@ -100,6 +102,38 @@ BROKER_FILENAME = "broker.sqlite3"
 _JOB_ID = re.compile(r"^j(\d+)-[0-9a-f]+$")
 
 _UNIT_ID = re.compile(r":(\d+)-(\d+)$")
+
+_JOBS_SUBMITTED = obs_metrics.counter(
+    "repro_jobs_submitted_total",
+    "Jobs accepted by the scheduler, by spec kind.", ("kind",))
+_JOBS_SETTLED = obs_metrics.counter(
+    "repro_jobs_settled_total",
+    "Jobs reaching a terminal state, by outcome "
+    "(done/failed/cached/follower).", ("outcome",))
+_JOB_SECONDS = obs_metrics.histogram(
+    "repro_job_seconds",
+    "Wall seconds from execution start to job settlement.")
+_UNIT_PUBLISHES = obs_metrics.counter(
+    "repro_dispatch_unit_publishes_total",
+    "Work units published to the broker by the dispatcher.")
+_UNIT_REQUEUES = obs_metrics.counter(
+    "repro_dispatch_unit_requeues_total",
+    "Acked units re-enqueued because their checkpoint never "
+    "materialized.")
+_DISPATCH_POLLS = obs_metrics.counter(
+    "repro_dispatch_polls_total",
+    "Store polls while awaiting worker-written checkpoints.")
+# Point-in-time gauges, refreshed from shared state at every
+# /metrics scrape (the registry itself is process-local).
+_JOBS_GAUGE = obs_metrics.gauge(
+    "repro_jobs", "Known job records, by state.", ("state",))
+_BROKER_GAUGE = obs_metrics.gauge(
+    "repro_broker_units", "Broker work units, by state.", ("state",))
+_QUARANTINE_GAUGE = obs_metrics.gauge(
+    "repro_store_quarantined_files",
+    "Quarantined store files, by namespace.", ("namespace",))
+_UPTIME_GAUGE = obs_metrics.gauge(
+    "repro_uptime_seconds", "Seconds since service construction.")
 
 
 def _unit_span(unit_id: str) -> Optional[tuple]:
@@ -208,6 +242,10 @@ class JobRecord:
     shards_done: int = 0
     shards_cached: int = 0
     result: Optional[dict] = None
+    #: Aggregated ``{phase: ns}`` execution profile summed over the
+    #: job's shard checkpoints (observability metadata; kept outside
+    #: ``result`` so the result schema is untouched).
+    phases: Optional[dict] = None
     done_event: asyncio.Event = field(default_factory=asyncio.Event,
                                       repr=False)
 
@@ -229,6 +267,7 @@ class JobRecord:
                        "done": self.shards_done,
                        "cached": self.shards_cached},
             "result": self.result,
+            "phases": self.phases,
             "spec": self.spec.to_dict(),
         }
 
@@ -252,7 +291,8 @@ class JobRecord:
             shards_total=shards.get("total", 0),
             shards_done=shards.get("done", 0),
             shards_cached=shards.get("cached", 0),
-            result=data.get("result"))
+            result=data.get("result"),
+            phases=data.get("phases"))
         if job.state in ("done", "failed"):
             job.done_event.set()
         return job
@@ -370,6 +410,11 @@ class CampaignService:
         self.broker_options = dict(broker_options or {})
         self.dispatch_poll_s = dispatch_poll_s
         self.broker = None  # SqliteBroker, created in start()
+        self._started_at = time.time()
+        # Scheduler-side trace events append straight to the store's
+        # events/ namespace; worker events arrive through the work
+        # sources and land in the same per-trace JSONL file.
+        self.tracer = Tracer(self.store.append_events, proc="service")
         self._jobs: Dict[str, JobRecord] = {}
         self._inflight: Dict[str, str] = {}       # key -> leader job id
         self._followers: Dict[str, List[str]] = {}  # key -> follower ids
@@ -456,20 +501,31 @@ class CampaignService:
         job = JobRecord(id=f"j{self._seq:06d}-{key[:8]}", spec=spec, key=key)
         self._jobs[job.id] = job
         self._evict_settled_records()
+        _JOBS_SUBMITTED.inc(kind=spec.kind)
+        # The trace id IS the job id; this submit event is the root of
+        # the timeline `repro trace <job-id>` reconstructs.
+        self.tracer.event(job.id, "job.submit",
+                          attrs={"kind": spec.kind, "key": key})
 
         cached = await asyncio.to_thread(self.store.get, key)
         if cached is not None:
             job.state = "done"
             job.cached = True
             job.result = cached["result"]
+            job.phases = cached.get("phases")
             job.shards_total = job.shards_cached = \
                 cached.get("shards", {}).get("total", 0)
             job.shards_done = job.shards_total
             job.finished_at = time.time()
             job.done_event.set()
+            _JOBS_SETTLED.inc(outcome="cached")
+            self.tracer.event(job.id, "job.cache_hit",
+                              attrs={"key": key})
             await asyncio.to_thread(self._persist_job, job)
             return job
         if key in self._inflight:
+            self.tracer.event(job.id, "job.follow",
+                              attrs={"leader": self._inflight[key]})
             self._followers.setdefault(key, []).append(job.id)
             await asyncio.to_thread(self._persist_job, job)
             return job
@@ -594,8 +650,13 @@ class CampaignService:
         out = {
             "ok": True,
             "execution": self.execution,
+            "uptime_s": time.time() - self._started_at,
             "jobs": jobs,
             "store": {"quarantine": self.store.quarantine_counts()},
+            # Counters only, summed across labels: the compact pulse a
+            # dashboard can diff between polls without scraping the
+            # full Prometheus text.
+            "metrics_snapshot": obs_metrics.REGISTRY.counter_totals(),
         }
         if self.execution == "distributed" and self.broker is not None:
             counts = self.broker.counts()
@@ -610,6 +671,28 @@ class CampaignService:
                                   if entry["open"]],
             }
         return out
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition: the ``GET /metrics`` payload.
+
+        The registry is process-local, so cumulative counters cover
+        only this process; point-in-time gauges (job states, broker
+        unit states, store quarantine) are refreshed from shared state
+        at every scrape so the exposition reflects the fleet's durable
+        reality, not just this process's activity.
+        """
+        _UPTIME_GAUGE.set(time.time() - self._started_at)
+        for state in ("queued", "running", "done", "failed"):
+            _JOBS_GAUGE.set(
+                sum(1 for j in self._jobs.values() if j.state == state),
+                state=state)
+        for namespace, count in self.store.quarantine_counts().items():
+            _QUARANTINE_GAUGE.set(count, namespace=namespace)
+        if self.broker is not None:
+            counts = self.broker.counts()
+            for state in ("queued", "leased", "done", "failed"):
+                _BROKER_GAUGE.set(counts.get(state, 0), state=state)
+        return obs_metrics.render_prometheus()
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -657,41 +740,65 @@ class CampaignService:
         job.started_at = time.time()
         await asyncio.to_thread(self._persist_job, job)
         try:
-            cached = await asyncio.to_thread(self.store.get, job.key)
-            if cached is not None:
-                # Replayed after a restart (or raced by another
-                # service on the shared store) and the work already
-                # completed: serve the record, execute nothing.
-                job.cached = True
-                job.shards_total = cached.get("shards", {}).get("total", 0)
-                job.shards_cached = job.shards_total
-                job.shards_done = job.shards_total
-                result = cached["result"]
-            else:
-                if isinstance(job.spec, AdaptiveCampaignJobSpec):
-                    result = await self._run_single_unit(job,
-                                                         _run_adaptive_job)
-                elif isinstance(job.spec, LogicEquivalenceJobSpec):
-                    result = await self._run_single_unit(job, _run_logic_job)
-                elif self.execution == "distributed":
-                    result = await self._run_sharded_distributed(job)
+            # The execute span is the parent of everything downstream:
+            # published units carry (job.id, span id) on the wire, so
+            # worker spans in other processes attach underneath it.
+            with self.tracer.span(job.id, "job.execute",
+                                  attrs={"kind": job.spec.kind,
+                                         "key": job.key,
+                                         "execution": self.execution}
+                                  ) as span:
+                cached = await asyncio.to_thread(self.store.get, job.key)
+                if cached is not None:
+                    # Replayed after a restart (or raced by another
+                    # service on the shared store) and the work already
+                    # completed: serve the record, execute nothing.
+                    job.cached = True
+                    job.shards_total = \
+                        cached.get("shards", {}).get("total", 0)
+                    job.shards_cached = job.shards_total
+                    job.shards_done = job.shards_total
+                    job.phases = cached.get("phases")
+                    result = cached["result"]
+                    span.set("cached", True)
                 else:
-                    result = await self._run_sharded(job)
-                record = {
-                    "key": job.key,
-                    "kind": job.spec.kind,
-                    "entropy": job.spec.entropy,
-                    "spec": job.spec.to_dict(),
-                    "result": result,
-                    "shards": {"total": job.shards_total,
-                               "cached": job.shards_cached},
-                    "elapsed_s": time.time() - job.started_at,
-                }
-                # Persisting is part of the job: a store failure (disk
-                # full, permissions) must fail the job, not the
-                # scheduler.
-                await asyncio.to_thread(self.store.put, job.key, record)
-                await asyncio.to_thread(self.store.clear_shards, job.key)
+                    if isinstance(job.spec, AdaptiveCampaignJobSpec):
+                        result = await self._run_single_unit(
+                            job, _run_adaptive_job)
+                    elif isinstance(job.spec, LogicEquivalenceJobSpec):
+                        result = await self._run_single_unit(
+                            job, _run_logic_job)
+                    elif self.execution == "distributed":
+                        result = await self._run_sharded_distributed(
+                            job, parent_span=span.span_id)
+                    else:
+                        result = await self._run_sharded(job)
+                    # Aggregate the per-phase execution profile the
+                    # shard checkpoints carry (local and distributed
+                    # runs alike) before the checkpoints are cleared.
+                    phase_map = await asyncio.to_thread(
+                        self.store.shard_phases, job.key)
+                    job.phases = merge_phases(phase_map.values()) or None
+                    if job.phases:
+                        span.set("phases", job.phases)
+                    record = {
+                        "key": job.key,
+                        "kind": job.spec.kind,
+                        "entropy": job.spec.entropy,
+                        "spec": job.spec.to_dict(),
+                        "result": result,
+                        "phases": job.phases,
+                        "shards": {"total": job.shards_total,
+                                   "cached": job.shards_cached},
+                        "elapsed_s": time.time() - job.started_at,
+                    }
+                    # Persisting is part of the job: a store failure
+                    # (disk full, permissions) must fail the job, not
+                    # the scheduler.
+                    await asyncio.to_thread(self.store.put, job.key,
+                                            record)
+                    await asyncio.to_thread(self.store.clear_shards,
+                                            job.key)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
@@ -703,8 +810,22 @@ class CampaignService:
             job.state = "done"
         finally:
             job.finished_at = time.time()
+            _JOBS_SETTLED.inc(outcome=job.state)
+            if job.started_at is not None:
+                _JOB_SECONDS.observe(job.finished_at - job.started_at)
+            settle_attrs = {"state": job.state,
+                            "shards_done": job.shards_done,
+                            "shards_cached": job.shards_cached}
+            if job.error:
+                settle_attrs["error"] = job.error
+            self.tracer.event(
+                job.id, "job.settle",
+                status="ok" if job.state == "done" else "error",
+                attrs=settle_attrs)
             self._inflight.pop(job.key, None)
             followers = self._resolve_followers(job)
+            if followers:
+                _JOBS_SETTLED.inc(len(followers), outcome="follower")
             # Persist the terminal state synchronously (a tiny JSON
             # write) and *before* waking waiters: an awaited persist
             # here could be cancelled by a service closing right after
@@ -733,6 +854,7 @@ class CampaignService:
             follower.error = leader.error
             follower.failure = leader.failure
             follower.result = leader.result
+            follower.phases = leader.phases
             follower.cached = leader.state == "done"
             follower.shards_total = leader.shards_total
             if leader.state == "done":
@@ -768,6 +890,11 @@ class CampaignService:
         job.shards_total = len(bounds)
         results = {}
         loop = asyncio.get_running_loop()
+        # Only the stock runner is swapped for its profiled twin: an
+        # injected shard_runner (tests, remote adapters) keeps its
+        # exact contract — a bare CampaignResult, no phase profile.
+        profiled = self.shard_runner is run_shard_task
+        pool_fn = run_shard_task_profiled if profiled else self.shard_runner
 
         async def run_span(lo: int, hi: int) -> None:
             cached = checkpoints.get((lo, hi))
@@ -776,10 +903,11 @@ class CampaignService:
                 job.shards_cached += 1
                 job.shards_done += 1
                 return
-            tallies = await loop.run_in_executor(
-                self._pool, self.shard_runner, runner.shard_task(lo, hi))
+            out = await loop.run_in_executor(
+                self._pool, pool_fn, runner.shard_task(lo, hi))
+            tallies, phases = out if profiled else (out, None)
             await asyncio.to_thread(self.store.put_shard, job.key, lo, hi,
-                                    tallies)
+                                    tallies, phases=phases or None)
             results[(lo, hi)] = tallies
             job.shards_done += 1
 
@@ -794,7 +922,9 @@ class CampaignService:
         merged = merge_results([results[span] for span in bounds])
         return result_to_dict(merged)
 
-    async def _run_sharded_distributed(self, job: JobRecord) -> dict:
+    async def _run_sharded_distributed(self, job: JobRecord,
+                                       parent_span: Optional[str] = None
+                                       ) -> dict:
         """Distributed campaign execution: publish spans, await the store.
 
         The local path's twin with the pool swapped for the worker
@@ -811,7 +941,7 @@ class CampaignService:
         # Function-scope import: repro.distributed depends on the
         # service layer's store/client, so the dependency must point
         # this way only at call time, not at module import time.
-        from repro.distributed.wire import task_wire_dict
+        from repro.distributed.wire import unit_envelope
 
         spec = job.spec
         runner = spec.build_runner()
@@ -831,13 +961,25 @@ class CampaignService:
             else:
                 missing.append((lo, hi))
 
+        # The trace block rides the wire so worker spans in other
+        # processes attach under this job's execute span; it is absent
+        # entirely when tracing is off, keeping payloads byte-stable.
+        trace = {"id": job.id, "span": parent_span} \
+            if parent_span and self.tracer.active else None
+
         def publish_all() -> None:
+            records = []
             for lo, hi in missing:
-                payload = canonical_json({
-                    "job_key": job.key, "lo": lo, "hi": hi,
-                    "shard_task": task_wire_dict(runner.shard_task(lo, hi))})
-                self.broker.publish(f"{job.key}:{lo}-{hi}", payload,
-                                    group_key=job.key)
+                unit_id = f"{job.key}:{lo}-{hi}"
+                payload = unit_envelope(job.key, lo, hi,
+                                        runner.shard_task(lo, hi),
+                                        trace=trace)
+                self.broker.publish(unit_id, payload, group_key=job.key)
+                _UNIT_PUBLISHES.inc()
+                records.append(self.tracer.event_record(
+                    job.id, "unit.publish", parent=parent_span,
+                    attrs={"unit": unit_id, "lo": lo, "hi": hi}))
+            self.tracer.emit_records(job.id, records)
 
         await asyncio.to_thread(publish_all)
         pending = set(missing)
@@ -848,6 +990,7 @@ class CampaignService:
                            cap_s=self.dispatch_poll_s * 10)
         idle = 0
         while pending:
+            _DISPATCH_POLLS.inc()
             progressed = False
             for lo, hi in sorted(pending):
                 tallies = await asyncio.to_thread(self.store.get_shard,
@@ -884,7 +1027,7 @@ class CampaignService:
                 # Without this sweep the dispatcher would poll forever
                 # for a file nobody will ever write again.
                 requeued = await asyncio.to_thread(
-                    self._requeue_lost_units, job.key, pending)
+                    self._requeue_lost_units, job, pending, parent_span)
                 if requeued:
                     progressed = True
             if progressed:
@@ -896,7 +1039,8 @@ class CampaignService:
         merged = merge_results([results[span] for span in bounds])
         return result_to_dict(merged)
 
-    def _requeue_lost_units(self, group_key: str, pending: set) -> int:
+    def _requeue_lost_units(self, job: JobRecord, pending: set,
+                            parent_span: Optional[str] = None) -> int:
         """Re-enqueue ``done`` units whose checkpoint never materialized.
 
         A unit can be acked while its span is still in ``pending`` only
@@ -909,14 +1053,18 @@ class CampaignService:
         dispatcher hang. Returns the number of units re-enqueued.
         """
         requeued = 0
-        for unit in self.broker.units(group_key):
+        reason = "acked checkpoint missing or quarantined in the store"
+        for unit in self.broker.units(job.key):
             if unit.state != "done":
                 continue
             span = _unit_span(unit.unit_id)
             if span is None or span not in pending:
                 continue
-            self.broker.requeue_unit(
-                unit.unit_id,
-                "acked checkpoint missing or quarantined in the store")
+            self.broker.requeue_unit(unit.unit_id, reason)
             requeued += 1
+            _UNIT_REQUEUES.inc()
+            self.tracer.event(job.id, "unit.requeue",
+                              parent=parent_span, status="error",
+                              attrs={"unit": unit.unit_id,
+                                     "reason": reason})
         return requeued

@@ -22,6 +22,12 @@ the container bakes in numpy + pytest and nothing else) that exposes a
                             writes the shard checkpoint)
 ``POST /units/fail``        report a unit failure (requeue | terminal)
 ``POST /units/shard_done``  does the span's checkpoint already exist?
+``POST /units/events``      append worker trace events (telemetry)
+``GET  /metrics``           Prometheus text exposition (version 0.0.4)
+                            of the service process's metrics registry
+                            plus point-in-time gauges
+``GET  /trace/<job-id>``    the job's raw trace events (404 when the
+                            trace is unknown)
 ==========================  ============================================
 
 The ``/units/*`` family is the multi-host worker transport
@@ -35,8 +41,9 @@ workers run. They answer 409 unless the service runs
 The server speaks just enough HTTP/1.1 for ``urllib`` and ``curl``
 (request line + headers + ``Content-Length`` body, one request per
 connection); it is an operator surface for submit-and-poll clients, not
-a general web server. Responses are always JSON; errors use
-``{"error": ...}`` with the matching status code.
+a general web server. Responses are JSON — except ``/metrics``, which
+serves the Prometheus text format — and errors use ``{"error": ...}``
+with the matching status code.
 """
 
 from __future__ import annotations
@@ -60,6 +67,18 @@ MAX_HEADER_LINES = 100
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
             413: "Payload Too Large", 500: "Internal Server Error"}
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class PlainText:
+    """Marker return value for non-JSON responses (``/metrics``)."""
+
+    def __init__(self, text: str,
+                 content_type: str = "text/plain; charset=utf-8") -> None:
+        self.text = text
+        self.content_type = content_type
 
 
 class ServiceServer:
@@ -116,9 +135,14 @@ class ServiceServer:
             status, payload = 400, {"error": "request read timed out"}
         except Exception as exc:  # noqa: BLE001 - connection boundary
             status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-        body = json.dumps(payload).encode("utf-8")
+        if isinstance(payload, PlainText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-                f"Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: close\r\n\r\n").encode("ascii")
         try:
@@ -175,6 +199,20 @@ class ServiceServer:
             # disk work that must not stall the event loop (and the
             # worker heartbeat endpoints riding on it).
             return 200, await asyncio.to_thread(self.service.info)
+        if path == "/metrics" and method == "GET":
+            # metrics_text() refreshes point-in-time gauges from the
+            # broker file and store directories — disk I/O, so off the
+            # event loop like /health.
+            text = await asyncio.to_thread(self.service.metrics_text)
+            return 200, PlainText(text, PROMETHEUS_CONTENT_TYPE)
+        if path.startswith("/trace/") and method == "GET":
+            trace_id = path[len("/trace/"):]
+            events = await asyncio.to_thread(
+                self.service.store.read_events, trace_id)
+            if not events:
+                return 404, {"error": f"no trace recorded for "
+                                      f"{trace_id!r}"}
+            return 200, {"trace": trace_id, "events": events}
         if path == "/jobs" and method == "GET":
             return 200, {"jobs": [j.to_dict() for j in self.service.jobs()]}
         if path == "/jobs" and method == "POST":
@@ -203,8 +241,9 @@ class ServiceServer:
             if not isinstance(payload, dict):
                 return 400, {"error": "body must be a JSON object"}
             return await self._route_units(path, payload)
-        if path in ("/healthz", "/health", "/info", "/jobs") or \
-                path.startswith(("/jobs/", "/units/")):
+        if path in ("/healthz", "/health", "/info", "/jobs",
+                    "/metrics") or \
+                path.startswith(("/jobs/", "/units/", "/trace/")):
             return 405, {"error": f"{method} not allowed on {path}"}
         return 404, {"error": f"no route for {path}"}
 
@@ -241,11 +280,15 @@ class ServiceServer:
                 from repro.service.spec import result_from_dict
                 tallies = result_from_dict(dict(payload["result"]))
                 lo, hi = int(payload["lo"]), int(payload["hi"])
+                phases = payload.get("phases")
+                phases = dict(phases) if isinstance(phases, dict) \
+                    else None
                 # Checkpoint first, ack second — the same ordering the
                 # shared-store worker uses, for the same resume reason.
                 await asyncio.to_thread(
                     self.service.store.put_shard,
-                    str(payload["job_key"]), lo, hi, tallies)
+                    str(payload["job_key"]), lo, hi, tallies,
+                    phases=phases)
                 ok = await asyncio.to_thread(
                     broker.ack, str(payload["unit_id"]),
                     str(payload["worker"]))
@@ -263,6 +306,19 @@ class ServiceServer:
                     str(payload["job_key"]), int(payload["lo"]),
                     int(payload["hi"]))
                 return 200, {"done": tallies is not None}
+            if path == "/units/events":
+                events = payload.get("events")
+                if not isinstance(events, list):
+                    return 400, {"error": "events must be a list"}
+                # Telemetry, not state: bad event dicts are dropped by
+                # the JSONL codec on read, so appending is best-effort
+                # by design — but the trace id is still validated (it
+                # becomes a filename).
+                await asyncio.to_thread(
+                    self.service.store.append_events,
+                    str(payload["trace"]),
+                    [e for e in events if isinstance(e, dict)])
+                return 200, {"ok": True}
         except (KeyError, TypeError, ValueError) as exc:
             return 400, {"error": f"malformed unit request: "
                                   f"{type(exc).__name__}: {exc}"}

@@ -7,6 +7,7 @@ record)::
     results/<key>.json            completed job record
     shards/<key>/<lo>-<hi>.json   checkpointed span of a running job
     jobs/<job_id>.json            persisted scheduler JobRecord
+    events/<job_id>.jsonl         append-only trace events (telemetry)
     quarantine/<namespace>/...    corrupt records pulled out of the way
 
 Every record carries a content digest (the ``integrity`` field: the
@@ -37,6 +38,15 @@ just results — survive a service restart: a restarted
 ``status`` queries for pre-restart ids, and re-enqueues the ones that
 never reached a terminal state.
 
+``events/`` is the observability plane's namespace: one append-only
+JSONL file per trace (= per job id) accumulating span/event records
+from every process that touches the job (see :mod:`repro.obs.trace`).
+Events are *telemetry, not state* — they carry no integrity stamp, the
+verify sweep skips them, a torn tail line is silently dropped on read,
+and nothing in resume or dedupe ever depends on them. Appends use
+``O_APPEND`` semantics so the scheduler and several workers can
+interleave batches into one timeline without coordination.
+
 The store grows without bound by default (content-addressed records
 are never invalidated); long-lived deployments run :meth:`gc` — the
 ``repro store gc`` subcommand — with a max-age and/or max-bytes policy
@@ -57,10 +67,19 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.faults.campaign import CampaignResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import decode_event_lines, encode_event_lines
 from repro.service.spec import result_from_dict, result_to_dict
 from repro.utils.canonical import canonical_json
 
 _SHARD_FILE = re.compile(r"^(\d+)-(\d+)\.json$")
+
+_STORE_OPS = obs_metrics.counter(
+    "repro_store_ops_total", "Store operations by kind and namespace.",
+    ("op", "namespace"))
+_STORE_QUARANTINES = obs_metrics.counter(
+    "repro_store_quarantines_total",
+    "Records pulled into quarantine, by namespace.", ("namespace",))
 
 #: Top-level field carrying each record's content digest. Stamped on
 #: every write, verified on every read; records written before the
@@ -155,10 +174,12 @@ class ResultStore:
         self.results_dir = self.root / "results"
         self.shards_dir = self.root / "shards"
         self.jobs_dir = self.root / "jobs"
+        self.events_dir = self.root / "events"
         self.quarantine_dir = self.root / "quarantine"
         self.results_dir.mkdir(parents=True, exist_ok=True)
         self.shards_dir.mkdir(parents=True, exist_ok=True)
         self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.events_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------ #
     # Integrity: checked reads + quarantine
@@ -177,6 +198,7 @@ class ResultStore:
         missing — quarantine is best-effort, correctness never depends
         on it).
         """
+        _STORE_QUARANTINES.inc(namespace=namespace)
         target_dir = self.quarantine_dir / namespace
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
@@ -305,11 +327,15 @@ class ResultStore:
         missing, so the key simply re-executes instead of serving (or
         crashing on) bad bytes.
         """
-        return self._read_checked(self._result_path(key), "results")
+        record = self._read_checked(self._result_path(key), "results")
+        _STORE_OPS.inc(op="get_hit" if record is not None else "get_miss",
+                       namespace="results")
+        return record
 
     def put(self, key: str, record: dict) -> None:
         """Persist a completed job record (atomic)."""
         _atomic_write_json(self._result_path(key), record)
+        _STORE_OPS.inc(op="put", namespace="results")
 
     def keys(self) -> List[str]:
         """Keys of every completed record in the store."""
@@ -324,10 +350,23 @@ class ResultStore:
             f"{int(lo)}-{int(hi)}.json"
 
     def put_shard(self, key: str, lo: int, hi: int,
-                  result: CampaignResult) -> None:
-        """Checkpoint one completed span of the job under ``key``."""
-        _atomic_write_json(self._shard_path(key, lo, hi), {
-            "lo": lo, "hi": hi, "result": result_to_dict(result)})
+                  result: CampaignResult,
+                  phases: Optional[Dict[str, int]] = None) -> None:
+        """Checkpoint one completed span of the job under ``key``.
+
+        ``phases`` (optional) stamps the executor's per-phase timing
+        profile (``{phase: ns}``, see :class:`repro.obs.PhaseProfile`)
+        into the checkpoint record. It is observability metadata: the
+        tallies in ``result`` stay the record's entire meaning, readers
+        of :meth:`get_shard` never see it, and legacy checkpoints
+        without the field remain valid.
+        """
+        record = {"lo": lo, "hi": hi, "result": result_to_dict(result)}
+        if phases:
+            record["phases"] = {str(k): int(v)
+                                for k, v in phases.items()}
+        _atomic_write_json(self._shard_path(key, lo, hi), record)
+        _STORE_OPS.inc(op="put", namespace="shards")
 
     def get_shard(self, key: str, lo: int,
                   hi: int) -> Optional[CampaignResult]:
@@ -339,6 +378,8 @@ class ResultStore:
         """
         path = self._shard_path(key, lo, hi)
         record = self._read_checked(path, "shards")
+        _STORE_OPS.inc(op="get_hit" if record is not None else "get_miss",
+                       namespace="shards")
         if record is None:
             return None
         try:
@@ -371,6 +412,30 @@ class ResultStore:
                 out[(int(match.group(1)), int(match.group(2)))] = tallies
         return out
 
+    def shard_phases(self, key: str) -> Dict[Tuple[int, int],
+                                             Dict[str, int]]:
+        """Per-span phase profiles stamped on the checkpoints of
+        ``key`` (spans checkpointed without one are absent). Used by
+        the scheduler to aggregate ``{phase: ns}`` onto the job record
+        before the checkpoints are cleared."""
+        out: Dict[Tuple[int, int], Dict[str, int]] = {}
+        directory = self.shards_dir / _checked_component(key, "key")
+        if not directory.is_dir():
+            return out
+        for path in sorted(directory.iterdir()):
+            match = _SHARD_FILE.match(path.name)
+            if not match:
+                continue
+            record = self._read_checked(path, "shards")
+            if record is None:
+                continue
+            phases = record.get("phases")
+            if isinstance(phases, dict) and phases:
+                out[(int(match.group(1)), int(match.group(2)))] = {
+                    str(k): int(v) for k, v in phases.items()
+                    if isinstance(v, (int, float))}
+        return out
+
     def clear_shards(self, key: str) -> None:
         """Drop the checkpoints of ``key`` (after its final record)."""
         directory = self.shards_dir / _checked_component(key, "key")
@@ -397,11 +462,15 @@ class ResultStore:
     def put_job(self, job_id: str, record: dict) -> None:
         """Persist one scheduler job record (atomic overwrite)."""
         _atomic_write_json(self._job_path(job_id), record)
+        _STORE_OPS.inc(op="put", namespace="jobs")
 
     def get_job(self, job_id: str) -> Optional[dict]:
         """The persisted record of ``job_id``, or ``None`` (corrupt
         records are quarantined and read as missing)."""
-        return self._read_checked(self._job_path(job_id), "jobs")
+        record = self._read_checked(self._job_path(job_id), "jobs")
+        _STORE_OPS.inc(op="get_hit" if record is not None else "get_miss",
+                       namespace="jobs")
+        return record
 
     def job_ids(self) -> List[str]:
         """Every persisted job id, sorted (= submission order: ids
@@ -418,11 +487,59 @@ class ResultStore:
                 yield record
 
     def delete_job(self, job_id: str) -> None:
-        """Forget one persisted job record (id eviction)."""
+        """Forget one persisted job record (id eviction), along with
+        its trace events — telemetry never outlives the job id."""
         try:
             self._job_path(job_id).unlink()
         except OSError:
             pass
+        try:
+            self._events_path(job_id).unlink()
+        except (OSError, ValueError):
+            pass
+
+    # ------------------------------------------------------------------ #
+    # Trace events (append-only telemetry; see the module docstring)
+    # ------------------------------------------------------------------ #
+
+    def _events_path(self, trace_id: str) -> Path:
+        return self.events_dir / \
+            f"{_checked_component(trace_id, 'trace id')}.jsonl"
+
+    def append_events(self, trace_id: str, events: List[dict]) -> None:
+        """Append a batch of trace event records as JSONL lines.
+
+        Open-for-append gives ``O_APPEND`` write semantics, so
+        concurrent appenders (scheduler + N workers) interleave whole
+        batches rather than torn bytes for the line sizes in play; a
+        rare torn line is tolerated by the reader anyway.
+        """
+        if not events:
+            return
+        data = encode_event_lines(events)
+        self.events_dir.mkdir(parents=True, exist_ok=True)
+        with open(self._events_path(trace_id), "a") as handle:
+            handle.write(data)
+        _STORE_OPS.inc(op="append", namespace="events")
+
+    def read_events(self, trace_id: str) -> List[dict]:
+        """Every event recorded for ``trace_id``, torn lines skipped
+        (events are telemetry: best-effort by contract)."""
+        try:
+            text = self._events_path(trace_id).read_text()
+        except (OSError, ValueError):
+            return []
+        return decode_event_lines(text)
+
+    def has_events(self, trace_id: str) -> bool:
+        try:
+            return self._events_path(trace_id).is_file()
+        except ValueError:
+            return False
+
+    def event_traces(self) -> List[str]:
+        """Every trace id with recorded events, sorted."""
+        return sorted(p.stem for p in self.events_dir.glob("*.jsonl"))
 
     # ------------------------------------------------------------------ #
     # Eviction / garbage collection

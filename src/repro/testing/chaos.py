@@ -74,7 +74,7 @@ import random
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.distributed.worker import WorkSource
 from repro.service.client import ServiceClient, ServiceUnavailableError
@@ -135,9 +135,16 @@ class ChaosPlan:
     """
 
     def __init__(self, seed: int = 0,
-                 rules: Optional[Dict[str, FaultRule]] = None) -> None:
+                 rules: Optional[Dict[str, FaultRule]] = None,
+                 sink: Optional[Callable[[dict], None]] = None) -> None:
         self.seed = int(seed)
         self.rules = dict(rules or {})
+        #: Optional observer called with ``{"site", "call"}`` on every
+        #: fire (after the decision, outside the lock). The obs layer
+        #: adapts this into ``chaos.fire`` trace events
+        #: (:func:`repro.obs.trace.chaos_sink`) so the matrix can
+        #: assert scheduled faults against observed ones.
+        self.sink = sink
         self._lock = threading.Lock()
         self._streams: Dict[str, random.Random] = {}
         self._calls: Dict[str, int] = {}
@@ -190,7 +197,15 @@ class ChaosPlan:
                 fired = False
             if fired:
                 fires.append(call)
-            return fired
+        if fired and self.sink is not None:
+            # Outside the lock (the sink may do I/O) and after the
+            # decision is recorded: observation must never perturb the
+            # schedule, and a broken sink must never block a fault.
+            try:
+                self.sink({"site": site, "call": call})
+            except Exception:  # noqa: BLE001 - telemetry boundary
+                pass
+        return fired
 
     def snapshot(self) -> Dict[str, dict]:
         """Per-site ``{"calls": n, "fired_at": [k, ...]}`` trace.
@@ -245,7 +260,7 @@ class ChaosStore(ResultStore):
             raise TornWriteError(
                 f"chaos: crashed after writing result {key}")
 
-    def put_shard(self, key, lo, hi, result) -> None:
+    def put_shard(self, key, lo, hi, result, phases=None) -> None:
         if self.plan.should_fire("store.put_shard.before"):
             raise TornWriteError(
                 f"chaos: crashed before checkpoint {key}:{lo}-{hi}")
@@ -257,7 +272,7 @@ class ChaosStore(ResultStore):
             path.write_text(body[:max(1, len(body) // 2)])
             raise TornWriteError(
                 f"chaos: checkpoint {key}:{lo}-{hi} torn mid-write")
-        super().put_shard(key, lo, hi, result)
+        super().put_shard(key, lo, hi, result, phases=phases)
         if self.plan.should_fire("store.put_shard.after"):
             raise TornWriteError(
                 f"chaos: crashed after checkpoint {key}:{lo}-{hi}, "
@@ -300,10 +315,12 @@ class ChaosWorkSource(WorkSource):
             return False
         return self.inner.heartbeat(unit_id, owner, ttl_s)
 
-    def complete(self, unit_id, owner, job_key, lo, hi, tallies):
+    def complete(self, unit_id, owner, job_key, lo, hi, tallies,
+                 phases=None):
         if self.plan.should_fire("source.complete.before"):
             raise ChaosError("chaos: complete request lost")
-        self.inner.complete(unit_id, owner, job_key, lo, hi, tallies)
+        self.inner.complete(unit_id, owner, job_key, lo, hi, tallies,
+                            phases=phases)
         if self.plan.should_fire("source.complete.after"):
             # Checkpoint and ack are durable; only the reply vanished.
             # The worker will report a failure for work that succeeded
@@ -322,6 +339,11 @@ class ChaosWorkSource(WorkSource):
 
     def shard_done(self, job_key, lo, hi):
         return self.inner.shard_done(job_key, lo, hi)
+
+    def record_events(self, trace_id, events):
+        # Telemetry passes through unfaulted: trace evidence is how
+        # the matrix audits the chaos run, so chaos never eats it.
+        self.inner.record_events(trace_id, events)
 
 
 class ChaosClient(ServiceClient):

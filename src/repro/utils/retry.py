@@ -39,10 +39,33 @@ import time
 from dataclasses import dataclass
 from typing import Optional, Union
 
+from repro.obs import metrics as obs_metrics
+
 #: Fleet-decorrelation entropy. Timing jitter never feeds results
 #: (the seeding contract draws from SeedSequence streams only), so an
 #: OS-seeded shared instance is correct here.
 _JITTER_RNG = random.Random()
+
+_RETRY_SLEEPS = obs_metrics.counter(
+    "repro_retry_sleeps_total",
+    "Backoff sleeps taken through RetryPolicy.")
+_RETRY_SLEEP_SECONDS = obs_metrics.counter(
+    "repro_retry_sleep_seconds_total",
+    "Total seconds slept in RetryPolicy backoffs.")
+_RETRY_GIVEUPS = obs_metrics.counter(
+    "repro_retry_giveups_total",
+    "Retry loops abandoned (deadline expired or stop requested), "
+    "by call site.", ("site",))
+
+
+def note_giveup(site: str) -> None:
+    """Record that a retry loop gave up (timeout/stop) at ``site``.
+
+    Give-up is a caller-level outcome — the policy itself has no loop
+    — so call sites (client wait timeout, worker shutdown, dispatcher
+    deadline) report it explicitly through this hook.
+    """
+    _RETRY_GIVEUPS.inc(site=site)
 
 
 class Deadline:
@@ -156,6 +179,8 @@ class RetryPolicy:
             if not isinstance(deadline, Deadline):
                 deadline = Deadline(deadline)
             delay = min(delay, deadline.remaining())
+        _RETRY_SLEEPS.inc()
+        _RETRY_SLEEP_SECONDS.inc(delay)
         if stop is not None:
             return not stop.wait(delay)
         if delay > 0:
@@ -170,6 +195,8 @@ class RetryPolicy:
         delay = self.delay_s(attempt, rng)
         if deadline is not None:
             delay = min(delay, deadline.remaining())
+        _RETRY_SLEEPS.inc()
+        _RETRY_SLEEP_SECONDS.inc(delay)
         await asyncio.sleep(delay)
 
 

@@ -51,9 +51,10 @@ def publish_span(broker, key, lo, hi, code, seed=3):
 
 
 class TestWireVersion:
-    def test_version_is_three(self):
-        """Version 3 added ``kernels_name``; bump again if it changes."""
-        assert WIRE_VERSION == 3
+    def test_version_is_four(self):
+        """Version 4 put the unit dispatch envelope (optional trace
+        block) on the versioned surface; bump again if it changes."""
+        assert WIRE_VERSION == 4
 
     def test_envelope_carries_code(self):
         task = runner("hsiao").shard_task(0, 32)

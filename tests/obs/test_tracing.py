@@ -1,0 +1,259 @@
+"""Tracing primitives: spans, events, profiles, and the timeline.
+
+Unit-level coverage of :mod:`repro.obs.trace` and
+:mod:`repro.obs.timeline` with a list-backed sink — the end-to-end
+persistence path (store ``events/`` namespace, wire propagation) is
+covered by the service and distributed suites.
+"""
+
+import pytest
+
+from repro.obs.metrics import set_enabled
+from repro.obs.timeline import build_timeline, render_timeline
+from repro.obs.trace import (
+    NULL_TRACER,
+    PhaseProfile,
+    Tracer,
+    chaos_sink,
+    decode_event_lines,
+    encode_event_lines,
+    merge_phases,
+    new_span_id,
+)
+
+
+@pytest.fixture
+def enabled():
+    previous = set_enabled(True)
+    yield
+    set_enabled(previous)
+
+
+@pytest.fixture
+def sink():
+    """List-backed sink recording every (trace_id, records) call."""
+    calls = []
+
+    def record(trace_id, records):
+        calls.append((trace_id, list(records)))
+
+    record.calls = calls
+    return record
+
+
+def emitted(sink):
+    return [r for _, batch in sink.calls for r in batch]
+
+
+class TestSpan:
+    def test_span_record_shape(self, sink, enabled):
+        tracer = Tracer(sink, proc="svc")
+        with tracer.span("t1", "job.execute",
+                         attrs={"kind": "campaign"}) as span:
+            span.set("shards", 3)
+        (record,) = emitted(sink)
+        assert record["trace"] == "t1"
+        assert record["name"] == "job.execute"
+        assert record["kind"] == "span"
+        assert record["status"] == "ok"
+        assert record["proc"] == "svc"
+        assert record["parent"] is None
+        assert record["attrs"] == {"kind": "campaign", "shards": 3}
+        assert record["dur_ns"] >= 0
+        assert record["wall"] > 0
+        assert len(record["span"]) == 12
+
+    def test_exception_marks_error_and_reraises(self, sink, enabled):
+        tracer = Tracer(sink, proc="svc")
+        with pytest.raises(RuntimeError):
+            with tracer.span("t1", "job.execute"):
+                raise RuntimeError("boom")
+        (record,) = emitted(sink)
+        assert record["status"] == "error"
+        assert "boom" in record["attrs"]["error"]
+
+    def test_parentage(self, sink, enabled):
+        tracer = Tracer(sink, proc="svc")
+        with tracer.span("t1", "outer") as outer:
+            with tracer.span("t1", "inner",
+                             parent=outer.span_id):
+                pass
+        inner, outer_rec = emitted(sink)
+        assert inner["name"] == "inner"
+        assert inner["parent"] == outer_rec["span"]
+
+    def test_falsy_trace_id_yields_null_span(self, sink, enabled):
+        tracer = Tracer(sink, proc="svc")
+        with tracer.span(None, "unit.execute") as span:
+            span.set("k", "v")  # absorbed, no error
+        assert span.span_id is None
+        assert sink.calls == []
+
+    def test_disabled_yields_null_span(self, sink):
+        previous = set_enabled(False)
+        try:
+            tracer = Tracer(sink, proc="svc")
+            with tracer.span("t1", "job.execute") as span:
+                pass
+            assert span.span_id is None
+            assert sink.calls == []
+        finally:
+            set_enabled(previous)
+
+    def test_null_tracer_is_inert(self, enabled):
+        assert NULL_TRACER.active is False
+        with NULL_TRACER.span("t1", "anything") as span:
+            span.set("k", 1)
+
+    def test_sink_failure_is_swallowed(self, enabled):
+        def bad_sink(trace_id, records):
+            raise OSError("disk full")
+
+        tracer = Tracer(bad_sink, proc="svc")
+        with tracer.span("t1", "job.execute"):
+            pass  # no raise
+
+
+class TestEvents:
+    def test_event_emits_immediately(self, sink, enabled):
+        tracer = Tracer(sink, proc="w0")
+        record = tracer.event("t1", "unit.claim",
+                              attrs={"unit": "u1"})
+        assert emitted(sink) == [record]
+        assert record["kind"] == "event"
+        assert record["dur_ns"] == 0
+
+    def test_event_record_builds_without_emitting(self, sink, enabled):
+        tracer = Tracer(sink, proc="w0")
+        a = tracer.event_record("t1", "unit.claim")
+        b = tracer.event_record("t1", "unit.reattempt",
+                                status="error")
+        assert sink.calls == []
+        tracer.emit_records("t1", [a, None, b])
+        assert emitted(sink) == [a, b]
+        assert b["status"] == "error"
+
+    def test_emit_records_all_none_is_noop(self, sink, enabled):
+        tracer = Tracer(sink, proc="w0")
+        tracer.emit_records("t1", [None, None])
+        assert sink.calls == []
+
+    def test_disabled_event_returns_none(self, sink):
+        previous = set_enabled(False)
+        try:
+            tracer = Tracer(sink, proc="w0")
+            assert tracer.event("t1", "x") is None
+            assert tracer.event_record("t1", "x") is None
+        finally:
+            set_enabled(previous)
+
+    def test_span_ids_unique(self):
+        ids = {new_span_id() for _ in range(64)}
+        assert len(ids) == 64
+
+
+class TestPhaseProfile:
+    def test_accumulates(self):
+        profile = PhaseProfile()
+        assert not profile
+        profile.add("encode", 100)
+        profile.add("encode", 50)
+        profile.add("tally", 7)
+        assert profile
+        assert profile.as_dict() == {"encode": 150, "tally": 7}
+
+    def test_merge_phases(self):
+        merged = merge_phases([
+            {"encode": 100, "tally": 1},
+            None,
+            {},
+            {"encode": 10, "decode_sweep": 5},
+        ])
+        assert merged == {"encode": 110, "tally": 1, "decode_sweep": 5}
+
+    def test_merge_empty(self):
+        assert merge_phases([]) == {}
+        assert merge_phases([None, {}]) == {}
+
+
+class TestChaosSink:
+    def test_fires_become_trace_events(self, sink, enabled):
+        tracer = Tracer(sink, proc="w0")
+        adapter = chaos_sink(tracer, "t1", parent="abc")
+        adapter({"site": "store.put_shard.torn", "call": 3})
+        (record,) = emitted(sink)
+        assert record["name"] == "chaos.fire"
+        assert record["status"] == "error"
+        assert record["parent"] == "abc"
+        assert record["attrs"] == {"site": "store.put_shard.torn",
+                                   "call": 3}
+
+
+class TestEventLines:
+    def test_round_trip(self):
+        events = [{"trace": "t", "name": "a", "wall": 1.5},
+                  {"trace": "t", "name": "b", "wall": 2.5}]
+        assert decode_event_lines(encode_event_lines(events)) == events
+
+    def test_torn_tail_line_skipped(self):
+        text = encode_event_lines([{"trace": "t", "name": "a"}])
+        torn = text + '{"trace": "t", "na'
+        assert decode_event_lines(torn) == [{"trace": "t", "name": "a"}]
+
+    def test_non_dict_lines_skipped(self):
+        assert decode_event_lines('[1, 2]\n"str"\n\n') == []
+
+
+def make_events():
+    """A tiny cross-process trace: service span + worker children."""
+    return [
+        {"trace": "t", "span": "s1", "parent": None,
+         "name": "job.execute", "kind": "span", "status": "ok",
+         "proc": "service", "wall": 100.0, "dur_ns": 2_000_000_000,
+         "attrs": {"kind": "campaign"}},
+        {"trace": "t", "span": "e1", "parent": "s1",
+         "name": "unit.claim", "kind": "event", "status": "ok",
+         "proc": "w0", "wall": 100.5, "dur_ns": 0, "attrs": {}},
+        {"trace": "t", "span": "s2", "parent": "s1",
+         "name": "unit.execute", "kind": "span", "status": "ok",
+         "proc": "w0", "wall": 100.6, "dur_ns": 500_000_000,
+         "attrs": {"phases": {"encode": 1000, "tally": 500}}},
+        {"trace": "t", "span": "e2", "parent": "s1",
+         "name": "unit.fail", "kind": "event", "status": "error",
+         "proc": "w1", "wall": 101.0, "dur_ns": 0,
+         "attrs": {"error": "boom"}},
+    ]
+
+
+class TestTimeline:
+    def test_build_orders_by_wall_and_depths(self):
+        events = make_events()
+        shuffled = [events[2], events[0], events[3], events[1]]
+        timeline = build_timeline(shuffled)
+        assert timeline["trace"] == "t"
+        assert [e["name"] for e in timeline["events"]] == [
+            "job.execute", "unit.claim", "unit.execute", "unit.fail"]
+        assert timeline["depths"] == {"s1": 0, "e1": 1, "s2": 1,
+                                      "e2": 1}
+        assert timeline["start_wall"] == 100.0
+
+    def test_missing_parent_gets_depth_zero(self):
+        timeline = build_timeline([
+            {"trace": "t", "span": "x", "parent": "ghost",
+             "name": "orphan", "kind": "event", "status": "ok",
+             "proc": "p", "wall": 1.0, "dur_ns": 0, "attrs": {}}])
+        assert timeline["depths"] == {"x": 0}
+
+    def test_render_contains_header_and_rows(self):
+        text = render_timeline(make_events())
+        assert text.startswith("trace t — 4 events")
+        assert "procs: service, w0, w1" in text
+        assert "job.execute" in text
+        assert "unit.execute" in text
+        # error events carry the x mark; phases get a sub-line
+        assert " x " in text
+        assert "encode" in text and "tally" in text
+        assert "(w0)" in text
+
+    def test_render_empty(self):
+        assert "(no events)" in render_timeline([])

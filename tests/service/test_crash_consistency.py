@@ -223,7 +223,8 @@ class TestLyingAck:
         poll forever."""
 
         class LyingSource(BrokerWorkSource):
-            def complete(self, unit_id, owner, job_key, lo, hi, tallies):
+            def complete(self, unit_id, owner, job_key, lo, hi, tallies,
+                         phases=None):
                 self.broker.ack(unit_id, owner)  # no checkpoint!
 
         spec = spec_for(seed=83, trials=64)

@@ -33,6 +33,11 @@ class TestServiceHealth:
         assert health["store"]["quarantine"] == {
             "results": 0, "shards": 0, "jobs": 0}
         assert "broker" not in health  # local mode has no fleet half
+        assert health["uptime_s"] > 0
+        # The compact counters snapshot reflects the run's activity.
+        snapshot = health["metrics_snapshot"]
+        assert snapshot["repro_jobs_submitted_total"] >= 1
+        assert snapshot["repro_jobs_settled_total"] >= 1
 
     def test_distributed_mode_reports_broker_depth(self, tmp_path):
         async def main():
@@ -100,6 +105,8 @@ class TestHttpHealth:
         assert report["execution"] == "distributed"
         assert report["broker"]["depth"] == 0
         assert report["store"]["quarantine"]["shards"] == 0
+        assert report["uptime_s"] > 0
+        assert isinstance(report["metrics_snapshot"], dict)
 
     def test_health_rejects_post(self, tmp_path):
         import urllib.error

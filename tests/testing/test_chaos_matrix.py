@@ -233,13 +233,56 @@ class TestMatrixHttp:
             reference.as_dict()
 
 
+class TestChaosTraceParity:
+    def test_scheduled_fires_match_observed_trace_events(self, tmp_path):
+        """The observability closure over the chaos harness: every
+        fault the plan fires is also observed as a ``chaos.fire``
+        trace event (site + 1-based call index), so a chaos run's
+        timeline is a complete fault log — scheduled == observed."""
+        from repro.obs.trace import Tracer, chaos_sink
+
+        store = ResultStore(tmp_path)
+        tracer = Tracer(store.append_events, proc="chaos")
+        plan = ChaosPlan(
+            seed=11,
+            rules={
+                "store.put_shard.before": FaultRule(at_calls=(1,)),
+                "source.claim.drop": FaultRule(at_calls=(2,),
+                                               max_fires=1),
+            },
+            sink=chaos_sink(tracer, "chaos-parity"))
+        spec = spec_for(seed=107)
+        job = run_matrix_cell(tmp_path, spec, plan)
+        assert_terminal_and_sound(job, spec)
+
+        fired = plan.fired()
+        assert fired  # the plan actually injected something
+        observed = {}
+        for event in store.read_events("chaos-parity"):
+            assert event["name"] == "chaos.fire"
+            assert event["status"] == "error"
+            observed.setdefault(event["attrs"]["site"], []).append(
+                event["attrs"]["call"])
+        assert {site: sorted(calls)
+                for site, calls in observed.items()} == \
+            {site: sorted(calls) for site, calls in fired.items()}
+
+
 class TestReplayDeterminism:
     def test_single_threaded_replay_is_bitwise_identical(self, tmp_path):
         """The CI chaos lane's core assertion: the same seeded
         scenario, driven single-threaded (one worker, run_once loop),
         fires the same faults at the same call indices and leaves
-        byte-identical store contents across two independent runs."""
+        byte-identical store contents across two independent runs.
+
+        Runs with observability disabled: phase profiles stamped onto
+        checkpoint records are wall-clock measurements, legitimately
+        different across replays, so byte identity is a property of
+        the stripped execution path (tallies stay bit-identical either
+        way — the spans assertion above pins that with or without
+        profiling)."""
         from repro.distributed.wire import task_wire_dict
+        from repro.obs import metrics as obs_metrics
         from repro.utils.canonical import canonical_json
 
         spec = spec_for(seed=103, trials=96)
@@ -272,8 +315,12 @@ class TestReplayDeterminism:
                 for p in sorted((root / "shards" / key).iterdir())}
             return plan.fired(), spans, files
 
-        fired_a, spans_a, files_a = one_run(tmp_path / "a")
-        fired_b, spans_b, files_b = one_run(tmp_path / "b")
+        previous = obs_metrics.set_enabled(False)
+        try:
+            fired_a, spans_a, files_a = one_run(tmp_path / "a")
+            fired_b, spans_b, files_b = one_run(tmp_path / "b")
+        finally:
+            obs_metrics.set_enabled(previous)
         assert fired_a == fired_b
         assert fired_a  # the scenario actually injected something
         assert {s: r.as_dict() for s, r in spans_a.items()} == \
