@@ -18,6 +18,7 @@ while the clock runs.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
@@ -39,9 +40,17 @@ from repro.xbar.crossbar import CrossbarArray
 from repro.xbar.magic import MagicEngine
 from repro.xbar.ops import Axis
 
+#: CI quick mode (``REPRO_BENCH_QUICK=1``): smaller batch and the hard
+#: x-factor gates downgraded to recorded-but-not-asserted. A quick run
+#: exists to feed the perf ledger on shared CI hosts, where fixed
+#: overheads dominate at small B; the differential bit-identity checks
+#: still run at full strength.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").lower() \
+    not in ("", "0", "false")
+
 #: Pack-tax gate geometry (closest odd-divisor geometry to n=128).
 PACKED_GRID = BlockGrid(129, 3)
-PACKED_TRIALS = 4096
+PACKED_TRIALS = 1024 if QUICK else 4096
 PACKED_PROBABILITY = 2e-4
 #: Pack-inclusive gates per tier: the numpy fallback keeps the
 #: long-standing 4x floor; the compiled tier must make the pack cheap
@@ -259,6 +268,10 @@ def test_packed_kernel_pack_tax(save_artifact, save_json):
     for tier_name, row in per_tier.items():
         need = row["required_speedup_including_pack"]
         got = row["speedup_including_pack"]
+        if QUICK:
+            print(f"[quick] {tier_name}: {got:.1f}x inclusive "
+                  f"(gate {need}x not asserted)")
+            continue
         assert got >= need, (
             f"{tier_name} packed kernel only {got:.1f}x over uint8 "
             f"including the pack (required {need}x)")

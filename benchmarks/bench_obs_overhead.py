@@ -16,6 +16,7 @@ Run:  pytest benchmarks/bench_obs_overhead.py
 
 from __future__ import annotations
 
+import os
 import statistics
 import time
 
@@ -29,6 +30,11 @@ PROBABILITY = 2e-4
 TRIALS = 256
 ROUNDS = 7
 MAX_OVERHEAD = 0.03  # 3%
+
+#: CI quick mode: still measure and ledger the overhead, but downgrade
+#: the hard 3% gate to a report — shared CI hosts jitter well past it.
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").lower() \
+    not in ("", "0", "false")
 
 
 def _make_task():
@@ -88,6 +94,10 @@ def test_obs_overhead_under_three_percent(save_artifact, save_json):
         "overhead_fraction": overhead,
         "max_overhead_fraction": MAX_OVERHEAD,
     })
+    if QUICK:
+        print(f"[quick] overhead {overhead * 100:+.2f}% "
+              f"(gate {MAX_OVERHEAD * 100:.0f}% not asserted)")
+        return
     assert overhead < MAX_OVERHEAD, (
         f"observability costs {overhead * 100:.2f}% on the packed "
         f"campaign path (gate {MAX_OVERHEAD * 100:.0f}%)")

@@ -7,7 +7,11 @@ asserting the qualitative invariants recorded in EXPERIMENTS.md. Run:
     pytest benchmarks/ --benchmark-only
 
 Rendered artifacts are also written to ``benchmarks/results/`` so they
-can be inspected without rerunning.
+can be inspected without rerunning. Alongside each point-in-time
+``BENCH_<name>.json`` (overwritten in place), every ``save_json`` call
+also appends a provenance-stamped record to the longitudinal ledger
+``benchmarks/results/ledger.jsonl`` (see :mod:`repro.obs.perf`) so the
+perf trajectory survives across runs and revisions.
 """
 
 from __future__ import annotations
@@ -19,10 +23,13 @@ import platform
 import numpy as np
 import pytest
 
+from repro.obs import perf as obs_perf
 from repro.utils.kernels import get_kernels
 
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+LEDGER_PATH = os.path.join(RESULTS_DIR, "ledger.jsonl")
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -36,6 +43,19 @@ def active_kernels():
     artifacts.
     """
     return get_kernels(None)
+
+
+@pytest.fixture(scope="session")
+def bench_provenance():
+    """Where and from what these numbers came: git rev + host.
+
+    One git subprocess per session; outside a checkout the rev is
+    ``None`` and artifacts simply lack it.
+    """
+    return {
+        "git_rev": obs_perf.cached_git_revision(),
+        "host": obs_perf.host_fingerprint(),
+    }
 
 
 @pytest.fixture(scope="session")
@@ -58,16 +78,52 @@ def save_artifact(results_dir):
     return _save
 
 
+@pytest.fixture(scope="session", autouse=True)
+def perf_ledger(active_kernels, bench_provenance):
+    """Session-wide ledger appender: ``save_json`` feeds it.
+
+    Autouse so the ledger machinery is constructed (and its path
+    created lazily) whenever any benchmark runs; the actual append
+    happens per ``save_json`` call. Ledger appends are telemetry —
+    a failure there must never fail a bench — and deduplicate by
+    content digest so re-running an identical bench in one session
+    doesn't double-append.
+    """
+    seen = set()
+
+    def _append(name: str, payload: dict) -> None:
+        try:
+            record = obs_perf.bench_record(
+                payload.get("bench") or name, payload,
+                kernel_tier=payload.get("kernels"),
+                backend=payload.get("backend"),
+                git_rev=bench_provenance["git_rev"]
+                or obs_perf.SEED_EPOCH,
+                host=bench_provenance["host"])
+            digest = obs_perf.record_digest(record)
+            if digest in seen:
+                return
+            seen.add(digest)
+            obs_perf.append_record(LEDGER_PATH, record)
+        except Exception:  # noqa: BLE001 - telemetry only
+            pass
+
+    return _append
+
+
 @pytest.fixture(scope="session")
-def save_json(results_dir, active_kernels):
+def save_json(results_dir, active_kernels, bench_provenance,
+              perf_ledger):
     """Persist machine-readable bench results as ``BENCH_<name>.json``.
 
     Each payload is a flat-ish dict (throughput numbers plus the
     parameters that produced them: n, B, packing mode, backend, ...).
-    A ``machine`` stanza and the active kernel tier are attached so
-    cross-PR trajectories can be filtered by host and by tier. Keep the
-    human-readable ``.txt`` artifact too — this is the
-    greppable/plottable twin, not a replacement.
+    A ``machine`` stanza, the active kernel tier, the git revision,
+    and a host fingerprint are attached so cross-PR trajectories can
+    be filtered by host and by tier. Keep the human-readable ``.txt``
+    artifact too — this is the greppable/plottable twin, not a
+    replacement. Every call also appends a record to the longitudinal
+    ledger (``ledger.jsonl``) via the ``perf_ledger`` fixture.
     """
 
     def _save(name: str, payload: dict) -> None:
@@ -79,10 +135,14 @@ def save_json(results_dir, active_kernels):
             "python": platform.python_version(),
             "numpy": np.__version__,
         })
+        if bench_provenance["git_rev"]:
+            record.setdefault("git_rev", bench_provenance["git_rev"])
+        record.setdefault("host", bench_provenance["host"])
         with open(path, "w") as handle:
             json.dump(record, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"\n=== BENCH_{name}.json ===\n"
               f"{json.dumps(record, indent=2, sort_keys=True)}\n")
+        perf_ledger(name, record)
 
     return _save

@@ -15,7 +15,13 @@
     python -m repro submit SPEC.json [--url U --wait --timeout S]
     python -m repro status JOB_ID [--url U]
     python -m repro trace  JOB_ID (--store DIR | --url U) [--json]
-    python -m repro metrics [--url U]
+    python -m repro metrics [--url U --raw]
+    python -m repro perf ingest  [--results DIR --ledger PATH]
+    python -m repro perf report  [--ledger PATH --bench B ... --json]
+    python -m repro perf compare [--against REV|baseline|FILE]
+                           [--rev R --threshold F --json]
+    python -m repro perf baseline [--ledger PATH --rev R --out FILE]
+    python -m repro perf jobs (--store DIR | --url U) [--threshold F]
     python -m repro worker (--store DIR [--broker PATH] | --url U)
                            [--id W --lease-ttl S --max-units N]
     python -m repro store gc --store DIR [--max-age-days D]
@@ -33,7 +39,15 @@ corrupt (``--quarantine`` also moves the bad files aside), so it
 slots straight into cron/CI health gates. ``trace`` reconstructs a
 job's cross-process timeline from its persisted trace events (read
 straight from the store directory or over the service's ``/trace/``
-endpoint); ``metrics`` dumps the service's Prometheus exposition.
+endpoint); ``metrics`` dumps the service's Prometheus exposition plus
+an estimated p50/p95/p99 summary for every histogram (``--raw`` for
+exposition only). The ``perf`` family is the longitudinal observatory
+(:mod:`repro.obs.perf`): ``ingest`` backfills committed artifacts as
+the seed epoch, ``report`` prints the trend table, ``compare`` is the
+regression gate (exit 1 past threshold), ``baseline`` snapshots a
+revision for CI, and ``jobs`` flags per-phase drift on settled service
+campaigns. Every subcommand honours ``REPRO_LOG=<level>[,text|json]``
+for trace-correlated structured logging on stderr.
 """
 
 from __future__ import annotations
@@ -242,10 +256,139 @@ def _cmd_trace(args) -> int:
 
 
 def _cmd_metrics(args) -> int:
+    from repro.obs.metrics import render_histogram_summary
     from repro.service.client import ServiceClient
 
-    print(ServiceClient(args.url).metrics_text(), end="")
+    text = ServiceClient(args.url).metrics_text()
+    print(text, end="")
+    if not args.raw:
+        summary = render_histogram_summary(text)
+        if summary:
+            print("\n# histogram percentiles (estimated from bucket "
+                  "counts)\n" + summary)
     return 0
+
+
+def _ledger_records(args) -> list:
+    from repro.obs import perf
+
+    records = perf.read_ledger(args.ledger)
+    if not records:
+        print(f"no readable records in {args.ledger!r} — run "
+              f"`repro perf ingest` or a benchmark first",
+              file=sys.stderr)
+    return records
+
+
+def _cmd_perf_ingest(args) -> int:
+    from repro.obs import perf
+
+    report = perf.ingest_results(args.results, args.ledger)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if report["added"] == 0 and report["skipped"] == 0:
+        print(f"no BENCH_*.json files under {args.results!r}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_perf_report(args) -> int:
+    from repro.obs import perf
+
+    records = _ledger_records(args)
+    if not records:
+        return 1
+    report = perf.trend_report(records, benches=args.bench or None)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(perf.render_trend(report))
+    return 0
+
+
+def _cmd_perf_compare(args) -> int:
+    import os
+
+    from repro.obs import perf
+
+    records = _ledger_records(args)
+    if not records:
+        return 2
+    against = args.against
+    if against == "baseline":
+        against = args.baseline_file
+    if os.path.isfile(against):
+        try:
+            baseline = perf.load_baseline(against)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"unreadable baseline {against!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        base_label = against
+    else:
+        base_records = perf.records_for_rev(records, against)
+        if not base_records:
+            print(f"no ledger records for revision {against!r} and no "
+                  f"such baseline file", file=sys.stderr)
+            return 2
+        baseline = perf.collect_series(base_records)
+        base_label = f"rev {against}"
+    current_rev = args.rev or perf.latest_rev(records)
+    current_records = perf.records_for_rev(records, current_rev)
+    if not current_records:
+        print(f"no ledger records for revision {current_rev!r}",
+              file=sys.stderr)
+        return 2
+    gate = tuple(d.strip() for d in args.gate_directions.split(",")
+                 if d.strip())
+    report = perf.compare(baseline, perf.collect_series(current_records),
+                          threshold=args.threshold,
+                          n_boot=args.bootstrap, seed=args.seed,
+                          gate_directions=gate)
+    report["baseline"] = base_label
+    report["current"] = f"rev {current_rev}"
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(f"baseline: {base_label}   current: rev {current_rev}")
+        print(perf.render_compare(report))
+    # Exit status is the gate verdict, so CI needs no JSON parsing.
+    return 0 if report["ok"] else 1
+
+
+def _cmd_perf_baseline(args) -> int:
+    from repro.obs import perf
+
+    records = _ledger_records(args)
+    if not records:
+        return 1
+    baseline = perf.baseline_from_records(records, rev=args.rev)
+    perf.write_baseline(args.out, baseline)
+    print(f"wrote baseline of rev {baseline['git_rev']} "
+          f"({len(baseline['series'])} series) to {args.out}")
+    return 0
+
+
+def _cmd_perf_jobs(args) -> int:
+    from repro.obs import perf
+
+    if (args.store is None) == (args.url is None):
+        print("perf jobs needs exactly one of --store (read the "
+              "store's perf ledger) or --url (ask the service)",
+              file=sys.stderr)
+        return 2
+    if args.store is not None:
+        from repro.service.store import ResultStore
+        report = perf.jobs_report(ResultStore(args.store).read_perf(),
+                                  threshold=args.threshold)
+    else:
+        from repro.service.client import ServiceClient
+        report = ServiceClient(args.url).perf_report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(perf.render_jobs(report))
+    return 0 if report.get("ok", True) else 1
 
 
 def _cmd_worker(args) -> int:
@@ -412,9 +555,84 @@ def build_parser() -> argparse.ArgumentParser:
                              "rendered timeline")
     ptrace.set_defaults(func=_cmd_trace)
 
+    from repro.obs.perf import DEFAULT_BASELINE, DEFAULT_LEDGER
+
+    pperf = sub.add_parser(
+        "perf", help="longitudinal perf ledger: trends + regression gate")
+    perf_sub = pperf.add_subparsers(dest="perf_command", required=True)
+
+    pingest = perf_sub.add_parser(
+        "ingest", help="backfill committed BENCH_*.json into the ledger")
+    pingest.add_argument("--results", default="benchmarks/results",
+                         help="directory holding BENCH_*.json artifacts")
+    pingest.add_argument("--ledger", default=DEFAULT_LEDGER,
+                         help="ledger JSONL path to append to")
+    pingest.set_defaults(func=_cmd_perf_ingest)
+
+    preport = perf_sub.add_parser(
+        "report", help="trend table per bench/metric/kernel tier")
+    preport.add_argument("--ledger", default=DEFAULT_LEDGER)
+    preport.add_argument("--bench", action="append", default=None,
+                         help="restrict to these bench names "
+                              "(repeatable)")
+    preport.add_argument("--json", action="store_true",
+                         help="print the raw report instead of a table")
+    preport.set_defaults(func=_cmd_perf_report)
+
+    pcompare = perf_sub.add_parser(
+        "compare", help="gate the newest epoch against a baseline "
+                        "(exit 1 on regression)")
+    pcompare.add_argument("--ledger", default=DEFAULT_LEDGER)
+    pcompare.add_argument("--against", default="baseline",
+                          help="'baseline' (the committed snapshot), a "
+                               "baseline JSON path, or a git rev prefix "
+                               "present in the ledger")
+    pcompare.add_argument("--baseline-file", default=DEFAULT_BASELINE,
+                          help="where 'baseline' points")
+    pcompare.add_argument("--rev", default=None,
+                          help="current-side revision (default: the "
+                               "ledger's newest by timestamp)")
+    pcompare.add_argument("--threshold", type=float, default=0.2,
+                          help="fail when the good-direction ratio's "
+                               "CI upper bound < 1 - threshold")
+    pcompare.add_argument("--bootstrap", type=int, default=400,
+                          help="bootstrap resamples for the CI")
+    pcompare.add_argument("--seed", type=int, default=7,
+                          help="bootstrap PRNG seed (deterministic gate)")
+    pcompare.add_argument("--gate-directions", default="higher",
+                          help="comma list of metric directions to "
+                               "gate (higher, lower); others are "
+                               "reported as info")
+    pcompare.add_argument("--json", action="store_true")
+    pcompare.set_defaults(func=_cmd_perf_compare)
+
+    pbaseline = perf_sub.add_parser(
+        "baseline", help="snapshot one revision's series as the "
+                         "committed baseline")
+    pbaseline.add_argument("--ledger", default=DEFAULT_LEDGER)
+    pbaseline.add_argument("--rev", default=None,
+                           help="revision to snapshot (default: newest)")
+    pbaseline.add_argument("--out", default=DEFAULT_BASELINE)
+    pbaseline.set_defaults(func=_cmd_perf_baseline)
+
+    pjobs = perf_sub.add_parser(
+        "jobs", help="per-phase drift on settled service campaigns")
+    pjobs.add_argument("--store", default=None,
+                       help="store root (reads perf/ledger.jsonl)")
+    pjobs.add_argument("--url", default=None,
+                       help="service URL (GET /perf; server-side "
+                            "threshold)")
+    pjobs.add_argument("--threshold", type=float, default=0.5,
+                       help="drift threshold for --store mode")
+    pjobs.add_argument("--json", action="store_true")
+    pjobs.set_defaults(func=_cmd_perf_jobs)
+
     pmetrics = sub.add_parser(
         "metrics", help="dump the service's Prometheus metrics text")
     pmetrics.add_argument("--url", default=_default_service_url())
+    pmetrics.add_argument("--raw", action="store_true",
+                          help="exposition only, no histogram "
+                               "percentile summary")
     pmetrics.set_defaults(func=_cmd_metrics)
 
     p9 = sub.add_parser(
@@ -469,6 +687,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
+    # Honour REPRO_LOG=<level>[,text|json] for every subcommand (a
+    # no-op when the variable is unset).
+    from repro.obs.logs import configure as configure_logging
+    configure_logging()
     parser = build_parser()
     args = parser.parse_args(argv)
     return args.func(args)

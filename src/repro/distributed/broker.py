@@ -37,7 +37,10 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
 from repro.service.queue import JobQueue, register_queue_backend
+
+_LOG = get_logger("distributed.broker")
 
 #: Unit lifecycle states (the only values the ``state`` column takes).
 UNIT_STATES = ("queued", "leased", "done", "failed")
@@ -400,8 +403,16 @@ class SqliteBroker:
                 raise
         _FAILS.inc(outcome="requeued" if state == "queued"
                    else "terminal")
+        if state == "failed":
+            _LOG.error("unit failed terminally", extra={
+                "event": "unit.terminal", "unit": unit_id,
+                "attempts": row["attempts"], "worker": owner,
+                "error": error})
         if tripped:
             _BREAKER_OPENS.inc()
+            _LOG.warning("circuit breaker opened for worker", extra={
+                "event": "breaker.open", "worker": owner,
+                "cooldown_s": self.breaker_cooldown_s})
         return True
 
     def requeue_unit(self, unit_id: str, reason: str,
@@ -449,6 +460,10 @@ class SqliteBroker:
                 conn.execute("ROLLBACK")
                 raise
         _REQUEUES.inc(outcome=outcome)
+        if outcome == "failed":
+            _LOG.error("lost-checkpoint unit failed terminally", extra={
+                "event": "unit.terminal", "unit": unit_id,
+                "attempts": row["attempts"], "reason": reason})
         return outcome
 
     # ------------------------------------------------------------------ #

@@ -49,11 +49,14 @@ from repro.distributed.wire import (
 from repro.faults.batch import run_shard_task_profiled
 from repro.faults.campaign import CampaignResult
 from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
 from repro.obs.trace import Tracer
 from repro.service.client import ServiceClient
 from repro.service.spec import result_to_dict
 from repro.service.store import ResultStore
 from repro.utils.retry import RetryPolicy, poll_policy
+
+_LOG = get_logger("distributed.worker")
 
 _WORKER_UNITS = obs_metrics.counter(
     "repro_worker_units_total",
@@ -323,9 +326,15 @@ class ShardWorker:
                 return processed
             try:
                 ran = self.run_once()
-            except Exception:  # noqa: BLE001 - daemon must outlive claims
+            except Exception as exc:  # noqa: BLE001 - daemon must outlive claims
                 claim_errors += 1
                 ran = False
+                _LOG.warning("claim/processing error, backing off",
+                             extra={"event": "worker.claim_error",
+                                    "worker": self.worker_id,
+                                    "consecutive": claim_errors,
+                                    "error": f"{type(exc).__name__}: "
+                                             f"{exc}"})
             else:
                 claim_errors = 0
             if ran:
@@ -358,6 +367,13 @@ class ShardWorker:
             # surface it instead of bouncing the unit forever.
             self.units_failed += 1
             _WORKER_UNITS.inc(outcome="poison")
+            # Terminal with no exception propagating: without this
+            # line the daemon drops the unit in silence.
+            _LOG.error("poison payload: failing unit terminally",
+                       extra={"event": "unit.poison", "unit": unit_id,
+                              "attempts": attempts,
+                              "worker": self.worker_id,
+                              "error": f"{type(exc).__name__}: {exc}"})
             self.source.fail(unit_id, self.worker_id,
                              f"{type(exc).__name__}: {exc}",
                              requeue=False)
@@ -428,6 +444,11 @@ class ShardWorker:
         except Exception as exc:  # noqa: BLE001 - unit isolation boundary
             self.units_failed += 1
             _WORKER_UNITS.inc(outcome="failed")
+            _LOG.error("unit execution failed, reporting to broker",
+                       extra={"event": "unit.fail", "unit": unit_id,
+                              "attempts": attempts,
+                              "worker": self.worker_id,
+                              "error": f"{type(exc).__name__}: {exc}"})
             if trace_id:
                 tracer.event(trace_id, "unit.fail", parent=parent,
                              status="error",
@@ -438,8 +459,17 @@ class ShardWorker:
                 self.source.fail(unit_id, self.worker_id,
                                  f"{type(exc).__name__}: {exc}",
                                  requeue=True)
-            except Exception:  # noqa: BLE001 - transport died too
-                pass  # the lease will expire and re-enqueue the unit
+            except Exception as report_exc:  # noqa: BLE001 - transport died
+                # The lease will expire and re-enqueue the unit, but
+                # say so — this path previously died in silence.
+                _LOG.error("could not report unit failure; lease "
+                           "expiry will requeue it",
+                           extra={"event": "unit.fail_unreported",
+                                  "unit": unit_id,
+                                  "attempts": attempts,
+                                  "worker": self.worker_id,
+                                  "error": f"{type(report_exc).__name__}"
+                                           f": {report_exc}"})
 
     @staticmethod
     def _decode(payload_text: str):

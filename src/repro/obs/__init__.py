@@ -11,6 +11,12 @@ Three legs, one package (see the module docstrings for the contracts):
   ``events/`` namespace.
 * :mod:`repro.obs.timeline` — reconstructs and renders a cross-process
   timeline from those events (``repro trace <job-id>``).
+* :mod:`repro.obs.perf` — the longitudinal leg: an append-only JSONL
+  benchmark ledger with provenance, trend reports, and a bootstrap-CI
+  regression gate (``repro perf ingest/report/compare/jobs``).
+* :mod:`repro.obs.logs` — trace-correlated structured logging on
+  stdlib ``logging`` (``REPRO_LOG=<level>[,text|json]``); every record
+  emitted inside an active span carries that span's trace id.
 
 The package imports nothing from the rest of :mod:`repro` (stdlib
 only), so any layer — ``utils.retry`` included — can instrument itself
@@ -35,10 +41,13 @@ from repro.obs.trace import (
     PhaseProfile,
     Tracer,
     chaos_sink,
+    current_span,
     merge_phases,
     new_span_id,
 )
 from repro.obs.timeline import build_timeline, render_timeline
+from repro.obs.logs import configure as configure_logging
+from repro.obs.logs import get_logger
 
 __all__ = [
     "REGISTRY",
@@ -53,8 +62,11 @@ __all__ = [
     "PhaseProfile",
     "Tracer",
     "chaos_sink",
+    "current_span",
     "merge_phases",
     "new_span_id",
     "build_timeline",
     "render_timeline",
+    "configure_logging",
+    "get_logger",
 ]

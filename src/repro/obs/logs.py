@@ -1,0 +1,194 @@
+"""Trace-correlated structured logging on stdlib :mod:`logging`.
+
+The fleet's daemons (scheduler, dispatcher, broker, workers) were
+previously silent unless an exception happened to propagate — a
+terminal unit failure inside the worker loop left *nothing* on stderr.
+This module gives every ``repro.*`` logger two things:
+
+* **Trace correlation.** A :class:`TraceContextFilter` stamps the
+  active ``(trace, span)`` pair from :func:`repro.obs.trace.current_span`
+  onto each record, so ``grep <job-id>`` over worker stderr lines up
+  with ``repro trace <job-id>``. Call sites can also pass explicit
+  ``extra={"trace": ...}`` which always wins over the ambient context.
+* **Selectable format/level.** ``REPRO_LOG=<level>[,text|json]``
+  (e.g. ``REPRO_LOG=debug,json``) configures a stderr handler on the
+  ``repro`` logger root. Unset, nothing is configured and stdlib
+  semantics apply — WARNING and above still reach stderr through
+  ``logging.lastResort``, so the worker's terminal-failure lines are
+  visible even on an unconfigured fleet.
+
+Structured fields travel as ``extra={...}`` kwargs; the JSON formatter
+emits them as top-level keys, the text formatter as trailing
+``key=value`` pairs. Logging must never take down a campaign: both
+formatters coerce unserialisable values through ``repr``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+from typing import Optional, Tuple
+
+from repro.obs.trace import current_span
+
+#: Root of the package logger hierarchy configure() manages.
+ROOT_LOGGER = "repro"
+
+_LEVELS = ("debug", "info", "warning", "error", "critical")
+_FORMATS = ("text", "json")
+
+#: LogRecord attributes that are plumbing, not user-supplied fields.
+_RESERVED = frozenset((
+    "name", "msg", "args", "levelname", "levelno", "pathname",
+    "filename", "module", "exc_info", "exc_text", "stack_info",
+    "lineno", "funcName", "created", "msecs", "relativeCreated",
+    "thread", "threadName", "processName", "process", "taskName",
+    "message", "asctime", "trace", "span"))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (prefix added if absent)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+class TraceContextFilter(logging.Filter):
+    """Stamp the ambient trace/span ids onto every record.
+
+    Explicit ``extra={"trace": ...}`` set by the call site is left
+    untouched; otherwise the contextvar set by ``Tracer.span`` fills
+    both fields. Always returns True — this filter annotates, it never
+    drops.
+    """
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        if getattr(record, "trace", None) is None:
+            active = current_span()
+            if active is not None:
+                record.trace, record.span = active
+        return True
+
+
+def _structured_fields(record: logging.LogRecord) -> dict:
+    fields = {}
+    for key, value in record.__dict__.items():
+        if key in _RESERVED or key.startswith("_"):
+            continue
+        if not isinstance(value, (str, int, float, bool, type(None))):
+            value = repr(value)
+        fields[key] = value
+    return fields
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line; machine-greppable fleet logs."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        trace = getattr(record, "trace", None)
+        if trace is None:
+            active = current_span()
+            if active is not None:
+                trace, record.span = active
+        if trace is not None:
+            payload["trace"] = trace
+            span = getattr(record, "span", None)
+            if span is not None:
+                payload["span"] = span
+        payload.update(_structured_fields(record))
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True, default=repr)
+
+
+class TextLogFormatter(logging.Formatter):
+    """Terse human format: level/logger/message plus ``k=v`` fields."""
+
+    default_time_format = "%H:%M:%S"
+
+    def __init__(self) -> None:
+        super().__init__("%(asctime)s %(levelname)-7s %(name)s: "
+                         "%(message)s")
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        pairs = []
+        trace = getattr(record, "trace", None)
+        if trace is None:
+            active = current_span()
+            if active is not None:
+                trace, record.span = active
+        if trace is not None:
+            pairs.append(f"trace={trace}")
+        for key, value in sorted(_structured_fields(record).items()):
+            if key == "span":
+                continue
+            pairs.append(f"{key}={value}")
+        return f"{base} [{' '.join(pairs)}]" if pairs else base
+
+
+def parse_log_env(value: str) -> Tuple[Optional[str], Optional[str]]:
+    """``"debug,json"`` → ``("debug", "json")``; unknown tokens are
+    ignored (a typo'd REPRO_LOG must not crash the CLI)."""
+    level = fmt = None
+    for token in value.split(","):
+        token = token.strip().lower()
+        if token in _LEVELS:
+            level = token
+        elif token in _FORMATS:
+            fmt = token
+    return level, fmt
+
+
+def configure(level: Optional[str] = None, fmt: Optional[str] = None,
+              stream=None) -> Optional[logging.Handler]:
+    """Install (or retune) the ``repro`` stderr log handler.
+
+    Explicit arguments win; unset ones fall back to ``REPRO_LOG``.
+    With no arguments and no ``REPRO_LOG``, this is a no-op returning
+    ``None`` — the fleet stays on stdlib-default behaviour. Idempotent:
+    repeated calls reconfigure the one managed handler instead of
+    stacking duplicates.
+    """
+    env_level, env_fmt = parse_log_env(os.environ.get("REPRO_LOG", ""))
+    level = (level or env_level or "").strip().lower() or None
+    fmt = (fmt or env_fmt or "").strip().lower() or None
+    if level is None and fmt is None:
+        return None
+    level = level if level in _LEVELS else "info"
+    fmt = fmt if fmt in _FORMATS else "text"
+
+    root = logging.getLogger(ROOT_LOGGER)
+    handler = next((h for h in root.handlers
+                    if getattr(h, "repro_managed", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.repro_managed = True
+        handler.addFilter(TraceContextFilter())
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setFormatter(JsonLogFormatter() if fmt == "json"
+                         else TextLogFormatter())
+    root.setLevel(getattr(logging, level.upper()))
+    return handler
+
+
+def unconfigure() -> None:
+    """Remove the managed handler (test isolation hook)."""
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if getattr(handler, "repro_managed", False):
+            root.removeHandler(handler)
+            handler.close()
+    root.propagate = True
+    root.setLevel(logging.NOTSET)

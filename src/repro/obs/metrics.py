@@ -340,3 +340,129 @@ def histogram(name: str, help_text: str = "",
 
 def render_prometheus() -> str:
     return REGISTRY.render()
+
+
+def estimate_quantiles(bounds: Iterable[float],
+                       counts: Iterable[int],
+                       quantiles: Iterable[float]) -> Dict[float, float]:
+    """Estimate quantiles from per-bucket histogram counts.
+
+    ``counts`` has one entry per finite bound plus a terminal overflow
+    bucket (``len(bounds) + 1`` entries, *not* cumulative). Values are
+    interpolated linearly inside the winning bucket, the way Prometheus'
+    ``histogram_quantile`` does; the overflow bucket has no upper edge,
+    so estimates there clamp to the largest finite bound. Returns
+    ``{quantile: estimate}``; empty histograms yield an empty dict.
+    """
+    bounds = [float(b) for b in bounds]
+    counts = [int(c) for c in counts]
+    total = sum(counts)
+    if total <= 0:
+        return {}
+    out: Dict[float, float] = {}
+    for q in quantiles:
+        target = max(0.0, min(1.0, float(q))) * total
+        cumulative = 0
+        estimate = bounds[-1] if bounds else 0.0
+        for i, count in enumerate(counts):
+            if count == 0:
+                continue
+            lower = bounds[i - 1] if i > 0 else 0.0
+            upper = bounds[i] if i < len(bounds) else bounds[-1]
+            if cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                estimate = lower + fraction * max(0.0, upper - lower)
+                break
+            cumulative += count
+        out[float(q)] = estimate
+    return out
+
+
+_BUCKET_RE = re.compile(r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)_"
+                        r"(?P<sample>bucket|sum|count)"
+                        r"(?:\{(?P<labels>.*)\})?\s+(?P<value>\S+)$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)='
+                            r'"((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_histograms(text: str) -> Dict[Tuple[str, Tuple],
+                                                   dict]:
+    """Parse histogram series out of Prometheus text exposition.
+
+    Returns ``{(name, labels): {"bounds", "counts", "sum", "count"}}``
+    where ``labels`` is a sorted tuple of ``(key, value)`` pairs minus
+    ``le`` and ``counts`` is per-bucket (de-cumulated), matching what
+    :func:`estimate_quantiles` expects. Non-histogram samples and
+    malformed lines are ignored — this is a display helper, not a full
+    exposition parser.
+    """
+    series: Dict[Tuple[str, Tuple], dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _BUCKET_RE.match(line)
+        if not match:
+            continue
+        labels = dict(_LABEL_PAIR_RE.findall(match.group("labels") or ""))
+        le = labels.pop("le", None)
+        key = (match.group("name"),
+               tuple(sorted(labels.items())))
+        try:
+            value = float(match.group("value").replace("+Inf", "inf"))
+        except ValueError:
+            continue
+        entry = series.setdefault(key, {"cumulative": [], "sum": None,
+                                        "count": None})
+        sample = match.group("sample")
+        if sample == "bucket":
+            if le is None:
+                continue
+            bound = math.inf if le == "+Inf" else float(le)
+            entry["cumulative"].append((bound, value))
+        elif sample == "sum":
+            entry["sum"] = value
+        elif sample == "count":
+            entry["count"] = value
+    out: Dict[Tuple[str, Tuple], dict] = {}
+    for key, entry in series.items():
+        cumulative = sorted(entry["cumulative"])
+        if not cumulative or entry["count"] is None:
+            continue
+        bounds = [b for b, _ in cumulative if b != math.inf]
+        counts, previous = [], 0.0
+        for _, running in cumulative:
+            counts.append(max(0, int(running - previous)))
+            previous = running
+        if len(counts) == len(bounds):  # no explicit +Inf bucket
+            counts.append(max(0, int(entry["count"] - previous)))
+        out[key] = {"bounds": bounds, "counts": counts,
+                    "sum": entry["sum"] or 0.0,
+                    "count": int(entry["count"])}
+    return out
+
+
+def render_histogram_summary(text: str,
+                             quantiles=(0.5, 0.95, 0.99)) -> str:
+    """Human-readable p50/p95/p99 lines for every histogram in ``text``.
+
+    ``repro metrics`` appends this under the raw exposition so a human
+    gets latency percentiles without mentally integrating cumulative
+    bucket counts. Returns ``""`` when the exposition holds no
+    populated histograms.
+    """
+    lines: List[str] = []
+    for (name, labels), hist in sorted(
+            parse_prometheus_histograms(text).items()):
+        if hist["count"] <= 0:
+            continue
+        estimates = estimate_quantiles(hist["bounds"], hist["counts"],
+                                       quantiles)
+        label_text = ("{" + ",".join(f'{k}="{v}"' for k, v in labels)
+                      + "}") if labels else ""
+        mean = hist["sum"] / hist["count"]
+        parts = [f"count={hist['count']}", f"mean={mean:.4g}"]
+        parts += [f"p{int(q * 100)}={estimates[q]:.4g}"
+                  for q in quantiles if q in estimates]
+        lines.append(f"{name}{label_text}: " + " ".join(parts))
+    return "\n".join(lines)

@@ -31,15 +31,30 @@ deliberately not a context manager, so the hot block loop pays two
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import json
 import time
 import uuid
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import is_enabled
 
 #: ``sink(trace_id, events)`` — persists a batch of event dicts.
 TraceSink = Callable[[str, List[dict]], None]
+
+#: The innermost live span of the current context, as a
+#: ``(trace_id, span_id)`` pair. Set by :meth:`Tracer.span` on entry
+#: and restored on exit; the structured-logging plane
+#: (:mod:`repro.obs.logs`) reads it to stamp every log record emitted
+#: inside a span with that span's trace id. Context-local, so
+#: concurrent asyncio tasks and threads each see their own span.
+_ACTIVE_SPAN: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_span", default=None)
+
+
+def current_span() -> Optional[Tuple[str, str]]:
+    """``(trace_id, span_id)`` of the active span, or ``None``."""
+    return _ACTIVE_SPAN.get()
 
 
 def new_span_id() -> str:
@@ -131,6 +146,7 @@ class Tracer:
             yield _NULL_SPAN
             return
         span = Span(trace_id, name, parent, attrs)
+        token = _ACTIVE_SPAN.set((trace_id, span.span_id))
         try:
             yield span
         except BaseException as exc:
@@ -138,6 +154,7 @@ class Tracer:
             span.attrs.setdefault("error", repr(exc))
             raise
         finally:
+            _ACTIVE_SPAN.reset(token)
             self._emit(trace_id, [span._record(self.proc)])
 
     def event(self, trace_id: str, name: str,

@@ -114,6 +114,11 @@ class ServiceClient:
         """The raw Prometheus text exposition from ``GET /metrics``."""
         return self._request_text("/metrics")
 
+    def perf_report(self) -> dict:
+        """The service's per-phase drift report from ``GET /perf``
+        (see :meth:`CampaignService.perf_report`)."""
+        return self._request("GET", "/perf")
+
     def trace(self, job_id: str) -> List[dict]:
         """The job's raw trace events (``ValueError`` when unknown)."""
         return self._request("GET", f"/trace/{job_id}")["events"]

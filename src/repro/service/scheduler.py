@@ -71,6 +71,8 @@ from repro.core.registry import code_names
 from repro.faults.batch import PACKINGS, merge_results, run_shard_task, \
     run_shard_task_profiled
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
+from repro.obs.logs import get_logger
 from repro.obs.trace import Tracer, merge_phases
 from repro.service.queue import JobQueue, available_queue_backends, \
     make_queue
@@ -100,6 +102,8 @@ EXECUTION_MODES = ("local", "distributed")
 BROKER_FILENAME = "broker.sqlite3"
 
 _JOB_ID = re.compile(r"^j(\d+)-[0-9a-f]+$")
+
+_LOG = get_logger("service.scheduler")
 
 _UNIT_ID = re.compile(r":(\d+)-(\d+)$")
 
@@ -694,6 +698,15 @@ class CampaignService:
                 _BROKER_GAUGE.set(counts.get(state, 0), state=state)
         return obs_metrics.render_prometheus()
 
+    def perf_report(self, threshold: float = 0.5) -> dict:
+        """Per-phase drift over the store's perf ledger: the
+        ``GET /perf`` payload (see :func:`repro.obs.perf.jobs_report`).
+        Settled non-cached jobs append their normalised phase profile;
+        this compares each job shape's newest run against its history.
+        """
+        return obs_perf.jobs_report(self.store.read_perf(),
+                                    threshold=threshold)
+
     # ------------------------------------------------------------------ #
     # Execution
     # ------------------------------------------------------------------ #
@@ -822,6 +835,30 @@ class CampaignService:
                 job.id, "job.settle",
                 status="ok" if job.state == "done" else "error",
                 attrs=settle_attrs)
+            if job.state == "failed":
+                _LOG.error("job failed", extra={
+                    "event": "job.settle", "job_id": job.id,
+                    "key": job.key, "error": job.error})
+            else:
+                _LOG.info("job settled", extra={
+                    "event": "job.settle", "job_id": job.id,
+                    "state": job.state, "cached": job.cached})
+            # Feed the settled phase profile into the perf ledger so
+            # `repro perf jobs` can flag drift across campaigns.
+            # Telemetry: a ledger failure never touches the job.
+            if job.state == "done" and not job.cached and job.phases:
+                try:
+                    self.store.append_perf(obs_perf.job_phases_record(
+                        kind=job.spec.kind, key=job.key,
+                        phases=job.phases,
+                        trials=getattr(job.spec, "trials", None),
+                        params=job.spec.to_dict(),
+                        kernel_tier=getattr(job.spec, "kernels", None)
+                        or "auto",
+                        backend=getattr(job.spec, "backend", None),
+                        git_rev=obs_perf.cached_git_revision()))
+                except Exception:  # noqa: BLE001 - telemetry only
+                    pass
             self._inflight.pop(job.key, None)
             followers = self._resolve_followers(job)
             if followers:
@@ -1063,6 +1100,9 @@ class CampaignService:
             self.broker.requeue_unit(unit.unit_id, reason)
             requeued += 1
             _UNIT_REQUEUES.inc()
+            _LOG.warning("requeueing lost unit", extra={
+                "event": "unit.requeue", "job_id": job.id,
+                "unit": unit.unit_id, "reason": reason})
             self.tracer.event(job.id, "unit.requeue",
                               parent=parent_span, status="error",
                               attrs={"unit": unit.unit_id,

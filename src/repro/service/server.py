@@ -28,6 +28,9 @@ the container bakes in numpy + pytest and nothing else) that exposes a
                             plus point-in-time gauges
 ``GET  /trace/<job-id>``    the job's raw trace events (404 when the
                             trace is unknown)
+``GET  /perf``              per-phase drift report over the store's
+                            perf ledger (:meth:`CampaignService.
+                            perf_report`)
 ==========================  ============================================
 
 The ``/units/*`` family is the multi-host worker transport
@@ -205,6 +208,10 @@ class ServiceServer:
             # event loop like /health.
             text = await asyncio.to_thread(self.service.metrics_text)
             return 200, PlainText(text, PROMETHEUS_CONTENT_TYPE)
+        if path == "/perf" and method == "GET":
+            # perf_report() reads the store's perf ledger — disk I/O,
+            # off the event loop like /health.
+            return 200, await asyncio.to_thread(self.service.perf_report)
         if path.startswith("/trace/") and method == "GET":
             trace_id = path[len("/trace/"):]
             events = await asyncio.to_thread(
@@ -242,7 +249,7 @@ class ServiceServer:
                 return 400, {"error": "body must be a JSON object"}
             return await self._route_units(path, payload)
         if path in ("/healthz", "/health", "/info", "/jobs",
-                    "/metrics") or \
+                    "/metrics", "/perf") or \
                 path.startswith(("/jobs/", "/units/", "/trace/")):
             return 405, {"error": f"{method} not allowed on {path}"}
         return 404, {"error": f"no route for {path}"}

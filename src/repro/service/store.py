@@ -8,6 +8,7 @@ record)::
     shards/<key>/<lo>-<hi>.json   checkpointed span of a running job
     jobs/<job_id>.json            persisted scheduler JobRecord
     events/<job_id>.jsonl         append-only trace events (telemetry)
+    perf/ledger.jsonl             append-only perf ledger (telemetry)
     quarantine/<namespace>/...    corrupt records pulled out of the way
 
 Every record carries a content digest (the ``integrity`` field: the
@@ -68,11 +69,15 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.faults.campaign import CampaignResult
 from repro.obs import metrics as obs_metrics
+from repro.obs import perf as obs_perf
+from repro.obs.logs import get_logger
 from repro.obs.trace import decode_event_lines, encode_event_lines
 from repro.service.spec import result_from_dict, result_to_dict
 from repro.utils.canonical import canonical_json
 
 _SHARD_FILE = re.compile(r"^(\d+)-(\d+)\.json$")
+
+_LOG = get_logger("store")
 
 _STORE_OPS = obs_metrics.counter(
     "repro_store_ops_total", "Store operations by kind and namespace.",
@@ -199,6 +204,9 @@ class ResultStore:
         on it).
         """
         _STORE_QUARANTINES.inc(namespace=namespace)
+        _LOG.warning("quarantining corrupt record", extra={
+            "event": "store.quarantine", "namespace": namespace,
+            "path": str(path), "reason": reason})
         target_dir = self.quarantine_dir / namespace
         try:
             target_dir.mkdir(parents=True, exist_ok=True)
@@ -540,6 +548,26 @@ class ResultStore:
     def event_traces(self) -> List[str]:
         """Every trace id with recorded events, sorted."""
         return sorted(p.stem for p in self.events_dir.glob("*.jsonl"))
+
+    # ------------------------------------------------------------------ #
+    # Perf ledger (append-only telemetry; see repro.obs.perf)
+    # ------------------------------------------------------------------ #
+
+    def _perf_path(self) -> Path:
+        return self.root / "perf" / "ledger.jsonl"
+
+    def append_perf(self, record: dict) -> None:
+        """Append one perf-ledger record (a settled job's phase
+        profile, normalised per trial — see
+        :func:`repro.obs.perf.job_phases_record`). Telemetry like
+        ``events/``: no integrity stamp, torn tails tolerated on read,
+        nothing in resume or dedupe depends on it."""
+        obs_perf.append_record(str(self._perf_path()), record)
+        _STORE_OPS.inc(op="append", namespace="perf")
+
+    def read_perf(self) -> List[dict]:
+        """Every readable perf-ledger record (torn lines skipped)."""
+        return obs_perf.read_ledger(str(self._perf_path()))
 
     # ------------------------------------------------------------------ #
     # Eviction / garbage collection

@@ -40,6 +40,9 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.logs import get_logger
+
+_LOG = get_logger("utils.retry")
 
 #: Fleet-decorrelation entropy. Timing jitter never feeds results
 #: (the seeding contract draws from SeedSequence streams only), so an
@@ -66,6 +69,8 @@ def note_giveup(site: str) -> None:
     deadline) report it explicitly through this hook.
     """
     _RETRY_GIVEUPS.inc(site=site)
+    _LOG.warning("retry loop gave up", extra={
+        "event": "retry.giveup", "site": site})
 
 
 class Deadline:

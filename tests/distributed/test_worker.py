@@ -88,6 +88,41 @@ class TestProcessing:
         assert "WireFormatError" in unit.error
         assert worker.units_failed == 1
 
+    def test_poison_path_logs_unit_and_attempts(self, broker, source,
+                                                caplog):
+        broker.publish("bad", "this is not json", group_key="g")
+        with caplog.at_level("ERROR", logger="repro"):
+            ShardWorker(source, worker_id="w").run_once()
+        worker_logs = [r for r in caplog.records
+                       if r.name == "repro.distributed.worker"]
+        assert worker_logs, caplog.records
+        (record,) = worker_logs
+        assert record.event == "unit.poison"
+        assert record.unit == "bad"
+        assert record.attempts >= 1
+        # the broker's terminal-transition log fires on the same fail
+        broker_logs = [r for r in caplog.records
+                       if r.name == "repro.distributed.broker"
+                       and getattr(r, "event", "") == "unit.terminal"]
+        (terminal,) = broker_logs
+        assert terminal.unit == "bad"
+
+    def test_execution_error_logs_before_requeue(self, broker, store,
+                                                 caplog):
+        publish_span(broker, "k", 0, 64)
+
+        class FlakyStore(BrokerWorkSource):
+            def complete(self, *a, **k):
+                raise OSError("disk detached")
+
+        with caplog.at_level("ERROR", logger="repro"):
+            ShardWorker(FlakyStore(broker, store),
+                        worker_id="w").run_once()
+        (record,) = [r for r in caplog.records
+                     if getattr(r, "event", "") == "unit.fail"]
+        assert record.unit == "k:0-64"
+        assert "disk detached" in record.error
+
     def test_version_skew_fails_terminally(self, broker, source):
         env = task_wire_dict(runner().shard_task(0, 64))
         env["version"] = 999  # a worker from the future

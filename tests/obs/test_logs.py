@@ -1,0 +1,202 @@
+"""Trace-correlated structured logging (:mod:`repro.obs.logs`).
+
+Pins the acceptance criterion: every log record emitted inside an
+active ``Tracer.span`` carries that span's trace id — in JSON and text
+formats, via the handler filter and via the formatter fallback — and
+none outside a span. Also covers ``REPRO_LOG`` parsing and the
+idempotent configure/unconfigure lifecycle.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logs
+from repro.obs.metrics import set_enabled
+from repro.obs.trace import Tracer, current_span
+
+
+@pytest.fixture
+def enabled():
+    previous = set_enabled(True)
+    yield
+    set_enabled(previous)
+
+
+@pytest.fixture
+def clean_logging():
+    yield
+    logs.unconfigure()
+
+
+def capture(level="info", fmt="json"):
+    stream = io.StringIO()
+    logs.configure(level, fmt, stream=stream)
+    return stream
+
+
+class TestGetLogger:
+    def test_prefixes_repro(self):
+        assert logs.get_logger("store").name == "repro.store"
+
+    def test_keeps_existing_prefix(self):
+        assert logs.get_logger("repro.store").name == "repro.store"
+        assert logs.get_logger("repro").name == "repro"
+
+
+class TestParseEnv:
+    def test_level_and_format(self):
+        assert logs.parse_log_env("debug,json") == ("debug", "json")
+        assert logs.parse_log_env("JSON , Warning") == ("warning",
+                                                        "json")
+
+    def test_partial_and_garbage(self):
+        assert logs.parse_log_env("info") == ("info", None)
+        assert logs.parse_log_env("text") == (None, "text")
+        assert logs.parse_log_env("verbose,yaml") == (None, None)
+        assert logs.parse_log_env("") == (None, None)
+
+
+class TestTraceCorrelation:
+    def test_record_inside_span_carries_trace_id(self, enabled,
+                                                 clean_logging):
+        stream = capture(fmt="json")
+        tracer = Tracer(lambda tid, recs: None, proc="test")
+        with tracer.span("j0042-feed", "job.execute") as span:
+            logs.get_logger("worker").info("inside the span")
+            span_id = span.span_id
+        record = json.loads(stream.getvalue())
+        assert record["trace"] == "j0042-feed"
+        assert record["span"] == span_id
+        assert record["msg"] == "inside the span"
+
+    def test_record_outside_span_has_no_trace(self, enabled,
+                                              clean_logging):
+        stream = capture(fmt="json")
+        logs.get_logger("worker").info("outside any span")
+        record = json.loads(stream.getvalue())
+        assert "trace" not in record
+        assert "span" not in record
+
+    def test_contextvar_resets_after_span(self, enabled):
+        tracer = Tracer(lambda tid, recs: None, proc="test")
+        with tracer.span("j1-aa", "outer"):
+            assert current_span()[0] == "j1-aa"
+        assert current_span() is None
+
+    def test_nested_spans_stamp_innermost(self, enabled,
+                                          clean_logging):
+        stream = capture(fmt="json")
+        tracer = Tracer(lambda tid, recs: None, proc="test")
+        with tracer.span("j2-bb", "outer"):
+            with tracer.span("j2-bb", "inner") as inner:
+                logs.get_logger("x").info("deep")
+                inner_id = inner.span_id
+        record = json.loads(stream.getvalue())
+        assert record["span"] == inner_id
+
+    def test_explicit_extra_wins_over_ambient(self, enabled,
+                                              clean_logging):
+        stream = capture(fmt="json")
+        tracer = Tracer(lambda tid, recs: None, proc="test")
+        with tracer.span("ambient-trace", "job.execute"):
+            logs.get_logger("x").info("pinned", extra={
+                "trace": "explicit-trace", "span": "abc"})
+        record = json.loads(stream.getvalue())
+        assert record["trace"] == "explicit-trace"
+
+    def test_text_format_appends_trace(self, enabled, clean_logging):
+        stream = capture(fmt="text")
+        tracer = Tracer(lambda tid, recs: None, proc="test")
+        with tracer.span("j3-cc", "job.execute"):
+            logs.get_logger("x").warning("slow shard", extra={
+                "unit": "j3-cc/4"})
+        line = stream.getvalue()
+        assert "trace=j3-cc" in line
+        assert "unit=j3-cc/4" in line
+        assert "WARNING" in line
+
+    def test_formatter_fallback_without_filter(self, enabled):
+        # a foreign handler (no TraceContextFilter) using our
+        # formatter still resolves the ambient span at format time
+        tracer = Tracer(lambda tid, recs: None, proc="test")
+        with tracer.span("j4-dd", "job.execute"):
+            record = logging.LogRecord("repro.x", logging.INFO,
+                                       "f", 1, "hello", (), None)
+            out = json.loads(logs.JsonLogFormatter().format(record))
+        assert out["trace"] == "j4-dd"
+
+
+class TestStructuredFields:
+    def test_extra_fields_become_json_keys(self, clean_logging):
+        stream = capture(fmt="json")
+        logs.get_logger("broker").error("unit failed terminally",
+                                        extra={"event": "unit.terminal",
+                                               "unit": "j9/3",
+                                               "attempts": 3})
+        record = json.loads(stream.getvalue())
+        assert record["event"] == "unit.terminal"
+        assert record["unit"] == "j9/3"
+        assert record["attempts"] == 3
+        assert record["level"] == "ERROR"
+        assert record["logger"] == "repro.broker"
+
+    def test_unserialisable_values_coerced(self, clean_logging):
+        stream = capture(fmt="json")
+        logs.get_logger("x").info("odd", extra={"obj": object()})
+        record = json.loads(stream.getvalue())
+        assert record["obj"].startswith("<object object")
+
+    def test_exception_text_included(self, clean_logging):
+        stream = capture(fmt="json")
+        try:
+            raise ValueError("kaboom")
+        except ValueError:
+            logs.get_logger("x").exception("it broke")
+        record = json.loads(stream.getvalue())
+        assert "kaboom" in record["exc"]
+
+
+class TestConfigureLifecycle:
+    def test_noop_without_env_or_args(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG", raising=False)
+        assert logs.configure() is None
+        root = logging.getLogger(logs.ROOT_LOGGER)
+        assert not any(getattr(h, "repro_managed", False)
+                       for h in root.handlers)
+
+    def test_env_configures(self, monkeypatch, clean_logging):
+        monkeypatch.setenv("REPRO_LOG", "debug,json")
+        handler = logs.configure(stream=io.StringIO())
+        assert handler is not None
+        root = logging.getLogger(logs.ROOT_LOGGER)
+        assert root.level == logging.DEBUG
+        assert isinstance(handler.formatter, logs.JsonLogFormatter)
+
+    def test_reconfigure_does_not_stack_handlers(self, clean_logging):
+        logs.configure("info", "text", stream=io.StringIO())
+        logs.configure("debug", "json", stream=io.StringIO())
+        root = logging.getLogger(logs.ROOT_LOGGER)
+        managed = [h for h in root.handlers
+                   if getattr(h, "repro_managed", False)]
+        assert len(managed) == 1
+        assert root.level == logging.DEBUG
+
+    def test_unconfigure_restores_stdlib_defaults(self):
+        logs.configure("info", "json", stream=io.StringIO())
+        logs.unconfigure()
+        root = logging.getLogger(logs.ROOT_LOGGER)
+        assert not any(getattr(h, "repro_managed", False)
+                       for h in root.handlers)
+        assert root.propagate
+        assert root.level == logging.NOTSET
+
+    def test_level_filters(self, clean_logging):
+        stream = capture(level="warning", fmt="json")
+        logs.get_logger("x").info("quiet")
+        logs.get_logger("x").warning("loud")
+        lines = [l for l in stream.getvalue().splitlines() if l]
+        assert len(lines) == 1
+        assert json.loads(lines[0])["msg"] == "loud"

@@ -1,0 +1,140 @@
+"""Timeline reconstruction under hostile input (:mod:`repro.obs.timeline`).
+
+A trace assembled from a crashed fleet is never pristine: the event
+file may end in a torn half-line, worker wall clocks may disagree with
+the scheduler's, and children may reference parent spans that died
+before being written. ``build_timeline``/``render_timeline`` must
+reconstruct a readable page from all of it without raising.
+"""
+
+import pytest
+
+from repro.obs.timeline import build_timeline, render_timeline
+from repro.obs.trace import decode_event_lines, encode_event_lines
+
+
+def span(name, span_id, wall, *, parent=None, proc="svc", dur_ns=1000,
+         status="ok", attrs=None):
+    return {"trace": "j0001-abcd", "name": name, "kind": "span",
+            "span": span_id, "parent": parent, "proc": proc,
+            "wall": wall, "dur_ns": dur_ns, "status": status,
+            "attrs": attrs or {}}
+
+
+class TestTornTail:
+    def test_torn_tail_line_preserves_prefix(self):
+        text = encode_event_lines([
+            span("job.submit", "aaaaaaaaaaaa", 100.0),
+            span("job.execute", "bbbbbbbbbbbb", 101.0),
+        ])
+        torn = text + '{"trace": "j0001-abcd", "name": "job.set'
+        events = decode_event_lines(torn)
+        assert [e["name"] for e in events] == ["job.submit",
+                                               "job.execute"]
+        out = render_timeline(events)
+        assert "job.submit" in out and "job.execute" in out
+
+    def test_interleaved_garbage_lines(self):
+        text = ("not json at all\n"
+                + encode_event_lines([span("a", "aaaaaaaaaaaa", 1.0)])
+                + "[1, 2, 3]\n\n   \n"
+                + encode_event_lines([span("b", "bbbbbbbbbbbb", 2.0)]))
+        events = decode_event_lines(text)
+        assert [e["name"] for e in events] == ["a", "b"]
+        render_timeline(events)
+
+    def test_everything_torn_renders_empty(self):
+        events = decode_event_lines('{"half": \n{"also half')
+        assert events == []
+        assert render_timeline(events) == "(no events)"
+
+
+class TestOutOfOrderClocks:
+    def test_child_before_parent_wall_clock(self):
+        # worker clock runs ahead: the child span's wall precedes its
+        # parent's — ordering is by wall, parent depth still resolves
+        events = [
+            span("worker.execute", "cccccccccccc", 99.5,
+                 parent="bbbbbbbbbbbb", proc="worker-1"),
+            span("job.execute", "bbbbbbbbbbbb", 100.0),
+        ]
+        timeline = build_timeline(events)
+        assert [e["name"] for e in timeline["events"]] == \
+            ["worker.execute", "job.execute"]
+        assert timeline["depths"]["cccccccccccc"] == 1
+        assert timeline["depths"]["bbbbbbbbbbbb"] == 0
+        assert timeline["start_wall"] == 99.5
+        render_timeline(events)
+
+    def test_missing_wall_defaults_to_zero_offset(self):
+        events = [
+            {"trace": "t", "name": "no-wall", "kind": "event",
+             "span": None, "proc": "svc", "attrs": {}},
+            span("with-wall", "aaaaaaaaaaaa", 50.0),
+        ]
+        timeline = build_timeline(events)
+        assert timeline["events"][0]["name"] == "no-wall"
+        render_timeline(events)
+
+    def test_negative_offsets_render(self):
+        # end before start across processes must not raise in the
+        # wall-span arithmetic
+        events = [span("a", "aaaaaaaaaaaa", 200.0, dur_ns=0),
+                  span("b", "bbbbbbbbbbbb", 100.0, dur_ns=0)]
+        out = render_timeline(events)
+        assert "100.000s" in out
+
+
+class TestMissingParents:
+    def test_orphan_child_lands_at_depth_zero(self):
+        events = [span("orphan", "dddddddddddd", 10.0,
+                       parent="never-written")]
+        timeline = build_timeline(events)
+        assert timeline["depths"]["dddddddddddd"] == 0
+        render_timeline(events)
+
+    def test_grandchild_of_missing_parent(self):
+        # parent of "mid" never made it; "leaf" still indents under mid
+        events = [
+            span("mid", "eeeeeeeeeeee", 10.0, parent="gone"),
+            span("leaf", "ffffffffffff", 11.0, parent="eeeeeeeeeeee"),
+        ]
+        timeline = build_timeline(events)
+        assert timeline["depths"]["eeeeeeeeeeee"] == 0
+        assert timeline["depths"]["ffffffffffff"] == 1
+
+    def test_self_parent_cycle_terminates(self):
+        events = [span("weird", "gggggggggggg", 1.0,
+                       parent="gggggggggggg"),
+                  span("pair-a", "hhhhhhhhhhhh", 2.0,
+                       parent="iiiiiiiiiiii"),
+                  span("pair-b", "iiiiiiiiiiii", 3.0,
+                       parent="hhhhhhhhhhhh")]
+        timeline = build_timeline(events)  # must not recurse forever
+        assert set(timeline["depths"]) >= {"hhhhhhhhhhhh",
+                                           "iiiiiiiiiiii"}
+        render_timeline(events)
+
+    def test_empty_input(self):
+        timeline = build_timeline([])
+        assert timeline["events"] == []
+        assert timeline["trace"] is None
+        assert render_timeline([]) == "(no events)"
+
+
+class TestRendering:
+    def test_error_spans_marked(self):
+        events = [span("job.execute", "aaaaaaaaaaaa", 1.0,
+                       status="error",
+                       attrs={"error": "RuntimeError: boom"})]
+        out = render_timeline(events)
+        assert "  x  " in out
+        assert "error=RuntimeError: boom" in out
+
+    def test_phase_profile_line(self):
+        events = [span("shard", "aaaaaaaaaaaa", 1.0, attrs={
+            "phases": {"encode": 2_000_000, "decode_sweep": 8_000_000}})]
+        out = render_timeline(events)
+        assert "phases:" in out
+        assert "decode_sweep=8.0ms" in out
+        assert "encode=2.0ms" in out
